@@ -1,0 +1,156 @@
+// E1 — Figure 3: a single request with two migrations.
+//
+// Re-enacts the paper's Figure 3 message-sequence chart on the simulator
+// and prints the full timed trace, then validates the protocol milestones:
+// proxy fixed at Mss_p, one update_currentLoc per migration, result
+// delivered exactly once in Mss_n's cell, del-pref/RKpR/del-proxy teardown.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "harness/metrics.h"
+#include "harness/world.h"
+
+namespace {
+
+using namespace rdp;
+using common::Duration;
+using common::SimTime;
+
+class TimedTrace final : public core::RdpObserver {
+ public:
+  std::vector<std::string> lines;
+
+  void add(SimTime t, const std::string& what) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%9.1f ms  ", t.to_seconds() * 1e3);
+    lines.push_back(buf + what);
+  }
+  void on_proxy_created(SimTime t, core::MhId mh, core::NodeAddress host,
+                        core::ProxyId p) override {
+    add(t, "proxy " + p.str() + " created for " + mh.str() + " at " +
+               host.str() + "  (currentLoc := " + host.str() + ")");
+  }
+  void on_request_reached_proxy(SimTime t, core::MhId, core::RequestId r) override {
+    add(t, r.str() + " registered at proxy, relayed to server");
+  }
+  void on_handoff_started(SimTime t, core::MhId mh, core::MssId from,
+                          core::MssId to) override {
+    add(t, "hand-off of " + mh.str() + ": " + to.str() + " sends dereg to " +
+               from.str());
+  }
+  void on_handoff_completed(SimTime t, core::MhId /*mh*/, core::MssId from,
+                            core::MssId to, core::Duration latency,
+                            std::size_t bytes) override {
+    add(t, "hand-off " + from.str() + " -> " + to.str() + " complete (" +
+               latency.str() + ", pref = " + std::to_string(bytes) +
+               " bytes on the wire)");
+  }
+  void on_update_currentloc(SimTime t, core::MhId mh, core::NodeAddress host,
+                            core::NodeAddress loc) override {
+    add(t, "update_currentLoc(" + mh.str() + ") -> proxy at " + host.str() +
+               "  (currentLoc := " + loc.str() + ")");
+  }
+  void on_result_at_proxy(SimTime t, core::MhId, core::RequestId r,
+                          std::uint32_t) override {
+    add(t, "server result for " + r.str() + " arrives at proxy");
+  }
+  void on_result_forwarded(SimTime t, core::MhId, core::RequestId /*r*/,
+                           std::uint32_t, core::NodeAddress to,
+                           std::uint32_t attempt, bool del_pref) override {
+    add(t, "proxy forwards result (attempt " + std::to_string(attempt) +
+               ") to " + to.str() + (del_pref ? "  [del-pref]" : ""));
+  }
+  void on_result_delivered(SimTime t, core::MhId mh, core::RequestId,
+                           std::uint32_t, bool, bool duplicate,
+                           std::uint32_t) override {
+    add(t, std::string("result delivered to ") + mh.str() +
+               (duplicate ? " (duplicate, filtered)" : ""));
+  }
+  void on_ack_forwarded(SimTime t, core::MhId, core::RequestId,
+                        std::uint32_t, bool del_proxy) override {
+    add(t, std::string("Ack forwarded to proxy") +
+               (del_proxy ? "  [del-proxy]" : ""));
+  }
+  void on_proxy_deleted(SimTime t, core::MhId, core::NodeAddress, core::ProxyId p,
+                        bool) override {
+    add(t, "proxy " + p.str() + " deleted");
+  }
+};
+
+void run_scenario(const char* name, common::Duration service_time,
+                  common::Duration first_move, common::Duration second_move,
+                  bool expect_retransmission) {
+  benchutil::section(name);
+
+  harness::ScenarioConfig config;
+  config.num_mss = 3;
+  config.num_mh = 1;
+  config.num_servers = 1;
+  config.wired.base_latency = Duration::millis(5);
+  config.wired.jitter = Duration::zero();
+  config.wireless.base_latency = Duration::millis(20);
+  config.wireless.jitter = Duration::zero();
+  config.server.base_service_time = service_time;
+
+  harness::World world(config);
+  harness::MetricsCollector metrics;
+  TimedTrace trace;
+  world.observers().add(&metrics);
+  world.observers().add(&trace);
+
+  auto& mh = world.mh(0);
+  auto& sim = world.simulator();
+  mh.power_on(world.cell(0));
+  sim.schedule(Duration::millis(100),
+               [&] { mh.issue_request(world.server_address(0), "query"); });
+  sim.schedule(first_move,
+               [&] { mh.migrate(world.cell(1), Duration::millis(50)); });
+  if (second_move > Duration::zero()) {
+    sim.schedule(second_move,
+                 [&] { mh.migrate(world.cell(2), Duration::millis(50)); });
+  }
+  world.run_to_quiescence();
+
+  for (const auto& line : trace.lines) std::cout << "  " << line << "\n";
+
+  const std::uint64_t expected_handoffs =
+      second_move > Duration::zero() ? 2 : 1;
+  benchutil::claim("proxy created once, at the request's origin Mss",
+                   metrics.proxies_created == 1 &&
+                       metrics.proxy_host_tally.get(world.mss(0).address()) ==
+                           1);
+  benchutil::claim("one update_currentLoc per migration (§5 overhead)",
+                   metrics.update_currentloc == expected_handoffs &&
+                       metrics.handoffs == expected_handoffs);
+  benchutil::claim("result delivered exactly once to the application",
+                   metrics.results_delivered == 1 &&
+                       metrics.app_duplicates == 0);
+  benchutil::claim(
+      expect_retransmission
+          ? "result re-sent after the missed attempt (at-least-once)"
+          : "no retransmission needed (Mh settled when result arrived)",
+      (metrics.retransmissions > 0) == expect_retransmission);
+  benchutil::claim("proxy deleted after the del-proxy handshake",
+                   metrics.proxies_deleted == 1);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("E1", "single request, migrating client",
+                    "Figure 3 + §3.1-§3.3 of Endler/Silva/Okuda (ICDCS 2000)");
+
+  run_scenario(
+      "scenario A: slow server (2 s) — result arrives after both migrations",
+      Duration::seconds(2), Duration::millis(300), Duration::millis(800),
+      /*expect_retransmission=*/false);
+
+  run_scenario(
+      "scenario B: result chases the Mh mid-migration (the '?' in Fig 3)",
+      Duration::millis(300), Duration::millis(420), Duration::zero(),
+      /*expect_retransmission=*/true);
+
+  return benchutil::finish();
+}

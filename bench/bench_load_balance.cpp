@@ -1,0 +1,185 @@
+// E5 — the paper's headline advantage (§1/§4/§5): "the location of the
+// proxy ... is not static (as in Mobile IP), by which it facilitates
+// dynamic global load balancing within the set of Mobile Support Stations."
+//
+// Two studies:
+//  (a) steady state, uniform population: proxy placement follows the
+//      clients, so hosting load is spread across all Mss's;
+//  (b) population drift ("morning commute"): every client joins at a
+//      distinct home cell and then moves downtown.  RDP creates each new
+//      session's proxy downtown (forwarding work where the clients are, no
+//      wired detour); Mobile IP keeps tunnelling every result through the
+//      now-remote fixed home agents.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "harness/baseline_world.h"
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+#include "stats/fairness.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace rdp;
+using common::Duration;
+
+void steady_state() {
+  benchutil::section("(a) steady state, uniform roaming population");
+  harness::ExperimentParams params;
+  params.seed = 11;
+  params.grid_width = 3;
+  params.grid_height = 3;
+  params.num_mh = 27;
+  params.sim_time = Duration::seconds(900);
+  params.mean_dwell = Duration::seconds(30);
+  params.mean_request_interval = Duration::seconds(10);
+  params.service_time = Duration::millis(500);
+
+  const auto rdp = harness::run_rdp_experiment(params);
+  const auto mip = harness::run_baseline_experiment(
+      params, baseline::BaselineMode::kReliableMobileIp);
+
+  stats::Table table({"protocol", "placement unit", "Jain index",
+                      "max/mean"});
+  table.add_row({"RDP", "proxies hosted per Mss",
+                 stats::Table::fmt(rdp.placement_jain, 3),
+                 stats::Table::fmt(rdp.placement_max_to_mean, 2)});
+  table.add_row({"ReliableMobileIP", "tunnels forwarded per home agent",
+                 stats::Table::fmt(mip.placement_jain, 3),
+                 stats::Table::fmt(mip.placement_max_to_mean, 2)});
+  table.print(std::cout);
+  benchutil::claim("RDP proxy hosting is near-uniform (Jain > 0.9)",
+                   rdp.placement_jain > 0.9);
+  benchutil::claim("every Mss hosted proxies (max/mean < 2)",
+                   rdp.placement_max_to_mean < 2.0);
+}
+
+void population_drift() {
+  benchutil::section("(b) population drift: everyone commutes downtown");
+  constexpr int kMhs = 18;
+  const std::vector<int> downtown{0, 1, 3, 4};  // corner of the 3x3 grid
+
+  // ---- RDP ----
+  harness::ScenarioConfig rdp_config;
+  rdp_config.seed = 4242;
+  rdp_config.num_mss = 9;
+  rdp_config.num_mh = kMhs;
+  rdp_config.num_servers = 1;
+  rdp_config.server.base_service_time = Duration::millis(500);
+  harness::World rdp_world(rdp_config);
+  harness::MetricsCollector rdp_metrics;
+  rdp_world.observers().add(&rdp_metrics);
+  std::uint64_t rdp_result_forward_wire = 0;
+  rdp_world.wired().add_send_observer([&](const net::Envelope& envelope) {
+    if (std::string(envelope.payload->name()) == "resultForward") {
+      ++rdp_result_forward_wire;
+    }
+  });
+
+  // ---- Mobile IP (reliable, so both deliver everything) ----
+  harness::BaselineScenarioConfig mip_config;
+  mip_config.base = rdp_config;
+  mip_config.baseline.mode = baseline::BaselineMode::kReliableMobileIp;
+  harness::BaselineWorld mip_world(mip_config);
+  std::uint64_t mip_tunnel_wire = 0;
+  mip_world.wired().add_send_observer([&](const net::Envelope& envelope) {
+    if (std::string(envelope.payload->name()) == "mipTunnel") {
+      ++mip_tunnel_wire;
+    }
+  });
+
+  // Identical scripted drift on both worlds.
+  // Residential cells: everyone lives (joins) outside downtown.
+  const std::vector<int> residential{2, 5, 6, 7, 8};
+  auto script = [&](auto& world) {
+    auto& sim = world.simulator();
+    for (int i = 0; i < kMhs; ++i) {
+      // Phase 1: join at a residential home cell.
+      const common::CellId home(
+          static_cast<std::uint32_t>(residential[i % residential.size()]));
+      sim.schedule(Duration::millis(100 * i), [&world, i, home] {
+        world.mh(i).power_on(home);
+      });
+      // Phase 2 (t=10s): commute downtown.
+      const common::CellId target(
+          static_cast<std::uint32_t>(downtown[i % downtown.size()]));
+      sim.schedule(Duration::seconds(10) + Duration::millis(50 * i),
+                   [&world, i, target] {
+                     if (world.mh(i).cell() != target) {
+                       world.mh(i).migrate(target, Duration::millis(500));
+                     }
+                   });
+      // Phase 3: work from downtown, one request every ~5 s for 300 s.
+      for (int k = 0; k < 60; ++k) {
+        sim.schedule(Duration::seconds(20 + 5 * k) + Duration::millis(17 * i),
+                     [&world, i] {
+                       world.mh(i).issue_request(world.server_address(0), "q");
+                     });
+      }
+    }
+    world.run_for(Duration::seconds(400));
+  };
+  script(rdp_world);
+  script(mip_world);
+
+  // Where did the forwarding work happen?
+  std::uint64_t rdp_downtown_proxies = 0, rdp_total_proxies = 0;
+  for (int i = 0; i < 9; ++i) {
+    const auto hosted =
+        rdp_metrics.proxy_host_tally.get(rdp_world.mss(i).address());
+    rdp_total_proxies += hosted;
+    if (std::find(downtown.begin(), downtown.end(), i) != downtown.end()) {
+      rdp_downtown_proxies += hosted;
+    }
+  }
+  std::uint64_t mip_home_tunnels = 0, mip_total_tunnels = 0;
+  for (int i = 0; i < 9; ++i) {
+    const auto tunnels = mip_world.mss(i).tunnels_forwarded();
+    mip_total_tunnels += tunnels;
+    if (std::find(downtown.begin(), downtown.end(), i) == downtown.end()) {
+      mip_home_tunnels += tunnels;
+    }
+  }
+  const std::uint64_t rdp_results = rdp_metrics.results_delivered;
+  std::uint64_t mip_deliveries = 0;
+  for (int i = 0; i < kMhs; ++i) mip_deliveries += mip_world.mh(i).deliveries();
+
+  stats::Table table({"metric", "RDP", "ReliableMobileIP"});
+  table.add_row({"results delivered", stats::Table::fmt(rdp_results),
+                 stats::Table::fmt(mip_deliveries)});
+  table.add_row(
+      {"agents/proxies created downtown",
+       stats::Table::fmt(rdp_downtown_proxies) + "/" +
+           stats::Table::fmt(rdp_total_proxies),
+       "home agents fixed"});
+  table.add_row({"results taking a wired forwarding hop",
+                 stats::Table::fmt(rdp_result_forward_wire),
+                 stats::Table::fmt(mip_tunnel_wire)});
+  table.add_row({"forwarding work done by clientless (home) Mss's", "0",
+                 stats::Table::fmt(mip_home_tunnels) + "/" +
+                     stats::Table::fmt(mip_total_tunnels)});
+  table.print(std::cout);
+
+  benchutil::claim(
+      "after the commute, >90% of RDP session proxies are created downtown",
+      rdp_total_proxies > 0 &&
+          rdp_downtown_proxies * 10 >= rdp_total_proxies * 9);
+  benchutil::claim(
+      "RDP forwards <5% of results over a wired hop (proxy co-located)",
+      rdp_result_forward_wire * 20 < rdp_results);
+  benchutil::claim(
+      "Mobile IP routes >90% of results through remote home agents",
+      mip_total_tunnels > 0 &&
+          mip_home_tunnels * 10 >= mip_total_tunnels * 9);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("E5", "dynamic load balancing of the proxy role",
+                    "§1/§4/§5 comparison with Mobile IP's fixed home agent");
+  steady_state();
+  population_drift();
+  return benchutil::finish();
+}

@@ -1,0 +1,154 @@
+// M1 — microbenchmarks of the building blocks (google-benchmark): event
+// kernel throughput, wired/causal messaging cost, proxy bookkeeping, and a
+// whole-world simulation rate.  These bound how large a scenario the
+// experiment binaries can afford.
+#include <benchmark/benchmark.h>
+
+#include "causal/causal_layer.h"
+#include "causal/vector_clock.h"
+#include "harness/experiment.h"
+#include "harness/world.h"
+#include "net/wired.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rdp;
+using common::Duration;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < batch; ++i) {
+      sim.schedule(Duration::micros(i), [&sum, i] { sum += i; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorTimerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      auto handle = sim.schedule(Duration::millis(1), [] {});
+      handle.cancel();
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorTimerCancel);
+
+struct NullEndpoint final : net::Endpoint {
+  std::uint64_t received = 0;
+  void on_message(const net::Envelope&) override { ++received; }
+};
+
+struct PingMsg final : net::MessageBase {
+  const char* name() const override { return "ping"; }
+};
+
+void BM_WiredMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    net::WiredNetwork wired(sim, common::Rng(1), net::WiredConfig{});
+    NullEndpoint a, b;
+    wired.attach(common::NodeAddress(0), &a);
+    wired.attach(common::NodeAddress(1), &b);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      wired.send(common::NodeAddress(0), common::NodeAddress(1),
+                 net::make_message<PingMsg>());
+    }
+    sim.run();
+    benchmark::DoNotOptimize(b.received);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_WiredMessage);
+
+void BM_CausalLayerMessage(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    net::WiredNetwork wired(sim, common::Rng(1), net::WiredConfig{});
+    causal::CausalLayer layer(wired);
+    std::vector<std::unique_ptr<NullEndpoint>> endpoints;
+    for (int i = 0; i < nodes; ++i) {
+      endpoints.push_back(std::make_unique<NullEndpoint>());
+      layer.attach(common::NodeAddress(static_cast<std::uint32_t>(i)),
+                   endpoints.back().get());
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      layer.send(common::NodeAddress(static_cast<std::uint32_t>(i % nodes)),
+                 common::NodeAddress(static_cast<std::uint32_t>((i + 1) % nodes)),
+                 net::make_message<PingMsg>(), sim::EventPriority::kNormal);
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetLabel(std::to_string(nodes) + " nodes (matrix overhead grows n^2)");
+}
+BENCHMARK(BM_CausalLayerMessage)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VectorClockMerge(benchmark::State& state) {
+  causal::VectorClock a(64), b(64);
+  for (int i = 0; i < 64; ++i) {
+    a.tick(static_cast<std::size_t>(i));
+    if (i % 2 == 0) b.tick(static_cast<std::size_t>(i));
+  }
+  for (auto _ : state) {
+    causal::VectorClock c = a;
+    c.merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_VectorClockMerge);
+
+// One complete request round trip (register, relay, serve, forward,
+// deliver, ack, teardown) through the full stack.
+void BM_EndToEndRequest(benchmark::State& state) {
+  harness::ScenarioConfig config;
+  config.num_mss = 2;
+  config.num_mh = 1;
+  config.num_servers = 1;
+  config.server.base_service_time = Duration::millis(10);
+  harness::World world(config);
+  world.mh(0).power_on(world.cell(0));
+  world.run_for(Duration::millis(200));
+  for (auto _ : state) {
+    world.mh(0).issue_request(world.server_address(0), "q");
+    world.run_for(Duration::millis(200));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndRequest);
+
+// Whole-scenario throughput: how many simulated protocol events per second
+// of wall-clock the harness achieves on a mid-size world.
+void BM_ScenarioThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ExperimentParams params;
+    params.seed = 77;
+    params.num_mh = 20;
+    params.sim_time = Duration::seconds(120);
+    params.drain_time = Duration::seconds(30);
+    params.mean_dwell = Duration::seconds(15);
+    params.mean_request_interval = Duration::seconds(5);
+    const auto result = harness::run_rdp_experiment(params);
+    benchmark::DoNotOptimize(result.requests_completed);
+  }
+}
+BENCHMARK(BM_ScenarioThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// E3 — §5 claim: "retransmissions of the result with RDP occur only if the
+// mean time period a Mh spends in a cell is less than T_wired + T_wireless".
+//
+// Sweeps the mean cell-residence time across the analytic threshold and
+// measures the retransmission rate (re-forwards per delivered result).  The
+// paper's argument: when residence time is long relative to one wired
+// forward plus one wireless delivery, results almost never land in a
+// migration window, so the first attempt succeeds.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "harness/experiment.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace rdp;
+  using common::Duration;
+
+  benchutil::banner("E3", "retransmission rate vs cell residence time",
+                    "§5 analysis (threshold T_wired + T_wireless)");
+
+  // T_wired = 10 ms, T_wireless = 50 ms -> threshold = 60 ms.
+  const Duration t_wired = Duration::millis(10);
+  const Duration t_wireless = Duration::millis(50);
+  const Duration threshold = t_wired + t_wireless;
+  std::cout << "T_wired = " << t_wired.str()
+            << ", T_wireless = " << t_wireless.str()
+            << ", analytic threshold = " << threshold.str() << "\n";
+
+  const std::vector<double> dwell_multipliers{0.25, 0.5, 1, 2,  4,
+                                              8,    16,  32, 64, 128};
+
+  stats::Table table({"mean dwell", "dwell/threshold", "results",
+                      "retransmissions", "retx per result"});
+  std::vector<double> rates;
+  for (const double multiplier : dwell_multipliers) {
+    harness::ExperimentParams params;
+    params.seed = 7;
+    params.grid_width = 3;
+    params.grid_height = 3;
+    params.num_mh = 16;
+    params.sim_time = common::Duration::seconds(400);
+    params.mobility = harness::MobilityKind::kRandomWalk;
+    params.mean_dwell = common::Duration::micros(static_cast<std::int64_t>(
+        multiplier * threshold.count_micros()));
+    params.travel_time = common::Duration::millis(5);
+    params.mean_request_interval = common::Duration::seconds(4);
+    params.service_time = common::Duration::millis(150);
+    params.service_jitter = common::Duration::millis(100);
+    params.wired.base_latency = t_wired;
+    params.wired.jitter = common::Duration::zero();
+    params.wireless.base_latency = t_wireless;
+    params.wireless.jitter = common::Duration::zero();
+
+    const harness::ExperimentResult result = harness::run_rdp_experiment(params);
+    const double rate =
+        result.results_delivered == 0
+            ? 0.0
+            : static_cast<double>(result.retransmissions) /
+                  static_cast<double>(result.results_delivered);
+    rates.push_back(rate);
+    table.add_row({params.mean_dwell.str(), stats::Table::fmt(multiplier, 2),
+                   stats::Table::fmt(result.results_delivered),
+                   stats::Table::fmt(result.retransmissions),
+                   stats::Table::fmt(rate, 4)});
+  }
+  table.print(std::cout);
+
+  // First-order model: a re-forward happens when a migration falls inside
+  // the window where a result is unacknowledged.  The window is the §5
+  // T_wired + T_wireless plus the hand-off blackout (travel + greet +
+  // dereg + deregAck + registrationAck), so for dwell >> window the rate
+  // should approach window/dwell.
+  const Duration effective_window =
+      threshold                           // forward + downlink (§5)
+      + Duration::millis(5)               // travel
+      + t_wireless + t_wired + t_wired +  // greet, dereg, deregAck
+      t_wireless;                         // registrationAck
+  std::cout << "effective vulnerable window ~= " << effective_window.str()
+            << " (threshold + hand-off blackout)\n";
+
+  benchutil::claim("high churn (dwell = threshold/4) forces many retransmissions",
+                   rates.front() > 10.0);
+  bool monotone = true;
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    if (rates[i] > rates[i - 1] * 1.05) monotone = false;
+  }
+  benchutil::claim("rate decreases monotonically with residence time",
+                   monotone);
+  bool tail_matches_model = true;
+  for (std::size_t i = 7; i < rates.size(); ++i) {  // dwell >= 32x threshold
+    const double dwell_s =
+        dwell_multipliers[i] * threshold.to_seconds();
+    const double predicted = effective_window.to_seconds() / dwell_s;
+    if (rates[i] > predicted * 3.0 || rates[i] < predicted / 3.0) {
+      tail_matches_model = false;
+    }
+  }
+  benchutil::claim(
+      "for dwell >= 32x threshold, rate matches window/dwell within 3x",
+      tail_matches_model);
+  benchutil::claim("retransmission negligible (<3%) at dwell = 128x threshold",
+                   rates.back() < 0.03);
+  return benchutil::finish();
+}

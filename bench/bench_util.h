@@ -1,0 +1,39 @@
+// Shared output helpers for the experiment binaries.
+//
+// Every binary prints a banner identifying the experiment (id from
+// DESIGN.md, paper artifact it reproduces), the tables the paper would have
+// reported, and a PASS/FAIL verdict line per claim so the whole suite can
+// be eyeballed from `for b in build/bench/*; do $b; done`.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace rdp::benchutil {
+
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << id << ": " << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "================================================================\n";
+}
+
+inline void section(const std::string& name) {
+  std::cout << "\n-- " << name << " --\n";
+}
+
+inline bool g_all_ok = true;
+
+inline void claim(const std::string& description, bool ok) {
+  std::cout << (ok ? "[PASS] " : "[FAIL] ") << description << "\n";
+  if (!ok) g_all_ok = false;
+}
+
+inline int finish() {
+  std::cout << (g_all_ok ? "\nall claims hold\n" : "\nSOME CLAIMS FAILED\n");
+  return g_all_ok ? 0 : 1;
+}
+
+}  // namespace rdp::benchutil

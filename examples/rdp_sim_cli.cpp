@@ -1,0 +1,167 @@
+// rdp_sim_cli — configurable scenario runner.
+//
+// Runs a randomized mobility/request workload over a chosen protocol stack
+// and prints the headline metrics, optionally as CSV.  This is the "just
+// let me try it" entry point for the library.
+//
+//   build/examples/rdp_sim_cli --protocol rdp --grid 4x4 --mh 50
+//       --seconds 300 --dwell 20 --interval 8 --mobility walk --seed 7
+//   build/examples/rdp_sim_cli --protocol mip --loss 0.1 --csv
+//
+// Flags (all optional):
+//   --protocol rdp|mip|rmip|direct   protocol stack        [rdp]
+//   --grid WxH                       cell grid             [3x3]
+//   --mh N                           mobile hosts          [20]
+//   --servers N                      application servers   [2]
+//   --seconds S                      workload duration     [300]
+//   --dwell S                        mean cell residence   [30]
+//   --interval S                     mean request gap      [10]
+//   --service MS                     mean service time     [200]
+//   --mobility walk|jump|pingpong|static                   [walk]
+//   --loss P                         downlink loss 0..1    [0]
+//   --cache                          enable footnote-3 result cache
+//   --no-causal                      disable the causal wired layer
+//   --seed N                         PRNG seed             [1]
+//   --csv                            emit one CSV row instead of a table
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace rdp;
+
+struct CliOptions {
+  harness::ExperimentParams params;
+  std::string protocol = "rdp";
+  bool csv = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "error: " << message << "\n(run with --help for usage)\n";
+  std::exit(2);
+}
+
+void print_usage() {
+  std::cout <<
+      "usage: rdp_sim_cli [--protocol rdp|mip|rmip|direct] [--grid WxH]\n"
+      "                   [--mh N] [--servers N] [--seconds S] [--dwell S]\n"
+      "                   [--interval S] [--service MS] [--loss P] [--seed N]\n"
+      "                   [--mobility walk|jump|pingpong|static] [--cache]\n"
+      "                   [--no-causal] [--csv]\n";
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions options;
+  auto& params = options.params;
+  params.sim_time = common::Duration::seconds(300);
+
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (flag == "--protocol") {
+      options.protocol = next_value(i);
+    } else if (flag == "--grid") {
+      const std::string value = next_value(i);
+      const auto x = value.find('x');
+      if (x == std::string::npos) usage_error("--grid expects WxH");
+      params.grid_width = std::atoi(value.substr(0, x).c_str());
+      params.grid_height = std::atoi(value.substr(x + 1).c_str());
+      if (params.grid_width < 1 || params.grid_height < 1) {
+        usage_error("--grid dimensions must be positive");
+      }
+    } else if (flag == "--mh") {
+      params.num_mh = std::atoi(next_value(i).c_str());
+    } else if (flag == "--servers") {
+      params.num_servers = std::atoi(next_value(i).c_str());
+    } else if (flag == "--seconds") {
+      params.sim_time = common::Duration::seconds(std::atoi(next_value(i).c_str()));
+    } else if (flag == "--dwell") {
+      params.mean_dwell =
+          common::Duration::from_seconds(std::atof(next_value(i).c_str()));
+    } else if (flag == "--interval") {
+      params.mean_request_interval =
+          common::Duration::from_seconds(std::atof(next_value(i).c_str()));
+    } else if (flag == "--service") {
+      params.service_time =
+          common::Duration::millis(std::atoi(next_value(i).c_str()));
+    } else if (flag == "--loss") {
+      params.wireless.downlink_loss = std::atof(next_value(i).c_str());
+    } else if (flag == "--seed") {
+      params.seed = static_cast<std::uint64_t>(std::atoll(next_value(i).c_str()));
+    } else if (flag == "--mobility") {
+      const std::string kind = next_value(i);
+      if (kind == "walk") params.mobility = harness::MobilityKind::kRandomWalk;
+      else if (kind == "jump") params.mobility = harness::MobilityKind::kUniformJump;
+      else if (kind == "pingpong") params.mobility = harness::MobilityKind::kPingPong;
+      else if (kind == "static") params.mobility = harness::MobilityKind::kStatic;
+      else usage_error("unknown mobility: " + kind);
+    } else if (flag == "--cache") {
+      params.rdp.mss_result_cache = true;
+    } else if (flag == "--no-causal") {
+      params.causal_order = false;
+    } else if (flag == "--csv") {
+      options.csv = true;
+    } else {
+      usage_error("unknown flag: " + flag);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse(argc, argv);
+
+  harness::ExperimentResult result;
+  if (options.protocol == "rdp") {
+    result = harness::run_rdp_experiment(options.params);
+  } else if (options.protocol == "mip") {
+    result = harness::run_baseline_experiment(options.params,
+                                              baseline::BaselineMode::kMobileIp);
+  } else if (options.protocol == "rmip") {
+    result = harness::run_baseline_experiment(
+        options.params, baseline::BaselineMode::kReliableMobileIp);
+  } else if (options.protocol == "direct") {
+    result = harness::run_baseline_experiment(options.params,
+                                              baseline::BaselineMode::kDirect);
+  } else {
+    usage_error("unknown protocol: " + options.protocol);
+  }
+
+  stats::Table table({"metric", "value"});
+  table.add_row({"protocol", options.protocol});
+  table.add_row({"requests issued", stats::Table::fmt(result.requests_issued)});
+  table.add_row({"requests completed",
+                 stats::Table::fmt(result.requests_completed)});
+  table.add_row({"delivery ratio", stats::Table::fmt(result.delivery_ratio, 4)});
+  table.add_row({"mean latency (ms)",
+                 stats::Table::fmt(result.mean_latency_ms, 1)});
+  table.add_row({"p95 latency (ms)", stats::Table::fmt(result.p95_latency_ms, 1)});
+  table.add_row({"migrations", stats::Table::fmt(result.migrations)});
+  table.add_row({"hand-offs", stats::Table::fmt(result.handoffs)});
+  table.add_row({"retransmissions", stats::Table::fmt(result.retransmissions)});
+  table.add_row({"duplicates at Mh", stats::Table::fmt(result.app_duplicates)});
+  table.add_row({"update_currentLoc", stats::Table::fmt(result.update_currentloc)});
+  table.add_row({"proxies created", stats::Table::fmt(result.proxies_created)});
+  table.add_row({"placement Jain", stats::Table::fmt(result.placement_jain, 3)});
+  table.add_row({"wired messages", stats::Table::fmt(result.wired_messages)});
+  table.add_row({"wired bytes", stats::Table::fmt(result.wired_bytes)});
+
+  if (options.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

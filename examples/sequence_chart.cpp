@@ -1,0 +1,135 @@
+// sequence_chart — renders a scenario as a Mermaid sequence diagram.
+//
+// Replays the Figure-3 scenario (or the Figure-4 multi-request scenario
+// with --fig4) and prints a `sequenceDiagram` block you can paste into any
+// Mermaid renderer to get the paper's figures regenerated from the actual
+// implementation's message flow.
+//
+//   build/examples/sequence_chart          # Figure 3
+//   build/examples/sequence_chart --fig4   # Figure 4
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/server.h"
+#include "harness/world.h"
+
+namespace {
+
+using namespace rdp;
+using common::Duration;
+
+// Collects wired sends plus protocol milestones into Mermaid statements.
+class MermaidTrace final : public core::RdpObserver {
+ public:
+  std::vector<std::string> lines;
+
+  explicit MermaidTrace(harness::World& world) : world_(world) {
+    world.wired().add_send_observer([this](const net::Envelope& envelope) {
+      lines.push_back("    " + name_of(envelope.src) + "->>" +
+                      name_of(envelope.dst) + ": " +
+                      envelope.payload->describe());
+    });
+    world.observers().add(this);
+  }
+
+  void on_result_delivered(core::SimTime, core::MhId mh, core::RequestId,
+                           std::uint32_t, bool, bool duplicate,
+                           std::uint32_t) override {
+    lines.push_back(std::string("    Note over ") + mh.str() + ": result " +
+                    (duplicate ? "duplicate (filtered)" : "delivered"));
+  }
+  void on_proxy_created(core::SimTime, core::MhId mh, core::NodeAddress host,
+                        core::ProxyId proxy) override {
+    lines.push_back("    Note over " + name_of(host) + ": create " +
+                    proxy.str() + " for " + mh.str());
+  }
+  void on_proxy_deleted(core::SimTime, core::MhId, core::NodeAddress host,
+                        core::ProxyId proxy, bool) override {
+    lines.push_back("    Note over " + name_of(host) + ": delete " +
+                    proxy.str());
+  }
+  [[nodiscard]] std::string name_of(core::NodeAddress address) const {
+    for (int i = 0; i < world_.num_mss(); ++i) {
+      if (world_.mss(i).address() == address) return world_.mss(i).id().str();
+    }
+    return "Server";
+  }
+
+ private:
+  harness::World& world_;
+};
+
+harness::ScenarioConfig chart_config(int num_mss) {
+  harness::ScenarioConfig config;
+  config.num_mss = num_mss;
+  config.num_mh = 1;
+  config.num_servers = 0;
+  config.wired.jitter = common::Duration::zero();
+  config.wireless.jitter = common::Duration::zero();
+  return config;
+}
+
+common::NodeAddress add_server(harness::World& world, Duration service) {
+  core::Server::Config server_config;
+  server_config.base_service_time = service;
+  return world
+      .add_server([&](core::Runtime& runtime, common::ServerId id,
+                      common::NodeAddress address, common::Rng rng) {
+        return std::make_unique<core::Server>(runtime, id, address,
+                                              server_config, rng);
+      })
+      .address();
+}
+
+void emit(const std::string& title, const MermaidTrace& trace) {
+  std::cout << "%% " << title << "\nsequenceDiagram\n";
+  for (const auto& line : trace.lines) std::cout << line << "\n";
+  std::cout << "\n";
+}
+
+void figure3() {
+  harness::World world(chart_config(3));
+  MermaidTrace trace(world);
+  const auto server = add_server(world, Duration::seconds(2));
+  auto& mh = world.mh(0);
+  auto& sim = world.simulator();
+  mh.power_on(world.cell(0));
+  sim.schedule(Duration::millis(100), [&] { mh.issue_request(server, "query"); });
+  sim.schedule(Duration::millis(300),
+               [&] { mh.migrate(world.cell(1), Duration::millis(50)); });
+  sim.schedule(Duration::millis(800),
+               [&] { mh.migrate(world.cell(2), Duration::millis(50)); });
+  world.run_to_quiescence();
+  emit("Figure 3: single request, two migrations", trace);
+}
+
+void figure4() {
+  harness::World world(chart_config(2));
+  MermaidTrace trace(world);
+  const auto server_a = add_server(world, Duration::millis(500));
+  const auto server_b = add_server(world, Duration::millis(400));
+  const auto server_c = add_server(world, Duration::millis(280));
+  auto& mh = world.mh(0);
+  auto& sim = world.simulator();
+  mh.power_on(world.cell(0));
+  sim.schedule(Duration::millis(100), [&] { mh.issue_request(server_a, "a"); });
+  sim.schedule(Duration::millis(200),
+               [&] { mh.migrate(world.cell(1), Duration::millis(50)); });
+  sim.schedule(Duration::millis(645), [&] { mh.issue_request(server_b, "b"); });
+  sim.schedule(Duration::millis(800), [&] { mh.issue_request(server_c, "c"); });
+  world.run_to_quiescence();
+  emit("Figure 4: multiple requests through one proxy", trace);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fig4 = argc > 1 && std::string(argv[1]) == "--fig4";
+  if (fig4) {
+    figure4();
+  } else {
+    figure3();
+  }
+  return 0;
+}

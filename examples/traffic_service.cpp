@@ -1,0 +1,94 @@
+// The SIDAM motivating application (§1): an on-line traffic information
+// service for a big city, fed and queried by mobile users.
+//
+// A 3-node Traffic Information Server network partitions the city's 64
+// regions.  A TEC helicopter (Mh1) feeds congestion updates while a
+// citizen (Mh0) drives across town issuing point queries and an area
+// aggregate; both keep receiving answers despite their movement.
+//
+//   build/examples/traffic_service
+#include <iostream>
+
+#include "harness/world.h"
+#include "tis/commands.h"
+#include "tis/traffic_server.h"
+
+int main() {
+  using namespace rdp;
+  using common::Duration;
+
+  harness::ScenarioConfig config;
+  config.num_mss = 4;
+  config.num_mh = 2;
+  config.num_servers = 0;  // TIS nodes are added below
+  harness::World world(config);
+
+  tis::TisNetwork network{tis::TisConfig{}};
+  std::vector<common::NodeAddress> tis_nodes;
+  for (int i = 0; i < 3; ++i) {
+    auto& server = world.add_server(
+        [&](core::Runtime& runtime, common::ServerId id,
+            common::NodeAddress address, common::Rng rng) {
+          return std::make_unique<tis::TrafficServer>(runtime, network, id,
+                                                      address, rng);
+        });
+    tis_nodes.push_back(server.address());
+  }
+  const common::NodeAddress entry = tis_nodes[0];
+
+  auto& citizen = world.mh(0);
+  auto& helicopter = world.mh(1);
+  auto& sim = world.simulator();
+
+  auto announce = [&](const char* who, const std::string& what) {
+    std::cout << "[" << sim.now().str() << "] " << who << ": " << what
+              << "\n";
+  };
+  citizen.set_delivery_callback(
+      [&](const core::MobileHostAgent::Delivery& d) {
+        announce("citizen   <-", d.body);
+      });
+  helicopter.set_delivery_callback(
+      [&](const core::MobileHostAgent::Delivery& d) {
+        announce("helicopter<-", d.body);
+      });
+
+  citizen.power_on(world.cell(0));
+  helicopter.power_on(world.cell(3));
+
+  // The helicopter reports congestion in regions 5 and 6 (owned by
+  // different TIS nodes).
+  sim.schedule(Duration::millis(200), [&] {
+    announce("helicopter->", "SET 5 80 (heavy traffic in region 5)");
+    helicopter.issue_request(entry, tis::cmd_set(5, 80));
+  });
+  sim.schedule(Duration::millis(400), [&] {
+    announce("helicopter->", "SET 6 35");
+    helicopter.issue_request(entry, tis::cmd_set(6, 35));
+  });
+
+  // The citizen asks about region 5 while driving from cell 0 towards
+  // cell 2, migrating mid-query.
+  sim.schedule(Duration::seconds(1), [&] {
+    announce("citizen   ->", "GET 5 (and starts driving)");
+    citizen.issue_request(entry, tis::cmd_get(5));
+    citizen.migrate(world.cell(1), Duration::millis(80));
+  });
+  sim.schedule(Duration::seconds(2), [&] {
+    citizen.migrate(world.cell(2), Duration::millis(80));
+  });
+
+  // Later: an area average across regions 0..7 (scatter/gather over all
+  // three TIS nodes).
+  sim.schedule(Duration::seconds(3), [&] {
+    announce("citizen   ->", "AREA 0 7 (average congestion downtown)");
+    citizen.issue_request(entry, tis::cmd_area(0, 7));
+  });
+
+  world.run_to_quiescence();
+
+  std::cout << "\nall queries answered; citizen ended in "
+            << citizen.resp_mss().str() << " with "
+            << citizen.pending_requests() << " pending requests\n";
+  return 0;
+}

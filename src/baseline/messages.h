@@ -1,0 +1,114 @@
+// Message vocabulary of the Mobile-IP-style baselines (§4 of the paper
+// compares RDP against Mobile IP qualitatively; these baselines make the
+// comparison quantitative).
+//
+// Downlink messages (results, registration confirmations) reuse the core
+// types so the mobile-host side of both stacks stays comparable.
+#pragma once
+
+#include <string>
+
+#include "common/ids.h"
+#include "net/message.h"
+
+namespace rdp::baseline {
+
+using common::MhId;
+using common::MssId;
+using common::NodeAddress;
+using common::RequestId;
+
+// Mh -> Mss: join/entry announcement carrying the Mh's home agent (fixed
+// for the Mh's lifetime — the defining difference from RDP's migrating
+// proxy).  An invalid home means "this is my first contact; you become my
+// home agent".
+struct MsgMipGreet final : net::MessageBase {
+  NodeAddress home;
+
+  explicit MsgMipGreet(NodeAddress home_in) : home(home_in) {}
+  [[nodiscard]] const char* name() const override { return "mipGreet"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 20; }
+};
+
+// Mh -> Mss: a request; carries the home address so the Mss can set the
+// server's reply path without per-Mh wired state.
+struct MsgMipRequest final : net::MessageBase {
+  RequestId request;
+  NodeAddress server;
+  NodeAddress home;
+  std::string body;
+
+  MsgMipRequest(RequestId request_in, NodeAddress server_in,
+                NodeAddress home_in, std::string body_in)
+      : request(request_in),
+        server(server_in),
+        home(home_in),
+        body(std::move(body_in)) {}
+  [[nodiscard]] const char* name() const override { return "mipRequest"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 36 + body.size();
+  }
+};
+
+// Mh -> Mss (reliable variant only): acknowledge a delivered result.
+struct MsgMipUplinkAck final : net::MessageBase {
+  RequestId request;
+  NodeAddress home;
+
+  MsgMipUplinkAck(RequestId request_in, NodeAddress home_in)
+      : request(request_in), home(home_in) {}
+  [[nodiscard]] const char* name() const override { return "mipAck"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 28; }
+};
+
+// care-of Mss -> home agent: registration (care-of address update).
+struct MsgMipRegistration final : net::MessageBase {
+  MhId mh;
+  NodeAddress care_of;
+
+  MsgMipRegistration(MhId mh_in, NodeAddress care_of_in)
+      : mh(mh_in), care_of(care_of_in) {}
+  [[nodiscard]] const char* name() const override { return "mipRegistration"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+// home agent -> care-of Mss: registration accepted.
+struct MsgMipRegReply final : net::MessageBase {
+  MhId mh;
+
+  explicit MsgMipRegReply(MhId mh_in) : mh(mh_in) {}
+  [[nodiscard]] const char* name() const override { return "mipRegReply"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+// home agent -> care-of Mss: a tunnelled result for a visiting Mh.
+struct MsgMipTunnel final : net::MessageBase {
+  MhId mh;
+  RequestId request;
+  std::string body;
+  std::uint32_t attempt;
+
+  MsgMipTunnel(MhId mh_in, RequestId request_in, std::string body_in,
+               std::uint32_t attempt_in)
+      : mh(mh_in),
+        request(request_in),
+        body(std::move(body_in)),
+        attempt(attempt_in) {}
+  [[nodiscard]] const char* name() const override { return "mipTunnel"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 28 + body.size();
+  }
+};
+
+// care-of Mss -> home agent (reliable variant): result acknowledged.
+struct MsgMipAckForward final : net::MessageBase {
+  MhId mh;
+  RequestId request;
+
+  MsgMipAckForward(MhId mh_in, RequestId request_in)
+      : mh(mh_in), request(request_in) {}
+  [[nodiscard]] const char* name() const override { return "mipAckForward"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+}  // namespace rdp::baseline

@@ -1,0 +1,128 @@
+#include "causal/causal_layer.h"
+
+#include <algorithm>
+
+namespace rdp::causal {
+
+std::size_t CausalLayer::index_of(NodeAddress address) {
+  auto it = index_.find(address);
+  RDP_CHECK(it != index_.end(),
+            "node not attached to causal layer: " + address.str());
+  return it->second;
+}
+
+void CausalLayer::ensure_matrix(Matrix& m, std::size_t n) const {
+  if (m.size() < n) m.resize(n);
+  for (auto& row : m) {
+    if (row.size() < n) row.resize(n, 0);
+  }
+}
+
+void CausalLayer::attach(NodeAddress address, net::Endpoint* endpoint) {
+  RDP_CHECK(!index_.contains(address),
+            "address already attached: " + address.str());
+  const std::size_t idx = nodes_.size();
+  index_.emplace(address, idx);
+  NodeState state;
+  state.shim = std::make_unique<Shim>();
+  state.shim->layer = this;
+  state.shim->node_index = idx;
+  state.shim->real = endpoint;
+  inner_.attach(address, state.shim.get());
+  nodes_.push_back(std::move(state));
+}
+
+void CausalLayer::send(NodeAddress src, NodeAddress dst,
+                       net::PayloadPtr payload, sim::EventPriority priority) {
+  const std::size_t si = index_of(src);
+  const std::size_t di = index_of(dst);
+  const std::size_t n = nodes_.size();
+
+  NodeState& sender = nodes_[si];
+  ensure_matrix(sender.sent, n);
+
+  auto wrapped = std::make_shared<CausalPayload>();
+  wrapped->inner = std::move(payload);
+  wrapped->sent_snapshot = sender.sent;  // snapshot before counting this send
+  wrapped->src_index = si;
+  wrapped->dst_index = di;
+
+  sender.sent[si][di] += 1;
+  inner_.send(src, dst, std::move(wrapped), priority);
+}
+
+bool CausalLayer::deliverable(const NodeState& node,
+                              const CausalPayload& payload) const {
+  const std::size_t j = payload.dst_index;
+  for (std::size_t k = 0; k < payload.sent_snapshot.size(); ++k) {
+    const auto& row = payload.sent_snapshot[k];
+    const std::uint64_t required = j < row.size() ? row[j] : 0;
+    const std::uint64_t have = k < node.deliv.size() ? node.deliv[k] : 0;
+    if (have < required) return false;
+  }
+  return true;
+}
+
+void CausalLayer::deliver(Shim& shim, NodeState& node,
+                          const net::Envelope& envelope) {
+  const auto* wrapped = net::message_cast<CausalPayload>(envelope.payload);
+  RDP_CHECK(wrapped != nullptr, "causal layer saw a non-causal payload");
+
+  const std::size_t n = nodes_.size();
+  ensure_matrix(node.sent, n);
+  if (node.deliv.size() < n) node.deliv.resize(n, 0);
+
+  for (std::size_t k = 0; k < wrapped->sent_snapshot.size(); ++k) {
+    for (std::size_t l = 0; l < wrapped->sent_snapshot[k].size(); ++l) {
+      node.sent[k][l] = std::max(node.sent[k][l], wrapped->sent_snapshot[k][l]);
+    }
+  }
+  node.sent[wrapped->src_index][wrapped->dst_index] += 1;
+  node.deliv[wrapped->src_index] += 1;
+
+  net::Envelope unwrapped = envelope;
+  unwrapped.payload = wrapped->inner;
+  shim.real->on_message(unwrapped);
+}
+
+void CausalLayer::drain_buffer(Shim& shim, NodeState& node) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = node.buffer.begin(); it != node.buffer.end(); ++it) {
+      const auto* wrapped = net::message_cast<CausalPayload>(it->payload);
+      if (deliverable(node, *wrapped)) {
+        net::Envelope envelope = *it;
+        node.buffer.erase(it);
+        deliver(shim, node, envelope);
+        progressed = true;
+        break;  // iterator invalidated; rescan from the start
+      }
+    }
+  }
+}
+
+void CausalLayer::on_wire_message(Shim& shim, const net::Envelope& envelope) {
+  NodeState& node = nodes_[shim.node_index];
+  const auto* wrapped = net::message_cast<CausalPayload>(envelope.payload);
+  RDP_CHECK(wrapped != nullptr, "causal layer saw a non-causal payload");
+
+  const std::size_t n = nodes_.size();
+  if (node.deliv.size() < n) node.deliv.resize(n, 0);
+
+  if (!deliverable(node, *wrapped)) {
+    node.buffer.push_back(envelope);
+    ++delayed_total_;
+    return;
+  }
+  deliver(shim, node, envelope);
+  drain_buffer(shim, node);
+}
+
+std::size_t CausalLayer::buffered() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node.buffer.size();
+  return total;
+}
+
+}  // namespace rdp::causal

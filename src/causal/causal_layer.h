@@ -1,0 +1,103 @@
+// Causal-order delivery for the wired network.
+//
+// Paper assumption 1 (Section 2) requires message delivery among the static
+// hosts to be in *causal* order, and Section 5's exactly-once argument
+// depends on it: the Ack forwarded by the old Mss must reach the proxy
+// before the update_currentLoc sent by the new Mss, because
+//   send(Ack)@Msso -> send(deregAck)@Msso -> recv@Mssn -> send(updateCurrl)@Mssn.
+// A per-link FIFO network does not give this (the two messages travel on
+// different links), so we implement the point-to-point causal ordering
+// algorithm of Raynal, Schiper & Toueg (IPL 1991):
+//
+//   * every node i keeps SENT[n][n], where SENT[k][l] counts the messages
+//     k sent to l that i knows about, and DELIV[k], the number of messages
+//     from k delivered to i;
+//   * a message from i to j carries ST = SENT_i (snapshot before send);
+//   * it is deliverable at j iff for all k: DELIV_j[k] >= ST[k][j];
+//   * on delivery j merges ST into SENT_j, increments SENT_j[i][j] and
+//     DELIV_j[i].
+//
+// The layer implements net::WiredTransport, so protocol code is oblivious
+// to whether it is present.  Experiment E6 toggles it off to measure the
+// loss of the exactly-once property.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wired.h"
+
+namespace rdp::causal {
+
+using common::NodeAddress;
+
+class CausalLayer final : public net::WiredTransport {
+ public:
+  explicit CausalLayer(net::WiredTransport& inner) : inner_(inner) {}
+  ~CausalLayer() override = default;
+
+  void attach(NodeAddress address, net::Endpoint* endpoint) override;
+
+  using net::WiredTransport::send;
+  void send(NodeAddress address_src, NodeAddress dst, net::PayloadPtr payload,
+            sim::EventPriority priority) override;
+
+  // Number of messages currently buffered waiting for causal predecessors.
+  [[nodiscard]] std::size_t buffered() const;
+  // Total number of messages that ever had to wait in a buffer.
+  [[nodiscard]] std::uint64_t delayed_total() const { return delayed_total_; }
+
+ private:
+  using Matrix = std::vector<std::vector<std::uint64_t>>;
+
+  struct CausalPayload final : net::MessageBase {
+    net::PayloadPtr inner;
+    Matrix sent_snapshot;
+    std::size_t src_index;
+    std::size_t dst_index;
+
+    [[nodiscard]] const char* name() const override { return inner->name(); }
+    [[nodiscard]] std::size_t wire_size() const override {
+      std::size_t cells = 0;
+      for (const auto& row : sent_snapshot) cells += row.size();
+      return inner->wire_size() + 8 * cells;
+    }
+    [[nodiscard]] std::string describe() const override {
+      return inner->describe();
+    }
+  };
+
+  // Shim endpoint registered with the inner network for each attached node.
+  struct Shim final : net::Endpoint {
+    CausalLayer* layer = nullptr;
+    std::size_t node_index = 0;
+    net::Endpoint* real = nullptr;
+    void on_message(const net::Envelope& envelope) override {
+      layer->on_wire_message(*this, envelope);
+    }
+  };
+
+  struct NodeState {
+    std::unique_ptr<Shim> shim;
+    Matrix sent;                        // SENT matrix
+    std::vector<std::uint64_t> deliv;   // DELIV vector
+    std::deque<net::Envelope> buffer;   // undeliverable messages
+  };
+
+  std::size_t index_of(NodeAddress address);
+  void ensure_matrix(Matrix& m, std::size_t n) const;
+  void on_wire_message(Shim& shim, const net::Envelope& envelope);
+  bool deliverable(const NodeState& node, const CausalPayload& payload) const;
+  void deliver(Shim& shim, NodeState& node, const net::Envelope& envelope);
+  void drain_buffer(Shim& shim, NodeState& node);
+
+  net::WiredTransport& inner_;
+  std::unordered_map<NodeAddress, std::size_t> index_;
+  std::vector<NodeState> nodes_;
+  std::uint64_t delayed_total_ = 0;
+};
+
+}  // namespace rdp::causal

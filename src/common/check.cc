@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace rdp::common {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "invariant violated: " << message << " [" << expr << " at " << file
+     << ":" << line << "]";
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace rdp::common

@@ -1,0 +1,29 @@
+// Invariant checking.
+//
+// RDP_CHECK guards protocol invariants and precondition violations.  It is
+// always on (simulation correctness matters more than the nanoseconds a
+// branch costs) and throws `InvariantViolation` so tests can assert on
+// failures instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rdp::common {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace rdp::common
+
+#define RDP_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::rdp::common::check_failed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,62 @@
+// Minimal leveled logger with an injectable sink.
+//
+// Protocol tracing for the Fig-3/Fig-4 reproductions is done through typed
+// observer hooks (core/events.h), not logging; this logger exists for debug
+// diagnostics and example output.  The sink is injectable so tests can
+// capture output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace rdp::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  // Global logger used by the library.  Defaults to stderr at kWarn.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  LineBuilder(Logger& logger, LogLevel level) : logger_(logger), level_(level) {}
+  ~LineBuilder() { logger_.write(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Logger& logger_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace rdp::common
+
+#define RDP_LOG(level)                                                   \
+  if (::rdp::common::Logger::global().enabled(level))                    \
+  ::rdp::common::log_detail::LineBuilder(::rdp::common::Logger::global(), \
+                                          level)

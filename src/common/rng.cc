@@ -1,0 +1,9 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace rdp::common {
+
+double Rng::log_approx(double v) { return std::log(v); }
+
+}  // namespace rdp::common

@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in a scenario flows from a single seeded `Rng` so every
+// test and benchmark run is reproducible bit-for-bit.  The generator is
+// xoshiro256** (public domain, Blackman & Vigna) seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace rdp::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform in [0, 2^64).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    RDP_CHECK(lo <= hi, "uniform bounds out of order");
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    RDP_CHECK(lo <= hi, "uniform_int bounds out of order");
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % range);
+  }
+
+  // Bernoulli trial with success probability `p`.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    RDP_CHECK(mean > 0, "exponential mean must be positive");
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * log_approx(u);
+  }
+
+  // Exponentially distributed duration with the given mean.
+  Duration exponential_duration(Duration mean) {
+    return Duration::from_seconds(exponential(mean.to_seconds()));
+  }
+
+  // Uniformly pick an index in [0, n).
+  std::size_t pick_index(std::size_t n) {
+    RDP_CHECK(n > 0, "pick_index from empty range");
+    return static_cast<std::size_t>(next_u64() % n);
+  }
+
+  // Uniformly pick an element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[pick_index(items.size())];
+  }
+
+  // Derive an independent child generator (for per-entity streams).
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double log_approx(double v);
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace rdp::common

@@ -1,0 +1,27 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rdp::common {
+namespace {
+
+std::string format_micros(std::int64_t us) {
+  char buf[64];
+  const double abs_us = std::abs(static_cast<double>(us));
+  if (abs_us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", us / 1e6);
+  } else if (abs_us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::str() const { return format_micros(us_); }
+std::string SimTime::str() const { return format_micros(us_); }
+
+}  // namespace rdp::common

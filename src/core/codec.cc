@@ -1,0 +1,358 @@
+#include "core/codec.h"
+
+#include "common/check.h"
+
+namespace rdp::core {
+namespace {
+
+using net::Reader;
+using net::Writer;
+
+void put_id32(Writer& writer, std::uint32_t value) { writer.u32(value); }
+
+void put_mh(Writer& writer, MhId mh) { put_id32(writer, mh.value()); }
+void put_mss(Writer& writer, MssId mss) { put_id32(writer, mss.value()); }
+void put_node(Writer& writer, NodeAddress node) {
+  put_id32(writer, node.value());
+}
+void put_proxy(Writer& writer, ProxyId proxy) {
+  put_id32(writer, proxy.value());
+}
+void put_request(Writer& writer, RequestId request) {
+  writer.u32(request.mh().value());
+  writer.u32(request.seq());
+}
+void put_pref(Writer& writer, const Pref& pref) {
+  put_node(writer, pref.proxy_host);
+  put_proxy(writer, pref.proxy);
+  writer.boolean(pref.rkpr);
+  put_request(writer, pref.rkpr_request);
+  writer.u32(pref.rkpr_seq);
+}
+
+MhId get_mh(Reader& reader) { return MhId(reader.u32()); }
+MssId get_mss(Reader& reader) { return MssId(reader.u32()); }
+NodeAddress get_node(Reader& reader) { return NodeAddress(reader.u32()); }
+ProxyId get_proxy(Reader& reader) { return ProxyId(reader.u32()); }
+RequestId get_request(Reader& reader) {
+  const MhId mh(reader.u32());
+  const std::uint32_t seq = reader.u32();
+  return RequestId(mh, seq);
+}
+Pref get_pref(Reader& reader) {
+  Pref pref;
+  pref.proxy_host = get_node(reader);
+  pref.proxy = get_proxy(reader);
+  pref.rkpr = reader.boolean();
+  pref.rkpr_request = get_request(reader);
+  pref.rkpr_seq = reader.u32();
+  return pref;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const net::MessageBase& message) {
+  Writer writer;
+  if (dynamic_cast<const MsgJoin*>(&message) != nullptr) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kJoin));
+  } else if (dynamic_cast<const MsgLeave*>(&message) != nullptr) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kLeave));
+  } else if (const auto* greet = dynamic_cast<const MsgGreet*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kGreet));
+    put_mss(writer, greet->old_mss);
+  } else if (const auto* request =
+                 dynamic_cast<const MsgUplinkRequest*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kUplinkRequest));
+    put_request(writer, request->request);
+    put_node(writer, request->server);
+    writer.str(request->body);
+    writer.boolean(request->stream);
+  } else if (const auto* unsub = dynamic_cast<const MsgUnsubscribe*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kUnsubscribe));
+    put_request(writer, unsub->request);
+  } else if (const auto* ack = dynamic_cast<const MsgUplinkAck*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kUplinkAck));
+    put_request(writer, ack->request);
+    writer.u32(ack->result_seq);
+  } else if (const auto* reg =
+                 dynamic_cast<const MsgRegistrationAck*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kRegistrationAck));
+    put_mss(writer, reg->mss);
+  } else if (const auto* result =
+                 dynamic_cast<const MsgDownlinkResult*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kDownlinkResult));
+    put_request(writer, result->request);
+    writer.u32(result->result_seq);
+    writer.boolean(result->final);
+    writer.str(result->body);
+    writer.u32(result->attempt);
+  } else if (const auto* fwd = dynamic_cast<const MsgForwardRequest*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kForwardRequest));
+    put_mh(writer, fwd->mh);
+    put_proxy(writer, fwd->proxy);
+    put_request(writer, fwd->request);
+    put_node(writer, fwd->server);
+    writer.str(fwd->body);
+    writer.boolean(fwd->stream);
+  } else if (const auto* funsub =
+                 dynamic_cast<const MsgForwardUnsubscribe*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kForwardUnsubscribe));
+    put_mh(writer, funsub->mh);
+    put_proxy(writer, funsub->proxy);
+    put_request(writer, funsub->request);
+  } else if (const auto* sreq = dynamic_cast<const MsgServerRequest*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kServerRequest));
+    put_node(writer, sreq->reply_to);
+    put_proxy(writer, sreq->proxy);
+    put_request(writer, sreq->request);
+    writer.str(sreq->body);
+    writer.boolean(sreq->stream);
+  } else if (const auto* sunsub =
+                 dynamic_cast<const MsgServerUnsubscribe*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kServerUnsubscribe));
+    put_proxy(writer, sunsub->proxy);
+    put_request(writer, sunsub->request);
+  } else if (const auto* sres = dynamic_cast<const MsgServerResult*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kServerResult));
+    put_proxy(writer, sres->proxy);
+    put_request(writer, sres->request);
+    writer.u32(sres->result_seq);
+    writer.boolean(sres->final);
+    writer.str(sres->body);
+  } else if (const auto* sack = dynamic_cast<const MsgServerAck*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kServerAck));
+    put_request(writer, sack->request);
+  } else if (const auto* rfwd = dynamic_cast<const MsgResultForward*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kResultForward));
+    put_mh(writer, rfwd->mh);
+    put_node(writer, rfwd->proxy_host);
+    put_proxy(writer, rfwd->proxy);
+    put_request(writer, rfwd->request);
+    writer.u32(rfwd->result_seq);
+    writer.boolean(rfwd->final);
+    writer.boolean(rfwd->del_pref);
+    writer.str(rfwd->body);
+    writer.u32(rfwd->attempt);
+  } else if (const auto* delpref = dynamic_cast<const MsgDelPref*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kDelPref));
+    put_mh(writer, delpref->mh);
+    put_node(writer, delpref->proxy_host);
+    put_proxy(writer, delpref->proxy);
+    put_request(writer, delpref->request);
+    writer.u32(delpref->result_seq);
+  } else if (const auto* afwd = dynamic_cast<const MsgAckForward*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kAckForward));
+    put_mh(writer, afwd->mh);
+    put_proxy(writer, afwd->proxy);
+    put_request(writer, afwd->request);
+    writer.u32(afwd->result_seq);
+    writer.boolean(afwd->del_proxy);
+  } else if (const auto* dereg = dynamic_cast<const MsgDereg*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kDereg));
+    put_mh(writer, dereg->mh);
+    put_mss(writer, dereg->new_mss);
+  } else if (const auto* dack = dynamic_cast<const MsgDeregAck*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kDeregAck));
+    put_mh(writer, dack->mh);
+    put_pref(writer, dack->pref);
+  } else if (const auto* update =
+                 dynamic_cast<const MsgUpdateCurrentLoc*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kUpdateCurrentLoc));
+    put_mh(writer, update->mh);
+    put_proxy(writer, update->proxy);
+    put_node(writer, update->new_loc);
+  } else if (const auto* gone = dynamic_cast<const MsgProxyGone*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kProxyGone));
+    put_mh(writer, gone->mh);
+    put_proxy(writer, gone->proxy);
+    put_request(writer, gone->request);
+    put_node(writer, gone->server);
+    writer.str(gone->body);
+    writer.boolean(gone->stream);
+    writer.boolean(gone->had_request);
+  } else if (const auto* restore =
+                 dynamic_cast<const MsgPrefRestore*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kPrefRestore));
+    put_mh(writer, restore->mh);
+    put_node(writer, restore->proxy_host);
+    put_proxy(writer, restore->proxy);
+  } else {
+    RDP_CHECK(false, std::string("cannot encode message type: ") +
+                         message.name());
+  }
+  return writer.bytes();
+}
+
+net::PayloadPtr decode(const std::vector<std::uint8_t>& buffer) {
+  Reader reader(buffer);
+  const auto tag = static_cast<MessageTag>(reader.u8());
+  net::PayloadPtr payload;
+  switch (tag) {
+    case MessageTag::kJoin:
+      payload = net::make_message<MsgJoin>();
+      break;
+    case MessageTag::kLeave:
+      payload = net::make_message<MsgLeave>();
+      break;
+    case MessageTag::kGreet:
+      payload = net::make_message<MsgGreet>(get_mss(reader));
+      break;
+    case MessageTag::kUplinkRequest: {
+      const RequestId request = get_request(reader);
+      const NodeAddress server = get_node(reader);
+      std::string body = reader.str();
+      const bool stream = reader.boolean();
+      payload = net::make_message<MsgUplinkRequest>(request, server,
+                                                    std::move(body), stream);
+      break;
+    }
+    case MessageTag::kUnsubscribe:
+      payload = net::make_message<MsgUnsubscribe>(get_request(reader));
+      break;
+    case MessageTag::kUplinkAck: {
+      const RequestId request = get_request(reader);
+      const std::uint32_t seq = reader.u32();
+      payload = net::make_message<MsgUplinkAck>(request, seq);
+      break;
+    }
+    case MessageTag::kRegistrationAck:
+      payload = net::make_message<MsgRegistrationAck>(get_mss(reader));
+      break;
+    case MessageTag::kDownlinkResult: {
+      const RequestId request = get_request(reader);
+      const std::uint32_t seq = reader.u32();
+      const bool final = reader.boolean();
+      std::string body = reader.str();
+      const std::uint32_t attempt = reader.u32();
+      payload = net::make_message<MsgDownlinkResult>(request, seq, final,
+                                                     std::move(body), attempt);
+      break;
+    }
+    case MessageTag::kForwardRequest: {
+      const MhId mh = get_mh(reader);
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      const NodeAddress server = get_node(reader);
+      std::string body = reader.str();
+      const bool stream = reader.boolean();
+      payload = net::make_message<MsgForwardRequest>(
+          mh, proxy, request, server, std::move(body), stream);
+      break;
+    }
+    case MessageTag::kForwardUnsubscribe: {
+      const MhId mh = get_mh(reader);
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      payload = net::make_message<MsgForwardUnsubscribe>(mh, proxy, request);
+      break;
+    }
+    case MessageTag::kServerRequest: {
+      const NodeAddress reply_to = get_node(reader);
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      std::string body = reader.str();
+      const bool stream = reader.boolean();
+      payload = net::make_message<MsgServerRequest>(reply_to, proxy, request,
+                                                    std::move(body), stream);
+      break;
+    }
+    case MessageTag::kServerUnsubscribe: {
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      payload = net::make_message<MsgServerUnsubscribe>(proxy, request);
+      break;
+    }
+    case MessageTag::kServerResult: {
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      const std::uint32_t seq = reader.u32();
+      const bool final = reader.boolean();
+      std::string body = reader.str();
+      payload = net::make_message<MsgServerResult>(proxy, request, seq, final,
+                                                   std::move(body));
+      break;
+    }
+    case MessageTag::kServerAck:
+      payload = net::make_message<MsgServerAck>(get_request(reader));
+      break;
+    case MessageTag::kResultForward: {
+      const MhId mh = get_mh(reader);
+      const NodeAddress proxy_host = get_node(reader);
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      const std::uint32_t seq = reader.u32();
+      const bool final = reader.boolean();
+      const bool del_pref = reader.boolean();
+      std::string body = reader.str();
+      const std::uint32_t attempt = reader.u32();
+      payload = net::make_message<MsgResultForward>(
+          mh, proxy_host, proxy, request, seq, final, del_pref,
+          std::move(body), attempt);
+      break;
+    }
+    case MessageTag::kDelPref: {
+      const MhId mh = get_mh(reader);
+      const NodeAddress proxy_host = get_node(reader);
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      const std::uint32_t seq = reader.u32();
+      payload = net::make_message<MsgDelPref>(mh, proxy_host, proxy, request,
+                                              seq);
+      break;
+    }
+    case MessageTag::kAckForward: {
+      const MhId mh = get_mh(reader);
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      const std::uint32_t seq = reader.u32();
+      const bool del_proxy = reader.boolean();
+      payload =
+          net::make_message<MsgAckForward>(mh, proxy, request, seq, del_proxy);
+      break;
+    }
+    case MessageTag::kDereg: {
+      const MhId mh = get_mh(reader);
+      const MssId new_mss = get_mss(reader);
+      payload = net::make_message<MsgDereg>(mh, new_mss);
+      break;
+    }
+    case MessageTag::kDeregAck: {
+      const MhId mh = get_mh(reader);
+      const Pref pref = get_pref(reader);
+      payload = net::make_message<MsgDeregAck>(mh, pref);
+      break;
+    }
+    case MessageTag::kUpdateCurrentLoc: {
+      const MhId mh = get_mh(reader);
+      const ProxyId proxy = get_proxy(reader);
+      const NodeAddress new_loc = get_node(reader);
+      payload = net::make_message<MsgUpdateCurrentLoc>(mh, proxy, new_loc);
+      break;
+    }
+    case MessageTag::kProxyGone: {
+      const MhId mh = get_mh(reader);
+      const ProxyId proxy = get_proxy(reader);
+      const RequestId request = get_request(reader);
+      const NodeAddress server = get_node(reader);
+      std::string body = reader.str();
+      const bool stream = reader.boolean();
+      const bool had_request = reader.boolean();
+      payload = net::make_message<MsgProxyGone>(
+          mh, proxy, request, server, std::move(body), stream, had_request);
+      break;
+    }
+    case MessageTag::kPrefRestore: {
+      const MhId mh = get_mh(reader);
+      const NodeAddress proxy_host = get_node(reader);
+      const ProxyId proxy = get_proxy(reader);
+      payload = net::make_message<MsgPrefRestore>(mh, proxy_host, proxy);
+      break;
+    }
+    default:
+      throw net::CodecError("unknown message tag");
+  }
+  if (!reader.done()) throw net::CodecError("trailing bytes after message");
+  return payload;
+}
+
+}  // namespace rdp::core

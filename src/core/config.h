@@ -1,0 +1,61 @@
+// Runtime configuration of the RDP protocol stack.
+//
+// Most flags exist so the benchmarks can ablate individual design choices
+// from the paper (see DESIGN.md §5); the defaults implement the protocol as
+// specified, with the duplicate-Ack hardening enabled.
+#pragma once
+
+#include "common/time.h"
+
+namespace rdp::core {
+
+struct RdpConfig {
+  // §3.1: "At each Mss, higher priority is given to forwarding Ack messages
+  // ... than to engaging in any new Hand-off transactions."  When false,
+  // Acks travel at normal priority (E6 ablation).
+  bool ack_priority = true;
+
+  // Hardening over the paper: the RKpR flag remembers *which* request the
+  // del-pref announcement was for, and del-proxy is only attached to the
+  // Ack of that request.  With false, any Ack arriving while RKpR is set
+  // triggers del-proxy, reproducing the paper's formulation (a duplicate
+  // Ack of an older request can then tear the pref down while a result is
+  // still pending — demonstrated by a regression test).
+  bool rkpr_tracks_request = true;
+
+  // §3.1: optionally send an application-level ack to the server once the
+  // Mh acknowledged a final result.
+  bool ack_servers = false;
+
+  // Extension (future work in the paper): garbage-collect proxies that are
+  // idle with no pending requests — these arise when the Fig-4 "del-pref
+  // after last Ack" race leaves an empty proxy behind, or when an Mh leaves
+  // the system.  Stale prefs are healed with MsgProxyGone.
+  bool idle_proxy_gc = false;
+  common::Duration idle_proxy_timeout = common::Duration::seconds(300);
+  common::Duration proxy_gc_interval = common::Duration::seconds(60);
+  // A proxy still holding pending requests is never "idle"; if its Mh left
+  // the system (or died) those requests will never be acknowledged and the
+  // proxy would leak.  After this much inactivity the GC reclaims it and
+  // reports the pending requests as lost.  Zero disables (default: one
+  // hour).
+  common::Duration abandoned_proxy_timeout = common::Duration::seconds(3600);
+
+  // Mobile-host behaviour: re-send join/greet if no registrationAck arrives
+  // (needed under downlink loss; DESIGN.md §5).
+  common::Duration registration_retry = common::Duration::millis(1500);
+  int max_registration_retries = 50;
+
+  // Extension (paper §5 footnote 3): "if the Mss is able to detect that the
+  // target Mh is currently inactive, it may keep the message, save the
+  // re-transmission by the proxy, and wait until the Mh becomes active
+  // again."  When enabled, the respMss caches forwarded results until the
+  // matching Ack passes through (or the Mh departs) and re-transmits them
+  // periodically — recovering lost downlinks without waiting for the next
+  // migration.  Trades away the paper's "no residue at the Mss" property.
+  bool mss_result_cache = false;
+  common::Duration result_cache_retry = common::Duration::millis(750);
+  int result_cache_max_attempts = 20;
+};
+
+}  // namespace rdp::core

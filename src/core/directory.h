@@ -1,0 +1,67 @@
+// Name service for the static network.
+//
+// Paper §2: "each server maintains a fixed address which can be obtained by
+// querying a directory service."  The directory also records the Mss
+// serving each cell, which the hand-off protocol uses to resolve the old
+// Mss named in a greet message.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace rdp::core {
+
+using common::CellId;
+using common::MssId;
+using common::NodeAddress;
+using common::ServerId;
+
+class Directory {
+ public:
+  // Allocates a fresh wired-network address.
+  [[nodiscard]] NodeAddress allocate_address() {
+    return NodeAddress(next_address_++);
+  }
+
+  void register_mss(MssId mss, CellId cell, NodeAddress address) {
+    RDP_CHECK(!mss_address_.contains(mss), "Mss registered twice");
+    mss_address_.emplace(mss, address);
+    RDP_CHECK(!cell_mss_.contains(cell), "cell registered twice");
+    cell_mss_.emplace(cell, mss);
+  }
+
+  void register_server(ServerId server, NodeAddress address) {
+    RDP_CHECK(!server_address_.contains(server), "server registered twice");
+    server_address_.emplace(server, address);
+  }
+
+  [[nodiscard]] NodeAddress mss_address(MssId mss) const {
+    auto it = mss_address_.find(mss);
+    RDP_CHECK(it != mss_address_.end(), "unknown Mss " + mss.str());
+    return it->second;
+  }
+
+  [[nodiscard]] MssId mss_of_cell(CellId cell) const {
+    auto it = cell_mss_.find(cell);
+    RDP_CHECK(it != cell_mss_.end(), "unknown cell " + cell.str());
+    return it->second;
+  }
+
+  [[nodiscard]] NodeAddress server_address(ServerId server) const {
+    auto it = server_address_.find(server);
+    RDP_CHECK(it != server_address_.end(), "unknown server " + server.str());
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t mss_count() const { return mss_address_.size(); }
+
+ private:
+  std::unordered_map<MssId, NodeAddress> mss_address_;
+  std::unordered_map<CellId, MssId> cell_mss_;
+  std::unordered_map<ServerId, NodeAddress> server_address_;
+  std::uint32_t next_address_ = 0;
+};
+
+}  // namespace rdp::core

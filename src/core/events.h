@@ -1,0 +1,158 @@
+// Observer hooks for protocol instrumentation.
+//
+// Tests, examples and benchmarks watch the protocol through these typed
+// hooks instead of scraping logs.  The Fig-3/Fig-4 reproduction benches
+// render a message-sequence trace from them; the experiment harness derives
+// its metrics (delivery latency, retransmissions, proxy placement, ...)
+// from the same events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace rdp::core {
+
+using common::Duration;
+using common::MhId;
+using common::MssId;
+using common::NodeAddress;
+using common::ProxyId;
+using common::RequestId;
+using common::SimTime;
+
+// Why a request could not be completed (only possible in ablated
+// configurations; the full protocol never loses requests).
+enum class RequestLossReason {
+  kProxyGone,       // forwarded to a proxy that no longer exists
+  kMhLeft,          // the Mh left the system with the request pending
+};
+
+class RdpObserver {
+ public:
+  virtual ~RdpObserver() = default;
+
+  // --- proxy life-cycle (§3.3) ---
+  virtual void on_proxy_created(SimTime, MhId, NodeAddress /*host*/,
+                                ProxyId) {}
+  virtual void on_proxy_deleted(SimTime, MhId, NodeAddress /*host*/, ProxyId,
+                                bool /*via_gc*/) {}
+
+  // --- request path ---
+  virtual void on_request_issued(SimTime, MhId, RequestId,
+                                 NodeAddress /*server*/) {}
+  virtual void on_request_reached_proxy(SimTime, MhId, RequestId) {}
+  virtual void on_result_at_proxy(SimTime, MhId, RequestId,
+                                  std::uint32_t /*seq*/) {}
+  virtual void on_result_forwarded(SimTime, MhId, RequestId,
+                                   std::uint32_t /*seq*/,
+                                   NodeAddress /*to_mss*/,
+                                   std::uint32_t /*attempt*/,
+                                   bool /*del_pref*/) {}
+  virtual void on_result_delivered(SimTime, MhId, RequestId,
+                                   std::uint32_t /*seq*/, bool /*final*/,
+                                   bool /*app_duplicate*/,
+                                   std::uint32_t /*attempt*/) {}
+  virtual void on_ack_forwarded(SimTime, MhId, RequestId,
+                                std::uint32_t /*seq*/, bool /*del_proxy*/) {}
+  virtual void on_request_completed(SimTime, MhId, RequestId) {}
+  virtual void on_request_lost(SimTime, MhId, RequestId, RequestLossReason) {}
+
+  // --- mobility (§3.2) ---
+  virtual void on_handoff_started(SimTime, MhId, MssId /*from*/,
+                                  MssId /*to*/) {}
+  virtual void on_handoff_completed(SimTime, MhId, MssId /*from*/,
+                                    MssId /*to*/, Duration /*latency*/,
+                                    std::size_t /*state_bytes*/) {}
+  virtual void on_update_currentloc(SimTime, MhId,
+                                    NodeAddress /*proxy_host*/,
+                                    NodeAddress /*new_loc*/) {}
+  virtual void on_mh_registered(SimTime, MhId, MssId,
+                                Duration /*since_greet*/) {}
+
+  // --- anomalies (counted; only reachable in ablated configurations) ---
+  virtual void on_stale_ack_dropped(SimTime, MhId, RequestId) {}
+  virtual void on_delproxy_with_pending(SimTime, MhId, ProxyId) {}
+  virtual void on_orphaned_proxy(SimTime, MhId, ProxyId) {}
+};
+
+// Fans one event stream out to several observers.
+class ObserverList final : public RdpObserver {
+ public:
+  void add(RdpObserver* observer) { observers_.push_back(observer); }
+
+  void on_proxy_created(SimTime t, MhId mh, NodeAddress host,
+                        ProxyId p) override {
+    for (auto* o : observers_) o->on_proxy_created(t, mh, host, p);
+  }
+  void on_proxy_deleted(SimTime t, MhId mh, NodeAddress host, ProxyId p,
+                        bool gc) override {
+    for (auto* o : observers_) o->on_proxy_deleted(t, mh, host, p, gc);
+  }
+  void on_request_issued(SimTime t, MhId mh, RequestId r,
+                         NodeAddress s) override {
+    for (auto* o : observers_) o->on_request_issued(t, mh, r, s);
+  }
+  void on_request_reached_proxy(SimTime t, MhId mh, RequestId r) override {
+    for (auto* o : observers_) o->on_request_reached_proxy(t, mh, r);
+  }
+  void on_result_at_proxy(SimTime t, MhId mh, RequestId r,
+                          std::uint32_t seq) override {
+    for (auto* o : observers_) o->on_result_at_proxy(t, mh, r, seq);
+  }
+  void on_result_forwarded(SimTime t, MhId mh, RequestId r, std::uint32_t seq,
+                           NodeAddress to, std::uint32_t attempt,
+                           bool del_pref) override {
+    for (auto* o : observers_)
+      o->on_result_forwarded(t, mh, r, seq, to, attempt, del_pref);
+  }
+  void on_result_delivered(SimTime t, MhId mh, RequestId r, std::uint32_t seq,
+                           bool final, bool dup,
+                           std::uint32_t attempt) override {
+    for (auto* o : observers_)
+      o->on_result_delivered(t, mh, r, seq, final, dup, attempt);
+  }
+  void on_ack_forwarded(SimTime t, MhId mh, RequestId r, std::uint32_t seq,
+                        bool del_proxy) override {
+    for (auto* o : observers_) o->on_ack_forwarded(t, mh, r, seq, del_proxy);
+  }
+  void on_request_completed(SimTime t, MhId mh, RequestId r) override {
+    for (auto* o : observers_) o->on_request_completed(t, mh, r);
+  }
+  void on_request_lost(SimTime t, MhId mh, RequestId r,
+                       RequestLossReason reason) override {
+    for (auto* o : observers_) o->on_request_lost(t, mh, r, reason);
+  }
+  void on_handoff_started(SimTime t, MhId mh, MssId from, MssId to) override {
+    for (auto* o : observers_) o->on_handoff_started(t, mh, from, to);
+  }
+  void on_handoff_completed(SimTime t, MhId mh, MssId from, MssId to,
+                            Duration latency, std::size_t bytes) override {
+    for (auto* o : observers_)
+      o->on_handoff_completed(t, mh, from, to, latency, bytes);
+  }
+  void on_update_currentloc(SimTime t, MhId mh, NodeAddress host,
+                            NodeAddress loc) override {
+    for (auto* o : observers_) o->on_update_currentloc(t, mh, host, loc);
+  }
+  void on_mh_registered(SimTime t, MhId mh, MssId mss, Duration d) override {
+    for (auto* o : observers_) o->on_mh_registered(t, mh, mss, d);
+  }
+  void on_stale_ack_dropped(SimTime t, MhId mh, RequestId r) override {
+    for (auto* o : observers_) o->on_stale_ack_dropped(t, mh, r);
+  }
+  void on_delproxy_with_pending(SimTime t, MhId mh, ProxyId p) override {
+    for (auto* o : observers_) o->on_delproxy_with_pending(t, mh, p);
+  }
+  void on_orphaned_proxy(SimTime t, MhId mh, ProxyId p) override {
+    for (auto* o : observers_) o->on_orphaned_proxy(t, mh, p);
+  }
+
+ private:
+  std::vector<RdpObserver*> observers_;
+};
+
+}  // namespace rdp::core

@@ -1,0 +1,477 @@
+// The complete message vocabulary of the Result Delivery Protocol
+// (Sections 2-3 of the paper), plus the registration-ack and proxy-gone
+// messages this implementation adds (documented in DESIGN.md).
+//
+// Naming follows the paper: greet/dereg/deregAck (hand-off, §3.2),
+// update_currentLoc (§3.1), result forwarding with the del-pref flag and
+// Ack forwarding with the del-proxy flag (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "net/message.h"
+
+namespace rdp::core {
+
+using common::CellId;
+using common::MhId;
+using common::MssId;
+using common::NodeAddress;
+using common::ProxyId;
+using common::RequestId;
+
+// The proxy reference (pref, §3.1): "contains a reference (i.e. address of
+// the Mss and a proxyId) to the current proxy associated with the Mh ...
+// when a Mh does not have a proxy, pref holds a null address.  A pref also
+// contains a flag called Ready-to-Kill-pref (RKpR)."
+//
+// `rkpr_request` records which request the del-pref announcement was for;
+// tracking it closes a duplicate-Ack race in the paper's formulation (see
+// DESIGN.md §5.4 and the kRkprTracksRequest ablation).
+struct Pref {
+  NodeAddress proxy_host;  // invalid() == null pref
+  ProxyId proxy;
+  bool rkpr = false;
+  RequestId rkpr_request;
+  std::uint32_t rkpr_seq = 0;
+
+  [[nodiscard]] bool has_proxy() const { return proxy_host.valid(); }
+
+  void clear() {
+    proxy_host = NodeAddress::invalid();
+    proxy = ProxyId::invalid();
+    clear_rkpr();
+  }
+
+  void clear_rkpr() {
+    rkpr = false;
+    rkpr_request = RequestId{};
+    rkpr_seq = 0;
+  }
+
+  // Encoded size: host address + proxy id + flag + request id + seq.
+  [[nodiscard]] static constexpr std::size_t wire_size() { return 28; }
+};
+
+// ---------------------------------------------------------------------------
+// Wireless uplink: mobile host -> Mss of its current cell.
+// ---------------------------------------------------------------------------
+
+// First contact with the system (§2): "In order to join the system, a Mh
+// sends a join message to the Mss in charge for the cell it is currently
+// in."
+struct MsgJoin final : net::MessageBase {
+  [[nodiscard]] const char* name() const override { return "join"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+// Departure (§2): only legal once every received message was acknowledged
+// (assumption 6).
+struct MsgLeave final : net::MessageBase {
+  [[nodiscard]] const char* name() const override { return "leave"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+// Cell entry / re-activation (§2): "Whenever a Mh enters a new cell it
+// sends a greet(oldMss) message to the Mss responsible for the target
+// cell."  `old_mss` is the Mss the Mh last completed a registration with;
+// old_mss == receiving Mss means re-activation, no hand-off.
+struct MsgGreet final : net::MessageBase {
+  MssId old_mss;
+
+  explicit MsgGreet(MssId old_mss_in) : old_mss(old_mss_in) {}
+  [[nodiscard]] const char* name() const override { return "greet"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 20; }
+  [[nodiscard]] std::string describe() const override {
+    return "greet(old=" + old_mss.str() + ")";
+  }
+};
+
+// A new service request (§3.1).  `stream` marks a subscription: the server
+// may reply with many results; the request stays pending until a result
+// with `final` set is acknowledged.
+struct MsgUplinkRequest final : net::MessageBase {
+  RequestId request;
+  NodeAddress server;
+  std::string body;
+  bool stream = false;
+
+  MsgUplinkRequest(RequestId request_in, NodeAddress server_in,
+                   std::string body_in, bool stream_in)
+      : request(request_in),
+        server(server_in),
+        body(std::move(body_in)),
+        stream(stream_in) {}
+  [[nodiscard]] const char* name() const override { return "request"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 32 + body.size();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "request(" + request.str() + (stream ? ",stream)" : ")");
+  }
+};
+
+// Terminates a stream request; routed through the proxy to the server.
+struct MsgUnsubscribe final : net::MessageBase {
+  RequestId request;
+
+  explicit MsgUnsubscribe(RequestId request_in) : request(request_in) {}
+  [[nodiscard]] const char* name() const override { return "unsubscribe"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+// Acknowledgement of a delivered result (§3.1): forwarded by the respMss
+// to the proxy; handled with the highest priority.
+struct MsgUplinkAck final : net::MessageBase {
+  RequestId request;
+  std::uint32_t result_seq;
+
+  MsgUplinkAck(RequestId request_in, std::uint32_t result_seq_in)
+      : request(request_in), result_seq(result_seq_in) {}
+  [[nodiscard]] const char* name() const override { return "ack"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+  [[nodiscard]] std::string describe() const override {
+    return "ack(" + request.str() + "#" + std::to_string(result_seq) + ")";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Wireless downlink: Mss -> mobile host.
+// ---------------------------------------------------------------------------
+
+// Confirms join/greet processing (and hand-off completion).  The paper
+// leaves registration confirmation implicit; an explicit ack is required
+// once the wireless channel can lose frames (DESIGN.md §5).
+struct MsgRegistrationAck final : net::MessageBase {
+  MssId mss;
+
+  explicit MsgRegistrationAck(MssId mss_in) : mss(mss_in) {}
+  [[nodiscard]] const char* name() const override { return "registrationAck"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 20; }
+};
+
+// A result delivered over the air.  `attempt` counts proxy forwards of this
+// result (1 = first transmission), used by the retransmission experiments.
+struct MsgDownlinkResult final : net::MessageBase {
+  RequestId request;
+  std::uint32_t result_seq;
+  bool final;
+  std::string body;
+  std::uint32_t attempt;
+
+  MsgDownlinkResult(RequestId request_in, std::uint32_t result_seq_in,
+                    bool final_in, std::string body_in,
+                    std::uint32_t attempt_in)
+      : request(request_in),
+        result_seq(result_seq_in),
+        final(final_in),
+        body(std::move(body_in)),
+        attempt(attempt_in) {}
+  [[nodiscard]] const char* name() const override { return "result"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 32 + body.size();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "result(" + request.str() + "#" + std::to_string(result_seq) +
+           ",attempt=" + std::to_string(attempt) + ")";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Wired: Mss <-> Mss / proxy host / server.
+// ---------------------------------------------------------------------------
+
+// respMss -> proxy host: a new request to register as pending and relay to
+// the server (§3.1: "Mss forwards the request to the proxy whose address is
+// mentioned in pref").
+struct MsgForwardRequest final : net::MessageBase {
+  MhId mh;
+  ProxyId proxy;
+  RequestId request;
+  NodeAddress server;
+  std::string body;
+  bool stream;
+
+  MsgForwardRequest(MhId mh_in, ProxyId proxy_in, RequestId request_in,
+                    NodeAddress server_in, std::string body_in, bool stream_in)
+      : mh(mh_in),
+        proxy(proxy_in),
+        request(request_in),
+        server(server_in),
+        body(std::move(body_in)),
+        stream(stream_in) {}
+  [[nodiscard]] const char* name() const override { return "forwardRequest"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 40 + body.size();
+  }
+};
+
+// respMss -> proxy host: relay an unsubscribe to the proxy.
+struct MsgForwardUnsubscribe final : net::MessageBase {
+  MhId mh;
+  ProxyId proxy;
+  RequestId request;
+
+  MsgForwardUnsubscribe(MhId mh_in, ProxyId proxy_in, RequestId request_in)
+      : mh(mh_in), proxy(proxy_in), request(request_in) {}
+  [[nodiscard]] const char* name() const override {
+    return "forwardUnsubscribe";
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+};
+
+// proxy -> server: the request as seen by the server.  "From the
+// perspective of the server, service access is identical to the one by a
+// static client" (§3): the reply address is the proxy's fixed location.
+struct MsgServerRequest final : net::MessageBase {
+  NodeAddress reply_to;  // proxy host address
+  ProxyId proxy;
+  RequestId request;
+  std::string body;
+  bool stream;
+
+  MsgServerRequest(NodeAddress reply_to_in, ProxyId proxy_in,
+                   RequestId request_in, std::string body_in, bool stream_in)
+      : reply_to(reply_to_in),
+        proxy(proxy_in),
+        request(request_in),
+        body(std::move(body_in)),
+        stream(stream_in) {}
+  [[nodiscard]] const char* name() const override { return "serverRequest"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 36 + body.size();
+  }
+};
+
+// proxy -> server: stop a stream request.
+struct MsgServerUnsubscribe final : net::MessageBase {
+  ProxyId proxy;
+  RequestId request;
+
+  MsgServerUnsubscribe(ProxyId proxy_in, RequestId request_in)
+      : proxy(proxy_in), request(request_in) {}
+  [[nodiscard]] const char* name() const override {
+    return "serverUnsubscribe";
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 28; }
+};
+
+// server -> proxy: one result.  Oneshot requests produce a single result
+// with result_seq == 1 and final == true; stream requests produce a series.
+struct MsgServerResult final : net::MessageBase {
+  ProxyId proxy;
+  RequestId request;
+  std::uint32_t result_seq;
+  bool final;
+  std::string body;
+
+  MsgServerResult(ProxyId proxy_in, RequestId request_in,
+                  std::uint32_t result_seq_in, bool final_in,
+                  std::string body_in)
+      : proxy(proxy_in),
+        request(request_in),
+        result_seq(result_seq_in),
+        final(final_in),
+        body(std::move(body_in)) {}
+  [[nodiscard]] const char* name() const override { return "serverResult"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 36 + body.size();
+  }
+};
+
+// proxy -> server: application-level completion ack (§3.1: "possibly sends
+// an acknowledgment to the server, depending on the particular
+// application-level client-server protocol"); enabled by RdpConfig.
+struct MsgServerAck final : net::MessageBase {
+  RequestId request;
+
+  explicit MsgServerAck(RequestId request_in) : request(request_in) {}
+  [[nodiscard]] const char* name() const override { return "serverAck"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+// proxy host -> respMss: a result to hand to the Mh over the air.  The
+// del-pref flag (§3.3) announces that this is the result of the proxy's
+// last pending request.
+struct MsgResultForward final : net::MessageBase {
+  MhId mh;
+  NodeAddress proxy_host;
+  ProxyId proxy;
+  RequestId request;
+  std::uint32_t result_seq;
+  bool final;
+  bool del_pref;
+  std::string body;
+  std::uint32_t attempt;
+
+  MsgResultForward(MhId mh_in, NodeAddress proxy_host_in, ProxyId proxy_in,
+                   RequestId request_in, std::uint32_t result_seq_in,
+                   bool final_in, bool del_pref_in, std::string body_in,
+                   std::uint32_t attempt_in)
+      : mh(mh_in),
+        proxy_host(proxy_host_in),
+        proxy(proxy_in),
+        request(request_in),
+        result_seq(result_seq_in),
+        final(final_in),
+        del_pref(del_pref_in),
+        body(std::move(body_in)),
+        attempt(attempt_in) {}
+  [[nodiscard]] const char* name() const override { return "resultForward"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 48 + body.size();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return std::string("resultForward(") + request.str() +
+           (del_pref ? ",del-pref" : "") + ")";
+  }
+};
+
+// proxy host -> respMss: standalone del-pref (§3.4, Fig 4): sent when the
+// last pending request's result has already been forwarded, so only the
+// flag — not the payload — needs to travel.
+struct MsgDelPref final : net::MessageBase {
+  MhId mh;
+  NodeAddress proxy_host;
+  ProxyId proxy;
+  RequestId request;
+  std::uint32_t result_seq;
+
+  MsgDelPref(MhId mh_in, NodeAddress proxy_host_in, ProxyId proxy_in,
+             RequestId request_in, std::uint32_t result_seq_in)
+      : mh(mh_in),
+        proxy_host(proxy_host_in),
+        proxy(proxy_in),
+        request(request_in),
+        result_seq(result_seq_in) {}
+  [[nodiscard]] const char* name() const override { return "delPref"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+};
+
+// respMss -> proxy host: Ack forwarded from the Mh (§3.1), possibly
+// carrying del-proxy == true (§3.3) which authorises proxy deletion.
+struct MsgAckForward final : net::MessageBase {
+  MhId mh;
+  ProxyId proxy;
+  RequestId request;
+  std::uint32_t result_seq;
+  bool del_proxy;
+
+  MsgAckForward(MhId mh_in, ProxyId proxy_in, RequestId request_in,
+                std::uint32_t result_seq_in, bool del_proxy_in)
+      : mh(mh_in),
+        proxy(proxy_in),
+        request(request_in),
+        result_seq(result_seq_in),
+        del_proxy(del_proxy_in) {}
+  [[nodiscard]] const char* name() const override { return "ackForward"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] std::string describe() const override {
+    return std::string("ackForward(") + request.str() +
+           (del_proxy ? ",del-proxy" : "") + ")";
+  }
+};
+
+// new Mss -> old Mss: start of the hand-off (§3.2): "asking it to
+// de-register Mh and send back Mh's proxy reference".
+struct MsgDereg final : net::MessageBase {
+  MhId mh;
+  MssId new_mss;
+
+  MsgDereg(MhId mh_in, MssId new_mss_in) : mh(mh_in), new_mss(new_mss_in) {}
+  [[nodiscard]] const char* name() const override { return "dereg"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+  [[nodiscard]] std::string describe() const override {
+    return "dereg(" + mh.str() + ")";
+  }
+};
+
+// old Mss -> new Mss: completes the hand-off, carrying the Mh's pref — the
+// *only* per-Mh protocol state that migrates (§5: "except for the proxy
+// reference, neither result forwarding pointers nor other residue ... need
+// to be kept at the Mss").
+struct MsgDeregAck final : net::MessageBase {
+  MhId mh;
+  Pref pref;
+
+  MsgDeregAck(MhId mh_in, Pref pref_in) : mh(mh_in), pref(pref_in) {}
+  [[nodiscard]] const char* name() const override { return "deregAck"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + Pref::wire_size();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "deregAck(" + mh.str() +
+           (pref.has_proxy() ? ",pref=" + pref.proxy_host.str() : ",pref=null") +
+           ")";
+  }
+};
+
+// respMss -> proxy host: location update after hand-off or re-activation
+// (§3.1).  The proxy updates currentLoc and re-sends unacknowledged
+// results.
+struct MsgUpdateCurrentLoc final : net::MessageBase {
+  MhId mh;
+  ProxyId proxy;
+  NodeAddress new_loc;
+
+  MsgUpdateCurrentLoc(MhId mh_in, ProxyId proxy_in, NodeAddress new_loc_in)
+      : mh(mh_in), proxy(proxy_in), new_loc(new_loc_in) {}
+  [[nodiscard]] const char* name() const override {
+    return "update_currentLoc";
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 28; }
+  [[nodiscard]] std::string describe() const override {
+    return "update_currentLoc(" + mh.str() + "->" + new_loc.str() + ")";
+  }
+};
+
+// proxy host -> respMss: the respMss completed the del-proxy handshake,
+// but the proxy still holds pending requests (reachable only through the
+// stale-del-pref revisit race analyzed in DESIGN.md §5.4 — the del-pref
+// information can be outdated by requests that flowed through *other*
+// Mss's, a causality the wired causal layer cannot see).  The proxy
+// refuses deletion and asks the respMss to re-install the pref so the
+// pending results can still be delivered and acknowledged.
+struct MsgPrefRestore final : net::MessageBase {
+  MhId mh;
+  NodeAddress proxy_host;
+  ProxyId proxy;
+
+  MsgPrefRestore(MhId mh_in, NodeAddress proxy_host_in, ProxyId proxy_in)
+      : mh(mh_in), proxy_host(proxy_host_in), proxy(proxy_in) {}
+  [[nodiscard]] const char* name() const override { return "prefRestore"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+// proxy host -> respMss: reply to a message addressed to a proxy that no
+// longer exists (only possible when the idle-proxy GC extension is enabled,
+// or in ablations that break the deletion handshake).  Carries the original
+// request so the respMss can recreate a proxy locally and retry.
+struct MsgProxyGone final : net::MessageBase {
+  MhId mh;
+  ProxyId proxy;
+  RequestId request;
+  NodeAddress server;
+  std::string body;
+  bool stream;
+  bool had_request;  // false when the dead-proxy message carried no request
+
+  MsgProxyGone(MhId mh_in, ProxyId proxy_in, RequestId request_in,
+               NodeAddress server_in, std::string body_in, bool stream_in,
+               bool had_request_in)
+      : mh(mh_in),
+        proxy(proxy_in),
+        request(request_in),
+        server(server_in),
+        body(std::move(body_in)),
+        stream(stream_in),
+        had_request(had_request_in) {}
+  [[nodiscard]] const char* name() const override { return "proxyGone"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 40 + body.size();
+  }
+};
+
+}  // namespace rdp::core

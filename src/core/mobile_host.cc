@@ -1,0 +1,212 @@
+#include "core/mobile_host.h"
+
+namespace rdp::core {
+
+MobileHostAgent::MobileHostAgent(Runtime& runtime, MhId id)
+    : runtime_(runtime), id_(id) {
+  runtime_.wireless.register_mh(id_, this);
+}
+
+std::optional<common::CellId> MobileHostAgent::cell() const {
+  return runtime_.wireless.mh_cell(id_);
+}
+
+void MobileHostAgent::uplink(net::PayloadPtr payload,
+                             sim::EventPriority priority) {
+  runtime_.wireless.uplink(id_, std::move(payload), priority);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+// ---------------------------------------------------------------------------
+
+void MobileHostAgent::power_on(common::CellId cell) {
+  RDP_CHECK(!active_, id_.str() + " powered on twice");
+  runtime_.wireless.place_mh(id_, cell);
+  runtime_.wireless.set_mh_active(id_, true);
+  active_ = true;
+  in_system_ = true;
+  registered_ = false;
+  send_greet_or_join();
+}
+
+void MobileHostAgent::power_off() {
+  RDP_CHECK(active_, id_.str() + " powered off while inactive");
+  active_ = false;
+  registered_ = false;
+  registration_timer_.cancel();
+  runtime_.wireless.set_mh_active(id_, false);
+}
+
+void MobileHostAgent::reactivate() {
+  RDP_CHECK(!active_, id_.str() + " reactivated while active");
+  RDP_CHECK(in_system_, id_.str() + " reactivated after leaving");
+  runtime_.wireless.set_mh_active(id_, true);
+  active_ = true;
+  // If the Mh powered off mid-transit it has no cell yet; the greet is
+  // sent on arrival (see migrate()).
+  if (runtime_.wireless.mh_cell(id_).has_value()) send_greet_or_join();
+}
+
+void MobileHostAgent::move_while_inactive(common::CellId target) {
+  RDP_CHECK(!active_, "use migrate() while active");
+  runtime_.wireless.place_mh(id_, target);
+}
+
+void MobileHostAgent::migrate(common::CellId target,
+                              common::Duration travel_time) {
+  RDP_CHECK(active_, id_.str() + " migrated while inactive");
+  registered_ = false;
+  registration_timer_.cancel();
+  runtime_.wireless.detach_mh(id_);
+  runtime_.simulator.schedule(travel_time, [this, target] {
+    if (!active_) {
+      // Powered off in transit; arrival is a plain placement.
+      runtime_.wireless.place_mh(id_, target);
+      return;
+    }
+    runtime_.wireless.place_mh(id_, target);
+    send_greet_or_join();
+  });
+}
+
+void MobileHostAgent::leave() {
+  RDP_CHECK(active_, id_.str() + " left while inactive");
+  for (RequestId request : pending_requests_) {
+    runtime_.observer.on_request_lost(runtime_.simulator.now(), id_, request,
+                                      RequestLossReason::kMhLeft);
+  }
+  pending_requests_.clear();
+  uplink(net::make_message<MsgLeave>());
+  registration_timer_.cancel();
+  active_ = false;
+  registered_ = false;
+  in_system_ = false;
+  runtime_.wireless.set_mh_active(id_, false);
+}
+
+void MobileHostAgent::send_greet_or_join() {
+  greet_sent_ = runtime_.simulator.now();
+  registration_attempts_ = 0;
+  if (!joined_) {
+    uplink(net::make_message<MsgJoin>());
+  } else {
+    uplink(net::make_message<MsgGreet>(resp_mss_));
+  }
+  arm_registration_timer();
+}
+
+void MobileHostAgent::arm_registration_timer() {
+  registration_timer_.cancel();
+  registration_timer_ = runtime_.simulator.schedule(
+      runtime_.config.registration_retry, [this] {
+        if (registered_ || !active_ || !in_system_) return;
+        if (!runtime_.wireless.mh_cell(id_).has_value()) return;
+        if (++registration_attempts_ >
+            runtime_.config.max_registration_retries) {
+          runtime_.counters.increment("mh.registration_gave_up");
+          return;
+        }
+        runtime_.counters.increment("mh.registration_retries");
+        if (!joined_) {
+          uplink(net::make_message<MsgJoin>());
+        } else {
+          uplink(net::make_message<MsgGreet>(resp_mss_));
+        }
+        arm_registration_timer();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+RequestId MobileHostAgent::issue_request(NodeAddress server, std::string body,
+                                         bool stream) {
+  RDP_CHECK(in_system_, id_.str() + " issued a request after leaving");
+  const RequestId request{id_, ++next_request_seq_};
+  pending_requests_.insert(request);
+  runtime_.observer.on_request_issued(runtime_.simulator.now(), id_, request,
+                                      server);
+  auto payload = net::make_message<MsgUplinkRequest>(request, server,
+                                                     std::move(body), stream);
+  if (registered_ && active_) {
+    uplink(std::move(payload));
+  } else {
+    outbox_.push_back(std::move(payload));
+  }
+  return request;
+}
+
+RequestId MobileHostAgent::issue_request(common::ServerId server,
+                                         std::string body, bool stream) {
+  return issue_request(runtime_.directory.server_address(server),
+                       std::move(body), stream);
+}
+
+void MobileHostAgent::unsubscribe(RequestId request) {
+  if (!pending_requests_.contains(request)) return;
+  auto payload = net::make_message<MsgUnsubscribe>(request);
+  if (registered_ && active_) {
+    uplink(std::move(payload));
+  } else {
+    outbox_.push_back(std::move(payload));
+  }
+}
+
+void MobileHostAgent::flush_outbox() {
+  while (!outbox_.empty() && registered_ && active_) {
+    uplink(std::move(outbox_.front()));
+    outbox_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Downlink.
+// ---------------------------------------------------------------------------
+
+void MobileHostAgent::on_downlink(common::CellId /*cell*/,
+                                  const net::PayloadPtr& payload) {
+  if (const auto* ack = net::message_cast<MsgRegistrationAck>(payload)) {
+    if (!registered_) {
+      registered_ = true;
+      joined_ = true;
+      resp_mss_ = ack->mss;
+      registration_timer_.cancel();
+      runtime_.observer.on_mh_registered(runtime_.simulator.now(), id_,
+                                         ack->mss,
+                                         runtime_.simulator.now() - greet_sent_);
+      flush_outbox();
+    }
+    return;
+  }
+  if (const auto* result = net::message_cast<MsgDownlinkResult>(payload)) {
+    const auto key = std::make_pair(result->request, result->result_seq);
+    const bool duplicate = !delivered_.insert(key).second;
+    runtime_.observer.on_result_delivered(runtime_.simulator.now(), id_,
+                                          result->request, result->result_seq,
+                                          result->final, duplicate,
+                                          result->attempt);
+    if (!duplicate) {
+      ++deliveries_;
+      if (result->final) pending_requests_.erase(result->request);
+      if (delivery_callback_) {
+        delivery_callback_(Delivery{result->request, result->result_seq,
+                                    result->body, result->final});
+      }
+    } else {
+      ++duplicates_;
+      runtime_.counters.increment("mh.duplicate_results");
+    }
+    // Assumption 4: an active Mh acks every message from its respMss —
+    // including duplicates, so the proxy learns the result arrived even if
+    // an earlier Ack was lost.
+    uplink(net::make_message<MsgUplinkAck>(result->request,
+                                           result->result_seq),
+           runtime_.ack_priority());
+    return;
+  }
+  runtime_.counters.increment("mh.unknown_downlink");
+}
+
+}  // namespace rdp::core

@@ -1,0 +1,123 @@
+// Mobile host protocol agent (§2).
+//
+// Implements the Mh side of RDP: join/leave, greet on cell entry and on
+// re-activation, issuing requests through the current respMss, duplicate
+// detection (assumption 5) and acknowledgement of every received result
+// (assumption 4).  Workload drivers and examples steer it through the
+// public lifecycle methods; it owns no threads — everything runs on the
+// simulation kernel.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/messages.h"
+#include "core/runtime.h"
+
+namespace rdp::core {
+
+class MobileHostAgent final : public net::DownlinkReceiver {
+ public:
+  // Called once per *new* (non-duplicate) result delivered to the
+  // application.
+  struct Delivery {
+    RequestId request;
+    std::uint32_t result_seq;
+    std::string body;
+    bool final;
+  };
+  using DeliveryCallback = std::function<void(const Delivery&)>;
+
+  MobileHostAgent(Runtime& runtime, MhId id);
+
+  MobileHostAgent(const MobileHostAgent&) = delete;
+  MobileHostAgent& operator=(const MobileHostAgent&) = delete;
+
+  [[nodiscard]] MhId id() const { return id_; }
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] bool registered() const { return registered_; }
+  [[nodiscard]] std::optional<common::CellId> cell() const;
+  [[nodiscard]] MssId resp_mss() const { return resp_mss_; }
+  [[nodiscard]] std::size_t pending_requests() const {
+    return pending_requests_.size();
+  }
+  [[nodiscard]] bool can_leave() const { return pending_requests_.empty(); }
+
+  void set_delivery_callback(DeliveryCallback callback) {
+    delivery_callback_ = std::move(callback);
+  }
+
+  // --- lifecycle ------------------------------------------------------------
+  // First activation: join the system in `cell`.
+  void power_on(common::CellId cell);
+  // Switch to the inactive state (power save / turned off, §2).
+  void power_off();
+  // Return to the active state; greets the Mss of the current cell (§2:
+  // the greet is also sent on re-activation).
+  void reactivate();
+  // While inactive, physically move to another cell (the greet happens at
+  // the next reactivate()).
+  void move_while_inactive(common::CellId target);
+  // Migrate to `target`; unreachable during `travel_time` (§2, assumption
+  // 4: a migrating Mh may be considered inactive by both Mss's).
+  void migrate(common::CellId target, common::Duration travel_time);
+  // Leave the system (assumption 6: only legal once everything received
+  // was acknowledged; pending requests are reported lost).
+  void leave();
+
+  // --- requests ---------------------------------------------------------------
+  // Issue a request; queued locally until the agent is registered with an
+  // Mss.  With `stream` the request is a subscription delivering many
+  // results until unsubscribe().
+  RequestId issue_request(NodeAddress server, std::string body,
+                          bool stream = false);
+  RequestId issue_request(common::ServerId server, std::string body,
+                          bool stream = false);
+  void unsubscribe(RequestId request);
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t duplicate_deliveries() const {
+    return duplicates_;
+  }
+
+  // net::DownlinkReceiver
+  void on_downlink(common::CellId cell, const net::PayloadPtr& payload) override;
+
+ private:
+  void send_greet_or_join();
+  void arm_registration_timer();
+  void flush_outbox();
+  void uplink(net::PayloadPtr payload,
+              sim::EventPriority priority = sim::EventPriority::kNormal);
+
+  Runtime& runtime_;
+  const MhId id_;
+
+  bool joined_ = false;      // ever joined the system
+  bool active_ = false;      // §2 active/inactive state
+  bool in_system_ = false;   // between join and leave
+  bool registered_ = false;  // greet/join confirmed by registrationAck
+  MssId resp_mss_;           // last Mss a registration completed with
+
+  common::SimTime greet_sent_;
+  sim::TimerHandle registration_timer_;
+  int registration_attempts_ = 0;
+
+  std::uint32_t next_request_seq_ = 0;
+  std::set<RequestId> pending_requests_;
+  // (request, result_seq) pairs already delivered to the application
+  // (assumption 5: duplicate detection).
+  std::set<std::pair<RequestId, std::uint32_t>> delivered_;
+  std::deque<net::PayloadPtr> outbox_;  // requests issued while unregistered
+
+  DeliveryCallback delivery_callback_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace rdp::core

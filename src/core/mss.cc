@@ -1,0 +1,624 @@
+#include "core/mss.h"
+
+#include <vector>
+
+namespace rdp::core {
+
+Mss::Mss(Runtime& runtime, MssId id, CellId cell, NodeAddress address)
+    : runtime_(runtime), id_(id), cell_(cell), address_(address) {}
+
+const Pref* Mss::pref_of(MhId mh) const {
+  auto it = prefs_.find(mh);
+  return it == prefs_.end() ? nullptr : &it->second;
+}
+
+const Proxy* Mss::proxy(ProxyId id) const {
+  auto it = proxies_.find(id);
+  return it == proxies_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Uplink (wireless) dispatch.
+// ---------------------------------------------------------------------------
+
+void Mss::on_uplink(MhId from, const net::PayloadPtr& payload) {
+  if (const auto* m = net::message_cast<MsgJoin>(payload)) {
+    (void)m;
+    handle_join(from);
+  } else if (const auto* greet = net::message_cast<MsgGreet>(payload)) {
+    handle_greet(from, greet->old_mss);
+  } else if (const auto* req = net::message_cast<MsgUplinkRequest>(payload)) {
+    handle_uplink_request(from, *req);
+  } else if (const auto* unsub = net::message_cast<MsgUnsubscribe>(payload)) {
+    handle_uplink_unsubscribe(from, *unsub);
+  } else if (const auto* ack = net::message_cast<MsgUplinkAck>(payload)) {
+    handle_uplink_ack(from, *ack);
+  } else if (net::message_cast<MsgLeave>(payload) != nullptr) {
+    handle_leave(from);
+  } else {
+    count("mss.unknown_uplink");
+  }
+}
+
+void Mss::handle_join(MhId mh) {
+  if (local_mhs_.contains(mh)) {
+    // Duplicate join (our registrationAck was lost): just re-confirm.
+    send_registration_ack(mh);
+    return;
+  }
+  if (pending_handoffs_.contains(mh)) return;  // hand-off already running
+  local_mhs_.insert(mh);
+  prefs_[mh].clear();
+  departed_to_.erase(mh);
+  count("mss.joins");
+  send_registration_ack(mh);
+}
+
+void Mss::handle_leave(MhId mh) {
+  if (!local_mhs_.contains(mh)) return;
+  local_mhs_.erase(mh);
+  auto it = prefs_.find(mh);
+  if (it != prefs_.end()) {
+    if (it->second.has_proxy()) {
+      // Assumption 6 makes this benign in conforming workloads (no pending
+      // requests); with a proxy still alive somewhere it becomes orphaned
+      // and is only reclaimed by the idle-proxy GC extension.
+      count("mss.leave_with_proxy");
+    }
+    prefs_.erase(it);
+  }
+  drop_cached_results(mh);
+  count("mss.leaves");
+}
+
+void Mss::handle_greet(MhId mh, MssId old_mss) {
+  if (local_mhs_.contains(mh)) {
+    // Re-activation in our cell (§3.1) or a duplicate greet after a lost
+    // registrationAck: confirm, and let the proxy re-send anything the Mh
+    // missed while inactive.
+    send_registration_ack(mh);
+    const Pref& pref = prefs_.at(mh);
+    if (pref.has_proxy()) send_update_currentloc(mh, pref);
+    count("mss.greets_reactivate");
+    return;
+  }
+  if (pending_handoffs_.contains(mh)) return;  // already de-registering
+
+  // Hand-off (§3.2): ask the Mh's previous respMss for its pref.  Trust
+  // the old Mss named in the greet; if the Mh (wrongly) believes *we* are
+  // its respMss because our registrationAck was lost after we already
+  // handed its pref away, chase the pref where it went.
+  NodeAddress old_address;
+  if (old_mss.valid() && old_mss != id_) {
+    old_address = runtime_.directory.mss_address(old_mss);
+  } else if (auto it = departed_to_.find(mh); it != departed_to_.end()) {
+    old_address = it->second;
+  } else {
+    // The Mh names us as its old Mss but we do not know it: treat the
+    // greet as a (re-)join with a fresh, empty pref.
+    count("mss.greet_unknown_old");
+    handle_join(mh);
+    return;
+  }
+
+  pending_handoffs_[mh] =
+      PendingHandoff{old_mss, runtime_.simulator.now(), NodeAddress::invalid()};
+  runtime_.observer.on_handoff_started(runtime_.simulator.now(), mh, old_mss,
+                                       id_);
+  runtime_.wired.send(address_, old_address,
+                      net::make_message<MsgDereg>(mh, id_));
+}
+
+void Mss::handle_uplink_request(MhId mh, const MsgUplinkRequest& msg) {
+  if (!local_mhs_.contains(mh)) {
+    // The Mh de-registered between sending and delivery; RDP does not
+    // retransmit requests (QRPC-style request reliability is complementary,
+    // §4), so the request is lost and counted.
+    count("mss.stale_request_dropped");
+    runtime_.observer.on_request_lost(runtime_.simulator.now(), mh,
+                                      msg.request, RequestLossReason::kMhLeft);
+    return;
+  }
+  Pref& pref = prefs_.at(mh);
+  // A new request resets RKpR (§3.3): the proxy will also serve this
+  // request, so it must not be torn down by the Ack of the previous one.
+  pref.clear_rkpr();
+  if (!pref.has_proxy()) {
+    Proxy& proxy = create_proxy(mh);
+    pref.proxy_host = address_;
+    pref.proxy = proxy.id();
+  }
+  count("mss.requests_relayed");
+  route_to_proxy(pref,
+                 net::make_message<MsgForwardRequest>(mh, pref.proxy,
+                                                      msg.request, msg.server,
+                                                      msg.body, msg.stream),
+                 sim::EventPriority::kNormal);
+}
+
+void Mss::handle_uplink_unsubscribe(MhId mh, const MsgUnsubscribe& msg) {
+  if (!local_mhs_.contains(mh)) {
+    count("mss.stale_unsubscribe_dropped");
+    return;
+  }
+  const Pref& pref = prefs_.at(mh);
+  if (!pref.has_proxy()) {
+    count("mss.unsubscribe_without_proxy");
+    return;
+  }
+  route_to_proxy(pref,
+                 net::make_message<MsgForwardUnsubscribe>(mh, pref.proxy,
+                                                          msg.request),
+                 sim::EventPriority::kNormal);
+}
+
+void Mss::handle_uplink_ack(MhId mh, const MsgUplinkAck& msg) {
+  if (!local_mhs_.contains(mh)) {
+    // §3.1: after a dereg the old Mss ignores all further Acks from the Mh.
+    count("mss.stale_ack_dropped");
+    runtime_.observer.on_stale_ack_dropped(runtime_.simulator.now(), mh,
+                                           msg.request);
+    return;
+  }
+  if (runtime_.config.mss_result_cache) {
+    // The Mh has the result; stop the local retry loop for it.
+    if (auto it = cached_results_.find(mh); it != cached_results_.end()) {
+      auto entry = it->second.find(std::make_pair(msg.request, msg.result_seq));
+      if (entry != it->second.end()) {
+        entry->second.timer.cancel();
+        it->second.erase(entry);
+        if (it->second.empty()) cached_results_.erase(it);
+      }
+    }
+  }
+  Pref& pref = prefs_.at(mh);
+  if (!pref.has_proxy()) {
+    // Duplicate Ack arriving after the del-proxy handshake finished.
+    count("mss.ack_without_proxy");
+    return;
+  }
+  // §3.3: confirm proxy removal iff RKpR is set and this Ack is the one the
+  // del-pref announcement referred to (see RdpConfig::rkpr_tracks_request).
+  bool del_proxy = pref.rkpr;
+  if (del_proxy && runtime_.config.rkpr_tracks_request) {
+    del_proxy = pref.rkpr_request == msg.request &&
+                pref.rkpr_seq == msg.result_seq;
+  }
+  const ProxyId proxy_id = pref.proxy;
+  const net::PayloadPtr forward = net::make_message<MsgAckForward>(
+      mh, proxy_id, msg.request, msg.result_seq, del_proxy);
+  runtime_.observer.on_ack_forwarded(runtime_.simulator.now(), mh, msg.request,
+                                     msg.result_seq, del_proxy);
+  count("mss.acks_relayed");
+  Pref route_copy = pref;
+  if (del_proxy) pref.clear();  // erase proxy address from pref (§3.3)
+  route_to_proxy(route_copy, forward, runtime_.ack_priority());
+}
+
+// ---------------------------------------------------------------------------
+// Wired dispatch.
+// ---------------------------------------------------------------------------
+
+void Mss::on_message(const net::Envelope& envelope) {
+  const net::PayloadPtr& payload = envelope.payload;
+  if (const auto* m = net::message_cast<MsgDereg>(payload)) {
+    handle_dereg(*m, envelope.src);
+  } else if (const auto* m2 = net::message_cast<MsgDeregAck>(payload)) {
+    handle_dereg_ack(*m2);
+  } else if (const auto* m3 = net::message_cast<MsgForwardRequest>(payload)) {
+    handle_forward_request(*m3, envelope.src);
+  } else if (const auto* m4 =
+                 net::message_cast<MsgForwardUnsubscribe>(payload)) {
+    handle_forward_unsubscribe(*m4);
+  } else if (const auto* m5 = net::message_cast<MsgServerResult>(payload)) {
+    auto it = proxies_.find(m5->proxy);
+    if (it == proxies_.end()) {
+      count("mss.result_for_dead_proxy");
+      return;
+    }
+    it->second->handle_server_result(*m5);
+  } else if (const auto* m6 = net::message_cast<MsgResultForward>(payload)) {
+    handle_result_forward(*m6);
+  } else if (const auto* m7 = net::message_cast<MsgDelPref>(payload)) {
+    handle_del_pref(*m7);
+  } else if (const auto* m8 = net::message_cast<MsgAckForward>(payload)) {
+    handle_ack_forward(*m8);
+  } else if (const auto* m9 = net::message_cast<MsgUpdateCurrentLoc>(payload)) {
+    handle_update_currentloc(*m9);
+  } else if (const auto* m10 = net::message_cast<MsgProxyGone>(payload)) {
+    handle_proxy_gone(*m10);
+  } else if (const auto* m11 = net::message_cast<MsgPrefRestore>(payload)) {
+    handle_pref_restore(*m11);
+  } else {
+    count("mss.unknown_wired");
+  }
+}
+
+void Mss::handle_dereg(const MsgDereg& msg, NodeAddress from) {
+  const MhId mh = msg.mh;
+  // The deregAck must go to the Mss that *initiated* the hand-off, which
+  // is not necessarily the sender: a dereg can reach us via a tombstone
+  // chase through intermediate Mss's (see below).
+  const NodeAddress requester =
+      runtime_.directory.mss_address(msg.new_mss);
+  if (local_mhs_.contains(mh)) {
+    // Note on the §3.1 priority rule: Acks from this Mh that were already
+    // received have been forwarded synchronously, and the event kernel
+    // delivers same-instant Ack events before this dereg (EventPriority).
+    // From this point on, uplink Acks from `mh` are ignored (handle_uplink_ack
+    // drops them because the Mh is no longer local).
+    auto pref_it = prefs_.find(mh);
+    RDP_CHECK(pref_it != prefs_.end(), "local Mh without pref");
+    runtime_.wired.send(address_, requester,
+                        net::make_message<MsgDeregAck>(mh, pref_it->second));
+    prefs_.erase(pref_it);
+    local_mhs_.erase(mh);
+    departed_to_[mh] = requester;
+    drop_cached_results(mh);
+    count("mss.handoffs_out");
+    return;
+  }
+  if (auto it = pending_handoffs_.find(mh); it != pending_handoffs_.end()) {
+    // Chained migration: the Mh left for yet another cell before our own
+    // hand-off finished.  Forward the pref there once it arrives.
+    it->second.chained_to = from;
+    count("mss.handoffs_chained");
+    return;
+  }
+  if (auto it = departed_to_.find(mh); it != departed_to_.end()) {
+    // We already handed this Mh's pref away; chase it.  Never chase back
+    // to the requester itself (that could only ping-pong).
+    if (it->second != requester) {
+      runtime_.wired.send(address_, it->second,
+                          net::make_message<MsgDereg>(mh, msg.new_mss));
+      count("mss.deregs_chased");
+      return;
+    }
+    departed_to_.erase(it);
+  }
+  // Unknown Mh: answer with a null pref so the new Mss can register it
+  // fresh rather than deadlock waiting for a deregAck.
+  count("mss.dereg_unknown_mh");
+  Pref null_pref;
+  null_pref.clear();
+  runtime_.wired.send(address_, requester,
+                      net::make_message<MsgDeregAck>(mh, null_pref));
+  (void)from;
+}
+
+void Mss::handle_dereg_ack(const MsgDeregAck& msg) {
+  const MhId mh = msg.mh;
+  auto it = pending_handoffs_.find(mh);
+  if (it == pending_handoffs_.end()) {
+    count("mss.unexpected_deregack");
+    return;
+  }
+  const PendingHandoff pending = it->second;
+  pending_handoffs_.erase(it);
+
+  if (pending.chained_to.valid()) {
+    // The Mh has moved on: relay the pref to its newest Mss directly.
+    runtime_.wired.send(address_, pending.chained_to,
+                        net::make_message<MsgDeregAck>(mh, msg.pref));
+    departed_to_[mh] = pending.chained_to;
+    return;
+  }
+
+  local_mhs_.insert(mh);
+  prefs_[mh] = msg.pref;
+  departed_to_.erase(mh);
+  runtime_.observer.on_handoff_completed(
+      runtime_.simulator.now(), mh, pending.old_mss, id_,
+      runtime_.simulator.now() - pending.started, msg.wire_size());
+  count("mss.handoffs_in");
+
+  // §3.2: "responsibility for Mh is officially transferred ... and updates
+  // Mh's new location with its proxy, by sending the update_currLoc
+  // message."
+  if (msg.pref.has_proxy()) send_update_currentloc(mh, msg.pref);
+  send_registration_ack(mh);
+}
+
+void Mss::handle_forward_request(const MsgForwardRequest& msg,
+                                 NodeAddress from) {
+  auto it = proxies_.find(msg.proxy);
+  if (it == proxies_.end()) {
+    // Stale pref (only possible with the GC extension or in ablations).
+    count("mss.request_for_dead_proxy");
+    runtime_.wired.send(address_, from,
+                        net::make_message<MsgProxyGone>(
+                            msg.mh, msg.proxy, msg.request, msg.server,
+                            msg.body, msg.stream, true));
+    return;
+  }
+  it->second->handle_request(msg.request, msg.server, msg.body, msg.stream);
+}
+
+void Mss::handle_forward_unsubscribe(const MsgForwardUnsubscribe& msg) {
+  auto it = proxies_.find(msg.proxy);
+  if (it == proxies_.end()) {
+    count("mss.unsubscribe_for_dead_proxy");
+    return;
+  }
+  it->second->handle_unsubscribe(msg.request);
+}
+
+void Mss::handle_result_forward(const MsgResultForward& msg) {
+  if (!local_mhs_.contains(msg.mh)) {
+    // The Mh migrated away (or is mid-hand-off): drop after this single
+    // attempt (§5); the proxy re-sends on the next update_currentLoc.
+    count("mss.result_forward_missed");
+    return;
+  }
+  if (msg.del_pref) {
+    Pref& pref = prefs_.at(msg.mh);
+    if (pref.has_proxy() && pref.proxy_host == msg.proxy_host &&
+        pref.proxy == msg.proxy) {
+      pref.rkpr = true;
+      pref.rkpr_request = msg.request;
+      pref.rkpr_seq = msg.result_seq;
+    } else {
+      count("mss.delpref_mismatched_pref");
+    }
+  }
+  count("mss.results_downlinked");
+  runtime_.wireless.downlink(
+      cell_, msg.mh,
+      net::make_message<MsgDownlinkResult>(msg.request, msg.result_seq,
+                                           msg.final, msg.body, msg.attempt));
+  if (runtime_.config.mss_result_cache) cache_result(msg);
+}
+
+void Mss::cache_result(const MsgResultForward& msg) {
+  CachedResult& cached =
+      cached_results_[msg.mh][std::make_pair(msg.request, msg.result_seq)];
+  cached.body = msg.body;
+  cached.final = msg.final;
+  cached.attempt = msg.attempt;
+  cached.local_retries = 0;
+  arm_result_cache_timer(msg.mh, msg.request, msg.result_seq);
+}
+
+void Mss::arm_result_cache_timer(MhId mh, RequestId request,
+                                 std::uint32_t result_seq) {
+  auto mh_it = cached_results_.find(mh);
+  if (mh_it == cached_results_.end()) return;
+  auto it = mh_it->second.find(std::make_pair(request, result_seq));
+  if (it == mh_it->second.end()) return;
+  CachedResult& cached = it->second;
+  cached.timer.cancel();
+  cached.timer = runtime_.simulator.schedule(
+      runtime_.config.result_cache_retry,
+      [this, mh, request, result_seq] {
+        auto outer = cached_results_.find(mh);
+        if (outer == cached_results_.end()) return;
+        auto inner = outer->second.find(std::make_pair(request, result_seq));
+        if (inner == outer->second.end()) return;
+        if (!local_mhs_.contains(mh)) {
+          // Departed: the proxy's update_currentLoc path takes over.
+          outer->second.erase(inner);
+          return;
+        }
+        CachedResult& entry = inner->second;
+        if (runtime_.wireless.mh_active(mh) &&
+            runtime_.wireless.mh_cell(mh) == std::optional(cell_)) {
+          if (++entry.local_retries >
+              runtime_.config.result_cache_max_attempts) {
+            count("mss.result_cache_gave_up");
+            outer->second.erase(inner);
+            return;
+          }
+          count("mss.result_cache_retries");
+          runtime_.wireless.downlink(
+              cell_, mh,
+              net::make_message<MsgDownlinkResult>(request, result_seq,
+                                                   entry.final, entry.body,
+                                                   entry.attempt));
+        }
+        // Inactive or mid-transit: don't burn an attempt, just wait
+        // ("wait until the Mh becomes active again", §5 footnote 3).
+        arm_result_cache_timer(mh, request, result_seq);
+      },
+      sim::EventPriority::kLow);
+}
+
+void Mss::drop_cached_results(MhId mh) {
+  auto it = cached_results_.find(mh);
+  if (it == cached_results_.end()) return;
+  for (auto& [key, cached] : it->second) cached.timer.cancel();
+  cached_results_.erase(it);
+}
+
+void Mss::handle_del_pref(const MsgDelPref& msg) {
+  if (!local_mhs_.contains(msg.mh)) {
+    count("mss.delpref_missed");
+    return;
+  }
+  Pref& pref = prefs_.at(msg.mh);
+  if (pref.has_proxy() && pref.proxy_host == msg.proxy_host &&
+      pref.proxy == msg.proxy) {
+    pref.rkpr = true;
+    pref.rkpr_request = msg.request;
+    pref.rkpr_seq = msg.result_seq;
+  } else {
+    count("mss.delpref_mismatched_pref");
+  }
+}
+
+void Mss::handle_ack_forward(const MsgAckForward& msg) {
+  auto it = proxies_.find(msg.proxy);
+  if (it == proxies_.end()) {
+    count("mss.ack_for_dead_proxy");
+    return;
+  }
+  if (it->second->handle_ack(msg)) {
+    delete_proxy(msg.proxy, /*via_gc=*/false);
+  }
+}
+
+void Mss::handle_update_currentloc(const MsgUpdateCurrentLoc& msg) {
+  auto it = proxies_.find(msg.proxy);
+  if (it == proxies_.end()) {
+    count("mss.update_for_dead_proxy");
+    return;
+  }
+  it->second->handle_update_currentloc(msg.new_loc);
+}
+
+void Mss::handle_proxy_gone(const MsgProxyGone& msg) {
+  if (!local_mhs_.contains(msg.mh)) {
+    count("mss.proxygone_missed");
+    return;
+  }
+  Pref& pref = prefs_.at(msg.mh);
+  if (!pref.has_proxy() || pref.proxy != msg.proxy) {
+    count("mss.proxygone_stale");
+    return;
+  }
+  pref.clear();
+  count("mss.prefs_healed");
+  if (!msg.had_request) return;
+  // Recreate a proxy locally and replay the request that hit the dead one.
+  Proxy& proxy = create_proxy(msg.mh);
+  pref.proxy_host = address_;
+  pref.proxy = proxy.id();
+  proxy.handle_request(msg.request, msg.server, msg.body, msg.stream);
+}
+
+void Mss::handle_pref_restore(const MsgPrefRestore& msg) {
+  if (!local_mhs_.contains(msg.mh)) {
+    // The Mh moved on with a null pref; the proxy stays orphaned until the
+    // idle-proxy GC reclaims it (its pending requests are unrecoverable —
+    // counted so experiments can report the residual window).
+    count("mss.pref_restore_missed");
+    return;
+  }
+  Pref& pref = prefs_.at(msg.mh);
+  if (pref.has_proxy()) {
+    if (pref.proxy_host == msg.proxy_host && pref.proxy == msg.proxy) {
+      // Already consistent; just defuse the stale RKpR.
+      pref.clear_rkpr();
+    } else {
+      // A different proxy was created meanwhile; the old one is orphaned.
+      count("mss.pref_restore_conflict");
+    }
+    return;
+  }
+  pref.proxy_host = msg.proxy_host;
+  pref.proxy = msg.proxy;
+  pref.clear_rkpr();
+  count("mss.prefs_restored");
+  // The proxy refused deletion while holding unacknowledged results; let
+  // it re-deliver them to us right away.
+  send_update_currentloc(msg.mh, pref);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+Proxy& Mss::create_proxy(MhId mh) {
+  const ProxyId id{next_proxy_++};
+  auto proxy = std::make_unique<Proxy>(runtime_, *this, address_, id, mh);
+  Proxy& ref = *proxy;
+  proxies_.emplace(id, std::move(proxy));
+  ++proxies_hosted_total_;
+  count("mss.proxies_created");
+  // The GC timer lives only while this Mss hosts proxies, so an idle world
+  // drains its event queue (run_to_quiescence terminates).
+  if (runtime_.config.idle_proxy_gc && !gc_scheduled_) schedule_gc();
+  return ref;
+}
+
+void Mss::route_to_proxy(const Pref& pref, net::PayloadPtr payload,
+                         sim::EventPriority priority) {
+  RDP_CHECK(pref.has_proxy(), "routing to a null pref");
+  if (pref.proxy_host == address_) {
+    deliver_local_from_proxy(std::move(payload));
+    return;
+  }
+  runtime_.wired.send(address_, pref.proxy_host, std::move(payload), priority);
+}
+
+void Mss::deliver_local_from_proxy(const net::PayloadPtr& payload) {
+  // Local exchange between this Mss and a co-located proxy, in either
+  // direction; reuse the wired dispatch.
+  net::Envelope envelope;
+  envelope.src = address_;
+  envelope.dst = address_;
+  envelope.payload = payload;
+  envelope.sent_at = runtime_.simulator.now();
+  envelope.arrives_at = runtime_.simulator.now();
+  on_message(envelope);
+}
+
+void Mss::send_registration_ack(MhId mh) {
+  runtime_.wireless.downlink(cell_, mh,
+                             net::make_message<MsgRegistrationAck>(id_));
+}
+
+void Mss::send_update_currentloc(MhId mh, const Pref& pref) {
+  runtime_.observer.on_update_currentloc(runtime_.simulator.now(), mh,
+                                         pref.proxy_host, address_);
+  count("mss.update_currentloc_sent");
+  if (pref.proxy_host == address_) {
+    auto it = proxies_.find(pref.proxy);
+    if (it == proxies_.end()) {
+      count("mss.update_for_dead_proxy");
+      return;
+    }
+    it->second->handle_update_currentloc(address_);
+    return;
+  }
+  runtime_.wired.send(
+      address_, pref.proxy_host,
+      net::make_message<MsgUpdateCurrentLoc>(mh, pref.proxy, address_));
+}
+
+void Mss::delete_proxy(ProxyId id, bool via_gc) {
+  auto it = proxies_.find(id);
+  RDP_CHECK(it != proxies_.end(), "deleting unknown proxy");
+  runtime_.observer.on_proxy_deleted(runtime_.simulator.now(),
+                                     it->second->mh(), address_, id, via_gc);
+  count(via_gc ? "mss.proxies_gc" : "mss.proxies_deleted");
+  proxies_.erase(it);
+}
+
+void Mss::schedule_gc() {
+  gc_scheduled_ = true;
+  runtime_.simulator.schedule(
+      runtime_.config.proxy_gc_interval, [this] { run_gc(); },
+      sim::EventPriority::kLow);
+}
+
+void Mss::run_gc() {
+  gc_scheduled_ = false;
+  std::vector<ProxyId> dead;
+  for (const auto& [id, proxy] : proxies_) {
+    const common::Duration age =
+        runtime_.simulator.now() - proxy->last_activity();
+    if (proxy->idle()) {
+      if (age >= runtime_.config.idle_proxy_timeout) dead.push_back(id);
+    } else if (runtime_.config.abandoned_proxy_timeout >
+                   common::Duration::zero() &&
+               age >= runtime_.config.abandoned_proxy_timeout) {
+      // The Mh has been unreachable for a very long time (left the system
+      // or died): the pending requests are unrecoverable.
+      for (const RequestId request : proxy->pending_requests()) {
+        runtime_.observer.on_request_lost(runtime_.simulator.now(),
+                                          proxy->mh(), request,
+                                          RequestLossReason::kMhLeft);
+      }
+      count("mss.proxies_abandoned");
+      dead.push_back(id);
+    }
+  }
+  for (ProxyId id : dead) {
+    runtime_.observer.on_orphaned_proxy(runtime_.simulator.now(),
+                                        proxies_.at(id)->mh(), id);
+    delete_proxy(id, /*via_gc=*/true);
+  }
+  if (!proxies_.empty()) schedule_gc();
+}
+
+}  // namespace rdp::core

@@ -1,0 +1,133 @@
+// Mobile Support Station (§2, §3).
+//
+// An Mss serves one cell, keeps the `local_Mhs` list and the pref of every
+// local mobile host, hosts proxy objects, relays requests and Acks between
+// its local Mhs and their proxies, executes the Hand-off protocol of §3.2,
+// and implements the RKpR half of the proxy-deletion handshake of §3.3.
+//
+// Mss's "are assumed not to fail" (§2), so there is no failure handling
+// here; failures of the *wireless* path and of mobile hosts are the whole
+// point of the protocol and are handled everywhere.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "core/messages.h"
+#include "core/proxy.h"
+#include "core/runtime.h"
+
+namespace rdp::core {
+
+class Mss final : public net::Endpoint,
+                  public net::UplinkReceiver,
+                  public ProxyHost {
+ public:
+  Mss(Runtime& runtime, MssId id, CellId cell, NodeAddress address);
+  ~Mss() override = default;
+
+  Mss(const Mss&) = delete;
+  Mss& operator=(const Mss&) = delete;
+
+  [[nodiscard]] MssId id() const { return id_; }
+  [[nodiscard]] CellId cell() const { return cell_; }
+  [[nodiscard]] NodeAddress address() const { return address_; }
+
+  // --- introspection (tests / load-balance experiment) ---
+  [[nodiscard]] std::size_t local_mh_count() const {
+    return local_mhs_.size();
+  }
+  [[nodiscard]] bool is_local(MhId mh) const { return local_mhs_.contains(mh); }
+  [[nodiscard]] std::size_t proxy_count() const { return proxies_.size(); }
+  [[nodiscard]] std::uint64_t proxies_hosted_total() const {
+    return proxies_hosted_total_;
+  }
+  [[nodiscard]] const Pref* pref_of(MhId mh) const;
+  [[nodiscard]] const Proxy* proxy(ProxyId id) const;
+
+  // net::Endpoint — wired traffic.
+  void on_message(const net::Envelope& envelope) override;
+
+  // net::UplinkReceiver — wireless traffic from local mobile hosts.
+  void on_uplink(MhId from, const net::PayloadPtr& payload) override;
+
+  // ProxyHost — messages from a co-located proxy, no wire involved.
+  void deliver_local_from_proxy(const net::PayloadPtr& payload) override;
+
+ private:
+  struct PendingHandoff {
+    MssId old_mss;
+    common::SimTime started;
+    // Set when the Mh moved on to yet another cell before this hand-off
+    // finished; the pref is then forwarded there directly.
+    NodeAddress chained_to;
+  };
+
+  void count(const char* name) { runtime_.counters.increment(name); }
+
+  // --- uplink handlers ---
+  void handle_join(MhId mh);
+  void handle_leave(MhId mh);
+  void handle_greet(MhId mh, MssId old_mss);
+  void handle_uplink_request(MhId mh, const MsgUplinkRequest& msg);
+  void handle_uplink_unsubscribe(MhId mh, const MsgUnsubscribe& msg);
+  void handle_uplink_ack(MhId mh, const MsgUplinkAck& msg);
+
+  // --- wired handlers ---
+  void handle_dereg(const MsgDereg& msg, NodeAddress from);
+  void handle_dereg_ack(const MsgDeregAck& msg);
+  void handle_forward_request(const MsgForwardRequest& msg, NodeAddress from);
+  void handle_forward_unsubscribe(const MsgForwardUnsubscribe& msg);
+  void handle_result_forward(const MsgResultForward& msg);
+  void handle_del_pref(const MsgDelPref& msg);
+  void handle_ack_forward(const MsgAckForward& msg);
+  void handle_update_currentloc(const MsgUpdateCurrentLoc& msg);
+  void handle_proxy_gone(const MsgProxyGone& msg);
+  void handle_pref_restore(const MsgPrefRestore& msg);
+
+  // --- helpers ---
+  Proxy& create_proxy(MhId mh);
+  void route_to_proxy(const Pref& pref, net::PayloadPtr payload,
+                      sim::EventPriority priority);
+  // Footnote-3 extension: cache a forwarded result for local retry.
+  void cache_result(const MsgResultForward& msg);
+  void arm_result_cache_timer(MhId mh, RequestId request,
+                              std::uint32_t result_seq);
+  void drop_cached_results(MhId mh);
+  void send_registration_ack(MhId mh);
+  void send_update_currentloc(MhId mh, const Pref& pref);
+  void delete_proxy(ProxyId id, bool via_gc);
+  void schedule_gc();
+  void run_gc();
+
+  Runtime& runtime_;
+  const MssId id_;
+  const CellId cell_;
+  const NodeAddress address_;
+
+  std::set<MhId> local_mhs_;                     // the paper's local_Mhs
+  std::map<MhId, Pref> prefs_;                   // pref per local Mh
+  std::map<ProxyId, std::unique_ptr<Proxy>> proxies_;
+  std::map<MhId, PendingHandoff> pending_handoffs_;
+  // Where each departed Mh's pref went (to chase stale deregs, §3.2 races).
+  std::unordered_map<MhId, NodeAddress> departed_to_;
+  std::uint32_t next_proxy_ = 0;
+  std::uint64_t proxies_hosted_total_ = 0;
+  bool gc_scheduled_ = false;
+
+  // Footnote-3 extension state (only populated when
+  // config.mss_result_cache is on).
+  struct CachedResult {
+    std::string body;
+    bool final = false;
+    std::uint32_t attempt = 0;      // proxy-side attempt number
+    int local_retries = 0;          // transmissions by this Mss
+    sim::TimerHandle timer;
+  };
+  std::map<MhId, std::map<std::pair<RequestId, std::uint32_t>, CachedResult>>
+      cached_results_;
+};
+
+}  // namespace rdp::core

@@ -1,0 +1,33 @@
+// Shared context handed to every protocol entity.
+//
+// Bundles the simulation kernel, the two networks, the directory, the
+// configuration and the observer so that constructors stay small and the
+// dependencies of each entity are explicit (no globals anywhere).
+#pragma once
+
+#include "core/config.h"
+#include "core/directory.h"
+#include "core/events.h"
+#include "net/wired.h"
+#include "net/wireless.h"
+#include "sim/simulator.h"
+#include "stats/counters.h"
+
+namespace rdp::core {
+
+struct Runtime {
+  sim::Simulator& simulator;
+  net::WiredTransport& wired;
+  net::WirelessChannel& wireless;
+  Directory& directory;
+  const RdpConfig& config;
+  RdpObserver& observer;
+  stats::CounterRegistry& counters;
+
+  [[nodiscard]] sim::EventPriority ack_priority() const {
+    return config.ack_priority ? sim::EventPriority::kAck
+                               : sim::EventPriority::kNormal;
+  }
+};
+
+}  // namespace rdp::core

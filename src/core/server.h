@@ -1,0 +1,94 @@
+// Application server on the static network.
+//
+// "From the perspective of the server, service access is identical to the
+// one by a static client" (§3): the server replies to the proxy's fixed
+// address and is completely unaware of mobility.  The base class implements
+// a generic request/reply service with a configurable (long) processing
+// time — the paper's motivating workload — plus subscription streams used
+// for the subscribe operation (§1).  The traffic-information substrate
+// (tis/) builds on it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/messages.h"
+#include "core/runtime.h"
+
+namespace rdp::core {
+
+class Server : public net::Endpoint {
+ public:
+  struct Config {
+    // Request processing takes base + uniform[0, jitter].
+    common::Duration base_service_time = common::Duration::millis(100);
+    common::Duration service_jitter = common::Duration::zero();
+  };
+  // Computes the reply body for a oneshot request (default: echo).
+  using Handler = std::function<std::string(const std::string& body)>;
+
+  Server(Runtime& runtime, common::ServerId id, NodeAddress address,
+         Config config, common::Rng rng, Handler handler = {});
+  ~Server() override = default;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] common::ServerId id() const { return id_; }
+  [[nodiscard]] NodeAddress address() const { return address_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] std::uint64_t completion_acks() const { return acks_; }
+  [[nodiscard]] std::size_t active_subscriptions() const {
+    return subscriptions_.size();
+  }
+
+  // Push a notification to every active subscription.
+  void publish(const std::string& body);
+
+  // net::Endpoint
+  void on_message(const net::Envelope& envelope) override;
+
+ protected:
+  struct Subscription {
+    NodeAddress reply_to;
+    ProxyId proxy;
+    std::uint32_t next_seq = 1;
+  };
+
+  // Oneshot path; subclasses may override to implement multi-hop services
+  // (they must eventually call send_result with final == true).
+  virtual void process_request(const MsgServerRequest& msg);
+
+  // Subscription admission; default accepts and sends an initial snapshot.
+  virtual void process_subscribe(const MsgServerRequest& msg);
+
+  [[nodiscard]] common::Duration sample_service_time();
+  [[nodiscard]] common::Rng& rng() { return rng_; }
+
+  void send_result(NodeAddress reply_to, ProxyId proxy, RequestId request,
+                   std::uint32_t seq, bool final, std::string body);
+
+  // Push one notification to a single subscription; returns false if the
+  // request is not subscribed (already unsubscribed).
+  bool notify(RequestId request, const std::string& body);
+
+  Runtime& runtime_;
+
+  // Subclasses intercepting MsgServerUnsubscribe for their own subscription
+  // registries should fall back to this for base-class subscriptions.
+  void handle_unsubscribe(const MsgServerUnsubscribe& msg);
+
+ private:
+
+  const common::ServerId id_;
+  const NodeAddress address_;
+  const Config config_;
+  common::Rng rng_;
+  Handler handler_;
+  std::map<RequestId, Subscription> subscriptions_;
+  std::uint64_t served_ = 0;
+  std::uint64_t acks_ = 0;
+};
+
+}  // namespace rdp::core

@@ -1,0 +1,68 @@
+// Scenario builder for the baseline (Mobile-IP-style) stack, mirroring
+// harness::World so experiments can run both protocols on identical
+// topologies, workloads and seeds.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/mip.h"
+#include "core/directory.h"
+#include "core/runtime.h"
+#include "core/server.h"
+#include "harness/world.h"
+
+namespace rdp::harness {
+
+struct BaselineScenarioConfig {
+  ScenarioConfig base;  // reuses the RDP scenario knobs (networks, counts)
+  baseline::BaselineConfig baseline;
+};
+
+class BaselineWorld {
+ public:
+  explicit BaselineWorld(BaselineScenarioConfig config);
+
+  BaselineWorld(const BaselineWorld&) = delete;
+  BaselineWorld& operator=(const BaselineWorld&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] core::Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] stats::CounterRegistry& counters() { return counters_; }
+  [[nodiscard]] core::ObserverList& observers() { return observers_; }
+  [[nodiscard]] net::WiredNetwork& wired() { return wired_; }
+  [[nodiscard]] net::WirelessChannel& wireless() { return wireless_; }
+  [[nodiscard]] common::Rng& rng() { return rng_; }
+
+  [[nodiscard]] int num_mss() const { return static_cast<int>(msses_.size()); }
+  [[nodiscard]] baseline::MipMss& mss(int i) { return *msses_.at(i); }
+  [[nodiscard]] baseline::MipHostAgent& mh(int i) { return *mhs_.at(i); }
+  [[nodiscard]] core::Server& server(int i) { return *servers_.at(i); }
+  [[nodiscard]] common::CellId cell(int i) const {
+    return common::CellId(static_cast<std::uint32_t>(i));
+  }
+  [[nodiscard]] common::NodeAddress server_address(int i) {
+    return servers_.at(i)->address();
+  }
+
+  void run_for(common::Duration duration) {
+    simulator_.run_until(simulator_.now() + duration);
+  }
+  void run_to_quiescence() { simulator_.run(); }
+
+ private:
+  BaselineScenarioConfig config_;
+  sim::Simulator simulator_;
+  common::Rng rng_;
+  net::WiredNetwork wired_;
+  net::WirelessChannel wireless_;
+  core::Directory directory_;
+  stats::CounterRegistry counters_;
+  core::ObserverList observers_;
+  std::unique_ptr<core::Runtime> runtime_;
+  std::vector<std::unique_ptr<baseline::MipMss>> msses_;
+  std::vector<std::unique_ptr<core::Server>> servers_;
+  std::vector<std::unique_ptr<baseline::MipHostAgent>> mhs_;
+};
+
+}  // namespace rdp::harness

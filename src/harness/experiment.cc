@@ -1,0 +1,186 @@
+#include "harness/experiment.h"
+
+#include "stats/fairness.h"
+
+#include <memory>
+
+namespace rdp::harness {
+namespace {
+
+std::unique_ptr<workload::MobilityModel> make_mobility(
+    const ExperimentParams& params, const workload::CellTopology& topology) {
+  switch (params.mobility) {
+    case MobilityKind::kStatic:
+      return std::make_unique<workload::StaticMobility>(topology);
+    case MobilityKind::kRandomWalk:
+      return std::make_unique<workload::RandomWalkMobility>(topology,
+                                                            params.mean_dwell);
+    case MobilityKind::kUniformJump:
+      return std::make_unique<workload::UniformJumpMobility>(
+          topology, params.mean_dwell);
+    case MobilityKind::kPingPong:
+      return std::make_unique<workload::PingPongMobility>(topology,
+                                                          params.mean_dwell);
+  }
+  RDP_CHECK(false, "unknown mobility kind");
+}
+
+workload::WorkloadParams make_workload(const ExperimentParams& params) {
+  workload::WorkloadParams wl;
+  wl.travel_time = params.travel_time;
+  wl.mean_request_interval = params.mean_request_interval;
+  wl.request_body = params.request_body;
+  wl.mean_active = params.mean_active;
+  wl.mean_inactive = params.mean_inactive;
+  return wl;
+}
+
+// Everything shared between the RDP and baseline runs.
+template <typename World, typename Host>
+void drive(World& world, const ExperimentParams& params,
+           MetricsCollector& metrics, ExperimentResult& result,
+           stats::Tally<std::string>& wire_tally) {
+  world.observers().add(&metrics);
+  world.wired().add_send_observer([&](const net::Envelope& envelope) {
+    wire_tally.add(envelope.payload->name());
+  });
+
+  const workload::CellTopology topology =
+      workload::CellTopology::grid(params.grid_width, params.grid_height);
+  auto mobility = make_mobility(params, topology);
+  const workload::WorkloadParams wl = make_workload(params);
+
+  std::vector<common::NodeAddress> servers;
+  for (int i = 0; i < params.num_servers; ++i) {
+    servers.push_back(world.server_address(i));
+  }
+
+  std::vector<std::unique_ptr<workload::HostDriver<Host>>> drivers;
+  drivers.reserve(params.num_mh);
+  for (int i = 0; i < params.num_mh; ++i) {
+    drivers.push_back(std::make_unique<workload::HostDriver<Host>>(
+        world.simulator(), world.mh(i), *mobility, world.rng().fork(), wl,
+        servers));
+    drivers.back()->start();
+  }
+  world.run_for(params.sim_time);
+  for (auto& driver : drivers) driver->stop();
+  world.run_for(params.drain_time);
+
+  for (auto& driver : drivers) {
+    result.migrations += driver->migrations();
+    result.reactivations += driver->reactivations();
+  }
+}
+
+void collect_common(const MetricsCollector& metrics,
+                    const stats::Tally<std::string>& wire_tally,
+                    const net::WiredNetwork& wired,
+                    const stats::CounterRegistry& counters,
+                    ExperimentResult& result) {
+  result.requests_issued = metrics.requests_issued;
+  result.requests_completed = metrics.requests_completed_at_mh();
+  result.requests_lost = metrics.requests_lost;
+  result.results_delivered = metrics.results_delivered;
+  result.app_duplicates = metrics.app_duplicates;
+  result.retransmissions = metrics.retransmissions;
+  result.result_forwards = metrics.result_forwards;
+  result.delivery_ratio = metrics.delivery_ratio();
+  result.mean_latency_ms = metrics.delivery_latency_ms.mean();
+  result.p95_latency_ms = metrics.delivery_latency_ms.percentile(0.95);
+  result.handoffs = metrics.handoffs;
+  result.update_currentloc = metrics.update_currentloc;
+  result.acks_forwarded = metrics.acks_forwarded;
+  result.mean_handoff_ms = metrics.handoff_latency_ms.mean();
+  result.mean_handoff_bytes = metrics.handoff_state_bytes.mean();
+  result.proxies_created = metrics.proxies_created;
+  result.delproxy_with_pending = metrics.delproxy_with_pending;
+  result.wired_messages = wired.messages_sent();
+  result.wired_bytes = wired.bytes_sent();
+  for (const auto& [name, count] : wire_tally.all()) {
+    result.wired_by_type[name] = count;
+  }
+  result.counters = counters.all();
+  result.stale_acks = counters.get("mss.stale_ack_dropped");
+  result.requests_dropped_preproxy =
+      counters.get("mss.stale_request_dropped");
+}
+
+}  // namespace
+
+ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
+  ScenarioConfig config;
+  config.seed = params.seed;
+  config.num_mss = params.num_mss();
+  config.num_mh = params.num_mh;
+  config.num_servers = params.num_servers;
+  config.causal_order = params.causal_order;
+  config.wired = params.wired;
+  config.wireless = params.wireless;
+  config.rdp = params.rdp;
+  config.server.base_service_time = params.service_time;
+  config.server.service_jitter = params.service_jitter;
+
+  World world(config);
+  MetricsCollector metrics;
+  ExperimentResult result;
+  stats::Tally<std::string> wire_tally;
+  drive<World, core::MobileHostAgent>(world, params, metrics, result,
+                                      wire_tally);
+  collect_common(metrics, wire_tally, world.wired(), world.counters(), result);
+  if (world.causal() != nullptr) {
+    result.causal_delayed = world.causal()->delayed_total();
+  }
+
+  // Proxy placement across Mss's (E5): include zero entries for Mss's that
+  // never hosted a proxy, otherwise the fairness index flatters skew.
+  std::vector<double> placement;
+  for (int i = 0; i < world.num_mss(); ++i) {
+    placement.push_back(static_cast<double>(
+        metrics.proxy_host_tally.get(world.mss(i).address())));
+  }
+  result.placement_jain = stats::jain_fairness(placement);
+  result.placement_max_to_mean = stats::max_to_mean(placement);
+  return result;
+}
+
+ExperimentResult run_baseline_experiment(const ExperimentParams& params,
+                                         baseline::BaselineMode mode) {
+  BaselineScenarioConfig config;
+  config.base.seed = params.seed;
+  config.base.num_mss = params.num_mss();
+  config.base.num_mh = params.num_mh;
+  config.base.num_servers = params.num_servers;
+  config.base.wired = params.wired;
+  config.base.wireless = params.wireless;
+  config.base.rdp = params.rdp;
+  config.base.server.base_service_time = params.service_time;
+  config.base.server.service_jitter = params.service_jitter;
+  config.baseline.mode = mode;
+
+  BaselineWorld world(config);
+  MetricsCollector metrics;
+  ExperimentResult result;
+  stats::Tally<std::string> wire_tally;
+  drive<BaselineWorld, baseline::MipHostAgent>(world, params, metrics, result,
+                                               wire_tally);
+  collect_common(metrics, wire_tally, world.wired(), world.counters(), result);
+
+  // The baseline's completion metric: MetricsCollector's finals come from
+  // on_result_delivered with final=true, which the baseline also emits, so
+  // requests_completed is already correct.  Placement = home-agent tunnel
+  // load across Mss's.
+  std::vector<double> placement;
+  std::uint64_t tunnels = 0;
+  for (int i = 0; i < world.num_mss(); ++i) {
+    placement.push_back(static_cast<double>(world.mss(i).tunnels_forwarded()));
+    tunnels += world.mss(i).tunnels_forwarded();
+  }
+  if (tunnels > 0) {
+    result.placement_jain = stats::jain_fairness(placement);
+    result.placement_max_to_mean = stats::max_to_mean(placement);
+  }
+  return result;
+}
+
+}  // namespace rdp::harness

@@ -1,0 +1,114 @@
+// Experiment runner shared by the benchmark binaries: runs an identical
+// randomized workload over the RDP stack or a baseline stack and collects
+// the metrics every row in EXPERIMENTS.md is made of.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "baseline/mip.h"
+#include "harness/baseline_world.h"
+#include "harness/metrics.h"
+#include "harness/world.h"
+#include "workload/driver.h"
+#include "workload/mobility.h"
+#include "workload/topology.h"
+
+namespace rdp::harness {
+
+enum class MobilityKind { kStatic, kRandomWalk, kUniformJump, kPingPong };
+
+struct ExperimentParams {
+  std::uint64_t seed = 1;
+
+  // Topology / population.
+  int grid_width = 3;
+  int grid_height = 3;
+  int num_mh = 20;
+  int num_servers = 2;
+
+  // Timing.
+  common::Duration sim_time = common::Duration::seconds(600);
+  common::Duration drain_time = common::Duration::seconds(120);
+
+  // Mobility.
+  MobilityKind mobility = MobilityKind::kRandomWalk;
+  common::Duration mean_dwell = common::Duration::seconds(30);
+  common::Duration travel_time = common::Duration::millis(500);
+
+  // Activity (zero disables on/off cycling).
+  common::Duration mean_active = common::Duration::zero();
+  common::Duration mean_inactive = common::Duration::zero();
+
+  // Requests.
+  common::Duration mean_request_interval = common::Duration::seconds(10);
+  std::string request_body = "q";
+
+  // Service.
+  common::Duration service_time = common::Duration::millis(200);
+  common::Duration service_jitter = common::Duration::zero();
+
+  // Networks.
+  net::WiredConfig wired;
+  net::WirelessConfig wireless;
+
+  // Protocol knobs.
+  core::RdpConfig rdp;
+  bool causal_order = true;
+
+  [[nodiscard]] int num_mss() const { return grid_width * grid_height; }
+};
+
+struct ExperimentResult {
+  // Request path.
+  std::uint64_t requests_issued = 0;
+  std::uint64_t requests_completed = 0;  // final result delivered at the Mh
+  std::uint64_t requests_lost = 0;
+  std::uint64_t results_delivered = 0;
+  std::uint64_t app_duplicates = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t result_forwards = 0;
+  double delivery_ratio = 0;
+  double mean_latency_ms = 0;
+  double p95_latency_ms = 0;
+
+  // Mobility / overhead.
+  std::uint64_t migrations = 0;
+  std::uint64_t reactivations = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t update_currentloc = 0;
+  std::uint64_t acks_forwarded = 0;
+  double mean_handoff_ms = 0;
+  double mean_handoff_bytes = 0;
+
+  // Proxy / agent placement (load balance).
+  std::uint64_t proxies_created = 0;
+  double placement_jain = 1.0;
+  double placement_max_to_mean = 1.0;
+
+  // Wire totals.
+  std::uint64_t wired_messages = 0;
+  std::uint64_t wired_bytes = 0;
+  std::map<std::string, std::uint64_t> wired_by_type;
+
+  // Anomaly counters (ablations).
+  std::uint64_t delproxy_with_pending = 0;
+  std::uint64_t stale_acks = 0;
+  // Requests dropped before reaching a proxy (in-flight during a hand-off;
+  // request-side reliability is QRPC's job per §4, not RDP's).
+  std::uint64_t requests_dropped_preproxy = 0;
+  // Messages the causal layer had to buffer to preserve causal order.
+  std::uint64_t causal_delayed = 0;
+
+  // Raw counter snapshot for ad-hoc queries.
+  std::map<std::string, std::uint64_t> counters;
+};
+
+// Runs the workload over the full RDP stack.
+ExperimentResult run_rdp_experiment(const ExperimentParams& params);
+
+// Runs the identical workload over a baseline stack.
+ExperimentResult run_baseline_experiment(const ExperimentParams& params,
+                                         baseline::BaselineMode mode);
+
+}  // namespace rdp::harness

@@ -1,0 +1,23 @@
+#include "harness/metrics.h"
+
+namespace rdp::harness {
+
+void MetricsCollector::on_result_delivered(core::SimTime t, core::MhId,
+                                           core::RequestId r,
+                                           std::uint32_t /*seq*/, bool final,
+                                           bool duplicate,
+                                           std::uint32_t /*attempt*/) {
+  if (duplicate) {
+    ++app_duplicates;
+    return;
+  }
+  ++results_delivered;
+  if (auto it = issue_time_.find(r); it != issue_time_.end()) {
+    delivery_latency_ms.add(t - it->second);
+  }
+  if (final && finals_delivered_.insert(r).second) {
+    ++requests_completed_at_mh_;
+  }
+}
+
+}  // namespace rdp::harness

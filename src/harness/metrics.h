@@ -1,0 +1,125 @@
+// Metrics collection for experiments: an RdpObserver that aggregates the
+// quantities every table in EXPERIMENTS.md is built from.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/events.h"
+#include "stats/counters.h"
+#include "stats/histogram.h"
+
+namespace rdp::harness {
+
+class MetricsCollector final : public core::RdpObserver {
+ public:
+  // --- request path ---
+  std::uint64_t requests_issued = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_lost = 0;
+  std::uint64_t results_delivered = 0;      // non-duplicate app deliveries
+  std::uint64_t app_duplicates = 0;         // duplicate downlink deliveries
+  std::uint64_t result_forwards = 0;        // proxy -> respMss forwards
+  std::uint64_t retransmissions = 0;        // forwards with attempt > 1
+  std::uint64_t acks_forwarded = 0;         // respMss -> proxy (the §5 extra Ack)
+  std::uint64_t update_currentloc = 0;      // the §5 per-migration message
+
+  // --- mobility ---
+  std::uint64_t handoffs = 0;
+  std::uint64_t registrations = 0;
+  stats::Histogram handoff_latency_ms;
+  stats::Histogram handoff_state_bytes;
+  stats::Histogram registration_latency_ms;
+
+  // --- proxy life-cycle ---
+  std::uint64_t proxies_created = 0;
+  std::uint64_t proxies_deleted = 0;
+  std::uint64_t proxies_gc = 0;
+  std::uint64_t delproxy_with_pending = 0;  // anomaly counter (ablations)
+  stats::Tally<common::NodeAddress> proxy_host_tally;  // E5 load balance
+
+  // --- latency (request issue -> first non-duplicate delivery of each
+  // result; milliseconds) ---
+  stats::Histogram delivery_latency_ms;
+
+  // requests still pending (issued, final result not yet delivered)
+  [[nodiscard]] std::uint64_t requests_outstanding() const {
+    return requests_issued - requests_completed_at_mh_ - requests_lost;
+  }
+  [[nodiscard]] double delivery_ratio() const {
+    return requests_issued == 0
+               ? 1.0
+               : static_cast<double>(requests_completed_at_mh_) /
+                     static_cast<double>(requests_issued);
+  }
+
+  // RdpObserver
+  void on_request_issued(core::SimTime t, core::MhId, core::RequestId r,
+                         core::NodeAddress) override {
+    ++requests_issued;
+    issue_time_[r] = t;
+  }
+  void on_request_completed(core::SimTime, core::MhId,
+                            core::RequestId) override {
+    ++requests_completed;
+  }
+  void on_request_lost(core::SimTime, core::MhId, core::RequestId,
+                       core::RequestLossReason) override {
+    ++requests_lost;
+  }
+  void on_result_forwarded(core::SimTime, core::MhId, core::RequestId,
+                           std::uint32_t, core::NodeAddress,
+                           std::uint32_t attempt, bool) override {
+    ++result_forwards;
+    if (attempt > 1) ++retransmissions;
+  }
+  void on_result_delivered(core::SimTime t, core::MhId, core::RequestId r,
+                           std::uint32_t seq, bool final, bool duplicate,
+                           std::uint32_t attempt) override;
+  void on_ack_forwarded(core::SimTime, core::MhId, core::RequestId,
+                        std::uint32_t, bool) override {
+    ++acks_forwarded;
+  }
+  void on_update_currentloc(core::SimTime, core::MhId, core::NodeAddress,
+                            core::NodeAddress) override {
+    ++update_currentloc;
+  }
+  void on_handoff_completed(core::SimTime, core::MhId, core::MssId,
+                            core::MssId, core::Duration latency,
+                            std::size_t bytes) override {
+    ++handoffs;
+    handoff_latency_ms.add(latency);
+    handoff_state_bytes.add(static_cast<double>(bytes));
+  }
+  void on_mh_registered(core::SimTime, core::MhId, core::MssId,
+                        core::Duration latency) override {
+    ++registrations;
+    registration_latency_ms.add(latency);
+  }
+  void on_proxy_created(core::SimTime, core::MhId, core::NodeAddress host,
+                        core::ProxyId) override {
+    ++proxies_created;
+    proxy_host_tally.add(host);
+  }
+  void on_proxy_deleted(core::SimTime, core::MhId, core::NodeAddress,
+                        core::ProxyId, bool via_gc) override {
+    ++proxies_deleted;
+    if (via_gc) ++proxies_gc;
+  }
+  void on_delproxy_with_pending(core::SimTime, core::MhId,
+                                core::ProxyId) override {
+    ++delproxy_with_pending;
+  }
+
+ private:
+  std::map<core::RequestId, core::SimTime> issue_time_;
+  std::set<core::RequestId> finals_delivered_;
+  std::uint64_t requests_completed_at_mh_ = 0;
+
+ public:
+  [[nodiscard]] std::uint64_t requests_completed_at_mh() const {
+    return requests_completed_at_mh_;
+  }
+};
+
+}  // namespace rdp::harness

@@ -1,0 +1,68 @@
+#include "harness/world.h"
+
+namespace rdp::harness {
+
+World::World(ScenarioConfig config)
+    : config_(config),
+      rng_(config.seed),
+      wired_(simulator_, common::Rng(config.seed ^ 0x9e3779b9ULL),
+             config.wired),
+      causal_(config.causal_order ? std::make_unique<causal::CausalLayer>(wired_)
+                                  : nullptr),
+      transport_(causal_ ? static_cast<net::WiredTransport&>(*causal_)
+                         : static_cast<net::WiredTransport&>(wired_)),
+      wireless_(simulator_, common::Rng(config.seed ^ 0x51c64e6dULL),
+                config.wireless) {
+  runtime_ = std::make_unique<core::Runtime>(core::Runtime{
+      simulator_, transport_, wireless_, directory_, config_.rdp, observers_,
+      counters_});
+
+  for (int i = 0; i < config_.num_mss; ++i) {
+    const common::MssId id(static_cast<std::uint32_t>(i));
+    const common::CellId cell_id = cell(i);
+    const common::NodeAddress address = directory_.allocate_address();
+    directory_.register_mss(id, cell_id, address);
+    auto mss = std::make_unique<core::Mss>(*runtime_, id, cell_id, address);
+    transport_.attach(address, mss.get());
+    wireless_.register_cell(cell_id, id, mss.get());
+    msses_.push_back(std::move(mss));
+  }
+
+  for (int i = 0; i < config_.num_servers; ++i) {
+    const common::ServerId id(static_cast<std::uint32_t>(i));
+    const common::NodeAddress address = directory_.allocate_address();
+    directory_.register_server(id, address);
+    auto server = std::make_unique<core::Server>(*runtime_, id, address,
+                                                 config_.server, rng_.fork());
+    transport_.attach(address, server.get());
+    servers_.push_back(std::move(server));
+  }
+
+  for (int i = 0; i < config_.num_mh; ++i) {
+    mhs_.push_back(std::make_unique<core::MobileHostAgent>(
+        *runtime_, common::MhId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+core::Mss* World::mss_at(common::NodeAddress address) {
+  for (auto& mss : msses_) {
+    if (mss->address() == address) return mss.get();
+  }
+  return nullptr;
+}
+
+core::Server& World::add_server(
+    const std::function<std::unique_ptr<core::Server>(
+        core::Runtime&, common::ServerId, common::NodeAddress, common::Rng)>&
+        factory) {
+  const common::ServerId id(
+      static_cast<std::uint32_t>(servers_.size()));
+  const common::NodeAddress address = directory_.allocate_address();
+  directory_.register_server(id, address);
+  auto server = factory(*runtime_, id, address, rng_.fork());
+  transport_.attach(address, server.get());
+  servers_.push_back(std::move(server));
+  return *servers_.back();
+}
+
+}  // namespace rdp::harness

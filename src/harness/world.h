@@ -1,0 +1,104 @@
+// Scenario builder: a fully wired RDP world.
+//
+// Owns the simulation kernel, both networks (with optional causal layer),
+// the directory, N Mss's (one cell each, matching the paper's model), M
+// application servers and K mobile hosts, plus the counter registry and the
+// observer fan-out all entities report into.  Tests, examples and
+// benchmarks build a World, drive the mobile hosts, and read the metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "causal/causal_layer.h"
+#include "core/directory.h"
+#include "core/mobile_host.h"
+#include "core/mss.h"
+#include "core/runtime.h"
+#include "core/server.h"
+#include "net/wired.h"
+#include "net/wireless.h"
+#include "sim/simulator.h"
+#include "stats/counters.h"
+
+namespace rdp::harness {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  int num_mss = 4;
+  int num_mh = 8;
+  int num_servers = 1;
+  bool causal_order = true;  // paper assumption 1 (E6 ablates)
+  net::WiredConfig wired;
+  net::WirelessConfig wireless;
+  core::RdpConfig rdp;
+  core::Server::Config server;
+};
+
+class World {
+ public:
+  explicit World(ScenarioConfig config);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] core::Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] core::Directory& directory() { return directory_; }
+  [[nodiscard]] stats::CounterRegistry& counters() { return counters_; }
+  [[nodiscard]] core::ObserverList& observers() { return observers_; }
+  [[nodiscard]] net::WiredNetwork& wired() { return wired_; }
+  [[nodiscard]] net::WirelessChannel& wireless() { return wireless_; }
+  [[nodiscard]] common::Rng& rng() { return rng_; }
+  // Null when the scenario disabled causal ordering.
+  [[nodiscard]] causal::CausalLayer* causal() { return causal_.get(); }
+
+  [[nodiscard]] int num_mss() const { return static_cast<int>(msses_.size()); }
+  [[nodiscard]] core::Mss& mss(int i) { return *msses_.at(i); }
+  [[nodiscard]] core::MobileHostAgent& mh(int i) { return *mhs_.at(i); }
+  [[nodiscard]] core::Server& server(int i) { return *servers_.at(i); }
+  [[nodiscard]] common::CellId cell(int i) const {
+    return common::CellId(static_cast<std::uint32_t>(i));
+  }
+  [[nodiscard]] common::NodeAddress server_address(int i) {
+    return servers_.at(i)->address();
+  }
+
+  // Find the Mss hosting the given wired address (for assertions).
+  [[nodiscard]] core::Mss* mss_at(common::NodeAddress address);
+
+  // Install a custom server (e.g. a tis::TrafficServer).  The factory gets
+  // the runtime, a fresh id/address and a forked rng; the world attaches
+  // the result to the wired transport and keeps ownership.
+  core::Server& add_server(
+      const std::function<std::unique_ptr<core::Server>(
+          core::Runtime&, common::ServerId, common::NodeAddress,
+          common::Rng)>& factory);
+
+  // Convenience: run the simulation for `duration` of virtual time.
+  void run_for(common::Duration duration) {
+    simulator_.run_until(simulator_.now() + duration);
+  }
+  // Run until the event queue drains (all protocol activity quiesced).
+  void run_to_quiescence() { simulator_.run(); }
+
+ private:
+  ScenarioConfig config_;
+  sim::Simulator simulator_;
+  common::Rng rng_;
+  net::WiredNetwork wired_;
+  std::unique_ptr<causal::CausalLayer> causal_;
+  net::WiredTransport& transport_;
+  net::WirelessChannel wireless_;
+  core::Directory directory_;
+  stats::CounterRegistry counters_;
+  core::ObserverList observers_;
+  std::unique_ptr<core::Runtime> runtime_;
+  std::vector<std::unique_ptr<core::Mss>> msses_;
+  std::vector<std::unique_ptr<core::Server>> servers_;
+  std::vector<std::unique_ptr<core::MobileHostAgent>> mhs_;
+};
+
+}  // namespace rdp::harness

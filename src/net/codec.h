@@ -1,0 +1,98 @@
+// Binary wire codec: little-endian, length-prefixed strings, bounds-checked
+// reads.  The simulator passes messages by reference (no encoding on the
+// hot path); this codec is the serialization layer for running the
+// protocol over real sockets, and core/codec.{h,cc} uses it to give every
+// RDP message an exact wire representation (round-trip tested).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdp::net {
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(value); }
+  void u16(std::uint16_t value) { append(&value, sizeof(value)); }
+  void u32(std::uint32_t value) { append(&value, sizeof(value)); }
+  void u64(std::uint64_t value) { append(&value, sizeof(value)); }
+  void i32(std::int32_t value) { append(&value, sizeof(value)); }
+  void i64(std::int64_t value) { append(&value, sizeof(value)); }
+  void boolean(bool value) { u8(value ? 1 : 0); }
+
+  void str(std::string_view value) {
+    if (value.size() > UINT32_MAX) throw CodecError("string too long");
+    u32(static_cast<std::uint32_t>(value.size()));
+    buffer_.insert(buffer_.end(), value.begin(), value.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buffer_;
+  }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  void append(const void* data, std::size_t size) {
+    const auto* begin = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), begin, begin + size);
+  }
+  std::vector<std::uint8_t> buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[position_++];
+  }
+  std::uint16_t u16() { return read<std::uint16_t>(); }
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  std::int32_t i32() { return read<std::int32_t>(); }
+  std::int64_t i64() { return read<std::int64_t>(); }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint32_t length = u32();
+    require(length);
+    std::string out(reinterpret_cast<const char*>(data_ + position_), length);
+    position_ += length;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - position_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T read() {
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + position_, sizeof(T));
+    position_ += sizeof(T);
+    return value;
+  }
+  void require(std::size_t bytes) const {
+    if (size_ - position_ < bytes) throw CodecError("buffer underflow");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace rdp::net

@@ -1,0 +1,58 @@
+// Message plumbing shared by every protocol in the repository.
+//
+// Messages are immutable, reference-counted payloads.  The network layers
+// never inspect payload contents; they only need a stable type name (for
+// statistics and traces) and a wire size (for byte accounting).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace rdp::net {
+
+using common::NodeAddress;
+
+class MessageBase {
+ public:
+  virtual ~MessageBase() = default;
+
+  // Stable, human-readable message type name, e.g. "update_currentLoc".
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // Approximate encoded size in bytes, used for byte-level accounting in
+  // the hand-off state-transfer experiment (E7).
+  [[nodiscard]] virtual std::size_t wire_size() const { return 64; }
+
+  // One-line rendering for traces; defaults to the type name.
+  [[nodiscard]] virtual std::string describe() const { return name(); }
+};
+
+using PayloadPtr = std::shared_ptr<const MessageBase>;
+
+template <typename T, typename... Args>
+PayloadPtr make_message(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+// Checked downcast helper: returns nullptr when the payload is a different
+// message type.
+template <typename T>
+const T* message_cast(const PayloadPtr& payload) {
+  return dynamic_cast<const T*>(payload.get());
+}
+
+// A message in flight on the wired network.
+struct Envelope {
+  NodeAddress src;
+  NodeAddress dst;
+  PayloadPtr payload;
+  common::SimTime sent_at;
+  common::SimTime arrives_at;
+  std::uint64_t seq = 0;  // global send order, for traces
+};
+
+}  // namespace rdp::net

@@ -1,0 +1,53 @@
+#include "net/wired.h"
+
+namespace rdp::net {
+
+WiredNetwork::WiredNetwork(sim::Simulator& simulator, common::Rng rng,
+                           WiredConfig config)
+    : simulator_(simulator), rng_(rng), config_(config) {}
+
+void WiredNetwork::attach(NodeAddress address, Endpoint* endpoint) {
+  RDP_CHECK(address.valid(), "cannot attach an invalid address");
+  RDP_CHECK(endpoint != nullptr, "cannot attach a null endpoint");
+  const bool inserted = endpoints_.emplace(address, endpoint).second;
+  RDP_CHECK(inserted, "address already attached: " + address.str());
+}
+
+void WiredNetwork::send(NodeAddress src, NodeAddress dst, PayloadPtr payload,
+                        sim::EventPriority priority) {
+  RDP_CHECK(payload != nullptr, "cannot send a null payload");
+  RDP_CHECK(dst.valid(), "cannot send to an invalid address");
+
+  const common::SimTime now = simulator_.now();
+  const auto jitter_us = config_.jitter.count_micros();
+  const common::Duration latency =
+      config_.base_latency +
+      (jitter_us > 0 ? common::Duration::micros(rng_.uniform_int(0, jitter_us))
+                     : common::Duration::zero());
+
+  // Per-link FIFO: arrival times on one (src,dst) link strictly increase.
+  common::SimTime arrival = now + latency;
+  const LinkKey key{src, dst};
+  auto [it, fresh] = last_arrival_.try_emplace(key, arrival);
+  if (!fresh && arrival <= it->second) {
+    arrival = it->second + common::Duration::micros(1);
+  }
+  it->second = arrival;
+
+  Envelope envelope{src, dst, std::move(payload), now, arrival, next_seq_++};
+  ++sent_;
+  bytes_ += envelope.payload->wire_size();
+  for (const auto& observer : observers_) observer(envelope);
+
+  simulator_.schedule_at(
+      arrival, [this, envelope] { deliver(envelope); }, priority);
+}
+
+void WiredNetwork::deliver(const Envelope& envelope) {
+  auto it = endpoints_.find(envelope.dst);
+  RDP_CHECK(it != endpoints_.end(),
+            "wired delivery to unattached address " + envelope.dst.str());
+  it->second->on_message(envelope);
+}
+
+}  // namespace rdp::net

@@ -1,0 +1,97 @@
+// The static (wired) network connecting Mss's and servers.
+//
+// Paper assumption 1 (Section 2): "Communication among the Mss's is
+// reliable and message delivery is in causal order."  This class provides
+// the reliable half with per-link FIFO ordering and a configurable latency
+// model; causal order across links is layered on top by causal::CausalLayer
+// (and can be disabled to reproduce the at-least-once-only behaviour in
+// experiment E6).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace rdp::net {
+
+// Receiving side of a wired endpoint (an Mss or a server).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_message(const Envelope& envelope) = 0;
+};
+
+// Abstract send/attach interface so the causal layer can interpose
+// transparently between protocol code and the physical network.
+class WiredTransport {
+ public:
+  virtual ~WiredTransport() = default;
+
+  virtual void attach(NodeAddress address, Endpoint* endpoint) = 0;
+
+  virtual void send(NodeAddress src, NodeAddress dst, PayloadPtr payload,
+                    sim::EventPriority priority) = 0;
+
+  void send(NodeAddress src, NodeAddress dst, PayloadPtr payload) {
+    send(src, dst, std::move(payload), sim::EventPriority::kNormal);
+  }
+};
+
+struct WiredConfig {
+  // One-way latency is uniform in [base_latency, base_latency + jitter].
+  common::Duration base_latency = common::Duration::millis(5);
+  common::Duration jitter = common::Duration::millis(5);
+};
+
+class WiredNetwork final : public WiredTransport {
+ public:
+  // Called for every message handed to send(); used by stats collectors.
+  using SendObserver = std::function<void(const Envelope&)>;
+
+  WiredNetwork(sim::Simulator& simulator, common::Rng rng, WiredConfig config);
+
+  void attach(NodeAddress address, Endpoint* endpoint) override;
+
+  using WiredTransport::send;
+  // Reliable delivery with per-(src,dst) FIFO order.  The destination must
+  // be attached no later than delivery time.
+  void send(NodeAddress src, NodeAddress dst, PayloadPtr payload,
+            sim::EventPriority priority) override;
+
+  void add_send_observer(SendObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  struct LinkKey {
+    NodeAddress src, dst;
+    bool operator==(const LinkKey&) const = default;
+  };
+  struct LinkKeyHash {
+    std::size_t operator()(const LinkKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.src.value()) << 32) | k.dst.value());
+    }
+  };
+
+  void deliver(const Envelope& envelope);
+
+  sim::Simulator& simulator_;
+  common::Rng rng_;
+  WiredConfig config_;
+  std::unordered_map<NodeAddress, Endpoint*> endpoints_;
+  std::unordered_map<LinkKey, common::SimTime, LinkKeyHash> last_arrival_;
+  std::vector<SendObserver> observers_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rdp::net

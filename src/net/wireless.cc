@@ -1,0 +1,143 @@
+#include "net/wireless.h"
+
+namespace rdp::net {
+
+WirelessChannel::WirelessChannel(sim::Simulator& simulator, common::Rng rng,
+                                 WirelessConfig config)
+    : simulator_(simulator), rng_(rng), config_(config) {}
+
+void WirelessChannel::register_cell(CellId cell, MssId mss,
+                                    UplinkReceiver* receiver) {
+  RDP_CHECK(receiver != nullptr, "cell receiver must not be null");
+  const bool inserted =
+      cells_.emplace(cell, CellState{mss, receiver}).second;
+  RDP_CHECK(inserted, "cell already registered: " + cell.str());
+}
+
+void WirelessChannel::register_mh(MhId mh, DownlinkReceiver* receiver) {
+  RDP_CHECK(receiver != nullptr, "mh receiver must not be null");
+  const bool inserted =
+      mhs_.emplace(mh, MhState{receiver, std::nullopt, false}).second;
+  RDP_CHECK(inserted, "mh already registered: " + mh.str());
+}
+
+MssId WirelessChannel::mss_of(CellId cell) const {
+  auto it = cells_.find(cell);
+  RDP_CHECK(it != cells_.end(), "unknown cell " + cell.str());
+  return it->second.mss;
+}
+
+const WirelessChannel::MhState& WirelessChannel::mh_state(MhId mh) const {
+  auto it = mhs_.find(mh);
+  RDP_CHECK(it != mhs_.end(), "unknown mh " + mh.str());
+  return it->second;
+}
+
+WirelessChannel::MhState& WirelessChannel::mh_state(MhId mh) {
+  auto it = mhs_.find(mh);
+  RDP_CHECK(it != mhs_.end(), "unknown mh " + mh.str());
+  return it->second;
+}
+
+void WirelessChannel::place_mh(MhId mh, CellId cell) {
+  RDP_CHECK(cells_.contains(cell), "placing mh in unknown cell " + cell.str());
+  mh_state(mh).cell = cell;
+}
+
+void WirelessChannel::detach_mh(MhId mh) { mh_state(mh).cell = std::nullopt; }
+
+void WirelessChannel::set_mh_active(MhId mh, bool active) {
+  mh_state(mh).active = active;
+}
+
+bool WirelessChannel::mh_active(MhId mh) const { return mh_state(mh).active; }
+
+std::optional<CellId> WirelessChannel::mh_cell(MhId mh) const {
+  return mh_state(mh).cell;
+}
+
+common::Duration WirelessChannel::sample_latency() {
+  const auto jitter_us = config_.jitter.count_micros();
+  return config_.base_latency +
+         (jitter_us > 0
+              ? common::Duration::micros(rng_.uniform_int(0, jitter_us))
+              : common::Duration::zero());
+}
+
+void WirelessChannel::count_drop(DropReason reason) {
+  ++drops_by_reason_[static_cast<int>(reason)];
+}
+
+std::uint64_t WirelessChannel::drops_for(DropReason reason) const {
+  return drops_by_reason_[static_cast<int>(reason)];
+}
+
+void WirelessChannel::uplink(MhId from, PayloadPtr payload,
+                             sim::EventPriority priority) {
+  RDP_CHECK(payload != nullptr, "cannot uplink a null payload");
+  const MhState& state = mh_state(from);
+  RDP_CHECK(state.active, from.str() + " uplinked while inactive");
+  RDP_CHECK(state.cell.has_value(), from.str() + " uplinked while in transit");
+
+  ++uplink_sent_;
+  if (rng_.bernoulli(config_.uplink_loss) ||
+      (drop_filter_ && drop_filter_(from, payload, /*uplink=*/true))) {
+    ++uplink_dropped_;
+    count_drop(DropReason::kLoss);
+    return;
+  }
+  const CellId cell = *state.cell;
+  UplinkReceiver* receiver = cells_.at(cell).receiver;
+  simulator_.schedule(
+      sample_latency(),
+      [receiver, from, payload = std::move(payload)] {
+        receiver->on_uplink(from, payload);
+      },
+      priority);
+}
+
+void WirelessChannel::downlink(CellId cell, MhId to, PayloadPtr payload) {
+  RDP_CHECK(payload != nullptr, "cannot downlink a null payload");
+  RDP_CHECK(cells_.contains(cell), "downlink from unknown cell " + cell.str());
+  ++downlink_sent_;
+
+  {
+    const MhState& state = mh_state(to);
+    if (!state.cell || *state.cell != cell) {
+      ++downlink_dropped_;
+      count_drop(DropReason::kNotInCell);
+      return;
+    }
+    if (!state.active) {
+      ++downlink_dropped_;
+      count_drop(DropReason::kInactive);
+      return;
+    }
+  }
+  if (rng_.bernoulli(config_.downlink_loss) ||
+      (drop_filter_ && drop_filter_(to, payload, /*uplink=*/false))) {
+    ++downlink_dropped_;
+    count_drop(DropReason::kLoss);
+    return;
+  }
+
+  simulator_.schedule(sample_latency(), [this, cell, to,
+                                         payload = std::move(payload)] {
+    // Re-check at arrival: the Mh may have migrated or gone inactive while
+    // the frame was in the air.
+    const MhState& state = mh_state(to);
+    if (!state.cell || *state.cell != cell) {
+      ++downlink_dropped_;
+      count_drop(DropReason::kNotInCell);
+      return;
+    }
+    if (!state.active) {
+      ++downlink_dropped_;
+      count_drop(DropReason::kInactive);
+      return;
+    }
+    state.receiver->on_downlink(cell, payload);
+  });
+}
+
+}  // namespace rdp::net

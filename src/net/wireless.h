@@ -1,0 +1,134 @@
+// The wireless channel between mobile hosts and the Mss of their cell.
+//
+// This module owns the *physical* ground truth of the system model (Fig 1):
+// which cell each mobile host is in (or whether it is in transit between
+// cells), and whether it is active.  Paper Section 2: an inactive Mh "is
+// unable to receive or send any message", and a migrating Mh "may be
+// considered inactive by both the old and the new Mss during the period of
+// time of the Hand-off".
+//
+// Downlink transmissions (Mss -> Mh) are single attempts: if the Mh is
+// inactive, absent from the cell, or the transmission is lost, the message
+// is silently dropped (the Mss "can discard the result message after a
+// single attempt", Section 5) and the RDP proxy's retransmission logic is
+// what restores reliability.  Uplink transmissions (Mh -> Mss) reach the
+// Mss of the cell the Mh occupied at send time.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace rdp::net {
+
+using common::CellId;
+using common::MhId;
+using common::MssId;
+
+class UplinkReceiver {
+ public:
+  virtual ~UplinkReceiver() = default;
+  virtual void on_uplink(MhId from, const PayloadPtr& payload) = 0;
+};
+
+class DownlinkReceiver {
+ public:
+  virtual ~DownlinkReceiver() = default;
+  virtual void on_downlink(CellId cell, const PayloadPtr& payload) = 0;
+};
+
+enum class DropReason {
+  kLoss = 0,       // radio transmission lost
+  kInactive = 1,   // target Mh is inactive
+  kNotInCell = 2,  // target Mh is in another cell or in transit
+};
+
+struct WirelessConfig {
+  // One-way latency is uniform in [base_latency, base_latency + jitter].
+  common::Duration base_latency = common::Duration::millis(20);
+  common::Duration jitter = common::Duration::millis(10);
+  double uplink_loss = 0.0;    // probability an uplink frame is lost
+  double downlink_loss = 0.0;  // probability a downlink frame is lost
+};
+
+class WirelessChannel {
+ public:
+  // Test seam: decides whether a specific frame is dropped (in addition to
+  // the random loss).  `uplink` distinguishes direction.
+  using DropFilter =
+      std::function<bool(MhId mh, const PayloadPtr& payload, bool uplink)>;
+
+  WirelessChannel(sim::Simulator& simulator, common::Rng rng,
+                  WirelessConfig config);
+
+  // Install (or clear, with nullptr) a deterministic drop filter; used by
+  // fault-injection tests to lose exactly one chosen frame.
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+  // --- topology / registration -------------------------------------------
+  void register_cell(CellId cell, MssId mss, UplinkReceiver* receiver);
+  void register_mh(MhId mh, DownlinkReceiver* receiver);
+
+  [[nodiscard]] MssId mss_of(CellId cell) const;
+
+  // --- physical ground truth (driven by the mobile-host agents) -----------
+  void place_mh(MhId mh, CellId cell);  // Mh is now present in `cell`
+  void detach_mh(MhId mh);              // Mh is in transit between cells
+  void set_mh_active(MhId mh, bool active);
+
+  [[nodiscard]] bool mh_active(MhId mh) const;
+  [[nodiscard]] std::optional<CellId> mh_cell(MhId mh) const;
+
+  // --- transmission --------------------------------------------------------
+  // Send from `from` to the Mss of the cell it currently occupies.  The
+  // caller (the Mh agent) must only uplink while active and in a cell.
+  void uplink(MhId from, PayloadPtr payload,
+              sim::EventPriority priority = sim::EventPriority::kNormal);
+
+  // Single-attempt transmission from the Mss of `cell` to `to`.
+  void downlink(CellId cell, MhId to, PayloadPtr payload);
+
+  // --- statistics -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t uplink_sent() const { return uplink_sent_; }
+  [[nodiscard]] std::uint64_t uplink_dropped() const { return uplink_dropped_; }
+  [[nodiscard]] std::uint64_t downlink_sent() const { return downlink_sent_; }
+  [[nodiscard]] std::uint64_t downlink_dropped() const {
+    return downlink_dropped_;
+  }
+  [[nodiscard]] std::uint64_t drops_for(DropReason reason) const;
+
+ private:
+  struct MhState {
+    DownlinkReceiver* receiver = nullptr;
+    std::optional<CellId> cell;
+    bool active = false;
+  };
+  struct CellState {
+    MssId mss;
+    UplinkReceiver* receiver = nullptr;
+  };
+
+  common::Duration sample_latency();
+  void count_drop(DropReason reason);
+
+  const MhState& mh_state(MhId mh) const;
+  MhState& mh_state(MhId mh);
+
+  sim::Simulator& simulator_;
+  common::Rng rng_;
+  WirelessConfig config_;
+  DropFilter drop_filter_;
+  std::unordered_map<CellId, CellState> cells_;
+  std::unordered_map<MhId, MhState> mhs_;
+  std::uint64_t uplink_sent_ = 0;
+  std::uint64_t uplink_dropped_ = 0;
+  std::uint64_t downlink_sent_ = 0;
+  std::uint64_t downlink_dropped_ = 0;
+  std::uint64_t drops_by_reason_[3] = {0, 0, 0};
+};
+
+}  // namespace rdp::net

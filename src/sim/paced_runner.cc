@@ -1,0 +1,36 @@
+#include "sim/paced_runner.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rdp::sim {
+
+PacedRunner::PacedRunner(Simulator& simulator, double time_scale)
+    : simulator_(simulator), time_scale_(time_scale) {
+  RDP_CHECK(time_scale > 0, "time scale must be positive");
+}
+
+std::size_t PacedRunner::run_until(common::SimTime until) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point wall_start = Clock::now();
+  const common::SimTime virtual_start = simulator_.now();
+  std::size_t executed = 0;
+
+  while (true) {
+    const auto next = simulator_.next_event_time();
+    if (!next || *next > until) break;
+
+    // Wall-clock instant at which the next event is due.
+    const double virtual_elapsed_s = (*next - virtual_start).to_seconds();
+    const auto due = wall_start + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          virtual_elapsed_s / time_scale_));
+    const auto now = Clock::now();
+    if (due > now) std::this_thread::sleep_for(due - now);
+
+    if (simulator_.step()) ++executed;
+  }
+  return executed;
+}
+
+}  // namespace rdp::sim

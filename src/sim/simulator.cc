@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+namespace rdp::sim {
+
+bool TimerHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+void TimerHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+TimerHandle Simulator::schedule(Duration delay, Callback cb,
+                                EventPriority priority) {
+  RDP_CHECK(delay >= Duration::zero(), "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(cb), priority);
+}
+
+TimerHandle Simulator::schedule_at(SimTime at, Callback cb,
+                                   EventPriority priority) {
+  RDP_CHECK(at >= now_, "cannot schedule into the past");
+  RDP_CHECK(static_cast<bool>(cb), "callback must not be empty");
+  auto state = std::make_shared<TimerHandle::State>();
+  queue_.push(Event{at, priority, next_seq_++, std::move(cb), state});
+  ++live_pending_;
+  return TimerHandle(std::move(state));
+}
+
+bool Simulator::execute_next() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; we need to move the callback out, so we
+    // copy the small fields and const_cast the callback move.  The element
+    // is popped immediately after.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (event.state->cancelled) {
+      --live_pending_;
+      continue;
+    }
+    now_ = event.at;
+    event.state->fired = true;
+    --live_pending_;
+    ++executed_;
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() { return execute_next(); }
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && execute_next()) {
+  }
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  RDP_CHECK(until >= now_, "cannot run into the past");
+  stopped_ = false;
+  std::size_t count = 0;
+  while (!stopped_ && !queue_.empty() && queue_.top().at <= until) {
+    if (execute_next()) ++count;
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+  return count;
+}
+
+std::size_t Simulator::pending_events() const { return live_pending_; }
+
+std::optional<SimTime> Simulator::next_event_time() const {
+  // The queue may hold cancelled tombstones; they are rare and only make
+  // the reported time conservative (earlier), which is safe for pacing.
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().at;
+}
+
+}  // namespace rdp::sim

@@ -1,0 +1,125 @@
+// Discrete-event simulation kernel.
+//
+// The simulator owns virtual time.  Events are (time, priority, sequence)
+// triples with a callback; ties on time are broken first by priority class,
+// then by insertion order, which makes every run fully deterministic.
+//
+// The priority class exists to model the paper's scheduling rule from
+// Section 3.1: "At each Mss, higher priority is given to forwarding Ack
+// messages (from Mhs to Mss_p) than to engaging in any new Hand-off
+// transactions."  The network layers schedule Ack deliveries at
+// EventPriority::kAck so that, when an Ack and a dereg become deliverable at
+// the same instant, the Ack is handled first.  Benchmarks ablate this rule
+// by scheduling everything at kNormal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace rdp::sim {
+
+using common::Duration;
+using common::SimTime;
+
+enum class EventPriority : int {
+  kAck = 0,     // Ack forwarding outranks everything else (paper §3.1).
+  kNormal = 1,  // Regular message deliveries and timers.
+  kLow = 2,     // Background/bookkeeping work.
+};
+
+// Handle for a scheduled event; allows cancellation.  Default-constructed
+// handles are inert.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  [[nodiscard]] bool pending() const;
+
+  // Cancel the event if still pending.  Safe to call repeatedly.
+  void cancel();
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit TimerHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule `cb` to run `delay` from now.  Delay must be non-negative.
+  TimerHandle schedule(Duration delay, Callback cb,
+                       EventPriority priority = EventPriority::kNormal);
+
+  // Schedule `cb` at absolute time `at` (>= now()).
+  TimerHandle schedule_at(SimTime at, Callback cb,
+                          EventPriority priority = EventPriority::kNormal);
+
+  // Run until the event queue drains or stop() is called.
+  void run();
+
+  // Run events with time <= `until`; afterwards now() == `until` unless the
+  // queue drained earlier or stop() was called.  Returns the number of
+  // events executed.
+  std::size_t run_until(SimTime until);
+
+  // Execute the single next event.  Returns false if the queue is empty.
+  bool step();
+
+  // Make run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t executed_events() const { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const;
+
+  // Time of the next live event, if any (used by the paced runner to sleep
+  // the wall clock between events).
+  [[nodiscard]] std::optional<SimTime> next_event_time() const;
+
+ private:
+  struct Event {
+    SimTime at;
+    EventPriority priority;
+    std::uint64_t seq;
+    Callback callback;
+    std::shared_ptr<TimerHandle::State> state;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool execute_next();
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t live_pending_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace rdp::sim

@@ -1,0 +1,27 @@
+#include "stats/fairness.h"
+
+#include <algorithm>
+
+namespace rdp::stats {
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0, sum_sq = 0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double max_to_mean(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  if (mean == 0) return 1.0;
+  return *std::max_element(values.begin(), values.end()) / mean;
+}
+
+}  // namespace rdp::stats

@@ -1,0 +1,16 @@
+// Load-distribution metrics for the load-balancing experiment (E5).
+#pragma once
+
+#include <vector>
+
+namespace rdp::stats {
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2).  1.0 means perfectly
+// balanced; 1/n means all load on a single element.
+[[nodiscard]] double jain_fairness(const std::vector<double>& values);
+
+// Ratio of the maximum element to the mean.  1.0 means balanced; n means
+// all load concentrated on one element.
+[[nodiscard]] double max_to_mean(const std::vector<double>& values);
+
+}  // namespace rdp::stats

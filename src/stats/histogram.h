@@ -1,0 +1,71 @@
+// Sample collector with summary statistics.
+//
+// Simulations in this repository produce at most a few million samples per
+// run, so the histogram simply stores them and computes exact quantiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace rdp::stats {
+
+class Histogram {
+ public:
+  void add(double value) { samples_.push_back(value); }
+  void add(common::Duration d) { add(d.to_seconds() * 1e3); }  // milliseconds
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double sum_sq = 0;
+    for (double s : samples_) sum_sq += (s - m) * (s - m);
+    return std::sqrt(sum_sq / static_cast<double>(samples_.size() - 1));
+  }
+
+  // Exact p-quantile (p in [0,1]) by nearest-rank.
+  [[nodiscard]] double percentile(double p) const {
+    RDP_CHECK(p >= 0.0 && p <= 1.0, "percentile out of range");
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  void reset() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace rdp::stats

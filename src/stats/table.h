@@ -1,0 +1,38 @@
+// Plain-text table rendering for benchmark output.
+//
+// Every experiment binary prints its results as an aligned table (the rows
+// the paper would have reported) and can also emit CSV for plotting.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rdp::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(std::uint64_t value);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdp::stats

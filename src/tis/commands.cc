@@ -1,0 +1,67 @@
+#include "tis/commands.h"
+
+#include <sstream>
+
+namespace rdp::tis {
+
+TisCommand TisCommand::parse(const std::string& body) {
+  std::istringstream in(body);
+  std::string verb;
+  TisCommand cmd;
+  if (!(in >> verb)) return cmd;
+
+  auto read_u32 = [&in](std::uint32_t& out) {
+    long long v;
+    if (!(in >> v) || v < 0) return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+  };
+
+  if (verb == "GET") {
+    if (read_u32(cmd.region)) cmd.kind = Kind::kGet;
+  } else if (verb == "AREA") {
+    if (read_u32(cmd.region) && read_u32(cmd.region_end) &&
+        cmd.region_end >= cmd.region) {
+      cmd.kind = Kind::kArea;
+    }
+  } else if (verb == "SET") {
+    if (read_u32(cmd.region) && (in >> cmd.value)) cmd.kind = Kind::kSet;
+  } else if (verb == "SUB") {
+    if (read_u32(cmd.region) && (in >> cmd.threshold)) cmd.kind = Kind::kSub;
+  }
+  // Trailing garbage invalidates the command.
+  std::string rest;
+  if (cmd.kind != Kind::kInvalid && (in >> rest)) cmd.kind = Kind::kInvalid;
+  return cmd;
+}
+
+std::string TisCommand::str() const {
+  switch (kind) {
+    case Kind::kGet:
+      return cmd_get(region);
+    case Kind::kArea:
+      return cmd_area(region, region_end);
+    case Kind::kSet:
+      return cmd_set(region, value);
+    case Kind::kSub:
+      return cmd_sub(region, threshold);
+    case Kind::kInvalid:
+      break;
+  }
+  return "INVALID";
+}
+
+std::string cmd_get(std::uint32_t region) {
+  return "GET " + std::to_string(region);
+}
+std::string cmd_area(std::uint32_t first, std::uint32_t last) {
+  return "AREA " + std::to_string(first) + " " + std::to_string(last);
+}
+std::string cmd_set(std::uint32_t region, int value) {
+  return "SET " + std::to_string(region) + " " + std::to_string(value);
+}
+std::string cmd_sub(std::uint32_t region, int threshold) {
+  return "SUB " + std::to_string(region) + " " + std::to_string(threshold);
+}
+
+}  // namespace rdp::tis

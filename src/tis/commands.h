@@ -1,0 +1,36 @@
+// The tiny command language of the Traffic Information Service.
+//
+// Request bodies are human-readable strings (the paper's operations from
+// §1: query, update, subscribe):
+//   "GET <region>"              query one region's congestion value
+//   "AREA <first> <last>"       aggregate (average) over a region range
+//   "SET <region> <value>"      update a region (TEC staff feeding data)
+//   "SUB <region> <threshold>"  subscribe: notified when the region's value
+//                               crosses the threshold in either direction
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rdp::tis {
+
+struct TisCommand {
+  enum class Kind { kInvalid, kGet, kArea, kSet, kSub };
+
+  Kind kind = Kind::kInvalid;
+  std::uint32_t region = 0;
+  std::uint32_t region_end = 0;  // kArea only (inclusive)
+  int value = 0;                 // kSet only
+  int threshold = 0;             // kSub only
+
+  [[nodiscard]] static TisCommand parse(const std::string& body);
+  [[nodiscard]] std::string str() const;
+};
+
+// Builders for request bodies.
+[[nodiscard]] std::string cmd_get(std::uint32_t region);
+[[nodiscard]] std::string cmd_area(std::uint32_t first, std::uint32_t last);
+[[nodiscard]] std::string cmd_set(std::uint32_t region, int value);
+[[nodiscard]] std::string cmd_sub(std::uint32_t region, int threshold);
+
+}  // namespace rdp::tis

@@ -1,0 +1,100 @@
+#include "tis/group_server.h"
+
+#include <sstream>
+
+namespace rdp::tis {
+
+std::string cmd_inbox(common::GroupId group) {
+  return "INBOX " + std::to_string(group.value());
+}
+
+std::string cmd_mcast(common::GroupId group, const std::string& text) {
+  return "MCAST " + std::to_string(group.value()) + " " + text;
+}
+
+GroupServer::GroupServer(core::Runtime& runtime, common::ServerId id,
+                         common::NodeAddress address, common::Rng rng)
+    : core::Server(runtime, id, address, Config{}, rng) {}
+
+std::size_t GroupServer::group_size(common::GroupId group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+void GroupServer::process_subscribe(const core::MsgServerRequest& msg) {
+  std::istringstream in(msg.body);
+  std::string verb;
+  long long group_value = -1;
+  if (!(in >> verb >> group_value) || verb != "INBOX" || group_value < 0) {
+    send_result(msg.reply_to, msg.proxy, msg.request, 1, true,
+                "error: stream requests must be INBOX <group>");
+    return;
+  }
+  const common::GroupId group(static_cast<std::uint32_t>(group_value));
+  Inbox inbox{msg.reply_to, msg.proxy, group, 1};
+  const auto [it, inserted] = inboxes_.emplace(msg.request, inbox);
+  if (!inserted) return;  // duplicate join
+  groups_[group].insert(msg.request);
+  send_result(msg.reply_to, msg.proxy, msg.request, it->second.next_seq++,
+              /*final=*/false,
+              "joined group " + std::to_string(group.value()) + " (" +
+                  std::to_string(groups_[group].size()) + " members)");
+}
+
+void GroupServer::process_request(const core::MsgServerRequest& msg) {
+  std::istringstream in(msg.body);
+  std::string verb;
+  long long group_value = -1;
+  if (!(in >> verb >> group_value) || verb != "MCAST" || group_value < 0) {
+    send_result(msg.reply_to, msg.proxy, msg.request, 1, true,
+                "error: bad command");
+    return;
+  }
+  std::string text;
+  std::getline(in, text);
+  if (!text.empty() && text.front() == ' ') text.erase(text.begin());
+
+  const common::GroupId group(static_cast<std::uint32_t>(group_value));
+  auto members = groups_.find(group);
+  std::size_t count = 0;
+  if (members != groups_.end()) {
+    for (const common::RequestId inbox_request : members->second) {
+      // The sender's own inbox receives the message too — group semantics
+      // match the paper's "message to be sent to the group".
+      Inbox& inbox = inboxes_.at(inbox_request);
+      send_result(inbox.proxy_host, inbox.proxy, inbox_request,
+                  inbox.next_seq++, /*final=*/false, "group msg: " + text);
+      ++delivered_;
+      ++count;
+    }
+  }
+  send_result(msg.reply_to, msg.proxy, msg.request, 1, true,
+              "multicast to " + std::to_string(count) + " members");
+}
+
+void GroupServer::leave_group(common::RequestId inbox_request, bool confirm) {
+  auto it = inboxes_.find(inbox_request);
+  if (it == inboxes_.end()) return;
+  const Inbox inbox = it->second;
+  inboxes_.erase(it);
+  auto members = groups_.find(inbox.group);
+  if (members != groups_.end()) {
+    members->second.erase(inbox_request);
+    if (members->second.empty()) groups_.erase(members);
+  }
+  if (confirm) {
+    send_result(inbox.proxy_host, inbox.proxy, inbox_request, inbox.next_seq,
+                /*final=*/true, "left group");
+  }
+}
+
+void GroupServer::on_message(const net::Envelope& envelope) {
+  if (const auto* unsub =
+          net::message_cast<core::MsgServerUnsubscribe>(envelope.payload)) {
+    leave_group(unsub->request, /*confirm=*/true);
+    return;
+  }
+  core::Server::on_message(envelope);
+}
+
+}  // namespace rdp::tis

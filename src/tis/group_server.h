@@ -1,0 +1,58 @@
+// Group multicast service (§1 operation `multicast`, Fig 1's mcast(1,4,5)):
+// "The user provides its identification, the identification of a group of
+// users (previously configured) and a message to be sent to the group."
+//
+// Members keep a standing *inbox* stream request open with the group
+// server; a multicast is delivered to every member's inbox through their
+// RDP proxies, so members receive group messages reliably across
+// migrations and inactivity.  Commands (request bodies):
+//   "INBOX <group>"          stream request: join the group, open the inbox
+//   "MCAST <group> <text>"   oneshot: deliver <text> to every member
+//   (unsubscribing the inbox leaves the group)
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/server.h"
+
+namespace rdp::tis {
+
+class GroupServer final : public core::Server {
+ public:
+  GroupServer(core::Runtime& runtime, common::ServerId id,
+              common::NodeAddress address, common::Rng rng);
+
+  [[nodiscard]] std::size_t group_size(common::GroupId group) const;
+  [[nodiscard]] std::uint64_t multicasts_delivered() const {
+    return delivered_;
+  }
+
+  void on_message(const net::Envelope& envelope) override;
+
+ protected:
+  void process_request(const core::MsgServerRequest& msg) override;
+  void process_subscribe(const core::MsgServerRequest& msg) override;
+
+ private:
+  struct Inbox {
+    common::NodeAddress proxy_host;
+    common::ProxyId proxy;
+    common::GroupId group;
+    std::uint32_t next_seq = 1;
+  };
+
+  void leave_group(common::RequestId inbox_request, bool confirm);
+
+  std::map<common::RequestId, Inbox> inboxes_;
+  std::map<common::GroupId, std::set<common::RequestId>> groups_;
+  std::uint64_t delivered_ = 0;
+};
+
+// Body builders.
+[[nodiscard]] std::string cmd_inbox(common::GroupId group);
+[[nodiscard]] std::string cmd_mcast(common::GroupId group,
+                                    const std::string& text);
+
+}  // namespace rdp::tis

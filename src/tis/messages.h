@@ -1,0 +1,118 @@
+// Inter-TIS messages: the data-location and retrieval protocol among the
+// Traffic Information Servers (§1: "queries and updates to the global
+// information base may involve complex searches, interactions and
+// processing within the TIS network").
+//
+// Every forwarded operation carries the full reply path (proxy host +
+// proxy + request) so the owning server can answer the mobile client's
+// proxy directly; aggregate queries return partials to the entry server,
+// which combines them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "net/message.h"
+
+namespace rdp::tis {
+
+using common::NodeAddress;
+using common::ProxyId;
+using common::RequestId;
+
+// entry TIS -> owner TIS: single-region query.
+struct MsgTisGet final : net::MessageBase {
+  NodeAddress proxy_host;
+  ProxyId proxy;
+  RequestId request;
+  std::uint32_t region;
+
+  MsgTisGet(NodeAddress proxy_host_in, ProxyId proxy_in, RequestId request_in,
+            std::uint32_t region_in)
+      : proxy_host(proxy_host_in),
+        proxy(proxy_in),
+        request(request_in),
+        region(region_in) {}
+  [[nodiscard]] const char* name() const override { return "tisGet"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+};
+
+// entry TIS -> owner TIS: single-region update.
+struct MsgTisSet final : net::MessageBase {
+  NodeAddress proxy_host;
+  ProxyId proxy;
+  RequestId request;
+  std::uint32_t region;
+  int value;
+
+  MsgTisSet(NodeAddress proxy_host_in, ProxyId proxy_in, RequestId request_in,
+            std::uint32_t region_in, int value_in)
+      : proxy_host(proxy_host_in),
+        proxy(proxy_in),
+        request(request_in),
+        region(region_in),
+        value(value_in) {}
+  [[nodiscard]] const char* name() const override { return "tisSet"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 36; }
+};
+
+// entry TIS -> owner TIS: partial aggregate over the owner's share of a
+// region range.
+struct MsgTisAreaPart final : net::MessageBase {
+  NodeAddress entry;  // who aggregates
+  std::uint64_t collect_id;
+  std::uint32_t first, last;  // inclusive range; owner picks its regions
+
+  MsgTisAreaPart(NodeAddress entry_in, std::uint64_t collect_id_in,
+                 std::uint32_t first_in, std::uint32_t last_in)
+      : entry(entry_in),
+        collect_id(collect_id_in),
+        first(first_in),
+        last(last_in) {}
+  [[nodiscard]] const char* name() const override { return "tisAreaPart"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+};
+
+// owner TIS -> entry TIS: partial aggregate reply.
+struct MsgTisAreaReply final : net::MessageBase {
+  std::uint64_t collect_id;
+  long long sum;
+  std::uint32_t count;
+
+  MsgTisAreaReply(std::uint64_t collect_id_in, long long sum_in,
+                  std::uint32_t count_in)
+      : collect_id(collect_id_in), sum(sum_in), count(count_in) {}
+  [[nodiscard]] const char* name() const override { return "tisAreaReply"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 28; }
+};
+
+// entry TIS -> owner TIS: register a threshold subscription.
+struct MsgTisSub final : net::MessageBase {
+  NodeAddress proxy_host;
+  ProxyId proxy;
+  RequestId request;
+  std::uint32_t region;
+  int threshold;
+
+  MsgTisSub(NodeAddress proxy_host_in, ProxyId proxy_in, RequestId request_in,
+            std::uint32_t region_in, int threshold_in)
+      : proxy_host(proxy_host_in),
+        proxy(proxy_in),
+        request(request_in),
+        region(region_in),
+        threshold(threshold_in) {}
+  [[nodiscard]] const char* name() const override { return "tisSub"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 36; }
+};
+
+// entry TIS -> owner TIS: terminate a forwarded subscription.
+struct MsgTisUnsub final : net::MessageBase {
+  RequestId request;
+
+  explicit MsgTisUnsub(RequestId request_in) : request(request_in) {}
+  [[nodiscard]] const char* name() const override { return "tisUnsub"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+}  // namespace rdp::tis

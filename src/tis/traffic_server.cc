@@ -1,0 +1,335 @@
+#include "tis/traffic_server.h"
+
+namespace rdp::tis {
+
+TrafficServer::TrafficServer(core::Runtime& runtime, TisNetwork& network,
+                             common::ServerId id, NodeAddress address,
+                             common::Rng rng)
+    : core::Server(runtime, id, address,
+                   core::Server::Config{network.config().process_time,
+                                        common::Duration::zero()},
+                   rng),
+      network_(network) {
+  network_.add_node(address);
+}
+
+TrafficServer::Region& TrafficServer::region_state(std::uint32_t region) {
+  RDP_CHECK(owns(region), "accessing a region this node does not own");
+  return regions_[region];
+}
+
+int TrafficServer::region_value(std::uint32_t region) const {
+  auto it = regions_.find(region);
+  return it == regions_.end() ? 0 : it->second.value;
+}
+
+std::uint64_t TrafficServer::region_version(std::uint32_t region) const {
+  auto it = regions_.find(region);
+  return it == regions_.end() ? 0 : it->second.version;
+}
+
+// ---------------------------------------------------------------------------
+// Request entry points (arriving from a proxy).
+// ---------------------------------------------------------------------------
+
+void TrafficServer::process_request(const core::MsgServerRequest& msg) {
+  const TisCommand cmd = TisCommand::parse(msg.body);
+  const auto& config = network_.config();
+
+  switch (cmd.kind) {
+    case TisCommand::Kind::kGet: {
+      if (owns(cmd.region)) {
+        runtime_.simulator.schedule(config.process_time, [this, msg, cmd] {
+          owner_get(msg.reply_to, msg.proxy, msg.request, cmd.region);
+        });
+      } else {
+        // Data location: resolve the owner after the lookup delay and
+        // route the query there.
+        ++routed_;
+        runtime_.simulator.schedule(config.lookup_time, [this, msg, cmd] {
+          runtime_.wired.send(address(), network_.owner_of(cmd.region),
+                              net::make_message<MsgTisGet>(
+                                  msg.reply_to, msg.proxy, msg.request,
+                                  cmd.region));
+        });
+      }
+      return;
+    }
+    case TisCommand::Kind::kSet: {
+      if (owns(cmd.region)) {
+        runtime_.simulator.schedule(config.process_time, [this, msg, cmd] {
+          owner_set(msg.reply_to, msg.proxy, msg.request, cmd.region,
+                    cmd.value);
+        });
+      } else {
+        ++routed_;
+        runtime_.simulator.schedule(config.lookup_time, [this, msg, cmd] {
+          runtime_.wired.send(address(), network_.owner_of(cmd.region),
+                              net::make_message<MsgTisSet>(
+                                  msg.reply_to, msg.proxy, msg.request,
+                                  cmd.region, cmd.value));
+        });
+      }
+      return;
+    }
+    case TisCommand::Kind::kArea:
+      handle_area(msg, cmd);
+      return;
+    case TisCommand::Kind::kSub:
+      // SUB must be issued as a stream request; reject here.
+      send_result(msg.reply_to, msg.proxy, msg.request, 1, true,
+                  "error: SUB requires a stream request");
+      return;
+    case TisCommand::Kind::kInvalid:
+      send_result(msg.reply_to, msg.proxy, msg.request, 1, true,
+                  "error: bad command");
+      return;
+  }
+}
+
+void TrafficServer::process_subscribe(const core::MsgServerRequest& msg) {
+  const TisCommand cmd = TisCommand::parse(msg.body);
+  if (cmd.kind != TisCommand::Kind::kSub) {
+    send_result(msg.reply_to, msg.proxy, msg.request, 1, true,
+                "error: stream requests must be SUB");
+    return;
+  }
+  const auto& config = network_.config();
+  if (owns(cmd.region)) {
+    runtime_.simulator.schedule(config.process_time, [this, msg, cmd] {
+      owner_subscribe(msg.reply_to, msg.proxy, msg.request, cmd.region,
+                      cmd.threshold);
+    });
+    return;
+  }
+  ++routed_;
+  const NodeAddress owner = network_.owner_of(cmd.region);
+  forwarded_subs_[msg.request] = owner;
+  runtime_.simulator.schedule(config.lookup_time, [this, msg, cmd, owner] {
+    runtime_.wired.send(address(), owner,
+                        net::make_message<MsgTisSub>(msg.reply_to, msg.proxy,
+                                                     msg.request, cmd.region,
+                                                     cmd.threshold));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Owner-side operations.
+// ---------------------------------------------------------------------------
+
+void TrafficServer::owner_get(NodeAddress proxy_host, ProxyId proxy,
+                              RequestId request, std::uint32_t region) {
+  ++processed_;
+  Region& state = region_state(region);
+  send_result(proxy_host, proxy, request, 1, true,
+              "region " + std::to_string(region) + " value " +
+                  std::to_string(state.value) + " v" +
+                  std::to_string(state.version));
+}
+
+void TrafficServer::apply_set(std::uint32_t region, int value) {
+  Region& state = region_state(region);
+  state.value = value;
+  ++state.version;
+  // Threshold subscriptions: notify on crossings in either direction.
+  for (auto& [request, sub] : subs_) {
+    if (sub.region != region) continue;
+    const bool above = value >= sub.threshold;
+    if (above != sub.above) {
+      sub.above = above;
+      send_result(sub.proxy_host, sub.proxy, request, sub.next_seq++,
+                  /*final=*/false,
+                  "region " + std::to_string(region) +
+                      (above ? " above " : " below ") +
+                      std::to_string(sub.threshold) + " value " +
+                      std::to_string(value));
+    }
+  }
+}
+
+void TrafficServer::owner_set(NodeAddress proxy_host, ProxyId proxy,
+                              RequestId request, std::uint32_t region,
+                              int value) {
+  ++processed_;
+  apply_set(region, value);
+  send_result(proxy_host, proxy, request, 1, true,
+              "ok v" + std::to_string(regions_[region].version));
+}
+
+void TrafficServer::owner_subscribe(NodeAddress proxy_host, ProxyId proxy,
+                                    RequestId request, std::uint32_t region,
+                                    int threshold) {
+  ++processed_;
+  Region& state = region_state(region);
+  TisSubscription sub;
+  sub.proxy_host = proxy_host;
+  sub.proxy = proxy;
+  sub.region = region;
+  sub.threshold = threshold;
+  sub.above = state.value >= threshold;
+  const auto [it, inserted] = subs_.emplace(request, sub);
+  if (!inserted) return;  // duplicate subscribe
+  // Initial snapshot notification.
+  send_result(proxy_host, proxy, request, it->second.next_seq++,
+              /*final=*/false,
+              "region " + std::to_string(region) + " value " +
+                  std::to_string(state.value) +
+                  (it->second.above ? " above " : " below ") +
+                  std::to_string(threshold));
+}
+
+void TrafficServer::finish_unsubscribe(RequestId request) {
+  auto it = subs_.find(request);
+  if (it == subs_.end()) return;
+  const TisSubscription sub = it->second;
+  subs_.erase(it);
+  send_result(sub.proxy_host, sub.proxy, request, sub.next_seq,
+              /*final=*/true, "unsubscribed");
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate (scatter/gather) queries.
+// ---------------------------------------------------------------------------
+
+void TrafficServer::handle_area(const core::MsgServerRequest& msg,
+                                const TisCommand& cmd) {
+  const auto& config = network_.config();
+  const std::uint64_t collect_id = next_collect_++;
+  AreaCollect collect;
+  collect.proxy_host = msg.reply_to;
+  collect.proxy = msg.proxy;
+  collect.request = msg.request;
+  // Which owners hold part of the range?  With the modular partition every
+  // node owns part of any range >= node_count, but compute exactly.
+  std::vector<NodeAddress> owners;
+  for (const NodeAddress node : network_.nodes()) {
+    for (std::uint32_t r = cmd.region; r <= cmd.region_end; ++r) {
+      if (network_.owner_of(r) == node) {
+        owners.push_back(node);
+        break;
+      }
+    }
+  }
+  collect.remaining = static_cast<int>(owners.size());
+  collects_[collect_id] = collect;
+  ++routed_;
+  runtime_.simulator.schedule(config.lookup_time, [this, owners, collect_id,
+                                                   cmd] {
+    for (const NodeAddress owner : owners) {
+      if (owner == address()) {
+        // Local share: process after the usual owner delay.
+        runtime_.simulator.schedule(
+            network_.config().process_time, [this, collect_id, cmd] {
+              handle_area_part(
+                  MsgTisAreaPart(address(), collect_id, cmd.region,
+                                 cmd.region_end));
+            });
+      } else {
+        runtime_.wired.send(address(), owner,
+                            net::make_message<MsgTisAreaPart>(
+                                address(), collect_id, cmd.region,
+                                cmd.region_end));
+      }
+    }
+  });
+}
+
+void TrafficServer::handle_area_part(const MsgTisAreaPart& msg) {
+  ++processed_;
+  long long sum = 0;
+  std::uint32_t count = 0;
+  for (std::uint32_t r = msg.first; r <= msg.last; ++r) {
+    if (!owns(r)) continue;
+    sum += region_state(r).value;
+    ++count;
+  }
+  if (msg.entry == address()) {
+    handle_area_reply(MsgTisAreaReply(msg.collect_id, sum, count));
+    return;
+  }
+  runtime_.wired.send(address(), msg.entry,
+                      net::make_message<MsgTisAreaReply>(msg.collect_id, sum,
+                                                         count));
+}
+
+void TrafficServer::handle_area_reply(const MsgTisAreaReply& msg) {
+  auto it = collects_.find(msg.collect_id);
+  if (it == collects_.end()) return;
+  AreaCollect& collect = it->second;
+  collect.sum += msg.sum;
+  collect.count += msg.count;
+  if (--collect.remaining > 0) return;
+  const double average =
+      collect.count == 0
+          ? 0.0
+          : static_cast<double>(collect.sum) / collect.count;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "avg %.2f over %u regions", average,
+                collect.count);
+  send_result(collect.proxy_host, collect.proxy, collect.request, 1, true,
+              buf);
+  collects_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Wired dispatch.
+// ---------------------------------------------------------------------------
+
+void TrafficServer::on_message(const net::Envelope& envelope) {
+  const net::PayloadPtr& payload = envelope.payload;
+  const auto& config = network_.config();
+
+  if (const auto* get = net::message_cast<MsgTisGet>(payload)) {
+    const MsgTisGet msg = *get;
+    runtime_.simulator.schedule(config.process_time, [this, msg] {
+      owner_get(msg.proxy_host, msg.proxy, msg.request, msg.region);
+    });
+    return;
+  }
+  if (const auto* set = net::message_cast<MsgTisSet>(payload)) {
+    const MsgTisSet msg = *set;
+    runtime_.simulator.schedule(config.process_time, [this, msg] {
+      owner_set(msg.proxy_host, msg.proxy, msg.request, msg.region, msg.value);
+    });
+    return;
+  }
+  if (const auto* part = net::message_cast<MsgTisAreaPart>(payload)) {
+    const MsgTisAreaPart msg = *part;
+    runtime_.simulator.schedule(config.process_time,
+                                [this, msg] { handle_area_part(msg); });
+    return;
+  }
+  if (const auto* reply = net::message_cast<MsgTisAreaReply>(payload)) {
+    handle_area_reply(*reply);
+    return;
+  }
+  if (const auto* sub = net::message_cast<MsgTisSub>(payload)) {
+    const MsgTisSub msg = *sub;
+    runtime_.simulator.schedule(config.process_time, [this, msg] {
+      owner_subscribe(msg.proxy_host, msg.proxy, msg.request, msg.region,
+                      msg.threshold);
+    });
+    return;
+  }
+  if (const auto* unsub = net::message_cast<MsgTisUnsub>(payload)) {
+    finish_unsubscribe(unsub->request);
+    return;
+  }
+  if (const auto* base_unsub =
+          net::message_cast<core::MsgServerUnsubscribe>(payload)) {
+    // Entry-side: if the subscription was forwarded, chase the owner;
+    // otherwise it is (or was) owned here.
+    auto it = forwarded_subs_.find(base_unsub->request);
+    if (it != forwarded_subs_.end()) {
+      runtime_.wired.send(address(), it->second,
+                          net::make_message<MsgTisUnsub>(base_unsub->request));
+      forwarded_subs_.erase(it);
+      return;
+    }
+    finish_unsubscribe(base_unsub->request);
+    return;
+  }
+  core::Server::on_message(envelope);
+}
+
+}  // namespace rdp::tis

@@ -1,0 +1,128 @@
+// Traffic Information Server: the SIDAM application substrate (§1).
+//
+// The city's traffic data is partitioned by region across a group of TIS
+// nodes (region r is owned by server r % N).  Queries and updates may enter
+// at any TIS node and are routed to the owner (data location), aggregate
+// queries scatter/gather across owners, and threshold subscriptions live at
+// the owning node and push notifications through the client's RDP proxy.
+// Lookup and processing delays are configurable, producing the "long
+// request processing times" that motivate RDP.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/server.h"
+#include "tis/commands.h"
+#include "tis/messages.h"
+
+namespace rdp::tis {
+
+struct TisConfig {
+  int num_regions = 64;
+  // Entry-side data-location cost per routed operation.
+  common::Duration lookup_time = common::Duration::millis(20);
+  // Owner-side processing cost per operation.
+  common::Duration process_time = common::Duration::millis(80);
+};
+
+// Region-ownership directory shared by all TIS nodes (static partition).
+class TisNetwork {
+ public:
+  explicit TisNetwork(TisConfig config) : config_(config) {}
+
+  [[nodiscard]] const TisConfig& config() const { return config_; }
+
+  void add_node(NodeAddress address) { nodes_.push_back(address); }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  [[nodiscard]] NodeAddress owner_of(std::uint32_t region) const {
+    RDP_CHECK(!nodes_.empty(), "TIS network has no nodes");
+    RDP_CHECK(region < static_cast<std::uint32_t>(config_.num_regions),
+              "region out of range");
+    return nodes_[region % nodes_.size()];
+  }
+
+  [[nodiscard]] const std::vector<NodeAddress>& nodes() const { return nodes_; }
+
+ private:
+  TisConfig config_;
+  std::vector<NodeAddress> nodes_;
+};
+
+class TrafficServer final : public core::Server {
+ public:
+  TrafficServer(core::Runtime& runtime, TisNetwork& network,
+                common::ServerId id, NodeAddress address, common::Rng rng);
+
+  // Regions owned by this node (for tests).
+  [[nodiscard]] int region_value(std::uint32_t region) const;
+  [[nodiscard]] std::uint64_t region_version(std::uint32_t region) const;
+  [[nodiscard]] std::size_t tis_subscriptions() const {
+    return subs_.size();
+  }
+  [[nodiscard]] std::uint64_t operations_processed() const {
+    return processed_;
+  }
+  [[nodiscard]] std::uint64_t operations_routed() const { return routed_; }
+
+  void on_message(const net::Envelope& envelope) override;
+
+ protected:
+  void process_request(const core::MsgServerRequest& msg) override;
+  void process_subscribe(const core::MsgServerRequest& msg) override;
+
+ private:
+  struct Region {
+    int value = 0;
+    std::uint64_t version = 0;
+  };
+  struct TisSubscription {
+    NodeAddress proxy_host;
+    ProxyId proxy;
+    std::uint32_t region = 0;
+    int threshold = 0;
+    bool above = false;
+    std::uint32_t next_seq = 1;
+  };
+  struct AreaCollect {
+    NodeAddress proxy_host;
+    ProxyId proxy;
+    RequestId request;
+    int remaining = 0;
+    long long sum = 0;
+    std::uint32_t count = 0;
+  };
+
+  [[nodiscard]] bool owns(std::uint32_t region) const {
+    return network_.owner_of(region) == address();
+  }
+  Region& region_state(std::uint32_t region);
+
+  // Owner-side operations (after process_time).
+  void owner_get(NodeAddress proxy_host, ProxyId proxy, RequestId request,
+                 std::uint32_t region);
+  void owner_set(NodeAddress proxy_host, ProxyId proxy, RequestId request,
+                 std::uint32_t region, int value);
+  void owner_subscribe(NodeAddress proxy_host, ProxyId proxy,
+                       RequestId request, std::uint32_t region, int threshold);
+  void apply_set(std::uint32_t region, int value);
+  void finish_unsubscribe(RequestId request);
+
+  void handle_area(const core::MsgServerRequest& msg, const TisCommand& cmd);
+  void handle_area_part(const MsgTisAreaPart& msg);
+  void handle_area_reply(const MsgTisAreaReply& msg);
+
+  TisNetwork& network_;
+  std::map<std::uint32_t, Region> regions_;       // only owned regions
+  std::map<RequestId, TisSubscription> subs_;     // owned subscriptions
+  std::map<RequestId, NodeAddress> forwarded_subs_;  // entry-side: sub -> owner
+  std::map<std::uint64_t, AreaCollect> collects_;
+  std::uint64_t next_collect_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace rdp::tis

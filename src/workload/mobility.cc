@@ -1,0 +1,35 @@
+#include "workload/mobility.h"
+
+namespace rdp::workload {
+
+MarkovMobility::MarkovMobility(std::vector<std::vector<double>> transition,
+                               Duration mean_dwell)
+    : transition_(std::move(transition)), mean_dwell_(mean_dwell) {
+  RDP_CHECK(!transition_.empty(), "empty transition matrix");
+  for (const auto& row : transition_) {
+    RDP_CHECK(row.size() == transition_.size(),
+              "transition matrix must be square");
+    double sum = 0;
+    for (double p : row) {
+      RDP_CHECK(p >= 0, "negative transition probability");
+      sum += p;
+    }
+    RDP_CHECK(sum > 0.999 && sum < 1.001, "transition rows must sum to 1");
+  }
+}
+
+CellId MarkovMobility::initial_cell(common::Rng& rng) {
+  return CellId(static_cast<std::uint32_t>(rng.pick_index(transition_.size())));
+}
+
+CellId MarkovMobility::next_cell(CellId current, common::Rng& rng) {
+  const auto& row = transition_[current.value()];
+  double u = rng.next_double();
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (u < row[j]) return CellId(static_cast<std::uint32_t>(j));
+    u -= row[j];
+  }
+  return CellId(static_cast<std::uint32_t>(row.size() - 1));
+}
+
+}  // namespace rdp::workload

@@ -1,0 +1,46 @@
+#include "workload/topology.h"
+
+namespace rdp::workload {
+
+CellTopology CellTopology::grid(int width, int height) {
+  RDP_CHECK(width > 0 && height > 0, "grid dimensions must be positive");
+  std::vector<std::vector<CellId>> adjacency(
+      static_cast<std::size_t>(width) * height);
+  auto id = [width](int x, int y) {
+    return CellId(static_cast<std::uint32_t>(y * width + x));
+  };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      auto& cell = adjacency[id(x, y).value()];
+      if (x > 0) cell.push_back(id(x - 1, y));
+      if (x + 1 < width) cell.push_back(id(x + 1, y));
+      if (y > 0) cell.push_back(id(x, y - 1));
+      if (y + 1 < height) cell.push_back(id(x, y + 1));
+    }
+  }
+  return CellTopology(std::move(adjacency));
+}
+
+CellTopology CellTopology::ring(int n) {
+  RDP_CHECK(n >= 2, "ring needs at least two cells");
+  std::vector<std::vector<CellId>> adjacency(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    adjacency[i].push_back(CellId(static_cast<std::uint32_t>((i + 1) % n)));
+    adjacency[i].push_back(
+        CellId(static_cast<std::uint32_t>((i + n - 1) % n)));
+  }
+  return CellTopology(std::move(adjacency));
+}
+
+CellTopology CellTopology::complete(int n) {
+  RDP_CHECK(n >= 2, "complete graph needs at least two cells");
+  std::vector<std::vector<CellId>> adjacency(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) adjacency[i].push_back(CellId(static_cast<std::uint32_t>(j)));
+    }
+  }
+  return CellTopology(std::move(adjacency));
+}
+
+}  // namespace rdp::workload

@@ -1,0 +1,197 @@
+// Behaviour of the Mobile-IP-style baselines: delivery when static, loss on
+// migration (plain modes), recovery via re-tunnelling (reliable mode), and
+// the fixed-home-agent property RDP's load-balancing claim is measured
+// against.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/baseline_world.h"
+#include "harness/metrics.h"
+
+namespace rdp {
+namespace {
+
+using baseline::BaselineMode;
+using common::Duration;
+using common::MhId;
+
+harness::BaselineScenarioConfig make_config(BaselineMode mode) {
+  harness::BaselineScenarioConfig config;
+  config.base.num_mss = 3;
+  config.base.num_mh = 1;
+  config.base.num_servers = 1;
+  config.base.wired.base_latency = Duration::millis(5);
+  config.base.wired.jitter = Duration::zero();
+  config.base.wireless.base_latency = Duration::millis(20);
+  config.base.wireless.jitter = Duration::zero();
+  config.base.server.base_service_time = Duration::millis(100);
+  config.baseline.mode = mode;
+  return config;
+}
+
+class BaselineTest : public ::testing::TestWithParam<BaselineMode> {
+ protected:
+  BaselineTest() : world_(make_config(GetParam())) {
+    world_.observers().add(&metrics_);
+    world_.mh(0).set_delivery_callback(
+        [this](const baseline::MipHostAgent::Delivery& delivery) {
+          deliveries_.push_back(delivery);
+        });
+  }
+
+  void at(Duration delay, std::function<void()> fn) {
+    world_.simulator().schedule(delay, std::move(fn));
+  }
+
+  harness::BaselineWorld world_;
+  harness::MetricsCollector metrics_;
+  std::vector<baseline::MipHostAgent::Delivery> deliveries_;
+};
+
+TEST_P(BaselineTest, StaticClientGetsResult) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "q"); });
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(world_.mh(0).pending_requests(), 0u);
+}
+
+TEST_P(BaselineTest, RegistrationAssignsHome) {
+  world_.mh(0).power_on(world_.cell(1));
+  world_.run_for(Duration::millis(200));
+  EXPECT_TRUE(world_.mh(0).registered());
+  EXPECT_EQ(world_.mh(0).home(), world_.mss(1).address());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, BaselineTest,
+    ::testing::Values(BaselineMode::kDirect, BaselineMode::kMobileIp,
+                      BaselineMode::kReliableMobileIp),
+    [](const ::testing::TestParamInfo<BaselineMode>& info) -> std::string {
+      switch (info.param) {
+        case BaselineMode::kDirect: return "Direct";
+        case BaselineMode::kMobileIp: return "MobileIp";
+        case BaselineMode::kReliableMobileIp: return "ReliableMobileIp";
+      }
+      return "Unknown";
+    });
+
+// --- mode-specific behaviour ------------------------------------------------
+
+TEST(BaselineDirect, MigrationLosesResult) {
+  harness::BaselineWorld world(make_config(BaselineMode::kDirect));
+  world.mh(0).power_on(world.cell(0));
+  auto& sim = world.simulator();
+  // Result downlink from Mss0 lands at ~t=250; leave at t=200.
+  sim.schedule(Duration::millis(100),
+               [&] { world.mh(0).issue_request(world.server_address(0), "q"); });
+  sim.schedule(Duration::millis(200),
+               [&] { world.mh(0).migrate(world.cell(1), Duration::millis(30)); });
+  world.run_to_quiescence();
+  EXPECT_EQ(world.mh(0).deliveries(), 0u);
+  EXPECT_EQ(world.mh(0).pending_requests(), 1u);  // lost forever
+}
+
+TEST(BaselineMip, TunnelFollowsCareOfAcrossMigration) {
+  harness::BaselineWorld world(make_config(BaselineMode::kMobileIp));
+  world.mh(0).power_on(world.cell(0));  // home = Mss0
+  auto& sim = world.simulator();
+  sim.schedule(Duration::millis(100),
+               [&] { world.mh(0).issue_request(world.server_address(0), "q"); });
+  // Migrate early: re-registration (t=130+30+20+5+5+20 ≈ 210) completes
+  // before the result reaches the home agent (t=230).
+  sim.schedule(Duration::millis(130),
+               [&] { world.mh(0).migrate(world.cell(1), Duration::millis(30)); });
+  world.run_to_quiescence();
+  EXPECT_EQ(world.mh(0).deliveries(), 1u);
+  // The home agent (Mss0) forwarded the tunnel.
+  EXPECT_EQ(world.mss(0).tunnels_forwarded(), 1u);
+  EXPECT_EQ(world.mss(1).tunnels_forwarded(), 0u);
+}
+
+TEST(BaselineMip, ResultTunnelledToStaleCareOfIsLost) {
+  harness::BaselineWorld world(make_config(BaselineMode::kMobileIp));
+  world.mh(0).power_on(world.cell(0));
+  auto& sim = world.simulator();
+  sim.schedule(Duration::millis(100),
+               [&] { world.mh(0).issue_request(world.server_address(0), "q"); });
+  // Detach at t=225: the tunnel downlink (due ~t=250 in cell 0) misses the
+  // Mh; by the time it re-registers from cell 1 the datagram is gone —
+  // plain Mobile IP has no retransmission.
+  sim.schedule(Duration::millis(225),
+               [&] { world.mh(0).migrate(world.cell(1), Duration::millis(100)); });
+  world.run_to_quiescence();
+  EXPECT_EQ(world.mh(0).deliveries(), 0u);
+  EXPECT_EQ(world.mh(0).pending_requests(), 1u);
+}
+
+TEST(BaselineMip, InactivityLosesResult) {
+  harness::BaselineWorld world(make_config(BaselineMode::kMobileIp));
+  world.mh(0).power_on(world.cell(0));
+  auto& sim = world.simulator();
+  sim.schedule(Duration::millis(100),
+               [&] { world.mh(0).issue_request(world.server_address(0), "q"); });
+  sim.schedule(Duration::millis(225), [&] { world.mh(0).power_off(); });
+  sim.schedule(Duration::seconds(1), [&] { world.mh(0).reactivate(); });
+  world.run_to_quiescence();
+  // "IP datagrams may be lost ... during the periods of inactivity" (§4).
+  EXPECT_EQ(world.mh(0).deliveries(), 0u);
+}
+
+TEST(BaselineReliableMip, StaleTunnelRecoveredOnReRegistration) {
+  harness::BaselineWorld world(make_config(BaselineMode::kReliableMobileIp));
+  world.mh(0).power_on(world.cell(0));
+  auto& sim = world.simulator();
+  sim.schedule(Duration::millis(100),
+               [&] { world.mh(0).issue_request(world.server_address(0), "q"); });
+  sim.schedule(Duration::millis(225),
+               [&] { world.mh(0).migrate(world.cell(1), Duration::millis(100)); });
+  world.run_to_quiescence();
+  EXPECT_EQ(world.mh(0).deliveries(), 1u);
+  EXPECT_EQ(world.mh(0).duplicate_deliveries(), 0u);
+  // The home agent's store is drained after the ack.
+  EXPECT_EQ(world.mss(0).stored_results(), 0u);
+}
+
+TEST(BaselineReliableMip, InactivityRecoveredOnReactivation) {
+  harness::BaselineWorld world(make_config(BaselineMode::kReliableMobileIp));
+  world.mh(0).power_on(world.cell(0));
+  auto& sim = world.simulator();
+  sim.schedule(Duration::millis(100),
+               [&] { world.mh(0).issue_request(world.server_address(0), "q"); });
+  sim.schedule(Duration::millis(225), [&] { world.mh(0).power_off(); });
+  sim.schedule(Duration::seconds(1), [&] { world.mh(0).reactivate(); });
+  world.run_to_quiescence();
+  EXPECT_EQ(world.mh(0).deliveries(), 1u);
+  EXPECT_EQ(world.mss(0).stored_results(), 0u);
+}
+
+TEST(BaselineMip, HomeAgentLoadStaysFixedDespiteMobility) {
+  // The defining contrast with RDP: no matter where the Mh goes, every
+  // result passes through its *fixed* home agent.
+  harness::BaselineWorld world(make_config(BaselineMode::kReliableMobileIp));
+  world.mh(0).power_on(world.cell(0));  // home = Mss0 forever
+  auto& sim = world.simulator();
+  for (int round = 0; round < 6; ++round) {
+    const auto base = Duration::seconds(2) * round;
+    sim.schedule(base + Duration::millis(500), [&world, round] {
+      world.mh(0).migrate(world.cell((round + 1) % 3),
+                          Duration::millis(30));
+    });
+    sim.schedule(base + Duration::seconds(1), [&world] {
+      world.mh(0).issue_request(world.server_address(0), "q");
+    });
+  }
+  world.run_to_quiescence();
+  EXPECT_EQ(world.mh(0).deliveries(), 6u);
+  EXPECT_GE(world.mss(0).tunnels_forwarded(), 6u);
+  EXPECT_EQ(world.mss(1).tunnels_forwarded(), 0u);
+  EXPECT_EQ(world.mss(2).tunnels_forwarded(), 0u);
+  EXPECT_GE(world.mss(0).registrations_handled(), 6u);
+}
+
+}  // namespace
+}  // namespace rdp

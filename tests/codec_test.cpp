@@ -1,0 +1,243 @@
+// Wire-codec tests: primitive round trips, exhaustive per-message round
+// trips, and malformed-input robustness (truncation, bad tags, trailing
+// bytes must throw CodecError, never crash or mis-decode).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/codec.h"
+#include "net/codec.h"
+
+namespace rdp {
+namespace {
+
+using common::MhId;
+using common::MssId;
+using common::NodeAddress;
+using common::ProxyId;
+using common::RequestId;
+
+TEST(Codec, PrimitiveRoundTrip) {
+  net::Writer writer;
+  writer.u8(7);
+  writer.u16(65000);
+  writer.u32(4'000'000'000u);
+  writer.u64(0x1122334455667788ull);
+  writer.i32(-42);
+  writer.i64(-1'000'000'000'000ll);
+  writer.boolean(true);
+  writer.boolean(false);
+  writer.str("hello");
+  writer.str("");
+
+  net::Reader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_EQ(reader.u16(), 65000);
+  EXPECT_EQ(reader.u32(), 4'000'000'000u);
+  EXPECT_EQ(reader.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(reader.i32(), -42);
+  EXPECT_EQ(reader.i64(), -1'000'000'000'000ll);
+  EXPECT_TRUE(reader.boolean());
+  EXPECT_FALSE(reader.boolean());
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(Codec, ReaderUnderflowThrows) {
+  net::Writer writer;
+  writer.u16(5);
+  net::Reader reader(writer.bytes());
+  EXPECT_THROW(reader.u32(), net::CodecError);
+}
+
+TEST(Codec, StringLengthBeyondBufferThrows) {
+  net::Writer writer;
+  writer.u32(1000);  // claims 1000 bytes follow; none do
+  net::Reader reader(writer.bytes());
+  EXPECT_THROW(reader.str(), net::CodecError);
+}
+
+// --- per-message round trips ------------------------------------------------
+
+template <typename T>
+const T* round_trip(const T& message) {
+  static net::PayloadPtr keep_alive;  // extends lifetime for the returned ptr
+  keep_alive = core::decode(core::encode(message));
+  const T* decoded = net::message_cast<T>(keep_alive);
+  EXPECT_NE(decoded, nullptr);
+  return decoded;
+}
+
+TEST(CoreCodec, JoinLeave) {
+  EXPECT_NE(round_trip(core::MsgJoin{}), nullptr);
+  EXPECT_NE(round_trip(core::MsgLeave{}), nullptr);
+}
+
+TEST(CoreCodec, Greet) {
+  const auto* decoded = round_trip(core::MsgGreet(MssId(9)));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->old_mss, MssId(9));
+}
+
+TEST(CoreCodec, UplinkRequest) {
+  const core::MsgUplinkRequest original(RequestId(MhId(3), 17),
+                                        NodeAddress(4), "body with spaces",
+                                        true);
+  const auto* decoded = round_trip(original);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->request, original.request);
+  EXPECT_EQ(decoded->server, original.server);
+  EXPECT_EQ(decoded->body, original.body);
+  EXPECT_EQ(decoded->stream, original.stream);
+}
+
+TEST(CoreCodec, UplinkAckAndUnsubscribe) {
+  const auto* ack = round_trip(core::MsgUplinkAck(RequestId(MhId(1), 2), 5));
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->result_seq, 5u);
+  const auto* unsub =
+      round_trip(core::MsgUnsubscribe(RequestId(MhId(1), 2)));
+  ASSERT_NE(unsub, nullptr);
+  EXPECT_EQ(unsub->request, RequestId(MhId(1), 2));
+}
+
+TEST(CoreCodec, DownlinkResult) {
+  const core::MsgDownlinkResult original(RequestId(MhId(8), 1), 3, true,
+                                         std::string(1000, 'x'), 7);
+  const auto* decoded = round_trip(original);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->result_seq, 3u);
+  EXPECT_TRUE(decoded->final);
+  EXPECT_EQ(decoded->body.size(), 1000u);
+  EXPECT_EQ(decoded->attempt, 7u);
+}
+
+TEST(CoreCodec, ForwardRequestAndServerPath) {
+  const core::MsgForwardRequest fwd(MhId(2), ProxyId(5),
+                                    RequestId(MhId(2), 9), NodeAddress(6),
+                                    "q", false);
+  const auto* decoded_fwd = round_trip(fwd);
+  ASSERT_NE(decoded_fwd, nullptr);
+  EXPECT_EQ(decoded_fwd->proxy, ProxyId(5));
+
+  const core::MsgServerRequest sreq(NodeAddress(1), ProxyId(5),
+                                    RequestId(MhId(2), 9), "q", true);
+  const auto* decoded_sreq = round_trip(sreq);
+  ASSERT_NE(decoded_sreq, nullptr);
+  EXPECT_EQ(decoded_sreq->reply_to, NodeAddress(1));
+  EXPECT_TRUE(decoded_sreq->stream);
+
+  const core::MsgServerResult sres(ProxyId(5), RequestId(MhId(2), 9), 4,
+                                   false, "partial");
+  const auto* decoded_sres = round_trip(sres);
+  ASSERT_NE(decoded_sres, nullptr);
+  EXPECT_EQ(decoded_sres->result_seq, 4u);
+  EXPECT_FALSE(decoded_sres->final);
+}
+
+TEST(CoreCodec, ResultForwardAllFlags) {
+  const core::MsgResultForward original(MhId(1), NodeAddress(2), ProxyId(3),
+                                        RequestId(MhId(1), 4), 5, true, true,
+                                        "payload", 6);
+  const auto* decoded = round_trip(original);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->proxy_host, NodeAddress(2));
+  EXPECT_TRUE(decoded->final);
+  EXPECT_TRUE(decoded->del_pref);
+  EXPECT_EQ(decoded->attempt, 6u);
+}
+
+TEST(CoreCodec, HandoffMessagesPreservePref) {
+  core::Pref pref;
+  pref.proxy_host = NodeAddress(3);
+  pref.proxy = ProxyId(12);
+  pref.rkpr = true;
+  pref.rkpr_request = RequestId(MhId(4), 8);
+  pref.rkpr_seq = 2;
+  const auto* decoded = round_trip(core::MsgDeregAck(MhId(4), pref));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->pref.proxy_host, NodeAddress(3));
+  EXPECT_EQ(decoded->pref.proxy, ProxyId(12));
+  EXPECT_TRUE(decoded->pref.rkpr);
+  EXPECT_EQ(decoded->pref.rkpr_request, RequestId(MhId(4), 8));
+  EXPECT_EQ(decoded->pref.rkpr_seq, 2u);
+
+  // A null pref survives too (invalid ids round-trip by value).
+  core::Pref null_pref;
+  null_pref.clear();
+  const auto* decoded_null = round_trip(core::MsgDeregAck(MhId(4), null_pref));
+  ASSERT_NE(decoded_null, nullptr);
+  EXPECT_FALSE(decoded_null->pref.has_proxy());
+
+  const auto* dereg = round_trip(core::MsgDereg(MhId(4), MssId(1)));
+  ASSERT_NE(dereg, nullptr);
+  EXPECT_EQ(dereg->new_mss, MssId(1));
+}
+
+TEST(CoreCodec, ControlMessages) {
+  const auto* ack = round_trip(core::MsgAckForward(
+      MhId(1), ProxyId(2), RequestId(MhId(1), 3), 4, true));
+  ASSERT_NE(ack, nullptr);
+  EXPECT_TRUE(ack->del_proxy);
+
+  const auto* del_pref = round_trip(core::MsgDelPref(
+      MhId(1), NodeAddress(2), ProxyId(3), RequestId(MhId(1), 4), 5));
+  ASSERT_NE(del_pref, nullptr);
+  EXPECT_EQ(del_pref->result_seq, 5u);
+
+  const auto* update = round_trip(
+      core::MsgUpdateCurrentLoc(MhId(1), ProxyId(2), NodeAddress(3)));
+  ASSERT_NE(update, nullptr);
+  EXPECT_EQ(update->new_loc, NodeAddress(3));
+
+  const auto* restore =
+      round_trip(core::MsgPrefRestore(MhId(1), NodeAddress(2), ProxyId(3)));
+  ASSERT_NE(restore, nullptr);
+  EXPECT_EQ(restore->proxy, ProxyId(3));
+
+  const auto* gone = round_trip(core::MsgProxyGone(
+      MhId(1), ProxyId(2), RequestId(MhId(1), 3), NodeAddress(4), "b", true,
+      false));
+  ASSERT_NE(gone, nullptr);
+  EXPECT_TRUE(gone->stream);
+  EXPECT_FALSE(gone->had_request);
+}
+
+// --- robustness ----------------------------------------------------------------
+
+TEST(CoreCodec, TruncatedBuffersThrowEverywhere) {
+  const core::MsgResultForward original(MhId(1), NodeAddress(2), ProxyId(3),
+                                        RequestId(MhId(1), 4), 5, true, false,
+                                        "payload", 6);
+  const std::vector<std::uint8_t> full = core::encode(original);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(full.begin(), full.begin() + cut);
+    EXPECT_THROW((void)core::decode(truncated), net::CodecError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(CoreCodec, TrailingBytesThrow) {
+  std::vector<std::uint8_t> buffer = core::encode(core::MsgJoin{});
+  buffer.push_back(0xFF);
+  EXPECT_THROW((void)core::decode(buffer), net::CodecError);
+}
+
+TEST(CoreCodec, UnknownTagThrows) {
+  std::vector<std::uint8_t> buffer{0xEE};
+  EXPECT_THROW((void)core::decode(buffer), net::CodecError);
+}
+
+TEST(CoreCodec, EmptyBufferThrows) {
+  EXPECT_THROW((void)core::decode({}), net::CodecError);
+}
+
+TEST(CoreCodec, NonCoreMessageRejectedByEncode) {
+  struct Alien final : net::MessageBase {
+    const char* name() const override { return "alien"; }
+  };
+  EXPECT_THROW((void)core::encode(Alien{}), common::InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rdp

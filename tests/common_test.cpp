@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace rdp::common {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  MhId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, MhId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  MhId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(MssId(1), MssId(2));
+  EXPECT_EQ(MssId(3), MssId(3));
+  EXPECT_NE(MssId(3), MssId(4));
+}
+
+TEST(Ids, Printing) {
+  EXPECT_EQ(MhId(4).str(), "Mh4");
+  EXPECT_EQ(MssId(2).str(), "Mss2");
+  EXPECT_EQ(MhId().str(), "Mh<none>");
+}
+
+TEST(Ids, DistinctTypesHashIndependently) {
+  std::unordered_set<MhId> mhs{MhId(1), MhId(2), MhId(1)};
+  EXPECT_EQ(mhs.size(), 2u);
+}
+
+TEST(RequestId, EmbedsMhAndSeq) {
+  RequestId r(MhId(3), 9);
+  EXPECT_EQ(r.mh(), MhId(3));
+  EXPECT_EQ(r.seq(), 9u);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE(RequestId().valid());
+}
+
+TEST(RequestId, OrderingAndUniqueness) {
+  std::set<RequestId> ids;
+  for (std::uint32_t mh = 0; mh < 10; ++mh) {
+    for (std::uint32_t seq = 0; seq < 10; ++seq) {
+      ids.insert(RequestId(MhId(mh), seq));
+    }
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(Time, DurationArithmetic) {
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+  EXPECT_EQ(Duration::seconds(1) + Duration::millis(500),
+            Duration::micros(1'500'000));
+  EXPECT_EQ(Duration::seconds(2) - Duration::seconds(1), Duration::seconds(1));
+  EXPECT_EQ(Duration::millis(10) * 3, Duration::millis(30));
+  EXPECT_EQ(Duration::millis(10) / 2, Duration::millis(5));
+  EXPECT_DOUBLE_EQ(Duration::seconds(3) / Duration::seconds(2), 1.5);
+}
+
+TEST(Time, DurationComparison) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GE(Duration::zero(), Duration::zero());
+}
+
+TEST(Time, SimTimeArithmetic) {
+  SimTime t = SimTime::zero() + Duration::millis(5);
+  EXPECT_EQ(t.count_micros(), 5000);
+  EXPECT_EQ(t - SimTime::zero(), Duration::millis(5));
+}
+
+TEST(Time, FromSecondsFractional) {
+  EXPECT_EQ(Duration::from_seconds(0.001), Duration::millis(1));
+  EXPECT_NEAR(Duration::from_seconds(1.5).to_seconds(), 1.5, 1e-9);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(Duration::micros(5).str(), "5us");
+  EXPECT_EQ(Duration::millis(5).str(), "5.000ms");
+  EXPECT_EQ(Duration::seconds(2).str(), "2.000s");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialDuration) {
+  Rng rng(17);
+  double sum_s = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum_s += rng.exponential_duration(Duration::seconds(10)).to_seconds();
+  }
+  EXPECT_NEAR(sum_s / n, 10.0, 0.5);
+}
+
+TEST(Rng, PickIndexCoversRange) {
+  Rng rng(19);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick_index(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // The child stream should not replicate the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Check, ThrowsOnViolation) {
+  EXPECT_THROW(RDP_CHECK(false, "boom"), InvariantViolation);
+  EXPECT_NO_THROW(RDP_CHECK(true, "fine"));
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    RDP_CHECK(1 == 2, "numbers drifted");
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numbers drifted"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rdp::common

@@ -1,0 +1,153 @@
+// Deterministic fault injection on the hand-off path, using the wireless
+// drop filter to lose exactly the chosen frame:
+//   * lost greet -> registration retry;
+//   * lost registrationAck after a completed hand-off -> re-greet names a
+//     stale old Mss, the owner answers idempotently;
+//   * lost registrationAck followed by a further migration -> the dereg is
+//     addressed to the wrong Mss and must be *chased* through the
+//     departed_to tombstone to the real owner, which replies directly to
+//     the requester.
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+#include "harness/world.h"
+#include "tests/trace_util.h"
+
+namespace rdp {
+namespace {
+
+using common::Duration;
+using common::MhId;
+using common::MssId;
+
+class HandoffChainTest : public ::testing::Test {
+ protected:
+  HandoffChainTest() : world_(make_config()) {
+    world_.observers().add(&metrics_);
+  }
+
+  static harness::ScenarioConfig make_config() {
+    auto config = testutil::deterministic_config(3, 1, 1);
+    config.rdp.registration_retry = Duration::millis(500);
+    config.server.base_service_time = Duration::seconds(4);  // stays pending
+    return config;
+  }
+
+  void at(Duration delay, std::function<void()> fn) {
+    world_.simulator().schedule(delay, std::move(fn));
+  }
+
+  harness::World world_;
+  harness::MetricsCollector metrics_;
+};
+
+TEST_F(HandoffChainTest, LostGreetIsRetriedUntilRegistered) {
+  int greets_dropped = 0;
+  world_.wireless().set_drop_filter(
+      [&](MhId, const net::PayloadPtr& payload, bool uplink) {
+        if (uplink && std::string(payload->name()) == "greet" &&
+            greets_dropped < 2) {
+          ++greets_dropped;
+          return true;
+        }
+        return false;
+      });
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  world_.run_for(Duration::millis(200));
+  at(Duration::zero(), [&] { mh.migrate(world_.cell(1), Duration::millis(50)); });
+  world_.run_for(Duration::seconds(5));
+  EXPECT_EQ(greets_dropped, 2);
+  EXPECT_TRUE(mh.registered());
+  EXPECT_EQ(mh.resp_mss(), MssId(1));
+  EXPECT_EQ(world_.counters().get("mh.registration_retries"), 2u);
+}
+
+TEST_F(HandoffChainTest, LostRegistrationAckReGreetsTheOwnerIdempotently) {
+  // The hand-off 0 -> 1 completes at Mss1, but the registrationAck back to
+  // the Mh is lost: the Mh re-greets naming Mss0 (stale).  Mss1 already
+  // owns it and must simply re-confirm — no second hand-off.
+  bool dropped = false;
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));  // the join's ack passes (no filter yet)
+  world_.run_for(Duration::millis(200));
+  // Arm the filter for the ack that follows the hand-off.
+  world_.wireless().set_drop_filter(
+      [&](MhId, const net::PayloadPtr& payload, bool uplink) {
+        if (!uplink && !dropped &&
+            std::string(payload->name()) == "registrationAck") {
+          dropped = true;
+          return true;
+        }
+        return false;
+      });
+  at(Duration::zero(), [&] { mh.migrate(world_.cell(1), Duration::millis(50)); });
+  world_.run_for(Duration::seconds(5));
+  EXPECT_TRUE(dropped);
+  EXPECT_TRUE(mh.registered());
+  EXPECT_EQ(mh.resp_mss(), MssId(1));
+  // Exactly one hand-off happened; the re-greet was answered idempotently.
+  EXPECT_EQ(metrics_.handoffs, 1u);
+  EXPECT_TRUE(world_.mss(1).is_local(MhId(0)));
+}
+
+TEST_F(HandoffChainTest, StaleOldMssIsChasedThroughTombstones) {
+  // Mh registered at Mss0, issues a request (pending).  It migrates to
+  // Mss1; the hand-off completes but the registrationAck is lost, so the
+  // Mh still believes resp = Mss0.  It then migrates on to Mss2 and greets
+  // with old = Mss0.  Mss2's dereg hits Mss0, which no longer owns the
+  // pref — its departed_to tombstone forwards the dereg to Mss1, and Mss1
+  // answers Mss2 directly.  The pending result must still arrive.
+  bool drop_armed = false, dropped = false;
+  world_.wireless().set_drop_filter(
+      [&](MhId, const net::PayloadPtr& payload, bool uplink) {
+        if (!uplink && drop_armed && !dropped &&
+            std::string(payload->name()) == "registrationAck") {
+          dropped = true;
+          return true;
+        }
+        return false;
+      });
+
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  at(Duration::millis(200),
+     [&] { mh.issue_request(world_.server_address(0), "q"); });
+  at(Duration::millis(400), [&] {
+    drop_armed = true;  // lose the ack of the next registration
+    mh.migrate(world_.cell(1), Duration::millis(50));
+  });
+  // Migrate again before any registration retry succeeds (retry is 500 ms;
+  // move at +300 ms after arrival).
+  at(Duration::millis(800), [&] {
+    ASSERT_FALSE(mh.registered());  // the ack was lost
+    ASSERT_EQ(mh.resp_mss(), MssId(0));
+    drop_armed = false;
+    mh.migrate(world_.cell(2), Duration::millis(50));
+  });
+  world_.run_to_quiescence();
+
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(world_.counters().get("mss.deregs_chased"), 1u);
+  EXPECT_TRUE(world_.mss(2).is_local(MhId(0)));
+  EXPECT_FALSE(world_.mss(0).is_local(MhId(0)));
+  EXPECT_FALSE(world_.mss(1).is_local(MhId(0)));
+  // The pending request completed despite the detour.
+  EXPECT_EQ(metrics_.results_delivered, 1u);
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+  EXPECT_EQ(metrics_.proxies_deleted, 1u);
+}
+
+TEST_F(HandoffChainTest, DropFilterAccountsAsLoss) {
+  world_.wireless().set_drop_filter(
+      [](MhId, const net::PayloadPtr&, bool uplink) { return uplink; });
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));  // the join itself is dropped
+  world_.run_for(Duration::millis(100));
+  EXPECT_GE(world_.wireless().uplink_dropped(), 1u);
+  EXPECT_GE(world_.wireless().drops_for(net::DropReason::kLoss), 1u);
+  EXPECT_FALSE(mh.registered());
+}
+
+}  // namespace
+}  // namespace rdp

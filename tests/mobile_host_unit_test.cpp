@@ -1,0 +1,148 @@
+// MobileHostAgent edge cases: lifecycle contract violations, outbox
+// ordering, duplicate-downlink acking, unsubscribe queueing, and behaviour
+// when power state changes mid-transit.
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+#include "harness/world.h"
+#include "tests/trace_util.h"
+
+namespace rdp {
+namespace {
+
+using common::Duration;
+using common::MhId;
+
+class MobileHostUnitTest : public ::testing::Test {
+ protected:
+  MobileHostUnitTest() : world_(testutil::deterministic_config(3, 1, 1)) {
+    world_.observers().add(&metrics_);
+    world_.mh(0).set_delivery_callback(
+        [this](const core::MobileHostAgent::Delivery& delivery) {
+          bodies_.push_back(delivery.body);
+        });
+  }
+
+  harness::World world_;
+  harness::MetricsCollector metrics_;
+  std::vector<std::string> bodies_;
+};
+
+TEST_F(MobileHostUnitTest, LifecycleContractIsEnforced) {
+  auto& mh = world_.mh(0);
+  EXPECT_THROW(mh.power_off(), common::InvariantViolation);  // not on yet
+  EXPECT_THROW(mh.reactivate(), common::InvariantViolation);
+  mh.power_on(world_.cell(0));
+  EXPECT_THROW(mh.power_on(world_.cell(0)), common::InvariantViolation);
+  EXPECT_THROW(mh.move_while_inactive(world_.cell(1)),
+               common::InvariantViolation);  // active: use migrate()
+  mh.power_off();
+  EXPECT_THROW(mh.power_off(), common::InvariantViolation);
+  EXPECT_THROW(mh.migrate(world_.cell(1), Duration::millis(1)),
+               common::InvariantViolation);  // inactive: use move_while_inactive
+}
+
+TEST_F(MobileHostUnitTest, OutboxPreservesIssueOrder) {
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  // All issued before registration completes.
+  mh.issue_request(world_.server_address(0), "first");
+  mh.issue_request(world_.server_address(0), "second");
+  mh.issue_request(world_.server_address(0), "third");
+  world_.run_to_quiescence();
+  ASSERT_EQ(bodies_.size(), 3u);
+  EXPECT_EQ(bodies_[0], "re:first");
+  EXPECT_EQ(bodies_[1], "re:second");
+  EXPECT_EQ(bodies_[2], "re:third");
+}
+
+TEST_F(MobileHostUnitTest, DuplicateDownlinkIsAckedButNotDelivered) {
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  world_.run_for(Duration::millis(100));
+  // Forge the same downlink result twice.
+  const core::RequestId request(MhId(0), 1);
+  for (int i = 0; i < 2; ++i) {
+    world_.wireless().downlink(
+        world_.cell(0), MhId(0),
+        net::make_message<core::MsgDownlinkResult>(request, 1, true, "x", 1));
+  }
+  world_.run_to_quiescence();
+  EXPECT_EQ(bodies_.size(), 1u);                  // app saw it once
+  EXPECT_EQ(mh.duplicate_deliveries(), 1u);       // duplicate filtered
+  // Both copies were acked (assumption 4) — the Mss relayed none of them
+  // to a proxy (there is none) but received two acks.
+  EXPECT_EQ(world_.counters().get("mss.ack_without_proxy"), 2u);
+}
+
+TEST_F(MobileHostUnitTest, UnsubscribeQueuedWhileInactive) {
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  core::RequestId sub;
+  world_.simulator().schedule(Duration::millis(100), [&] {
+    sub = mh.issue_request(world_.server_address(0), "watch", true);
+  });
+  world_.run_for(Duration::seconds(1));
+  mh.power_off();
+  mh.unsubscribe(sub);  // queued: the Mh is inactive
+  world_.run_for(Duration::seconds(1));
+  EXPECT_EQ(world_.server(0).active_subscriptions(), 1u);  // not yet
+  mh.reactivate();
+  world_.run_to_quiescence();
+  EXPECT_EQ(world_.server(0).active_subscriptions(), 0u);
+  EXPECT_EQ(mh.pending_requests(), 0u);
+}
+
+TEST_F(MobileHostUnitTest, PowerOffDuringTravelArrivesSilently) {
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  world_.run_for(Duration::millis(100));
+  mh.migrate(world_.cell(1), Duration::millis(500));
+  world_.simulator().schedule(Duration::millis(100), [&] { mh.power_off(); });
+  world_.run_for(Duration::seconds(2));
+  // Arrived placed-but-inactive: no greet yet, not registered anywhere new.
+  EXPECT_EQ(mh.cell(), world_.cell(1));
+  EXPECT_FALSE(mh.registered());
+  EXPECT_TRUE(world_.mss(0).is_local(MhId(0)));  // old registration lingers
+  // Re-activation greets from the new cell and completes the hand-off.
+  mh.reactivate();
+  world_.run_to_quiescence();
+  EXPECT_TRUE(mh.registered());
+  EXPECT_TRUE(world_.mss(1).is_local(MhId(0)));
+  EXPECT_FALSE(world_.mss(0).is_local(MhId(0)));
+}
+
+TEST_F(MobileHostUnitTest, ReactivateDuringTravelGreetsOnArrival) {
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  world_.run_for(Duration::millis(100));
+  mh.migrate(world_.cell(2), Duration::millis(500));
+  world_.simulator().schedule(Duration::millis(100), [&] { mh.power_off(); });
+  world_.simulator().schedule(Duration::millis(200), [&] { mh.reactivate(); });
+  world_.run_to_quiescence();
+  EXPECT_TRUE(mh.registered());
+  EXPECT_EQ(mh.resp_mss(), common::MssId(2));
+}
+
+TEST_F(MobileHostUnitTest, RequestAfterLeaveIsRejected) {
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  world_.run_for(Duration::millis(100));
+  mh.leave();
+  EXPECT_THROW(mh.issue_request(world_.server_address(0), "q"),
+               common::InvariantViolation);
+}
+
+TEST_F(MobileHostUnitTest, CanLeaveReflectsPendingWork) {
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  world_.run_for(Duration::millis(100));
+  EXPECT_TRUE(mh.can_leave());
+  mh.issue_request(world_.server_address(0), "q");
+  EXPECT_FALSE(mh.can_leave());
+  world_.run_to_quiescence();
+  EXPECT_TRUE(mh.can_leave());
+}
+
+}  // namespace
+}  // namespace rdp

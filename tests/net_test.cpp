@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "net/wired.h"
+#include "net/wireless.h"
+#include "sim/simulator.h"
+
+namespace rdp::net {
+namespace {
+
+using common::CellId;
+using common::Duration;
+using common::MhId;
+using common::MssId;
+using common::NodeAddress;
+using common::Rng;
+
+struct TestMsg final : MessageBase {
+  int value;
+  explicit TestMsg(int v) : value(v) {}
+  [[nodiscard]] const char* name() const override { return "test"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 100; }
+};
+
+struct Recorder final : Endpoint {
+  std::vector<Envelope> received;
+  void on_message(const Envelope& envelope) override {
+    received.push_back(envelope);
+  }
+  [[nodiscard]] int value_at(std::size_t i) const {
+    return message_cast<TestMsg>(received.at(i).payload)->value;
+  }
+};
+
+class WiredTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+};
+
+TEST_F(WiredTest, DeliversWithLatencyInBounds) {
+  WiredConfig config;
+  config.base_latency = Duration::millis(5);
+  config.jitter = Duration::millis(10);
+  WiredNetwork net(sim_, Rng(1), config);
+  Recorder a, b;
+  net.attach(NodeAddress(0), &a);
+  net.attach(NodeAddress(1), &b);
+
+  for (int i = 0; i < 100; ++i) {
+    net.send(NodeAddress(0), NodeAddress(1), make_message<TestMsg>(i));
+  }
+  sim_.run();
+  ASSERT_EQ(b.received.size(), 100u);
+  for (const auto& envelope : b.received) {
+    const Duration latency = envelope.arrives_at - envelope.sent_at;
+    EXPECT_GE(latency, Duration::millis(5));
+    EXPECT_LE(latency, Duration::millis(15) + Duration::micros(200));
+  }
+}
+
+TEST_F(WiredTest, PerLinkFifo) {
+  WiredConfig config;
+  config.base_latency = Duration::millis(1);
+  config.jitter = Duration::millis(50);  // heavy jitter tries to reorder
+  WiredNetwork net(sim_, Rng(7), config);
+  Recorder receiver;
+  net.attach(NodeAddress(0), &receiver);
+  net.attach(NodeAddress(1), &receiver);
+
+  for (int i = 0; i < 200; ++i) {
+    net.send(NodeAddress(1), NodeAddress(0), make_message<TestMsg>(i));
+  }
+  sim_.run();
+  ASSERT_EQ(receiver.received.size(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(receiver.value_at(i), static_cast<int>(i));
+  }
+}
+
+TEST_F(WiredTest, CrossLinkMessagesMayInterleaveButEachLinkStaysOrdered) {
+  WiredConfig config;
+  config.base_latency = Duration::millis(1);
+  config.jitter = Duration::millis(30);
+  WiredNetwork net(sim_, Rng(11), config);
+  Recorder receiver;
+  Recorder unused;
+  net.attach(NodeAddress(9), &receiver);
+  net.attach(NodeAddress(1), &unused);
+  net.attach(NodeAddress(2), &unused);
+
+  // Values 0..99 from node 1, 100..199 from node 2.
+  for (int i = 0; i < 100; ++i) {
+    net.send(NodeAddress(1), NodeAddress(9), make_message<TestMsg>(i));
+    net.send(NodeAddress(2), NodeAddress(9), make_message<TestMsg>(100 + i));
+  }
+  sim_.run();
+  ASSERT_EQ(receiver.received.size(), 200u);
+  int last_1 = -1, last_2 = 99;
+  for (std::size_t i = 0; i < receiver.received.size(); ++i) {
+    const int v = receiver.value_at(i);
+    if (v < 100) {
+      EXPECT_GT(v, last_1);
+      last_1 = v;
+    } else {
+      EXPECT_GT(v, last_2);
+      last_2 = v;
+    }
+  }
+}
+
+TEST_F(WiredTest, CountsMessagesAndBytes) {
+  WiredNetwork net(sim_, Rng(1), WiredConfig{});
+  Recorder receiver;
+  net.attach(NodeAddress(0), &receiver);
+  net.attach(NodeAddress(1), &receiver);
+  net.send(NodeAddress(0), NodeAddress(1), make_message<TestMsg>(1));
+  net.send(NodeAddress(0), NodeAddress(1), make_message<TestMsg>(2));
+  sim_.run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 200u);
+}
+
+TEST_F(WiredTest, ObserverSeesEverySend) {
+  WiredNetwork net(sim_, Rng(1), WiredConfig{});
+  Recorder receiver;
+  net.attach(NodeAddress(0), &receiver);
+  net.attach(NodeAddress(1), &receiver);
+  std::vector<std::string> names;
+  net.add_send_observer(
+      [&](const Envelope& envelope) { names.push_back(envelope.payload->name()); });
+  net.send(NodeAddress(0), NodeAddress(1), make_message<TestMsg>(1));
+  sim_.run();
+  EXPECT_EQ(names, std::vector<std::string>{"test"});
+}
+
+TEST_F(WiredTest, RejectsDoubleAttach) {
+  WiredNetwork net(sim_, Rng(1), WiredConfig{});
+  Recorder receiver;
+  net.attach(NodeAddress(0), &receiver);
+  EXPECT_THROW(net.attach(NodeAddress(0), &receiver),
+               common::InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Wireless channel.
+// ---------------------------------------------------------------------------
+
+struct MhRecorder final : DownlinkReceiver {
+  std::vector<PayloadPtr> received;
+  void on_downlink(CellId, const PayloadPtr& payload) override {
+    received.push_back(payload);
+  }
+};
+
+struct MssRecorder final : UplinkReceiver {
+  std::vector<std::pair<MhId, PayloadPtr>> received;
+  void on_uplink(MhId from, const PayloadPtr& payload) override {
+    received.emplace_back(from, payload);
+  }
+};
+
+class WirelessTest : public ::testing::Test {
+ protected:
+  WirelessTest() : channel_(sim_, Rng(3), make_config()) {
+    channel_.register_cell(CellId(0), MssId(0), &mss0_);
+    channel_.register_cell(CellId(1), MssId(1), &mss1_);
+    channel_.register_mh(MhId(0), &mh_);
+  }
+  static WirelessConfig make_config() {
+    WirelessConfig config;
+    config.base_latency = Duration::millis(20);
+    config.jitter = Duration::zero();
+    return config;
+  }
+  sim::Simulator sim_;
+  WirelessChannel channel_;
+  MssRecorder mss0_, mss1_;
+  MhRecorder mh_;
+};
+
+TEST_F(WirelessTest, UplinkReachesCellMss) {
+  channel_.place_mh(MhId(0), CellId(0));
+  channel_.set_mh_active(MhId(0), true);
+  channel_.uplink(MhId(0), make_message<TestMsg>(42));
+  sim_.run();
+  ASSERT_EQ(mss0_.received.size(), 1u);
+  EXPECT_EQ(mss0_.received[0].first, MhId(0));
+  EXPECT_TRUE(mss1_.received.empty());
+  EXPECT_EQ(sim_.now().count_micros(), 20'000);
+}
+
+TEST_F(WirelessTest, UplinkFollowsPlacement) {
+  channel_.place_mh(MhId(0), CellId(1));
+  channel_.set_mh_active(MhId(0), true);
+  channel_.uplink(MhId(0), make_message<TestMsg>(1));
+  sim_.run();
+  EXPECT_TRUE(mss0_.received.empty());
+  EXPECT_EQ(mss1_.received.size(), 1u);
+}
+
+TEST_F(WirelessTest, UplinkWhileInactiveIsAContractViolation) {
+  channel_.place_mh(MhId(0), CellId(0));
+  EXPECT_THROW(channel_.uplink(MhId(0), make_message<TestMsg>(1)),
+               common::InvariantViolation);
+}
+
+TEST_F(WirelessTest, DownlinkDeliversToActiveMhInCell) {
+  channel_.place_mh(MhId(0), CellId(0));
+  channel_.set_mh_active(MhId(0), true);
+  channel_.downlink(CellId(0), MhId(0), make_message<TestMsg>(5));
+  sim_.run();
+  ASSERT_EQ(mh_.received.size(), 1u);
+  EXPECT_EQ(channel_.downlink_dropped(), 0u);
+}
+
+TEST_F(WirelessTest, DownlinkDroppedWhenInactive) {
+  channel_.place_mh(MhId(0), CellId(0));
+  channel_.set_mh_active(MhId(0), false);
+  channel_.downlink(CellId(0), MhId(0), make_message<TestMsg>(5));
+  sim_.run();
+  EXPECT_TRUE(mh_.received.empty());
+  EXPECT_EQ(channel_.downlink_dropped(), 1u);
+  EXPECT_EQ(channel_.drops_for(DropReason::kInactive), 1u);
+}
+
+TEST_F(WirelessTest, DownlinkDroppedWhenMhInOtherCell) {
+  channel_.place_mh(MhId(0), CellId(1));
+  channel_.set_mh_active(MhId(0), true);
+  channel_.downlink(CellId(0), MhId(0), make_message<TestMsg>(5));
+  sim_.run();
+  EXPECT_TRUE(mh_.received.empty());
+  EXPECT_EQ(channel_.drops_for(DropReason::kNotInCell), 1u);
+}
+
+TEST_F(WirelessTest, DownlinkDroppedWhenMhDetached) {
+  channel_.place_mh(MhId(0), CellId(0));
+  channel_.set_mh_active(MhId(0), true);
+  channel_.detach_mh(MhId(0));
+  channel_.downlink(CellId(0), MhId(0), make_message<TestMsg>(5));
+  sim_.run();
+  EXPECT_TRUE(mh_.received.empty());
+  EXPECT_EQ(channel_.drops_for(DropReason::kNotInCell), 1u);
+}
+
+TEST_F(WirelessTest, DownlinkDroppedWhenMhMovesMidFlight) {
+  channel_.place_mh(MhId(0), CellId(0));
+  channel_.set_mh_active(MhId(0), true);
+  channel_.downlink(CellId(0), MhId(0), make_message<TestMsg>(5));
+  // The frame takes 20 ms; the Mh leaves the cell at 10 ms.
+  sim_.schedule(Duration::millis(10),
+                [&] { channel_.place_mh(MhId(0), CellId(1)); });
+  sim_.run();
+  EXPECT_TRUE(mh_.received.empty());
+  EXPECT_EQ(channel_.drops_for(DropReason::kNotInCell), 1u);
+}
+
+TEST_F(WirelessTest, DownlinkDroppedWhenMhDeactivatesMidFlight) {
+  channel_.place_mh(MhId(0), CellId(0));
+  channel_.set_mh_active(MhId(0), true);
+  channel_.downlink(CellId(0), MhId(0), make_message<TestMsg>(5));
+  sim_.schedule(Duration::millis(10),
+                [&] { channel_.set_mh_active(MhId(0), false); });
+  sim_.run();
+  EXPECT_TRUE(mh_.received.empty());
+  EXPECT_EQ(channel_.drops_for(DropReason::kInactive), 1u);
+}
+
+TEST(WirelessLoss, LossRateRoughlyMatchesConfig) {
+  sim::Simulator sim;
+  WirelessConfig config;
+  config.base_latency = Duration::millis(1);
+  config.jitter = Duration::zero();
+  config.downlink_loss = 0.25;
+  WirelessChannel channel(sim, Rng(5), config);
+  MssRecorder mss;
+  MhRecorder mh;
+  channel.register_cell(CellId(0), MssId(0), &mss);
+  channel.register_mh(MhId(0), &mh);
+  channel.place_mh(MhId(0), CellId(0));
+  channel.set_mh_active(MhId(0), true);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    channel.downlink(CellId(0), MhId(0), make_message<TestMsg>(i));
+  }
+  sim.run();
+  const double loss_rate =
+      static_cast<double>(channel.downlink_dropped()) / n;
+  EXPECT_NEAR(loss_rate, 0.25, 0.02);
+  EXPECT_EQ(mh.received.size(), n - channel.downlink_dropped());
+}
+
+TEST(WirelessLoss, UplinkLossCounts) {
+  sim::Simulator sim;
+  WirelessConfig config;
+  config.uplink_loss = 0.5;
+  WirelessChannel channel(sim, Rng(9), config);
+  MssRecorder mss;
+  MhRecorder mh;
+  channel.register_cell(CellId(0), MssId(0), &mss);
+  channel.register_mh(MhId(0), &mh);
+  channel.place_mh(MhId(0), CellId(0));
+  channel.set_mh_active(MhId(0), true);
+  for (int i = 0; i < 2000; ++i) {
+    channel.uplink(MhId(0), make_message<TestMsg>(i));
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(channel.uplink_dropped()) / 2000, 0.5, 0.05);
+  EXPECT_EQ(mss.received.size(), 2000 - channel.uplink_dropped());
+}
+
+}  // namespace
+}  // namespace rdp::net

@@ -1,0 +1,334 @@
+// Direct unit tests of core::Proxy: requestList semantics, del-pref
+// computation, retransmission on update_currentLoc, the deletion
+// handshake and stream requests — driven through the class interface with
+// a fake host, no mobile host or Mss involved.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/proxy.h"
+#include "net/wired.h"
+#include "net/wireless.h"
+
+namespace rdp::core {
+namespace {
+
+using common::Duration;
+using common::MhId;
+using common::NodeAddress;
+using common::ProxyId;
+using common::RequestId;
+
+// Captures messages a co-located proxy hands to "its" Mss.
+struct FakeHost final : ProxyHost {
+  std::vector<net::PayloadPtr> local;
+  void deliver_local_from_proxy(const net::PayloadPtr& payload) override {
+    local.push_back(payload);
+  }
+};
+
+// Captures wired traffic per destination.
+struct Recorder final : net::Endpoint {
+  std::vector<net::Envelope> received;
+  void on_message(const net::Envelope& envelope) override {
+    received.push_back(envelope);
+  }
+};
+
+class ProxyUnitTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kHost = 0;
+  static constexpr std::uint32_t kRemoteMss = 1;
+  static constexpr std::uint32_t kServer = 2;
+
+  ProxyUnitTest()
+      : wired_(sim_, common::Rng(1), zero_latency()),
+        wireless_(sim_, common::Rng(2), net::WirelessConfig{}) {
+    wired_.attach(NodeAddress(kHost), &host_wire_);
+    wired_.attach(NodeAddress(kRemoteMss), &remote_mss_);
+    wired_.attach(NodeAddress(kServer), &server_);
+    runtime_ = std::make_unique<Runtime>(Runtime{
+        sim_, wired_, wireless_, directory_, config_, observer_, counters_});
+    proxy_ = std::make_unique<Proxy>(*runtime_, host_, NodeAddress(kHost),
+                                     ProxyId(0), MhId(7));
+  }
+
+  static net::WiredConfig zero_latency() {
+    net::WiredConfig config;
+    config.base_latency = Duration::millis(1);
+    config.jitter = Duration::zero();
+    return config;
+  }
+
+  // Drains the event queue so wired sends are delivered.
+  void pump() { sim_.run(); }
+
+  static RequestId req(std::uint32_t n) { return RequestId(MhId(7), n); }
+
+  MsgAckForward ack(RequestId request, std::uint32_t seq, bool del_proxy) {
+    return MsgAckForward(MhId(7), ProxyId(0), request, seq, del_proxy);
+  }
+
+  MsgServerResult result(RequestId request, std::uint32_t seq, bool final,
+                         std::string body = "r") {
+    return MsgServerResult(ProxyId(0), request, seq, final, std::move(body));
+  }
+
+  // Most recent ResultForward captured on the given channel.
+  template <typename T>
+  const T* last(const std::vector<net::PayloadPtr>& messages) {
+    for (auto it = messages.rbegin(); it != messages.rend(); ++it) {
+      if (const T* msg = net::message_cast<T>(*it)) return msg;
+    }
+    return nullptr;
+  }
+
+  sim::Simulator sim_;
+  net::WiredNetwork wired_;
+  net::WirelessChannel wireless_;
+  Directory directory_;
+  RdpConfig config_;
+  RdpObserver observer_;
+  stats::CounterRegistry counters_;
+  std::unique_ptr<Runtime> runtime_;
+  FakeHost host_;
+  Recorder host_wire_, remote_mss_, server_;
+  std::unique_ptr<Proxy> proxy_;
+};
+
+TEST_F(ProxyUnitTest, CreationStateMatchesPaper) {
+  EXPECT_EQ(proxy_->mh(), MhId(7));
+  EXPECT_EQ(proxy_->current_loc(), NodeAddress(kHost));  // currentLoc := p
+  EXPECT_TRUE(proxy_->idle());
+}
+
+TEST_F(ProxyUnitTest, RequestIsRelayedToServer) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "hello", false);
+  pump();
+  ASSERT_EQ(server_.received.size(), 1u);
+  const auto* msg =
+      net::message_cast<MsgServerRequest>(server_.received[0].payload);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->reply_to, NodeAddress(kHost));  // fixed proxy location
+  EXPECT_EQ(msg->request, req(1));
+  EXPECT_EQ(msg->body, "hello");
+  EXPECT_EQ(proxy_->pending_count(), 1u);
+}
+
+TEST_F(ProxyUnitTest, DuplicateRequestIsIdempotent) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  pump();
+  EXPECT_EQ(server_.received.size(), 1u);
+  EXPECT_EQ(proxy_->pending_count(), 1u);
+}
+
+TEST_F(ProxyUnitTest, SingleResultForwardCarriesDelPref) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  const auto* fwd = last<MsgResultForward>(host_.local);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_TRUE(fwd->del_pref);  // sole pending request, final result
+  EXPECT_EQ(fwd->attempt, 1u);
+}
+
+TEST_F(ProxyUnitTest, DelPrefSuppressedWhileOtherRequestsPending) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_request(req(2), NodeAddress(kServer), "b", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  const auto* fwd = last<MsgResultForward>(host_.local);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_FALSE(fwd->del_pref);
+}
+
+TEST_F(ProxyUnitTest, UpdateCurrentLocResendsUnackedResults) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  EXPECT_EQ(host_.local.size(), 1u);  // first attempt, co-located
+
+  proxy_->handle_update_currentloc(NodeAddress(kRemoteMss));
+  pump();
+  const auto* fwd = last<MsgResultForward>([&] {
+    std::vector<net::PayloadPtr> payloads;
+    for (const auto& envelope : remote_mss_.received) {
+      payloads.push_back(envelope.payload);
+    }
+    return payloads;
+  }());
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->attempt, 2u);
+  EXPECT_TRUE(fwd->del_pref);
+  EXPECT_EQ(proxy_->current_loc(), NodeAddress(kRemoteMss));
+}
+
+TEST_F(ProxyUnitTest, UpdateWithNothingUnackedSendsNothing) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_update_currentloc(NodeAddress(kRemoteMss));
+  pump();
+  // Only the server request went out; nothing to the new location.
+  for (const auto& envelope : remote_mss_.received) {
+    EXPECT_EQ(net::message_cast<MsgResultForward>(envelope.payload), nullptr);
+  }
+}
+
+TEST_F(ProxyUnitTest, AckOfFinalResultCompletesRequest) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  EXPECT_FALSE(proxy_->handle_ack(ack(req(1), 1, false)));
+  EXPECT_TRUE(proxy_->idle());
+}
+
+TEST_F(ProxyUnitTest, DelProxyWithEmptyPendingDeletes) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  EXPECT_TRUE(proxy_->handle_ack(ack(req(1), 1, true)));
+}
+
+TEST_F(ProxyUnitTest, DelProxyWithPendingIsRefusedAndRestoreSent) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_request(req(2), NodeAddress(kServer), "b", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  // A (stale) del-proxy arrives while request 2 is still pending.
+  EXPECT_FALSE(proxy_->handle_ack(ack(req(1), 1, true)));
+  EXPECT_EQ(proxy_->pending_count(), 1u);
+  const auto* restore = last<MsgPrefRestore>(host_.local);
+  ASSERT_NE(restore, nullptr);
+  EXPECT_EQ(restore->proxy, ProxyId(0));
+}
+
+TEST_F(ProxyUnitTest, DuplicateAckIsIdempotent) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  EXPECT_FALSE(proxy_->handle_ack(ack(req(1), 1, false)));
+  EXPECT_FALSE(proxy_->handle_ack(ack(req(1), 1, false)));
+  EXPECT_TRUE(proxy_->idle());
+}
+
+TEST_F(ProxyUnitTest, LateResultForCompletedRequestIsDropped) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  ASSERT_FALSE(proxy_->handle_ack(ack(req(1), 1, false)));
+  const std::size_t before = host_.local.size();
+  proxy_->handle_server_result(result(req(1), 1, true));  // dup from server
+  EXPECT_EQ(host_.local.size(), before);
+}
+
+TEST_F(ProxyUnitTest, StandaloneDelPrefAfterSiblingCompletes) {
+  // Fig 4: B and C pending; C's final result forwarded (no del-pref);
+  // B completes; a standalone delPref for C must follow.
+  proxy_->handle_request(req(2), NodeAddress(kServer), "b", false);
+  proxy_->handle_request(req(3), NodeAddress(kServer), "c", false);
+  proxy_->handle_server_result(result(req(3), 1, true));  // fwd, no del-pref
+  proxy_->handle_server_result(result(req(2), 1, true));  // fwd, no del-pref
+  ASSERT_FALSE(proxy_->handle_ack(ack(req(2), 1, false)));  // B done
+  const auto* del_pref = last<MsgDelPref>(host_.local);
+  ASSERT_NE(del_pref, nullptr);
+  EXPECT_EQ(del_pref->request, req(3));
+  EXPECT_EQ(del_pref->result_seq, 1u);
+}
+
+TEST_F(ProxyUnitTest, StandaloneDelPrefNotRepeated) {
+  proxy_->handle_request(req(2), NodeAddress(kServer), "b", false);
+  proxy_->handle_request(req(3), NodeAddress(kServer), "c", false);
+  proxy_->handle_server_result(result(req(3), 1, true));
+  proxy_->handle_server_result(result(req(2), 1, true));
+  ASSERT_FALSE(proxy_->handle_ack(ack(req(2), 1, false)));
+  const auto count_delprefs = [&] {
+    std::size_t count = 0;
+    for (const auto& payload : host_.local) {
+      if (net::message_cast<MsgDelPref>(payload) != nullptr) ++count;
+    }
+    return count;
+  };
+  const std::size_t after_first = count_delprefs();
+  // A duplicate Ack for B must not re-announce.
+  ASSERT_FALSE(proxy_->handle_ack(ack(req(2), 1, false)));
+  EXPECT_EQ(count_delprefs(), after_first);
+  EXPECT_EQ(after_first, 1u);
+}
+
+TEST_F(ProxyUnitTest, NewRequestReopensDelPrefAnnouncement) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_server_result(result(req(1), 1, true));  // fwd +delpref
+  // New request arrives; the old announcement is void.
+  proxy_->handle_request(req(2), NodeAddress(kServer), "b", false);
+  proxy_->handle_server_result(result(req(2), 1, true));  // fwd, no delpref
+  ASSERT_FALSE(proxy_->handle_ack(ack(req(2), 1, false)));
+  // Request 1 is the sole pending again and its result was already
+  // forwarded: a fresh standalone delPref must be sent for it.
+  const auto* del_pref = last<MsgDelPref>(host_.local);
+  ASSERT_NE(del_pref, nullptr);
+  EXPECT_EQ(del_pref->request, req(1));
+}
+
+// --- stream requests -------------------------------------------------------
+
+TEST_F(ProxyUnitTest, StreamResultsForwardWithoutDelPrefUntilFinal) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "sub", true);
+  proxy_->handle_server_result(result(req(1), 1, false, "n1"));
+  proxy_->handle_server_result(result(req(1), 2, false, "n2"));
+  std::size_t forwards = 0;
+  for (const auto& payload : host_.local) {
+    if (const auto* fwd = net::message_cast<MsgResultForward>(payload)) {
+      EXPECT_FALSE(fwd->del_pref);
+      ++forwards;
+    }
+  }
+  EXPECT_EQ(forwards, 2u);
+  EXPECT_EQ(proxy_->pending_count(), 1u);  // stream stays pending
+}
+
+TEST_F(ProxyUnitTest, StreamFinalCarriesDelPrefOnlyWhenSoleUnacked) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "sub", true);
+  proxy_->handle_server_result(result(req(1), 1, false, "n1"));
+  // Final arrives while n1 unacked -> no del-pref yet.
+  proxy_->handle_server_result(result(req(1), 2, true, "bye"));
+  const auto* fwd = last<MsgResultForward>(host_.local);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_FALSE(fwd->del_pref);
+  // n1 acked -> the final is the sole unacked result -> standalone delPref.
+  ASSERT_FALSE(proxy_->handle_ack(ack(req(1), 1, false)));
+  const auto* del_pref = last<MsgDelPref>(host_.local);
+  ASSERT_NE(del_pref, nullptr);
+  EXPECT_EQ(del_pref->result_seq, 2u);
+  // Final acked with del-proxy -> delete.
+  EXPECT_TRUE(proxy_->handle_ack(ack(req(1), 2, true)));
+}
+
+TEST_F(ProxyUnitTest, UnsubscribeRelaysToServer) {
+  proxy_->handle_request(req(1), NodeAddress(kServer), "sub", true);
+  proxy_->handle_unsubscribe(req(1));
+  pump();
+  bool saw_unsub = false;
+  for (const auto& envelope : server_.received) {
+    if (net::message_cast<MsgServerUnsubscribe>(envelope.payload)) {
+      saw_unsub = true;
+    }
+  }
+  EXPECT_TRUE(saw_unsub);
+}
+
+TEST_F(ProxyUnitTest, UnsubscribeUnknownRequestIsIgnored) {
+  proxy_->handle_unsubscribe(req(9));
+  pump();
+  EXPECT_TRUE(server_.received.empty());
+}
+
+TEST_F(ProxyUnitTest, RemoteForwardGoesOverTheWire) {
+  proxy_->handle_update_currentloc(NodeAddress(kRemoteMss));
+  proxy_->handle_request(req(1), NodeAddress(kServer), "a", false);
+  proxy_->handle_server_result(result(req(1), 1, true));
+  pump();
+  bool saw_forward = false;
+  for (const auto& envelope : remote_mss_.received) {
+    if (net::message_cast<MsgResultForward>(envelope.payload)) {
+      saw_forward = true;
+    }
+  }
+  EXPECT_TRUE(saw_forward);
+  EXPECT_TRUE(host_.local.empty());  // nothing delivered locally
+}
+
+}  // namespace
+}  // namespace rdp::core

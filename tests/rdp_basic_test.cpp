@@ -1,0 +1,292 @@
+// End-to-end behaviour of the RDP stack in deterministic (zero-jitter,
+// zero-loss) worlds: registration, the request/result/ack path, the proxy
+// life-cycle, inactivity, subscriptions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/metrics.h"
+#include "harness/world.h"
+
+namespace rdp {
+namespace {
+
+using common::CellId;
+using common::Duration;
+using common::MhId;
+using common::MssId;
+
+harness::ScenarioConfig deterministic_config() {
+  harness::ScenarioConfig config;
+  config.num_mss = 3;
+  config.num_mh = 2;
+  config.num_servers = 1;
+  config.wired.base_latency = Duration::millis(5);
+  config.wired.jitter = Duration::zero();
+  config.wireless.base_latency = Duration::millis(20);
+  config.wireless.jitter = Duration::zero();
+  config.server.base_service_time = Duration::millis(100);
+  return config;
+}
+
+class RdpBasicTest : public ::testing::Test {
+ protected:
+  RdpBasicTest() : world_(deterministic_config()) {
+    world_.observers().add(&metrics_);
+    world_.mh(0).set_delivery_callback(
+        [this](const core::MobileHostAgent::Delivery& delivery) {
+          deliveries_.push_back(delivery);
+        });
+  }
+
+  void at(Duration delay, std::function<void()> fn) {
+    world_.simulator().schedule(delay, std::move(fn));
+  }
+
+  harness::World world_;
+  harness::MetricsCollector metrics_;
+  std::vector<core::MobileHostAgent::Delivery> deliveries_;
+};
+
+TEST_F(RdpBasicTest, JoinRegistersWithCellMss) {
+  world_.mh(0).power_on(world_.cell(0));
+  world_.run_for(Duration::millis(100));
+  EXPECT_TRUE(world_.mh(0).registered());
+  EXPECT_EQ(world_.mh(0).resp_mss(), MssId(0));
+  EXPECT_TRUE(world_.mss(0).is_local(MhId(0)));
+  EXPECT_FALSE(world_.mss(1).is_local(MhId(0)));
+  // Join and registrationAck each take one wireless hop (20 ms).
+  EXPECT_EQ(metrics_.registrations, 1u);
+  EXPECT_NEAR(metrics_.registration_latency_ms.mean(), 40.0, 1.0);
+}
+
+TEST_F(RdpBasicTest, SingleRequestDeliversExactlyOnce) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "q1"); });
+  world_.run_to_quiescence();
+
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q1");
+  EXPECT_TRUE(deliveries_[0].final);
+  EXPECT_EQ(metrics_.results_delivered, 1u);
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+  EXPECT_EQ(metrics_.retransmissions, 0u);
+  EXPECT_EQ(metrics_.requests_completed, 1u);
+  EXPECT_EQ(world_.mh(0).pending_requests(), 0u);
+}
+
+TEST_F(RdpBasicTest, RequestLatencyMatchesPathComponents) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "q"); });
+  world_.run_to_quiescence();
+  // uplink 20 + serverRequest 5 + service 100 + serverResult 5 +
+  // downlink 20 = 150 ms (proxy co-located, both local hops free).
+  ASSERT_EQ(metrics_.delivery_latency_ms.count(), 1u);
+  EXPECT_NEAR(metrics_.delivery_latency_ms.mean(), 150.0, 1.0);
+}
+
+TEST_F(RdpBasicTest, ProxyCreatedAtRespMssAndDeletedAfterAck) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "q"); });
+
+  // Mid-flight (while the request is pending) the proxy must exist at the
+  // Mss that created it.
+  at(Duration::millis(200), [&] {
+    EXPECT_EQ(world_.mss(0).proxy_count(), 1u);
+    const core::Pref* pref = world_.mss(0).pref_of(MhId(0));
+    ASSERT_NE(pref, nullptr);
+    EXPECT_TRUE(pref->has_proxy());
+    EXPECT_EQ(pref->proxy_host, world_.mss(0).address());
+  });
+  world_.run_to_quiescence();
+
+  EXPECT_EQ(metrics_.proxies_created, 1u);
+  EXPECT_EQ(metrics_.proxies_deleted, 1u);
+  EXPECT_EQ(world_.mss(0).proxy_count(), 0u);
+  const core::Pref* pref = world_.mss(0).pref_of(MhId(0));
+  ASSERT_NE(pref, nullptr);
+  EXPECT_FALSE(pref->has_proxy());  // null pref again
+}
+
+TEST_F(RdpBasicTest, OverlappingRequestsShareOneProxy) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "a"); });
+  at(Duration::millis(120),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "b"); });
+  at(Duration::millis(140),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "c"); });
+  world_.run_to_quiescence();
+
+  EXPECT_EQ(metrics_.proxies_created, 1u);
+  EXPECT_EQ(metrics_.proxies_deleted, 1u);
+  EXPECT_EQ(deliveries_.size(), 3u);
+  EXPECT_EQ(metrics_.requests_completed, 3u);
+}
+
+TEST_F(RdpBasicTest, SequentialRequestSeriesCreateFreshProxies) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "a"); });
+  // The first proxy is gone long before the second request (quiesce ~250ms).
+  at(Duration::seconds(2),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "b"); });
+  world_.run_to_quiescence();
+
+  EXPECT_EQ(metrics_.proxies_created, 2u);
+  EXPECT_EQ(metrics_.proxies_deleted, 2u);
+  EXPECT_EQ(deliveries_.size(), 2u);
+}
+
+TEST_F(RdpBasicTest, ProxyFollowsMhAcrossSessions) {
+  // §3.3 / §5: "at a later moment, the same Mh may cause the creation of a
+  // new proxy at ... a different Mss, depending on whether it has migrated"
+  // — this is the load-balancing property.
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "a"); });
+  at(Duration::seconds(1),
+     [&] { world_.mh(0).migrate(world_.cell(2), Duration::millis(50)); });
+  at(Duration::seconds(2),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "b"); });
+  world_.run_to_quiescence();
+
+  EXPECT_EQ(metrics_.proxies_created, 2u);
+  EXPECT_EQ(metrics_.proxy_host_tally.get(world_.mss(0).address()), 1u);
+  EXPECT_EQ(metrics_.proxy_host_tally.get(world_.mss(2).address()), 1u);
+  EXPECT_EQ(deliveries_.size(), 2u);
+}
+
+TEST_F(RdpBasicTest, InactiveMhGetsResultOnReactivation) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "q"); });
+  // Power off before the result (due ~250 ms) arrives.
+  at(Duration::millis(150), [&] { world_.mh(0).power_off(); });
+  at(Duration::seconds(1), [&] { world_.mh(0).reactivate(); });
+  world_.run_to_quiescence();
+
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(metrics_.retransmissions, 1u);  // re-sent after update_currentLoc
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+  EXPECT_EQ(metrics_.proxies_deleted, 1u);
+  // Reactivation triggered exactly one update_currentLoc (§5 overhead).
+  EXPECT_EQ(metrics_.update_currentloc, 1u);
+}
+
+TEST_F(RdpBasicTest, ReactivationWithoutPendingRequestsIsQuiet) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(200), [&] { world_.mh(0).power_off(); });
+  at(Duration::millis(500), [&] { world_.mh(0).reactivate(); });
+  world_.run_to_quiescence();
+  EXPECT_TRUE(world_.mh(0).registered());
+  // No proxy -> no update_currentLoc.
+  EXPECT_EQ(metrics_.update_currentloc, 0u);
+}
+
+TEST_F(RdpBasicTest, LeaveWithPendingRequestLosesIt) {
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "q"); });
+  at(Duration::millis(150), [&] { world_.mh(0).leave(); });
+  world_.run_to_quiescence();
+  EXPECT_EQ(metrics_.requests_lost, 1u);
+  EXPECT_EQ(deliveries_.size(), 0u);
+  EXPECT_FALSE(world_.mss(0).is_local(MhId(0)));
+}
+
+TEST_F(RdpBasicTest, TwoMhsAreIndependent) {
+  std::vector<core::MobileHostAgent::Delivery> other;
+  world_.mh(1).set_delivery_callback(
+      [&](const core::MobileHostAgent::Delivery& delivery) {
+        other.push_back(delivery);
+      });
+  world_.mh(0).power_on(world_.cell(0));
+  world_.mh(1).power_on(world_.cell(1));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "a"); });
+  at(Duration::millis(100),
+     [&] { world_.mh(1).issue_request(world_.server_address(0), "b"); });
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:a");
+  EXPECT_EQ(other[0].body, "re:b");
+  EXPECT_EQ(metrics_.proxies_created, 2u);
+}
+
+TEST_F(RdpBasicTest, SubscriptionStreamsNotificationsInOrder) {
+  world_.mh(0).power_on(world_.cell(0));
+  core::RequestId sub;
+  at(Duration::millis(100), [&] {
+    sub = world_.mh(0).issue_request(world_.server_address(0), "watch",
+                                     /*stream=*/true);
+  });
+  at(Duration::millis(500), [&] { world_.server(0).publish("n1"); });
+  at(Duration::millis(600), [&] { world_.server(0).publish("n2"); });
+  at(Duration::millis(700), [&] { world_.mh(0).unsubscribe(sub); });
+  world_.run_to_quiescence();
+
+  // snapshot + n1 + n2 + final "unsubscribed"
+  ASSERT_EQ(deliveries_.size(), 4u);
+  EXPECT_EQ(deliveries_[0].body, "re:watch");
+  EXPECT_EQ(deliveries_[1].body, "n1");
+  EXPECT_EQ(deliveries_[2].body, "n2");
+  EXPECT_EQ(deliveries_[3].body, "unsubscribed");
+  EXPECT_TRUE(deliveries_[3].final);
+  EXPECT_EQ(world_.server(0).active_subscriptions(), 0u);
+  // The subscription's proxy is torn down after the final ack.
+  EXPECT_EQ(metrics_.proxies_deleted, 1u);
+  EXPECT_EQ(world_.mss(0).proxy_count(), 0u);
+}
+
+TEST_F(RdpBasicTest, SubscriptionSurvivesMigration) {
+  world_.mh(0).power_on(world_.cell(0));
+  core::RequestId sub;
+  at(Duration::millis(100), [&] {
+    sub = world_.mh(0).issue_request(world_.server_address(0), "watch",
+                                     /*stream=*/true);
+  });
+  at(Duration::millis(500),
+     [&] { world_.mh(0).migrate(world_.cell(1), Duration::millis(50)); });
+  at(Duration::seconds(1), [&] { world_.server(0).publish("n1"); });
+  at(Duration::seconds(2), [&] { world_.mh(0).unsubscribe(sub); });
+  world_.run_to_quiescence();
+
+  ASSERT_EQ(deliveries_.size(), 3u);
+  EXPECT_EQ(deliveries_[1].body, "n1");
+  // Proxy stayed at Mss0 (fixed location) while the Mh moved to cell 1.
+  EXPECT_EQ(metrics_.proxy_host_tally.get(world_.mss(0).address()), 1u);
+  EXPECT_EQ(metrics_.handoffs, 1u);
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+}
+
+TEST_F(RdpBasicTest, RequestsIssuedWhileUnregisteredAreQueued) {
+  world_.mh(0).power_on(world_.cell(0));
+  // Issue immediately: registration (40 ms round trip) has not finished.
+  world_.mh(0).issue_request(world_.server_address(0), "early");
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:early");
+}
+
+TEST_F(RdpBasicTest, ServerSeesFixedClient) {
+  // "From the perspective of the server, service access is identical to the
+  // one by a static client" — the server only ever talks to the proxy.
+  world_.mh(0).power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { world_.mh(0).issue_request(world_.server_address(0), "q"); });
+  at(Duration::millis(150),
+     [&] { world_.mh(0).migrate(world_.cell(1), Duration::millis(10)); });
+  world_.run_to_quiescence();
+  EXPECT_EQ(world_.server(0).requests_served(), 1u);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(metrics_.delivery_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace rdp

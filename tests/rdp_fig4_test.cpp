@@ -1,0 +1,194 @@
+// Reproduction of the paper's Figure 4 (multiple requests through one
+// proxy): RKpR reset by a new request, the standalone del-pref message, the
+// del-proxy handshake, and the end-of-section race variant where del-pref
+// arrives after the last Ack and the proxy survives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/trace_util.h"
+
+namespace rdp {
+namespace {
+
+using common::Duration;
+using common::MhId;
+using common::NodeAddress;
+
+class Fig4Test : public ::testing::Test {
+ protected:
+  // Two Mss's: the proxy is created at Mss0 (Mss_p); the Mh then lives at
+  // Mss1 for the rest of the scenario, so every proxy<->respMss exchange is
+  // visible on the wire.
+  Fig4Test() : world_(testutil::deterministic_config(2, 1, 0)) {
+    world_.observers().add(&metrics_);
+    world_.observers().add(&trace_);
+    world_.wired().add_send_observer([this](const net::Envelope& envelope) {
+      wire_names_.push_back(envelope.payload->name());
+    });
+  }
+
+  [[nodiscard]] int wire_count(const std::string& name) const {
+    int count = 0;
+    for (const auto& entry : wire_names_) {
+      if (entry == name) ++count;
+    }
+    return count;
+  }
+
+  void at(Duration delay, std::function<void()> fn) {
+    world_.simulator().schedule(delay, std::move(fn));
+  }
+
+  harness::World world_;
+  harness::MetricsCollector metrics_;
+  testutil::TraceObserver trace_;
+  std::vector<std::string> wire_names_;
+};
+
+// Main Figure 4 flow.  Proxy-side event order to reproduce:
+//   requestA -> (migration) -> resultA fwd +delpref -> requestB (resets
+//   RKpR before AckA) -> AckA (no del-proxy) -> requestC -> resultB fwd
+//   (no delpref) -> resultC fwd (no delpref) -> AckB -> standalone delpref
+//   -> AckC (+del-proxy) -> proxy deleted.
+TEST_F(Fig4Test, MultiRequestProxyLifecycle) {
+  const NodeAddress server_a =
+      testutil::add_server_with_service_time(world_, Duration::millis(500));
+  const NodeAddress server_b =
+      testutil::add_server_with_service_time(world_, Duration::millis(400));
+  const NodeAddress server_c =
+      testutil::add_server_with_service_time(world_, Duration::millis(280));
+
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+
+  // t=100: requestA at Mss0; proxy created there.  Result due at proxy at
+  // t = 100+20+5+500+5 = 630.
+  at(Duration::millis(100), [&] { mh.issue_request(server_a, "a"); });
+  // t=200: migrate to cell 1 (hand-off completes ~280 ms, long before any
+  // result exists).
+  at(Duration::millis(200),
+     [&] { mh.migrate(world_.cell(1), Duration::millis(50)); });
+  // resultA forward reaches Mss1 at 635 (sets RKpR), downlink lands 655,
+  // AckA reaches Mss1 at 675.  Issue requestB at 645 so it reaches Mss1 at
+  // 665 — after the del-pref but before AckA, clearing RKpR (the paper's
+  // "requestB before sending an Ack for resultA" interleaving as seen by
+  // the Mss).  resultB due at proxy: 645+20+5+400+5 = 1075.
+  at(Duration::millis(645), [&] { mh.issue_request(server_b, "b"); });
+  // t=800: requestC (pending list {B, C} from t=825 at the proxy).
+  // resultC due at proxy: 800+20+5+280+5 = 1110 — after resultB's forward
+  // (1075) and before AckB reaches the proxy (1075+5+20+20+5 = 1125).
+  at(Duration::millis(800), [&] { mh.issue_request(server_c, "c"); });
+
+  world_.run_to_quiescence();
+
+  // One proxy served all three requests and was deleted exactly once.
+  EXPECT_EQ(metrics_.proxies_created, 1u);
+  EXPECT_EQ(metrics_.proxies_deleted, 1u);
+  EXPECT_EQ(metrics_.results_delivered, 3u);
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+  EXPECT_EQ(world_.mss(0).proxy_count(), 0u);
+
+  const auto req = [&](std::uint32_t seq) {
+    return core::RequestId(MhId(0), seq).str();
+  };
+  // resultA carried del-pref (sole pending request at the time).
+  EXPECT_GE(trace_.index_of("forward:" + req(1) + "#1->" +
+                            world_.mss(1).address().str() + "+delpref"),
+            0);
+  // AckA did NOT carry del-proxy: requestB reset RKpR first.
+  EXPECT_GE(trace_.index_of("ack:" + req(1)), 0);
+  EXPECT_EQ(trace_.index_of("ack:" + req(1) + "+delproxy"), -1);
+  EXPECT_LT(trace_.index_of("request:" + req(2)),
+            trace_.index_of("ack:" + req(1)));
+  // resultB and resultC both went without del-pref ({B,C} pending).
+  EXPECT_GE(trace_.index_of("forward:" + req(2) + "#1"), 0);
+  EXPECT_EQ(trace_.index_of("forward:" + req(2) + "#1->" +
+                            world_.mss(1).address().str() + "+delpref"),
+            -1);
+  EXPECT_EQ(trace_.index_of("forward:" + req(3) + "#1->" +
+                            world_.mss(1).address().str() + "+delpref"),
+            -1);
+  // The standalone del-pref message crossed the wire exactly once.
+  EXPECT_EQ(wire_count("delPref"), 1);
+  // AckC completed the handshake with del-proxy.
+  EXPECT_GE(trace_.index_of("ack:" + req(3) + "+delproxy"), 0);
+  // Proxy-side ordering: AckB before the deletion, deletion last.
+  EXPECT_LT(trace_.index_of("ack:" + req(2)),
+            trace_.index_of("ack:" + req(3) + "+delproxy"));
+  EXPECT_EQ(trace_.trace.back(), "proxy_deleted");
+}
+
+// End-of-§3.4 variant: "suppose that the last del-pref message had arrived
+// at Mss after AckC.  Since RKpR = false, pref would be left unchanged and
+// AckC would be sent to Mss_p with del-proxy = false, avoiding the removal
+// of the proxy."  The proxy then survives, idle, and is reused by the next
+// request.
+TEST_F(Fig4Test, DelPrefArrivingAfterLastAckKeepsProxyAlive) {
+  // Two overlapping requests whose results reach the proxy ~6 ms apart, so
+  // both forwards go out without del-pref; the Acks come back in the same
+  // order, and the standalone del-pref triggered by AckB loses the race
+  // against AckC at Mss1.
+  const NodeAddress server_b =
+      testutil::add_server_with_service_time(world_, Duration::millis(400));
+  const NodeAddress server_c =
+      testutil::add_server_with_service_time(world_, Duration::millis(386));
+
+  auto& mh = world_.mh(0);
+  mh.power_on(world_.cell(0));
+  at(Duration::millis(100),
+     [&] { mh.migrate(world_.cell(1), Duration::millis(50)); });
+  // Proxy created at Mss1?  No: requests are issued after the migration, so
+  // the proxy is created at Mss1 and everything would be local.  Issue the
+  // first request *before* migrating instead.
+  // requestB at t=100 from cell 0: proxy at Mss0.  resultB at proxy:
+  // 100+20+5+400+5 = 530.
+  // -- rebuild the timeline --
+  world_.run_to_quiescence();  // flush the power-on/migration above
+  auto& sim = world_.simulator();
+  (void)sim;
+
+  // Timeline (absolute, scheduled from now ~= quiesced time):
+  // Use fresh offsets: tB: requestB issued from cell 1 — proxy will be
+  // created at Mss1... to keep the proxy remote, move back to cell 0? The
+  // variant only needs the del-pref to race the Ack on the wire, which
+  // requires proxy_host != respMss.  The Mh now sits in cell 1; issue the
+  // requests there (proxy at Mss1), then migrate to cell 0 before results
+  // arrive.
+  const auto t0 = Duration::millis(3000);
+  at(t0, [&] { mh.issue_request(server_b, "b"); });
+  at(t0 + Duration::millis(6), [&] { mh.issue_request(server_c, "c"); });
+  // Results due at the Mss1 proxy at ~t0+430 and ~t0+422(+6)=t0+428.
+  // Migrate at t0+100 (hand-off done by ~t0+180): respMss becomes Mss0,
+  // proxy stays at Mss1 — remote forwards from then on.
+  at(t0 + Duration::millis(100),
+     [&] { mh.migrate(world_.cell(0), Duration::millis(50)); });
+  world_.run_to_quiescence();
+
+  // Both results delivered exactly once, but the proxy must still be alive
+  // (no del-proxy was ever sent) and idle at Mss1.
+  EXPECT_EQ(metrics_.results_delivered, 2u);
+  EXPECT_EQ(metrics_.proxies_created, 1u);
+  EXPECT_EQ(metrics_.proxies_deleted, 0u);
+  EXPECT_EQ(world_.mss(1).proxy_count(), 1u);
+  // The pref still points at the surviving proxy, with RKpR now set (the
+  // late del-pref landed after AckC).
+  const core::Pref* pref = world_.mss(0).pref_of(MhId(0));
+  ASSERT_NE(pref, nullptr);
+  EXPECT_TRUE(pref->has_proxy());
+  EXPECT_TRUE(pref->rkpr);
+  EXPECT_EQ(wire_count("delPref"), 1);
+
+  // "The old proxy will also be used for this new request": a later
+  // request reuses it and the normal handshake finally deletes it.
+  at(Duration::millis(500), [&] { mh.issue_request(server_b, "again"); });
+  world_.run_to_quiescence();
+  EXPECT_EQ(metrics_.proxies_created, 1u);  // reused, not recreated
+  EXPECT_EQ(metrics_.proxies_deleted, 1u);
+  EXPECT_EQ(world_.mss(1).proxy_count(), 0u);
+  EXPECT_EQ(metrics_.results_delivered, 3u);
+}
+
+}  // namespace
+}  // namespace rdp

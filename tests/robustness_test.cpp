@@ -1,0 +1,167 @@
+// Failure injection and adversarial schedules: abrupt host disappearance,
+// rapid chained migrations, registration under heavy downlink loss, and a
+// scheduler stress storm.
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+#include "harness/world.h"
+#include "tests/trace_util.h"
+#include "workload/driver.h"
+
+namespace rdp {
+namespace {
+
+using common::Duration;
+using common::MhId;
+
+TEST(Robustness, AbruptDisappearanceReclaimedAsAbandonedAfterTimeout) {
+  auto config = testutil::deterministic_config(2, 1, 1);
+  config.rdp.idle_proxy_gc = true;
+  config.rdp.idle_proxy_timeout = Duration::seconds(30);
+  config.rdp.proxy_gc_interval = Duration::seconds(10);
+  config.rdp.abandoned_proxy_timeout = Duration::seconds(300);
+  config.server.base_service_time = Duration::seconds(2);
+  harness::World world(config);
+  harness::MetricsCollector metrics;
+  world.observers().add(&metrics);
+
+  world.mh(0).power_on(world.cell(0));
+  world.simulator().schedule(Duration::millis(500), [&] {
+    world.mh(0).issue_request(world.server_address(0), "q");
+  });
+  // The host vanishes (battery out) before the result arrives and never
+  // returns: the proxy keeps the undeliverable result.
+  world.simulator().schedule(Duration::seconds(1),
+                             [&] { world.mh(0).power_off(); });
+  world.run_for(Duration::seconds(120));
+  // Pending requests protect the proxy from the *idle* GC...
+  EXPECT_EQ(world.mss(0).proxy_count(), 1u);
+  EXPECT_EQ(metrics.proxies_gc, 0u);
+  // ...but after the abandoned timeout it is reclaimed and the pending
+  // request reported lost (there is no other way to learn about it).
+  world.run_for(Duration::seconds(300));
+  EXPECT_EQ(world.mss(0).proxy_count(), 0u);
+  EXPECT_EQ(metrics.proxies_gc, 1u);
+  EXPECT_EQ(metrics.requests_lost, 1u);
+  EXPECT_EQ(world.counters().get("mss.proxies_abandoned"), 1u);
+}
+
+TEST(Robustness, AbandonedTimeoutZeroDisablesReclaim) {
+  auto config = testutil::deterministic_config(2, 1, 1);
+  config.rdp.idle_proxy_gc = true;
+  config.rdp.idle_proxy_timeout = Duration::seconds(30);
+  config.rdp.proxy_gc_interval = Duration::seconds(10);
+  config.rdp.abandoned_proxy_timeout = Duration::zero();
+  config.server.base_service_time = Duration::seconds(2);
+  harness::World world(config);
+  world.mh(0).power_on(world.cell(0));
+  world.simulator().schedule(Duration::millis(500), [&] {
+    world.mh(0).issue_request(world.server_address(0), "q");
+  });
+  world.simulator().schedule(Duration::seconds(1),
+                             [&] { world.mh(0).power_off(); });
+  world.run_for(Duration::seconds(600));
+  EXPECT_EQ(world.mss(0).proxy_count(), 1u);  // kept forever by request
+}
+
+TEST(Robustness, ChainedTripleMigrationDeliversEverything) {
+  auto config = testutil::deterministic_config(4, 1, 1);
+  config.server.base_service_time = Duration::millis(900);
+  harness::World world(config);
+  harness::MetricsCollector metrics;
+  world.observers().add(&metrics);
+
+  auto& mh = world.mh(0);
+  auto& sim = world.simulator();
+  mh.power_on(world.cell(0));
+  sim.schedule(Duration::millis(100),
+               [&] { mh.issue_request(world.server_address(0), "q"); });
+  // Hop 0 -> 1 -> 2 -> 3 with barely enough dwell for each greet to go
+  // out, racing the hand-off chain.
+  sim.schedule(Duration::millis(200),
+               [&] { mh.migrate(world.cell(1), Duration::millis(30)); });
+  sim.schedule(Duration::millis(300),
+               [&] { mh.migrate(world.cell(2), Duration::millis(30)); });
+  sim.schedule(Duration::millis(400),
+               [&] { mh.migrate(world.cell(3), Duration::millis(30)); });
+  world.run_to_quiescence();
+
+  EXPECT_EQ(metrics.results_delivered, 1u);
+  EXPECT_EQ(metrics.app_duplicates, 0u);
+  EXPECT_TRUE(world.mss(3).is_local(MhId(0)));
+  EXPECT_FALSE(world.mss(1).is_local(MhId(0)));
+  EXPECT_FALSE(world.mss(2).is_local(MhId(0)));
+  EXPECT_EQ(metrics.proxies_deleted, 1u);
+}
+
+TEST(Robustness, RegistrationSurvivesHeavyDownlinkLoss) {
+  auto config = testutil::deterministic_config(2, 1, 1);
+  config.seed = 5;
+  config.wireless.downlink_loss = 0.8;  // most registrationAcks die
+  config.rdp.registration_retry = Duration::millis(400);
+  harness::World world(config);
+  world.mh(0).power_on(world.cell(0));
+  world.run_for(Duration::seconds(30));
+  EXPECT_TRUE(world.mh(0).registered());
+  EXPECT_GT(world.counters().get("mh.registration_retries"), 0u);
+}
+
+TEST(Robustness, RapidOnOffCyclingStaysConsistent) {
+  auto config = testutil::deterministic_config(3, 1, 1);
+  config.server.base_service_time = Duration::millis(700);
+  harness::World world(config);
+  harness::MetricsCollector metrics;
+  world.observers().add(&metrics);
+
+  auto& mh = world.mh(0);
+  auto& sim = world.simulator();
+  mh.power_on(world.cell(0));
+  sim.schedule(Duration::millis(100),
+               [&] { mh.issue_request(world.server_address(0), "q"); });
+  // Flap power every 150 ms for 3 seconds.
+  for (int k = 0; k < 10; ++k) {
+    sim.schedule(Duration::millis(300 + 300 * k),
+                 [&] { if (mh.active()) mh.power_off(); });
+    sim.schedule(Duration::millis(450 + 300 * k),
+                 [&] { if (!mh.active()) mh.reactivate(); });
+  }
+  world.run_to_quiescence();
+  EXPECT_EQ(metrics.results_delivered, 1u);
+  EXPECT_EQ(metrics.requests_lost, 0u);
+  EXPECT_EQ(world.mss(0).proxy_count(), 0u);
+}
+
+TEST(Robustness, SimulatorStormKeepsTimeMonotonic) {
+  sim::Simulator sim;
+  common::Rng rng(99);
+  common::SimTime last = common::SimTime::zero();
+  std::size_t fired = 0;
+  std::vector<sim::TimerHandle> handles;
+  std::function<void()> recurse = [&] {
+    EXPECT_GE(sim.now(), last);
+    last = sim.now();
+    ++fired;
+    if (fired > 20000) return;
+    // Random mix of schedules and cancellations at random priorities.
+    for (int i = 0; i < 2; ++i) {
+      const auto priority = static_cast<sim::EventPriority>(
+          rng.uniform_int(0, 2));
+      handles.push_back(sim.schedule(
+          common::Duration::micros(rng.uniform_int(0, 5000)), recurse,
+          priority));
+    }
+    if (rng.bernoulli(0.3) && !handles.empty()) {
+      handles[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(
+                                          handles.size() - 1)))]
+          .cancel();
+    }
+  };
+  sim.schedule(common::Duration::millis(1), recurse);
+  sim.run();
+  EXPECT_GT(fired, 10000u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace rdp

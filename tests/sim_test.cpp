@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace rdp::sim {
+namespace {
+
+using common::Duration;
+using common::SimTime;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(30));
+}
+
+TEST(Simulator, TiesBrokenByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(Duration::millis(10), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, PriorityOutranksInsertionOrderAtSameTime) {
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.schedule(Duration::millis(10), [&] { order.push_back("normal"); },
+               EventPriority::kNormal);
+  sim.schedule(Duration::millis(10), [&] { order.push_back("ack"); },
+               EventPriority::kAck);
+  sim.schedule(Duration::millis(10), [&] { order.push_back("low"); },
+               EventPriority::kLow);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"ack", "normal", "low"}));
+}
+
+TEST(Simulator, PriorityDoesNotOverrideTime) {
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.schedule(Duration::millis(5), [&] { order.push_back("early-low"); },
+               EventPriority::kLow);
+  sim.schedule(Duration::millis(10), [&] { order.push_back("late-ack"); },
+               EventPriority::kAck);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"early-low", "late-ack"}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration::millis(10), [&] {
+    order.push_back(1);
+    sim.schedule(Duration::millis(10), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now().count_micros(), 20'000);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(Duration::millis(5), [&] {
+    sim.schedule(Duration::zero(), [&] {
+      ran = true;
+      EXPECT_EQ(sim.now().count_micros(), 5000);
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  TimerHandle handle = sim.schedule(Duration::millis(10), [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int runs = 0;
+  TimerHandle handle = sim.schedule(Duration::millis(1), [&] { ++runs; });
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash or affect anything
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  TimerHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+}
+
+TEST(Simulator, RunUntilAdvancesClockToBoundary) {
+  Simulator sim;
+  int runs = 0;
+  sim.schedule(Duration::millis(10), [&] { ++runs; });
+  sim.schedule(Duration::millis(30), [&] { ++runs; });
+  const std::size_t executed =
+      sim.run_until(SimTime::zero() + Duration::millis(20));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sim.now().count_micros(), 20'000);
+  sim.run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  int runs = 0;
+  sim.schedule(Duration::millis(20), [&] { ++runs; });
+  sim.run_until(SimTime::zero() + Duration::millis(20));
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int runs = 0;
+  sim.schedule(Duration::millis(1), [&] {
+    ++runs;
+    sim.stop();
+  });
+  sim.schedule(Duration::millis(2), [&] { ++runs; });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int runs = 0;
+  sim.schedule(Duration::millis(1), [&] { ++runs; });
+  sim.schedule(Duration::millis(2), [&] { ++runs; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Simulator, RejectsSchedulingIntoThePast) {
+  Simulator sim;
+  sim.schedule(Duration::millis(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::zero(), [] {}),
+               common::InvariantViolation);
+}
+
+TEST(Simulator, CountsExecutedAndPending) {
+  Simulator sim;
+  sim.schedule(Duration::millis(1), [] {});
+  sim.schedule(Duration::millis(2), [] {});
+  auto cancelled = sim.schedule(Duration::millis(3), [] {});
+  cancelled.cancel();
+  // Cancellation is lazy: the slot is reclaimed when the queue reaches it.
+  EXPECT_EQ(sim.pending_events(), 3u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 2u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ManyEventsKeepRelativeOrderAcrossTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  // Interleave insertions at two times; per-time insertion order must hold.
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule(Duration::millis(i % 2 == 0 ? 10 : 20),
+                 [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 1; i < 25; ++i) {
+    EXPECT_LT(order[i - 1], order[i]);  // evens ascending
+  }
+  for (std::size_t i = 26; i < 50; ++i) {
+    EXPECT_LT(order[i - 1], order[i]);  // odds ascending
+  }
+}
+
+}  // namespace
+}  // namespace rdp::sim

@@ -1,0 +1,139 @@
+// Parameterized TIS routing: every (entry node, region owner) combination
+// must produce the same answer, with multi-hop cost only when entry and
+// owner differ; area aggregates for every range shape.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/metrics.h"
+#include "harness/world.h"
+#include "tests/trace_util.h"
+#include "tis/commands.h"
+#include "tis/traffic_server.h"
+
+namespace rdp::tis {
+namespace {
+
+using common::Duration;
+
+class TisRoutingTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  static constexpr int kNodes = 3;
+
+  TisRoutingTest()
+      : world_(testutil::deterministic_config(2, 1, 0)),
+        network_(TisConfig{}) {
+    for (int i = 0; i < kNodes; ++i) {
+      auto& server = world_.add_server(
+          [this](core::Runtime& runtime, common::ServerId id,
+                 common::NodeAddress address, common::Rng rng) {
+            return std::make_unique<TrafficServer>(runtime, network_, id,
+                                                   address, rng);
+          });
+      tis_.push_back(static_cast<TrafficServer*>(&server));
+    }
+    world_.mh(0).set_delivery_callback(
+        [this](const core::MobileHostAgent::Delivery& delivery) {
+          replies_.push_back(delivery.body);
+        });
+    world_.mh(0).power_on(world_.cell(0));
+    world_.run_for(Duration::millis(100));
+  }
+
+  harness::World world_;
+  TisNetwork network_;
+  std::vector<TrafficServer*> tis_;
+  std::vector<std::string> replies_;
+};
+
+TEST_P(TisRoutingTest, SetThenGetThroughEveryEntryOwnerPair) {
+  const auto [entry_index, region] = GetParam();
+  const common::NodeAddress entry = tis_[entry_index]->address();
+  const auto region_u = static_cast<std::uint32_t>(region);
+
+  world_.mh(0).issue_request(entry, cmd_set(region_u, 42));
+  world_.run_to_quiescence();
+  ASSERT_EQ(replies_.size(), 1u);
+  EXPECT_EQ(replies_[0], "ok v1");
+
+  world_.mh(0).issue_request(entry, cmd_get(region_u));
+  world_.run_to_quiescence();
+  ASSERT_EQ(replies_.size(), 2u);
+  EXPECT_EQ(replies_[1], "region " + std::to_string(region) + " value 42 v1");
+
+  // The owner holds the data; nobody else does.
+  const auto owner = network_.owner_of(region_u);
+  for (auto* node : tis_) {
+    if (node->address() == owner) {
+      EXPECT_EQ(node->region_value(region_u), 42);
+    } else {
+      EXPECT_EQ(node->region_value(region_u), 0);
+    }
+  }
+  // Routing happened iff the entry is not the owner.
+  const bool remote = tis_[entry_index]->address() != owner;
+  EXPECT_EQ(tis_[entry_index]->operations_routed() > 0, remote);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EntryOwnerMatrix, TisRoutingTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),    // entry node
+                       ::testing::Values(0, 1, 2, 5)  // region (owner = r%3)
+                       ),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "entry" + std::to_string(std::get<0>(info.param)) + "_region" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class TisAreaTest : public TisRoutingTest {};
+
+TEST_F(TisAreaTest, SingleRegionArea) {
+  world_.mh(0).issue_request(tis_[0]->address(), cmd_set(4, 50));
+  world_.run_to_quiescence();
+  world_.mh(0).issue_request(tis_[0]->address(), cmd_area(4, 4));
+  world_.run_to_quiescence();
+  ASSERT_EQ(replies_.size(), 2u);
+  EXPECT_EQ(replies_[1], "avg 50.00 over 1 regions");
+}
+
+TEST_F(TisAreaTest, FullRangeAcrossAllOwners) {
+  for (std::uint32_t region = 0; region < 6; ++region) {
+    world_.mh(0).issue_request(tis_[1]->address(),
+                               cmd_set(region, static_cast<int>(region * 10)));
+  }
+  world_.run_to_quiescence();
+  world_.mh(0).issue_request(tis_[2]->address(), cmd_area(0, 5));
+  world_.run_to_quiescence();
+  // (0+10+20+30+40+50)/6 = 25.00
+  EXPECT_EQ(replies_.back(), "avg 25.00 over 6 regions");
+}
+
+TEST_F(TisAreaTest, ConcurrentAreasDoNotInterfere) {
+  world_.mh(0).issue_request(tis_[0]->address(), cmd_set(0, 60));
+  world_.run_to_quiescence();
+  // Two aggregates in flight simultaneously from different entries.
+  world_.mh(0).issue_request(tis_[0]->address(), cmd_area(0, 2));
+  world_.mh(0).issue_request(tis_[1]->address(), cmd_area(0, 5));
+  world_.run_to_quiescence();
+  ASSERT_EQ(replies_.size(), 3u);
+  EXPECT_NE(std::find(replies_.begin(), replies_.end(),
+                      "avg 20.00 over 3 regions"),
+            replies_.end());
+  EXPECT_NE(std::find(replies_.begin(), replies_.end(),
+                      "avg 10.00 over 6 regions"),
+            replies_.end());
+}
+
+TEST_F(TisAreaTest, VersionsAdvancePerRegion) {
+  world_.mh(0).issue_request(tis_[0]->address(), cmd_set(1, 10));
+  world_.run_to_quiescence();
+  world_.mh(0).issue_request(tis_[0]->address(), cmd_set(1, 20));
+  world_.run_to_quiescence();
+  ASSERT_EQ(replies_.size(), 2u);
+  EXPECT_EQ(replies_[0], "ok v1");
+  EXPECT_EQ(replies_[1], "ok v2");
+  EXPECT_EQ(tis_[1]->region_version(1), 2u);
+}
+
+}  // namespace
+}  // namespace rdp::tis

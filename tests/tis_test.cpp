@@ -1,0 +1,258 @@
+// The Traffic Information Service substrate: command parsing, region
+// ownership, multi-hop data location, scatter/gather aggregates, threshold
+// subscriptions — all exercised through the full RDP stack by a mobile
+// client.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/metrics.h"
+#include "harness/world.h"
+#include "tests/trace_util.h"
+#include "tis/commands.h"
+#include "tis/traffic_server.h"
+
+namespace rdp::tis {
+namespace {
+
+using common::Duration;
+using common::NodeAddress;
+
+// --- command language --------------------------------------------------------
+
+TEST(TisCommands, ParseGet) {
+  const TisCommand cmd = TisCommand::parse("GET 7");
+  EXPECT_EQ(cmd.kind, TisCommand::Kind::kGet);
+  EXPECT_EQ(cmd.region, 7u);
+}
+
+TEST(TisCommands, ParseArea) {
+  const TisCommand cmd = TisCommand::parse("AREA 3 9");
+  EXPECT_EQ(cmd.kind, TisCommand::Kind::kArea);
+  EXPECT_EQ(cmd.region, 3u);
+  EXPECT_EQ(cmd.region_end, 9u);
+}
+
+TEST(TisCommands, ParseSetWithNegativeValue) {
+  const TisCommand cmd = TisCommand::parse("SET 2 -5");
+  EXPECT_EQ(cmd.kind, TisCommand::Kind::kSet);
+  EXPECT_EQ(cmd.value, -5);
+}
+
+TEST(TisCommands, ParseSub) {
+  const TisCommand cmd = TisCommand::parse("SUB 4 50");
+  EXPECT_EQ(cmd.kind, TisCommand::Kind::kSub);
+  EXPECT_EQ(cmd.threshold, 50);
+}
+
+TEST(TisCommands, RejectsMalformed) {
+  EXPECT_EQ(TisCommand::parse("").kind, TisCommand::Kind::kInvalid);
+  EXPECT_EQ(TisCommand::parse("FROB 1").kind, TisCommand::Kind::kInvalid);
+  EXPECT_EQ(TisCommand::parse("GET").kind, TisCommand::Kind::kInvalid);
+  EXPECT_EQ(TisCommand::parse("GET -1").kind, TisCommand::Kind::kInvalid);
+  EXPECT_EQ(TisCommand::parse("AREA 5 2").kind, TisCommand::Kind::kInvalid);
+  EXPECT_EQ(TisCommand::parse("GET 1 extra").kind, TisCommand::Kind::kInvalid);
+  EXPECT_EQ(TisCommand::parse("SET 1").kind, TisCommand::Kind::kInvalid);
+}
+
+TEST(TisCommands, BuildersRoundTrip) {
+  EXPECT_EQ(TisCommand::parse(cmd_get(5)).kind, TisCommand::Kind::kGet);
+  EXPECT_EQ(TisCommand::parse(cmd_area(1, 4)).kind, TisCommand::Kind::kArea);
+  EXPECT_EQ(TisCommand::parse(cmd_set(2, 9)).kind, TisCommand::Kind::kSet);
+  EXPECT_EQ(TisCommand::parse(cmd_sub(3, 7)).kind, TisCommand::Kind::kSub);
+  const TisCommand cmd = TisCommand::parse(cmd_area(1, 4));
+  EXPECT_EQ(TisCommand::parse(cmd.str()).kind, TisCommand::Kind::kArea);
+}
+
+// --- full-stack fixture -------------------------------------------------------
+
+class TisTest : public ::testing::Test {
+ protected:
+  static constexpr int kNodes = 3;
+
+  TisTest()
+      : world_(testutil::deterministic_config(3, 2, 0)),
+        network_(TisConfig{}) {
+    world_.observers().add(&metrics_);
+    for (int i = 0; i < kNodes; ++i) {
+      auto& server = world_.add_server(
+          [this](core::Runtime& runtime, common::ServerId id,
+                 NodeAddress address, common::Rng rng) {
+            return std::make_unique<TrafficServer>(runtime, network_, id,
+                                                   address, rng);
+          });
+      tis_.push_back(static_cast<TrafficServer*>(&server));
+    }
+    world_.mh(0).set_delivery_callback(
+        [this](const core::MobileHostAgent::Delivery& delivery) {
+          deliveries_.push_back(delivery);
+        });
+    world_.mh(0).power_on(world_.cell(0));
+    world_.mh(1).power_on(world_.cell(1));
+    world_.run_for(Duration::millis(100));
+  }
+
+  void at(Duration delay, std::function<void()> fn) {
+    world_.simulator().schedule(delay, std::move(fn));
+  }
+
+  // Entry node for all client operations in these tests.
+  [[nodiscard]] NodeAddress entry() { return tis_[0]->address(); }
+
+  harness::World world_;
+  TisNetwork network_;
+  std::vector<TrafficServer*> tis_;
+  harness::MetricsCollector metrics_;
+  std::vector<core::MobileHostAgent::Delivery> deliveries_;
+};
+
+TEST_F(TisTest, OwnershipIsModular) {
+  EXPECT_EQ(network_.owner_of(0), tis_[0]->address());
+  EXPECT_EQ(network_.owner_of(1), tis_[1]->address());
+  EXPECT_EQ(network_.owner_of(2), tis_[2]->address());
+  EXPECT_EQ(network_.owner_of(3), tis_[0]->address());
+}
+
+TEST_F(TisTest, GetOwnedRegionAnswersLocally) {
+  world_.mh(0).issue_request(entry(), cmd_get(0));
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "region 0 value 0 v0");
+  EXPECT_EQ(tis_[0]->operations_processed(), 1u);
+  EXPECT_EQ(tis_[0]->operations_routed(), 0u);
+}
+
+TEST_F(TisTest, GetRemoteRegionRoutesToOwner) {
+  world_.mh(0).issue_request(entry(), cmd_get(1));
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "region 1 value 0 v0");
+  EXPECT_EQ(tis_[0]->operations_routed(), 1u);
+  EXPECT_EQ(tis_[1]->operations_processed(), 1u);
+}
+
+TEST_F(TisTest, RemoteQueryTakesLongerThanLocal) {
+  harness::MetricsCollector local_metrics;
+  // Local query first.
+  world_.mh(0).issue_request(entry(), cmd_get(0));
+  world_.run_to_quiescence();
+  const double local_latency = metrics_.delivery_latency_ms.mean();
+  // Remote query: adds lookup + wired hop.
+  world_.mh(0).issue_request(entry(), cmd_get(1));
+  world_.run_to_quiescence();
+  ASSERT_EQ(metrics_.delivery_latency_ms.count(), 2u);
+  const double remote_latency =
+      metrics_.delivery_latency_ms.max();
+  EXPECT_GT(remote_latency, local_latency + 20.0);
+}
+
+TEST_F(TisTest, SetThenGetObservesUpdate) {
+  world_.mh(0).issue_request(entry(), cmd_set(4, 77));
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "ok v1");
+  EXPECT_EQ(tis_[1]->region_value(4), 77);
+  EXPECT_EQ(tis_[1]->region_version(4), 1u);
+
+  world_.mh(0).issue_request(entry(), cmd_get(4));
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 2u);
+  EXPECT_EQ(deliveries_[1].body, "region 4 value 77 v1");
+}
+
+TEST_F(TisTest, AreaAveragesAcrossOwners) {
+  // Regions 0..5 split across all three nodes; set three of them.
+  world_.mh(0).issue_request(entry(), cmd_set(0, 30));
+  world_.mh(0).issue_request(entry(), cmd_set(1, 60));
+  world_.mh(0).issue_request(entry(), cmd_set(2, 90));
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 3u);
+
+  world_.mh(0).issue_request(entry(), cmd_area(0, 5));
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 4u);
+  // (30+60+90+0+0+0)/6 = 30.00
+  EXPECT_EQ(deliveries_[3].body, "avg 30.00 over 6 regions");
+}
+
+TEST_F(TisTest, SubscriptionNotifiesOnThresholdCrossings) {
+  core::RequestId sub;
+  sub = world_.mh(0).issue_request(entry(), cmd_sub(1, 50), /*stream=*/true);
+  world_.run_for(Duration::seconds(1));
+  // Subscription lives at the owner (tis1), not the entry.
+  EXPECT_EQ(tis_[1]->tis_subscriptions(), 1u);
+  EXPECT_EQ(tis_[0]->tis_subscriptions(), 0u);
+  ASSERT_EQ(deliveries_.size(), 1u);  // initial snapshot
+  EXPECT_EQ(deliveries_[0].body, "region 1 value 0 below 50");
+
+  // The second Mh feeds traffic data: crossing up, staying up (no
+  // notification), crossing down.
+  at(Duration::zero(), [&] {
+    world_.mh(1).issue_request(entry(), cmd_set(1, 60));
+  });
+  at(Duration::seconds(1), [&] {
+    world_.mh(1).issue_request(entry(), cmd_set(1, 80));
+  });
+  at(Duration::seconds(2), [&] {
+    world_.mh(1).issue_request(entry(), cmd_set(1, 10));
+  });
+  at(Duration::seconds(3), [&] { world_.mh(0).unsubscribe(sub); });
+  world_.run_to_quiescence();
+
+  ASSERT_EQ(deliveries_.size(), 4u);
+  EXPECT_EQ(deliveries_[1].body, "region 1 above 50 value 60");
+  EXPECT_EQ(deliveries_[2].body, "region 1 below 50 value 10");
+  EXPECT_EQ(deliveries_[3].body, "unsubscribed");
+  EXPECT_TRUE(deliveries_[3].final);
+  EXPECT_EQ(tis_[1]->tis_subscriptions(), 0u);
+}
+
+TEST_F(TisTest, SubscriberReceivesNotificationsAcrossMigration) {
+  core::RequestId sub =
+      world_.mh(0).issue_request(entry(), cmd_sub(2, 50), /*stream=*/true);
+  world_.run_for(Duration::seconds(1));
+  at(Duration::zero(),
+     [&] { world_.mh(0).migrate(world_.cell(2), Duration::millis(50)); });
+  at(Duration::seconds(1),
+     [&] { world_.mh(1).issue_request(entry(), cmd_set(2, 99)); });
+  at(Duration::seconds(2), [&] { world_.mh(0).unsubscribe(sub); });
+  world_.run_to_quiescence();
+
+  ASSERT_EQ(deliveries_.size(), 3u);
+  EXPECT_EQ(deliveries_[1].body, "region 2 above 50 value 99");
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+}
+
+TEST_F(TisTest, InvalidCommandsAreRejectedGracefully) {
+  world_.mh(0).issue_request(entry(), "NONSENSE 42");
+  world_.mh(0).issue_request(entry(), cmd_sub(1, 50));  // SUB as oneshot
+  world_.run_to_quiescence();
+  ASSERT_EQ(deliveries_.size(), 2u);
+  EXPECT_EQ(deliveries_[0].body, "error: bad command");
+  EXPECT_EQ(deliveries_[1].body, "error: SUB requires a stream request");
+}
+
+TEST_F(TisTest, MobileUpdaterAndMobileQuerier) {
+  // The SIDAM scenario in miniature: a TEC car (mh1) feeds data while a
+  // citizen (mh0) roams and queries.
+  std::vector<std::string> mh1_replies;
+  world_.mh(1).set_delivery_callback(
+      [&](const core::MobileHostAgent::Delivery& delivery) {
+        mh1_replies.push_back(delivery.body);
+      });
+  at(Duration::zero(),
+     [&] { world_.mh(1).issue_request(entry(), cmd_set(7, 55)); });
+  at(Duration::millis(100),
+     [&] { world_.mh(0).migrate(world_.cell(1), Duration::millis(50)); });
+  at(Duration::seconds(1),
+     [&] { world_.mh(0).issue_request(entry(), cmd_get(7)); });
+  world_.run_to_quiescence();
+  ASSERT_EQ(mh1_replies.size(), 1u);
+  EXPECT_EQ(mh1_replies[0], "ok v1");
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "region 7 value 55 v1");
+}
+
+}  // namespace
+}  // namespace rdp::tis
