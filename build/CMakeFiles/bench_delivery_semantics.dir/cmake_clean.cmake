@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delivery_semantics.dir/bench/bench_delivery_semantics.cpp.o"
+  "CMakeFiles/bench_delivery_semantics.dir/bench/bench_delivery_semantics.cpp.o.d"
+  "bench/bench_delivery_semantics"
+  "bench/bench_delivery_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delivery_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

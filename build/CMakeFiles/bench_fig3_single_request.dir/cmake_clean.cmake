@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_single_request.dir/bench/bench_fig3_single_request.cpp.o"
+  "CMakeFiles/bench_fig3_single_request.dir/bench/bench_fig3_single_request.cpp.o.d"
+  "bench/bench_fig3_single_request"
+  "bench/bench_fig3_single_request.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_single_request.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_multi_request.dir/bench/bench_fig4_multi_request.cpp.o"
+  "CMakeFiles/bench_fig4_multi_request.dir/bench/bench_fig4_multi_request.cpp.o.d"
+  "bench/bench_fig4_multi_request"
+  "bench/bench_fig4_multi_request.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_multi_request.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_multi_request.
+# This may be replaced when dependencies are built.

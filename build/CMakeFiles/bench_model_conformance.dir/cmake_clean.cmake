@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_conformance.dir/bench/bench_model_conformance.cpp.o"
+  "CMakeFiles/bench_model_conformance.dir/bench/bench_model_conformance.cpp.o.d"
+  "bench/bench_model_conformance"
+  "bench/bench_model_conformance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retransmission_threshold.dir/bench/bench_retransmission_threshold.cpp.o"
+  "CMakeFiles/bench_retransmission_threshold.dir/bench/bench_retransmission_threshold.cpp.o.d"
+  "bench/bench_retransmission_threshold"
+  "bench/bench_retransmission_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retransmission_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_multicast.dir/group_multicast.cpp.o"
+  "CMakeFiles/group_multicast.dir/group_multicast.cpp.o.d"
+  "group_multicast"
+  "group_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

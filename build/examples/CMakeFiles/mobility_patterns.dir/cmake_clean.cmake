@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_patterns.dir/mobility_patterns.cpp.o"
+  "CMakeFiles/mobility_patterns.dir/mobility_patterns.cpp.o.d"
+  "mobility_patterns"
+  "mobility_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

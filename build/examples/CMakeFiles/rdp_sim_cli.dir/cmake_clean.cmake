@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_sim_cli.dir/rdp_sim_cli.cpp.o"
+  "CMakeFiles/rdp_sim_cli.dir/rdp_sim_cli.cpp.o.d"
+  "rdp_sim_cli"
+  "rdp_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

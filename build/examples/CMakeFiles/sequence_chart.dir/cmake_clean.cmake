@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_chart.dir/sequence_chart.cpp.o"
+  "CMakeFiles/sequence_chart.dir/sequence_chart.cpp.o.d"
+  "sequence_chart"
+  "sequence_chart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscriptions.dir/subscriptions.cpp.o"
+  "CMakeFiles/subscriptions.dir/subscriptions.cpp.o.d"
+  "subscriptions"
+  "subscriptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscriptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

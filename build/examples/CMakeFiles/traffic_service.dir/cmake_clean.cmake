@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_service.dir/traffic_service.cpp.o"
+  "CMakeFiles/traffic_service.dir/traffic_service.cpp.o.d"
+  "traffic_service"
+  "traffic_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_baseline.dir/mip.cc.o"
+  "CMakeFiles/rdp_baseline.dir/mip.cc.o.d"
+  "librdp_baseline.a"
+  "librdp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

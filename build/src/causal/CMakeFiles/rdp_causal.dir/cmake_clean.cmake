@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_causal.dir/causal_layer.cc.o"
+  "CMakeFiles/rdp_causal.dir/causal_layer.cc.o.d"
+  "librdp_causal.a"
+  "librdp_causal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_causal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_common.dir/check.cc.o"
+  "CMakeFiles/rdp_common.dir/check.cc.o.d"
+  "CMakeFiles/rdp_common.dir/log.cc.o"
+  "CMakeFiles/rdp_common.dir/log.cc.o.d"
+  "CMakeFiles/rdp_common.dir/rng.cc.o"
+  "CMakeFiles/rdp_common.dir/rng.cc.o.d"
+  "CMakeFiles/rdp_common.dir/time.cc.o"
+  "CMakeFiles/rdp_common.dir/time.cc.o.d"
+  "librdp_common.a"
+  "librdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

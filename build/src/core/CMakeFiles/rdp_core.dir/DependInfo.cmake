@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codec.cc" "src/core/CMakeFiles/rdp_core.dir/codec.cc.o" "gcc" "src/core/CMakeFiles/rdp_core.dir/codec.cc.o.d"
+  "/root/repo/src/core/mobile_host.cc" "src/core/CMakeFiles/rdp_core.dir/mobile_host.cc.o" "gcc" "src/core/CMakeFiles/rdp_core.dir/mobile_host.cc.o.d"
+  "/root/repo/src/core/mss.cc" "src/core/CMakeFiles/rdp_core.dir/mss.cc.o" "gcc" "src/core/CMakeFiles/rdp_core.dir/mss.cc.o.d"
+  "/root/repo/src/core/proxy.cc" "src/core/CMakeFiles/rdp_core.dir/proxy.cc.o" "gcc" "src/core/CMakeFiles/rdp_core.dir/proxy.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/rdp_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/rdp_core.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rdp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

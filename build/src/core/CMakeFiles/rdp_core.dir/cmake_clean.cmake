@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_core.dir/codec.cc.o"
+  "CMakeFiles/rdp_core.dir/codec.cc.o.d"
+  "CMakeFiles/rdp_core.dir/mobile_host.cc.o"
+  "CMakeFiles/rdp_core.dir/mobile_host.cc.o.d"
+  "CMakeFiles/rdp_core.dir/mss.cc.o"
+  "CMakeFiles/rdp_core.dir/mss.cc.o.d"
+  "CMakeFiles/rdp_core.dir/proxy.cc.o"
+  "CMakeFiles/rdp_core.dir/proxy.cc.o.d"
+  "CMakeFiles/rdp_core.dir/server.cc.o"
+  "CMakeFiles/rdp_core.dir/server.cc.o.d"
+  "librdp_core.a"
+  "librdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_harness.dir/baseline_world.cc.o"
+  "CMakeFiles/rdp_harness.dir/baseline_world.cc.o.d"
+  "CMakeFiles/rdp_harness.dir/experiment.cc.o"
+  "CMakeFiles/rdp_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/rdp_harness.dir/metrics.cc.o"
+  "CMakeFiles/rdp_harness.dir/metrics.cc.o.d"
+  "CMakeFiles/rdp_harness.dir/world.cc.o"
+  "CMakeFiles/rdp_harness.dir/world.cc.o.d"
+  "librdp_harness.a"
+  "librdp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_net.dir/wired.cc.o"
+  "CMakeFiles/rdp_net.dir/wired.cc.o.d"
+  "CMakeFiles/rdp_net.dir/wireless.cc.o"
+  "CMakeFiles/rdp_net.dir/wireless.cc.o.d"
+  "librdp_net.a"
+  "librdp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_sim.dir/paced_runner.cc.o"
+  "CMakeFiles/rdp_sim.dir/paced_runner.cc.o.d"
+  "CMakeFiles/rdp_sim.dir/simulator.cc.o"
+  "CMakeFiles/rdp_sim.dir/simulator.cc.o.d"
+  "librdp_sim.a"
+  "librdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_stats.dir/fairness.cc.o"
+  "CMakeFiles/rdp_stats.dir/fairness.cc.o.d"
+  "CMakeFiles/rdp_stats.dir/table.cc.o"
+  "CMakeFiles/rdp_stats.dir/table.cc.o.d"
+  "librdp_stats.a"
+  "librdp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

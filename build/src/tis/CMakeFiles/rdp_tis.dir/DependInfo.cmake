@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tis/commands.cc" "src/tis/CMakeFiles/rdp_tis.dir/commands.cc.o" "gcc" "src/tis/CMakeFiles/rdp_tis.dir/commands.cc.o.d"
+  "/root/repo/src/tis/group_server.cc" "src/tis/CMakeFiles/rdp_tis.dir/group_server.cc.o" "gcc" "src/tis/CMakeFiles/rdp_tis.dir/group_server.cc.o.d"
+  "/root/repo/src/tis/traffic_server.cc" "src/tis/CMakeFiles/rdp_tis.dir/traffic_server.cc.o" "gcc" "src/tis/CMakeFiles/rdp_tis.dir/traffic_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_tis.dir/commands.cc.o"
+  "CMakeFiles/rdp_tis.dir/commands.cc.o.d"
+  "CMakeFiles/rdp_tis.dir/group_server.cc.o"
+  "CMakeFiles/rdp_tis.dir/group_server.cc.o.d"
+  "CMakeFiles/rdp_tis.dir/traffic_server.cc.o"
+  "CMakeFiles/rdp_tis.dir/traffic_server.cc.o.d"
+  "librdp_tis.a"
+  "librdp_tis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_tis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_workload.dir/mobility.cc.o"
+  "CMakeFiles/rdp_workload.dir/mobility.cc.o.d"
+  "CMakeFiles/rdp_workload.dir/topology.cc.o"
+  "CMakeFiles/rdp_workload.dir/topology.cc.o.d"
+  "librdp_workload.a"
+  "librdp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_property_test.dir/causal_property_test.cpp.o"
+  "CMakeFiles/causal_property_test.dir/causal_property_test.cpp.o.d"
+  "causal_property_test"
+  "causal_property_test.pdb"
+  "causal_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handoff_chain_test.dir/handoff_chain_test.cpp.o"
+  "CMakeFiles/handoff_chain_test.dir/handoff_chain_test.cpp.o.d"
+  "handoff_chain_test"
+  "handoff_chain_test.pdb"
+  "handoff_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handoff_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

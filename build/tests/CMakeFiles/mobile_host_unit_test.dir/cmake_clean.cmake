@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_host_unit_test.dir/mobile_host_unit_test.cpp.o"
+  "CMakeFiles/mobile_host_unit_test.dir/mobile_host_unit_test.cpp.o.d"
+  "mobile_host_unit_test"
+  "mobile_host_unit_test.pdb"
+  "mobile_host_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_host_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mss_unit_test.dir/mss_unit_test.cpp.o"
+  "CMakeFiles/mss_unit_test.dir/mss_unit_test.cpp.o.d"
+  "mss_unit_test"
+  "mss_unit_test.pdb"
+  "mss_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mss_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

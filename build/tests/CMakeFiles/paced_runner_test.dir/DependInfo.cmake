@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/paced_runner_test.cpp" "tests/CMakeFiles/paced_runner_test.dir/paced_runner_test.cpp.o" "gcc" "tests/CMakeFiles/paced_runner_test.dir/paced_runner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rdp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/causal/CMakeFiles/rdp_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rdp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rdp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tis/CMakeFiles/rdp_tis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paced_runner_test.dir/paced_runner_test.cpp.o"
+  "CMakeFiles/paced_runner_test.dir/paced_runner_test.cpp.o.d"
+  "paced_runner_test"
+  "paced_runner_test.pdb"
+  "paced_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paced_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

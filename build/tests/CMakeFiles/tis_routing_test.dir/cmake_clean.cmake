@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tis_routing_test.dir/tis_routing_test.cpp.o"
+  "CMakeFiles/tis_routing_test.dir/tis_routing_test.cpp.o.d"
+  "tis_routing_test"
+  "tis_routing_test.pdb"
+  "tis_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tis_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

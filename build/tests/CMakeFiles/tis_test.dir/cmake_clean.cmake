@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tis_test.dir/tis_test.cpp.o"
+  "CMakeFiles/tis_test.dir/tis_test.cpp.o.d"
+  "tis_test"
+  "tis_test.pdb"
+  "tis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
