@@ -1,0 +1,101 @@
+// Simulated stable storage for proxy state (fault-tolerance extension).
+//
+// The paper assumes "Mss's do not fail" (§2) and defers fault tolerance to
+// future work.  The fault-injection subsystem (src/fault) removes that
+// assumption: an Mss crash drops every volatile proxy, which breaks the
+// at-least-once guarantee for requests whose results lived only in the
+// crashed host's memory.  The ProxyCheckpointStore restores the guarantee
+// constructively: an Mss wired to a store writes a checkpoint of a proxy
+// after every state change, and a restarted Mss re-creates its proxies from
+// the durable records (Mss::restart).
+//
+// The store models a disk, not a network service: writes are asynchronous
+// (durable `write_latency` after issue, so a crash can lose the latest
+// delta) and reads return the durable snapshot instantly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace rdp::core {
+
+// Serializable snapshot of one proxy: everything Proxy::handle_* mutates.
+struct ProxyCheckpoint {
+  struct Result {
+    std::uint32_t seq = 0;
+    bool final = false;
+    std::string body;
+    std::uint32_t attempts = 0;
+  };
+  struct Request {
+    common::RequestId request;
+    common::NodeAddress server;
+    bool stream = false;
+    bool del_pref_announced = false;
+    std::vector<Result> unacked;
+  };
+
+  common::ProxyId proxy;
+  common::MhId mh;
+  common::NodeAddress current_loc;
+  std::vector<Request> requests;
+
+  // Approximate encoded size, for write-bandwidth accounting.
+  [[nodiscard]] std::size_t wire_size() const {
+    std::size_t size = 24;  // proxy + mh + currentLoc
+    for (const Request& request : requests) {
+      size += 24;
+      for (const Result& result : request.unacked) size += 16 + result.body.size();
+    }
+    return size;
+  }
+};
+
+class ProxyCheckpointStore {
+ public:
+  struct Config {
+    // Delay until a put/erase becomes durable (simulated disk latency).
+    common::Duration write_latency = common::Duration::millis(2);
+  };
+
+  ProxyCheckpointStore(sim::Simulator& simulator, Config config)
+      : simulator_(simulator), config_(config) {}
+
+  ProxyCheckpointStore(const ProxyCheckpointStore&) = delete;
+  ProxyCheckpointStore& operator=(const ProxyCheckpointStore&) = delete;
+
+  // Write (replace) the record for (mss, record.proxy); durable after
+  // write_latency.  A crash in between loses this delta but keeps any
+  // earlier durable record.
+  void put(common::MssId mss, ProxyCheckpoint record);
+
+  // Remove the record for (mss, proxy); durable after write_latency.
+  void erase(common::MssId mss, common::ProxyId proxy);
+
+  // The durable snapshot for one Mss, in proxy-id order.
+  [[nodiscard]] std::vector<ProxyCheckpoint> restore(common::MssId mss) const;
+
+  [[nodiscard]] bool contains(common::MssId mss, common::ProxyId proxy) const;
+
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t erases() const { return erases_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  sim::Simulator& simulator_;
+  Config config_;
+  std::unordered_map<common::MssId, std::map<common::ProxyId, ProxyCheckpoint>>
+      durable_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t erases_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace rdp::core

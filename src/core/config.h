@@ -56,6 +56,18 @@ struct RdpConfig {
   bool mss_result_cache = false;
   common::Duration result_cache_retry = common::Duration::millis(750);
   int result_cache_max_attempts = 20;
+
+  // Fault-tolerance extension (the paper defers Mss failures to future
+  // work): a mobile host whose pending request shows no progress for
+  // `reissue_timeout` re-registers with the Mss of its cell and re-issues
+  // the request.  Silence from the respMss is the only crash signal an Mh
+  // can observe.  Duplicate requests are absorbed by the proxy
+  // (Proxy::handle_request ignores known request ids) and duplicate results
+  // by the Mh's assumption-5 filter, so re-issue preserves at-least-once
+  // semantics without introducing duplicates at the application.
+  bool mh_reissue = false;
+  common::Duration reissue_timeout = common::Duration::seconds(15);
+  int max_reissue_attempts = 10;
 };
 
 }  // namespace rdp::core

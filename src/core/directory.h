@@ -7,6 +7,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/ids.h"
@@ -57,10 +58,27 @@ class Directory {
 
   [[nodiscard]] std::size_t mss_count() const { return mss_address_.size(); }
 
+  // --- liveness (fault-injection subsystem) --------------------------------
+  // A crashed Mss keeps its directory entry (its address and cell do not
+  // change), but is flagged down so protocol code can detect a stale
+  // binding instead of waiting forever on a dead host — e.g. a hand-off
+  // must not start against a crashed old Mss whose pref table is gone.
+  void set_mss_up(MssId mss, bool up) {
+    RDP_CHECK(mss_address_.contains(mss), "liveness for unknown " + mss.str());
+    if (up) {
+      down_.erase(mss);
+    } else {
+      down_.insert(mss);
+    }
+  }
+
+  [[nodiscard]] bool mss_up(MssId mss) const { return !down_.contains(mss); }
+
  private:
   std::unordered_map<MssId, NodeAddress> mss_address_;
   std::unordered_map<CellId, MssId> cell_mss_;
   std::unordered_map<ServerId, NodeAddress> server_address_;
+  std::unordered_set<MssId> down_;
   std::uint32_t next_address_ = 0;
 };
 

@@ -29,6 +29,8 @@ using common::SimTime;
 enum class RequestLossReason {
   kProxyGone,       // forwarded to a proxy that no longer exists
   kMhLeft,          // the Mh left the system with the request pending
+  kMssCrashed,      // the hosting Mss crashed with no durable checkpoint
+  kReissueExhausted,  // the Mh's re-issue watchdog ran out of attempts
 };
 
 class RdpObserver {
@@ -77,6 +79,16 @@ class RdpObserver {
   virtual void on_stale_ack_dropped(SimTime, MhId, RequestId) {}
   virtual void on_delproxy_with_pending(SimTime, MhId, ProxyId) {}
   virtual void on_orphaned_proxy(SimTime, MhId, ProxyId) {}
+
+  // --- fault injection (src/fault; the paper assumes Mss's never fail) ---
+  virtual void on_mss_crashed(SimTime, MssId, std::size_t /*proxies_lost*/,
+                              std::size_t /*mhs_detached*/) {}
+  virtual void on_mss_restarted(SimTime, MssId,
+                                std::size_t /*proxies_restored*/) {}
+  virtual void on_proxy_restored(SimTime, MhId, NodeAddress /*host*/,
+                                 ProxyId) {}
+  virtual void on_request_reissued(SimTime, MhId, RequestId,
+                                   int /*attempt*/) {}
 };
 
 // Fans one event stream out to several observers.
@@ -149,6 +161,21 @@ class ObserverList final : public RdpObserver {
   }
   void on_orphaned_proxy(SimTime t, MhId mh, ProxyId p) override {
     for (auto* o : observers_) o->on_orphaned_proxy(t, mh, p);
+  }
+  void on_mss_crashed(SimTime t, MssId mss, std::size_t proxies,
+                      std::size_t mhs) override {
+    for (auto* o : observers_) o->on_mss_crashed(t, mss, proxies, mhs);
+  }
+  void on_mss_restarted(SimTime t, MssId mss, std::size_t restored) override {
+    for (auto* o : observers_) o->on_mss_restarted(t, mss, restored);
+  }
+  void on_proxy_restored(SimTime t, MhId mh, NodeAddress host,
+                         ProxyId p) override {
+    for (auto* o : observers_) o->on_proxy_restored(t, mh, host, p);
+  }
+  void on_request_reissued(SimTime t, MhId mh, RequestId r,
+                           int attempt) override {
+    for (auto* o : observers_) o->on_request_reissued(t, mh, r, attempt);
   }
 
  private:

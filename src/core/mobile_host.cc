@@ -35,6 +35,9 @@ void MobileHostAgent::power_off() {
   active_ = false;
   registered_ = false;
   registration_timer_.cancel();
+  // Don't keep the event queue alive while the Mh sleeps; the watchdog is
+  // re-armed on reactivate().
+  reissue_timer_.cancel();
   runtime_.wireless.set_mh_active(id_, false);
 }
 
@@ -43,6 +46,7 @@ void MobileHostAgent::reactivate() {
   RDP_CHECK(in_system_, id_.str() + " reactivated after leaving");
   runtime_.wireless.set_mh_active(id_, true);
   active_ = true;
+  if (!pending_info_.empty()) arm_reissue_timer();
   // If the Mh powered off mid-transit it has no cell yet; the greet is
   // sent on arrival (see migrate()).
   if (runtime_.wireless.mh_cell(id_).has_value()) send_greet_or_join();
@@ -77,6 +81,8 @@ void MobileHostAgent::leave() {
                                       RequestLossReason::kMhLeft);
   }
   pending_requests_.clear();
+  pending_info_.clear();
+  reissue_timer_.cancel();
   uplink(net::make_message<MsgLeave>());
   registration_timer_.cancel();
   active_ = false;
@@ -126,6 +132,14 @@ RequestId MobileHostAgent::issue_request(NodeAddress server, std::string body,
   RDP_CHECK(in_system_, id_.str() + " issued a request after leaving");
   const RequestId request{id_, ++next_request_seq_};
   pending_requests_.insert(request);
+  if (runtime_.config.mh_reissue) {
+    PendingInfo& info = pending_info_[request];
+    info.server = server;
+    info.body = body;  // keep a copy for the watchdog before the move below
+    info.stream = stream;
+    info.last_progress = runtime_.simulator.now();
+    if (active_) arm_reissue_timer();
+  }
   runtime_.observer.on_request_issued(runtime_.simulator.now(), id_, request,
                                       server);
   auto payload = net::make_message<MsgUplinkRequest>(request, server,
@@ -146,6 +160,9 @@ RequestId MobileHostAgent::issue_request(common::ServerId server,
 
 void MobileHostAgent::unsubscribe(RequestId request) {
   if (!pending_requests_.contains(request)) return;
+  // The application no longer cares about further results, so the watchdog
+  // must not resurrect the subscription after a crash.
+  pending_info_.erase(request);
   auto payload = net::make_message<MsgUnsubscribe>(request);
   if (registered_ && active_) {
     uplink(std::move(payload));
@@ -159,6 +176,67 @@ void MobileHostAgent::flush_outbox() {
     uplink(std::move(outbox_.front()));
     outbox_.pop_front();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Re-issue watchdog (fault-tolerance extension).
+// ---------------------------------------------------------------------------
+
+void MobileHostAgent::arm_reissue_timer() {
+  if (!runtime_.config.mh_reissue) return;
+  if (reissue_timer_.pending()) return;
+  reissue_timer_ = runtime_.simulator.schedule(
+      runtime_.config.reissue_timeout, [this] { run_reissue_check(); },
+      sim::EventPriority::kLow);
+}
+
+void MobileHostAgent::run_reissue_check() {
+  if (!in_system_ || !active_) return;  // re-armed on reactivate()
+  if (!runtime_.wireless.mh_cell(id_).has_value()) {
+    // Mid-transit: arrival is already scheduled, just check again later.
+    arm_reissue_timer();
+    return;
+  }
+  bool any_stale = false;
+  for (auto it = pending_info_.begin(); it != pending_info_.end();) {
+    PendingInfo& info = it->second;
+    const common::Duration silence =
+        runtime_.simulator.now() - info.last_progress;
+    if (silence < runtime_.config.reissue_timeout) {
+      ++it;
+      continue;
+    }
+    if (info.reissues >= runtime_.config.max_reissue_attempts) {
+      runtime_.counters.increment("mh.reissue_gave_up");
+      runtime_.observer.on_request_lost(runtime_.simulator.now(), id_,
+                                        it->first,
+                                        RequestLossReason::kReissueExhausted);
+      pending_requests_.erase(it->first);
+      it = pending_info_.erase(it);
+      continue;
+    }
+    ++info.reissues;
+    any_stale = true;
+    info.last_progress = runtime_.simulator.now();
+    runtime_.counters.increment("mh.reissues");
+    runtime_.observer.on_request_reissued(runtime_.simulator.now(), id_,
+                                          it->first, info.reissues);
+    // Queue the copy rather than uplinking it now: the re-registration
+    // below must complete first, or the request would race the greet on
+    // the wireless network and hit an Mss that does not know the Mh.
+    outbox_.push_back(net::make_message<MsgUplinkRequest>(
+        it->first, info.server, info.body, info.stream));
+    ++it;
+  }
+  if (any_stale) {
+    // Silence this long means the respMss (or our registration with it) is
+    // gone — re-register from scratch.  A checkpoint-restored proxy
+    // re-binds on the resulting join/greet; the queued request copies are
+    // absorbed as duplicates if it still holds them.
+    registered_ = false;
+    send_greet_or_join();
+  }
+  if (!pending_info_.empty()) arm_reissue_timer();
 }
 
 // ---------------------------------------------------------------------------
@@ -181,6 +259,16 @@ void MobileHostAgent::on_downlink(common::CellId /*cell*/,
     return;
   }
   if (const auto* result = net::message_cast<MsgDownlinkResult>(payload)) {
+    // Any downlink for the request — duplicate or not — is a sign of life
+    // from the respMss chain; reset the re-issue watchdog for it.
+    if (auto it = pending_info_.find(result->request);
+        it != pending_info_.end()) {
+      if (result->final) {
+        pending_info_.erase(it);
+      } else {
+        it->second.last_progress = runtime_.simulator.now();
+      }
+    }
     const auto key = std::make_pair(result->request, result->result_seq);
     const bool duplicate = !delivered_.insert(key).second;
     runtime_.observer.on_result_delivered(runtime_.simulator.now(), id_,

@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -89,8 +90,22 @@ class MobileHostAgent final : public net::DownlinkReceiver {
   void on_downlink(common::CellId cell, const net::PayloadPtr& payload) override;
 
  private:
+  // Re-issue watchdog (RdpConfig::mh_reissue): enough of the original
+  // request to resend it when the respMss stays silent — the Mh-side half
+  // of the fault-tolerance extension (the respMss may have crashed and
+  // lost the pref, or the proxy may have died without a checkpoint).
+  struct PendingInfo {
+    NodeAddress server;
+    std::string body;
+    bool stream = false;
+    common::SimTime last_progress;
+    int reissues = 0;
+  };
+
   void send_greet_or_join();
   void arm_registration_timer();
+  void arm_reissue_timer();
+  void run_reissue_check();
   void flush_outbox();
   void uplink(net::PayloadPtr payload,
               sim::EventPriority priority = sim::EventPriority::kNormal);
@@ -110,6 +125,9 @@ class MobileHostAgent final : public net::DownlinkReceiver {
 
   std::uint32_t next_request_seq_ = 0;
   std::set<RequestId> pending_requests_;
+  // Watchdog bookkeeping, keyed like pending_requests_ (mh_reissue only).
+  std::map<RequestId, PendingInfo> pending_info_;
+  sim::TimerHandle reissue_timer_;
   // (request, result_seq) pairs already delivered to the application
   // (assumption 5: duplicate detection).
   std::set<std::pair<RequestId, std::uint32_t>> delivered_;

@@ -1,5 +1,6 @@
 #include "core/mss.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace rdp::core {
@@ -22,6 +23,18 @@ const Proxy* Mss::proxy(ProxyId id) const {
 // ---------------------------------------------------------------------------
 
 void Mss::on_uplink(MhId from, const net::PayloadPtr& payload) {
+  if (crashed_) {
+    // A crashed Mss is deaf on the wireless network; the Mh's only remedy
+    // is the re-issue watchdog (RdpConfig::mh_reissue) or a migration.
+    count("mss.uplink_dropped_crashed");
+    if (const auto* req = net::message_cast<MsgUplinkRequest>(payload);
+        req != nullptr && !runtime_.config.mh_reissue) {
+      runtime_.observer.on_request_lost(runtime_.simulator.now(), from,
+                                        req->request,
+                                        RequestLossReason::kMssCrashed);
+    }
+    return;
+  }
   if (const auto* m = net::message_cast<MsgJoin>(payload)) {
     (void)m;
     handle_join(from);
@@ -51,6 +64,20 @@ void Mss::handle_join(MhId mh) {
   prefs_[mh].clear();
   departed_to_.erase(mh);
   count("mss.joins");
+  // A proxy restored from the checkpoint store re-binds to its Mh here:
+  // this join (or a greet downgraded to a join after the crash) is the
+  // first time the restarted Mss hears from the Mh again.  The
+  // update_currentLoc makes the proxy re-send every unacknowledged result.
+  if (auto it = restored_bindings_.find(mh); it != restored_bindings_.end()) {
+    if (proxies_.contains(it->second)) {
+      Pref& pref = prefs_[mh];
+      pref.proxy_host = address_;
+      pref.proxy = it->second;
+      count("mss.prefs_rebound");
+      send_update_currentloc(mh, pref);
+    }
+    restored_bindings_.erase(it);
+  }
   send_registration_ack(mh);
 }
 
@@ -80,6 +107,18 @@ void Mss::handle_greet(MhId mh, MssId old_mss) {
     const Pref& pref = prefs_.at(mh);
     if (pref.has_proxy()) send_update_currentloc(mh, pref);
     count("mss.greets_reactivate");
+    return;
+  }
+  if (old_mss.valid() && old_mss != id_ &&
+      !runtime_.directory.mss_up(old_mss)) {
+    // Stale binding: the Mh's old respMss is down, so its copy of the pref
+    // cannot be recovered by a hand-off (and any hand-off already underway
+    // against it is wedged — its deregAck will never come).  Register the
+    // Mh fresh; a checkpoint-restored proxy re-binds on the join, and the
+    // re-issue watchdog recovers anything else.
+    pending_handoffs_.erase(mh);
+    count("mss.greet_old_mss_down");
+    handle_join(mh);
     return;
   }
   if (pending_handoffs_.contains(mh)) return;  // already de-registering
@@ -113,10 +152,15 @@ void Mss::handle_uplink_request(MhId mh, const MsgUplinkRequest& msg) {
   if (!local_mhs_.contains(mh)) {
     // The Mh de-registered between sending and delivery; RDP does not
     // retransmit requests (QRPC-style request reliability is complementary,
-    // §4), so the request is lost and counted.
+    // §4), so the request is lost and counted.  When the Mh re-issue
+    // watchdog is on, the Mh itself re-drives the request and reports the
+    // loss only if it exhausts its attempts, so the drop is not terminal.
     count("mss.stale_request_dropped");
-    runtime_.observer.on_request_lost(runtime_.simulator.now(), mh,
-                                      msg.request, RequestLossReason::kMhLeft);
+    if (!runtime_.config.mh_reissue) {
+      runtime_.observer.on_request_lost(runtime_.simulator.now(), mh,
+                                        msg.request,
+                                        RequestLossReason::kMhLeft);
+    }
     return;
   }
   Pref& pref = prefs_.at(mh);
@@ -200,6 +244,13 @@ void Mss::handle_uplink_ack(MhId mh, const MsgUplinkAck& msg) {
 // ---------------------------------------------------------------------------
 
 void Mss::on_message(const net::Envelope& envelope) {
+  if (crashed_) {
+    // The host is down: wired traffic is dropped on the floor.  (With the
+    // causal layer enabled this is safe — the causal shim has already
+    // delivered and accounted the message before it reaches the entity.)
+    count("mss.wired_dropped_crashed");
+    return;
+  }
   const net::PayloadPtr& payload = envelope.payload;
   if (const auto* m = net::message_cast<MsgDereg>(payload)) {
     handle_dereg(*m, envelope.src);
@@ -217,6 +268,7 @@ void Mss::on_message(const net::Envelope& envelope) {
       return;
     }
     it->second->handle_server_result(*m5);
+    checkpoint_proxy(m5->proxy);
   } else if (const auto* m6 = net::message_cast<MsgResultForward>(payload)) {
     handle_result_forward(*m6);
   } else if (const auto* m7 = net::message_cast<MsgDelPref>(payload)) {
@@ -332,6 +384,7 @@ void Mss::handle_forward_request(const MsgForwardRequest& msg,
     return;
   }
   it->second->handle_request(msg.request, msg.server, msg.body, msg.stream);
+  checkpoint_proxy(msg.proxy);
 }
 
 void Mss::handle_forward_unsubscribe(const MsgForwardUnsubscribe& msg) {
@@ -341,6 +394,7 @@ void Mss::handle_forward_unsubscribe(const MsgForwardUnsubscribe& msg) {
     return;
   }
   it->second->handle_unsubscribe(msg.request);
+  checkpoint_proxy(msg.proxy);
 }
 
 void Mss::handle_result_forward(const MsgResultForward& msg) {
@@ -453,6 +507,8 @@ void Mss::handle_ack_forward(const MsgAckForward& msg) {
   }
   if (it->second->handle_ack(msg)) {
     delete_proxy(msg.proxy, /*via_gc=*/false);
+  } else {
+    checkpoint_proxy(msg.proxy);
   }
 }
 
@@ -463,6 +519,7 @@ void Mss::handle_update_currentloc(const MsgUpdateCurrentLoc& msg) {
     return;
   }
   it->second->handle_update_currentloc(msg.new_loc);
+  checkpoint_proxy(msg.proxy);
 }
 
 void Mss::handle_proxy_gone(const MsgProxyGone& msg) {
@@ -483,6 +540,7 @@ void Mss::handle_proxy_gone(const MsgProxyGone& msg) {
   pref.proxy_host = address_;
   pref.proxy = proxy.id();
   proxy.handle_request(msg.request, msg.server, msg.body, msg.stream);
+  checkpoint_proxy(proxy.id());
 }
 
 void Mss::handle_pref_restore(const MsgPrefRestore& msg) {
@@ -568,6 +626,7 @@ void Mss::send_update_currentloc(MhId mh, const Pref& pref) {
       return;
     }
     it->second->handle_update_currentloc(address_);
+    checkpoint_proxy(pref.proxy);
     return;
   }
   runtime_.wired.send(
@@ -582,6 +641,9 @@ void Mss::delete_proxy(ProxyId id, bool via_gc) {
                                      it->second->mh(), address_, id, via_gc);
   count(via_gc ? "mss.proxies_gc" : "mss.proxies_deleted");
   proxies_.erase(it);
+  if (checkpoint_store_ != nullptr) checkpoint_store_->erase(id_, id);
+  std::erase_if(restored_bindings_,
+                [id](const auto& entry) { return entry.second == id; });
 }
 
 void Mss::schedule_gc() {
@@ -619,6 +681,93 @@ void Mss::run_gc() {
     delete_proxy(id, /*via_gc=*/true);
   }
   if (!proxies_.empty()) schedule_gc();
+}
+
+// ---------------------------------------------------------------------------
+// Crash / recovery (fault-injection subsystem).
+// ---------------------------------------------------------------------------
+
+void Mss::crash() {
+  RDP_CHECK(!crashed_, "crashing an already-crashed Mss");
+  crashed_ = true;
+  runtime_.directory.set_mss_up(id_, false);
+
+  // Pending requests whose proxy has no durable checkpoint die with the
+  // host.  (A checkpointed proxy's requests survive: restart() re-creates
+  // the proxy and the Mh-side rebind path re-delivers its results.  With
+  // the Mh re-issue watchdog on, even an un-checkpointed request may yet
+  // be recovered — the watchdog reports the loss itself if it gives up.)
+  if (!runtime_.config.mh_reissue) {
+    for (const auto& [id, proxy] : proxies_) {
+      if (checkpoint_store_ != nullptr &&
+          checkpoint_store_->contains(id_, id)) {
+        continue;
+      }
+      for (const RequestId request : proxy->pending_requests()) {
+        runtime_.observer.on_request_lost(runtime_.simulator.now(),
+                                          proxy->mh(), request,
+                                          RequestLossReason::kMssCrashed);
+      }
+    }
+  }
+
+  const std::size_t proxies_lost = proxies_.size();
+  const std::size_t mhs_detached = local_mhs_.size();
+
+  // Everything volatile is gone: proxies, the pref table, the local_Mhs
+  // list, in-flight hand-offs (their deregAcks will fall on deaf ears),
+  // the tombstone chain, and the footnote-3 result cache.
+  proxies_.clear();
+  prefs_.clear();
+  local_mhs_.clear();
+  pending_handoffs_.clear();
+  departed_to_.clear();
+  restored_bindings_.clear();
+  for (auto& [mh, results] : cached_results_) {
+    for (auto& [key, cached] : results) cached.timer.cancel();
+  }
+  cached_results_.clear();
+
+  count("mss.crashes");
+  runtime_.observer.on_mss_crashed(runtime_.simulator.now(), id_, proxies_lost,
+                                   mhs_detached);
+}
+
+void Mss::restart() {
+  RDP_CHECK(crashed_, "restarting an Mss that is up");
+  crashed_ = false;
+  runtime_.directory.set_mss_up(id_, true);
+  count("mss.restarts");
+
+  std::size_t restored = 0;
+  if (checkpoint_store_ != nullptr) {
+    for (const ProxyCheckpoint& record : checkpoint_store_->restore(id_)) {
+      auto proxy = std::make_unique<Proxy>(runtime_, *this, address_, record);
+      Proxy& ref = *proxy;
+      next_proxy_ = std::max(next_proxy_, record.proxy.value() + 1);
+      proxies_.emplace(record.proxy, std::move(proxy));
+      restored_bindings_[record.mh] = record.proxy;
+      ++restored;
+      count("mss.proxies_restored");
+      // Push unacknowledged results back out to where the Mh was last
+      // known to be.  If it migrated meanwhile its current respMss still
+      // holds a pref naming this proxy, so the forward lands; if the Mh is
+      // (still) in our own cell the attempt misses — the rebind on its
+      // next join/greet re-triggers the resend.
+      ref.handle_update_currentloc(record.current_loc);
+    }
+    if (!proxies_.empty() && runtime_.config.idle_proxy_gc && !gc_scheduled_) {
+      schedule_gc();
+    }
+  }
+  runtime_.observer.on_mss_restarted(runtime_.simulator.now(), id_, restored);
+}
+
+void Mss::checkpoint_proxy(ProxyId id) {
+  if (checkpoint_store_ == nullptr) return;
+  auto it = proxies_.find(id);
+  if (it == proxies_.end()) return;
+  checkpoint_store_->put(id_, it->second->checkpoint());
 }
 
 }  // namespace rdp::core

@@ -5,9 +5,13 @@
 // its local Mhs and their proxies, executes the Hand-off protocol of §3.2,
 // and implements the RKpR half of the proxy-deletion handshake of §3.3.
 //
-// Mss's "are assumed not to fail" (§2), so there is no failure handling
-// here; failures of the *wireless* path and of mobile hosts are the whole
-// point of the protocol and are handled everywhere.
+// Mss's "are assumed not to fail" (§2) in the paper; this implementation
+// drops the assumption.  The fault-injection subsystem (src/fault) can
+// crash() an Mss — losing every volatile proxy, the pref table and all
+// in-flight hand-offs, and deafening it on both networks — and restart()
+// it later.  An Mss wired to a ProxyCheckpointStore restores its proxies
+// from stable storage on restart; the Mh-side re-issue extension
+// (RdpConfig::mh_reissue) covers everything the checkpoint cannot.
 #pragma once
 
 #include <map>
@@ -15,6 +19,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
 #include "core/messages.h"
 #include "core/proxy.h"
 #include "core/runtime.h"
@@ -46,6 +51,21 @@ class Mss final : public net::Endpoint,
   }
   [[nodiscard]] const Pref* pref_of(MhId mh) const;
   [[nodiscard]] const Proxy* proxy(ProxyId id) const;
+
+  // --- crash / recovery (fault-injection subsystem) ---
+  // Opt-in stable storage: when set, every proxy state change is
+  // checkpointed and restart() restores the durable records.
+  void set_checkpoint_store(ProxyCheckpointStore* store) {
+    checkpoint_store_ = store;
+  }
+  // Fail-stop crash: volatile state (proxies, prefs, local_Mhs, pending
+  // hand-offs, cached results) is lost and all traffic is dropped until
+  // restart().  Pending requests at proxies without a durable checkpoint
+  // are reported lost (RequestLossReason::kMssCrashed).
+  void crash();
+  // Come back up; restores proxies from the checkpoint store if wired.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
   // net::Endpoint — wired traffic.
   void on_message(const net::Envelope& envelope) override;
@@ -89,6 +109,8 @@ class Mss final : public net::Endpoint,
 
   // --- helpers ---
   Proxy& create_proxy(MhId mh);
+  // Persist `id`'s current state to the checkpoint store, if wired.
+  void checkpoint_proxy(ProxyId id);
   void route_to_proxy(const Pref& pref, net::PayloadPtr payload,
                       sim::EventPriority priority);
   // Footnote-3 extension: cache a forwarded result for local retry.
@@ -116,6 +138,13 @@ class Mss final : public net::Endpoint,
   std::uint32_t next_proxy_ = 0;
   std::uint64_t proxies_hosted_total_ = 0;
   bool gc_scheduled_ = false;
+
+  // --- crash / recovery state ---
+  bool crashed_ = false;
+  ProxyCheckpointStore* checkpoint_store_ = nullptr;
+  // Mh -> restored proxy, rebound to the pref when the Mh contacts the
+  // restarted Mss again (its join/greet is the first sign of life).
+  std::unordered_map<MhId, ProxyId> restored_bindings_;
 
   // Footnote-3 extension state (only populated when
   // config.mss_result_cache is on).

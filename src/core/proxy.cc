@@ -15,6 +15,54 @@ Proxy::Proxy(Runtime& runtime, ProxyHost& host, NodeAddress host_address,
                                      host_address_, id_);
 }
 
+Proxy::Proxy(Runtime& runtime, ProxyHost& host, NodeAddress host_address,
+             const ProxyCheckpoint& record)
+    : runtime_(runtime),
+      host_(host),
+      host_address_(host_address),
+      id_(record.proxy),
+      mh_(record.mh),
+      current_loc_(record.current_loc),
+      last_activity_(runtime.simulator.now()) {
+  for (const ProxyCheckpoint::Request& request : record.requests) {
+    PendingRequest& entry = pending_[request.request];
+    entry.server = request.server;
+    entry.stream = request.stream;
+    entry.del_pref_announced = request.del_pref_announced;
+    for (const ProxyCheckpoint::Result& result : request.unacked) {
+      StoredResult& stored = entry.unacked[result.seq];
+      stored.seq = result.seq;
+      stored.final = result.final;
+      stored.body = result.body;
+      stored.attempts = result.attempts;
+    }
+  }
+  runtime_.observer.on_proxy_restored(runtime_.simulator.now(), mh_,
+                                      host_address_, id_);
+}
+
+ProxyCheckpoint Proxy::checkpoint() const {
+  ProxyCheckpoint record;
+  record.proxy = id_;
+  record.mh = mh_;
+  record.current_loc = current_loc_;
+  record.requests.reserve(pending_.size());
+  for (const auto& [request, entry] : pending_) {
+    ProxyCheckpoint::Request out;
+    out.request = request;
+    out.server = entry.server;
+    out.stream = entry.stream;
+    out.del_pref_announced = entry.del_pref_announced;
+    out.unacked.reserve(entry.unacked.size());
+    for (const auto& [seq, stored] : entry.unacked) {
+      out.unacked.push_back(ProxyCheckpoint::Result{
+          stored.seq, stored.final, stored.body, stored.attempts});
+    }
+    record.requests.push_back(std::move(out));
+  }
+  return record;
+}
+
 void Proxy::send_to_mss(NodeAddress mss, net::PayloadPtr payload,
                         sim::EventPriority priority) {
   if (mss == host_address_) {
@@ -41,8 +89,24 @@ void Proxy::handle_request(RequestId request, NodeAddress server,
   touch();
   auto [it, inserted] = pending_.try_emplace(request);
   if (!inserted) {
-    // Duplicate forward (possible with client-side request retries);
-    // the request is already registered and on its way.
+    // Duplicate forward (client-side retry or the Mh re-issue watchdog);
+    // the request is already registered.  If no result has been stored yet
+    // the original server query — or its reply — may have been lost to a
+    // fault (the proxy's host crashed mid-service, or the wired path was
+    // degraded), so ask the server again; duplicate results are absorbed
+    // above and at the Mh, keeping delivery exactly-once for the app.
+    // Stream subscriptions are excluded: re-subscribing would reset the
+    // server's sequence numbers and alias future notifications.  Only the
+    // re-issue extension opts into the re-query — with it off, duplicates
+    // are pure client retries and stay fully absorbed (idempotent).
+    if (runtime_.config.mh_reissue && !it->second.stream &&
+        it->second.unacked.empty()) {
+      runtime_.counters.increment("proxy.server_requeries");
+      runtime_.wired.send(host_address_, it->second.server,
+                          net::make_message<MsgServerRequest>(
+                              host_address_, id_, request, std::move(body),
+                              stream));
+    }
     return;
   }
   it->second.server = server;

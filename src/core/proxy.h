@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/messages.h"
 #include "core/runtime.h"
 
@@ -34,6 +35,11 @@ class Proxy {
  public:
   Proxy(Runtime& runtime, ProxyHost& host, NodeAddress host_address,
         ProxyId id, MhId mh);
+
+  // Re-create a proxy from a durable checkpoint after its host restarted
+  // (fault-tolerance extension).  Emits on_proxy_restored, not _created.
+  Proxy(Runtime& runtime, ProxyHost& host, NodeAddress host_address,
+        const ProxyCheckpoint& record);
 
   Proxy(const Proxy&) = delete;
   Proxy& operator=(const Proxy&) = delete;
@@ -71,6 +77,9 @@ class Proxy {
   // An Ack forwarded by the respMss.  Returns true when the proxy must be
   // deleted by its host (del-proxy handshake completed, §3.3).
   [[nodiscard]] bool handle_ack(const MsgAckForward& msg);
+
+  // Snapshot of the complete mutable state, for the checkpoint store.
+  [[nodiscard]] ProxyCheckpoint checkpoint() const;
 
  private:
   struct StoredResult {

@@ -1,0 +1,96 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+namespace rdp::fault {
+
+FaultInjector::FaultInjector(harness::World& world, FaultPlan plan)
+    : world_(world), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+FaultInjector::~FaultInjector() { world_.wired().set_fault_hook(nullptr); }
+
+void FaultInjector::arm() {
+  RDP_CHECK(!armed_, "FaultInjector armed twice");
+  armed_ = true;
+  sim::Simulator& simulator = world_.simulator();
+  const common::SimTime now = simulator.now();
+
+  for (const FaultPlan::Crash& crash : plan_.crashes) {
+    core::Mss& mss = world_.mss(crash.mss);
+    const common::SimTime crash_time = common::SimTime::zero() + crash.at;
+    if (crash_time >= now) {
+      simulator.schedule(crash_time - now, [this, &mss] {
+        // Overlapping plan entries (or a crash racing a manual crash())
+        // must not fail-stop a host twice.
+        if (mss.crashed()) return;
+        mss.crash();
+        ++crashes_;
+      });
+    }
+    if (crash.downtime == common::Duration::max()) continue;
+    const common::SimTime up_time = crash_time + crash.downtime;
+    if (up_time >= now) {
+      simulator.schedule(up_time - now, [this, &mss] {
+        if (!mss.crashed()) return;
+        mss.restart();
+        ++restarts_;
+      });
+    }
+  }
+
+  partitions_.clear();
+  for (const FaultPlan::Partition& partition : plan_.partitions) {
+    ArmedPartition armed;
+    armed.from = common::SimTime::zero() + partition.from;
+    armed.until = common::SimTime::zero() + partition.until;
+    for (const int index : partition.island) {
+      armed.island.insert(world_.mss(index).address());
+    }
+    partitions_.push_back(std::move(armed));
+  }
+
+  if (!plan_.degrades.empty() || !partitions_.empty()) {
+    world_.wired().set_fault_hook(
+        [this](common::NodeAddress src, common::NodeAddress dst,
+               const net::PayloadPtr& /*payload*/) {
+          return decide(src, dst);
+        });
+  }
+}
+
+net::FaultDecision FaultInjector::decide(common::NodeAddress src,
+                                         common::NodeAddress dst) {
+  net::FaultDecision decision;
+  const common::SimTime now = world_.simulator().now();
+
+  for (const ArmedPartition& partition : partitions_) {
+    if (now < partition.from || now >= partition.until) continue;
+    // Only traffic *crossing* the island boundary is cut; traffic wholly
+    // inside or wholly outside the island still flows.
+    if (partition.island.contains(src) != partition.island.contains(dst)) {
+      decision.drop = true;
+      return decision;
+    }
+  }
+
+  for (const FaultPlan::Degrade& degrade : plan_.degrades) {
+    const common::SimTime from = common::SimTime::zero() + degrade.from;
+    const common::SimTime until = common::SimTime::zero() + degrade.until;
+    if (now < from || now >= until) continue;
+    if (degrade.drop > 0.0 && rng_.bernoulli(degrade.drop)) {
+      decision.drop = true;
+      return decision;
+    }
+    if (degrade.duplicate > 0.0 && rng_.bernoulli(degrade.duplicate)) {
+      ++decision.duplicates;
+    }
+    if (degrade.reorder > 0.0 && rng_.bernoulli(degrade.reorder)) {
+      decision.extra_delay = common::Duration::micros(rng_.uniform_int(
+          1, std::max<std::int64_t>(
+                 1, degrade.reorder_window.count_micros())));
+    }
+  }
+  return decision;
+}
+
+}  // namespace rdp::fault

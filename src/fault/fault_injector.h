@@ -1,0 +1,56 @@
+// Executes a FaultPlan against a harness::World.
+//
+// arm() schedules every crash/restart on the world's simulation kernel and
+// installs the wired-network fault hook that realises the plan's degrade
+// and partition windows.  All randomness comes from the plan's own seed,
+// so a (world seed, plan) pair replays bit-for-bit.
+//
+// The injector must outlive the simulation run (its destructor uninstalls
+// the hook).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+#include "harness/world.h"
+
+namespace rdp::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(harness::World& world, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedule the plan.  Call once, before running the simulation (the
+  // plan's times are absolute virtual times; arming late skips any fault
+  // already in the past).
+  void arm();
+
+  [[nodiscard]] std::uint64_t crashes_injected() const { return crashes_; }
+  [[nodiscard]] std::uint64_t restarts_injected() const { return restarts_; }
+
+ private:
+  struct ArmedPartition {
+    common::SimTime from;
+    common::SimTime until;
+    std::unordered_set<common::NodeAddress> island;
+  };
+
+  net::FaultDecision decide(common::NodeAddress src, common::NodeAddress dst);
+
+  harness::World& world_;
+  FaultPlan plan_;
+  common::Rng rng_;
+  std::vector<ArmedPartition> partitions_;
+  bool armed_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace rdp::fault

@@ -1,0 +1,107 @@
+// Declarative fault schedules (fault-tolerance extension).
+//
+// The paper assumes Mss's never fail and that the wired network is
+// reliable (§2, assumptions 1–2).  A FaultPlan describes, ahead of time and
+// under a fixed seed, exactly how a scenario violates those assumptions:
+//
+//   * Crash   — an Mss fail-stops at a virtual time and (optionally)
+//               restarts after a downtime.
+//   * Degrade — wired links probabilistically drop, duplicate, or reorder
+//               messages during a window.  The faults strike at the
+//               physical layer, *below* causal::CausalLayer — a degraded
+//               window is an outright ablation of assumption 1, so plans
+//               with link faults should run with causal_order = false
+//               (a causally-ordered successor of a dropped message would
+//               otherwise be buffered forever).
+//   * Partition — a set of Mss's is cut off from the rest of the wired
+//               network during a window, then healed.
+//
+// A plan is pure data; fault::FaultInjector executes it against a
+// harness::World.
+#pragma once
+
+#include <vector>
+
+#include "common/time.h"
+
+namespace rdp::fault {
+
+struct FaultPlan {
+  struct Crash {
+    int mss = 0;                 // world Mss index
+    common::Duration at;         // virtual time of the fail-stop
+    // Downtime before restart().  Duration::max() means "never restarts".
+    common::Duration downtime = common::Duration::max();
+  };
+
+  struct Degrade {
+    common::Duration from;       // window [from, until)
+    common::Duration until;
+    double drop = 0.0;           // per-message loss probability
+    double duplicate = 0.0;      // per-message duplication probability
+    double reorder = 0.0;        // per-message probability of extra delay
+    // A reordered message is delayed uniformly in (0, reorder_window],
+    // bypassing the per-link FIFO clamp (bounded reorder).
+    common::Duration reorder_window = common::Duration::millis(20);
+  };
+
+  struct Partition {
+    common::Duration from;       // window [from, until)
+    common::Duration until;
+    std::vector<int> island;     // Mss indices cut off from everyone else
+  };
+
+  // Seed for the injector's private randomness (degrade decisions); kept
+  // separate from the world seed so the same workload can be replayed
+  // under different fault draws.
+  std::uint64_t seed = 1;
+
+  std::vector<Crash> crashes;
+  std::vector<Degrade> degrades;
+  std::vector<Partition> partitions;
+
+  // --- builders (chainable) -------------------------------------------------
+  FaultPlan& crash_at(int mss, common::Duration at,
+                      common::Duration downtime = common::Duration::max()) {
+    crashes.push_back(Crash{mss, at, downtime});
+    return *this;
+  }
+
+  // `count` crash/restart cycles: crash at first, first+period, ... each
+  // followed by a restart `downtime` later.  Requires downtime < period.
+  FaultPlan& crash_every(int mss, common::Duration first,
+                         common::Duration period, common::Duration downtime,
+                         int count) {
+    common::Duration at = first;
+    for (int i = 0; i < count; ++i) {
+      crashes.push_back(Crash{mss, at, downtime});
+      at += period;
+    }
+    return *this;
+  }
+
+  FaultPlan& degrade_links(common::Duration from, common::Duration until,
+                           double drop, double duplicate = 0.0,
+                           double reorder = 0.0) {
+    Degrade d;
+    d.from = from;
+    d.until = until;
+    d.drop = drop;
+    d.duplicate = duplicate;
+    d.reorder = reorder;
+    degrades.push_back(d);
+    return *this;
+  }
+
+  FaultPlan& partition(common::Duration from, common::Duration until,
+                       std::vector<int> island) {
+    partitions.push_back(Partition{from, until, std::move(island)});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && degrades.empty() && partitions.empty();
+  }
+};
+
+}  // namespace rdp::fault

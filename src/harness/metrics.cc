@@ -17,6 +17,9 @@ void MetricsCollector::on_result_delivered(core::SimTime t, core::MhId,
   }
   if (final && finals_delivered_.insert(r).second) {
     ++requests_completed_at_mh_;
+    // The result was already in flight when a crash reported the request
+    // lost; the delivery supersedes the loss.
+    if (lost_requests_.erase(r) > 0) --requests_lost;
   }
 }
 

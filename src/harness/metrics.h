@@ -38,6 +38,12 @@ class MetricsCollector final : public core::RdpObserver {
   std::uint64_t delproxy_with_pending = 0;  // anomaly counter (ablations)
   stats::Tally<common::NodeAddress> proxy_host_tally;  // E5 load balance
 
+  // --- fault injection (src/fault) ---
+  std::uint64_t mss_crashes = 0;
+  std::uint64_t mss_restarts = 0;
+  std::uint64_t proxies_restored = 0;
+  std::uint64_t requests_reissued = 0;
+
   // --- latency (request issue -> first non-duplicate delivery of each
   // result; milliseconds) ---
   stats::Histogram delivery_latency_ms;
@@ -63,9 +69,14 @@ class MetricsCollector final : public core::RdpObserver {
                             core::RequestId) override {
     ++requests_completed;
   }
-  void on_request_lost(core::SimTime, core::MhId, core::RequestId,
+  void on_request_lost(core::SimTime, core::MhId, core::RequestId r,
                        core::RequestLossReason) override {
-    ++requests_lost;
+    // A crash can report a request lost whose final result is already at
+    // the Mh (only the Ack was still in flight), and a request can be
+    // reported lost at more than one site; count each truly undelivered
+    // request exactly once.
+    if (finals_delivered_.contains(r)) return;
+    if (lost_requests_.insert(r).second) ++requests_lost;
   }
   void on_result_forwarded(core::SimTime, core::MhId, core::RequestId,
                            std::uint32_t, core::NodeAddress,
@@ -110,10 +121,26 @@ class MetricsCollector final : public core::RdpObserver {
                                 core::ProxyId) override {
     ++delproxy_with_pending;
   }
+  void on_mss_crashed(core::SimTime, core::MssId, std::size_t,
+                      std::size_t) override {
+    ++mss_crashes;
+  }
+  void on_mss_restarted(core::SimTime, core::MssId, std::size_t) override {
+    ++mss_restarts;
+  }
+  void on_proxy_restored(core::SimTime, core::MhId, core::NodeAddress,
+                         core::ProxyId) override {
+    ++proxies_restored;
+  }
+  void on_request_reissued(core::SimTime, core::MhId, core::RequestId,
+                           int) override {
+    ++requests_reissued;
+  }
 
  private:
   std::map<core::RequestId, core::SimTime> issue_time_;
   std::set<core::RequestId> finals_delivered_;
+  std::set<core::RequestId> lost_requests_;
   std::uint64_t requests_completed_at_mh_ = 0;
 
  public:

@@ -17,12 +17,18 @@ World::World(ScenarioConfig config)
       simulator_, transport_, wireless_, directory_, config_.rdp, observers_,
       counters_});
 
+  if (config_.proxy_checkpointing) {
+    checkpoint_store_ = std::make_unique<core::ProxyCheckpointStore>(
+        simulator_, config_.checkpoint);
+  }
+
   for (int i = 0; i < config_.num_mss; ++i) {
     const common::MssId id(static_cast<std::uint32_t>(i));
     const common::CellId cell_id = cell(i);
     const common::NodeAddress address = directory_.allocate_address();
     directory_.register_mss(id, cell_id, address);
     auto mss = std::make_unique<core::Mss>(*runtime_, id, cell_id, address);
+    if (checkpoint_store_) mss->set_checkpoint_store(checkpoint_store_.get());
     transport_.attach(address, mss.get());
     wireless_.register_cell(cell_id, id, mss.get());
     msses_.push_back(std::move(mss));

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "causal/causal_layer.h"
+#include "core/checkpoint.h"
 #include "core/directory.h"
 #include "core/mobile_host.h"
 #include "core/mss.h"
@@ -29,6 +30,10 @@ struct ScenarioConfig {
   int num_mh = 8;
   int num_servers = 1;
   bool causal_order = true;  // paper assumption 1 (E6 ablates)
+  // Fault-tolerance extension: give every Mss simulated stable storage so
+  // proxies survive a crash (see src/fault and core::ProxyCheckpointStore).
+  bool proxy_checkpointing = false;
+  core::ProxyCheckpointStore::Config checkpoint;
   net::WiredConfig wired;
   net::WirelessConfig wireless;
   core::RdpConfig rdp;
@@ -54,6 +59,10 @@ class World {
   [[nodiscard]] common::Rng& rng() { return rng_; }
   // Null when the scenario disabled causal ordering.
   [[nodiscard]] causal::CausalLayer* causal() { return causal_.get(); }
+  // Null unless the scenario enabled proxy_checkpointing.
+  [[nodiscard]] core::ProxyCheckpointStore* checkpoint_store() {
+    return checkpoint_store_.get();
+  }
 
   [[nodiscard]] int num_mss() const { return static_cast<int>(msses_.size()); }
   [[nodiscard]] core::Mss& mss(int i) { return *msses_.at(i); }
@@ -96,6 +105,7 @@ class World {
   stats::CounterRegistry counters_;
   core::ObserverList observers_;
   std::unique_ptr<core::Runtime> runtime_;
+  std::unique_ptr<core::ProxyCheckpointStore> checkpoint_store_;
   std::vector<std::unique_ptr<core::Mss>> msses_;
   std::vector<std::unique_ptr<core::Server>> servers_;
   std::vector<std::unique_ptr<core::MobileHostAgent>> mhs_;

@@ -13,34 +13,62 @@ void WiredNetwork::attach(NodeAddress address, Endpoint* endpoint) {
   RDP_CHECK(inserted, "address already attached: " + address.str());
 }
 
+common::Duration WiredNetwork::sample_latency() {
+  const auto jitter_us = config_.jitter.count_micros();
+  return config_.base_latency +
+         (jitter_us > 0
+              ? common::Duration::micros(rng_.uniform_int(0, jitter_us))
+              : common::Duration::zero());
+}
+
 void WiredNetwork::send(NodeAddress src, NodeAddress dst, PayloadPtr payload,
                         sim::EventPriority priority) {
   RDP_CHECK(payload != nullptr, "cannot send a null payload");
   RDP_CHECK(dst.valid(), "cannot send to an invalid address");
 
   const common::SimTime now = simulator_.now();
-  const auto jitter_us = config_.jitter.count_micros();
-  const common::Duration latency =
-      config_.base_latency +
-      (jitter_us > 0 ? common::Duration::micros(rng_.uniform_int(0, jitter_us))
-                     : common::Duration::zero());
+  const FaultDecision fault =
+      fault_hook_ ? fault_hook_(src, dst, payload) : FaultDecision{};
 
-  // Per-link FIFO: arrival times on one (src,dst) link strictly increase.
-  common::SimTime arrival = now + latency;
-  const LinkKey key{src, dst};
-  auto [it, fresh] = last_arrival_.try_emplace(key, arrival);
-  if (!fresh && arrival <= it->second) {
-    arrival = it->second + common::Duration::micros(1);
-  }
-  it->second = arrival;
-
-  Envelope envelope{src, dst, std::move(payload), now, arrival, next_seq_++};
+  // Senders and byte accounting see the message regardless of its fate on
+  // the wire; injected faults strike after transmission.
+  Envelope envelope{src, dst, std::move(payload), now, now, next_seq_++};
   ++sent_;
   bytes_ += envelope.payload->wire_size();
   for (const auto& observer : observers_) observer(envelope);
 
+  if (fault.drop) {
+    ++faults_dropped_;
+    return;
+  }
+
+  common::SimTime arrival = now + sample_latency() + fault.extra_delay;
+  if (fault.extra_delay > common::Duration::zero()) {
+    // A reorder-delayed message deliberately escapes the FIFO bookkeeping:
+    // it may now arrive after messages sent later on the same link.
+    ++faults_reordered_;
+  } else {
+    // Per-link FIFO: arrival times on one (src,dst) link strictly increase.
+    const LinkKey key{src, dst};
+    auto [it, fresh] = last_arrival_.try_emplace(key, arrival);
+    if (!fresh && arrival <= it->second) {
+      arrival = it->second + common::Duration::micros(1);
+    }
+    it->second = arrival;
+  }
+  envelope.arrives_at = arrival;
+
   simulator_.schedule_at(
       arrival, [this, envelope] { deliver(envelope); }, priority);
+
+  for (int i = 0; i < fault.duplicates; ++i) {
+    ++faults_duplicated_;
+    Envelope copy = envelope;
+    copy.seq = next_seq_++;
+    copy.arrives_at = now + sample_latency();  // fresh latency, unclamped
+    simulator_.schedule_at(
+        copy.arrives_at, [this, copy] { deliver(copy); }, priority);
+  }
 }
 
 void WiredNetwork::deliver(const Envelope& envelope) {

@@ -47,10 +47,25 @@ struct WiredConfig {
   common::Duration jitter = common::Duration::millis(5);
 };
 
+// Fault-injection seam (src/fault): decided per message handed to send().
+// The hook sits at the *physical* layer, below causal::CausalLayer, so an
+// injected drop/duplicate/reorder ablates assumption 1 outright (a dropped
+// message is gone; the causal layer will buffer its successors forever).
+struct FaultDecision {
+  bool drop = false;  // lose the message entirely
+  int duplicates = 0; // deliver this many extra copies, each with fresh latency
+  // Extra delay added to the original copy.  A non-zero value bypasses the
+  // per-link FIFO bookkeeping, so the message may arrive after messages
+  // sent later on the same link (bounded reorder).
+  common::Duration extra_delay = common::Duration::zero();
+};
+
 class WiredNetwork final : public WiredTransport {
  public:
   // Called for every message handed to send(); used by stats collectors.
   using SendObserver = std::function<void(const Envelope&)>;
+  using FaultHook = std::function<FaultDecision(
+      NodeAddress src, NodeAddress dst, const PayloadPtr& payload)>;
 
   WiredNetwork(sim::Simulator& simulator, common::Rng rng, WiredConfig config);
 
@@ -66,8 +81,18 @@ class WiredNetwork final : public WiredTransport {
     observers_.push_back(std::move(observer));
   }
 
+  // Install (or clear, with nullptr) the fault-injection hook.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] std::uint64_t faults_dropped() const { return faults_dropped_; }
+  [[nodiscard]] std::uint64_t faults_duplicated() const {
+    return faults_duplicated_;
+  }
+  [[nodiscard]] std::uint64_t faults_reordered() const {
+    return faults_reordered_;
+  }
 
  private:
   struct LinkKey {
@@ -83,15 +108,21 @@ class WiredNetwork final : public WiredTransport {
 
   void deliver(const Envelope& envelope);
 
+  common::Duration sample_latency();
+
   sim::Simulator& simulator_;
   common::Rng rng_;
   WiredConfig config_;
   std::unordered_map<NodeAddress, Endpoint*> endpoints_;
   std::unordered_map<LinkKey, common::SimTime, LinkKeyHash> last_arrival_;
   std::vector<SendObserver> observers_;
+  FaultHook fault_hook_;
   std::uint64_t sent_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t faults_dropped_ = 0;
+  std::uint64_t faults_duplicated_ = 0;
+  std::uint64_t faults_reordered_ = 0;
 };
 
 }  // namespace rdp::net

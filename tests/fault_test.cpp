@@ -1,0 +1,386 @@
+// Fault-injection subsystem (src/fault) and the recovery pair that makes
+// Mss crashes survivable: the ProxyCheckpointStore (simulated stable
+// storage) and the Mh-side re-issue watchdog (RdpConfig::mh_reissue).
+//
+// The paper assumes Mss's never fail (§2) and defers fault tolerance to
+// future work.  These tests answer the deferred question both ways:
+//  * destructively — without a checkpoint, a crash while a result is
+//    pending loses the request for good (counted, not hung);
+//  * constructively — with checkpointing + re-issue, every issued request
+//    is delivered at-least-once across repeated crash/restart cycles,
+//    deterministically under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "fault/fault_injector.h"
+#include "harness/metrics.h"
+#include "harness/world.h"
+
+namespace rdp {
+namespace {
+
+using common::Duration;
+using common::MhId;
+using common::MssId;
+
+harness::ScenarioConfig fault_config() {
+  harness::ScenarioConfig config;
+  config.num_mss = 3;
+  config.num_mh = 2;
+  config.num_servers = 1;
+  config.wired.base_latency = Duration::millis(5);
+  config.wired.jitter = Duration::zero();
+  config.wireless.base_latency = Duration::millis(20);
+  config.wireless.jitter = Duration::zero();
+  config.server.base_service_time = Duration::millis(500);
+  return config;
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void build(harness::ScenarioConfig config) {
+    world_ = std::make_unique<harness::World>(std::move(config));
+    world_->observers().add(&metrics_);
+    world_->mh(0).set_delivery_callback(
+        [this](const core::MobileHostAgent::Delivery& delivery) {
+          deliveries_.push_back(delivery);
+        });
+  }
+
+  void at(Duration delay, std::function<void()> fn) {
+    world_->simulator().schedule(delay, std::move(fn));
+  }
+
+  std::unique_ptr<harness::World> world_;
+  harness::MetricsCollector metrics_;
+  std::vector<core::MobileHostAgent::Delivery> deliveries_;
+};
+
+// --- acceptance claim (1): destructive half --------------------------------
+
+TEST_F(FaultTest, CrashWithoutCheckpointLosesPendingRequest) {
+  build(fault_config());
+  fault::FaultPlan plan;
+  // Crash while the request is in service (result due ~650 ms); no restart.
+  plan.crash_at(0, Duration::millis(300));
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  world_->run_to_quiescence();  // terminates: the loss is counted, not hung
+
+  EXPECT_EQ(injector.crashes_injected(), 1u);
+  EXPECT_TRUE(world_->mss(0).crashed());
+  EXPECT_EQ(world_->mss(0).proxy_count(), 0u);  // volatile proxy is gone
+  EXPECT_EQ(deliveries_.size(), 0u);
+  EXPECT_EQ(metrics_.mss_crashes, 1u);
+  EXPECT_EQ(metrics_.requests_lost, 1u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);  // accounted for
+  EXPECT_FALSE(world_->directory().mss_up(MssId(0)));
+}
+
+// A crash with a restart but no stable storage still loses the proxy: the
+// restarted Mss comes back empty and only the re-issue watchdog (off here)
+// could recover the request.
+TEST_F(FaultTest, RestartWithoutCheckpointDoesNotResurrectProxies) {
+  build(fault_config());
+  fault::FaultPlan plan;
+  plan.crash_at(0, Duration::millis(300), /*downtime=*/Duration::millis(200));
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  world_->run_to_quiescence();
+
+  EXPECT_EQ(injector.restarts_injected(), 1u);
+  EXPECT_FALSE(world_->mss(0).crashed());
+  EXPECT_TRUE(world_->directory().mss_up(MssId(0)));
+  EXPECT_EQ(metrics_.mss_restarts, 1u);
+  EXPECT_EQ(metrics_.proxies_restored, 0u);
+  EXPECT_EQ(deliveries_.size(), 0u);
+  EXPECT_EQ(metrics_.requests_lost, 1u);
+}
+
+// --- checkpoint restore without the watchdog -------------------------------
+
+// The stored unacked result survives the crash: the restored proxy re-sends
+// it, and the Mh picks it up on reactivation — no re-issue involved.
+TEST_F(FaultTest, RestoredProxyRedeliversUnackedResult) {
+  auto config = fault_config();
+  config.proxy_checkpointing = true;
+  config.server.base_service_time = Duration::millis(200);
+  build(std::move(config));
+  fault::FaultPlan plan;
+  // The result reaches the proxy ~450 ms (Mh already inactive, forward
+  // wasted); crash well after the checkpoint write is durable.
+  plan.crash_at(0, Duration::millis(600), /*downtime=*/Duration::millis(100));
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(150), [&] { world_->mh(0).power_off(); });
+  at(Duration::seconds(1), [&] { world_->mh(0).reactivate(); });
+  world_->run_to_quiescence();
+
+  EXPECT_EQ(metrics_.mss_crashes, 1u);
+  EXPECT_EQ(metrics_.proxies_restored, 1u);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.app_duplicates, 0u);  // assumption-5 filter holds
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  // The restored proxy completed its life-cycle: Ack + del-proxy teardown.
+  EXPECT_EQ(world_->mss(0).proxy_count(), 0u);
+}
+
+// The checkpoint store's write latency is honoured: a record is only
+// durable `write_latency` after the put, and an erase takes as long.
+TEST(ProxyCheckpointStore, WriteLatencyDelaysDurability) {
+  sim::Simulator sim;
+  core::ProxyCheckpointStore::Config config;
+  config.write_latency = Duration::millis(2);
+  core::ProxyCheckpointStore store(sim, config);
+
+  core::ProxyCheckpoint record;
+  record.proxy = common::ProxyId(4);
+  record.mh = MhId(1);
+  store.put(MssId(0), record);
+  EXPECT_FALSE(store.contains(MssId(0), common::ProxyId(4)));  // in flight
+  sim.run();
+  EXPECT_TRUE(store.contains(MssId(0), common::ProxyId(4)));   // durable
+  ASSERT_EQ(store.restore(MssId(0)).size(), 1u);
+  EXPECT_EQ(store.restore(MssId(1)).size(), 0u);
+
+  store.erase(MssId(0), common::ProxyId(4));
+  EXPECT_TRUE(store.contains(MssId(0), common::ProxyId(4)));   // still durable
+  sim.run();
+  EXPECT_FALSE(store.contains(MssId(0), common::ProxyId(4)));
+  EXPECT_EQ(store.writes(), 1u);
+  EXPECT_EQ(store.erases(), 1u);
+  EXPECT_GT(store.bytes_written(), 0u);
+}
+
+// --- acceptance claim (2): constructive half -------------------------------
+
+struct CycleOutcome {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t reissued = 0;
+  std::uint64_t wire_messages = 0;
+
+  bool operator==(const CycleOutcome&) const = default;
+};
+
+// Three scripted crash/restart cycles of Mss0 while its Mh keeps issuing
+// requests — some land mid-downtime, some have results in flight at the
+// fail-stop.  Checkpointing + the re-issue watchdog must deliver every one.
+CycleOutcome run_crash_cycles(std::uint64_t seed) {
+  auto config = fault_config();
+  config.seed = seed;
+  config.proxy_checkpointing = true;
+  config.rdp.mh_reissue = true;
+  config.rdp.reissue_timeout = Duration::seconds(2);
+  harness::World world(std::move(config));
+  harness::MetricsCollector metrics;
+  world.observers().add(&metrics);
+
+  fault::FaultPlan plan;
+  plan.crash_every(0, /*first=*/Duration::seconds(1),
+                   /*period=*/Duration::seconds(8),
+                   /*downtime=*/Duration::seconds(1), /*count=*/3);
+  fault::FaultInjector injector(world, plan);
+  injector.arm();
+
+  world.mh(0).power_on(world.cell(0));
+  auto& sim = world.simulator();
+  // Per cycle k (crash at 1+8k s): one request whose result is in service
+  // at the fail-stop, and one issued into the downtime (uplink to a deaf
+  // Mss).  Plus a request in the quiet period as a control.
+  for (int k = 0; k < 3; ++k) {
+    const Duration crash = Duration::seconds(1) + Duration::seconds(8 * k);
+    sim.schedule(crash - Duration::millis(300), [&] {
+      world.mh(0).issue_request(world.server_address(0), "inflight");
+    });
+    sim.schedule(crash + Duration::millis(500), [&] {
+      world.mh(0).issue_request(world.server_address(0), "downtime");
+    });
+    sim.schedule(crash + Duration::seconds(4), [&] {
+      world.mh(0).issue_request(world.server_address(0), "quiet");
+    });
+  }
+  world.run_to_quiescence();
+
+  CycleOutcome outcome;
+  outcome.issued = metrics.requests_issued;
+  outcome.completed = metrics.requests_completed_at_mh();
+  outcome.deliveries = metrics.results_delivered;
+  outcome.crashes = metrics.mss_crashes;
+  outcome.restarts = metrics.mss_restarts;
+  outcome.restored = metrics.proxies_restored;
+  outcome.reissued = metrics.requests_reissued;
+  outcome.wire_messages = world.wired().messages_sent();
+  return outcome;
+}
+
+TEST(FaultRecovery, AtLeastOnceAcrossThreeCrashRestartCycles) {
+  const CycleOutcome outcome = run_crash_cycles(7);
+  EXPECT_EQ(outcome.crashes, 3u);
+  EXPECT_EQ(outcome.restarts, 3u);
+  EXPECT_EQ(outcome.issued, 9u);
+  // At-least-once restored: every issued request completed at the Mh...
+  EXPECT_EQ(outcome.completed, outcome.issued);
+  // ...and the assumption-5 filter kept the application at exactly-once.
+  EXPECT_EQ(outcome.deliveries, outcome.issued);
+  // Recovery actually exercised both halves of the mechanism.
+  EXPECT_GE(outcome.restored, 1u);
+  EXPECT_GE(outcome.reissued, 1u);
+}
+
+TEST(FaultRecovery, CrashCyclesAreDeterministicUnderFixedSeed) {
+  EXPECT_EQ(run_crash_cycles(7), run_crash_cycles(7));
+  EXPECT_EQ(run_crash_cycles(1234), run_crash_cycles(1234));
+}
+
+// --- link degradation and partitions ---------------------------------------
+
+// A total wired blackout window drops the server request outright; the
+// watchdog re-issues after the window and the request still completes.
+// (Link faults ablate assumption 1, so the causal layer is off.)
+TEST_F(FaultTest, ReissueRecoversFromWiredDropWindow) {
+  auto config = fault_config();
+  config.causal_order = false;
+  config.rdp.mh_reissue = true;
+  config.rdp.reissue_timeout = Duration::seconds(2);
+  build(std::move(config));
+  fault::FaultPlan plan;
+  plan.degrade_links(Duration::millis(100), Duration::millis(400),
+                     /*drop=*/1.0);
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(150),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  world_->run_to_quiescence();
+
+  EXPECT_GT(world_->wired().faults_dropped(), 0u);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_GE(metrics_.requests_reissued, 1u);
+}
+
+// Wire-level duplication must never reach the application: the Mh's
+// assumption-5 filter (and the proxy's idempotent requestList) absorb it.
+TEST_F(FaultTest, WireDuplicationIsInvisibleToTheApplication) {
+  auto config = fault_config();
+  config.causal_order = false;
+  build(std::move(config));
+  fault::FaultPlan plan;
+  plan.degrade_links(Duration::zero(), Duration::seconds(10),
+                     /*drop=*/0.0, /*duplicate=*/0.8);
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "a"); });
+  at(Duration::millis(200),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "b"); });
+  world_->run_to_quiescence();
+
+  EXPECT_GT(world_->wired().faults_duplicated(), 0u);
+  ASSERT_EQ(deliveries_.size(), 2u);
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+}
+
+// A partition cutting the proxy's host off from the server heals, and the
+// watchdog completes the request afterwards.
+TEST_F(FaultTest, PartitionHealsAndRequestCompletes) {
+  auto config = fault_config();
+  config.causal_order = false;
+  config.rdp.mh_reissue = true;
+  config.rdp.reissue_timeout = Duration::seconds(2);
+  build(std::move(config));
+  fault::FaultPlan plan;
+  plan.partition(Duration::millis(100), Duration::seconds(1), {0});
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(150),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  world_->run_to_quiescence();
+
+  EXPECT_GT(world_->wired().faults_dropped(), 0u);  // boundary-crossing cut
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+}
+
+// Inside and outside an island, traffic keeps flowing during the window:
+// Mh1 (cell 1, outside) is unaffected by a partition of {0}.
+TEST_F(FaultTest, PartitionOnlyCutsBoundaryCrossingTraffic) {
+  build(fault_config());
+  fault::FaultPlan plan;
+  plan.partition(Duration::zero(), Duration::seconds(30), {0});
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  std::vector<core::MobileHostAgent::Delivery> other;
+  world_->mh(1).set_delivery_callback(
+      [&](const core::MobileHostAgent::Delivery& delivery) {
+        other.push_back(delivery);
+      });
+  world_->mh(1).power_on(world_->cell(1));
+  at(Duration::millis(100),
+     [&] { world_->mh(1).issue_request(world_->server_address(0), "out"); });
+  world_->run_to_quiescence();
+
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(other[0].body, "re:out");
+}
+
+// --- stale-binding hand-off handling ---------------------------------------
+
+// An Mh migrating away from a crashed Mss must not wedge on the hand-off
+// (the dereg to the dead host would never be answered): the new Mss detects
+// the stale binding through the directory and registers the Mh fresh.
+TEST_F(FaultTest, HandoffAgainstCrashedMssFallsBackToJoin) {
+  auto config = fault_config();
+  config.rdp.mh_reissue = true;
+  config.rdp.reissue_timeout = Duration::seconds(2);
+  build(std::move(config));
+  fault::FaultPlan plan;
+  plan.crash_at(0, Duration::millis(300));  // never restarts
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(400),
+     [&] { world_->mh(0).migrate(world_->cell(1), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  EXPECT_TRUE(world_->mh(0).registered());
+  EXPECT_EQ(world_->mh(0).resp_mss(), MssId(1));
+  EXPECT_TRUE(world_->mss(1).is_local(MhId(0)));
+  EXPECT_GE(world_->counters().get("mss.greet_old_mss_down"), 1u);
+  // The re-issued request completes at the new Mss (fresh proxy there).
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -112,6 +112,134 @@ TEST_F(WiredTest, CrossLinkMessagesMayInterleaveButEachLinkStaysOrdered) {
   }
 }
 
+// --- fault-injection seam (src/fault rides on this hook) -------------------
+
+TEST_F(WiredTest, FaultHookDropLeavesSurvivorsInFifoOrder) {
+  WiredConfig config;
+  config.base_latency = Duration::millis(1);
+  config.jitter = Duration::zero();
+  WiredNetwork net(sim_, Rng(3), config);
+  Recorder receiver;
+  Recorder sender;
+  net.attach(NodeAddress(0), &receiver);
+  net.attach(NodeAddress(1), &sender);
+
+  int nth = 0;
+  net.set_fault_hook([&](NodeAddress, NodeAddress, const PayloadPtr&) {
+    FaultDecision decision;
+    decision.drop = (++nth % 3 == 0);  // lose every third message
+    return decision;
+  });
+  for (int i = 0; i < 30; ++i) {
+    net.send(NodeAddress(1), NodeAddress(0), make_message<TestMsg>(i));
+  }
+  sim_.run();
+
+  EXPECT_EQ(net.faults_dropped(), 10u);
+  EXPECT_EQ(net.messages_sent(), 30u);  // accounting sees pre-fault traffic
+  ASSERT_EQ(receiver.received.size(), 20u);
+  for (std::size_t i = 1; i < receiver.received.size(); ++i) {
+    EXPECT_LT(receiver.value_at(i - 1), receiver.value_at(i));
+  }
+}
+
+TEST_F(WiredTest, FaultHookDuplicationKeepsOriginalsFifoAndCountsCopies) {
+  WiredConfig config;
+  config.base_latency = Duration::millis(1);
+  config.jitter = Duration::zero();
+  WiredNetwork net(sim_, Rng(3), config);
+  Recorder receiver;
+  Recorder sender;
+  net.attach(NodeAddress(0), &receiver);
+  net.attach(NodeAddress(1), &sender);
+
+  net.set_fault_hook([](NodeAddress, NodeAddress, const PayloadPtr&) {
+    FaultDecision decision;
+    decision.duplicates = 1;
+    return decision;
+  });
+  for (int i = 0; i < 50; ++i) {
+    net.send(NodeAddress(1), NodeAddress(0), make_message<TestMsg>(i));
+  }
+  sim_.run();
+
+  EXPECT_EQ(net.faults_duplicated(), 50u);
+  ASSERT_EQ(receiver.received.size(), 100u);
+  // Every message arrived exactly twice...
+  std::vector<int> copies(50, 0);
+  for (std::size_t i = 0; i < receiver.received.size(); ++i) {
+    copies.at(static_cast<std::size_t>(receiver.value_at(i)))++;
+  }
+  for (int count : copies) EXPECT_EQ(count, 2);
+  // ...and the per-link FIFO clamp still orders the first arrivals: the
+  // first time each value shows up, values are strictly increasing.
+  int last_first = -1;
+  std::vector<bool> seen(50, false);
+  for (std::size_t i = 0; i < receiver.received.size(); ++i) {
+    const int v = receiver.value_at(i);
+    if (seen.at(static_cast<std::size_t>(v))) continue;
+    seen.at(static_cast<std::size_t>(v)) = true;
+    EXPECT_GT(v, last_first);
+    last_first = v;
+  }
+}
+
+TEST_F(WiredTest, FaultHookReorderDelayBypassesFifoClamp) {
+  WiredConfig config;
+  config.base_latency = Duration::millis(1);
+  config.jitter = Duration::zero();
+  WiredNetwork net(sim_, Rng(3), config);
+  Recorder receiver;
+  Recorder sender;
+  net.attach(NodeAddress(0), &receiver);
+  net.attach(NodeAddress(1), &sender);
+
+  // A deterministically decreasing extra delay inverts the send order
+  // outright — impossible under the FIFO clamp, so this proves the
+  // reordered copies escape it (bounded reorder, FaultPlan::Degrade).
+  int nth = 0;
+  net.set_fault_hook([&](NodeAddress, NodeAddress, const PayloadPtr&) {
+    FaultDecision decision;
+    decision.extra_delay = Duration::millis(5 - nth++);
+    return decision;
+  });
+  for (int i = 0; i < 5; ++i) {
+    net.send(NodeAddress(1), NodeAddress(0), make_message<TestMsg>(i));
+  }
+  sim_.run();
+
+  EXPECT_EQ(net.faults_reordered(), 5u);
+  ASSERT_EQ(receiver.received.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(receiver.value_at(i), static_cast<int>(4 - i));
+  }
+}
+
+TEST_F(WiredTest, ClearingFaultHookRestoresCleanDelivery) {
+  WiredConfig config;
+  config.base_latency = Duration::millis(1);
+  config.jitter = Duration::zero();
+  WiredNetwork net(sim_, Rng(3), config);
+  Recorder receiver;
+  Recorder sender;
+  net.attach(NodeAddress(0), &receiver);
+  net.attach(NodeAddress(1), &sender);
+
+  net.set_fault_hook([](NodeAddress, NodeAddress, const PayloadPtr&) {
+    FaultDecision decision;
+    decision.drop = true;
+    return decision;
+  });
+  net.send(NodeAddress(1), NodeAddress(0), make_message<TestMsg>(0));
+  net.set_fault_hook(nullptr);  // FaultInjector's destructor does this
+  net.send(NodeAddress(1), NodeAddress(0), make_message<TestMsg>(1));
+  sim_.run();
+
+  EXPECT_EQ(net.faults_dropped(), 1u);
+  ASSERT_EQ(receiver.received.size(), 1u);
+  EXPECT_EQ(receiver.value_at(0), 1);
+}
+
 TEST_F(WiredTest, CountsMessagesAndBytes) {
   WiredNetwork net(sim_, Rng(1), WiredConfig{});
   Recorder receiver;

@@ -108,6 +108,60 @@ TEST(Simulator, CancelAfterFireIsNoop) {
   EXPECT_EQ(runs, 1);
 }
 
+TEST(Simulator, DoubleCancelIsIdempotent) {
+  Simulator sim;
+  bool ran = false;
+  TimerHandle handle = sim.schedule(Duration::millis(5), [&] { ran = true; });
+  handle.cancel();
+  handle.cancel();  // second cancel must be a no-op
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(ran);
+  handle.cancel();  // and a third, after the queue drained
+}
+
+TEST(Simulator, CancelInsideCallbackPreventsSameTimeEvent) {
+  Simulator sim;
+  bool other_ran = false;
+  // Both events at the same instant; A is inserted first so it fires first
+  // and cancels B while the kernel is mid-timestep.
+  TimerHandle other;
+  sim.schedule(Duration::millis(10), [&] { other.cancel(); });
+  other = sim.schedule(Duration::millis(10), [&] { other_ran = true; });
+  sim.run();
+  EXPECT_FALSE(other_ran);
+  EXPECT_FALSE(other.pending());
+}
+
+TEST(Simulator, CallbackCancellingItsOwnHandleIsSafe) {
+  Simulator sim;
+  int runs = 0;
+  TimerHandle handle;
+  handle = sim.schedule(Duration::millis(1), [&] {
+    ++runs;
+    handle.cancel();  // cancelling the currently-firing event is a no-op
+  });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(Simulator, CancelInsideCallbackThenRescheduleFires) {
+  Simulator sim;
+  std::vector<int> order;
+  TimerHandle later;
+  later = sim.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  sim.schedule(Duration::millis(10), [&] {
+    order.push_back(1);
+    later.cancel();
+    later = sim.schedule(Duration::millis(5), [&] { order.push_back(3); });
+  });
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 3);  // replacement fired at 15 ms, original never did
+}
+
 TEST(Simulator, DefaultHandleIsInert) {
   TimerHandle handle;
   EXPECT_FALSE(handle.pending());
