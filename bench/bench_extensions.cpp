@@ -15,10 +15,11 @@
 #include "harness/experiment.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdp;
   using common::Duration;
 
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner("E10", "Mss result cache (footnote-3 extension)",
                     "§5 footnote 3 trade-off under downlink loss");
 
@@ -45,6 +46,12 @@ int main() {
       params.wireless.downlink_loss = loss_pct / 100.0;
       params.rdp.mss_result_cache = cache;
       params.rdp.result_cache_retry = Duration::millis(500);
+      if (loss_pct == 25 && cache) {
+        // The cell where the extension earns its keep is the canonical run.
+        params.trace_out = options.trace_path;
+        params.metrics_out = options.metrics_path;
+        params.metrics_period = Duration::seconds(20);
+      }
 
       const auto result = harness::run_rdp_experiment(params);
       const auto counter = [&](const char* name) -> std::uint64_t {

@@ -68,7 +68,8 @@ struct Outcome {
 // hopping to the next cell every ~4 s, while every Mss crash/restarts with
 // period `crash_interval` (staggered so the failures rotate through the
 // network).
-Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery) {
+Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery,
+            const benchutil::BenchOptions* artifacts = nullptr) {
   harness::ScenarioConfig config;
   config.seed = seed;
   config.num_mss = kNumMss;
@@ -86,6 +87,7 @@ Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery) {
     config.rdp.reissue_timeout = Duration::seconds(2);
     config.rdp.max_reissue_attempts = 20;
   }
+  if (artifacts != nullptr) config.telemetry.trace = artifacts->trace();
   harness::World world(config);
   harness::MetricsCollector metrics;
   world.observers().add(&metrics);
@@ -129,6 +131,9 @@ Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery) {
     }
   }
   world.run_to_quiescence();
+  if (artifacts != nullptr) {
+    benchutil::export_artifacts(*artifacts, world.telemetry(), sim.now());
+  }
 
   Outcome outcome;
   outcome.issued = metrics.requests_issued;
@@ -147,7 +152,8 @@ Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner(
       "E11", "delivery guarantee vs Mss crash rate",
       "future work deferred by §2 (\"failures of Mss's, will be studied\")");
@@ -167,7 +173,12 @@ int main() {
     Outcome bare, rec;
     for (const std::uint64_t seed : seeds) {
       bare += run(seed, interval, /*recovery=*/false);
-      rec += run(seed, interval, /*recovery=*/true);
+      // Canonical artifact: the harshest interval with recovery on, first
+      // seed — crashes, restores and re-issues all show up in the trace.
+      const bool canonical =
+          interval == intervals.front() && seed == seeds.front();
+      rec += run(seed, interval, /*recovery=*/true,
+                 canonical ? &options : nullptr);
     }
     bare_by_interval.push_back(bare);
     rec_by_interval.push_back(rec);

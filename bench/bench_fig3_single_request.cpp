@@ -1,12 +1,15 @@
 // E1 — Figure 3: a single request with two migrations.
 //
 // Re-enacts the paper's Figure 3 message-sequence chart on the simulator
-// and prints the full timed trace, then validates the protocol milestones:
-// proxy fixed at Mss_p, one update_currentLoc per migration, result
-// delivered exactly once in Mss_n's cell, del-pref/RKpR/del-proxy teardown.
+// and prints the full timed trace (rendered by the obs span tracer), then
+// validates the protocol milestones: proxy fixed at Mss_p, one
+// update_currentLoc per migration, result delivered exactly once in Mss_n's
+// cell, del-pref/RKpR/del-proxy teardown.
+//
+// `--trace fig3.json` additionally exports scenario A as Chrome/Perfetto
+// trace-event JSON; `--metrics fig3.csv` exports the metrics registry.
 #include <iostream>
 #include <string>
-#include <vector>
 
 #include "bench/bench_util.h"
 #include "harness/metrics.h"
@@ -16,72 +19,11 @@ namespace {
 
 using namespace rdp;
 using common::Duration;
-using common::SimTime;
-
-class TimedTrace final : public core::RdpObserver {
- public:
-  std::vector<std::string> lines;
-
-  void add(SimTime t, const std::string& what) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%9.1f ms  ", t.to_seconds() * 1e3);
-    lines.push_back(buf + what);
-  }
-  void on_proxy_created(SimTime t, core::MhId mh, core::NodeAddress host,
-                        core::ProxyId p) override {
-    add(t, "proxy " + p.str() + " created for " + mh.str() + " at " +
-               host.str() + "  (currentLoc := " + host.str() + ")");
-  }
-  void on_request_reached_proxy(SimTime t, core::MhId, core::RequestId r) override {
-    add(t, r.str() + " registered at proxy, relayed to server");
-  }
-  void on_handoff_started(SimTime t, core::MhId mh, core::MssId from,
-                          core::MssId to) override {
-    add(t, "hand-off of " + mh.str() + ": " + to.str() + " sends dereg to " +
-               from.str());
-  }
-  void on_handoff_completed(SimTime t, core::MhId /*mh*/, core::MssId from,
-                            core::MssId to, core::Duration latency,
-                            std::size_t bytes) override {
-    add(t, "hand-off " + from.str() + " -> " + to.str() + " complete (" +
-               latency.str() + ", pref = " + std::to_string(bytes) +
-               " bytes on the wire)");
-  }
-  void on_update_currentloc(SimTime t, core::MhId mh, core::NodeAddress host,
-                            core::NodeAddress loc) override {
-    add(t, "update_currentLoc(" + mh.str() + ") -> proxy at " + host.str() +
-               "  (currentLoc := " + loc.str() + ")");
-  }
-  void on_result_at_proxy(SimTime t, core::MhId, core::RequestId r,
-                          std::uint32_t) override {
-    add(t, "server result for " + r.str() + " arrives at proxy");
-  }
-  void on_result_forwarded(SimTime t, core::MhId, core::RequestId /*r*/,
-                           std::uint32_t, core::NodeAddress to,
-                           std::uint32_t attempt, bool del_pref) override {
-    add(t, "proxy forwards result (attempt " + std::to_string(attempt) +
-               ") to " + to.str() + (del_pref ? "  [del-pref]" : ""));
-  }
-  void on_result_delivered(SimTime t, core::MhId mh, core::RequestId,
-                           std::uint32_t, bool, bool duplicate,
-                           std::uint32_t) override {
-    add(t, std::string("result delivered to ") + mh.str() +
-               (duplicate ? " (duplicate, filtered)" : ""));
-  }
-  void on_ack_forwarded(SimTime t, core::MhId, core::RequestId,
-                        std::uint32_t, bool del_proxy) override {
-    add(t, std::string("Ack forwarded to proxy") +
-               (del_proxy ? "  [del-proxy]" : ""));
-  }
-  void on_proxy_deleted(SimTime t, core::MhId, core::NodeAddress, core::ProxyId p,
-                        bool) override {
-    add(t, "proxy " + p.str() + " deleted");
-  }
-};
 
 void run_scenario(const char* name, common::Duration service_time,
                   common::Duration first_move, common::Duration second_move,
-                  bool expect_retransmission) {
+                  bool expect_retransmission,
+                  const benchutil::BenchOptions* artifacts) {
   benchutil::section(name);
 
   harness::ScenarioConfig config;
@@ -93,12 +35,11 @@ void run_scenario(const char* name, common::Duration service_time,
   config.wireless.base_latency = Duration::millis(20);
   config.wireless.jitter = Duration::zero();
   config.server.base_service_time = service_time;
+  config.telemetry.trace = true;  // the timed trace IS this bench's output
 
   harness::World world(config);
-  harness::MetricsCollector metrics;
-  TimedTrace trace;
+  harness::MetricsCollector metrics(&world.telemetry().registry());
   world.observers().add(&metrics);
-  world.observers().add(&trace);
 
   auto& mh = world.mh(0);
   auto& sim = world.simulator();
@@ -113,7 +54,7 @@ void run_scenario(const char* name, common::Duration service_time,
   }
   world.run_to_quiescence();
 
-  for (const auto& line : trace.lines) std::cout << "  " << line << "\n";
+  world.telemetry().tracer()->write_timeline(std::cout, "  ");
 
   const std::uint64_t expected_handoffs =
       second_move > Duration::zero() ? 2 : 1;
@@ -134,23 +75,31 @@ void run_scenario(const char* name, common::Duration service_time,
       (metrics.retransmissions > 0) == expect_retransmission);
   benchutil::claim("proxy deleted after the del-proxy handshake",
                    metrics.proxies_deleted == 1);
+  benchutil::claim("invariant auditor clean",
+                   world.telemetry().auditor()->clean());
+
+  if (artifacts != nullptr) {
+    benchutil::export_artifacts(*artifacts, world.telemetry(), sim.now());
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner("E1", "single request, migrating client",
                     "Figure 3 + §3.1-§3.3 of Endler/Silva/Okuda (ICDCS 2000)");
 
+  // Scenario A is the Figure-3 chart proper; artifacts export from it.
   run_scenario(
       "scenario A: slow server (2 s) — result arrives after both migrations",
       Duration::seconds(2), Duration::millis(300), Duration::millis(800),
-      /*expect_retransmission=*/false);
+      /*expect_retransmission=*/false, &options);
 
   run_scenario(
       "scenario B: result chases the Mh mid-migration (the '?' in Fig 3)",
       Duration::millis(300), Duration::millis(420), Duration::zero(),
-      /*expect_retransmission=*/true);
+      /*expect_retransmission=*/true, nullptr);
 
   return benchutil::finish();
 }

@@ -6,7 +6,6 @@
 // loses against the last Ack and the proxy survives to be reused.
 #include <iostream>
 #include <string>
-#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/server.h"
@@ -24,6 +23,7 @@ harness::ScenarioConfig fig4_config() {
   config.num_mss = 2;
   config.num_mh = 1;
   config.num_servers = 0;
+  config.telemetry.trace = true;  // timeline + optional --trace export
   config.wired.base_latency = Duration::millis(5);
   config.wired.jitter = Duration::zero();
   config.wireless.base_latency = Duration::millis(20);
@@ -43,26 +43,18 @@ NodeAddress add_server(harness::World& world, Duration service_time) {
   return server.address();
 }
 
-struct WireLog {
-  std::vector<std::string> names;
-  [[nodiscard]] int count(const std::string& name) const {
-    int n = 0;
-    for (const auto& entry : names) {
-      if (entry == name) ++n;
-    }
-    return n;
-  }
-};
+// Wire messages are tallied by the world's metrics registry
+// ("net.wired.messages" labeled by payload type); no hand-rolled log.
+std::uint64_t wire_count(harness::World& world, const std::string& type) {
+  return world.telemetry().registry().counter_value("net.wired.messages",
+                                                    {{"type", type}});
+}
 
-void main_flow() {
+void main_flow(const benchutil::BenchOptions& artifacts) {
   benchutil::section("Figure 4 main flow (requests A, B, C)");
   harness::World world(fig4_config());
-  harness::MetricsCollector metrics;
-  WireLog wire;
+  harness::MetricsCollector metrics(&world.telemetry().registry());
   world.observers().add(&metrics);
-  world.wired().add_send_observer([&](const net::Envelope& envelope) {
-    wire.names.push_back(envelope.payload->name());
-  });
 
   const NodeAddress server_a = add_server(world, Duration::millis(500));
   const NodeAddress server_b = add_server(world, Duration::millis(400));
@@ -78,32 +70,35 @@ void main_flow() {
   sim.schedule(Duration::millis(800), [&] { mh.issue_request(server_c, "c"); });
   world.run_to_quiescence();
 
+  world.telemetry().tracer()->write_timeline(std::cout, "  ");
+
   std::cout << "  requests issued:    " << metrics.requests_issued << "\n"
             << "  results delivered:  " << metrics.results_delivered << "\n"
             << "  proxies created:    " << metrics.proxies_created << "\n"
-            << "  standalone delPref: " << wire.count("delPref") << "\n";
+            << "  standalone delPref: " << wire_count(world, "delPref")
+            << "\n";
 
   benchutil::claim("one proxy serves all three requests",
                    metrics.proxies_created == 1 &&
                        metrics.results_delivered == 3);
   benchutil::claim("standalone del-pref sent exactly once (Fig 4)",
-                   wire.count("delPref") == 1);
+                   wire_count(world, "delPref") == 1);
   benchutil::claim("proxy deleted once, after the last Ack",
                    metrics.proxies_deleted == 1 &&
                        world.mss(0).proxy_count() == 0);
   benchutil::claim("no duplicate deliveries", metrics.app_duplicates == 0);
+  benchutil::claim("invariant auditor clean",
+                   world.telemetry().auditor()->clean());
+  benchutil::export_artifacts(artifacts, world.telemetry(),
+                              world.simulator().now());
 }
 
 void race_variant() {
   benchutil::section(
       "Figure 4 closing race: del-pref arrives after the last Ack");
   harness::World world(fig4_config());
-  harness::MetricsCollector metrics;
-  WireLog wire;
+  harness::MetricsCollector metrics(&world.telemetry().registry());
   world.observers().add(&metrics);
-  world.wired().add_send_observer([&](const net::Envelope& envelope) {
-    wire.names.push_back(envelope.payload->name());
-  });
 
   const NodeAddress server_b = add_server(world, Duration::millis(400));
   const NodeAddress server_c = add_server(world, Duration::millis(386));
@@ -143,10 +138,11 @@ void race_variant() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner("E2", "multiple requests, proxy life-cycle",
                     "Figure 4 + §3.3/§3.4 of Endler/Silva/Okuda (ICDCS 2000)");
-  main_flow();
+  main_flow(options);
   race_variant();
   return benchutil::finish();
 }

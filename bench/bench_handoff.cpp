@@ -24,7 +24,8 @@ using common::Duration;
 
 // RDP: K requests pending (very slow server), one migration; measure the
 // deregAck's wire size and the hand-off latency.
-std::pair<double, double> rdp_handoff_cost(int pending) {
+std::pair<double, double> rdp_handoff_cost(
+    int pending, const benchutil::BenchOptions* artifacts = nullptr) {
   harness::ScenarioConfig config;
   config.seed = 100 + pending;
   config.num_mss = 2;
@@ -32,6 +33,7 @@ std::pair<double, double> rdp_handoff_cost(int pending) {
   config.num_servers = 0;
   config.wired.jitter = Duration::zero();
   config.wireless.jitter = Duration::zero();
+  if (artifacts != nullptr) config.telemetry.trace = artifacts->trace();
   harness::World world(config);
   harness::MetricsCollector metrics;
   world.observers().add(&metrics);
@@ -56,6 +58,10 @@ std::pair<double, double> rdp_handoff_cost(int pending) {
     mh.migrate(world.cell(1), Duration::millis(50));
   });
   world.run_for(Duration::seconds(2));  // stop before the results flow back
+  if (artifacts != nullptr) {
+    benchutil::export_artifacts(*artifacts, world.telemetry(),
+                                world.simulator().now());
+  }
   return {metrics.handoff_state_bytes.mean(), metrics.handoff_latency_ms.mean()};
 }
 
@@ -93,7 +99,8 @@ double mip_migration_cost(int pending) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner("E7", "hand-off state transfer",
                     "§3.2/§5: only the pref crosses the wire on migration");
 
@@ -103,7 +110,9 @@ int main() {
   const std::vector<int> pending_counts{0, 1, 2, 4, 8, 16, 32};
   std::vector<double> rdp_bytes, mip_bytes, rdp_latency;
   for (const int pending : pending_counts) {
-    const auto [bytes, latency] = rdp_handoff_cost(pending);
+    // The busiest hand-off (32 pending results) is the canonical artifact.
+    const auto [bytes, latency] = rdp_handoff_cost(
+        pending, pending == pending_counts.back() ? &options : nullptr);
     const double mip = mip_migration_cost(pending);
     rdp_bytes.push_back(bytes);
     mip_bytes.push_back(mip);

@@ -24,7 +24,7 @@ namespace {
 using namespace rdp;
 using common::Duration;
 
-void steady_state() {
+void steady_state(const benchutil::BenchOptions& options) {
   benchutil::section("(a) steady state, uniform roaming population");
   harness::ExperimentParams params;
   params.seed = 11;
@@ -35,6 +35,9 @@ void steady_state() {
   params.mean_dwell = Duration::seconds(30);
   params.mean_request_interval = Duration::seconds(10);
   params.service_time = Duration::millis(500);
+  params.trace_out = options.trace_path;
+  params.metrics_out = options.metrics_path;
+  params.metrics_period = Duration::seconds(30);
 
   const auto rdp = harness::run_rdp_experiment(params);
   const auto mip = harness::run_baseline_experiment(
@@ -176,10 +179,11 @@ void population_drift() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner("E5", "dynamic load balancing of the proxy role",
                     "§1/§4/§5 comparison with Mobile IP's fixed home agent");
-  steady_state();
+  steady_state(options);
   population_drift();
   return benchutil::finish();
 }

@@ -13,10 +13,12 @@
 #include "harness/experiment.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdp;
   using common::Duration;
 
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
+  bool first_combination = true;
   benchutil::banner("E9", "system-model conformance sweep",
                     "Fig 1 / §2 model and §5 guarantees, randomized");
 
@@ -64,6 +66,12 @@ int main() {
         params.mean_request_interval = Duration::seconds(6);
         params.service_time = Duration::millis(400);
         params.service_jitter = Duration::millis(400);
+        if (first_combination) {
+          first_combination = false;
+          params.trace_out = options.trace_path;
+          params.metrics_out = options.metrics_path;
+          params.metrics_period = Duration::seconds(20);
+        }
 
         const auto result = harness::run_rdp_experiment(params);
         issued += result.requests_issued;

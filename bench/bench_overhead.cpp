@@ -13,10 +13,11 @@
 #include "workload/driver.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdp;
   using common::Duration;
 
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner("E4", "protocol message overhead",
                     "§5 overhead analysis of Endler/Silva/Okuda (ICDCS 2000)");
 
@@ -39,6 +40,11 @@ int main() {
     params.service_jitter = Duration::seconds(2);
     params.mean_active = Duration::seconds(120);
     params.mean_inactive = Duration::seconds(10);
+    if (dwell == dwell_seconds.front()) {
+      params.trace_out = options.trace_path;
+      params.metrics_out = options.metrics_path;
+      params.metrics_period = Duration::seconds(10);
+    }
 
     const auto result = harness::run_rdp_experiment(params);
     const auto counter = [&](const char* name) -> std::uint64_t {

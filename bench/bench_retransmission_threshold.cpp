@@ -12,10 +12,11 @@
 #include "harness/experiment.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdp;
   using common::Duration;
 
+  const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner("E3", "retransmission rate vs cell residence time",
                     "§5 analysis (threshold T_wired + T_wireless)");
 
@@ -51,6 +52,12 @@ int main() {
     params.wired.jitter = common::Duration::zero();
     params.wireless.base_latency = t_wireless;
     params.wireless.jitter = common::Duration::zero();
+    if (multiplier == dwell_multipliers.front()) {
+      // The high-churn point is the interesting trace: artifacts export it.
+      params.trace_out = options.trace_path;
+      params.metrics_out = options.metrics_path;
+      params.metrics_period = Duration::seconds(10);
+    }
 
     const harness::ExperimentResult result = harness::run_rdp_experiment(params);
     const double rate =

@@ -33,12 +33,16 @@ struct Outcome {
   std::uint64_t migrations = 0;
 };
 
-Outcome run(int num_mh) {
+Outcome run(int num_mh, const benchutil::BenchOptions* artifacts = nullptr) {
   harness::ScenarioConfig config;
   config.seed = 1000 + static_cast<std::uint64_t>(num_mh);
   config.num_mss = 16;
   config.num_mh = num_mh;
   config.num_servers = 0;
+  if (artifacts != nullptr) {
+    config.telemetry.trace = artifacts->trace();
+    config.telemetry.metrics_period = Duration::seconds(20);
+  }
 
   harness::World world(config);
   harness::MetricsCollector metrics;
@@ -87,6 +91,10 @@ Outcome run(int num_mh) {
   world.run_for(Duration::seconds(400));
   for (auto& driver : drivers) driver->stop();
   world.run_for(Duration::seconds(60));
+  if (artifacts != nullptr) {
+    benchutil::export_artifacts(*artifacts, world.telemetry(),
+                                world.simulator().now());
+  }
 
   Outcome outcome;
   outcome.issued = metrics.requests_issued;
@@ -100,7 +108,9 @@ Outcome run(int num_mh) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rdp::benchutil::BenchOptions options =
+      rdp::benchutil::parse_options(argc, argv);
   benchutil::banner("E8", "traffic-information service at scale",
                     "§1 motivating workload (SIDAM) over the full RDP stack");
 
@@ -109,7 +119,8 @@ int main() {
                       "p95 latency (ms)"});
   std::vector<Outcome> outcomes;
   for (const int num_mh : {10, 40, 120, 240}) {
-    const Outcome outcome = run(num_mh);
+    // The smallest population is the canonical --trace run (tractable file).
+    const Outcome outcome = run(num_mh, num_mh == 10 ? &options : nullptr);
     outcomes.push_back(outcome);
     table.add_row({stats::Table::fmt(std::uint64_t(num_mh)),
                    stats::Table::fmt(outcome.issued),

@@ -7,10 +7,75 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "common/time.h"
+#include "obs/telemetry.h"
+
 namespace rdp::benchutil {
+
+// Artifact flags shared by every experiment binary:
+//   --trace out.json    write a Chrome/Perfetto trace-event file for the
+//                       binary's canonical scenario
+//   --metrics out.csv   write the metrics registry time series as CSV
+struct BenchOptions {
+  std::string trace_path;
+  std::string metrics_path;
+
+  [[nodiscard]] bool trace() const { return !trace_path.empty(); }
+  [[nodiscard]] bool metrics() const { return !metrics_path.empty(); }
+  [[nodiscard]] bool any() const { return trace() || metrics(); }
+};
+
+inline void usage(const char* argv0, std::ostream& os) {
+  os << "usage: " << argv0 << " [--trace out.json] [--metrics out.csv]\n";
+}
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << flag << " requires a file path\n";
+        usage(argv[0], std::cerr);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      options.trace_path = value("--trace");
+    } else if (arg == "--metrics") {
+      options.metrics_path = value("--metrics");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << argv[0] << ": unknown argument '" << arg << "'\n";
+      usage(argv[0], std::cerr);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+// Write the requested artifacts from a finished run's telemetry.  `now` is
+// the end-of-run sim time, used to close the metrics time series with one
+// final sample.
+inline void export_artifacts(const BenchOptions& options,
+                             obs::Telemetry& telemetry, common::SimTime now) {
+  if (options.trace() && telemetry.write_trace_json(options.trace_path)) {
+    std::cout << "trace-event JSON written to " << options.trace_path << "\n";
+  }
+  if (options.metrics()) {
+    telemetry.registry().sample_now(now);
+    if (telemetry.write_metrics_csv(options.metrics_path)) {
+      std::cout << "metrics CSV written to " << options.metrics_path << "\n";
+    }
+  }
+}
 
 inline void banner(const std::string& id, const std::string& title,
                    const std::string& paper_ref) {

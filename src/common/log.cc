@@ -1,18 +1,52 @@
 #include "common/log.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace rdp::common {
 
 Logger& Logger::global() {
-  static Logger logger;
-  return logger;
+  static Logger* logger = [] {
+    auto* l = new Logger();
+    if (const char* env = std::getenv("RDP_LOG_LEVEL")) {
+      l->set_level(parse_level(env, l->level()));
+    }
+    return l;
+  }();
+  return *logger;
+}
+
+LogLevel Logger::parse_level(const char* text, LogLevel fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  if (text[1] == '\0' && text[0] >= '0' && text[0] <= '4') {
+    return static_cast<LogLevel>(text[0] - '0');
+  }
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  std::string line = message;
+  if (clock_) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[t=%.3fms] ",
+                  clock_().to_seconds() * 1e3);
+    line = stamp + line;
+  }
   if (sink_) {
-    sink_(level, message);
+    sink_(level, line);
     return;
   }
   const char* tag = "?";
@@ -23,7 +57,7 @@ void Logger::write(LogLevel level, const std::string& message) {
     case LogLevel::kError: tag = "E"; break;
     case LogLevel::kOff:   return;
   }
-  std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+  std::fprintf(stderr, "[%s] %s\n", tag, line.c_str());
 }
 
 }  // namespace rdp::common

@@ -4,11 +4,17 @@
 // observer hooks (core/events.h), not logging; this logger exists for debug
 // diagnostics and example output.  The sink is injectable so tests can
 // capture output.
+//
+// The initial level of the global logger can be set from the environment:
+// RDP_LOG_LEVEL=debug|info|warn|error|off (or 0-4).  When a sim clock is
+// injected (set_clock), every line carries a virtual-time stamp.
 #pragma once
 
 #include <functional>
 #include <sstream>
 #include <string>
+
+#include "common/time.h"
 
 namespace rdp::common {
 
@@ -17,13 +23,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
+  using Clock = std::function<SimTime()>;
 
-  // Global logger used by the library.  Defaults to stderr at kWarn.
+  // Global logger used by the library.  Defaults to stderr at kWarn, or to
+  // the level named by RDP_LOG_LEVEL when set.
   static Logger& global();
 
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
   void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // Stamp every line with the simulation clock, e.g.
+  //   set_clock([&sim] { return sim.now(); });
+  // Pass nullptr (or a default-constructed Clock) to go back to unstamped
+  // lines.  The clock must outlive its installation.
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+
+  // "debug"/"info"/"warn"/"error"/"off" (any case) or "0".."4"; anything
+  // else returns `fallback`.
+  [[nodiscard]] static LogLevel parse_level(const char* text,
+                                            LogLevel fallback);
 
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
   void write(LogLevel level, const std::string& message);
@@ -31,6 +50,7 @@ class Logger {
  private:
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
+  Clock clock_;
 };
 
 namespace log_detail {

@@ -37,6 +37,11 @@ class RdpObserver {
  public:
   virtual ~RdpObserver() = default;
 
+  // Number of virtual hooks below.  When adding a hook, bump this AND add
+  // the matching fan-out override to ObserverList — the events_fanout test
+  // fails if either is forgotten.
+  static constexpr int kHookCount = 21;
+
   // --- proxy life-cycle (§3.3) ---
   virtual void on_proxy_created(SimTime, MhId, NodeAddress /*host*/,
                                 ProxyId) {}
@@ -46,7 +51,8 @@ class RdpObserver {
   // --- request path ---
   virtual void on_request_issued(SimTime, MhId, RequestId,
                                  NodeAddress /*server*/) {}
-  virtual void on_request_reached_proxy(SimTime, MhId, RequestId) {}
+  virtual void on_request_reached_proxy(SimTime, MhId, RequestId,
+                                        NodeAddress /*proxy_host*/) {}
   virtual void on_result_at_proxy(SimTime, MhId, RequestId,
                                   std::uint32_t /*seq*/) {}
   virtual void on_result_forwarded(SimTime, MhId, RequestId,
@@ -94,7 +100,15 @@ class RdpObserver {
 // Fans one event stream out to several observers.
 class ObserverList final : public RdpObserver {
  public:
+  // Lifetime contract: the list stores the raw pointer and does NOT take
+  // ownership — every added observer must outlive the ObserverList (or at
+  // least every entity that emits into it).  There is no remove(); the
+  // harness builds worlds whose observers live as long as the world, and
+  // ad-hoc observers (tests, benches) are stack objects destroyed after
+  // the simulation has drained.
   void add(RdpObserver* observer) { observers_.push_back(observer); }
+
+  [[nodiscard]] std::size_t size() const { return observers_.size(); }
 
   void on_proxy_created(SimTime t, MhId mh, NodeAddress host,
                         ProxyId p) override {
@@ -108,8 +122,9 @@ class ObserverList final : public RdpObserver {
                          NodeAddress s) override {
     for (auto* o : observers_) o->on_request_issued(t, mh, r, s);
   }
-  void on_request_reached_proxy(SimTime t, MhId mh, RequestId r) override {
-    for (auto* o : observers_) o->on_request_reached_proxy(t, mh, r);
+  void on_request_reached_proxy(SimTime t, MhId mh, RequestId r,
+                                NodeAddress host) override {
+    for (auto* o : observers_) o->on_request_reached_proxy(t, mh, r, host);
   }
   void on_result_at_proxy(SimTime t, MhId mh, RequestId r,
                           std::uint32_t seq) override {

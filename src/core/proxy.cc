@@ -118,7 +118,7 @@ void Proxy::handle_request(RequestId request, NodeAddress server,
   for (auto& [id, entry] : pending_) entry.del_pref_announced = false;
 
   runtime_.observer.on_request_reached_proxy(runtime_.simulator.now(), mh_,
-                                             request);
+                                             request, host_address_);
   runtime_.wired.send(host_address_, server,
                       net::make_message<MsgServerRequest>(
                           host_address_, id_, request, std::move(body),

@@ -15,6 +15,29 @@ void FaultInjector::arm() {
   sim::Simulator& simulator = world_.simulator();
   const common::SimTime now = simulator.now();
 
+  // Injected faults make behaviour the un-faulted protocol forbids
+  // legitimate (a crash orphans a proxy the directory later replaces; a
+  // degrade window reorders wire traffic under the causal layer), so widen
+  // the online auditor's allowances for the rest of the run.
+  if (obs::InvariantAuditor* auditor = world_.telemetry().auditor()) {
+    obs::InvariantAuditor::Config allow;
+    allow.allow_proxy_coexistence = !plan_.crashes.empty();
+    allow.allow_result_reordering =
+        !plan_.degrades.empty() || !plan_.partitions.empty() ||
+        !plan_.crashes.empty();
+    auditor->relax(allow);
+  }
+  recorder_ = world_.telemetry().flight_recorder();
+  if (recorder_ != nullptr) {
+    recorder_->record(now, "FAULT plan armed: " +
+                               std::to_string(plan_.crashes.size()) +
+                               " crashes, " +
+                               std::to_string(plan_.degrades.size()) +
+                               " degrades, " +
+                               std::to_string(plan_.partitions.size()) +
+                               " partitions");
+  }
+
   for (const FaultPlan::Crash& crash : plan_.crashes) {
     core::Mss& mss = world_.mss(crash.mss);
     const common::SimTime crash_time = common::SimTime::zero() + crash.at;
@@ -23,6 +46,10 @@ void FaultInjector::arm() {
         // Overlapping plan entries (or a crash racing a manual crash())
         // must not fail-stop a host twice.
         if (mss.crashed()) return;
+        if (recorder_ != nullptr) {
+          recorder_->record(world_.simulator().now(),
+                            "FAULT injecting crash of " + mss.id().str());
+        }
         mss.crash();
         ++crashes_;
       });
@@ -32,6 +59,10 @@ void FaultInjector::arm() {
     if (up_time >= now) {
       simulator.schedule(up_time - now, [this, &mss] {
         if (!mss.crashed()) return;
+        if (recorder_ != nullptr) {
+          recorder_->record(world_.simulator().now(),
+                            "FAULT restarting " + mss.id().str());
+        }
         mss.restart();
         ++restarts_;
       });
@@ -69,6 +100,10 @@ net::FaultDecision FaultInjector::decide(common::NodeAddress src,
     // inside or wholly outside the island still flows.
     if (partition.island.contains(src) != partition.island.contains(dst)) {
       decision.drop = true;
+      if (recorder_ != nullptr) {
+        recorder_->record(now, "FAULT partition drops " + src.str() + "->" +
+                                   dst.str());
+      }
       return decision;
     }
   }
@@ -79,6 +114,10 @@ net::FaultDecision FaultInjector::decide(common::NodeAddress src,
     if (now < from || now >= until) continue;
     if (degrade.drop > 0.0 && rng_.bernoulli(degrade.drop)) {
       decision.drop = true;
+      if (recorder_ != nullptr) {
+        recorder_->record(now, "FAULT degrade drops " + src.str() + "->" +
+                                   dst.str());
+      }
       return decision;
     }
     if (degrade.duplicate > 0.0 && rng_.bernoulli(degrade.duplicate)) {

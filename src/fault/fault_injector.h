@@ -47,6 +47,10 @@ class FaultInjector {
   harness::World& world_;
   FaultPlan plan_;
   common::Rng rng_;
+  // World-owned flight recorder (null when disabled); faults injected at
+  // the wire layer are invisible to RdpObserver hooks, so the injector
+  // records them here itself.
+  obs::FlightRecorder* recorder_ = nullptr;
   std::vector<ArmedPartition> partitions_;
   bool armed_ = false;
   std::uint64_t crashes_ = 0;

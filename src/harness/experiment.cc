@@ -120,9 +120,13 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   config.rdp = params.rdp;
   config.server.base_service_time = params.service_time;
   config.server.service_jitter = params.service_jitter;
+  config.telemetry.trace = !params.trace_out.empty();
+  config.telemetry.metrics_period = params.metrics_period;
 
   World world(config);
-  MetricsCollector metrics;
+  // Mirror the experiment metrics into the world's registry so the CSV
+  // export carries the labeled breakdowns alongside the wire counters.
+  MetricsCollector metrics(&world.telemetry().registry());
   ExperimentResult result;
   stats::Tally<std::string> wire_tally;
   drive<World, core::MobileHostAgent>(world, params, metrics, result,
@@ -130,6 +134,18 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   collect_common(metrics, wire_tally, world.wired(), world.counters(), result);
   if (world.causal() != nullptr) {
     result.causal_delayed = world.causal()->delayed_total();
+  }
+  if (const obs::InvariantAuditor* auditor = world.telemetry().auditor()) {
+    result.invariant_violations = auditor->violations().size();
+  }
+  if (!params.trace_out.empty()) {
+    world.telemetry().write_trace_json(params.trace_out);
+  }
+  if (!params.metrics_out.empty()) {
+    // Close the series with one final sample so a zero-period run still
+    // exports the end-state values.
+    world.telemetry().registry().sample_now(world.simulator().now());
+    world.telemetry().write_metrics_csv(params.metrics_out);
   }
 
   // Proxy placement across Mss's (E5): include zero entries for Mss's that

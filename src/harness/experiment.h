@@ -56,6 +56,13 @@ struct ExperimentParams {
   core::RdpConfig rdp;
   bool causal_order = true;
 
+  // Telemetry artifacts (RDP runs only; empty path disables the export).
+  std::string trace_out;    // Chrome trace-event JSON (enables span tracer)
+  std::string metrics_out;  // metrics time-series CSV
+  // Sampling period for the metrics time series; zero leaves only the
+  // final counter values in the export.
+  common::Duration metrics_period = common::Duration::zero();
+
   [[nodiscard]] int num_mss() const { return grid_width * grid_height; }
 };
 
@@ -99,6 +106,9 @@ struct ExperimentResult {
   std::uint64_t requests_dropped_preproxy = 0;
   // Messages the causal layer had to buffer to preserve causal order.
   std::uint64_t causal_delayed = 0;
+
+  // Online invariant audit (RDP runs; 0 on a clean run).
+  std::uint64_t invariant_violations = 0;
 
   // Raw counter snapshot for ad-hoc queries.
   std::map<std::string, std::uint64_t> counters;

@@ -9,11 +9,16 @@ void MetricsCollector::on_result_delivered(core::SimTime t, core::MhId,
                                            std::uint32_t /*attempt*/) {
   if (duplicate) {
     ++app_duplicates;
+    bump("rdp.results.duplicates");
     return;
   }
   ++results_delivered;
+  bump("rdp.results.delivered");
   if (auto it = issue_time_.find(r); it != issue_time_.end()) {
     delivery_latency_ms.add(t - it->second);
+    if (registry_ != nullptr) {
+      registry_->histogram("rdp.delivery.latency_ms").add(t - it->second);
+    }
   }
   if (final && finals_delivered_.insert(r).second) {
     ++requests_completed_at_mh_;

@@ -1,11 +1,20 @@
 // Metrics collection for experiments: an RdpObserver that aggregates the
 // quantities every table in EXPERIMENTS.md is built from.
+//
+// The collector sits on top of obs::MetricsRegistry: give it a registry
+// and every quantity is mirrored there as a named counter/histogram —
+// including labeled breakdowns the flat fields cannot express (losses per
+// reason, hand-offs per target Mss, proxies per host) — so experiment
+// artifacts (CSV/JSON exports, time series) come from one source.  The
+// public fields remain the cheap in-process read path.
 #pragma once
 
 #include <map>
 #include <set>
 
 #include "core/events.h"
+#include "obs/event_names.h"
+#include "obs/metrics_registry.h"
 #include "stats/counters.h"
 #include "stats/histogram.h"
 
@@ -13,6 +22,11 @@ namespace rdp::harness {
 
 class MetricsCollector final : public core::RdpObserver {
  public:
+  MetricsCollector() = default;
+  // Mirror every quantity into `registry` (must outlive the collector)
+  // under "rdp.*" metric names.
+  explicit MetricsCollector(obs::MetricsRegistry* registry)
+      : registry_(registry) {}
   // --- request path ---
   std::uint64_t requests_issued = 0;
   std::uint64_t requests_completed = 0;
@@ -64,25 +78,34 @@ class MetricsCollector final : public core::RdpObserver {
                          core::NodeAddress) override {
     ++requests_issued;
     issue_time_[r] = t;
+    bump("rdp.requests.issued");
   }
   void on_request_completed(core::SimTime, core::MhId,
                             core::RequestId) override {
     ++requests_completed;
+    bump("rdp.requests.completed");
   }
   void on_request_lost(core::SimTime, core::MhId, core::RequestId r,
-                       core::RequestLossReason) override {
+                       core::RequestLossReason reason) override {
     // A crash can report a request lost whose final result is already at
     // the Mh (only the Ack was still in flight), and a request can be
     // reported lost at more than one site; count each truly undelivered
     // request exactly once.
     if (finals_delivered_.contains(r)) return;
-    if (lost_requests_.insert(r).second) ++requests_lost;
+    if (lost_requests_.insert(r).second) {
+      ++requests_lost;
+      bump("rdp.requests.lost", {{"reason", obs::loss_reason_name(reason)}});
+    }
   }
   void on_result_forwarded(core::SimTime, core::MhId, core::RequestId,
                            std::uint32_t, core::NodeAddress,
                            std::uint32_t attempt, bool) override {
     ++result_forwards;
-    if (attempt > 1) ++retransmissions;
+    bump("rdp.results.forwarded");
+    if (attempt > 1) {
+      ++retransmissions;
+      bump("rdp.results.retransmissions");
+    }
   }
   void on_result_delivered(core::SimTime t, core::MhId, core::RequestId r,
                            std::uint32_t seq, bool final, bool duplicate,
@@ -90,54 +113,75 @@ class MetricsCollector final : public core::RdpObserver {
   void on_ack_forwarded(core::SimTime, core::MhId, core::RequestId,
                         std::uint32_t, bool) override {
     ++acks_forwarded;
+    bump("rdp.acks.forwarded");
   }
   void on_update_currentloc(core::SimTime, core::MhId, core::NodeAddress,
                             core::NodeAddress) override {
     ++update_currentloc;
+    bump("rdp.update_currentloc");
   }
   void on_handoff_completed(core::SimTime, core::MhId, core::MssId,
-                            core::MssId, core::Duration latency,
+                            core::MssId to, core::Duration latency,
                             std::size_t bytes) override {
     ++handoffs;
     handoff_latency_ms.add(latency);
     handoff_state_bytes.add(static_cast<double>(bytes));
+    if (registry_ != nullptr) {
+      registry_->counter("rdp.handoffs", {{"to", to.str()}}).increment();
+      registry_->histogram("rdp.handoff.latency_ms").add(latency);
+      registry_->histogram("rdp.handoff.state_bytes")
+          .add(static_cast<double>(bytes));
+    }
   }
-  void on_mh_registered(core::SimTime, core::MhId, core::MssId,
+  void on_mh_registered(core::SimTime, core::MhId, core::MssId mss,
                         core::Duration latency) override {
     ++registrations;
     registration_latency_ms.add(latency);
+    bump("rdp.registrations", {{"mss", mss.str()}});
   }
   void on_proxy_created(core::SimTime, core::MhId, core::NodeAddress host,
                         core::ProxyId) override {
     ++proxies_created;
     proxy_host_tally.add(host);
+    bump("rdp.proxies.created", {{"host", host.str()}});
   }
   void on_proxy_deleted(core::SimTime, core::MhId, core::NodeAddress,
                         core::ProxyId, bool via_gc) override {
     ++proxies_deleted;
     if (via_gc) ++proxies_gc;
+    bump("rdp.proxies.deleted", {{"via", via_gc ? "gc" : "handshake"}});
   }
   void on_delproxy_with_pending(core::SimTime, core::MhId,
                                 core::ProxyId) override {
     ++delproxy_with_pending;
+    bump("rdp.anomalies.delproxy_with_pending");
   }
-  void on_mss_crashed(core::SimTime, core::MssId, std::size_t,
+  void on_mss_crashed(core::SimTime, core::MssId mss, std::size_t,
                       std::size_t) override {
     ++mss_crashes;
+    bump("rdp.mss.crashes", {{"mss", mss.str()}});
   }
-  void on_mss_restarted(core::SimTime, core::MssId, std::size_t) override {
+  void on_mss_restarted(core::SimTime, core::MssId mss, std::size_t) override {
     ++mss_restarts;
+    bump("rdp.mss.restarts", {{"mss", mss.str()}});
   }
-  void on_proxy_restored(core::SimTime, core::MhId, core::NodeAddress,
+  void on_proxy_restored(core::SimTime, core::MhId, core::NodeAddress host,
                          core::ProxyId) override {
     ++proxies_restored;
+    bump("rdp.proxies.restored", {{"host", host.str()}});
   }
   void on_request_reissued(core::SimTime, core::MhId, core::RequestId,
                            int) override {
     ++requests_reissued;
+    bump("rdp.requests.reissued");
   }
 
  private:
+  void bump(const std::string& name, const obs::Labels& labels = {}) {
+    if (registry_ != nullptr) registry_->counter(name, labels).increment();
+  }
+
+  obs::MetricsRegistry* registry_ = nullptr;
   std::map<core::RequestId, core::SimTime> issue_time_;
   std::set<core::RequestId> finals_delivered_;
   std::set<core::RequestId> lost_requests_;

@@ -1,5 +1,8 @@
 #include "harness/world.h"
 
+#include <iostream>
+#include <unordered_map>
+
 namespace rdp::harness {
 
 World::World(ScenarioConfig config)
@@ -13,6 +16,36 @@ World::World(ScenarioConfig config)
                          : static_cast<net::WiredTransport&>(wired_)),
       wireless_(simulator_, common::Rng(config.seed ^ 0x51c64e6dULL),
                 config.wireless) {
+  // The auditor's allowances follow the scenario's ablations: disabling
+  // causal order permits result reordering at the proxy, and the Mh
+  // re-issue extension can legitimately give an Mh a second proxy (and
+  // replay old result sequence numbers) after a crash.
+  obs::TelemetryConfig telemetry_config = config_.telemetry;
+  if (config_.rdp.mh_reissue) {
+    telemetry_config.audit_rules.allow_proxy_coexistence = true;
+    telemetry_config.audit_rules.allow_result_reordering = true;
+  }
+  if (!config_.causal_order) {
+    telemetry_config.audit_rules.allow_result_reordering = true;
+  }
+  telemetry_ = std::make_unique<obs::Telemetry>(telemetry_config, &directory_);
+  telemetry_->attach(observers_);
+
+  // Per-type wire message counters, labeled by the payload's stable name.
+  wired_.add_send_observer(
+      [registry = &telemetry_->registry(),
+       cache = std::unordered_map<const char*,
+                                  obs::MetricsRegistry::Counter*>{}](
+          const net::Envelope& envelope) mutable {
+        const char* name = envelope.payload->name();
+        auto [it, inserted] = cache.try_emplace(name, nullptr);
+        if (inserted) {
+          it->second =
+              &registry->counter("net.wired.messages", {{"type", name}});
+        }
+        it->second->increment();
+      });
+
   runtime_ = std::make_unique<core::Runtime>(core::Runtime{
       simulator_, transport_, wireless_, directory_, config_.rdp, observers_,
       counters_});
@@ -47,6 +80,17 @@ World::World(ScenarioConfig config)
   for (int i = 0; i < config_.num_mh; ++i) {
     mhs_.push_back(std::make_unique<core::MobileHostAgent>(
         *runtime_, common::MhId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+World::~World() {
+  // Surface violations even when nobody polls the auditor; fatal mode has
+  // already aborted at the violation site.
+  obs::InvariantAuditor* auditor = telemetry_ ? telemetry_->auditor() : nullptr;
+  if (auditor != nullptr && !auditor->clean()) {
+    std::cerr << "[rdp-audit] WARNING: world tore down with invariant "
+                 "violations:\n";
+    auditor->write_report(std::cerr);
   }
 }
 

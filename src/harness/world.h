@@ -19,6 +19,7 @@
 #include "core/server.h"
 #include "net/wired.h"
 #include "net/wireless.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "stats/counters.h"
 
@@ -34,6 +35,12 @@ struct ScenarioConfig {
   // proxies survive a crash (see src/fault and core::ProxyCheckpointStore).
   bool proxy_checkpointing = false;
   core::ProxyCheckpointStore::Config checkpoint;
+  // Observability: invariant auditing + flight recorder are on by default;
+  // span tracing and periodic metrics sampling are opt-in.  The World
+  // derives the auditor's rule allowances from the ablation flags above
+  // (e.g. causal_order=false permits result reordering), so scenarios only
+  // need to touch this for the opt-in pieces.
+  obs::TelemetryConfig telemetry;
   net::WiredConfig wired;
   net::WirelessConfig wireless;
   core::RdpConfig rdp;
@@ -43,6 +50,7 @@ struct ScenarioConfig {
 class World {
  public:
   explicit World(ScenarioConfig config);
+  ~World();
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -63,6 +71,10 @@ class World {
   [[nodiscard]] core::ProxyCheckpointStore* checkpoint_store() {
     return checkpoint_store_.get();
   }
+  // Observability bundle (always present; individual components follow
+  // config().telemetry).  Labeled wire-message counters land in
+  // telemetry().registry() under "net.wired.messages"{type=...}.
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
 
   [[nodiscard]] int num_mss() const { return static_cast<int>(msses_.size()); }
   [[nodiscard]] core::Mss& mss(int i) { return *msses_.at(i); }
@@ -104,6 +116,7 @@ class World {
   core::Directory directory_;
   stats::CounterRegistry counters_;
   core::ObserverList observers_;
+  std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<core::Runtime> runtime_;
   std::unique_ptr<core::ProxyCheckpointStore> checkpoint_store_;
   std::vector<std::unique_ptr<core::Mss>> msses_;

@@ -1,0 +1,21 @@
+// Stable textual names for observer-event enums, shared by every renderer
+// (flight recorder, span tracer, metric labels) so artifacts agree.
+#pragma once
+
+#include "core/events.h"
+
+namespace rdp::obs {
+
+[[nodiscard]] constexpr const char* loss_reason_name(
+    core::RequestLossReason reason) {
+  switch (reason) {
+    case core::RequestLossReason::kProxyGone: return "proxy-gone";
+    case core::RequestLossReason::kMhLeft: return "mh-left";
+    case core::RequestLossReason::kMssCrashed: return "mss-crashed";
+    case core::RequestLossReason::kReissueExhausted:
+      return "reissue-exhausted";
+  }
+  return "?";
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,187 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+#include "obs/event_names.h"
+
+namespace rdp::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(common::SimTime at, std::string line) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Entry{at, std::move(line)});
+    return;
+  }
+  ring_[next_] = Entry{at, std::move(line)};
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::size_t FlightRecorder::size() const { return ring_.size(); }
+
+void FlightRecorder::dump(std::ostream& os) const {
+  os << "-- flight recorder: last " << ring_.size() << " of " << total_
+     << " events --\n";
+  char stamp[32];
+  auto write = [&](const Entry& entry) {
+    std::snprintf(stamp, sizeof(stamp), "%12.3f ms  ",
+                  entry.at.to_seconds() * 1e3);
+    os << stamp << entry.line << '\n';
+  };
+  for (std::size_t i = next_; i < ring_.size(); ++i) write(ring_[i]);
+  for (std::size_t i = 0; i < next_; ++i) write(ring_[i]);
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  loss_dumped_ = false;
+}
+
+void FlightRecorder::on_proxy_created(common::SimTime t, core::MhId mh,
+                                      core::NodeAddress host, core::ProxyId p) {
+  record(t, "proxy_created " + p.str() + " for " + mh.str() + " at " +
+                host.str());
+}
+
+void FlightRecorder::on_proxy_deleted(common::SimTime t, core::MhId mh,
+                                      core::NodeAddress host, core::ProxyId p,
+                                      bool via_gc) {
+  record(t, "proxy_deleted " + p.str() + " for " + mh.str() + " at " +
+                host.str() + (via_gc ? " [gc]" : ""));
+}
+
+void FlightRecorder::on_request_issued(common::SimTime t, core::MhId mh,
+                                       core::RequestId r,
+                                       core::NodeAddress server) {
+  record(t, "request_issued " + r.str() + " by " + mh.str() + " to " +
+                server.str());
+}
+
+void FlightRecorder::on_request_reached_proxy(common::SimTime t, core::MhId,
+                                              core::RequestId r,
+                                              core::NodeAddress host) {
+  record(t, "request_reached_proxy " + r.str() + " at " + host.str());
+}
+
+void FlightRecorder::on_result_at_proxy(common::SimTime t, core::MhId,
+                                        core::RequestId r, std::uint32_t seq) {
+  record(t, "result_at_proxy " + r.str() + " seq=" + std::to_string(seq));
+}
+
+void FlightRecorder::on_result_forwarded(common::SimTime t, core::MhId,
+                                         core::RequestId r, std::uint32_t seq,
+                                         core::NodeAddress to,
+                                         std::uint32_t attempt, bool del_pref) {
+  record(t, "result_forwarded " + r.str() + " seq=" + std::to_string(seq) +
+                " attempt=" + std::to_string(attempt) + " to=" + to.str() +
+                (del_pref ? " [del-pref]" : ""));
+}
+
+void FlightRecorder::on_result_delivered(common::SimTime t, core::MhId mh,
+                                         core::RequestId r, std::uint32_t seq,
+                                         bool final, bool duplicate,
+                                         std::uint32_t attempt) {
+  record(t, "result_delivered " + r.str() + " seq=" + std::to_string(seq) +
+                " at " + mh.str() + " attempt=" + std::to_string(attempt) +
+                (final ? " [final]" : "") + (duplicate ? " [dup]" : ""));
+}
+
+void FlightRecorder::on_ack_forwarded(common::SimTime t, core::MhId,
+                                      core::RequestId r, std::uint32_t seq,
+                                      bool del_proxy) {
+  record(t, "ack_forwarded " + r.str() + " seq=" + std::to_string(seq) +
+                (del_proxy ? " [del-proxy]" : ""));
+}
+
+void FlightRecorder::on_request_completed(common::SimTime t, core::MhId,
+                                          core::RequestId r) {
+  record(t, "request_completed " + r.str());
+}
+
+void FlightRecorder::on_request_lost(common::SimTime t, core::MhId mh,
+                                     core::RequestId r,
+                                     core::RequestLossReason reason) {
+  record(t, std::string("REQUEST_LOST ") + r.str() + " of " + mh.str() +
+                " reason=" + loss_reason_name(reason));
+  if (loss_sink_ != nullptr && !loss_dumped_) {
+    loss_dumped_ = true;
+    dump(*loss_sink_);
+  }
+}
+
+void FlightRecorder::on_handoff_started(common::SimTime t, core::MhId mh,
+                                        core::MssId from, core::MssId to) {
+  record(t, "handoff_started " + mh.str() + " " + from.str() + "->" +
+                to.str());
+}
+
+void FlightRecorder::on_handoff_completed(common::SimTime t, core::MhId mh,
+                                          core::MssId from, core::MssId to,
+                                          common::Duration latency,
+                                          std::size_t bytes) {
+  record(t, "handoff_completed " + mh.str() + " " + from.str() + "->" +
+                to.str() + " (" + latency.str() + ", " +
+                std::to_string(bytes) + " B)");
+}
+
+void FlightRecorder::on_update_currentloc(common::SimTime t, core::MhId mh,
+                                          core::NodeAddress host,
+                                          core::NodeAddress loc) {
+  record(t, "update_currentLoc " + mh.str() + " proxy@" + host.str() +
+                " -> " + loc.str());
+}
+
+void FlightRecorder::on_mh_registered(common::SimTime t, core::MhId mh,
+                                      core::MssId mss,
+                                      common::Duration since_greet) {
+  record(t, "mh_registered " + mh.str() + " at " + mss.str() + " (" +
+                since_greet.str() + ")");
+}
+
+void FlightRecorder::on_stale_ack_dropped(common::SimTime t, core::MhId mh,
+                                          core::RequestId r) {
+  record(t, "stale_ack_dropped " + r.str() + " from " + mh.str());
+}
+
+void FlightRecorder::on_delproxy_with_pending(common::SimTime t, core::MhId mh,
+                                              core::ProxyId p) {
+  record(t, "ANOMALY delproxy_with_pending " + p.str() + " of " + mh.str());
+}
+
+void FlightRecorder::on_orphaned_proxy(common::SimTime t, core::MhId mh,
+                                       core::ProxyId p) {
+  record(t, "orphaned_proxy " + p.str() + " of " + mh.str());
+}
+
+void FlightRecorder::on_mss_crashed(common::SimTime t, core::MssId mss,
+                                    std::size_t proxies, std::size_t mhs) {
+  record(t, "MSS_CRASHED " + mss.str() + " (" + std::to_string(proxies) +
+                " proxies lost, " + std::to_string(mhs) + " Mhs detached)");
+}
+
+void FlightRecorder::on_mss_restarted(common::SimTime t, core::MssId mss,
+                                      std::size_t restored) {
+  record(t, "mss_restarted " + mss.str() + " (" + std::to_string(restored) +
+                " proxies restored)");
+}
+
+void FlightRecorder::on_proxy_restored(common::SimTime t, core::MhId mh,
+                                       core::NodeAddress host,
+                                       core::ProxyId p) {
+  record(t, "proxy_restored " + p.str() + " for " + mh.str() + " at " +
+                host.str());
+}
+
+void FlightRecorder::on_request_reissued(common::SimTime t, core::MhId mh,
+                                         core::RequestId r, int attempt) {
+  record(t, "request_reissued " + r.str() + " by " + mh.str() +
+                " attempt=" + std::to_string(attempt));
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,103 @@
+// Bounded ring buffer of recent protocol events ("flight recorder").
+//
+// Keeps the last N events of the observer stream as formatted lines so
+// that, when something goes wrong late in a long run — a test failure, an
+// invariant violation, an on_request_lost — the investigation starts with
+// the tail of protocol history instead of a bare counter.  The fault
+// subsystem also records its injected faults and wire-level drop decisions
+// here (FaultInjector::set_flight_recorder), which plain RdpObserver hooks
+// never see.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+
+namespace rdp::obs {
+
+class FlightRecorder final : public core::RdpObserver {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 512);
+
+  // Append one line; oldest entries are overwritten once full.  Public so
+  // non-observer subsystems (fault injection, benches) can add context.
+  void record(common::SimTime at, std::string line);
+
+  // Write the retained tail, oldest first.
+  void dump(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Entries currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  // Entries ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  void clear();
+
+  // When set, an on_request_lost event dumps the tail to the stream (one
+  // dump per recorder; reset with clear()).  Off by default because some
+  // experiments lose requests by design at scale.
+  void dump_on_loss(std::ostream* os) { loss_sink_ = os; }
+
+  // --- RdpObserver ---------------------------------------------------------
+  void on_proxy_created(common::SimTime, core::MhId, core::NodeAddress,
+                        core::ProxyId) override;
+  void on_proxy_deleted(common::SimTime, core::MhId, core::NodeAddress,
+                        core::ProxyId, bool) override;
+  void on_request_issued(common::SimTime, core::MhId, core::RequestId,
+                         core::NodeAddress) override;
+  void on_request_reached_proxy(common::SimTime, core::MhId, core::RequestId,
+                                core::NodeAddress) override;
+  void on_result_at_proxy(common::SimTime, core::MhId, core::RequestId,
+                          std::uint32_t) override;
+  void on_result_forwarded(common::SimTime, core::MhId, core::RequestId,
+                           std::uint32_t, core::NodeAddress, std::uint32_t,
+                           bool) override;
+  void on_result_delivered(common::SimTime, core::MhId, core::RequestId,
+                           std::uint32_t, bool, bool, std::uint32_t) override;
+  void on_ack_forwarded(common::SimTime, core::MhId, core::RequestId,
+                        std::uint32_t, bool) override;
+  void on_request_completed(common::SimTime, core::MhId,
+                            core::RequestId) override;
+  void on_request_lost(common::SimTime, core::MhId, core::RequestId,
+                       core::RequestLossReason) override;
+  void on_handoff_started(common::SimTime, core::MhId, core::MssId,
+                          core::MssId) override;
+  void on_handoff_completed(common::SimTime, core::MhId, core::MssId,
+                            core::MssId, common::Duration,
+                            std::size_t) override;
+  void on_update_currentloc(common::SimTime, core::MhId, core::NodeAddress,
+                            core::NodeAddress) override;
+  void on_mh_registered(common::SimTime, core::MhId, core::MssId,
+                        common::Duration) override;
+  void on_stale_ack_dropped(common::SimTime, core::MhId,
+                            core::RequestId) override;
+  void on_delproxy_with_pending(common::SimTime, core::MhId,
+                                core::ProxyId) override;
+  void on_orphaned_proxy(common::SimTime, core::MhId, core::ProxyId) override;
+  void on_mss_crashed(common::SimTime, core::MssId, std::size_t,
+                      std::size_t) override;
+  void on_mss_restarted(common::SimTime, core::MssId, std::size_t) override;
+  void on_proxy_restored(common::SimTime, core::MhId, core::NodeAddress,
+                         core::ProxyId) override;
+  void on_request_reissued(common::SimTime, core::MhId, core::RequestId,
+                           int) override;
+
+ private:
+  struct Entry {
+    common::SimTime at;
+    std::string line;
+  };
+
+  std::size_t capacity_;
+  std::vector<Entry> ring_;
+  std::size_t next_ = 0;  // slot the next record lands in once full
+  std::uint64_t total_ = 0;
+  std::ostream* loss_sink_ = nullptr;
+  bool loss_dumped_ = false;
+};
+
+}  // namespace rdp::obs

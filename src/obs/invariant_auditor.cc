@@ -1,0 +1,239 @@
+#include "obs/invariant_auditor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/directory.h"
+#include "obs/flight_recorder.h"
+
+namespace rdp::obs {
+
+InvariantAuditor::InvariantAuditor(Config config,
+                                   const core::Directory* directory)
+    : config_(config), directory_(directory) {
+  if (config_.honor_fatal_env) {
+    const char* env = std::getenv("RDP_AUDIT_FATAL");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+      config_.fatal = true;
+    }
+  }
+}
+
+void InvariantAuditor::violate(common::SimTime at, const std::string& what) {
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%.3f", at.to_seconds() * 1e3);
+  violations_.push_back("t=" + std::string(stamp) + "ms " + what);
+  if (violations_.size() == 1 && recorder_ != nullptr) {
+    std::cerr << "[rdp-audit] first invariant violation; event tail:\n";
+    recorder_->dump(std::cerr);
+  }
+  if (config_.fatal) {
+    std::cerr << "[rdp-audit] FATAL invariant violation: "
+              << violations_.back() << "\n";
+    std::abort();
+  }
+}
+
+void InvariantAuditor::on_proxy_created(common::SimTime t, core::MhId mh,
+                                        core::NodeAddress host,
+                                        core::ProxyId p) {
+  auto& live = live_proxies_[mh];
+  live.insert(host);
+  if (live.size() > 1 && !config_.allow_proxy_coexistence) {
+    violate(t, "R1 " + mh.str() + " has " + std::to_string(live.size()) +
+                   " live proxies after " + p.str() + " created at " +
+                   host.str());
+  }
+}
+
+void InvariantAuditor::on_ack_forwarded(common::SimTime, core::MhId mh,
+                                        core::RequestId, std::uint32_t,
+                                        bool del_proxy) {
+  if (!del_proxy) return;
+  // The del-proxy ack is the teardown order in flight: the protocol is done
+  // with the proxy the moment the ack leaves the Mss, but on_proxy_deleted
+  // fires only when the order lands one wire latency later.  A fast-moving
+  // Mh can issue its next request (and get a new proxy) inside that window,
+  // so the old incarnation stops counting against R1 now.
+  auto it = live_proxies_.find(mh);
+  if (it == live_proxies_.end()) return;
+  auto& closing = closing_proxies_[mh];
+  closing.insert(it->second.begin(), it->second.end());
+  it->second.clear();
+}
+
+void InvariantAuditor::on_proxy_deleted(common::SimTime t, core::MhId mh,
+                                        core::NodeAddress host, core::ProxyId p,
+                                        bool via_gc) {
+  live_proxies_[mh].erase(host);
+  closing_proxies_[mh].erase(host);
+  if (via_gc || config_.allow_delproxy_with_pending) return;
+  // R4: a del-proxy teardown must not discard pending requests.  GC'd
+  // abandoned proxies report their pending requests lost *before* the
+  // deletion event, so anything still open here was silently dropped.
+  // Only requests bound to *this* host count: a revisit-pattern Mh's newest
+  // request may already be pending at a fresh proxy while the drained old
+  // one is torn down.
+  for (auto it = requests_.lower_bound(core::RequestId(mh, 0));
+       it != requests_.end() && it->first.mh() == mh; ++it) {
+    const RequestBook& book = it->second;
+    if (book.reached_proxy && book.proxy_host == host && !book.completed &&
+        !book.lost) {
+      violate(t, "R4 " + p.str() + " deleted while " + it->first.str() +
+                     " still pending");
+    }
+  }
+}
+
+void InvariantAuditor::on_request_issued(common::SimTime, core::MhId,
+                                         core::RequestId r,
+                                         core::NodeAddress) {
+  // Re-issue of a lost request lands here again; keep the original book.
+  auto [it, inserted] = requests_.try_emplace(r);
+  if (inserted) ++issued_;
+  (void)it;
+}
+
+void InvariantAuditor::on_request_reached_proxy(common::SimTime t, core::MhId,
+                                                core::RequestId r,
+                                                core::NodeAddress host) {
+  auto it = requests_.find(r);
+  if (it == requests_.end()) {
+    violate(t, "R2 " + r.str() + " reached a proxy but was never issued");
+    return;
+  }
+  it->second.reached_proxy = true;
+  // Latest binding wins: a re-issued or re-forwarded request is served by
+  // whichever proxy saw it last.
+  it->second.proxy_host = host;
+}
+
+void InvariantAuditor::on_result_at_proxy(common::SimTime t, core::MhId,
+                                          core::RequestId r,
+                                          std::uint32_t seq) {
+  auto it = requests_.find(r);
+  if (it == requests_.end()) {
+    violate(t, "R2 result (seq " + std::to_string(seq) + ") at proxy for " +
+                   r.str() + " which was never issued");
+    return;
+  }
+  RequestBook& book = it->second;
+  if (book.any_seq_at_proxy && seq <= book.max_seq_at_proxy &&
+      !config_.allow_result_reordering) {
+    violate(t, "R3 " + r.str() + " result seq " + std::to_string(seq) +
+                   " at proxy after seq " +
+                   std::to_string(book.max_seq_at_proxy));
+  }
+  book.any_seq_at_proxy = true;
+  if (seq > book.max_seq_at_proxy) book.max_seq_at_proxy = seq;
+}
+
+void InvariantAuditor::on_result_delivered(common::SimTime t, core::MhId mh,
+                                           core::RequestId r, std::uint32_t seq,
+                                           bool final, bool duplicate,
+                                           std::uint32_t) {
+  auto it = requests_.find(r);
+  if (it == requests_.end()) {
+    violate(t, "R2 result (seq " + std::to_string(seq) + ") delivered to " +
+                   mh.str() + " for " + r.str() + " which was never issued");
+    return;
+  }
+  RequestBook& book = it->second;
+  book.delivered_any = true;
+  if (final && !duplicate) {
+    if (book.final_delivered) {
+      violate(t, "R5 " + r.str() +
+                     " final result delivered twice without the duplicate "
+                     "filter tripping (seq " +
+                     std::to_string(seq) + ")");
+    } else {
+      book.final_delivered = true;
+      ++finished_;
+    }
+  }
+}
+
+void InvariantAuditor::on_request_completed(common::SimTime t, core::MhId,
+                                            core::RequestId r) {
+  auto it = requests_.find(r);
+  if (it == requests_.end()) {
+    violate(t, "R2 " + r.str() + " completed but was never issued");
+    return;
+  }
+  RequestBook& book = it->second;
+  if (!book.delivered_any) {
+    violate(t, "R6 " + r.str() +
+                   " completed at the proxy before any delivery to the Mh");
+  }
+  book.completed = true;
+}
+
+void InvariantAuditor::on_request_lost(common::SimTime, core::MhId,
+                                       core::RequestId r,
+                                       core::RequestLossReason) {
+  // Loss is never an online violation: pre-proxy drops during hand-off are
+  // §4's "deferred to QRPC" case, and ablations lose requests by design.
+  // The books only record it for check_quiesced().
+  RequestBook& book = requests_[r];
+  if (!book.lost) {
+    book.lost = true;
+    ++lost_;
+  }
+}
+
+void InvariantAuditor::on_delproxy_with_pending(common::SimTime, core::MhId,
+                                                core::ProxyId) {
+  // An *attempted* del-proxy with pending requests is the protocol's
+  // refusal path working (the proxy answers MsgPrefRestore), not a broken
+  // invariant; R4 fires only if a deletion actually discards work.
+}
+
+void InvariantAuditor::on_mss_crashed(common::SimTime, core::MssId mss,
+                                      std::size_t, std::size_t) {
+  // A crash destroys every proxy hosted at that Mss without per-proxy
+  // deletion events; drop them from the live set so a post-crash re-create
+  // does not look like coexistence.
+  if (directory_ == nullptr) return;
+  const core::NodeAddress host = directory_->mss_address(mss);
+  for (auto& [mh, live] : live_proxies_) live.erase(host);
+  for (auto& [mh, closing] : closing_proxies_) closing.erase(host);
+}
+
+void InvariantAuditor::on_proxy_restored(common::SimTime t, core::MhId mh,
+                                         core::NodeAddress host,
+                                         core::ProxyId p) {
+  auto& live = live_proxies_[mh];
+  live.insert(host);
+  if (live.size() > 1 && !config_.allow_proxy_coexistence) {
+    violate(t, "R1 " + mh.str() + " has " + std::to_string(live.size()) +
+                   " live proxies after " + p.str() + " restored at " +
+                   host.str());
+  }
+}
+
+bool InvariantAuditor::check_quiesced() {
+  bool balanced = true;
+  for (const auto& [request, book] : requests_) {
+    if (!book.final_delivered && !book.lost) {
+      balanced = false;
+      violations_.push_back("quiesce: " + request.str() +
+                            " neither delivered nor lost");
+    }
+  }
+  if (!balanced && config_.fatal) {
+    write_report(std::cerr);
+    std::abort();
+  }
+  return balanced;
+}
+
+void InvariantAuditor::write_report(std::ostream& os) const {
+  os << "[rdp-audit] issued=" << issued_ << " finished=" << finished_
+     << " lost=" << lost_ << " violations=" << violations_.size() << "\n";
+  for (const std::string& violation : violations_) {
+    os << "[rdp-audit]   " << violation << "\n";
+  }
+}
+
+}  // namespace rdp::obs

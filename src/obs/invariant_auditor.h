@@ -1,0 +1,168 @@
+// Online auditor for the paper's delivery guarantees.
+//
+// Watches the observer stream of a running system and checks, while the
+// simulation executes, the properties §3–§4 of Endler/Silva/Okuda promise:
+//
+//   R1  at most one live proxy per mobile host (§3.3's "the proxy stays at
+//       the Mss where the request was issued") — relaxed when the Mh
+//       re-issue extension is on, because a crash of the pref-holding Mss
+//       legitimately leaves a doomed proxy behind while the re-issued
+//       request creates a fresh one.  A proxy whose del-proxy ack has been
+//       forwarded is "closing", not live: its deletion order is still on
+//       the wire, and a new proxy created in that window is legal;
+//   R2  no result delivered to an Mh that never issued the request;
+//   R3  result sequence numbers arrive at the proxy in increasing order per
+//       request (stream results, §4) — relaxed when causal ordering is off
+//       or re-issue can re-query old sequence numbers;
+//   R4  a del-proxy teardown never removes a proxy that still has pending
+//       requests (GC'd abandoned proxies first report their pending
+//       requests as lost, so they are exempt);
+//   R5  exactly-once application delivery: a non-duplicate *final* delivery
+//       happens at most once per request (assumption-5 filter);
+//   R6  a request completes at the proxy only after its result was
+//       delivered to the Mh (Ack precedes completion).
+//
+// Quiesce accounting — delivered + lost == issued once the event queue
+// drains — cannot be checked online; call check_quiesced() after
+// run_to_quiescence().
+//
+// A violation is recorded (and optionally aborts the process: set
+// Config::fatal or export RDP_AUDIT_FATAL=1, which is how CI turns every
+// test into an invariant check).  When a FlightRecorder is attached, the
+// first violation dumps the recent event tail to stderr.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+
+namespace rdp::core {
+class Directory;
+}
+
+namespace rdp::obs {
+
+class FlightRecorder;
+
+class InvariantAuditor final : public core::RdpObserver {
+ public:
+  struct Config {
+    // R1 off: re-issue after a crash may briefly give an Mh two proxies.
+    bool allow_proxy_coexistence = false;
+    // R3 off: no causal order, or re-query can replay old sequence numbers.
+    bool allow_result_reordering = false;
+    // R4 off: ablations that race del-proxy against in-flight requests.
+    bool allow_delproxy_with_pending = false;
+    // Abort the process on the first violation (CI mode).  OR-ed with the
+    // RDP_AUDIT_FATAL environment variable.
+    bool fatal = false;
+    // Tests that trip the auditor on purpose set this to false so a CI run
+    // with RDP_AUDIT_FATAL=1 does not abort on the expected violation.
+    bool honor_fatal_env = true;
+  };
+
+  InvariantAuditor() : InvariantAuditor(Config{}, nullptr) {}
+  explicit InvariantAuditor(Config config,
+                            const core::Directory* directory = nullptr);
+
+  // When set, the first violation dumps the recorder tail to stderr.
+  void set_flight_recorder(const FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
+  // Widen the allowances (never narrows; `fatal` is unaffected).  The
+  // fault injector calls this when arming a plan: injected crashes and
+  // wire-level drops legitimately produce proxy coexistence and result
+  // reordering that the un-faulted protocol forbids.
+  void relax(const Config& allow) {
+    config_.allow_proxy_coexistence |= allow.allow_proxy_coexistence;
+    config_.allow_result_reordering |= allow.allow_result_reordering;
+    config_.allow_delproxy_with_pending |= allow.allow_delproxy_with_pending;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  // Requests observed so far (issued / delivered at least once / lost).
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t finished() const { return finished_; }
+  [[nodiscard]] std::uint64_t lost() const { return lost_; }
+
+  // Post-quiescence accounting: every issued request either delivered its
+  // final result or was reported lost.  Records a violation per straggler.
+  // Returns true when the books balance.
+  bool check_quiesced();
+
+  void write_report(std::ostream& os) const;
+
+  // --- RdpObserver ---------------------------------------------------------
+  void on_proxy_created(common::SimTime, core::MhId, core::NodeAddress,
+                        core::ProxyId) override;
+  void on_proxy_deleted(common::SimTime, core::MhId, core::NodeAddress,
+                        core::ProxyId, bool) override;
+  void on_request_issued(common::SimTime, core::MhId, core::RequestId,
+                         core::NodeAddress) override;
+  void on_request_reached_proxy(common::SimTime, core::MhId, core::RequestId,
+                                core::NodeAddress) override;
+  void on_result_at_proxy(common::SimTime, core::MhId, core::RequestId,
+                          std::uint32_t) override;
+  void on_result_delivered(common::SimTime, core::MhId, core::RequestId,
+                           std::uint32_t, bool, bool, std::uint32_t) override;
+  void on_request_completed(common::SimTime, core::MhId,
+                            core::RequestId) override;
+  void on_request_lost(common::SimTime, core::MhId, core::RequestId,
+                       core::RequestLossReason) override;
+  void on_ack_forwarded(common::SimTime, core::MhId, core::RequestId,
+                        std::uint32_t, bool) override;
+  void on_delproxy_with_pending(common::SimTime, core::MhId,
+                                core::ProxyId) override;
+  void on_mss_crashed(common::SimTime, core::MssId, std::size_t,
+                      std::size_t) override;
+  void on_proxy_restored(common::SimTime, core::MhId, core::NodeAddress,
+                         core::ProxyId) override;
+
+ private:
+  struct RequestBook {
+    bool reached_proxy = false;
+    // Host of the proxy the request last reached; a revisit-pattern Mh can
+    // have its newest request served by a fresh proxy while the previous
+    // one is still closing, so R4 must blame deletions per-proxy.
+    core::NodeAddress proxy_host;  // default-invalid until it reaches one
+    bool delivered_any = false;      // at least one downlink reached the app
+    bool final_delivered = false;    // non-duplicate final delivery seen
+    bool completed = false;
+    bool lost = false;
+    std::uint32_t max_seq_at_proxy = 0;
+    bool any_seq_at_proxy = false;
+  };
+
+  void violate(common::SimTime at, const std::string& what);
+
+  Config config_;
+  const core::Directory* directory_;
+  const FlightRecorder* recorder_ = nullptr;
+
+  std::vector<std::string> violations_;
+  std::map<core::RequestId, RequestBook> requests_;
+  // Live proxies per Mh: the hosting address of each live incarnation.
+  std::map<core::MhId, std::set<core::NodeAddress>> live_proxies_;
+  // Proxies whose del-proxy ack has been forwarded but whose deletion has
+  // not landed yet (the teardown order is still on the wire).  They no
+  // longer count against R1: a fast-moving Mh may legitimately create its
+  // next proxy inside that window.
+  std::map<core::MhId, std::set<core::NodeAddress>> closing_proxies_;
+
+  std::uint64_t issued_ = 0;
+  std::uint64_t finished_ = 0;  // final delivery seen
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace rdp::obs

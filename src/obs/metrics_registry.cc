@@ -1,0 +1,170 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+namespace rdp::obs {
+
+std::string format_labels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name,
+                                                   const Labels& labels) {
+  auto& slot = counters_[Key{name, format_labels(labels)}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(const std::string& name,
+                                               const Labels& labels) {
+  auto& slot = gauges_[Key{name, format_labels(labels)}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+stats::Histogram& MetricsRegistry::histogram(const std::string& name,
+                                             const Labels& labels) {
+  auto& slot = histograms_[Key{name, format_labels(labels)}];
+  if (!slot) slot = std::make_unique<stats::Histogram>();
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  auto it = counters_.find(Key{name, format_labels(labels)});
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, counter] : counters_) {
+    if (key.name == name) sum += counter->value();
+  }
+  return sum;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_by_label(
+    const std::string& name, const std::string& label_key) const {
+  std::map<std::string, std::uint64_t> out;
+  const std::string prefix = label_key + '=';
+  for (const auto& [key, counter] : counters_) {
+    if (key.name != name) continue;
+    // Scan the canonical "k=v,k=v" string for label_key.
+    std::string value;
+    std::size_t pos = 0;
+    while (pos < key.labels.size()) {
+      std::size_t end = key.labels.find(',', pos);
+      if (end == std::string::npos) end = key.labels.size();
+      const std::string_view part(key.labels.data() + pos, end - pos);
+      if (part.substr(0, prefix.size()) == prefix) {
+        value = std::string(part.substr(prefix.size()));
+        break;
+      }
+      pos = end + 1;
+    }
+    out[value] += counter->value();
+  }
+  return out;
+}
+
+void MetricsRegistry::start_sampling(common::SimTime now,
+                                     common::Duration period) {
+  period_ = period;
+  next_sample_ = now + period;
+}
+
+void MetricsRegistry::catch_up(common::SimTime now) {
+  while (next_sample_ <= now) {
+    sample_now(next_sample_);
+    next_sample_ = next_sample_ + period_;
+  }
+}
+
+void MetricsRegistry::sample_now(common::SimTime now) {
+  for (const auto& [key, counter] : counters_) {
+    samples_.push_back(Sample{now, key.name, key.labels,
+                              static_cast<double>(counter->value())});
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    samples_.push_back(Sample{now, key.name, key.labels, gauge->value()});
+  }
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "time_s,metric,labels,value\n";
+  for (const Sample& sample : samples_) {
+    os << sample.at.to_seconds() << ',' << sample.metric << ",\""
+       << sample.labels << "\"," << sample.value << '\n';
+  }
+}
+
+namespace {
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
+void json_key(std::ostream& os, const std::string& name,
+              const std::string& labels) {
+  os << '"';
+  json_escape(os, labels.empty() ? name : name + '{' + labels + '}');
+  os << '"';
+}
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_key(os, key.name, key.labels);
+    os << ": " << counter->value();
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_key(os, key.name, key.labels);
+    os << ": " << gauge->value();
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [key, histogram] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_key(os, key.name, key.labels);
+    os << ": {\"count\": " << histogram->count()
+       << ", \"mean\": " << histogram->mean()
+       << ", \"p50\": " << histogram->percentile(0.5)
+       << ", \"p95\": " << histogram->percentile(0.95)
+       << ", \"max\": " << histogram->max() << '}';
+  }
+  os << "\n  },\n  \"samples\": " << samples_.size() << "\n}\n";
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  samples_.clear();
+  period_ = common::Duration::zero();
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,127 @@
+// Labeled metrics registry with sim-clock time-series sampling.
+//
+// Replaces the pattern of hand-maintained parallel counter structs in the
+// E-series benches: protocol code and observers register named counters,
+// gauges and histograms — optionally with labels (per-Mss, per-cell,
+// per-loss-reason) — and the registry can snapshot every counter/gauge on
+// a fixed virtual-time period and export both the time series and the
+// final state as CSV or JSON.
+//
+// Determinism: metrics iterate in (name, canonical-label) order, so two
+// runs of the same seed produce byte-identical exports.  Sampling is
+// driven by maybe_sample(now) from the event stream rather than by
+// self-rescheduling simulator events, which would keep the event queue
+// non-empty forever and break run_to_quiescence(); the trade-off is that
+// a sample row is emitted by the first event *at or after* each period
+// boundary (rows are stamped with the boundary time).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "stats/histogram.h"
+
+namespace rdp::obs {
+
+// Label set for one metric instance, e.g. {{"mss", "Mss2"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Canonical "k1=v1,k2=v2" rendering (sorted by key).
+[[nodiscard]] std::string format_labels(const Labels& labels);
+
+class MetricsRegistry {
+ public:
+  class Counter {
+   public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+
+   private:
+    std::uint64_t value_ = 0;
+  };
+
+  class Gauge {
+   public:
+    void set(double value) { value_ = value; }
+    void add(double delta) { value_ += delta; }
+    [[nodiscard]] double value() const { return value_; }
+
+   private:
+    double value_ = 0;
+  };
+
+  // Handles are stable for the registry's lifetime (instances are
+  // heap-allocated), so call sites may cache the reference.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  stats::Histogram& histogram(const std::string& name,
+                              const Labels& labels = {});
+
+  // Point reads (0 / empty histogram when absent).
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name,
+                                            const Labels& labels = {}) const;
+  // Sum of a counter family across all label sets.
+  [[nodiscard]] std::uint64_t counter_total(const std::string& name) const;
+  // Aggregate a counter family by one label key: value of `label_key` ->
+  // summed count (instances missing the key aggregate under "").
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_by_label(
+      const std::string& name, const std::string& label_key) const;
+
+  [[nodiscard]] std::size_t metric_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // --- time series ---------------------------------------------------------
+  struct Sample {
+    common::SimTime at;
+    std::string metric;
+    std::string labels;  // canonical form, possibly empty
+    double value = 0;
+  };
+
+  // Arm periodic sampling; the first row is due at now + period.
+  void start_sampling(common::SimTime now, common::Duration period);
+  // Emit any sample rows whose period boundary has passed.  Cheap no-op
+  // when sampling is off or the next boundary is in the future.
+  void maybe_sample(common::SimTime now) {
+    if (period_ > common::Duration::zero() && now >= next_sample_) {
+      catch_up(now);
+    }
+  }
+  // Unconditionally snapshot every counter and gauge at `now`.
+  void sample_now(common::SimTime now);
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  // --- export --------------------------------------------------------------
+  // CSV of the time series: time_s,metric,labels,value.
+  void write_csv(std::ostream& os) const;
+  // Full snapshot: counters, gauges, histogram summaries, and the series.
+  void write_json(std::ostream& os) const;
+
+  void reset();
+
+ private:
+  struct Key {
+    std::string name;
+    std::string labels;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void catch_up(common::SimTime now);
+
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<stats::Histogram>> histograms_;
+
+  common::Duration period_ = common::Duration::zero();
+  common::SimTime next_sample_ = common::SimTime::zero();
+  std::vector<Sample> samples_;
+};
+
+}  // namespace rdp::obs

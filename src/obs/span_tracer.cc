@@ -1,0 +1,314 @@
+#include "obs/span_tracer.h"
+
+#include <cstdio>
+
+#include "obs/event_names.h"
+
+namespace rdp::obs {
+
+int SpanTracer::open_span(std::string name, core::MhId mh,
+                          core::RequestId request, common::SimTime begin) {
+  spans_.push_back(Span{std::move(name), mh, request, begin, begin, true, {}});
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void SpanTracer::close_span(int index, common::SimTime end) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  Span& span = spans_[static_cast<std::size_t>(index)];
+  if (!span.open) return;
+  span.end = end;
+  span.open = false;
+}
+
+void SpanTracer::note(common::SimTime at, std::string line) {
+  timeline_.emplace_back(at, std::move(line));
+}
+
+std::vector<SpanTracer::Span> SpanTracer::request_spans(
+    core::RequestId request) const {
+  std::vector<Span> out;
+  for (const Span& span : spans_) {
+    if (span.request == request) out.push_back(span);
+  }
+  return out;
+}
+
+// --- observer hooks --------------------------------------------------------
+
+void SpanTracer::on_proxy_created(common::SimTime t, core::MhId mh,
+                                  core::NodeAddress host, core::ProxyId p) {
+  const int idx = open_span("proxy " + p.str(), mh, core::RequestId{}, t);
+  spans_[static_cast<std::size_t>(idx)].args.emplace_back("host", host.str());
+  proxy_span_[mh] = idx;
+  note(t, "proxy " + p.str() + " created for " + mh.str() + " at " +
+              host.str() + "  (currentLoc := " + host.str() + ")");
+}
+
+void SpanTracer::on_proxy_deleted(common::SimTime t, core::MhId mh,
+                                  core::NodeAddress, core::ProxyId p,
+                                  bool via_gc) {
+  auto it = proxy_span_.find(mh);
+  if (it != proxy_span_.end()) {
+    close_span(it->second, t);
+    proxy_span_.erase(it);
+  }
+  note(t, "proxy " + p.str() + (via_gc ? " deleted [gc]" : " deleted"));
+}
+
+void SpanTracer::on_request_issued(common::SimTime t, core::MhId mh,
+                                   core::RequestId r,
+                                   core::NodeAddress server) {
+  RequestState& state = requests_[r];
+  if (state.request_span < 0) {
+    state.request_span = open_span("request " + r.str(), mh, r, t);
+    spans_[static_cast<std::size_t>(state.request_span)].args.emplace_back(
+        "server", server.str());
+  }
+  instants_.push_back(Instant{t, "issue", mh, r});
+  note(t, r.str() + " issued to " + server.str());
+}
+
+void SpanTracer::on_request_reached_proxy(common::SimTime t, core::MhId mh,
+                                          core::RequestId r,
+                                          core::NodeAddress) {
+  RequestState& state = requests_[r];
+  if (state.service_span < 0) {
+    state.service_span = open_span("service " + r.str(), mh, r, t);
+  }
+  note(t, r.str() + " registered at proxy, relayed to server");
+}
+
+void SpanTracer::on_result_at_proxy(common::SimTime t, core::MhId,
+                                    core::RequestId r, std::uint32_t) {
+  RequestState& state = requests_[r];
+  close_span(state.service_span, t);
+  note(t, "server result for " + r.str() + " arrives at proxy");
+}
+
+void SpanTracer::on_result_forwarded(common::SimTime t, core::MhId mh,
+                                     core::RequestId r, std::uint32_t,
+                                     core::NodeAddress to,
+                                     std::uint32_t attempt, bool del_pref) {
+  RequestState& state = requests_[r];
+  // A new forward attempt supersedes the previous (undelivered) one.
+  close_span(state.forward_span, t);
+  state.forward_attempt = attempt;
+  state.forward_span =
+      open_span("forward#" + std::to_string(attempt) + " " + r.str(), mh, r, t);
+  spans_[static_cast<std::size_t>(state.forward_span)].args.emplace_back(
+      "to", to.str());
+  note(t, "proxy forwards result (attempt " + std::to_string(attempt) +
+              ") to " + to.str() + (del_pref ? "  [del-pref]" : ""));
+}
+
+void SpanTracer::on_result_delivered(common::SimTime t, core::MhId mh,
+                                     core::RequestId r, std::uint32_t,
+                                     bool /*final*/, bool duplicate,
+                                     std::uint32_t attempt) {
+  RequestState& state = requests_[r];
+  if (!duplicate && state.forward_attempt == attempt) {
+    close_span(state.forward_span, t);
+    state.forward_span = -1;
+  }
+  instants_.push_back(
+      Instant{t, duplicate ? "deliver(dup)" : "deliver", mh, r});
+  note(t, std::string("result delivered to ") + mh.str() +
+              (duplicate ? " (duplicate, filtered)" : ""));
+}
+
+void SpanTracer::on_ack_forwarded(common::SimTime t, core::MhId mh,
+                                  core::RequestId r, std::uint32_t,
+                                  bool del_proxy) {
+  instants_.push_back(Instant{t, "ack", mh, r});
+  note(t, std::string("Ack forwarded to proxy") +
+              (del_proxy ? "  [del-proxy]" : ""));
+}
+
+void SpanTracer::on_request_completed(common::SimTime t, core::MhId,
+                                      core::RequestId r) {
+  RequestState& state = requests_[r];
+  close_span(state.forward_span, t);
+  close_span(state.service_span, t);
+  close_span(state.request_span, t);
+  note(t, r.str() + " completed at proxy");
+}
+
+void SpanTracer::on_request_lost(common::SimTime t, core::MhId mh,
+                                 core::RequestId r,
+                                 core::RequestLossReason reason) {
+  RequestState& state = requests_[r];
+  close_span(state.forward_span, t);
+  close_span(state.service_span, t);
+  if (state.request_span >= 0) {
+    spans_[static_cast<std::size_t>(state.request_span)].args.emplace_back(
+        "lost", "true");
+  }
+  close_span(state.request_span, t);
+  instants_.push_back(Instant{t, "lost", mh, r});
+  note(t, r.str() + " LOST (" + std::string(loss_reason_name(reason)) + ")");
+}
+
+void SpanTracer::on_handoff_started(common::SimTime t, core::MhId mh,
+                                    core::MssId from, core::MssId to) {
+  handoff_span_[mh] =
+      open_span("hand-off " + from.str() + "->" + to.str(), mh,
+                core::RequestId{}, t);
+  note(t, "hand-off of " + mh.str() + ": " + to.str() + " sends dereg to " +
+              from.str());
+}
+
+void SpanTracer::on_handoff_completed(common::SimTime t, core::MhId mh,
+                                      core::MssId from, core::MssId to,
+                                      common::Duration latency,
+                                      std::size_t bytes) {
+  auto it = handoff_span_.find(mh);
+  if (it != handoff_span_.end()) {
+    close_span(it->second, t);
+    handoff_span_.erase(it);
+  }
+  note(t, "hand-off " + from.str() + " -> " + to.str() + " complete (" +
+              latency.str() + ", pref = " + std::to_string(bytes) +
+              " bytes on the wire)");
+}
+
+void SpanTracer::on_update_currentloc(common::SimTime t, core::MhId mh,
+                                      core::NodeAddress host,
+                                      core::NodeAddress loc) {
+  instants_.push_back(Instant{t, "update_currentLoc", mh, core::RequestId{}});
+  note(t, "update_currentLoc(" + mh.str() + ") -> proxy at " + host.str() +
+              "  (currentLoc := " + loc.str() + ")");
+}
+
+void SpanTracer::on_mh_registered(common::SimTime t, core::MhId mh,
+                                  core::MssId mss, common::Duration) {
+  note(t, mh.str() + " registered at " + mss.str());
+}
+
+void SpanTracer::on_mss_crashed(common::SimTime t, core::MssId mss,
+                                std::size_t proxies, std::size_t mhs) {
+  instants_.push_back(
+      Instant{t, "crash " + mss.str(), core::MhId{}, core::RequestId{}});
+  note(t, mss.str() + " CRASHED (" + std::to_string(proxies) +
+              " proxies lost, " + std::to_string(mhs) + " Mhs detached)");
+}
+
+void SpanTracer::on_mss_restarted(common::SimTime t, core::MssId mss,
+                                  std::size_t restored) {
+  note(t, mss.str() + " restarted (" + std::to_string(restored) +
+              " proxies restored)");
+}
+
+void SpanTracer::on_proxy_restored(common::SimTime t, core::MhId mh,
+                                   core::NodeAddress host, core::ProxyId p) {
+  const int idx = open_span("proxy " + p.str() + " (restored)", mh,
+                            core::RequestId{}, t);
+  spans_[static_cast<std::size_t>(idx)].args.emplace_back("host", host.str());
+  proxy_span_[mh] = idx;
+  note(t, "proxy " + p.str() + " restored for " + mh.str() + " at " +
+              host.str());
+}
+
+void SpanTracer::on_request_reissued(common::SimTime t, core::MhId mh,
+                                     core::RequestId r, int attempt) {
+  instants_.push_back(Instant{t, "reissue", mh, r});
+  note(t, r.str() + " re-issued by " + mh.str() + " (attempt " +
+              std::to_string(attempt) + ")");
+}
+
+// --- rendering -------------------------------------------------------------
+
+void SpanTracer::write_timeline(std::ostream& os, const char* indent) const {
+  char stamp[32];
+  for (const auto& [at, line] : timeline_) {
+    std::snprintf(stamp, sizeof(stamp), "%9.1f ms  ", at.to_seconds() * 1e3);
+    os << indent << stamp << line << "\n";
+  }
+}
+
+namespace {
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+// pid: one per mobile host (events with no Mh land on pid 0's row set).
+std::int64_t pid_of(core::MhId mh) {
+  return mh.valid() ? static_cast<std::int64_t>(mh.value()) + 1 : 0;
+}
+
+// tid: per-request rows keyed by sequence number; row 0 carries mobility
+// and proxy lifecycle.
+std::int64_t tid_of(core::RequestId r) {
+  return r.valid() ? static_cast<std::int64_t>(r.seq()) : 0;
+}
+}  // namespace
+
+void SpanTracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+
+  // Metadata rows: name each Mh's process track.
+  std::map<std::int64_t, std::string> process_names;
+  for (const Span& span : spans_) {
+    if (span.mh.valid()) process_names[pid_of(span.mh)] = span.mh.str();
+  }
+  for (const Instant& instant : instants_) {
+    if (instant.mh.valid()) {
+      process_names[pid_of(instant.mh)] = instant.mh.str();
+    }
+  }
+  process_names[0] = "system";
+  for (const auto& [pid, name] : process_names) {
+    sep();
+    os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << pid
+       << ", \"tid\": 0, \"args\": {\"name\": ";
+    json_string(os, name);
+    os << "}}";
+  }
+
+  for (const Span& span : spans_) {
+    sep();
+    const std::int64_t dur =
+        (span.open ? 0 : (span.end - span.begin).count_micros());
+    os << "{\"ph\": \"X\", \"name\": ";
+    json_string(os, span.name);
+    os << ", \"cat\": \"rdp\", \"pid\": " << pid_of(span.mh)
+       << ", \"tid\": " << tid_of(span.request)
+       << ", \"ts\": " << span.begin.count_micros() << ", \"dur\": " << dur
+       << ", \"args\": {";
+    bool first_arg = true;
+    for (const auto& [key, value] : span.args) {
+      if (!first_arg) os << ", ";
+      first_arg = false;
+      json_string(os, key);
+      os << ": ";
+      json_string(os, value);
+    }
+    os << "}}";
+  }
+
+  for (const Instant& instant : instants_) {
+    sep();
+    os << "{\"ph\": \"i\", \"name\": ";
+    json_string(os, instant.name);
+    os << ", \"cat\": \"rdp\", \"pid\": " << pid_of(instant.mh)
+       << ", \"tid\": " << tid_of(instant.request)
+       << ", \"ts\": " << instant.at.count_micros() << ", \"s\": \"t\"}";
+  }
+
+  os << "\n]}\n";
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,123 @@
+// Per-request span tracer.
+//
+// Stitches the flat RdpObserver event stream into spans that follow §4's
+// causal chain per request — issue -> reached-proxy, service (reached-proxy
+// -> result-at-proxy), one span per forward attempt (forward -> delivery),
+// delivery -> Ack -> completion — plus per-Mh mobility spans (hand-offs)
+// and proxy lifetime spans.  All times come from the sim clock.
+//
+// Two renderings:
+//   * write_chrome_trace(): Chrome/Perfetto trace-event JSON.  One "pid"
+//     per mobile host, request spans on tid = the request's sequence
+//     number, mobility and proxy spans on tid 0.  Open chrome://tracing or
+//     https://ui.perfetto.dev and load the file.
+//   * write_timeline(): the human-readable timed event log that
+//     bench_fig3/bench_fig4 used to hand-render.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+
+namespace rdp::obs {
+
+class SpanTracer final : public core::RdpObserver {
+ public:
+  struct Span {
+    std::string name;          // e.g. "request", "service", "forward#2"
+    core::MhId mh;
+    core::RequestId request;   // invalid for mobility/proxy spans
+    common::SimTime begin;
+    common::SimTime end;       // == begin while still open
+    bool open = true;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+
+  struct Instant {
+    common::SimTime at;
+    std::string name;
+    core::MhId mh;
+    core::RequestId request;  // invalid for non-request instants
+  };
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<Instant>& instants() const {
+    return instants_;
+  }
+  // Spans belonging to one request, in begin order.
+  [[nodiscard]] std::vector<Span> request_spans(core::RequestId) const;
+  // Chronological (time, line) pairs of every event seen.
+  [[nodiscard]] const std::vector<std::pair<common::SimTime, std::string>>&
+  timeline() const {
+    return timeline_;
+  }
+
+  void write_chrome_trace(std::ostream& os) const;
+  void write_timeline(std::ostream& os, const char* indent = "  ") const;
+
+  // --- RdpObserver ---------------------------------------------------------
+  void on_proxy_created(common::SimTime, core::MhId, core::NodeAddress,
+                        core::ProxyId) override;
+  void on_proxy_deleted(common::SimTime, core::MhId, core::NodeAddress,
+                        core::ProxyId, bool) override;
+  void on_request_issued(common::SimTime, core::MhId, core::RequestId,
+                         core::NodeAddress) override;
+  void on_request_reached_proxy(common::SimTime, core::MhId, core::RequestId,
+                                core::NodeAddress) override;
+  void on_result_at_proxy(common::SimTime, core::MhId, core::RequestId,
+                          std::uint32_t) override;
+  void on_result_forwarded(common::SimTime, core::MhId, core::RequestId,
+                           std::uint32_t, core::NodeAddress, std::uint32_t,
+                           bool) override;
+  void on_result_delivered(common::SimTime, core::MhId, core::RequestId,
+                           std::uint32_t, bool, bool, std::uint32_t) override;
+  void on_ack_forwarded(common::SimTime, core::MhId, core::RequestId,
+                        std::uint32_t, bool) override;
+  void on_request_completed(common::SimTime, core::MhId,
+                            core::RequestId) override;
+  void on_request_lost(common::SimTime, core::MhId, core::RequestId,
+                       core::RequestLossReason) override;
+  void on_handoff_started(common::SimTime, core::MhId, core::MssId,
+                          core::MssId) override;
+  void on_handoff_completed(common::SimTime, core::MhId, core::MssId,
+                            core::MssId, common::Duration,
+                            std::size_t) override;
+  void on_update_currentloc(common::SimTime, core::MhId, core::NodeAddress,
+                            core::NodeAddress) override;
+  void on_mh_registered(common::SimTime, core::MhId, core::MssId,
+                        common::Duration) override;
+  void on_mss_crashed(common::SimTime, core::MssId, std::size_t,
+                      std::size_t) override;
+  void on_mss_restarted(common::SimTime, core::MssId, std::size_t) override;
+  void on_proxy_restored(common::SimTime, core::MhId, core::NodeAddress,
+                         core::ProxyId) override;
+  void on_request_reissued(common::SimTime, core::MhId, core::RequestId,
+                           int) override;
+
+ private:
+  // Index into spans_ of the per-request open spans.
+  struct RequestState {
+    int request_span = -1;
+    int service_span = -1;   // reached-proxy -> result-at-proxy (first result)
+    int forward_span = -1;   // latest in-flight forward attempt
+    std::uint32_t forward_attempt = 0;
+  };
+
+  int open_span(std::string name, core::MhId mh, core::RequestId request,
+                common::SimTime begin);
+  void close_span(int index, common::SimTime end);
+  void note(common::SimTime at, std::string line);
+
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<std::pair<common::SimTime, std::string>> timeline_;
+  std::map<core::RequestId, RequestState> requests_;
+  std::map<core::MhId, int> handoff_span_;    // open hand-off per Mh
+  std::map<core::MhId, int> proxy_span_;      // open proxy lifetime per Mh
+};
+
+}  // namespace rdp::obs

@@ -1,0 +1,71 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+
+#include "common/log.h"
+
+namespace rdp::obs {
+
+Telemetry::Telemetry(TelemetryConfig config, const core::Directory* directory)
+    : config_(config), tap_(registry_) {
+  if (config_.flight_recorder) {
+    recorder_ =
+        std::make_unique<FlightRecorder>(config_.flight_recorder_capacity);
+  }
+  if (config_.trace) tracer_ = std::make_unique<SpanTracer>();
+  if (config_.audit) {
+    auditor_ =
+        std::make_unique<InvariantAuditor>(config_.audit_rules, directory);
+    if (recorder_) auditor_->set_flight_recorder(recorder_.get());
+  }
+  if (config_.metrics_period > common::Duration::zero()) {
+    registry_.start_sampling(common::SimTime::zero(), config_.metrics_period);
+  }
+}
+
+void Telemetry::attach(core::ObserverList& observers) {
+  // Recorder first so a violation's dump includes the offending event.
+  if (recorder_) observers.add(recorder_.get());
+  if (tracer_) observers.add(tracer_.get());
+  if (auditor_) observers.add(auditor_.get());
+  observers.add(&tap_);
+}
+
+namespace {
+bool open_out(const std::string& path, std::ofstream& out) {
+  out.open(path);
+  if (!out) {
+    RDP_LOG(common::LogLevel::kWarn) << "telemetry: cannot open " << path;
+    return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool Telemetry::write_trace_json(const std::string& path) const {
+  if (!tracer_) {
+    RDP_LOG(common::LogLevel::kWarn)
+        << "telemetry: trace export requested but the span tracer is off";
+    return false;
+  }
+  std::ofstream out;
+  if (!open_out(path, out)) return false;
+  tracer_->write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+bool Telemetry::write_metrics_csv(const std::string& path) const {
+  std::ofstream out;
+  if (!open_out(path, out)) return false;
+  registry_.write_csv(out);
+  return static_cast<bool>(out);
+}
+
+bool Telemetry::write_metrics_json(const std::string& path) const {
+  std::ofstream out;
+  if (!open_out(path, out)) return false;
+  registry_.write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rdp::obs

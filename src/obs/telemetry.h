@@ -1,0 +1,163 @@
+// Telemetry bundle: one object wiring the observability pieces together.
+//
+// A Telemetry owns a MetricsRegistry plus the three observer components —
+// flight recorder, span tracer, invariant auditor — selected by its config,
+// and attaches them to a World's ObserverList in one call.  The attach
+// order matters: the flight recorder sees every event before the auditor
+// does, so a violation's dump already contains the event that tripped it.
+//
+// The registry's periodic sampling is driven by an internal event tap (an
+// observer that calls maybe_sample on every protocol event) instead of a
+// self-rescheduling simulator timer, which would keep the event queue
+// non-empty forever and break run_to_quiescence().
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/time.h"
+#include "core/events.h"
+#include "obs/flight_recorder.h"
+#include "obs/invariant_auditor.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
+
+namespace rdp::core {
+class Directory;
+}
+
+namespace rdp::obs {
+
+struct TelemetryConfig {
+  // Online invariant auditing (cheap; on by default).  The harness derives
+  // the rule allowances from the scenario's ablation flags before
+  // constructing the auditor.
+  bool audit = true;
+  InvariantAuditor::Config audit_rules;
+
+  // Last-N event tail for post-mortems (cheap; on by default).
+  bool flight_recorder = true;
+  std::size_t flight_recorder_capacity = 512;
+
+  // Span tracer (off by default: retains every span for the run).
+  bool trace = false;
+
+  // Periodic time-series snapshots of every counter/gauge in the registry
+  // on the sim clock; zero disables sampling.
+  common::Duration metrics_period = common::Duration::zero();
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config,
+                     const core::Directory* directory = nullptr);
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // Register the enabled components on an observer fan-out.  The Telemetry
+  // must outlive `observers` (ObserverList holds raw pointers).
+  void attach(core::ObserverList& observers);
+
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+  // Null when the corresponding component is disabled.
+  [[nodiscard]] FlightRecorder* flight_recorder() { return recorder_.get(); }
+  [[nodiscard]] SpanTracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] InvariantAuditor* auditor() { return auditor_.get(); }
+
+  // Export helpers; return false (and log) when the file cannot be opened
+  // or the component is disabled.
+  bool write_trace_json(const std::string& path) const;
+  bool write_metrics_csv(const std::string& path) const;
+  bool write_metrics_json(const std::string& path) const;
+
+ private:
+  // Feeds the registry's sim-clock sampler from the event stream.
+  class EventTap final : public core::RdpObserver {
+   public:
+    explicit EventTap(MetricsRegistry& registry) : registry_(registry) {}
+
+    void on_proxy_created(common::SimTime t, core::MhId, core::NodeAddress,
+                          core::ProxyId) override {
+      registry_.maybe_sample(t);
+    }
+    void on_proxy_deleted(common::SimTime t, core::MhId, core::NodeAddress,
+                          core::ProxyId, bool) override {
+      registry_.maybe_sample(t);
+    }
+    void on_request_issued(common::SimTime t, core::MhId, core::RequestId,
+                           core::NodeAddress) override {
+      registry_.maybe_sample(t);
+    }
+    void on_request_reached_proxy(common::SimTime t, core::MhId,
+                                  core::RequestId,
+                                  core::NodeAddress) override {
+      registry_.maybe_sample(t);
+    }
+    void on_result_at_proxy(common::SimTime t, core::MhId, core::RequestId,
+                            std::uint32_t) override {
+      registry_.maybe_sample(t);
+    }
+    void on_result_forwarded(common::SimTime t, core::MhId, core::RequestId,
+                             std::uint32_t, core::NodeAddress, std::uint32_t,
+                             bool) override {
+      registry_.maybe_sample(t);
+    }
+    void on_result_delivered(common::SimTime t, core::MhId, core::RequestId,
+                             std::uint32_t, bool, bool,
+                             std::uint32_t) override {
+      registry_.maybe_sample(t);
+    }
+    void on_ack_forwarded(common::SimTime t, core::MhId, core::RequestId,
+                          std::uint32_t, bool) override {
+      registry_.maybe_sample(t);
+    }
+    void on_request_completed(common::SimTime t, core::MhId,
+                              core::RequestId) override {
+      registry_.maybe_sample(t);
+    }
+    void on_request_lost(common::SimTime t, core::MhId, core::RequestId,
+                         core::RequestLossReason) override {
+      registry_.maybe_sample(t);
+    }
+    void on_handoff_started(common::SimTime t, core::MhId, core::MssId,
+                            core::MssId) override {
+      registry_.maybe_sample(t);
+    }
+    void on_handoff_completed(common::SimTime t, core::MhId, core::MssId,
+                              core::MssId, common::Duration,
+                              std::size_t) override {
+      registry_.maybe_sample(t);
+    }
+    void on_update_currentloc(common::SimTime t, core::MhId,
+                              core::NodeAddress, core::NodeAddress) override {
+      registry_.maybe_sample(t);
+    }
+    void on_mh_registered(common::SimTime t, core::MhId, core::MssId,
+                          common::Duration) override {
+      registry_.maybe_sample(t);
+    }
+    void on_mss_crashed(common::SimTime t, core::MssId, std::size_t,
+                        std::size_t) override {
+      registry_.maybe_sample(t);
+    }
+    void on_mss_restarted(common::SimTime t, core::MssId,
+                          std::size_t) override {
+      registry_.maybe_sample(t);
+    }
+
+   private:
+    MetricsRegistry& registry_;
+  };
+
+  TelemetryConfig config_;
+  MetricsRegistry registry_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<SpanTracer> tracer_;
+  std::unique_ptr<InvariantAuditor> auditor_;
+  EventTap tap_;
+};
+
+}  // namespace rdp::obs

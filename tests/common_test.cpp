@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "common/check.h"
 #include "common/ids.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/time.h"
 
@@ -197,6 +200,58 @@ TEST(Check, MessageContainsContext) {
     EXPECT_NE(what.find("numbers drifted"), std::string::npos);
     EXPECT_NE(what.find("1 == 2"), std::string::npos);
   }
+}
+
+TEST(Logger, ParseLevelNamesAndDigits) {
+  const LogLevel fallback = LogLevel::kWarn;
+  EXPECT_EQ(Logger::parse_level("debug", fallback), LogLevel::kDebug);
+  EXPECT_EQ(Logger::parse_level("INFO", fallback), LogLevel::kInfo);
+  EXPECT_EQ(Logger::parse_level("Warning", fallback), LogLevel::kWarn);
+  EXPECT_EQ(Logger::parse_level("error", fallback), LogLevel::kError);
+  EXPECT_EQ(Logger::parse_level("off", fallback), LogLevel::kOff);
+  EXPECT_EQ(Logger::parse_level("none", fallback), LogLevel::kOff);
+  EXPECT_EQ(Logger::parse_level("0", fallback), LogLevel::kDebug);
+  EXPECT_EQ(Logger::parse_level("4", fallback), LogLevel::kOff);
+  // Garbage, empty and null all fall back.
+  EXPECT_EQ(Logger::parse_level("verbose", fallback), fallback);
+  EXPECT_EQ(Logger::parse_level("7", fallback), fallback);
+  EXPECT_EQ(Logger::parse_level("", fallback), fallback);
+  EXPECT_EQ(Logger::parse_level(nullptr, fallback), fallback);
+}
+
+TEST(Logger, LevelGateAndSink) {
+  Logger logger;
+  logger.set_level(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  logger.set_sink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  logger.write(LogLevel::kDebug, "filtered");
+  logger.write(LogLevel::kInfo, "kept");
+  logger.write(LogLevel::kError, "kept too");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "kept");
+  EXPECT_EQ(lines[1], "kept too");
+}
+
+TEST(Logger, InjectedClockStampsLines) {
+  Logger logger;
+  logger.set_level(LogLevel::kDebug);
+  std::vector<std::string> lines;
+  logger.set_sink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  SimTime now = SimTime::from_micros(1500);
+  logger.set_clock([&now] { return now; });
+  logger.write(LogLevel::kInfo, "hello");
+  now = SimTime::from_micros(2'000'000);
+  logger.write(LogLevel::kInfo, "later");
+  logger.set_clock(nullptr);  // back to unstamped
+  logger.write(LogLevel::kInfo, "plain");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "[t=1.500ms] hello");
+  EXPECT_EQ(lines[1], "[t=2000.000ms] later");
+  EXPECT_EQ(lines[2], "plain");
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+// ObserverList fan-out exhaustiveness.
+//
+// Fires every RdpObserver hook exactly once through an ObserverList with
+// two recording observers and checks (a) each observer saw each hook once,
+// and (b) the number of distinct hooks equals RdpObserver::kHookCount.
+// Adding a hook without bumping the constant, without the fan-out override,
+// or without extending this driver fails here.
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/events.h"
+
+namespace rdp::core {
+namespace {
+
+using common::Duration;
+using common::MhId;
+using common::MssId;
+using common::NodeAddress;
+using common::ProxyId;
+using common::RequestId;
+using common::SimTime;
+
+class RecordingObserver final : public RdpObserver {
+ public:
+  std::map<std::string, int> calls;
+
+  void on_proxy_created(SimTime, MhId, NodeAddress, ProxyId) override {
+    ++calls["proxy_created"];
+  }
+  void on_proxy_deleted(SimTime, MhId, NodeAddress, ProxyId, bool) override {
+    ++calls["proxy_deleted"];
+  }
+  void on_request_issued(SimTime, MhId, RequestId, NodeAddress) override {
+    ++calls["request_issued"];
+  }
+  void on_request_reached_proxy(SimTime, MhId, RequestId,
+                                NodeAddress) override {
+    ++calls["request_reached_proxy"];
+  }
+  void on_result_at_proxy(SimTime, MhId, RequestId, std::uint32_t) override {
+    ++calls["result_at_proxy"];
+  }
+  void on_result_forwarded(SimTime, MhId, RequestId, std::uint32_t,
+                           NodeAddress, std::uint32_t, bool) override {
+    ++calls["result_forwarded"];
+  }
+  void on_result_delivered(SimTime, MhId, RequestId, std::uint32_t, bool,
+                           bool, std::uint32_t) override {
+    ++calls["result_delivered"];
+  }
+  void on_ack_forwarded(SimTime, MhId, RequestId, std::uint32_t,
+                        bool) override {
+    ++calls["ack_forwarded"];
+  }
+  void on_request_completed(SimTime, MhId, RequestId) override {
+    ++calls["request_completed"];
+  }
+  void on_request_lost(SimTime, MhId, RequestId, RequestLossReason) override {
+    ++calls["request_lost"];
+  }
+  void on_handoff_started(SimTime, MhId, MssId, MssId) override {
+    ++calls["handoff_started"];
+  }
+  void on_handoff_completed(SimTime, MhId, MssId, MssId, Duration,
+                            std::size_t) override {
+    ++calls["handoff_completed"];
+  }
+  void on_update_currentloc(SimTime, MhId, NodeAddress, NodeAddress) override {
+    ++calls["update_currentloc"];
+  }
+  void on_mh_registered(SimTime, MhId, MssId, Duration) override {
+    ++calls["mh_registered"];
+  }
+  void on_stale_ack_dropped(SimTime, MhId, RequestId) override {
+    ++calls["stale_ack_dropped"];
+  }
+  void on_delproxy_with_pending(SimTime, MhId, ProxyId) override {
+    ++calls["delproxy_with_pending"];
+  }
+  void on_orphaned_proxy(SimTime, MhId, ProxyId) override {
+    ++calls["orphaned_proxy"];
+  }
+  void on_mss_crashed(SimTime, MssId, std::size_t, std::size_t) override {
+    ++calls["mss_crashed"];
+  }
+  void on_mss_restarted(SimTime, MssId, std::size_t) override {
+    ++calls["mss_restarted"];
+  }
+  void on_proxy_restored(SimTime, MhId, NodeAddress, ProxyId) override {
+    ++calls["proxy_restored"];
+  }
+  void on_request_reissued(SimTime, MhId, RequestId, int) override {
+    ++calls["request_reissued"];
+  }
+};
+
+// Invokes every hook on `target` exactly once.  Keep in sync with
+// RdpObserver: a new hook must be added here AND to RecordingObserver.
+void fire_every_hook(RdpObserver& target) {
+  const SimTime t = SimTime::from_micros(1000);
+  const MhId mh(0);
+  const MssId mss_a(0), mss_b(1);
+  const NodeAddress node_a(0), node_b(1);
+  const ProxyId proxy(0);
+  const RequestId request(mh, 1);
+
+  target.on_proxy_created(t, mh, node_a, proxy);
+  target.on_proxy_deleted(t, mh, node_a, proxy, false);
+  target.on_request_issued(t, mh, request, node_b);
+  target.on_request_reached_proxy(t, mh, request, node_a);
+  target.on_result_at_proxy(t, mh, request, 1);
+  target.on_result_forwarded(t, mh, request, 1, node_a, 1, false);
+  target.on_result_delivered(t, mh, request, 1, true, false, 1);
+  target.on_ack_forwarded(t, mh, request, 1, true);
+  target.on_request_completed(t, mh, request);
+  target.on_request_lost(t, mh, request, RequestLossReason::kProxyGone);
+  target.on_handoff_started(t, mh, mss_a, mss_b);
+  target.on_handoff_completed(t, mh, mss_a, mss_b, Duration::millis(1), 44);
+  target.on_update_currentloc(t, mh, node_a, node_b);
+  target.on_mh_registered(t, mh, mss_b, Duration::millis(2));
+  target.on_stale_ack_dropped(t, mh, request);
+  target.on_delproxy_with_pending(t, mh, proxy);
+  target.on_orphaned_proxy(t, mh, proxy);
+  target.on_mss_crashed(t, mss_a, 1, 1);
+  target.on_mss_restarted(t, mss_a, 1);
+  target.on_proxy_restored(t, mh, node_a, proxy);
+  target.on_request_reissued(t, mh, request, 2);
+}
+
+// The recorder itself covers the whole interface: the driver above reaches
+// kHookCount distinct hooks.  (This pins the constant to reality — if a
+// hook is added to RdpObserver, kHookCount changes and this fails until
+// the driver and recorder learn the new hook.)
+TEST(ObserverFanout, DriverCoversEveryHook) {
+  RecordingObserver recorder;
+  fire_every_hook(recorder);
+  EXPECT_EQ(recorder.calls.size(),
+            static_cast<std::size_t>(RdpObserver::kHookCount));
+  for (const auto& [hook, count] : recorder.calls) {
+    EXPECT_EQ(count, 1) << "hook " << hook << " fired " << count << " times";
+  }
+}
+
+// Every hook fans out through ObserverList to every registered observer.
+TEST(ObserverFanout, ListForwardsEveryHookToAllObservers) {
+  ObserverList list;
+  RecordingObserver first, second;
+  list.add(&first);
+  list.add(&second);
+  EXPECT_EQ(list.size(), 2u);
+
+  fire_every_hook(list);
+
+  for (const RecordingObserver* observer : {&first, &second}) {
+    EXPECT_EQ(observer->calls.size(),
+              static_cast<std::size_t>(RdpObserver::kHookCount));
+    for (const auto& [hook, count] : observer->calls) {
+      EXPECT_EQ(count, 1) << "hook " << hook << " fan-out count " << count;
+    }
+  }
+}
+
+// An empty list is a valid no-op sink.
+TEST(ObserverFanout, EmptyListIsSafe) {
+  ObserverList list;
+  EXPECT_EQ(list.size(), 0u);
+  fire_every_hook(list);  // must not crash
+}
+
+}  // namespace
+}  // namespace rdp::core

@@ -56,23 +56,35 @@ TEST_F(MobileHostUnitTest, OutboxPreservesIssueOrder) {
   EXPECT_EQ(bodies_[2], "re:third");
 }
 
-TEST_F(MobileHostUnitTest, DuplicateDownlinkIsAckedButNotDelivered) {
-  auto& mh = world_.mh(0);
-  mh.power_on(world_.cell(0));
-  world_.run_for(Duration::millis(100));
+TEST(MobileHostForgedDownlink, DuplicateDownlinkIsAckedButNotDelivered) {
+  // This test forges wire frames for a request that was never issued; the
+  // online auditor rightly calls that delivery-without-issue (R2), so it
+  // is off — the premise is broken on purpose.
+  auto config = testutil::deterministic_config(3, 1, 1);
+  config.telemetry.audit = false;
+  harness::World world(config);
+  std::vector<std::string> bodies;
+  world.mh(0).set_delivery_callback(
+      [&bodies](const core::MobileHostAgent::Delivery& delivery) {
+        bodies.push_back(delivery.body);
+      });
+
+  auto& mh = world.mh(0);
+  mh.power_on(world.cell(0));
+  world.run_for(Duration::millis(100));
   // Forge the same downlink result twice.
   const core::RequestId request(MhId(0), 1);
   for (int i = 0; i < 2; ++i) {
-    world_.wireless().downlink(
-        world_.cell(0), MhId(0),
+    world.wireless().downlink(
+        world.cell(0), MhId(0),
         net::make_message<core::MsgDownlinkResult>(request, 1, true, "x", 1));
   }
-  world_.run_to_quiescence();
-  EXPECT_EQ(bodies_.size(), 1u);                  // app saw it once
+  world.run_to_quiescence();
+  EXPECT_EQ(bodies.size(), 1u);                   // app saw it once
   EXPECT_EQ(mh.duplicate_deliveries(), 1u);       // duplicate filtered
   // Both copies were acked (assumption 4) — the Mss relayed none of them
   // to a proxy (there is none) but received two acks.
-  EXPECT_EQ(world_.counters().get("mss.ack_without_proxy"), 2u);
+  EXPECT_EQ(world.counters().get("mss.ack_without_proxy"), 2u);
 }
 
 TEST_F(MobileHostUnitTest, UnsubscribeQueuedWhileInactive) {

@@ -1,0 +1,595 @@
+// Unit and integration tests for the src/obs telemetry subsystem: metrics
+// registry label aggregation and sampling, flight-recorder ring semantics,
+// span assembly from the observer stream, every invariant-auditor rule
+// (strict trip + allowance), and end-to-end runs where a strict auditor is
+// attached to a deliberately ablated world and must fire.
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "harness/metrics.h"
+#include "harness/world.h"
+#include "obs/event_names.h"
+#include "obs/flight_recorder.h"
+#include "obs/invariant_auditor.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
+#include "obs/telemetry.h"
+#include "tests/trace_util.h"
+
+namespace rdp::obs {
+namespace {
+
+using common::Duration;
+using common::MhId;
+using common::MssId;
+using common::NodeAddress;
+using common::ProxyId;
+using common::RequestId;
+using common::SimTime;
+
+SimTime at_ms(std::int64_t ms) { return SimTime::from_micros(ms * 1000); }
+
+// --- metrics registry ------------------------------------------------------
+
+TEST(MetricsRegistry, LabelsAreCanonicalized) {
+  EXPECT_EQ(format_labels({}), "");
+  EXPECT_EQ(format_labels({{"b", "2"}, {"a", "1"}}), "a=1,b=2");
+
+  MetricsRegistry registry;
+  registry.counter("hits", {{"mss", "A"}, {"cell", "0"}}).increment();
+  // Same label set in a different order resolves to the same instance.
+  registry.counter("hits", {{"cell", "0"}, {"mss", "A"}}).increment();
+  EXPECT_EQ(registry.counter_value("hits", {{"mss", "A"}, {"cell", "0"}}), 2u);
+  EXPECT_EQ(registry.metric_count(), 1u);
+}
+
+TEST(MetricsRegistry, CounterFamilyAggregation) {
+  MetricsRegistry registry;
+  registry.counter("lost", {{"reason", "mh-left"}}).increment(3);
+  registry.counter("lost", {{"reason", "mss-crashed"}}).increment(2);
+  registry.counter("lost").increment();  // unlabeled member of the family
+
+  EXPECT_EQ(registry.counter_total("lost"), 6u);
+  EXPECT_EQ(registry.counter_value("lost", {{"reason", "mh-left"}}), 3u);
+  EXPECT_EQ(registry.counter_value("lost", {{"reason", "absent"}}), 0u);
+
+  const auto by_reason = registry.counter_by_label("lost", "reason");
+  ASSERT_EQ(by_reason.size(), 3u);
+  EXPECT_EQ(by_reason.at("mh-left"), 3u);
+  EXPECT_EQ(by_reason.at("mss-crashed"), 2u);
+  EXPECT_EQ(by_reason.at(""), 1u);  // the unlabeled instance
+}
+
+TEST(MetricsRegistry, HandlesAreStable) {
+  MetricsRegistry registry;
+  auto& counter = registry.counter("a");
+  // Force rebalancing of the underlying map with many inserts.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("fill", {{"i", std::to_string(i)}});
+  }
+  counter.increment(7);
+  EXPECT_EQ(registry.counter_value("a"), 7u);
+}
+
+TEST(MetricsRegistry, PeriodicSamplingStampsBoundaries) {
+  MetricsRegistry registry;
+  auto& counter = registry.counter("events");
+  registry.start_sampling(SimTime::zero(), Duration::millis(10));
+
+  counter.increment();
+  registry.maybe_sample(at_ms(5));  // before the first boundary: no row
+  EXPECT_TRUE(registry.samples().empty());
+
+  counter.increment();
+  // First event past the boundary emits the pending row, stamped with the
+  // boundary time (not the event time).
+  registry.maybe_sample(at_ms(12));
+  ASSERT_EQ(registry.samples().size(), 1u);
+  EXPECT_EQ(registry.samples()[0].at, at_ms(10));
+  EXPECT_EQ(registry.samples()[0].metric, "events");
+  EXPECT_EQ(registry.samples()[0].value, 2.0);
+
+  // A long quiet gap catches up one row per elapsed boundary.
+  registry.maybe_sample(at_ms(41));
+  EXPECT_EQ(registry.samples().size(), 4u);
+  EXPECT_EQ(registry.samples().back().at, at_ms(40));
+}
+
+TEST(MetricsRegistry, CsvExportIsDeterministic) {
+  auto run = [] {
+    MetricsRegistry registry;
+    registry.counter("b", {{"k", "2"}}).increment(2);
+    registry.counter("b", {{"k", "1"}}).increment(1);
+    registry.gauge("g").set(1.5);
+    registry.sample_now(at_ms(100));
+    std::ostringstream csv;
+    registry.write_csv(csv);
+    return csv.str();
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("time_s,metric,labels,value"), std::string::npos);
+  // Instances of one family are ordered by canonical label string.
+  EXPECT_LT(first.find("k=1"), first.find("k=2"));
+}
+
+TEST(MetricsRegistry, JsonExportContainsAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("c", {{"x", "1"}}).increment();
+  registry.gauge("g").set(2.0);
+  registry.histogram("h").add(10.0);
+  std::ostringstream json;
+  registry.write_json(json);
+  const std::string out = json.str();
+  EXPECT_NE(out.find("\"c{x=1}\""), std::string::npos);
+  EXPECT_NE(out.find("\"g\""), std::string::npos);
+  EXPECT_NE(out.find("\"h\""), std::string::npos);
+}
+
+// --- flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsAndKeepsNewestTail) {
+  FlightRecorder recorder(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(at_ms(i), "event " + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+
+  std::ostringstream os;
+  recorder.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("last 4 of 10"), std::string::npos);
+  EXPECT_EQ(out.find("event 5"), std::string::npos);  // overwritten
+  // Oldest retained entry comes first.
+  EXPECT_LT(out.find("event 6"), out.find("event 9"));
+
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+}
+
+TEST(FlightRecorder, PartiallyFilledDumpIsInOrder) {
+  FlightRecorder recorder(8);
+  recorder.record(at_ms(1), "first");
+  recorder.record(at_ms(2), "second");
+  std::ostringstream os;
+  recorder.dump(os);
+  EXPECT_LT(os.str().find("first"), os.str().find("second"));
+  EXPECT_EQ(recorder.size(), 2u);
+}
+
+TEST(FlightRecorder, DumpOnLossFiresOnce) {
+  FlightRecorder recorder(16);
+  std::ostringstream sink;
+  recorder.dump_on_loss(&sink);
+  const RequestId request(MhId(0), 1);
+  recorder.on_request_issued(at_ms(1), MhId(0), request, NodeAddress(9));
+  recorder.on_request_lost(at_ms(2), MhId(0), request,
+                           core::RequestLossReason::kMssCrashed);
+  EXPECT_NE(sink.str().find("REQUEST_LOST"), std::string::npos);
+  EXPECT_NE(sink.str().find("mss-crashed"), std::string::npos);
+
+  const auto size_after_first = sink.str().size();
+  recorder.on_request_lost(at_ms(3), MhId(0), request,
+                           core::RequestLossReason::kMssCrashed);
+  EXPECT_EQ(sink.str().size(), size_after_first);  // one dump per recorder
+}
+
+TEST(EventNames, LossReasonsAreNamed) {
+  EXPECT_STREQ(loss_reason_name(core::RequestLossReason::kProxyGone),
+               "proxy-gone");
+  EXPECT_STREQ(loss_reason_name(core::RequestLossReason::kReissueExhausted),
+               "reissue-exhausted");
+}
+
+// --- span tracer -----------------------------------------------------------
+
+// Drives the tracer with a hand-written event sequence following §4's
+// chain and checks the assembled spans.
+TEST(SpanTracer, AssemblesRequestServiceAndForwardSpans) {
+  SpanTracer tracer;
+  const MhId mh(0);
+  const RequestId request(mh, 1);
+  const NodeAddress server(10), mss0(0), mss1(1);
+
+  tracer.on_request_issued(at_ms(100), mh, request, server);
+  tracer.on_proxy_created(at_ms(120), mh, mss0, ProxyId(0));
+  tracer.on_request_reached_proxy(at_ms(120), mh, request, mss0);
+  tracer.on_result_at_proxy(at_ms(500), mh, request, 1);
+  tracer.on_result_forwarded(at_ms(500), mh, request, 1, mss0, 1, false);
+  // The first attempt misses (Mh migrated); a second attempt supersedes it.
+  tracer.on_result_forwarded(at_ms(600), mh, request, 1, mss1, 2, true);
+  tracer.on_result_delivered(at_ms(640), mh, request, 1, true, false, 2);
+  tracer.on_ack_forwarded(at_ms(660), mh, request, 1, true);
+  tracer.on_request_completed(at_ms(700), mh, request);
+  tracer.on_proxy_deleted(at_ms(700), mh, mss0, ProxyId(0), false);
+
+  const auto spans = tracer.request_spans(request);
+  ASSERT_EQ(spans.size(), 4u);  // request, service, forward#1, forward#2
+  EXPECT_EQ(spans[0].name, "request " + request.str());
+  EXPECT_EQ(spans[0].begin, at_ms(100));
+  EXPECT_EQ(spans[0].end, at_ms(700));
+  EXPECT_FALSE(spans[0].open);
+  EXPECT_EQ(spans[1].name, "service " + request.str());
+  EXPECT_EQ(spans[1].end, at_ms(500));
+  EXPECT_EQ(spans[2].name, "forward#1 " + request.str());
+  EXPECT_EQ(spans[2].end, at_ms(600));  // closed when attempt 2 took over
+  EXPECT_EQ(spans[3].name, "forward#2 " + request.str());
+  EXPECT_EQ(spans[3].end, at_ms(640));  // closed by the delivery
+
+  // The proxy lifetime span closed with the del-proxy.
+  bool proxy_span_seen = false;
+  for (const auto& span : tracer.spans()) {
+    if (span.name == "proxy Proxy0") {
+      proxy_span_seen = true;
+      EXPECT_EQ(span.begin, at_ms(120));
+      EXPECT_EQ(span.end, at_ms(700));
+      EXPECT_FALSE(span.open);
+    }
+  }
+  EXPECT_TRUE(proxy_span_seen);
+}
+
+TEST(SpanTracer, ChromeTraceIsWellFormedJson) {
+  SpanTracer tracer;
+  const MhId mh(0);
+  const RequestId request(mh, 1);
+  tracer.on_request_issued(at_ms(1), mh, request, NodeAddress(9));
+  tracer.on_handoff_started(at_ms(2), mh, MssId(0), MssId(1));
+  tracer.on_handoff_completed(at_ms(3), mh, MssId(0), MssId(1),
+                              Duration::millis(1), 44);
+  tracer.on_result_delivered(at_ms(4), mh, request, 1, true, false, 1);
+  tracer.on_request_completed(at_ms(5), mh, request);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_NE(out.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);  // complete span
+  EXPECT_NE(out.find("\"ph\": \"i\""), std::string::npos);  // instant
+  EXPECT_NE(out.find("\"ph\": \"M\""), std::string::npos);  // metadata
+  // Braces balance (cheap well-formedness check without a JSON parser).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+// --- invariant auditor: each rule in isolation -----------------------------
+
+struct AuditorDriver {
+  InvariantAuditor auditor;
+  const MhId mh{0};
+  const RequestId request{MhId(0), 1};
+
+  explicit AuditorDriver(InvariantAuditor::Config config = {})
+      : auditor(strip_fatal(config)) {}
+
+  // These drivers trip rules on purpose; never abort under RDP_AUDIT_FATAL.
+  static InvariantAuditor::Config strip_fatal(InvariantAuditor::Config c) {
+    c.honor_fatal_env = false;
+    return c;
+  }
+
+  // The minimal legal prefix: issue and land at a proxy on Mss0.
+  void issue() {
+    auditor.on_request_issued(at_ms(1), mh, request, NodeAddress(9));
+    auditor.on_proxy_created(at_ms(2), mh, NodeAddress(0), ProxyId(0));
+    auditor.on_request_reached_proxy(at_ms(2), mh, request, NodeAddress(0));
+  }
+};
+
+TEST(InvariantAuditor, R1TwoLiveProxiesPerMh) {
+  AuditorDriver driver;
+  driver.auditor.on_proxy_created(at_ms(1), driver.mh, NodeAddress(0),
+                                  ProxyId(0));
+  driver.auditor.on_proxy_created(at_ms(2), driver.mh, NodeAddress(1),
+                                  ProxyId(1));
+  ASSERT_EQ(driver.auditor.violations().size(), 1u);
+  EXPECT_NE(driver.auditor.violations()[0].find("R1"), std::string::npos);
+
+  // Allowed under the re-issue extension's coexistence window.
+  AuditorDriver relaxed({.allow_proxy_coexistence = true});
+  relaxed.auditor.on_proxy_created(at_ms(1), relaxed.mh, NodeAddress(0),
+                                   ProxyId(0));
+  relaxed.auditor.on_proxy_created(at_ms(2), relaxed.mh, NodeAddress(1),
+                                   ProxyId(1));
+  EXPECT_TRUE(relaxed.auditor.clean());
+}
+
+TEST(InvariantAuditor, R1ProxyDeletionReopensTheSlot) {
+  AuditorDriver driver;
+  driver.auditor.on_proxy_created(at_ms(1), driver.mh, NodeAddress(0),
+                                  ProxyId(0));
+  driver.auditor.on_proxy_deleted(at_ms(2), driver.mh, NodeAddress(0),
+                                  ProxyId(0), false);
+  driver.auditor.on_proxy_created(at_ms(3), driver.mh, NodeAddress(1),
+                                  ProxyId(1));
+  EXPECT_TRUE(driver.auditor.clean());
+}
+
+TEST(InvariantAuditor, R1ClosingProxyDoesNotCountAsLive) {
+  // The del-proxy ack precedes on_proxy_deleted by one wire latency; a new
+  // proxy created inside that window is the ping-pong revisit pattern, not
+  // coexistence.
+  AuditorDriver driver;
+  driver.issue();
+  driver.auditor.on_result_at_proxy(at_ms(3), driver.mh, driver.request, 1);
+  driver.auditor.on_result_delivered(at_ms(4), driver.mh, driver.request, 1,
+                                     true, false, 1);
+  driver.auditor.on_request_completed(at_ms(4), driver.mh, driver.request);
+  driver.auditor.on_ack_forwarded(at_ms(5), driver.mh, driver.request, 1,
+                                  /*del_proxy=*/true);
+  driver.auditor.on_proxy_created(at_ms(6), driver.mh, NodeAddress(1),
+                                  ProxyId(1));  // before the teardown lands
+  driver.auditor.on_proxy_deleted(at_ms(7), driver.mh, NodeAddress(0),
+                                  ProxyId(0), false);
+  EXPECT_TRUE(driver.auditor.clean());
+
+  // A plain (non-del-proxy) ack opens no such window.
+  AuditorDriver strict;
+  strict.issue();
+  strict.auditor.on_ack_forwarded(at_ms(5), strict.mh, strict.request, 1,
+                                  /*del_proxy=*/false);
+  strict.auditor.on_proxy_created(at_ms(6), strict.mh, NodeAddress(1),
+                                  ProxyId(1));
+  ASSERT_EQ(strict.auditor.violations().size(), 1u);
+  EXPECT_NE(strict.auditor.violations()[0].find("R1"), std::string::npos);
+}
+
+TEST(InvariantAuditor, R2DeliveryWithoutIssue) {
+  AuditorDriver driver;
+  driver.auditor.on_result_delivered(at_ms(1), driver.mh, driver.request, 1,
+                                     true, false, 1);
+  ASSERT_EQ(driver.auditor.violations().size(), 1u);
+  EXPECT_NE(driver.auditor.violations()[0].find("R2"), std::string::npos);
+}
+
+TEST(InvariantAuditor, R3SequenceRegression) {
+  AuditorDriver driver;
+  driver.issue();
+  driver.auditor.on_result_at_proxy(at_ms(3), driver.mh, driver.request, 2);
+  driver.auditor.on_result_at_proxy(at_ms(4), driver.mh, driver.request, 1);
+  ASSERT_EQ(driver.auditor.violations().size(), 1u);
+  EXPECT_NE(driver.auditor.violations()[0].find("R3"), std::string::npos);
+
+  AuditorDriver relaxed({.allow_result_reordering = true});
+  relaxed.issue();
+  relaxed.auditor.on_result_at_proxy(at_ms(3), relaxed.mh, relaxed.request, 2);
+  relaxed.auditor.on_result_at_proxy(at_ms(4), relaxed.mh, relaxed.request, 1);
+  EXPECT_TRUE(relaxed.auditor.clean());
+}
+
+TEST(InvariantAuditor, R4DelProxyWithPendingRequest) {
+  AuditorDriver driver;
+  driver.issue();
+  driver.auditor.on_proxy_deleted(at_ms(3), driver.mh, NodeAddress(0),
+                                  ProxyId(0), /*via_gc=*/false);
+  ASSERT_EQ(driver.auditor.violations().size(), 1u);
+  EXPECT_NE(driver.auditor.violations()[0].find("R4"), std::string::npos);
+
+  // R4 blames per proxy: tearing down a *drained* incarnation while the
+  // request is pending at another host is fine.
+  AuditorDriver other({.allow_proxy_coexistence = true});
+  other.issue();  // pending at NodeAddress(0)
+  other.auditor.on_proxy_created(at_ms(3), other.mh, NodeAddress(1),
+                                 ProxyId(1));
+  other.auditor.on_proxy_deleted(at_ms(4), other.mh, NodeAddress(1),
+                                 ProxyId(1), /*via_gc=*/false);
+  EXPECT_TRUE(other.auditor.clean());
+}
+
+TEST(InvariantAuditor, R4GcOfLostRequestsIsExempt) {
+  AuditorDriver driver;
+  driver.issue();
+  // The GC path reports the pending request lost before deleting.
+  driver.auditor.on_request_lost(at_ms(3), driver.mh, driver.request,
+                                 core::RequestLossReason::kMhLeft);
+  driver.auditor.on_proxy_deleted(at_ms(3), driver.mh, NodeAddress(0),
+                                  ProxyId(0), /*via_gc=*/true);
+  EXPECT_TRUE(driver.auditor.clean());
+}
+
+TEST(InvariantAuditor, R5DoubleFinalDelivery) {
+  AuditorDriver driver;
+  driver.issue();
+  driver.auditor.on_result_delivered(at_ms(3), driver.mh, driver.request, 1,
+                                     true, /*app_duplicate=*/false, 1);
+  // A wire duplicate absorbed by the assumption-5 filter is fine...
+  driver.auditor.on_result_delivered(at_ms(4), driver.mh, driver.request, 1,
+                                     true, /*app_duplicate=*/true, 2);
+  EXPECT_TRUE(driver.auditor.clean());
+  // ...but a second non-duplicate final delivery is exactly-once broken.
+  driver.auditor.on_result_delivered(at_ms(5), driver.mh, driver.request, 1,
+                                     true, /*app_duplicate=*/false, 3);
+  ASSERT_EQ(driver.auditor.violations().size(), 1u);
+  EXPECT_NE(driver.auditor.violations()[0].find("R5"), std::string::npos);
+}
+
+TEST(InvariantAuditor, R6CompletionBeforeDelivery) {
+  AuditorDriver driver;
+  driver.issue();
+  driver.auditor.on_request_completed(at_ms(3), driver.mh, driver.request);
+  ASSERT_EQ(driver.auditor.violations().size(), 1u);
+  EXPECT_NE(driver.auditor.violations()[0].find("R6"), std::string::npos);
+}
+
+TEST(InvariantAuditor, LossIsAccountingNotViolation) {
+  AuditorDriver driver;
+  driver.issue();
+  driver.auditor.on_request_lost(at_ms(3), driver.mh, driver.request,
+                                 core::RequestLossReason::kMssCrashed);
+  EXPECT_TRUE(driver.auditor.clean());
+  EXPECT_EQ(driver.auditor.lost(), 1u);
+  EXPECT_TRUE(driver.auditor.check_quiesced());  // books balance: 1 = 0 + 1
+}
+
+TEST(InvariantAuditor, CheckQuiescedFlagsStragglers) {
+  AuditorDriver driver;
+  driver.issue();  // never delivered, never lost
+  EXPECT_TRUE(driver.auditor.clean());
+  EXPECT_FALSE(driver.auditor.check_quiesced());
+  ASSERT_FALSE(driver.auditor.violations().empty());
+  EXPECT_NE(driver.auditor.violations()[0].find("quiesce"), std::string::npos);
+}
+
+TEST(InvariantAuditor, ViolationDumpsFlightRecorder) {
+  FlightRecorder recorder(8);
+  InvariantAuditor auditor({.honor_fatal_env = false});
+  auditor.set_flight_recorder(&recorder);
+  recorder.record(at_ms(1), "context line before the bug");
+
+  testing::internal::CaptureStderr();
+  auditor.on_result_delivered(at_ms(2), MhId(0), RequestId(MhId(0), 1), 1,
+                              true, false, 1);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("context line before the bug"), std::string::npos);
+  EXPECT_FALSE(auditor.clean());
+}
+
+TEST(InvariantAuditor, RelaxWidensButNeverNarrows) {
+  InvariantAuditor auditor({.allow_proxy_coexistence = true});
+  auditor.relax({.allow_result_reordering = true});
+  EXPECT_TRUE(auditor.config().allow_proxy_coexistence);
+  EXPECT_TRUE(auditor.config().allow_result_reordering);
+  auditor.relax({});  // no-op, nothing is switched back off
+  EXPECT_TRUE(auditor.config().allow_proxy_coexistence);
+}
+
+// --- end-to-end: the harness wiring ----------------------------------------
+
+TEST(Telemetry, CleanRunAuditsCleanAndBalances) {
+  auto config = testutil::deterministic_config(3, 1, 1);
+  harness::World world(config);
+  auto& mh = world.mh(0);
+  mh.power_on(world.cell(0));
+  world.simulator().schedule(Duration::millis(100), [&] {
+    mh.issue_request(world.server_address(0), "q");
+  });
+  world.simulator().schedule(Duration::millis(150), [&] {
+    mh.migrate(world.cell(1), Duration::millis(50));
+  });
+  world.run_to_quiescence();
+
+  auto* auditor = world.telemetry().auditor();
+  ASSERT_NE(auditor, nullptr);
+  EXPECT_TRUE(auditor->clean());
+  EXPECT_TRUE(auditor->check_quiesced());
+  EXPECT_EQ(auditor->issued(), 1u);
+  EXPECT_EQ(auditor->finished(), 1u);
+
+  // The flight recorder saw the whole exchange.
+  ASSERT_NE(world.telemetry().flight_recorder(), nullptr);
+  EXPECT_GT(world.telemetry().flight_recorder()->total_recorded(), 5u);
+  // The wire-message counter family in the registry is populated.
+  EXPECT_GT(world.telemetry().registry().counter_total("net.wired.messages"),
+            0u);
+}
+
+TEST(Telemetry, MetricsCollectorMirrorsIntoRegistry) {
+  auto config = testutil::deterministic_config(2, 1, 1);
+  harness::World world(config);
+  harness::MetricsCollector metrics(&world.telemetry().registry());
+  world.observers().add(&metrics);
+
+  world.mh(0).power_on(world.cell(0));
+  world.simulator().schedule(Duration::millis(100), [&] {
+    world.mh(0).issue_request(world.server_address(0), "q");
+  });
+  world.run_to_quiescence();
+
+  auto& registry = world.telemetry().registry();
+  EXPECT_EQ(registry.counter_value("rdp.requests.issued"), 1u);
+  EXPECT_EQ(registry.counter_value("rdp.requests.completed"), 1u);
+  EXPECT_EQ(registry.counter_value("rdp.results.delivered"), 1u);
+  EXPECT_EQ(metrics.requests_issued, 1u);  // the struct fields still work
+}
+
+// A deliberately ablated world must trip a strict auditor: crash the
+// proxy-holding Mss with checkpointing off and the re-issue watchdog on.
+// The re-issued request creates a second proxy while the doomed survivor
+// at another host is still live — exactly the R1 coexistence the full
+// protocol forbids.  The world's own auditor is relaxed by the harness +
+// fault injector and must stay clean on the same run.
+TEST(Telemetry, StrictAuditorTripsOnAblatedRun) {
+  auto config = testutil::deterministic_config(3, 1, 1);
+  config.rdp.mh_reissue = true;
+  config.rdp.reissue_timeout = Duration::seconds(2);
+  // Slow server: the request is still pending at the proxy when the
+  // pref-holding Mss fail-stops.
+  config.server.base_service_time = Duration::seconds(3);
+  harness::World world(config);
+
+  InvariantAuditor strict({.honor_fatal_env = false}, &world.directory());
+  world.observers().add(&strict);
+
+  fault::FaultPlan plan;
+  // The Mh issues at Mss0 (proxy there) then migrates to Mss1, which takes
+  // over the pref; crashing Mss1 orphans the proxy at Mss0 and triggers a
+  // re-issue that creates a second proxy.
+  plan.crash_at(1, Duration::millis(700));
+  fault::FaultInjector injector(world, plan);
+  injector.arm();
+
+  world.mh(0).power_on(world.cell(0));
+  world.simulator().schedule(Duration::millis(100), [&] {
+    world.mh(0).issue_request(world.server_address(0), "q");
+  });
+  world.simulator().schedule(Duration::millis(300), [&] {
+    world.mh(0).migrate(world.cell(1), Duration::millis(50));
+  });
+  world.simulator().schedule(Duration::seconds(4), [&] {
+    world.mh(0).migrate(world.cell(2), Duration::millis(50));
+  });
+  world.run_to_quiescence();
+
+  EXPECT_FALSE(strict.clean());
+  bool saw_r1 = false;
+  for (const auto& violation : strict.violations()) {
+    if (violation.find("R1") != std::string::npos) saw_r1 = true;
+  }
+  if (!saw_r1) {
+    std::ostringstream debug;
+    strict.write_report(debug);
+    world.telemetry().flight_recorder()->dump(debug);
+    ADD_FAILURE() << "expected an R1 coexistence violation\n" << debug.str();
+  }
+
+  // The production auditor ran the same events with the derived allowances
+  // (mh_reissue => coexistence + reordering) and stays clean.
+  ASSERT_NE(world.telemetry().auditor(), nullptr);
+  EXPECT_TRUE(world.telemetry().auditor()->clean());
+}
+
+TEST(Telemetry, TraceConfigEnablesTracerInWorld) {
+  auto config = testutil::deterministic_config(2, 1, 1);
+  EXPECT_EQ(config.telemetry.trace, false);  // off by default
+  config.telemetry.trace = true;
+  config.telemetry.metrics_period = Duration::millis(50);
+  harness::World world(config);
+
+  world.mh(0).power_on(world.cell(0));
+  world.simulator().schedule(Duration::millis(100), [&] {
+    world.mh(0).issue_request(world.server_address(0), "q");
+  });
+  world.run_to_quiescence();
+
+  auto* tracer = world.telemetry().tracer();
+  ASSERT_NE(tracer, nullptr);
+  EXPECT_FALSE(tracer->spans().empty());
+  std::ostringstream timeline;
+  tracer->write_timeline(timeline);
+  EXPECT_NE(timeline.str().find("result delivered"), std::string::npos);
+  // The event tap drove periodic registry samples on the sim clock.
+  EXPECT_FALSE(world.telemetry().registry().samples().empty());
+}
+
+}  // namespace
+}  // namespace rdp::obs

@@ -1,12 +1,10 @@
 // Shared helpers for protocol-level tests: a deterministic world config and
-// an observer that renders protocol milestones as a string trace.
+// the milestone string trace (now provided by obs::MilestoneTrace).
 #pragma once
-
-#include <string>
-#include <vector>
 
 #include "harness/metrics.h"
 #include "harness/world.h"
+#include "obs/milestone_trace.h"
 
 namespace rdp::testutil {
 
@@ -39,61 +37,8 @@ inline common::NodeAddress add_server_with_service_time(
 }
 
 // Records protocol milestones as strings like "forward#1->Node2+delpref".
-class TraceObserver final : public core::RdpObserver {
- public:
-  std::vector<std::string> trace;
-
-  [[nodiscard]] bool contains(const std::string& prefix) const {
-    return index_of(prefix) >= 0;
-  }
-  // Index of the first entry starting with `prefix`, or -1.
-  [[nodiscard]] int index_of(const std::string& prefix) const {
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-      if (trace[i].rfind(prefix, 0) == 0) return static_cast<int>(i);
-    }
-    return -1;
-  }
-
-  void on_proxy_created(core::SimTime, core::MhId, core::NodeAddress host,
-                        core::ProxyId) override {
-    trace.push_back("proxy_created@" + host.str());
-  }
-  void on_handoff_completed(core::SimTime, core::MhId, core::MssId from,
-                            core::MssId to, core::Duration,
-                            std::size_t) override {
-    trace.push_back("handoff:" + from.str() + "->" + to.str());
-  }
-  void on_update_currentloc(core::SimTime, core::MhId, core::NodeAddress,
-                            core::NodeAddress new_loc) override {
-    trace.push_back("update_currentLoc->" + new_loc.str());
-  }
-  void on_request_reached_proxy(core::SimTime, core::MhId,
-                                core::RequestId r) override {
-    trace.push_back("request:" + r.str());
-  }
-  void on_result_forwarded(core::SimTime, core::MhId, core::RequestId r,
-                           std::uint32_t, core::NodeAddress to,
-                           std::uint32_t attempt, bool del_pref) override {
-    trace.push_back("forward:" + r.str() + "#" + std::to_string(attempt) +
-                    "->" + to.str() + (del_pref ? "+delpref" : ""));
-  }
-  void on_result_delivered(core::SimTime, core::MhId, core::RequestId r,
-                           std::uint32_t, bool, bool duplicate,
-                           std::uint32_t) override {
-    trace.push_back((duplicate ? "delivered(dup):" : "delivered:") + r.str());
-  }
-  void on_ack_forwarded(core::SimTime, core::MhId, core::RequestId r,
-                        std::uint32_t, bool del_proxy) override {
-    trace.push_back("ack:" + r.str() + (del_proxy ? "+delproxy" : ""));
-  }
-  void on_request_completed(core::SimTime, core::MhId,
-                            core::RequestId r) override {
-    trace.push_back("completed:" + r.str());
-  }
-  void on_proxy_deleted(core::SimTime, core::MhId, core::NodeAddress,
-                        core::ProxyId, bool via_gc) override {
-    trace.push_back(via_gc ? "proxy_gc" : "proxy_deleted");
-  }
-};
+// The renderer itself lives in src/obs so tests and benches share one
+// implementation; this alias keeps existing test spellings working.
+using TraceObserver = obs::MilestoneTrace;
 
 }  // namespace rdp::testutil
