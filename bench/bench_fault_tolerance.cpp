@@ -1,4 +1,5 @@
-// E11 — fault tolerance: delivery guarantee vs. Mss crash rate.
+// E11 — fault tolerance: delivery guarantee and fail-over latency vs. Mss
+// crash rate.
 //
 // The paper assumes Mss's never fail (§2) and defers fault tolerance to
 // future work.  This experiment answers the deferred question: every Mss
@@ -11,12 +12,28 @@
 //                          table, and nothing ever re-drives the requests.
 //   * checkpoint-recovery — ProxyCheckpointStore stable storage (2 ms
 //                          write latency) + the Mh re-issue watchdog
-//                          (RdpConfig::mh_reissue).
+//                          (RdpConfig::mh_reissue).  Recovery waits for the
+//                          crashed host's own restart.
+//   * replication        — primary/backup proxy replication
+//                          (src/replication): the backup promotes the
+//                          mirrored proxies on lease expiry or an explicit
+//                          transfer-resume, without waiting for restart.
+//                          The same Mh watchdog stays armed as an
+//                          end-to-end safety net.
 //
-// Claimed: with recovery the at-least-once guarantee survives every crash
-// interval (delivery ratio 100%, zero app-level duplicates); without it,
-// crashes lose a solid and monotonically growing fraction of requests.
+// Claimed: with either recovery scheme the at-least-once guarantee
+// survives every crash interval (delivery ratio 100%, zero app-level
+// duplicates); without it, crashes lose a solid and monotonically growing
+// fraction of requests.  Replication's fail-over latency — crash of the
+// proxy's host to the request's final delivery — is strictly below
+// checkpoint-restore's at equal crash schedules, because promotion runs at
+// the lease timeout while the checkpoint path waits out the full downtime.
+// A deterministic mid-hand-off microbenchmark (the crash lands inside the
+// greet -> deregAck state-transfer window) isolates the same comparison at
+// the protocol's most exposed moment.
 #include <iostream>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -33,7 +50,74 @@ using common::Duration;
 constexpr int kNumMss = 4;
 constexpr int kNumMh = 8;
 const Duration kWorkloadEnd = Duration::seconds(40);
-const Duration kDowntime = Duration::millis(600);
+// Long enough that waiting out the outage (checkpoint restore happens at
+// restart) costs visibly more than the backup's 300 ms promotion lease —
+// the restart-free advantage E11 measures.
+const Duration kDowntime = Duration::millis(2000);
+
+enum class Recovery { kNone, kCheckpoint, kReplication };
+
+const char* recovery_name(Recovery recovery) {
+  switch (recovery) {
+    case Recovery::kNone: return "no-recovery";
+    case Recovery::kCheckpoint: return "checkpoint-recovery";
+    case Recovery::kReplication: return "replication";
+  }
+  return "?";
+}
+
+// Fail-over latency probe: for every request still open when the Mss
+// hosting its proxy fail-stops, measures crash -> final delivery at the Mh.
+// The host map is primed by the caller; requests are attributed to the
+// host their proxy was created on (adoption/restore keeps the attribution
+// on the crashed host, which is exactly the fail-over we want to time).
+class FailoverProbe final : public core::RdpObserver {
+ public:
+  explicit FailoverProbe(std::map<core::MssId, core::NodeAddress> hosts)
+      : hosts_(std::move(hosts)) {}
+
+  stats::Histogram latency_ms;
+
+  void on_request_issued(core::SimTime, core::MhId, core::RequestId r,
+                         core::NodeAddress) override {
+    open_.insert(r);
+  }
+  void on_request_reached_proxy(core::SimTime, core::MhId, core::RequestId r,
+                                core::NodeAddress host) override {
+    proxy_host_[r] = host;
+  }
+  void on_mss_crashed(core::SimTime t, core::MssId mss, std::size_t,
+                      std::size_t) override {
+    const auto host = hosts_.find(mss);
+    if (host == hosts_.end()) return;
+    for (const core::RequestId r : open_) {
+      const auto it = proxy_host_.find(r);
+      if (it == proxy_host_.end() || it->second != host->second) continue;
+      pending_.try_emplace(r, t);  // keep the FIRST crash of multi-crash runs
+    }
+  }
+  void on_result_delivered(core::SimTime t, core::MhId, core::RequestId r,
+                           std::uint32_t, bool final, bool duplicate,
+                           std::uint32_t) override {
+    if (!final || duplicate) return;
+    open_.erase(r);
+    if (const auto it = pending_.find(r); it != pending_.end()) {
+      latency_ms.add(t - it->second);
+      pending_.erase(it);
+    }
+  }
+  void on_request_lost(core::SimTime, core::MhId, core::RequestId r,
+                       core::RequestLossReason) override {
+    open_.erase(r);
+    pending_.erase(r);
+  }
+
+ private:
+  std::map<core::MssId, core::NodeAddress> hosts_;
+  std::set<core::RequestId> open_;
+  std::map<core::RequestId, core::NodeAddress> proxy_host_;
+  std::map<core::RequestId, core::SimTime> pending_;
+};
 
 struct Outcome {
   std::uint64_t issued = 0;
@@ -44,7 +128,10 @@ struct Outcome {
   std::uint64_t crashes = 0;
   std::uint64_t restored = 0;
   std::uint64_t reissued = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t adopted = 0;
   std::uint64_t ckpt_bytes = 0;
+  stats::Histogram failover_ms;  // crash of proxy host -> final delivery
 
   void operator+=(const Outcome& other) {
     issued += other.issued;
@@ -55,7 +142,12 @@ struct Outcome {
     crashes += other.crashes;
     restored += other.restored;
     reissued += other.reissued;
+    promotions += other.promotions;
+    adopted += other.adopted;
     ckpt_bytes += other.ckpt_bytes;
+    for (const double sample : other.failover_ms.samples()) {
+      failover_ms.add(sample);
+    }
   }
   [[nodiscard]] double ratio() const {
     return issued == 0 ? 1.0
@@ -64,12 +156,8 @@ struct Outcome {
   }
 };
 
-// One world: 8 Mhs spread over 4 cells, issuing a request every ~1.5 s and
-// hopping to the next cell every ~4 s, while every Mss crash/restarts with
-// period `crash_interval` (staggered so the failures rotate through the
-// network).
-Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery,
-            const benchutil::BenchOptions* artifacts = nullptr) {
+harness::ScenarioConfig sweep_config(std::uint64_t seed, Recovery recovery,
+                                     replication::Mode repl_mode) {
   harness::ScenarioConfig config;
   config.seed = seed;
   config.num_mss = kNumMss;
@@ -81,16 +169,50 @@ Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery,
   config.wireless.jitter = Duration::millis(5);
   config.server.base_service_time = Duration::millis(300);
   config.server.service_jitter = Duration::millis(200);
-  if (recovery) {
-    config.proxy_checkpointing = true;
+  if (recovery != Recovery::kNone) {
+    // Both recovery arms keep the Mh watchdog armed — it is the end-to-end
+    // at-least-once guard.  The checkpoint arm additionally relies on it to
+    // re-drive requests whose proxy the restart could not make whole.
     config.rdp.mh_reissue = true;
     config.rdp.reissue_timeout = Duration::seconds(2);
     config.rdp.max_reissue_attempts = 20;
   }
+  if (recovery == Recovery::kCheckpoint) config.proxy_checkpointing = true;
+  if (recovery == Recovery::kReplication) config.replication.mode = repl_mode;
+  // Rotating crashes strand the occasional proxy forever: a result forward
+  // can miss (the Mh re-bound elsewhere while its respMss was down) and the
+  // replacement proxy then carries the request, leaving the original parked
+  // with an unacked result nobody will ever Ack.  Harmless without
+  // replication, but a stranded proxy keeps its host's replication
+  // heartbeat armed, so reap it once its Mh has been silent far longer
+  // than the re-issue horizon.  MetricsCollector filters the reap's loss
+  // report when the re-driven request already delivered.
+  config.rdp.idle_proxy_gc = true;
+  config.rdp.idle_proxy_timeout = Duration::seconds(30);
+  config.rdp.abandoned_proxy_timeout = Duration::seconds(30);
+  config.rdp.proxy_gc_interval = Duration::seconds(5);
+  return config;
+}
+
+// One world: 8 Mhs spread over 4 cells, issuing a request every ~1.5 s and
+// hopping to the next cell every ~4 s, while every Mss crash/restarts with
+// period `crash_interval` (staggered so the failures rotate through the
+// network).
+Outcome run(std::uint64_t seed, Duration crash_interval, Recovery recovery,
+            replication::Mode repl_mode,
+            const benchutil::BenchOptions* artifacts = nullptr) {
+  harness::ScenarioConfig config = sweep_config(seed, recovery, repl_mode);
   if (artifacts != nullptr) config.telemetry.trace = artifacts->trace();
   harness::World world(config);
   harness::MetricsCollector metrics;
   world.observers().add(&metrics);
+
+  std::map<core::MssId, core::NodeAddress> hosts;
+  for (int m = 0; m < kNumMss; ++m) {
+    hosts[world.mss(m).id()] = world.mss(m).address();
+  }
+  FailoverProbe probe(std::move(hosts));
+  world.observers().add(&probe);
 
   fault::FaultPlan plan;
   plan.seed = seed * 31 + 7;
@@ -132,6 +254,20 @@ Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery,
   }
   world.run_to_quiescence();
   if (artifacts != nullptr) {
+    // Mirror the fail-over distribution into the registry so the CSV/JSON
+    // artifacts carry it (histograms are summarised as gauges: the CSV
+    // time series only samples scalar instruments).
+    auto& registry = world.telemetry().registry();
+    const obs::Labels labels{{"mode", recovery_name(recovery)}};
+    for (const double sample : probe.latency_ms.samples()) {
+      registry.histogram("rdp.failover.latency_ms", labels).add(sample);
+    }
+    registry.gauge("rdp.failover.count", labels)
+        .set(static_cast<double>(probe.latency_ms.count()));
+    registry.gauge("rdp.failover.latency_ms.mean", labels)
+        .set(probe.latency_ms.mean());
+    registry.gauge("rdp.failover.latency_ms.p95", labels)
+        .set(probe.latency_ms.percentile(0.95));
     benchutil::export_artifacts(*artifacts, world.telemetry(), sim.now());
   }
 
@@ -144,9 +280,65 @@ Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery,
   outcome.crashes = metrics.mss_crashes;
   outcome.restored = metrics.proxies_restored;
   outcome.reissued = metrics.requests_reissued;
+  outcome.promotions = metrics.backup_promotions;
+  outcome.adopted = metrics.proxies_adopted;
   if (world.checkpoint_store() != nullptr) {
     outcome.ckpt_bytes = world.checkpoint_store()->bytes_written();
   }
+  outcome.failover_ms = probe.latency_ms;
+  return outcome;
+}
+
+// Mid-hand-off microbenchmark: a single Mh migrates at 400 ms (greet lands
+// at the new Mss ~470 ms; dereg reaches the old Mss ~475 ms) and the old
+// Mss fail-stops at 473 ms — inside the state-transfer window, so the
+// dereg is dropped and the hand-off wedges.  Deterministic latencies
+// (zero jitter) make the two recovery paths directly comparable: the
+// fail-over latency is purely the recovery machinery's reaction time.
+Outcome run_midhandoff(Recovery recovery, replication::Mode repl_mode) {
+  harness::ScenarioConfig config = sweep_config(1, recovery, repl_mode);
+  config.num_mss = 3;
+  config.num_mh = 2;
+  config.wired.jitter = Duration::zero();
+  config.wireless.jitter = Duration::zero();
+  config.server.base_service_time = Duration::millis(500);
+  config.server.service_jitter = Duration::zero();
+  config.rdp.registration_retry = Duration::millis(400);
+  harness::World world(config);
+  harness::MetricsCollector metrics;
+  world.observers().add(&metrics);
+
+  std::map<core::MssId, core::NodeAddress> hosts;
+  for (int m = 0; m < config.num_mss; ++m) {
+    hosts[world.mss(m).id()] = world.mss(m).address();
+  }
+  FailoverProbe probe(std::move(hosts));
+  world.observers().add(&probe);
+
+  fault::FaultPlan plan;
+  plan.crash_at(0, Duration::millis(473), kDowntime);
+  fault::FaultInjector injector(world, plan);
+  injector.arm();
+
+  auto& sim = world.simulator();
+  world.mh(0).power_on(world.cell(0));
+  sim.schedule(Duration::millis(100), [&world] {
+    world.mh(0).issue_request(world.server_address(0), "q");
+  });
+  sim.schedule(Duration::millis(400), [&world] {
+    world.mh(0).migrate(world.cell(1), Duration::millis(50));
+  });
+  world.run_to_quiescence();
+
+  Outcome outcome;
+  outcome.issued = metrics.requests_issued;
+  outcome.delivered = metrics.requests_completed_at_mh();
+  outcome.lost = metrics.requests_lost;
+  outcome.stuck = outcome.issued - outcome.delivered - outcome.lost;
+  outcome.promotions = metrics.backup_promotions;
+  outcome.adopted = metrics.proxies_adopted;
+  outcome.reissued = metrics.requests_reissued;
+  outcome.failover_ms = probe.latency_ms;
   return outcome;
 }
 
@@ -155,8 +347,15 @@ Outcome run(std::uint64_t seed, Duration crash_interval, bool recovery,
 int main(int argc, char** argv) {
   const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   benchutil::banner(
-      "E11", "delivery guarantee vs Mss crash rate",
+      "E11", "delivery guarantee and fail-over latency vs Mss crash rate",
       "future work deferred by §2 (\"failures of Mss's, will be studied\")");
+
+  // --replication selects the mode of the replication arm (default sync);
+  // --replication=off drops the arm and runs the original two-way sweep.
+  const replication::Mode repl_mode = options.replication_set
+                                          ? options.replication
+                                          : replication::Mode::kSync;
+  const bool with_replication = repl_mode != replication::Mode::kOff;
 
   const std::vector<std::uint64_t> seeds{5, 71, 2029};
   const std::vector<Duration> intervals{
@@ -166,40 +365,114 @@ int main(int argc, char** argv) {
   benchutil::section(
       "8 Mhs, 4 crash/restarting Mss's, 40 s workload, 3 seeds per cell");
   stats::Table table({"crash interval/Mss", "mode", "issued", "delivered",
-                      "lost", "stuck", "delivery %", "wire dups", "restored",
-                      "reissued", "ckpt KiB"});
-  std::vector<Outcome> bare_by_interval, rec_by_interval;
+                      "lost", "stuck", "delivery %", "wire dups",
+                      "restored/adopted", "reissued", "failover ms (mean)"});
+  std::vector<Outcome> bare_by_interval, rec_by_interval, repl_by_interval;
   for (const Duration interval : intervals) {
-    Outcome bare, rec;
+    Outcome bare, rec, repl;
     for (const std::uint64_t seed : seeds) {
-      bare += run(seed, interval, /*recovery=*/false);
-      // Canonical artifact: the harshest interval with recovery on, first
-      // seed — crashes, restores and re-issues all show up in the trace.
-      const bool canonical =
-          interval == intervals.front() && seed == seeds.front();
-      rec += run(seed, interval, /*recovery=*/true,
-                 canonical ? &options : nullptr);
+      bare += run(seed, interval, Recovery::kNone, repl_mode);
+      rec += run(seed, interval, Recovery::kCheckpoint, repl_mode);
+      // Canonical artifact: the harshest interval with replication on,
+      // first seed — promotions, adoptions and the fail-over latency
+      // distribution all land in the exported trace/CSV.
+      const bool canonical = with_replication &&
+                             interval == intervals.front() &&
+                             seed == seeds.front();
+      if (with_replication) {
+        repl += run(seed, interval, Recovery::kReplication, repl_mode,
+                    canonical ? &options : nullptr);
+      }
     }
     bare_by_interval.push_back(bare);
     rec_by_interval.push_back(rec);
+    if (with_replication) repl_by_interval.push_back(repl);
     const std::string label =
         stats::Table::fmt(
             static_cast<std::uint64_t>(interval.count_micros() / 1000)) +
         " ms";
-    auto row = [&](const char* mode, const Outcome& o, bool recovery) {
+    auto row = [&](const char* mode, const Outcome& o, std::uint64_t covered) {
       table.add_row({label, mode, stats::Table::fmt(o.issued),
                      stats::Table::fmt(o.delivered), stats::Table::fmt(o.lost),
                      stats::Table::fmt(o.stuck),
                      stats::Table::fmt(100.0 * o.ratio(), 2),
                      stats::Table::fmt(o.duplicates),
-                     recovery ? stats::Table::fmt(o.restored) : "-",
-                     recovery ? stats::Table::fmt(o.reissued) : "-",
-                     recovery ? stats::Table::fmt(o.ckpt_bytes / 1024) : "-"});
+                     stats::Table::fmt(covered), stats::Table::fmt(o.reissued),
+                     o.failover_ms.empty()
+                         ? "-"
+                         : stats::Table::fmt(o.failover_ms.mean(), 1)});
     };
-    row("no-recovery", bare, false);
-    row("checkpoint-recovery", rec, true);
+    row("no-recovery", bare, 0);
+    row("checkpoint-recovery", rec, rec.restored);
+    if (with_replication) {
+      row(replication::mode_name(repl_mode), repl, repl.adopted);
+    }
   }
   table.print(std::cout);
+
+  if (with_replication) {
+    benchutil::section(
+        "mid-hand-off crash (deterministic; fail-stop inside the greet -> "
+        "deregAck window)");
+    stats::Table mh_table({"mode", "delivered", "lost", "promotions",
+                           "reissued", "failover ms"});
+    const Outcome mh_ckpt =
+        run_midhandoff(Recovery::kCheckpoint, repl_mode);
+    const Outcome mh_repl =
+        run_midhandoff(Recovery::kReplication, repl_mode);
+    auto mh_row = [&](const char* mode, const Outcome& o) {
+      mh_table.add_row({mode, stats::Table::fmt(o.delivered),
+                        stats::Table::fmt(o.lost),
+                        stats::Table::fmt(o.promotions),
+                        stats::Table::fmt(o.reissued),
+                        o.failover_ms.empty()
+                            ? "-"
+                            : stats::Table::fmt(o.failover_ms.mean(), 1)});
+    };
+    mh_row("checkpoint-recovery", mh_ckpt);
+    mh_row(replication::mode_name(repl_mode), mh_repl);
+    mh_table.print(std::cout);
+
+    bool repl_all_delivered = true;
+    bool repl_faster_everywhere = true;
+    std::uint64_t repl_promotions = 0, repl_adopted = 0;
+    std::uint64_t repl_reissued = 0, ckpt_reissued = 0;
+    for (std::size_t i = 0; i < repl_by_interval.size(); ++i) {
+      const Outcome& repl = repl_by_interval[i];
+      const Outcome& ckpt = rec_by_interval[i];
+      if (repl.delivered != repl.issued) repl_all_delivered = false;
+      if (repl.failover_ms.empty() || ckpt.failover_ms.empty() ||
+          repl.failover_ms.mean() >= ckpt.failover_ms.mean()) {
+        repl_faster_everywhere = false;
+      }
+      repl_promotions += repl.promotions;
+      repl_adopted += repl.adopted;
+      repl_reissued += repl.reissued;
+      ckpt_reissued += ckpt.reissued;
+    }
+    benchutil::claim(
+        "replication: 100% of issued requests delivered at every crash "
+        "interval (at-least-once without restarts)",
+        repl_all_delivered);
+    benchutil::claim(
+        "replication: backup-promotion fail-over latency strictly below "
+        "checkpoint-restore at every crash interval (equal schedules)",
+        repl_faster_everywhere);
+    benchutil::claim(
+        "replication exercised: backups promoted and proxies adopted",
+        repl_promotions > 0 && repl_adopted > 0);
+    benchutil::claim(
+        "replication leans on the Mh watchdog less than checkpointing "
+        "(fewer re-issues under the same schedules)",
+        repl_reissued < ckpt_reissued);
+    benchutil::claim(
+        "mid-hand-off crash: both paths deliver, replication promotes and "
+        "reacts strictly faster than checkpoint-restore",
+        mh_ckpt.delivered == mh_ckpt.issued &&
+            mh_repl.delivered == mh_repl.issued && mh_repl.promotions > 0 &&
+            !mh_ckpt.failover_ms.empty() && !mh_repl.failover_ms.empty() &&
+            mh_repl.failover_ms.mean() < mh_ckpt.failover_ms.mean());
+  }
 
   bool rec_all_delivered = true, rec_fully_accounted = true;
   std::uint64_t rec_restored = 0, rec_reissued = 0, rec_duplicates = 0;

@@ -13,6 +13,7 @@
 
 #include "common/time.h"
 #include "obs/telemetry.h"
+#include "replication/replication.h"
 
 namespace rdp::benchutil {
 
@@ -20,17 +21,38 @@ namespace rdp::benchutil {
 //   --trace out.json    write a Chrome/Perfetto trace-event file for the
 //                       binary's canonical scenario
 //   --metrics out.csv   write the metrics registry time series as CSV
+//   --replication=MODE  proxy replication mode (off|async|sync) for binaries
+//                       with a replicated variant; others ignore it
 struct BenchOptions {
   std::string trace_path;
   std::string metrics_path;
+  replication::Mode replication = replication::Mode::kOff;
+  bool replication_set = false;  // true when --replication appeared
 
   [[nodiscard]] bool trace() const { return !trace_path.empty(); }
   [[nodiscard]] bool metrics() const { return !metrics_path.empty(); }
   [[nodiscard]] bool any() const { return trace() || metrics(); }
 };
 
+// Maps "off"/"async"/"sync" to a replication::Mode; false on anything else.
+inline bool parse_replication_mode(const std::string& value,
+                                   replication::Mode* out) {
+  if (value == "off") {
+    *out = replication::Mode::kOff;
+  } else if (value == "async") {
+    *out = replication::Mode::kAsync;
+  } else if (value == "sync") {
+    *out = replication::Mode::kSync;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 inline void usage(const char* argv0, std::ostream& os) {
-  os << "usage: " << argv0 << " [--trace out.json] [--metrics out.csv]\n";
+  os << "usage: " << argv0
+     << " [--trace out.json] [--metrics out.csv]"
+        " [--replication={off,async,sync}]\n";
 }
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -49,6 +71,17 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.trace_path = value("--trace");
     } else if (arg == "--metrics") {
       options.metrics_path = value("--metrics");
+    } else if (arg == "--replication" || arg.rfind("--replication=", 0) == 0) {
+      const std::string mode = arg == "--replication"
+                                   ? value("--replication")
+                                   : arg.substr(std::string("--replication=").size());
+      if (!parse_replication_mode(mode, &options.replication)) {
+        std::cerr << argv[0] << ": --replication expects off|async|sync, got '"
+                  << mode << "'\n";
+        usage(argv[0], std::cerr);
+        std::exit(2);
+      }
+      options.replication_set = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], std::cout);
       std::exit(0);

@@ -77,7 +77,17 @@ void CausalLayer::deliver(Shim& shim, NodeState& node,
       node.sent[k][l] = std::max(node.sent[k][l], wrapped->sent_snapshot[k][l]);
     }
   }
-  node.sent[wrapped->src_index][wrapped->dst_index] += 1;
+  // SENT_j[i][j] must account for this message, which the snapshot (taken
+  // before the sender counted the send) does not include.  Use max() with
+  // ST[i][j]+1 rather than an unconditional increment: a self-addressed
+  // message is delivered on the sender's own matrix, which already counted
+  // this send at send() time — incrementing again would inflate SENT[i][i]
+  // past DELIV[i] and wedge every later self-send in the buffer.
+  const auto& src_row = wrapped->sent_snapshot[wrapped->src_index];
+  const std::uint64_t at_send =
+      wrapped->dst_index < src_row.size() ? src_row[wrapped->dst_index] : 0;
+  auto& cell = node.sent[wrapped->src_index][wrapped->dst_index];
+  cell = std::max(cell, at_send + 1);
   node.deliv[wrapped->src_index] += 1;
 
   net::Envelope unwrapped = envelope;

@@ -37,6 +37,7 @@ struct ProxyCheckpoint {
   struct Request {
     common::RequestId request;
     common::NodeAddress server;
+    std::string body;  // original request body, for post-recovery re-query
     bool stream = false;
     bool del_pref_announced = false;
     std::vector<Result> unacked;
@@ -47,15 +48,10 @@ struct ProxyCheckpoint {
   common::NodeAddress current_loc;
   std::vector<Request> requests;
 
-  // Approximate encoded size, for write-bandwidth accounting.
-  [[nodiscard]] std::size_t wire_size() const {
-    std::size_t size = 24;  // proxy + mh + currentLoc
-    for (const Request& request : requests) {
-      size += 24;
-      for (const Result& result : request.unacked) size += 16 + result.body.size();
-    }
-    return size;
-  }
+  // Exact encoded size (defined with the codec): the record is run through
+  // the real wire encoding, so bytes_written() and replication-traffic
+  // accounting agree with what a socket deployment would ship.
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 class ProxyCheckpointStore {

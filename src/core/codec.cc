@@ -49,7 +49,63 @@ Pref get_pref(Reader& reader) {
   return pref;
 }
 
+void put_checkpoint(Writer& writer, const ProxyCheckpoint& record) {
+  put_proxy(writer, record.proxy);
+  put_mh(writer, record.mh);
+  put_node(writer, record.current_loc);
+  writer.u32(static_cast<std::uint32_t>(record.requests.size()));
+  for (const ProxyCheckpoint::Request& request : record.requests) {
+    put_request(writer, request.request);
+    put_node(writer, request.server);
+    writer.str(request.body);
+    writer.boolean(request.stream);
+    writer.boolean(request.del_pref_announced);
+    writer.u32(static_cast<std::uint32_t>(request.unacked.size()));
+    for (const ProxyCheckpoint::Result& result : request.unacked) {
+      writer.u32(result.seq);
+      writer.boolean(result.final);
+      writer.str(result.body);
+      writer.u32(result.attempts);
+    }
+  }
+}
+
+ProxyCheckpoint get_checkpoint(Reader& reader) {
+  ProxyCheckpoint record;
+  record.proxy = get_proxy(reader);
+  record.mh = get_mh(reader);
+  record.current_loc = get_node(reader);
+  const std::uint32_t num_requests = reader.u32();
+  record.requests.reserve(num_requests);
+  for (std::uint32_t i = 0; i < num_requests; ++i) {
+    ProxyCheckpoint::Request request;
+    request.request = get_request(reader);
+    request.server = get_node(reader);
+    request.body = reader.str();
+    request.stream = reader.boolean();
+    request.del_pref_announced = reader.boolean();
+    const std::uint32_t num_results = reader.u32();
+    request.unacked.reserve(num_results);
+    for (std::uint32_t j = 0; j < num_results; ++j) {
+      ProxyCheckpoint::Result result;
+      result.seq = reader.u32();
+      result.final = reader.boolean();
+      result.body = reader.str();
+      result.attempts = reader.u32();
+      request.unacked.push_back(std::move(result));
+    }
+    record.requests.push_back(std::move(request));
+  }
+  return record;
+}
+
 }  // namespace
+
+std::size_t ProxyCheckpoint::wire_size() const {
+  Writer writer;
+  put_checkpoint(writer, *this);
+  return writer.size();
+}
 
 std::vector<std::uint8_t> encode(const net::MessageBase& message) {
   Writer writer;
@@ -176,6 +232,42 @@ std::vector<std::uint8_t> encode(const net::MessageBase& message) {
     put_mh(writer, restore->mh);
     put_node(writer, restore->proxy_host);
     put_proxy(writer, restore->proxy);
+  } else if (const auto* rupd = dynamic_cast<const MsgReplicaUpdate*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kReplicaUpdate));
+    put_mss(writer, rupd->primary);
+    writer.u64(rupd->seq);
+    put_checkpoint(writer, rupd->record);
+  } else if (const auto* rer = dynamic_cast<const MsgReplicaErase*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kReplicaErase));
+    put_mss(writer, rer->primary);
+    writer.u64(rer->seq);
+    put_proxy(writer, rer->proxy);
+  } else if (const auto* rhb =
+                 dynamic_cast<const MsgReplicaHeartbeat*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kReplicaHeartbeat));
+    put_mss(writer, rhb->primary);
+  } else if (const auto* rsync =
+                 dynamic_cast<const MsgReplicaResync*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kReplicaResync));
+    put_mss(writer, rsync->backup);
+  } else if (const auto* repair = dynamic_cast<const MsgPrefRepair*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kPrefRepair));
+    put_mh(writer, repair->mh);
+    put_node(writer, repair->old_host);
+    put_proxy(writer, repair->old_proxy);
+    put_node(writer, repair->new_host);
+    put_proxy(writer, repair->new_proxy);
+  } else if (const auto* nack =
+                 dynamic_cast<const MsgPrefRepairNack*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kPrefRepairNack));
+    put_mh(writer, nack->mh);
+    put_proxy(writer, nack->new_proxy);
+  } else if (const auto* resume =
+                 dynamic_cast<const MsgTransferResume*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kTransferResume));
+    put_mh(writer, resume->mh);
+    put_node(writer, resume->old_host);
+    put_proxy(writer, resume->old_proxy);
   } else {
     RDP_CHECK(false, std::string("cannot encode message type: ") +
                          message.name());
@@ -346,6 +438,50 @@ net::PayloadPtr decode(const std::vector<std::uint8_t>& buffer) {
       const NodeAddress proxy_host = get_node(reader);
       const ProxyId proxy = get_proxy(reader);
       payload = net::make_message<MsgPrefRestore>(mh, proxy_host, proxy);
+      break;
+    }
+    case MessageTag::kReplicaUpdate: {
+      const MssId primary = get_mss(reader);
+      const std::uint64_t seq = reader.u64();
+      ProxyCheckpoint record = get_checkpoint(reader);
+      payload =
+          net::make_message<MsgReplicaUpdate>(primary, seq, std::move(record));
+      break;
+    }
+    case MessageTag::kReplicaErase: {
+      const MssId primary = get_mss(reader);
+      const std::uint64_t seq = reader.u64();
+      const ProxyId proxy = get_proxy(reader);
+      payload = net::make_message<MsgReplicaErase>(primary, seq, proxy);
+      break;
+    }
+    case MessageTag::kReplicaHeartbeat:
+      payload = net::make_message<MsgReplicaHeartbeat>(get_mss(reader));
+      break;
+    case MessageTag::kReplicaResync:
+      payload = net::make_message<MsgReplicaResync>(get_mss(reader));
+      break;
+    case MessageTag::kPrefRepair: {
+      const MhId mh = get_mh(reader);
+      const NodeAddress old_host = get_node(reader);
+      const ProxyId old_proxy = get_proxy(reader);
+      const NodeAddress new_host = get_node(reader);
+      const ProxyId new_proxy = get_proxy(reader);
+      payload = net::make_message<MsgPrefRepair>(mh, old_host, old_proxy,
+                                                 new_host, new_proxy);
+      break;
+    }
+    case MessageTag::kPrefRepairNack: {
+      const MhId mh = get_mh(reader);
+      const ProxyId new_proxy = get_proxy(reader);
+      payload = net::make_message<MsgPrefRepairNack>(mh, new_proxy);
+      break;
+    }
+    case MessageTag::kTransferResume: {
+      const MhId mh = get_mh(reader);
+      const NodeAddress old_host = get_node(reader);
+      const ProxyId old_proxy = get_proxy(reader);
+      payload = net::make_message<MsgTransferResume>(mh, old_host, old_proxy);
       break;
     }
     default:

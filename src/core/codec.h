@@ -37,6 +37,14 @@ enum class MessageTag : std::uint8_t {
   kUpdateCurrentLoc = 20,
   kProxyGone = 21,
   kPrefRestore = 22,
+  // Primary/backup replication (src/replication).
+  kReplicaUpdate = 23,
+  kReplicaErase = 24,
+  kReplicaHeartbeat = 25,
+  kReplicaResync = 26,
+  kPrefRepair = 27,
+  kPrefRepairNack = 28,
+  kTransferResume = 29,
 };
 
 // Encodes any core message.  Throws common::InvariantViolation for message

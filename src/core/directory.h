@@ -6,8 +6,10 @@
 // Mss named in a greet message.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/check.h"
 #include "common/ids.h"
@@ -74,10 +76,49 @@ class Directory {
 
   [[nodiscard]] bool mss_up(MssId mss) const { return !down_.contains(mss); }
 
+  // Reverse lookup: which Mss owns this wired address?  invalid() when the
+  // address belongs to no Mss (e.g. a server).  Used by the replication
+  // subsystem to map a pref's proxy_host back to a (possibly down) Mss.
+  [[nodiscard]] MssId mss_at(NodeAddress address) const {
+    for (const auto& [mss, addr] : mss_address_) {
+      if (addr == address) return mss;
+    }
+    return MssId::invalid();
+  }
+
+  // --- primary/backup replication (src/replication) ------------------------
+  // Each primary Mss is assigned at most one backup; the assignment is
+  // static for the world's lifetime (the harness builds a ring).
+  void register_backup(MssId primary, MssId backup) {
+    RDP_CHECK(mss_address_.contains(primary), "backup for unknown primary");
+    RDP_CHECK(mss_address_.contains(backup), "unknown backup Mss");
+    RDP_CHECK(primary != backup, "an Mss cannot back itself");
+    backup_of_[primary] = backup;
+  }
+
+  // invalid() when the primary has no backup (replication off).
+  [[nodiscard]] MssId backup_of(MssId primary) const {
+    auto it = backup_of_.find(primary);
+    return it == backup_of_.end() ? MssId::invalid() : it->second;
+  }
+
+  // All primaries that replicate to `backup`, in id order (a restarted
+  // backup uses this to ask each of them for a shadow-table resync).
+  [[nodiscard]] std::vector<MssId> primaries_backed_by(MssId backup) const {
+    std::vector<MssId> out;
+    for (const auto& [primary, b] : backup_of_) {
+      if (b == backup) out.push_back(primary);
+    }
+    std::sort(out.begin(), out.end(),
+              [](MssId a, MssId b) { return a.value() < b.value(); });
+    return out;
+  }
+
  private:
   std::unordered_map<MssId, NodeAddress> mss_address_;
   std::unordered_map<CellId, MssId> cell_mss_;
   std::unordered_map<ServerId, NodeAddress> server_address_;
+  std::unordered_map<MssId, MssId> backup_of_;
   std::unordered_set<MssId> down_;
   std::uint32_t next_address_ = 0;
 };

@@ -40,7 +40,7 @@ class RdpObserver {
   // Number of virtual hooks below.  When adding a hook, bump this AND add
   // the matching fan-out override to ObserverList — the events_fanout test
   // fails if either is forgotten.
-  static constexpr int kHookCount = 21;
+  static constexpr int kHookCount = 22;
 
   // --- proxy life-cycle (§3.3) ---
   virtual void on_proxy_created(SimTime, MhId, NodeAddress /*host*/,
@@ -95,6 +95,12 @@ class RdpObserver {
                                  ProxyId) {}
   virtual void on_request_reissued(SimTime, MhId, RequestId,
                                    int /*attempt*/) {}
+  // A backup Mss detected its primary's crash (lease expiry or an explicit
+  // transfer-resume) and promoted the shadow table: the primary's proxies
+  // now live at the backup, without waiting for Mss::restart.
+  virtual void on_backup_promoted(SimTime, MssId /*primary*/,
+                                  MssId /*backup*/,
+                                  std::size_t /*proxies_adopted*/) {}
 };
 
 // Fans one event stream out to several observers.
@@ -191,6 +197,10 @@ class ObserverList final : public RdpObserver {
   void on_request_reissued(SimTime t, MhId mh, RequestId r,
                            int attempt) override {
     for (auto* o : observers_) o->on_request_reissued(t, mh, r, attempt);
+  }
+  void on_backup_promoted(SimTime t, MssId primary, MssId backup,
+                          std::size_t adopted) override {
+    for (auto* o : observers_) o->on_backup_promoted(t, primary, backup, adopted);
   }
 
  private:

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/ids.h"
+#include "core/checkpoint.h"
 #include "net/message.h"
 
 namespace rdp::core {
@@ -471,6 +472,127 @@ struct MsgProxyGone final : net::MessageBase {
   [[nodiscard]] const char* name() const override { return "proxyGone"; }
   [[nodiscard]] std::size_t wire_size() const override {
     return 40 + body.size();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Primary/backup replication (src/replication; DESIGN extension).
+//
+// The paper's Mss's "are assumed not to fail" (§2); the replication
+// subsystem drops the assumption without waiting for a restart: every proxy
+// mutation at a primary Mss is shipped to a backup Mss as a full
+// ProxyCheckpoint delta, the backup applies it to a shadow table, and on a
+// lease expiry (or an explicit transfer-resume) the backup promotes the
+// shadow records into live proxies and repairs the prefs that still name
+// the dead primary.
+// ---------------------------------------------------------------------------
+
+// primary -> backup: one proxy's full state after a mutation.  `seq` is a
+// per-primary shipping counter so a reordered or duplicated delta can never
+// roll the shadow record back.
+struct MsgReplicaUpdate final : net::MessageBase {
+  MssId primary;
+  std::uint64_t seq;
+  ProxyCheckpoint record;
+
+  MsgReplicaUpdate(MssId primary_in, std::uint64_t seq_in,
+                   ProxyCheckpoint record_in)
+      : primary(primary_in), seq(seq_in), record(std::move(record_in)) {}
+  [[nodiscard]] const char* name() const override { return "replicaUpdate"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + record.wire_size();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "replicaUpdate(" + record.proxy.str() + "," + record.mh.str() + ")";
+  }
+};
+
+// primary -> backup: the proxy completed its deletion handshake; drop its
+// shadow record.
+struct MsgReplicaErase final : net::MessageBase {
+  MssId primary;
+  std::uint64_t seq;
+  ProxyId proxy;
+
+  MsgReplicaErase(MssId primary_in, std::uint64_t seq_in, ProxyId proxy_in)
+      : primary(primary_in), seq(seq_in), proxy(proxy_in) {}
+  [[nodiscard]] const char* name() const override { return "replicaErase"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+// primary -> backup: lease renewal while the primary has replicated proxies
+// but no state changes to ship.
+struct MsgReplicaHeartbeat final : net::MessageBase {
+  MssId primary;
+
+  explicit MsgReplicaHeartbeat(MssId primary_in) : primary(primary_in) {}
+  [[nodiscard]] const char* name() const override { return "replicaHeartbeat"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+// restarted backup -> primary: the backup lost its (volatile) shadow table
+// in its own crash; ask the primary to re-ship every live proxy.
+struct MsgReplicaResync final : net::MessageBase {
+  MssId backup;
+
+  explicit MsgReplicaResync(MssId backup_in) : backup(backup_in) {}
+  [[nodiscard]] const char* name() const override { return "replicaResync"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+// promoted backup -> respMss: the proxy at (old_host, old_proxy) lives on
+// as (new_host, new_proxy); rewrite the Mh's pref so delivery resumes.
+struct MsgPrefRepair final : net::MessageBase {
+  MhId mh;
+  NodeAddress old_host;
+  ProxyId old_proxy;
+  NodeAddress new_host;
+  ProxyId new_proxy;
+
+  MsgPrefRepair(MhId mh_in, NodeAddress old_host_in, ProxyId old_proxy_in,
+                NodeAddress new_host_in, ProxyId new_proxy_in)
+      : mh(mh_in),
+        old_host(old_host_in),
+        old_proxy(old_proxy_in),
+        new_host(new_host_in),
+        new_proxy(new_proxy_in) {}
+  [[nodiscard]] const char* name() const override { return "prefRepair"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] std::string describe() const override {
+    return "prefRepair(" + mh.str() + "->" + new_host.str() + ")";
+  }
+};
+
+// respMss -> promoted backup: the repair lost its race (a fresh proxy
+// already took over, or the Mh is gone for good); the adopted incarnation
+// is garbage and the backup should reclaim it.
+struct MsgPrefRepairNack final : net::MessageBase {
+  MhId mh;
+  ProxyId new_proxy;
+
+  MsgPrefRepairNack(MhId mh_in, ProxyId new_proxy_in)
+      : mh(mh_in), new_proxy(new_proxy_in) {}
+  [[nodiscard]] const char* name() const override { return "prefRepairNack"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 20; }
+};
+
+// respMss -> backup of a dead Mss: transfer-resume handshake for the
+// hand-off window.  A deregAck (or greet) left this Mss holding a pref —
+// or just a registration — whose proxy host is down; ask the backup for
+// the adopted incarnation instead of waiting for the Mh watchdog.
+// `old_proxy` may be invalid when only the host is known (greet path); the
+// backup then resolves the proxy by Mh.
+struct MsgTransferResume final : net::MessageBase {
+  MhId mh;
+  NodeAddress old_host;
+  ProxyId old_proxy;
+
+  MsgTransferResume(MhId mh_in, NodeAddress old_host_in, ProxyId old_proxy_in)
+      : mh(mh_in), old_host(old_host_in), old_proxy(old_proxy_in) {}
+  [[nodiscard]] const char* name() const override { return "transferResume"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+  [[nodiscard]] std::string describe() const override {
+    return "transferResume(" + mh.str() + "," + old_host.str() + ")";
   }
 };
 

@@ -78,6 +78,14 @@ void Mss::handle_join(MhId mh) {
     }
     restored_bindings_.erase(it);
   }
+  // A repair deferred during a hand-off that collapsed into this join (the
+  // old Mss died mid-transfer) applies now — or, if the checkpoint rebind
+  // above installed a fresh local proxy, resolves as a conflict Nack.
+  if (auto rit = pending_repairs_.find(mh); rit != pending_repairs_.end()) {
+    const MsgPrefRepair repair = rit->second;
+    pending_repairs_.erase(rit);
+    handle_pref_repair(repair);
+  }
   send_registration_ack(mh);
 }
 
@@ -119,6 +127,11 @@ void Mss::handle_greet(MhId mh, MssId old_mss) {
     pending_handoffs_.erase(mh);
     count("mss.greet_old_mss_down");
     handle_join(mh);
+    // Transfer-resume handshake: if the dead Mss has a backup, ask it to
+    // re-point the Mh at the replica proxy (the local proxy id at the old
+    // host is unknown here — the backup resolves by Mh).
+    request_transfer_resume(mh, runtime_.directory.mss_address(old_mss),
+                            ProxyId::invalid());
     return;
   }
   if (pending_handoffs_.contains(mh)) return;  // already de-registering
@@ -281,6 +294,14 @@ void Mss::on_message(const net::Envelope& envelope) {
     handle_proxy_gone(*m10);
   } else if (const auto* m11 = net::message_cast<MsgPrefRestore>(payload)) {
     handle_pref_restore(*m11);
+  } else if (const auto* m12 = net::message_cast<MsgPrefRepair>(payload)) {
+    handle_pref_repair(*m12);
+  } else if (const auto* m13 = net::message_cast<MsgPrefRepairNack>(payload)) {
+    handle_pref_repair_nack(*m13);
+  } else if (replication_ != nullptr &&
+             replication_->on_wired_message(envelope)) {
+    // Consumed by the replication subsystem (replica deltas, heartbeats,
+    // resyncs, transfer-resumes).
   } else {
     count("mss.unknown_wired");
   }
@@ -353,6 +374,12 @@ void Mss::handle_dereg_ack(const MsgDeregAck& msg) {
     runtime_.wired.send(address_, pending.chained_to,
                         net::make_message<MsgDeregAck>(mh, msg.pref));
     departed_to_[mh] = pending.chained_to;
+    if (auto rit = pending_repairs_.find(mh); rit != pending_repairs_.end()) {
+      // A deferred repair chases the pref to the Mh's newest Mss.
+      const MsgPrefRepair repair = rit->second;
+      pending_repairs_.erase(rit);
+      handle_pref_repair(repair);
+    }
     return;
   }
 
@@ -364,10 +391,20 @@ void Mss::handle_dereg_ack(const MsgDeregAck& msg) {
       runtime_.simulator.now() - pending.started, msg.wire_size());
   count("mss.handoffs_in");
 
+  // A repair that arrived mid-hand-off is applied now that the pref is
+  // here; its install path sends the update_currentLoc itself.
+  if (auto rit = pending_repairs_.find(mh); rit != pending_repairs_.end()) {
+    const MsgPrefRepair repair = rit->second;
+    pending_repairs_.erase(rit);
+    handle_pref_repair(repair);
+  }
+  const Pref& pref = prefs_.at(mh);
+  const bool repair_rewrote = pref.proxy_host != msg.pref.proxy_host ||
+                              pref.proxy != msg.pref.proxy;
   // §3.2: "responsibility for Mh is officially transferred ... and updates
   // Mh's new location with its proxy, by sending the update_currLoc
   // message."
-  if (msg.pref.has_proxy()) send_update_currentloc(mh, msg.pref);
+  if (pref.has_proxy() && !repair_rewrote) send_update_currentloc(mh, pref);
   send_registration_ack(mh);
 }
 
@@ -571,6 +608,88 @@ void Mss::handle_pref_restore(const MsgPrefRestore& msg) {
   send_update_currentloc(msg.mh, pref);
 }
 
+void Mss::handle_pref_repair(const MsgPrefRepair& msg) {
+  // A promoted backup adopted the Mh's proxy (previously at msg.old_host)
+  // under (msg.new_host, msg.new_proxy) and asks us to re-point the pref.
+  // Any failure mode that leaves the adopted proxy unused must Nack it
+  // back to the backup, or its pending requests hang unaccounted.
+  if (!local_mhs_.contains(msg.mh)) {
+    if (auto it = departed_to_.find(msg.mh); it != departed_to_.end()) {
+      // The Mh moved on; chase the repair to wherever the pref went.
+      runtime_.wired.send(address_, it->second,
+                          net::make_message<MsgPrefRepair>(msg));
+      count("mss.pref_repairs_chased");
+      return;
+    }
+    if (pending_handoffs_.contains(msg.mh)) {
+      // The pref is still in flight towards us; apply once the deregAck
+      // lands (handle_dereg_ack / handle_join drain pending_repairs_).
+      pending_repairs_.insert_or_assign(msg.mh, msg);
+      count("mss.pref_repairs_deferred");
+      return;
+    }
+    count("mss.pref_repairs_missed");
+    runtime_.wired.send(
+        address_, msg.new_host,
+        net::make_message<MsgPrefRepairNack>(msg.mh, msg.new_proxy));
+    return;
+  }
+  Pref& pref = prefs_.at(msg.mh);
+  if (pref.has_proxy()) {
+    if (pref.proxy_host == msg.new_host && pref.proxy == msg.new_proxy) {
+      // Duplicate repair (lease expiry racing a transfer-resume answer).
+      pref.clear_rkpr();
+      count("mss.pref_repairs_duplicate");
+      return;
+    }
+    if (pref.proxy_host != msg.old_host || pref.proxy != msg.old_proxy) {
+      // The pref names a different live proxy (e.g. healed fresh after a
+      // proxyGone, or rebound to a checkpoint-restored copy): keep it and
+      // let the backup reclaim the adopted incarnation.
+      count("mss.pref_repairs_conflict");
+      runtime_.wired.send(
+          address_, msg.new_host,
+          net::make_message<MsgPrefRepairNack>(msg.mh, msg.new_proxy));
+      return;
+    }
+  }
+  pref.proxy_host = msg.new_host;
+  pref.proxy = msg.new_proxy;
+  pref.clear_rkpr();
+  count("mss.prefs_repaired");
+  // Tell the adopted proxy where the Mh is; it re-sends every
+  // unacknowledged result to us (§3.1 semantics, new incarnation).
+  send_update_currentloc(msg.mh, pref);
+}
+
+void Mss::handle_pref_repair_nack(const MsgPrefRepairNack& msg) {
+  auto it = proxies_.find(msg.new_proxy);
+  if (it == proxies_.end() || it->second->mh() != msg.mh) {
+    count("mss.repair_nacks_stale");
+    return;
+  }
+  // The repair lost: a different proxy (or nobody) serves the Mh now.
+  drop_adopted_proxy(msg.new_proxy);
+}
+
+void Mss::drop_adopted_proxy(ProxyId proxy) {
+  auto it = proxies_.find(proxy);
+  if (it == proxies_.end()) return;
+  // Without the re-issue watchdog the adopted requests are unrecoverable
+  // from this incarnation — account them before tearing it down.  (These
+  // requests reached a proxy at the *old* host, so the R4 delete-host
+  // bookkeeping stays consistent.)
+  if (!runtime_.config.mh_reissue) {
+    for (const RequestId request : it->second->pending_requests()) {
+      runtime_.observer.on_request_lost(runtime_.simulator.now(),
+                                        it->second->mh(), request,
+                                        RequestLossReason::kProxyGone);
+    }
+  }
+  count("mss.adopted_proxies_dropped");
+  delete_proxy(proxy, /*via_gc=*/false);
+}
+
 // ---------------------------------------------------------------------------
 // Helpers.
 // ---------------------------------------------------------------------------
@@ -586,6 +705,33 @@ Proxy& Mss::create_proxy(MhId mh) {
   // drains its event queue (run_to_quiescence terminates).
   if (runtime_.config.idle_proxy_gc && !gc_scheduled_) schedule_gc();
   return ref;
+}
+
+Proxy& Mss::adopt_proxy(const ProxyCheckpoint& record) {
+  // The record's proxy id was allocated by the dead primary; re-home the
+  // state under a fresh id from our own namespace so the two incarnations
+  // can never collide in wired messages that outlive the crash.
+  ProxyCheckpoint local = record;
+  local.proxy = ProxyId{next_proxy_++};
+  auto proxy = std::make_unique<Proxy>(runtime_, *this, address_, local);
+  Proxy& ref = *proxy;
+  proxies_.emplace(local.proxy, std::move(proxy));
+  ++proxies_hosted_total_;
+  count("mss.proxies_adopted");
+  if (runtime_.config.idle_proxy_gc && !gc_scheduled_) schedule_gc();
+  // The adopted proxy is durable/replicated state of *this* host now.
+  checkpoint_proxy(local.proxy);
+  // Requests whose server reply died with the primary would hang forever
+  // (the reply was addressed to the dead host); ask the servers again.
+  ref.requery_servers();
+  return ref;
+}
+
+std::vector<ProxyCheckpoint> Mss::checkpoint_all() const {
+  std::vector<ProxyCheckpoint> out;
+  out.reserve(proxies_.size());
+  for (const auto& [id, proxy] : proxies_) out.push_back(proxy->checkpoint());
+  return out;
 }
 
 void Mss::route_to_proxy(const Pref& pref, net::PayloadPtr payload,
@@ -616,6 +762,18 @@ void Mss::send_registration_ack(MhId mh) {
 }
 
 void Mss::send_update_currentloc(MhId mh, const Pref& pref) {
+  if (pref.proxy_host != address_) {
+    const MssId host_mss = runtime_.directory.mss_at(pref.proxy_host);
+    if (host_mss.valid() && !runtime_.directory.mss_up(host_mss)) {
+      // The proxy host is down: the update would fall on deaf ears.  Start
+      // the transfer-resume handshake instead; the dead host's backup
+      // (promoted, or promoting on this very message) answers with a
+      // prefRepair that re-points the pref and re-drives delivery.
+      count("mss.update_to_down_host");
+      request_transfer_resume(mh, pref.proxy_host, pref.proxy);
+      return;
+    }
+  }
   runtime_.observer.on_update_currentloc(runtime_.simulator.now(), mh,
                                          pref.proxy_host, address_);
   count("mss.update_currentloc_sent");
@@ -634,6 +792,23 @@ void Mss::send_update_currentloc(MhId mh, const Pref& pref) {
       net::make_message<MsgUpdateCurrentLoc>(mh, pref.proxy, address_));
 }
 
+void Mss::request_transfer_resume(MhId mh, NodeAddress dead_host,
+                                  ProxyId old_proxy) {
+  const MssId dead = runtime_.directory.mss_at(dead_host);
+  if (!dead.valid()) return;
+  const MssId backup = runtime_.directory.backup_of(dead);
+  if (!backup.valid()) {
+    // No replication for that host; the Mh watchdog (or its restart plus
+    // checkpoint restore) is the only recovery path.
+    count("mss.transfer_resume_no_backup");
+    return;
+  }
+  count("mss.transfer_resumes_sent");
+  runtime_.wired.send(
+      address_, runtime_.directory.mss_address(backup),
+      net::make_message<MsgTransferResume>(mh, dead_host, old_proxy));
+}
+
 void Mss::delete_proxy(ProxyId id, bool via_gc) {
   auto it = proxies_.find(id);
   RDP_CHECK(it != proxies_.end(), "deleting unknown proxy");
@@ -642,6 +817,7 @@ void Mss::delete_proxy(ProxyId id, bool via_gc) {
   count(via_gc ? "mss.proxies_gc" : "mss.proxies_deleted");
   proxies_.erase(it);
   if (checkpoint_store_ != nullptr) checkpoint_store_->erase(id_, id);
+  if (replication_ != nullptr) replication_->on_proxy_erased(id);
   std::erase_if(restored_bindings_,
                 [id](const auto& entry) { return entry.second == id; });
 }
@@ -703,6 +879,11 @@ void Mss::crash() {
           checkpoint_store_->contains(id_, id)) {
         continue;
       }
+      if (replication_ != nullptr && replication_->covers(id)) {
+        // The proxy's state reached the backup at least once; its promotion
+        // resumes delivery without waiting for our restart.
+        continue;
+      }
       for (const RequestId request : proxy->pending_requests()) {
         runtime_.observer.on_request_lost(runtime_.simulator.now(),
                                           proxy->mh(), request,
@@ -721,8 +902,10 @@ void Mss::crash() {
   prefs_.clear();
   local_mhs_.clear();
   pending_handoffs_.clear();
+  pending_repairs_.clear();
   departed_to_.clear();
   restored_bindings_.clear();
+  if (replication_ != nullptr) replication_->on_host_crashed();
   for (auto& [mh, results] : cached_results_) {
     for (auto& [key, cached] : results) cached.timer.cancel();
   }
@@ -760,14 +943,19 @@ void Mss::restart() {
       schedule_gc();
     }
   }
+  if (replication_ != nullptr) replication_->on_host_restarted();
   runtime_.observer.on_mss_restarted(runtime_.simulator.now(), id_, restored);
 }
 
 void Mss::checkpoint_proxy(ProxyId id) {
-  if (checkpoint_store_ == nullptr) return;
+  if (checkpoint_store_ == nullptr && replication_ == nullptr) return;
   auto it = proxies_.find(id);
   if (it == proxies_.end()) return;
-  checkpoint_store_->put(id_, it->second->checkpoint());
+  ProxyCheckpoint record = it->second->checkpoint();
+  if (replication_ != nullptr) replication_->on_proxy_mutated(record);
+  if (checkpoint_store_ != nullptr) {
+    checkpoint_store_->put(id_, std::move(record));
+  }
 }
 
 }  // namespace rdp::core

@@ -22,6 +22,7 @@
 #include "core/checkpoint.h"
 #include "core/messages.h"
 #include "core/proxy.h"
+#include "core/replication_hook.h"
 #include "core/runtime.h"
 
 namespace rdp::core {
@@ -67,6 +68,23 @@ class Mss final : public net::Endpoint,
   void restart();
   [[nodiscard]] bool crashed() const { return crashed_; }
 
+  // --- primary/backup replication (src/replication) ---
+  // Opt-in hook: when set, every proxy mutation/erase is reported, crash
+  // and restart are signalled, and unrecognised wired messages are offered
+  // to the hook before being counted unknown.
+  void set_replication(ReplicationHook* hook) { replication_ = hook; }
+  // Re-create a proxy from a replicated record under a *fresh local id*
+  // (the record's id belongs to the dead primary's namespace).  Used by a
+  // promoting backup; emits on_proxy_restored and re-drives server queries
+  // for requests whose results died with the primary.
+  Proxy& adopt_proxy(const ProxyCheckpoint& record);
+  // Tear down an adopted proxy whose repair lost (Nack) or never resolved
+  // (replication resolve watchdog).  Accounts the pending requests as lost
+  // unless the Mh re-issue watchdog owns re-driving them.
+  void drop_adopted_proxy(ProxyId proxy);
+  // Snapshot every live proxy (shadow-table resync after a backup restart).
+  [[nodiscard]] std::vector<ProxyCheckpoint> checkpoint_all() const;
+
   // net::Endpoint — wired traffic.
   void on_message(const net::Envelope& envelope) override;
 
@@ -106,6 +124,8 @@ class Mss final : public net::Endpoint,
   void handle_update_currentloc(const MsgUpdateCurrentLoc& msg);
   void handle_proxy_gone(const MsgProxyGone& msg);
   void handle_pref_restore(const MsgPrefRestore& msg);
+  void handle_pref_repair(const MsgPrefRepair& msg);
+  void handle_pref_repair_nack(const MsgPrefRepairNack& msg);
 
   // --- helpers ---
   Proxy& create_proxy(MhId mh);
@@ -120,6 +140,10 @@ class Mss final : public net::Endpoint,
   void drop_cached_results(MhId mh);
   void send_registration_ack(MhId mh);
   void send_update_currentloc(MhId mh, const Pref& pref);
+  // Ask `dead_host`'s backup (if any) to resume delivery for `mh` via a
+  // prefRepair.  `old_proxy` may be invalid when only the Mh is known.
+  void request_transfer_resume(MhId mh, NodeAddress dead_host,
+                               ProxyId old_proxy);
   void delete_proxy(ProxyId id, bool via_gc);
   void schedule_gc();
   void run_gc();
@@ -145,6 +169,12 @@ class Mss final : public net::Endpoint,
   // Mh -> restored proxy, rebound to the pref when the Mh contacts the
   // restarted Mss again (its join/greet is the first sign of life).
   std::unordered_map<MhId, ProxyId> restored_bindings_;
+
+  // --- replication state ---
+  ReplicationHook* replication_ = nullptr;
+  // Repairs that arrived while the Mh's hand-off to us was still running
+  // (its pref was not here yet); applied when the deregAck lands.
+  std::map<MhId, MsgPrefRepair> pending_repairs_;
 
   // Footnote-3 extension state (only populated when
   // config.mss_result_cache is on).

@@ -27,6 +27,7 @@ Proxy::Proxy(Runtime& runtime, ProxyHost& host, NodeAddress host_address,
   for (const ProxyCheckpoint::Request& request : record.requests) {
     PendingRequest& entry = pending_[request.request];
     entry.server = request.server;
+    entry.body = request.body;
     entry.stream = request.stream;
     entry.del_pref_announced = request.del_pref_announced;
     for (const ProxyCheckpoint::Result& result : request.unacked) {
@@ -51,6 +52,7 @@ ProxyCheckpoint Proxy::checkpoint() const {
     ProxyCheckpoint::Request out;
     out.request = request;
     out.server = entry.server;
+    out.body = entry.body;
     out.stream = entry.stream;
     out.del_pref_announced = entry.del_pref_announced;
     out.unacked.reserve(entry.unacked.size());
@@ -110,6 +112,7 @@ void Proxy::handle_request(RequestId request, NodeAddress server,
     return;
   }
   it->second.server = server;
+  it->second.body = body;
   it->second.stream = stream;
 
   // A new request means the previously announced del-pref (if any) no
@@ -123,6 +126,20 @@ void Proxy::handle_request(RequestId request, NodeAddress server,
                       net::make_message<MsgServerRequest>(
                           host_address_, id_, request, std::move(body),
                           stream));
+}
+
+void Proxy::requery_servers() {
+  for (auto& [request, entry] : pending_) {
+    // Stream subscriptions are excluded for the same reason as the
+    // re-issue re-query: re-subscribing would reset the server's sequence
+    // numbers and alias future notifications.
+    if (entry.stream || !entry.unacked.empty()) continue;
+    runtime_.counters.increment("proxy.server_requeries");
+    runtime_.wired.send(host_address_, entry.server,
+                        net::make_message<MsgServerRequest>(
+                            host_address_, id_, request, entry.body,
+                            entry.stream));
+  }
 }
 
 void Proxy::handle_unsubscribe(RequestId request) {

@@ -81,6 +81,14 @@ class Proxy {
   // Snapshot of the complete mutable state, for the checkpoint store.
   [[nodiscard]] ProxyCheckpoint checkpoint() const;
 
+  // Re-send the server query for every pending oneshot request that holds
+  // no stored result yet.  A backup calls this right after adopting the
+  // proxy: the original query (or its reply) may have died with the
+  // primary, and unlike the re-issue path there is no duplicate forward to
+  // trigger the re-query.  Duplicate results are absorbed here and at the
+  // Mh, so delivery stays exactly-once for the application.
+  void requery_servers();
+
  private:
   struct StoredResult {
     std::uint32_t seq = 0;
@@ -90,6 +98,9 @@ class Proxy {
   };
   struct PendingRequest {
     NodeAddress server;
+    // Original request body, kept so a restored/adopted incarnation can
+    // re-drive the server query when the reply died with the old host.
+    std::string body;
     bool stream = false;
     // Results received from the server and not yet acknowledged, by seq.
     std::map<std::uint32_t, StoredResult> unacked;

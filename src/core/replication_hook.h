@@ -1,0 +1,39 @@
+// Seam between the core Mss and the replication subsystem (src/replication).
+//
+// The Mss stays ignorant of replication policy: it reports every proxy
+// mutation (the same places it feeds the ProxyCheckpointStore), forwards
+// wired messages it does not recognise, and notifies crash/restart.  The
+// Replicator implements this interface and decides what to ship where.
+#pragma once
+
+#include "core/checkpoint.h"
+#include "net/wired.h"
+
+namespace rdp::core {
+
+class ReplicationHook {
+ public:
+  virtual ~ReplicationHook() = default;
+
+  // The proxy `record.proxy` changed state; `record` is its full snapshot.
+  virtual void on_proxy_mutated(const ProxyCheckpoint& record) = 0;
+
+  // The proxy completed its deletion handshake (or was GC'd).
+  virtual void on_proxy_erased(common::ProxyId proxy) = 0;
+
+  // The hosting Mss crashed / restarted (volatile replication state on the
+  // host dies with it; a restart may want a shadow-table resync).
+  virtual void on_host_crashed() = 0;
+  virtual void on_host_restarted() = 0;
+
+  // A wired message the core dispatch did not recognise.  Return true when
+  // the replication subsystem consumed it.
+  virtual bool on_wired_message(const net::Envelope& envelope) = 0;
+
+  // Whether `proxy`'s state has reached the backup at least once.  The Mss
+  // crash path skips the request-lost report for covered proxies: the
+  // backup's promotion resumes their delivery.
+  [[nodiscard]] virtual bool covers(common::ProxyId proxy) const = 0;
+};
+
+}  // namespace rdp::core

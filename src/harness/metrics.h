@@ -58,6 +58,10 @@ class MetricsCollector final : public core::RdpObserver {
   std::uint64_t proxies_restored = 0;
   std::uint64_t requests_reissued = 0;
 
+  // --- replication (src/replication) ---
+  std::uint64_t backup_promotions = 0;
+  std::uint64_t proxies_adopted = 0;
+
   // --- latency (request issue -> first non-duplicate delivery of each
   // result; milliseconds) ---
   stats::Histogram delivery_latency_ms;
@@ -174,6 +178,16 @@ class MetricsCollector final : public core::RdpObserver {
                            int) override {
     ++requests_reissued;
     bump("rdp.requests.reissued");
+  }
+  void on_backup_promoted(core::SimTime, core::MssId primary, core::MssId,
+                          std::size_t adopted) override {
+    ++backup_promotions;
+    proxies_adopted += adopted;
+    bump("rdp.replication.promotions", {{"primary", primary.str()}});
+    if (registry_ != nullptr && adopted > 0) {
+      registry_->counter("rdp.replication.proxies_adopted")
+          .increment(adopted);
+    }
   }
 
  private:

@@ -24,8 +24,22 @@ World::World(ScenarioConfig config)
   if (config_.rdp.mh_reissue) {
     telemetry_config.audit_rules.allow_proxy_coexistence = true;
     telemetry_config.audit_rules.allow_result_reordering = true;
+    // Deleting a proxy with requests pending is not a silent drop when the
+    // Mh watchdog owns re-driving them: a re-issued request coexists with
+    // the stale incarnation it abandoned, and the del-proxy handshake (or
+    // an adopted-proxy reclaim) legitimately tears the latter down.
+    // Without the watchdog R4 stays armed and the deletion site reports
+    // the losses itself.
+    telemetry_config.audit_rules.allow_delproxy_with_pending = true;
   }
   if (!config_.causal_order) {
+    telemetry_config.audit_rules.allow_result_reordering = true;
+  }
+  if (config_.replication.mode != replication::Mode::kOff) {
+    // During the promotion window a backup's adopted proxy coexists with
+    // the (dead) primary's bookkeeping, and re-driven server queries can
+    // replay result sequence numbers.
+    telemetry_config.audit_rules.allow_proxy_coexistence = true;
     telemetry_config.audit_rules.allow_result_reordering = true;
   }
   telemetry_ = std::make_unique<obs::Telemetry>(telemetry_config, &directory_);
@@ -65,6 +79,24 @@ World::World(ScenarioConfig config)
     transport_.attach(address, mss.get());
     wireless_.register_cell(cell_id, id, mss.get());
     msses_.push_back(std::move(mss));
+  }
+
+  if (config_.replication.mode != replication::Mode::kOff &&
+      config_.num_mss >= 2) {
+    // Static backup ring: Mss i replicates to Mss (i+1) % N.  Register the
+    // assignments first (the Replicator constructor resolves its backup
+    // from the directory), then attach the hooks.
+    for (int i = 0; i < config_.num_mss; ++i) {
+      directory_.register_backup(
+          common::MssId(static_cast<std::uint32_t>(i)),
+          common::MssId(
+              static_cast<std::uint32_t>((i + 1) % config_.num_mss)));
+    }
+    for (int i = 0; i < config_.num_mss; ++i) {
+      replicators_.push_back(std::make_unique<replication::Replicator>(
+          *runtime_, *msses_[i], config_.replication));
+      msses_[i]->set_replication(replicators_.back().get());
+    }
   }
 
   for (int i = 0; i < config_.num_servers; ++i) {

@@ -20,6 +20,7 @@
 #include "net/wired.h"
 #include "net/wireless.h"
 #include "obs/telemetry.h"
+#include "replication/replication.h"
 #include "sim/simulator.h"
 #include "stats/counters.h"
 
@@ -35,6 +36,11 @@ struct ScenarioConfig {
   // proxies survive a crash (see src/fault and core::ProxyCheckpointStore).
   bool proxy_checkpointing = false;
   core::ProxyCheckpointStore::Config checkpoint;
+  // Primary/backup replication extension (src/replication): when the mode
+  // is not kOff and the world has >= 2 Mss's, each Mss i replicates its
+  // proxies to Mss (i+1) % num_mss and a crash fails over to the backup
+  // without waiting for restart.
+  replication::ReplicationConfig replication;
   // Observability: invariant auditing + flight recorder are on by default;
   // span tracing and periodic metrics sampling are opt-in.  The World
   // derives the auditor's rule allowances from the ablation flags above
@@ -67,9 +73,18 @@ class World {
   [[nodiscard]] common::Rng& rng() { return rng_; }
   // Null when the scenario disabled causal ordering.
   [[nodiscard]] causal::CausalLayer* causal() { return causal_.get(); }
+  // The wired transport the protocol entities actually send through: the
+  // causal layer when enabled, the raw network otherwise.  Tests injecting
+  // crafted wire messages must use this, not wired(), or the causal shims
+  // will receive an unwrapped payload.
+  [[nodiscard]] net::WiredTransport& transport() { return transport_; }
   // Null unless the scenario enabled proxy_checkpointing.
   [[nodiscard]] core::ProxyCheckpointStore* checkpoint_store() {
     return checkpoint_store_.get();
+  }
+  // Null unless the scenario enabled replication (mode != kOff).
+  [[nodiscard]] replication::Replicator* replicator(int i) {
+    return replicators_.empty() ? nullptr : replicators_.at(i).get();
   }
   // Observability bundle (always present; individual components follow
   // config().telemetry).  Labeled wire-message counters land in
@@ -120,6 +135,7 @@ class World {
   std::unique_ptr<core::Runtime> runtime_;
   std::unique_ptr<core::ProxyCheckpointStore> checkpoint_store_;
   std::vector<std::unique_ptr<core::Mss>> msses_;
+  std::vector<std::unique_ptr<replication::Replicator>> replicators_;
   std::vector<std::unique_ptr<core::Server>> servers_;
   std::vector<std::unique_ptr<core::MobileHostAgent>> mhs_;
 };

@@ -212,6 +212,19 @@ void InvariantAuditor::on_proxy_restored(common::SimTime t, core::MhId mh,
   }
 }
 
+void InvariantAuditor::on_backup_promoted(common::SimTime, core::MssId primary,
+                                          core::MssId, std::size_t) {
+  // Promotion re-homes the dead primary's proxies at the backup; the
+  // adopted incarnations arrive as on_proxy_restored events.  The primary's
+  // entries were already dropped from the live/closing sets at crash time,
+  // but a promotion can also follow a *resync-rebuilt* shadow whose crash
+  // predates this auditor, so clear them again defensively.
+  if (directory_ == nullptr) return;
+  const core::NodeAddress host = directory_->mss_address(primary);
+  for (auto& [mh, live] : live_proxies_) live.erase(host);
+  for (auto& [mh, closing] : closing_proxies_) closing.erase(host);
+}
+
 bool InvariantAuditor::check_quiesced() {
   bool balanced = true;
   for (const auto& [request, book] : requests_) {

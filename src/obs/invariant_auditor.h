@@ -128,6 +128,8 @@ class InvariantAuditor final : public core::RdpObserver {
                       std::size_t) override;
   void on_proxy_restored(common::SimTime, core::MhId, core::NodeAddress,
                          core::ProxyId) override;
+  void on_backup_promoted(common::SimTime, core::MssId, core::MssId,
+                          std::size_t) override;
 
  private:
   struct RequestBook {

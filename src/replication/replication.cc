@@ -1,0 +1,453 @@
+#include "replication/replication.h"
+
+#include <iterator>
+#include <utility>
+
+namespace rdp::replication {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kAsync:
+      return "async";
+    case Mode::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+Replicator::Replicator(core::Runtime& runtime, core::Mss& mss,
+                       const ReplicationConfig& config)
+    : runtime_(runtime),
+      mss_(mss),
+      config_(config),
+      backup_(runtime.directory.backup_of(mss.id())) {
+  backup_address_ = backup_.valid() ? runtime_.directory.mss_address(backup_)
+                                    : common::NodeAddress::invalid();
+}
+
+// ---------------------------------------------------------------------------
+// Primary side: delta shipping.
+// ---------------------------------------------------------------------------
+
+void Replicator::on_proxy_mutated(const core::ProxyCheckpoint& record) {
+  if (config_.mode == Mode::kOff || !backup_.valid()) return;
+  if (config_.mode == Mode::kSync) {
+    ship_update(record);
+    return;
+  }
+  dirty_[record.proxy] = record;
+  arm_flush();
+}
+
+void Replicator::on_proxy_erased(common::ProxyId proxy) {
+  if (config_.mode == Mode::kOff || !backup_.valid()) return;
+  if (!shipped_live_.contains(proxy)) {
+    // Never reached the backup (created and completed within one flush
+    // window, or an idle proxy that never mutated): nothing to retract.
+    dirty_.erase(proxy);
+    return;
+  }
+  if (config_.mode == Mode::kSync) {
+    ship_erase(proxy);
+    return;
+  }
+  dirty_[proxy] = std::nullopt;
+  arm_flush();
+}
+
+void Replicator::ship_update(const core::ProxyCheckpoint& record) {
+  shipped_live_.insert(record.proxy);
+  auto msg = net::make_message<core::MsgReplicaUpdate>(mss_.id(), ++ship_seq_,
+                                                       record);
+  ++deltas_shipped_;
+  bytes_shipped_ += msg->wire_size();
+  count("repl.deltas_shipped");
+  runtime_.wired.send(mss_.address(), backup_address_, std::move(msg),
+                      sim::EventPriority::kLow);
+  arm_heartbeat();
+}
+
+void Replicator::ship_erase(common::ProxyId proxy) {
+  shipped_live_.erase(proxy);
+  ++deltas_shipped_;
+  count("repl.erases_shipped");
+  runtime_.wired.send(
+      mss_.address(), backup_address_,
+      net::make_message<core::MsgReplicaErase>(mss_.id(), ++ship_seq_, proxy),
+      sim::EventPriority::kLow);
+}
+
+void Replicator::flush_dirty() {
+  if (mss_.crashed()) return;
+  for (auto& [proxy, entry] : dirty_) {
+    if (entry.has_value()) {
+      ship_update(*entry);
+    } else {
+      ship_erase(proxy);
+    }
+  }
+  dirty_.clear();
+}
+
+void Replicator::arm_flush() {
+  if (flush_timer_.pending()) return;
+  flush_timer_ = runtime_.simulator.schedule(
+      config_.flush_interval, [this] { flush_dirty(); },
+      sim::EventPriority::kLow);
+}
+
+void Replicator::arm_heartbeat() {
+  if (heartbeat_timer_.pending()) return;
+  if (shipped_live_.empty() && dirty_.empty()) return;
+  heartbeat_timer_ = runtime_.simulator.schedule(
+      config_.heartbeat_interval,
+      [this] {
+        if (mss_.crashed()) return;
+        if (shipped_live_.empty() && dirty_.empty()) return;
+        count("repl.heartbeats_sent");
+        runtime_.wired.send(
+            mss_.address(), backup_address_,
+            net::make_message<core::MsgReplicaHeartbeat>(mss_.id()),
+            sim::EventPriority::kLow);
+        arm_heartbeat();
+      },
+      sim::EventPriority::kLow);
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restart of the attached host.
+// ---------------------------------------------------------------------------
+
+void Replicator::on_host_crashed() {
+  // Everything here models software co-located with the Mss: both roles'
+  // volatile state dies with the host.  (ship_seq_ survives by design — see
+  // the header — so the backup's fence stays monotonic across restarts.)
+  shipped_live_.clear();
+  dirty_.clear();
+  flush_timer_.cancel();
+  heartbeat_timer_.cancel();
+  shadows_.clear();
+  promoted_.clear();
+  applied_seq_.clear();
+  lease_timer_.cancel();
+  adopted_watch_.clear();
+  resolve_timer_.cancel();
+}
+
+void Replicator::on_host_restarted() {
+  if (config_.mode == Mode::kOff) return;
+  // Primary role: whatever the restart recovered (checkpoint-restored
+  // proxies, possibly none) is the new truth; re-ship it so the backup's
+  // shadow converges on this incarnation.
+  if (backup_.valid()) {
+    for (const core::ProxyCheckpoint& record : mss_.checkpoint_all()) {
+      ship_update(record);
+    }
+  }
+  // Backup role: the shadow tables were volatile.  Ask every live primary
+  // we back to re-ship its proxies; a crashed primary has nothing to send
+  // (its own recovery goes through restart or its Mhs' watchdogs).
+  for (common::MssId primary :
+       runtime_.directory.primaries_backed_by(mss_.id())) {
+    if (!runtime_.directory.mss_up(primary)) {
+      count("repl.resync_skipped_down_primary");
+      continue;
+    }
+    count("repl.resyncs_requested");
+    runtime_.wired.send(mss_.address(),
+                        runtime_.directory.mss_address(primary),
+                        net::make_message<core::MsgReplicaResync>(mss_.id()),
+                        sim::EventPriority::kLow);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backup side: shadow table, lease, promotion.
+// ---------------------------------------------------------------------------
+
+bool Replicator::on_wired_message(const net::Envelope& envelope) {
+  if (config_.mode == Mode::kOff) return false;
+  const net::PayloadPtr& payload = envelope.payload;
+  if (const auto* update = net::message_cast<core::MsgReplicaUpdate>(payload)) {
+    apply_update(*update);
+    return true;
+  }
+  if (const auto* erase = net::message_cast<core::MsgReplicaErase>(payload)) {
+    apply_erase(*erase);
+    return true;
+  }
+  if (const auto* hb = net::message_cast<core::MsgReplicaHeartbeat>(payload)) {
+    touch_lease(hb->primary);
+    return true;
+  }
+  if (const auto* resync = net::message_cast<core::MsgReplicaResync>(payload)) {
+    handle_resync_request(*resync);
+    return true;
+  }
+  if (const auto* resume =
+          net::message_cast<core::MsgTransferResume>(payload)) {
+    handle_transfer_resume(*resume, envelope.src);
+    return true;
+  }
+  return false;
+}
+
+bool Replicator::delta_is_stale(common::MssId primary, common::ProxyId proxy,
+                                std::uint64_t seq) {
+  std::uint64_t& applied = applied_seq_[primary][proxy];
+  if (seq <= applied) return true;
+  applied = seq;
+  return false;
+}
+
+void Replicator::apply_update(const core::MsgReplicaUpdate& msg) {
+  if (!runtime_.directory.mss_up(msg.primary)) {
+    // In-flight straggler from a crashed incarnation (fail-stop: a *live*
+    // primary is never marked down).  Applying it could re-grow a shadow
+    // that was already promoted.
+    count("repl.stale_deltas_dropped");
+    return;
+  }
+  if (delta_is_stale(msg.primary, msg.record.proxy, msg.seq)) {
+    count("repl.reordered_deltas_dropped");
+    return;
+  }
+  // A delta from a live primary supersedes any promotion bookkeeping for
+  // it: this is a new incarnation being backed up afresh.
+  promoted_.erase(msg.primary);
+  Shadow& shadow = shadows_[msg.primary];
+  shadow.records[msg.record.proxy] = msg.record;
+  shadow.last_heard = runtime_.simulator.now();
+  count("repl.updates_applied");
+  arm_lease_check();
+}
+
+void Replicator::apply_erase(const core::MsgReplicaErase& msg) {
+  if (!runtime_.directory.mss_up(msg.primary)) {
+    count("repl.stale_deltas_dropped");
+    return;
+  }
+  if (delta_is_stale(msg.primary, msg.proxy, msg.seq)) {
+    count("repl.reordered_deltas_dropped");
+    return;
+  }
+  auto it = shadows_.find(msg.primary);
+  if (it == shadows_.end()) return;
+  it->second.records.erase(msg.proxy);
+  it->second.last_heard = runtime_.simulator.now();
+  if (it->second.records.empty()) shadows_.erase(it);
+}
+
+void Replicator::touch_lease(common::MssId primary) {
+  if (!runtime_.directory.mss_up(primary)) return;
+  auto it = shadows_.find(primary);
+  if (it == shadows_.end()) return;
+  it->second.last_heard = runtime_.simulator.now();
+}
+
+void Replicator::arm_lease_check() {
+  if (lease_timer_.pending()) return;
+  if (shadows_.empty()) return;
+  lease_timer_ = runtime_.simulator.schedule(
+      config_.heartbeat_interval, [this] { run_lease_check(); },
+      sim::EventPriority::kLow);
+}
+
+void Replicator::run_lease_check() {
+  if (mss_.crashed()) return;
+  std::vector<common::MssId> expired;
+  const common::SimTime now = runtime_.simulator.now();
+  for (auto it = shadows_.begin(); it != shadows_.end();) {
+    auto& [primary, shadow] = *it;
+    if (now - shadow.last_heard < config_.lease_timeout) {
+      ++it;
+      continue;
+    }
+    if (runtime_.directory.mss_up(primary)) {
+      // Silent but alive: either its heartbeats are being dropped by wired
+      // fault injection, or it restarted empty (fail-stop wiped the proxies
+      // this shadow describes) and has nothing to beat for.  Either way the
+      // shadow is not promotable — drop it so the lease timer can retire
+      // (the resync path rebuilds it if the primary is still shipping).
+      count("repl.shadows_dropped_stale");
+      it = shadows_.erase(it);
+      continue;
+    }
+    expired.push_back(primary);
+    ++it;
+  }
+  for (common::MssId primary : expired) promote(primary);
+  arm_lease_check();
+}
+
+void Replicator::promote(common::MssId primary) {
+  auto it = shadows_.find(primary);
+  if (it == shadows_.end()) return;
+  const common::NodeAddress primary_addr =
+      runtime_.directory.mss_address(primary);
+  Shadow shadow = std::move(it->second);
+  shadows_.erase(it);
+  Promoted& aliases = promoted_[primary];
+
+  // Adopt in proxy-id order: deterministic, and matches the restore order
+  // of the checkpoint path so the two recovery flavours are comparable.
+  std::size_t adopted = 0;
+  for (const auto& [old_id, record] : shadow.records) {
+    core::Proxy& proxy = mss_.adopt_proxy(record);
+    aliases.by_old_proxy[old_id] = proxy.id();
+    aliases.by_mh[record.mh] = {old_id, proxy.id()};
+    adopted_watch_[proxy.id()] =
+        AdoptedWatch{record.mh, runtime_.simulator.now()};
+    ++adopted;
+    if (record.current_loc == primary_addr) {
+      // The Mh's respMss *was* the dead primary: no live Mss holds its
+      // pref.  The Mh's next greet (against a live cell) collapses into a
+      // join plus a transfer-resume that finds the adopted proxy here.
+      count("repl.repairs_deferred");
+      continue;
+    }
+    count("repl.repairs_sent");
+    runtime_.wired.send(mss_.address(), record.current_loc,
+                        net::make_message<core::MsgPrefRepair>(
+                            record.mh, primary_addr, old_id, mss_.address(),
+                            proxy.id()));
+  }
+  ++promotions_;
+  count("repl.promotions");
+  runtime_.observer.on_backup_promoted(runtime_.simulator.now(), primary,
+                                       mss_.id(), adopted);
+  arm_resolve_check();
+}
+
+void Replicator::arm_resolve_check() {
+  if (resolve_timer_.pending()) return;
+  if (adopted_watch_.empty()) return;
+  resolve_timer_ = runtime_.simulator.schedule(
+      config_.lease_timeout, [this] { run_resolve_check(); },
+      sim::EventPriority::kLow);
+}
+
+void Replicator::run_resolve_check() {
+  if (mss_.crashed()) return;
+  const common::SimTime now = runtime_.simulator.now();
+  for (auto it = adopted_watch_.begin(); it != adopted_watch_.end();) {
+    const core::Proxy* proxy = mss_.proxy(it->first);
+    if (proxy == nullptr) {
+      // Normal teardown (handshake) or a repair Nack already won.
+      it = adopted_watch_.erase(it);
+      continue;
+    }
+    if (now - it->second.adopted_at < config_.resolve_timeout) {
+      ++it;
+      continue;
+    }
+    // Any contact after adoption — the update_currentLoc a successful
+    // repair triggers, a requeried server result, an Ack — shows the world
+    // found the adopted incarnation; the ordinary life-cycle owns its
+    // teardown as long as it still has work to finish.  (adopt_proxy's own
+    // requery does not touch the proxy, so a never-contacted adoption
+    // keeps last_activity == adopted_at.)  A resolved-but-idle adoption
+    // has nothing left to drive its deletion handshake (the record was
+    // mid-teardown when the primary died), so it is reclaimed like an
+    // unresolved one; a later request from the Mh heals the pref through
+    // the ordinary proxy-gone path.
+    const bool resolved = proxy->last_activity() > it->second.adopted_at;
+    if (resolved && !proxy->idle()) {
+      it = adopted_watch_.erase(it);
+      continue;
+    }
+    count(resolved ? "repl.adoptions_idle_reclaimed"
+                   : "repl.adoptions_reclaimed");
+    forget_aliases(it->first);
+    mss_.drop_adopted_proxy(it->first);
+    it = adopted_watch_.erase(it);
+  }
+  arm_resolve_check();
+}
+
+void Replicator::forget_aliases(common::ProxyId adopted) {
+  for (auto pit = promoted_.begin(); pit != promoted_.end();) {
+    Promoted& aliases = pit->second;
+    for (auto it = aliases.by_old_proxy.begin();
+         it != aliases.by_old_proxy.end();) {
+      it = it->second == adopted ? aliases.by_old_proxy.erase(it)
+                                 : std::next(it);
+    }
+    for (auto it = aliases.by_mh.begin(); it != aliases.by_mh.end();) {
+      it = it->second.second == adopted ? aliases.by_mh.erase(it)
+                                        : std::next(it);
+    }
+    pit = aliases.by_old_proxy.empty() && aliases.by_mh.empty()
+              ? promoted_.erase(pit)
+              : std::next(pit);
+  }
+}
+
+void Replicator::handle_transfer_resume(const core::MsgTransferResume& msg,
+                                        common::NodeAddress from) {
+  const common::MssId primary = runtime_.directory.mss_at(msg.old_host);
+  if (!primary.valid()) return;
+  if (runtime_.directory.mss_up(primary)) {
+    // The host already restarted; its own recovery (checkpoint rebind or
+    // the Mh watchdog) owns the Mh now.
+    count("repl.resumes_primary_up");
+    return;
+  }
+  // The hand-off window race in person: a respMss holds a pref (or a fresh
+  // registration) pointing into the dead primary.  Promote now instead of
+  // waiting out the lease.
+  promote(primary);
+  auto pit = promoted_.find(primary);
+  if (pit == promoted_.end()) {
+    count("repl.resumes_unresolved");
+    return;
+  }
+  common::ProxyId old_id = msg.old_proxy;
+  common::ProxyId adopted = common::ProxyId::invalid();
+  if (old_id.valid()) {
+    if (auto ait = pit->second.by_old_proxy.find(old_id);
+        ait != pit->second.by_old_proxy.end()) {
+      adopted = ait->second;
+    }
+  } else if (auto ait = pit->second.by_mh.find(msg.mh);
+             ait != pit->second.by_mh.end()) {
+    old_id = ait->second.first;
+    adopted = ait->second.second;
+  }
+  if (!adopted.valid() || mss_.proxy(adopted) == nullptr) {
+    // No replicated record for this Mh (the proxy never shipped, already
+    // completed, or the adoption lost a repair race); the Mh watchdog is
+    // the remaining recovery path.
+    count("repl.resumes_unresolved");
+    return;
+  }
+  count("repl.resumes_answered");
+  runtime_.wired.send(mss_.address(), from,
+                      net::make_message<core::MsgPrefRepair>(
+                          msg.mh, msg.old_host, old_id, mss_.address(),
+                          adopted));
+}
+
+void Replicator::handle_resync_request(const core::MsgReplicaResync& msg) {
+  if (!backup_.valid() || msg.backup != backup_) return;
+  count("repl.resyncs_served");
+  // Bulk snapshot: ship inline even in async mode — the backup starts from
+  // nothing, so there is no coalescing to gain.
+  for (const core::ProxyCheckpoint& record : mss_.checkpoint_all()) {
+    ship_update(record);
+  }
+}
+
+bool Replicator::covers(common::ProxyId proxy) const {
+  return config_.mode != Mode::kOff && shipped_live_.contains(proxy);
+}
+
+std::size_t Replicator::shadow_record_count() const {
+  std::size_t n = 0;
+  for (const auto& [primary, shadow] : shadows_) n += shadow.records.size();
+  return n;
+}
+
+}  // namespace rdp::replication

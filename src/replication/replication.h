@@ -1,0 +1,179 @@
+// Primary/backup proxy replication with restart-free fail-over.
+//
+// The paper's Mss's "are assumed not to fail" (§2).  The fault-injection
+// subsystem (src/fault) drops that assumption; the checkpoint store covers
+// crashes only after the host's own restart.  This subsystem removes the
+// restart from the recovery path: every live proxy at a *primary* Mss is
+// mirrored on a *backup* Mss (assigned statically in core::Directory), and
+// when the backup detects the primary's crash it PROMOTES the mirrored
+// records into live proxies — recreating them under fresh local ids,
+// repairing the prefs that still name the dead primary, and resuming result
+// retransmission — without waiting for Mss::restart.
+//
+// One Replicator instance is attached per Mss and plays both roles:
+//
+//  Primary side: Mss::checkpoint_proxy feeds every proxy mutation through
+//  core::ReplicationHook.  In sync mode the full ProxyCheckpoint ships to
+//  the backup immediately (one MsgReplicaUpdate per mutation); in async
+//  mode mutations accumulate in a dirty set flushed every flush_interval
+//  (last-writer-wins per proxy — deltas are full records, so coalescing is
+//  safe).  A monotonic per-primary ship sequence fences reordered or
+//  duplicated deltas.  While replicated proxies exist, the primary renews
+//  its lease with MsgReplicaHeartbeat every heartbeat_interval.
+//
+//  Backup side: deltas apply to a volatile shadow table (per primary, in
+//  proxy-id order).  The lease expires when nothing was heard from a
+//  primary for lease_timeout AND the directory marks it down (the directory
+//  check keeps a heartbeat lost to wired fault injection from promoting a
+//  live primary — split-brain is traded for a deterministic single owner).
+//  An explicit MsgTransferResume from a respMss that caught a pref naming
+//  the dead primary mid-hand-off promotes immediately, closing the hand-off
+//  window faster than the lease.
+//
+// Every timer is conditional — armed only while the state it serves is
+// non-empty — so an idle world still drains its event queue and
+// run_to_quiescence terminates (same contract as Mss::schedule_gc).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/mss.h"
+#include "core/replication_hook.h"
+#include "core/runtime.h"
+#include "sim/simulator.h"
+
+namespace rdp::replication {
+
+enum class Mode {
+  kOff,    // hook inert; no traffic, no coverage
+  kAsync,  // coalesced delta shipping every flush_interval
+  kSync,   // one delta per mutation, shipped inline
+};
+
+[[nodiscard]] const char* mode_name(Mode mode);
+
+struct ReplicationConfig {
+  Mode mode = Mode::kOff;
+  // Primary -> backup lease renewal period while replicated proxies exist.
+  common::Duration heartbeat_interval = common::Duration::millis(100);
+  // Silence threshold after which a down primary's shadow is promoted.
+  common::Duration lease_timeout = common::Duration::millis(300);
+  // Dirty-set flush period (async mode only).
+  common::Duration flush_interval = common::Duration::millis(50);
+  // Patience with an adopted proxy that nothing has contacted since the
+  // promotion.  After this long it is reclaimed so the
+  // Mh watchdog owns the request and the backup's heartbeat can retire —
+  // an orphaned adoption (the Mh rebound elsewhere while the dead primary
+  // restarted, so neither a repair target nor a transfer-resume exists)
+  // would otherwise keep the backup replicating it forever.
+  common::Duration resolve_timeout = common::Duration::millis(1200);
+};
+
+class Replicator final : public core::ReplicationHook {
+ public:
+  Replicator(core::Runtime& runtime, core::Mss& mss,
+             const ReplicationConfig& config);
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  // --- core::ReplicationHook (called by the attached Mss) ---
+  void on_proxy_mutated(const core::ProxyCheckpoint& record) override;
+  void on_proxy_erased(common::ProxyId proxy) override;
+  void on_host_crashed() override;
+  void on_host_restarted() override;
+  bool on_wired_message(const net::Envelope& envelope) override;
+  [[nodiscard]] bool covers(common::ProxyId proxy) const override;
+
+  // --- introspection (tests / benches) ---
+  [[nodiscard]] std::uint64_t deltas_shipped() const { return deltas_shipped_; }
+  [[nodiscard]] std::uint64_t bytes_shipped() const { return bytes_shipped_; }
+  [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
+  [[nodiscard]] std::size_t shadow_record_count() const;
+
+ private:
+  // Backup-side mirror of one primary's proxy table.
+  struct Shadow {
+    std::map<common::ProxyId, core::ProxyCheckpoint> records;
+    common::SimTime last_heard;
+  };
+  // Alias maps kept after promoting a primary, to resolve transfer-resumes
+  // (and late repairs) against the adopted incarnations.
+  struct Promoted {
+    std::map<common::ProxyId, common::ProxyId> by_old_proxy;
+    // Mh -> (old proxy id at the primary, adopted local id).
+    std::map<common::MhId, std::pair<common::ProxyId, common::ProxyId>> by_mh;
+  };
+
+  void count(const char* name) { runtime_.counters.increment(name); }
+
+  // --- primary side ---
+  void ship_update(const core::ProxyCheckpoint& record);
+  void ship_erase(common::ProxyId proxy);
+  void flush_dirty();
+  void arm_flush();
+  void arm_heartbeat();
+
+  // --- backup side ---
+  void apply_update(const core::MsgReplicaUpdate& msg);
+  void apply_erase(const core::MsgReplicaErase& msg);
+  void touch_lease(common::MssId primary);
+  void arm_lease_check();
+  void run_lease_check();
+  void promote(common::MssId primary);
+  void handle_transfer_resume(const core::MsgTransferResume& msg,
+                              common::NodeAddress from);
+  void handle_resync_request(const core::MsgReplicaResync& msg);
+  void arm_resolve_check();
+  void run_resolve_check();
+  void forget_aliases(common::ProxyId adopted);
+
+  [[nodiscard]] bool delta_is_stale(common::MssId primary,
+                                    common::ProxyId proxy, std::uint64_t seq);
+
+  core::Runtime& runtime_;
+  core::Mss& mss_;
+  const ReplicationConfig config_;
+
+  // --- primary-side state ---
+  common::MssId backup_;            // invalid() when this Mss has no backup
+  common::NodeAddress backup_address_;
+  std::uint64_t ship_seq_ = 0;      // never reset: a restart continues the
+                                    // epoch so the backup's fence stays valid
+  std::set<common::ProxyId> shipped_live_;  // shipped at least once, not erased
+  // Async dirty set; nullopt marks a pending erase.  Full-record deltas make
+  // last-writer-wins coalescing safe.
+  std::map<common::ProxyId, std::optional<core::ProxyCheckpoint>> dirty_;
+  sim::TimerHandle flush_timer_;
+  sim::TimerHandle heartbeat_timer_;
+
+  // --- backup-side state (volatile: dies with the host) ---
+  std::map<common::MssId, Shadow> shadows_;
+  std::map<common::MssId, Promoted> promoted_;
+  // Per-(primary, proxy) high-water mark of applied ship sequences; fences
+  // reordered/duplicated deltas.  Survives promotion (the primary's epoch
+  // is never reset) but not this host's own crash.
+  std::map<common::MssId, std::map<common::ProxyId, std::uint64_t>>
+      applied_seq_;
+  sim::TimerHandle lease_timer_;
+  // Adopted proxies that nothing has contacted since promotion: any
+  // post-adoption activity on the proxy (repair-driven update_currentLoc,
+  // server result, Ack) is the confirmation.  Entries past resolve_timeout
+  // with no such contact are reclaimed.
+  struct AdoptedWatch {
+    common::MhId mh;
+    common::SimTime adopted_at;
+  };
+  std::map<common::ProxyId, AdoptedWatch> adopted_watch_;
+  sim::TimerHandle resolve_timer_;
+
+  std::uint64_t deltas_shipped_ = 0;
+  std::uint64_t bytes_shipped_ = 0;
+  std::uint64_t promotions_ = 0;
+};
+
+}  // namespace rdp::replication

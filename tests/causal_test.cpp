@@ -178,6 +178,44 @@ TEST_F(CausalTest, FifoPairStaysOrdered) {
   }
 }
 
+// A node may address a wired message to itself (e.g. an Mss answering a
+// transfer-resume it initiated while acting as its own backup).  Sender and
+// receiver then share one SENT matrix: the send-time increment must not be
+// repeated at delivery, or the second self-send waits on a DELIV count that
+// can never be reached and wedges in the buffer forever.
+TEST_F(CausalTest, BackToBackSelfSendsBothDeliver) {
+  build(Duration::millis(5), Duration::zero());
+  layer_->send(NodeAddress(0), NodeAddress(0), net::make_message<TestMsg>("s1"),
+               sim::EventPriority::kNormal);
+  sim_.run();
+  layer_->send(NodeAddress(0), NodeAddress(0), net::make_message<TestMsg>("s2"),
+               sim::EventPriority::kNormal);
+  layer_->send(NodeAddress(0), NodeAddress(0), net::make_message<TestMsg>("s3"),
+               sim::EventPriority::kNormal);
+  sim_.run();
+  EXPECT_EQ(a_.tags, (std::vector<std::string>{"s1", "s2", "s3"}));
+  EXPECT_EQ(layer_->buffered(), 0u);
+}
+
+// Self-sends interleaved with cross-node traffic keep both orderings intact.
+TEST_F(CausalTest, SelfSendMixedWithCrossTrafficStaysCausal) {
+  build(Duration::millis(5), Duration::zero());
+  layer_->send(NodeAddress(0), NodeAddress(0), net::make_message<TestMsg>("s1"),
+               sim::EventPriority::kNormal);
+  layer_->send(NodeAddress(0), NodeAddress(1), net::make_message<TestMsg>("x1"),
+               sim::EventPriority::kNormal);
+  sim_.run();
+  layer_->send(NodeAddress(1), NodeAddress(0), net::make_message<TestMsg>("y1"),
+               sim::EventPriority::kNormal);
+  sim_.run();
+  layer_->send(NodeAddress(0), NodeAddress(0), net::make_message<TestMsg>("s2"),
+               sim::EventPriority::kNormal);
+  sim_.run();
+  EXPECT_EQ(a_.tags, (std::vector<std::string>{"s1", "y1", "s2"}));
+  EXPECT_EQ(b_.tags, std::vector<std::string>{"x1"});
+  EXPECT_EQ(layer_->buffered(), 0u);
+}
+
 TEST_F(CausalTest, ConcurrentSendersBothDeliver) {
   build(Duration::millis(5), Duration::millis(5));
   layer_->send(NodeAddress(0), NodeAddress(2), net::make_message<TestMsg>("a"),

@@ -203,6 +203,119 @@ TEST(CoreCodec, ControlMessages) {
   EXPECT_FALSE(gone->had_request);
 }
 
+TEST(CoreCodec, ReplicationMessages) {
+  core::ProxyCheckpoint record;
+  record.proxy = ProxyId(7);
+  record.mh = MhId(3);
+  record.current_loc = NodeAddress(11);
+  core::ProxyCheckpoint::Request request;
+  request.request = RequestId(MhId(3), 4);
+  request.server = NodeAddress(2);
+  request.body = "query body";
+  request.stream = true;
+  request.del_pref_announced = true;
+  request.unacked.push_back({5, false, "partial result", 2});
+  request.unacked.push_back({6, true, "final result", 1});
+  record.requests.push_back(request);
+
+  const auto* update =
+      round_trip(core::MsgReplicaUpdate(MssId(1), 42, record));
+  ASSERT_NE(update, nullptr);
+  EXPECT_EQ(update->primary, MssId(1));
+  EXPECT_EQ(update->seq, 42u);
+  EXPECT_EQ(update->record.proxy, ProxyId(7));
+  EXPECT_EQ(update->record.mh, MhId(3));
+  EXPECT_EQ(update->record.current_loc, NodeAddress(11));
+  ASSERT_EQ(update->record.requests.size(), 1u);
+  const auto& req = update->record.requests[0];
+  EXPECT_EQ(req.request, RequestId(MhId(3), 4));
+  EXPECT_EQ(req.server, NodeAddress(2));
+  EXPECT_EQ(req.body, "query body");
+  EXPECT_TRUE(req.stream);
+  EXPECT_TRUE(req.del_pref_announced);
+  ASSERT_EQ(req.unacked.size(), 2u);
+  EXPECT_EQ(req.unacked[0].seq, 5u);
+  EXPECT_FALSE(req.unacked[0].final);
+  EXPECT_EQ(req.unacked[0].body, "partial result");
+  EXPECT_EQ(req.unacked[0].attempts, 2u);
+  EXPECT_EQ(req.unacked[1].seq, 6u);
+  EXPECT_TRUE(req.unacked[1].final);
+
+  const auto* erase = round_trip(core::MsgReplicaErase(MssId(2), 7, ProxyId(9)));
+  ASSERT_NE(erase, nullptr);
+  EXPECT_EQ(erase->primary, MssId(2));
+  EXPECT_EQ(erase->seq, 7u);
+  EXPECT_EQ(erase->proxy, ProxyId(9));
+
+  const auto* heartbeat = round_trip(core::MsgReplicaHeartbeat(MssId(3)));
+  ASSERT_NE(heartbeat, nullptr);
+  EXPECT_EQ(heartbeat->primary, MssId(3));
+
+  const auto* resync = round_trip(core::MsgReplicaResync(MssId(1)));
+  ASSERT_NE(resync, nullptr);
+  EXPECT_EQ(resync->backup, MssId(1));
+
+  const auto* repair = round_trip(core::MsgPrefRepair(
+      MhId(5), NodeAddress(1), ProxyId(2), NodeAddress(3), ProxyId(4)));
+  ASSERT_NE(repair, nullptr);
+  EXPECT_EQ(repair->mh, MhId(5));
+  EXPECT_EQ(repair->old_host, NodeAddress(1));
+  EXPECT_EQ(repair->old_proxy, ProxyId(2));
+  EXPECT_EQ(repair->new_host, NodeAddress(3));
+  EXPECT_EQ(repair->new_proxy, ProxyId(4));
+
+  const auto* nack = round_trip(core::MsgPrefRepairNack(MhId(5), ProxyId(4)));
+  ASSERT_NE(nack, nullptr);
+  EXPECT_EQ(nack->mh, MhId(5));
+  EXPECT_EQ(nack->new_proxy, ProxyId(4));
+
+  // The greet path sends an invalid old_proxy (resolve-by-mh); it must
+  // survive the wire.
+  const auto* resume = round_trip(core::MsgTransferResume(
+      MhId(6), NodeAddress(2), ProxyId::invalid()));
+  ASSERT_NE(resume, nullptr);
+  EXPECT_EQ(resume->mh, MhId(6));
+  EXPECT_EQ(resume->old_host, NodeAddress(2));
+  EXPECT_FALSE(resume->old_proxy.valid());
+}
+
+// ProxyCheckpoint::wire_size() is the *real* encoded size, not an
+// estimate: a checkpoint-carrying update's advertised size must equal the
+// encoder's byte count exactly (modulo the update's own fixed header).
+TEST(CoreCodec, CheckpointWireSizeMatchesEncoding) {
+  core::ProxyCheckpoint record;
+  record.proxy = ProxyId(1);
+  record.mh = MhId(2);
+  record.current_loc = NodeAddress(3);
+  for (int i = 0; i < 3; ++i) {
+    core::ProxyCheckpoint::Request request;
+    request.request = RequestId(MhId(2), static_cast<std::uint32_t>(i));
+    request.server = NodeAddress(4);
+    request.body = std::string(static_cast<std::size_t>(10 * i), 'b');
+    request.stream = (i % 2) == 0;
+    for (int j = 0; j <= i; ++j) {
+      request.unacked.push_back({static_cast<std::uint32_t>(j), j == i,
+                                 std::string(static_cast<std::size_t>(7 * j), 'r'),
+                                 1});
+    }
+    record.requests.push_back(std::move(request));
+  }
+
+  const core::MsgReplicaUpdate update(MssId(0), 1, record);
+  const std::vector<std::uint8_t> encoded = core::encode(update);
+  // encode() emits 1 tag byte + primary (u32) + seq (u64) + the record.
+  EXPECT_EQ(record.wire_size(), encoded.size() - 1 - 4 - 8);
+
+  // An empty record also matches (no per-request terms).
+  core::ProxyCheckpoint empty;
+  empty.proxy = ProxyId(1);
+  empty.mh = MhId(2);
+  empty.current_loc = NodeAddress(3);
+  const std::vector<std::uint8_t> empty_encoded =
+      core::encode(core::MsgReplicaUpdate(MssId(0), 2, empty));
+  EXPECT_EQ(empty.wire_size(), empty_encoded.size() - 1 - 4 - 8);
+}
+
 // --- robustness ----------------------------------------------------------------
 
 TEST(CoreCodec, TruncatedBuffersThrowEverywhere) {

@@ -95,6 +95,9 @@ class RecordingObserver final : public RdpObserver {
   void on_request_reissued(SimTime, MhId, RequestId, int) override {
     ++calls["request_reissued"];
   }
+  void on_backup_promoted(SimTime, MssId, MssId, std::size_t) override {
+    ++calls["backup_promoted"];
+  }
 };
 
 // Invokes every hook on `target` exactly once.  Keep in sync with
@@ -128,6 +131,7 @@ void fire_every_hook(RdpObserver& target) {
   target.on_mss_restarted(t, mss_a, 1);
   target.on_proxy_restored(t, mh, node_a, proxy);
   target.on_request_reissued(t, mh, request, 2);
+  target.on_backup_promoted(t, mss_a, mss_b, 1);
 }
 
 // The recorder itself covers the whole interface: the driver above reaches

@@ -168,6 +168,55 @@ TEST(ProxyCheckpointStore, WriteLatencyDelaysDurability) {
   EXPECT_GT(store.bytes_written(), 0u);
 }
 
+// A crash landing inside the checkpoint store's write window loses only
+// the in-flight delta: restore() returns the *previous durable* record for
+// each proxy, in proxy-id order.
+TEST(ProxyCheckpointStore, CrashInWriteWindowRestoresPreviousDurableRecord) {
+  sim::Simulator sim;
+  core::ProxyCheckpointStore::Config config;
+  config.write_latency = Duration::millis(2);
+  core::ProxyCheckpointStore store(sim, config);
+
+  // Seed three proxies (deliberately out of id order) and make them durable.
+  for (const std::uint32_t id : {7u, 3u, 5u}) {
+    core::ProxyCheckpoint record;
+    record.proxy = common::ProxyId(id);
+    record.mh = MhId(id);
+    record.current_loc = common::NodeAddress(1);
+    store.put(MssId(0), record);
+  }
+  sim.run();
+
+  // Issue newer versions; the "crash" lands before write_latency elapses,
+  // so the durable snapshot must still be the previous generation.
+  for (const std::uint32_t id : {3u, 7u}) {
+    core::ProxyCheckpoint record;
+    record.proxy = common::ProxyId(id);
+    record.mh = MhId(id);
+    record.current_loc = common::NodeAddress(99);  // the lost delta
+    store.put(MssId(0), record);
+  }
+  const std::vector<core::ProxyCheckpoint> restored = store.restore(MssId(0));
+  ASSERT_EQ(restored.size(), 3u);
+  // Proxy-id order, regardless of put order.
+  EXPECT_EQ(restored[0].proxy, common::ProxyId(3));
+  EXPECT_EQ(restored[1].proxy, common::ProxyId(5));
+  EXPECT_EQ(restored[2].proxy, common::ProxyId(7));
+  for (const core::ProxyCheckpoint& record : restored) {
+    EXPECT_EQ(record.current_loc, common::NodeAddress(1))
+        << record.proxy.str() << " restored the undurable delta";
+  }
+
+  // Once the writes settle, the new generation is the durable one.
+  sim.run();
+  for (const core::ProxyCheckpoint& record : store.restore(MssId(0))) {
+    const bool rewritten = record.proxy == common::ProxyId(3) ||
+                           record.proxy == common::ProxyId(7);
+    EXPECT_EQ(record.current_loc,
+              rewritten ? common::NodeAddress(99) : common::NodeAddress(1));
+  }
+}
+
 // --- acceptance claim (2): constructive half -------------------------------
 
 struct CycleOutcome {
@@ -380,6 +429,88 @@ TEST_F(FaultTest, HandoffAgainstCrashedMssFallsBackToJoin) {
   // The re-issued request completes at the new Mss (fresh proxy there).
   ASSERT_EQ(deliveries_.size(), 1u);
   EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+}
+
+// --- crash inside the hand-off state-transfer window ------------------------
+//
+// The Mh migrates at 400 ms (50 ms travel): greet lands at the new Mss at
+// ~470 ms, the dereg reaches the old Mss at ~475 ms, the deregAck returns
+// at ~480 ms.  Crashing the old Mss at 473 ms drops the dereg on the floor
+// and wedges the hand-off with the pref still at the dead host — the worst
+// spot in the state-transfer window.
+
+harness::ScenarioConfig midhandoff_config() {
+  auto config = fault_config();
+  config.rdp.registration_retry = Duration::millis(400);
+  return config;
+}
+
+// Without replication: the Mh's registration retry re-greets, the
+// greet-old-down path registers it fresh, and the re-issue watchdog
+// re-drives the request.  At-least-once holds (nothing lost, one final
+// delivery), at the cost of waiting out both timeouts.
+TEST_F(FaultTest, CrashMidHandoffWithoutReplicationRecoversViaWatchdog) {
+  auto config = midhandoff_config();
+  config.rdp.mh_reissue = true;
+  config.rdp.reissue_timeout = Duration::seconds(2);
+  build(std::move(config));
+  fault::FaultPlan plan;
+  plan.crash_at(0, Duration::millis(473));  // never restarts
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(400),
+     [&] { world_->mh(0).migrate(world_->cell(1), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  // The dereg (and anything else) aimed at the dead host was dropped...
+  EXPECT_GE(world_->counters().get("mss.wired_dropped_crashed"), 1u);
+  // ...the retry greet found the old Mss down and joined fresh...
+  EXPECT_GE(world_->counters().get("mss.greet_old_mss_down"), 1u);
+  EXPECT_GE(metrics_.requests_reissued, 1u);
+  // ...and at-least-once holds.
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+  EXPECT_TRUE(world_->mh(0).registered());
+  EXPECT_EQ(world_->mh(0).resp_mss(), MssId(1));
+}
+
+// With replication (and NO watchdog, NO checkpoint store): the re-greet's
+// transfer-resume handshake promotes the backup immediately and the
+// adopted proxy delivers — at-least-once through the replica, with the
+// dead primary never restarting.  The backup here is also the Mh's new
+// respMss, so the handshake exercises the self-addressed wired path.
+TEST_F(FaultTest, CrashMidHandoffWithReplicationConvergesViaTransferResume) {
+  auto config = midhandoff_config();
+  config.replication.mode = replication::Mode::kSync;
+  build(std::move(config));
+  fault::FaultPlan plan;
+  plan.crash_at(0, Duration::millis(473));  // never restarts
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(400),
+     [&] { world_->mh(0).migrate(world_->cell(1), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  EXPECT_GE(world_->counters().get("mss.greet_old_mss_down"), 1u);
+  EXPECT_GE(world_->counters().get("mss.transfer_resumes_sent"), 1u);
+  EXPECT_GE(world_->counters().get("repl.resumes_answered"), 1u);
+  EXPECT_EQ(metrics_.backup_promotions, 1u);
+  EXPECT_TRUE(world_->mss(0).crashed());  // restart-free fail-over
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+  EXPECT_EQ(metrics_.requests_reissued, 0u);  // no watchdog involved
 }
 
 }  // namespace

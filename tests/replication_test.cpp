@@ -1,0 +1,396 @@
+// Primary/backup proxy replication (src/replication): restart-free
+// fail-over and crash-consistent hand-off.
+//
+// The scenarios cover the subsystem's whole life-cycle: delta shipping in
+// both modes, lease-expiry promotion, the explicit transfer-resume
+// handshake that closes the mid-hand-off window, reclamation of adopted
+// proxies whose pref repair loses (Nack), and shadow resynchronisation
+// after the *backup's* own crash.  Everything runs under the invariant
+// auditor (fatal in CI via RDP_AUDIT_FATAL=1).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "harness/metrics.h"
+#include "harness/world.h"
+#include "replication/replication.h"
+
+namespace rdp {
+namespace {
+
+using common::Duration;
+using common::MhId;
+using common::MssId;
+
+harness::ScenarioConfig repl_config(replication::Mode mode) {
+  harness::ScenarioConfig config;
+  config.num_mss = 3;  // backup ring: 0 -> 1 -> 2 -> 0
+  config.num_mh = 2;
+  config.num_servers = 1;
+  config.wired.base_latency = Duration::millis(5);
+  config.wired.jitter = Duration::zero();
+  config.wireless.base_latency = Duration::millis(20);
+  config.wireless.jitter = Duration::zero();
+  config.server.base_service_time = Duration::millis(500);
+  config.replication.mode = mode;
+  return config;
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void build(harness::ScenarioConfig config) {
+    world_ = std::make_unique<harness::World>(std::move(config));
+    world_->observers().add(&metrics_);
+    world_->mh(0).set_delivery_callback(
+        [this](const core::MobileHostAgent::Delivery& delivery) {
+          deliveries_.push_back(delivery);
+        });
+  }
+
+  void at(Duration delay, std::function<void()> fn) {
+    world_->simulator().schedule(delay, std::move(fn));
+  }
+
+  std::unique_ptr<harness::World> world_;
+  harness::MetricsCollector metrics_;
+  std::vector<core::MobileHostAgent::Delivery> deliveries_;
+};
+
+// Mode names are stable (bench CSV labels depend on them).
+TEST(ReplicationMode, Names) {
+  EXPECT_STREQ(replication::mode_name(replication::Mode::kOff), "off");
+  EXPECT_STREQ(replication::mode_name(replication::Mode::kAsync), "async");
+  EXPECT_STREQ(replication::mode_name(replication::Mode::kSync), "sync");
+}
+
+// --- fault-free base line ---------------------------------------------------
+
+// With no crash the subsystem is pure overhead: deltas ship, shadows fill
+// and drain with the proxy life-cycle, nobody promotes, and every timer
+// retires (run_to_quiescence terminates).
+TEST_F(ReplicationTest, FaultFreeRunShipsDeltasAndQuiesces) {
+  build(repl_config(replication::Mode::kSync));
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(200),
+     [&] { world_->mh(0).migrate(world_->cell(1), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  // Mss0's proxy mutations all shipped to its backup (Mss1)...
+  EXPECT_GE(world_->replicator(0)->deltas_shipped(), 2u);
+  EXPECT_GT(world_->replicator(0)->bytes_shipped(), 0u);
+  // ...and the del-proxy teardown erased the shadow record again.
+  EXPECT_EQ(world_->replicator(1)->shadow_record_count(), 0u);
+  for (int i = 0; i < world_->num_mss(); ++i) {
+    EXPECT_EQ(world_->replicator(i)->promotions(), 0u) << "mss " << i;
+  }
+  EXPECT_EQ(metrics_.backup_promotions, 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// Async mode coalesces: the same burst of mutations ships in fewer deltas
+// than sync's one-per-mutation, and the workload still completes.
+TEST(ReplicationCoalescing, AsyncShipsFewerDeltasThanSync) {
+  auto run = [](replication::Mode mode) {
+    harness::World world(repl_config(mode));
+    world.mh(0).power_on(world.cell(0));
+    // Three requests in one flush window => >= 3 sync deltas, 1 async.
+    world.simulator().schedule(Duration::millis(100), [&] {
+      world.mh(0).issue_request(world.server_address(0), "a");
+      world.mh(0).issue_request(world.server_address(0), "b");
+      world.mh(0).issue_request(world.server_address(0), "c");
+    });
+    world.run_to_quiescence();
+    return world.replicator(0)->deltas_shipped();
+  };
+  const std::uint64_t sync_deltas = run(replication::Mode::kSync);
+  const std::uint64_t async_deltas = run(replication::Mode::kAsync);
+  EXPECT_GE(sync_deltas, 3u);
+  EXPECT_GE(async_deltas, 1u);
+  EXPECT_LT(async_deltas, sync_deltas);
+}
+
+// --- lease-expiry promotion -------------------------------------------------
+
+// The flagship scenario: the Mh issues at Mss0, migrates away, then Mss0
+// crashes for good with the result still pending.  No checkpoint store, no
+// Mh watchdog — only the backup's promotion can deliver.  The lease
+// expires, Mss1 adopts the replicated proxy, repairs the pref at the Mh's
+// current Mss, re-queries the server and the result arrives.
+void run_lease_promotion(harness::ScenarioConfig config,
+                         std::unique_ptr<harness::World>& world,
+                         harness::MetricsCollector& metrics,
+                         std::vector<core::MobileHostAgent::Delivery>& out) {
+  world = std::make_unique<harness::World>(std::move(config));
+  world->observers().add(&metrics);
+  world->mh(0).set_delivery_callback(
+      [&out](const core::MobileHostAgent::Delivery& delivery) {
+        out.push_back(delivery);
+      });
+
+  fault::FaultPlan plan;
+  plan.crash_at(0, Duration::millis(350));  // never restarts
+  fault::FaultInjector injector(*world, plan);
+  injector.arm();
+
+  world->mh(0).power_on(world->cell(0));
+  auto& sim = world->simulator();
+  sim.schedule(Duration::millis(100),
+               [&world] { world->mh(0).issue_request(world->server_address(0), "q"); });
+  sim.schedule(Duration::millis(200), [&world] {
+    world->mh(0).migrate(world->cell(2), Duration::millis(50));
+  });
+  world->run_to_quiescence();
+}
+
+TEST_F(ReplicationTest, LeaseExpiryPromotesBackupAndDeliversWithoutRestart) {
+  run_lease_promotion(repl_config(replication::Mode::kSync), world_, metrics_,
+                      deliveries_);
+
+  EXPECT_TRUE(world_->mss(0).crashed());  // restart-free: Mss0 stays down
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+  EXPECT_EQ(metrics_.app_duplicates, 0u);  // assumption-5 filter holds
+  EXPECT_EQ(metrics_.backup_promotions, 1u);
+  EXPECT_EQ(metrics_.proxies_adopted, 1u);
+  EXPECT_EQ(world_->replicator(1)->promotions(), 1u);
+  EXPECT_GE(world_->counters().get("mss.proxies_adopted"), 1u);
+  EXPECT_GE(world_->counters().get("repl.repairs_sent"), 1u);
+  EXPECT_GE(world_->counters().get("mss.prefs_repaired"), 1u);
+  // The adopted incarnation completed its full life-cycle (Ack, teardown).
+  EXPECT_EQ(world_->mss(1).proxy_count(), 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// The same fail-over works in async mode: the coalesced flush preceding
+// the crash had already mirrored the proxy (and its update_currentLoc).
+TEST_F(ReplicationTest, AsyncModeFailsOverToo) {
+  run_lease_promotion(repl_config(replication::Mode::kAsync), world_, metrics_,
+                      deliveries_);
+
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.backup_promotions, 1u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// Fail-over is deterministic under a fixed seed: two identical runs
+// produce identical wire traffic and delivery counts.
+TEST_F(ReplicationTest, FailoverIsDeterministic) {
+  auto run = [] {
+    harness::World world(repl_config(replication::Mode::kSync));
+    harness::MetricsCollector metrics;
+    world.observers().add(&metrics);
+    fault::FaultPlan plan;
+    plan.crash_at(0, Duration::millis(350));
+    fault::FaultInjector injector(world, plan);
+    injector.arm();
+    world.mh(0).power_on(world.cell(0));
+    world.simulator().schedule(Duration::millis(100), [&] {
+      world.mh(0).issue_request(world.server_address(0), "q");
+    });
+    world.simulator().schedule(Duration::millis(200), [&] {
+      world.mh(0).migrate(world.cell(2), Duration::millis(50));
+    });
+    world.run_to_quiescence();
+    return std::pair{world.wired().messages_sent(),
+                     metrics.results_delivered};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- transfer-resume: the mid-hand-off window -------------------------------
+
+// The primary dies while the Mh's hand-off is (about to be) wedged against
+// it.  The lease is deliberately huge, so only the explicit
+// transfer-resume handshake — triggered by the greet-old-down path at the
+// new respMss — can promote.  Delivery must resume without the Mh
+// watchdog and long before any lease could expire.
+TEST_F(ReplicationTest, TransferResumePromotesDuringHandoffWindow) {
+  auto config = repl_config(replication::Mode::kSync);
+  config.replication.lease_timeout = Duration::seconds(30);
+  build(std::move(config));
+
+  fault::FaultPlan plan;
+  plan.crash_at(0, Duration::millis(300));  // never restarts
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  // Migration starts after the crash: the greet lands at Mss2 with the old
+  // respMss (and proxy host) already dead — mid-hand-off from the
+  // protocol's point of view.
+  at(Duration::millis(350),
+     [&] { world_->mh(0).migrate(world_->cell(2), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  EXPECT_GE(world_->counters().get("mss.greet_old_mss_down"), 1u);
+  EXPECT_GE(world_->counters().get("mss.transfer_resumes_sent"), 1u);
+  EXPECT_GE(world_->counters().get("repl.resumes_answered"), 1u);
+  // The pref repair could not be sent at promotion time (the Mh's last
+  // known location WAS the dead primary); the resume answer carried it.
+  EXPECT_GE(world_->counters().get("repl.repairs_deferred"), 1u);
+  EXPECT_EQ(world_->replicator(1)->promotions(), 1u);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// An update_currentLoc about to be sent to a dead proxy host is diverted
+// into a transfer-resume as well: complete the hand-off *after* the crash
+// and the deregAck path finds the proxy host down.
+TEST_F(ReplicationTest, UpdateCurrentLocToDeadHostDivertsToResume) {
+  auto config = repl_config(replication::Mode::kSync);
+  config.replication.lease_timeout = Duration::seconds(30);
+  build(std::move(config));
+
+  fault::FaultPlan plan;
+  // Crash after the Mh's pref has been handed to Mss2 (migration at 200ms
+  // completes ~260ms) but while the *proxy* still lives at Mss0 only.
+  // A second migration back towards cell 1 then carries the pref naming
+  // the dead host through a fresh dereg/deregAck: the deregAck path's
+  // update_currentLoc hits the down host and must divert.
+  plan.crash_at(0, Duration::millis(300));
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(200),
+     [&] { world_->mh(0).migrate(world_->cell(2), Duration::millis(50)); });
+  at(Duration::millis(400),
+     [&] { world_->mh(0).migrate(world_->cell(1), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  EXPECT_GE(world_->counters().get("mss.update_to_down_host"), 1u);
+  EXPECT_GE(world_->counters().get("mss.transfer_resumes_sent"), 1u);
+  EXPECT_EQ(world_->replicator(1)->promotions(), 1u);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// --- repair Nack: reclaiming a useless adopted proxy ------------------------
+
+// The Mh leaves the system before the crash; the promoted backup's pref
+// repair finds nobody to repair and is Nack'ed, and the backup reclaims
+// the adopted incarnation — reporting its pending request lost exactly
+// once, so the books still balance.
+TEST_F(ReplicationTest, NackReclaimsAdoptedProxyWhenMhIsGone) {
+  build(repl_config(replication::Mode::kSync));
+
+  fault::FaultPlan plan;
+  plan.crash_at(0, Duration::millis(350));
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(200),
+     [&] { world_->mh(0).migrate(world_->cell(2), Duration::millis(50)); });
+  // Leave while the request is still pending (the paper allows leaving
+  // only when no requests are pending; the fault extension tolerates it).
+  at(Duration::millis(300), [&] { world_->mh(0).leave(); });
+  world_->run_to_quiescence();
+
+  EXPECT_EQ(metrics_.backup_promotions, 1u);
+  EXPECT_GE(world_->counters().get("mss.pref_repairs_missed"), 1u);
+  EXPECT_GE(world_->counters().get("mss.adopted_proxies_dropped"), 1u);
+  // The adopted proxy is gone and its pending request was accounted.
+  EXPECT_EQ(world_->mss(1).proxy_count(), 0u);
+  EXPECT_EQ(deliveries_.size(), 0u);
+  EXPECT_EQ(metrics_.requests_lost, 1u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// A Nack for a proxy the backup no longer hosts (already reclaimed or
+// torn down) is ignored, not fatal.
+TEST_F(ReplicationTest, StaleNackIsIgnored) {
+  build(repl_config(replication::Mode::kSync));
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100), [&] {
+    world_->transport().send(world_->mss(2).address(), world_->mss(1).address(),
+                             net::make_message<core::MsgPrefRepairNack>(
+                                 MhId(0), common::ProxyId(12345)));
+  });
+  world_->run_to_quiescence();
+  EXPECT_EQ(world_->counters().get("mss.repair_nacks_stale"), 1u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// --- backup resync after its own crash --------------------------------------
+
+// The *backup* crashes and restarts: its volatile shadow is gone, so it
+// asks every primary it backs to re-ship.  A later crash of the primary
+// must still fail over from the resynced shadow.
+TEST_F(ReplicationTest, BackupResyncAfterRestartStillFailsOver) {
+  auto config = repl_config(replication::Mode::kSync);
+  config.server.base_service_time = Duration::millis(2000);
+  build(std::move(config));
+
+  fault::FaultPlan plan;
+  plan.crash_at(1, Duration::millis(300), /*downtime=*/Duration::millis(200));
+  plan.crash_at(0, Duration::millis(800));  // primary; never restarts
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(150),
+     [&] { world_->mh(0).migrate(world_->cell(2), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  EXPECT_GE(world_->counters().get("repl.resyncs_requested"), 1u);
+  EXPECT_GE(world_->counters().get("repl.resyncs_served"), 1u);
+  EXPECT_EQ(world_->replicator(1)->promotions(), 1u);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// --- split-brain guard ------------------------------------------------------
+
+// A primary that merely goes silent (lease-expiry silence) but is still up
+// in the directory must NOT be promoted; the stale shadow is dropped once
+// the primary's proxies are gone, and nothing fails over.
+TEST_F(ReplicationTest, SilentButLivePrimaryIsNeverPromoted) {
+  build(repl_config(replication::Mode::kSync));
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  world_->run_to_quiescence();
+
+  // The request completed normally; afterwards the primary stops
+  // heart-beating (no replicated proxies left).  The backup's lease check
+  // sees the silence, finds the primary up, and retires without promoting.
+  ASSERT_EQ(deliveries_.size(), 1u);
+  for (int i = 0; i < world_->num_mss(); ++i) {
+    EXPECT_EQ(world_->replicator(i)->promotions(), 0u) << "mss " << i;
+  }
+  EXPECT_EQ(metrics_.backup_promotions, 0u);
+  EXPECT_EQ(world_->replicator(1)->shadow_record_count(), 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+}  // namespace
+}  // namespace rdp
