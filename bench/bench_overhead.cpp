@@ -1,27 +1,109 @@
-// E4 — §5 claim: the protocol's overhead is limited to
-//   (1) one update_currentLoc whenever the Mh migrates or re-activates,
-//   (2) one extra Ack message from the respMss to the proxy per result,
-//   (3) requests passing through the proxy.
+// E12 — wire-level cost ledger: §5's analytic overhead claims as measured
+// byte/energy tables (subsumes the old E4 message-count experiment).
 //
-// Measures each category against its analytic count across a mobility
-// sweep, and compares total wired traffic per completed request with the
-// Mobile-IP baselines under the identical workload.
+// Section 5 argues RDP's overhead is limited to (1) one update_currentLoc
+// per migration/re-activation, (2) one extra Ack relay per result, and
+// (3) requests passing through the proxy — but the paper never measures
+// any of it.  This binary keeps the E4 analytic-count claims and adds the
+// measured side: every frame on both networks is metered by
+// obs::CostLedger into purpose classes (app / control / hand-off /
+// recovery / MIP tunneling), wireless bytes drain a per-Mh energy budget,
+// and three arms — RDP, RDP+replication, Mobile IP — run the identical
+// seeded workload so the §5 comparison becomes a table instead of an
+// argument.
+//
+//   --ledger out.csv     per-purpose-class table for every arm (CSV), plus
+//                        an out.csv.json sibling with the same data
+//   --energy-per-byte X  wireless transmit cost per byte (receive = X/2)
+//   --smoke              CI-sized run: same claims, smaller sweeps
+#include <fstream>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "harness/experiment.h"
-#include "workload/driver.h"
 #include "stats/table.h"
+#include "workload/driver.h"
+
+namespace {
+
+using rdp::common::Duration;
+
+struct Arm {
+  std::string name;
+  rdp::harness::ExperimentResult result;
+};
+
+// Shared scenario for the three-arm comparison and the sweep: random-walk
+// mobility under the default fault rate (2% wireless loss each way) with
+// the Mh re-issue watchdog owning request-side recovery.
+rdp::harness::ExperimentParams cost_params(bool smoke) {
+  rdp::harness::ExperimentParams params;
+  params.seed = 33;
+  params.num_mh = smoke ? 10 : 24;
+  params.sim_time = Duration::seconds(smoke ? 150 : 600);
+  params.mean_dwell = Duration::seconds(20);
+  params.mean_request_interval = Duration::seconds(8);
+  params.service_time = Duration::millis(800);
+  params.service_jitter = Duration::millis(400);
+  params.wireless.uplink_loss = 0.02;
+  params.wireless.downlink_loss = 0.02;
+  params.rdp.mh_reissue = true;
+  params.rdp.reissue_timeout = Duration::seconds(2);
+  params.rdp.max_reissue_attempts = 20;
+  return params;
+}
+
+std::uint64_t wired_recovery_bytes(const rdp::harness::ExperimentResult& r) {
+  return r.cost.row(rdp::obs::PurposeClass::kRecovery).wired_bytes;
+}
+
+double recovery_share(const rdp::harness::ExperimentResult& r) {
+  return r.cost.wireless_share(rdp::obs::PurposeClass::kRecovery);
+}
+
+double energy_per_completed(const rdp::harness::ExperimentResult& r) {
+  return r.requests_completed == 0
+             ? 0
+             : r.cost.energy_total / static_cast<double>(r.requests_completed);
+}
+
+bool ledger_reconciles(const rdp::harness::ExperimentResult& r) {
+  // collect_common already RDP_CHECKs wired bytes; re-assert here and
+  // require the class rows to add back up to the totals.
+  std::uint64_t wired = 0, wireless = 0;
+  for (const auto& row : r.cost.by_class) {
+    wired += row.wired_bytes;
+    wireless += row.wireless_bytes;
+  }
+  return r.cost.wired_bytes == r.wired_bytes && wired == r.cost.wired_bytes &&
+         wireless == r.cost.wireless_bytes && r.cost.wireless_bytes > 0;
+}
+
+bool unclassified_empty(const rdp::harness::ExperimentResult& r) {
+  const auto& other = r.cost.row(rdp::obs::PurposeClass::kOther);
+  return other.wired_frames == 0 && other.wireless_frames == 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rdp;
-  using common::Duration;
 
   const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
-  benchutil::banner("E4", "protocol message overhead",
+  benchutil::banner("E12", "wire-level cost ledger: measured overhead tables",
                     "§5 overhead analysis of Endler/Silva/Okuda (ICDCS 2000)");
 
-  const std::vector<int> dwell_seconds{120, 60, 30, 15, 8};
+  obs::EnergyConfig energy;
+  energy.tx_per_byte = options.energy_per_byte;
+  energy.rx_per_byte = options.energy_per_byte / 2.0;
+  energy.budget = 5e6;
+
+  // --- §5 analytic counts across a mobility sweep (the old E4 claims) ------
+  benchutil::section("analytic §5 counts across mobility");
+  const std::vector<int> dwell_seconds =
+      options.smoke ? std::vector<int>{30} : std::vector<int>{120, 30, 8};
 
   stats::Table table({"mean dwell", "migrations+react", "update_currentLoc",
                       "ratio", "results", "extra Acks", "Acks/result"});
@@ -30,8 +112,8 @@ int main(int argc, char** argv) {
   for (const int dwell : dwell_seconds) {
     harness::ExperimentParams params;
     params.seed = 21;
-    params.num_mh = 24;
-    params.sim_time = Duration::seconds(600);
+    params.num_mh = options.smoke ? 12 : 24;
+    params.sim_time = Duration::seconds(options.smoke ? 180 : 600);
     params.mean_dwell = Duration::seconds(dwell);
     params.mean_request_interval = Duration::seconds(6);
     // Long service keeps a proxy alive most of the time, so nearly every
@@ -40,11 +122,7 @@ int main(int argc, char** argv) {
     params.service_jitter = Duration::seconds(2);
     params.mean_active = Duration::seconds(120);
     params.mean_inactive = Duration::seconds(10);
-    if (dwell == dwell_seconds.front()) {
-      params.trace_out = options.trace_path;
-      params.metrics_out = options.metrics_path;
-      params.metrics_period = Duration::seconds(10);
-    }
+    params.energy = energy;
 
     const auto result = harness::run_rdp_experiment(params);
     const auto counter = [&](const char* name) -> std::uint64_t {
@@ -75,13 +153,11 @@ int main(int argc, char** argv) {
     // skipped entirely when no proxy exists, so the ratio is < 1 here;
     // the exact-equality check runs below with a pinned proxy).
     if (result.update_currentloc > mobility_events) update_bounded = false;
-    (void)ratio;
     update_tracks = update_tracks && ratio > 0.2;
     // (2) one Ack relay per delivered result (duplicates re-acked too);
     // +-3 tolerance for deliveries right at the drain boundary whose Ack
     // had not landed yet.
-    const auto expected_acks =
-        result.results_delivered + result.app_duplicates;
+    const auto expected_acks = result.results_delivered + result.app_duplicates;
     if (result.acks_forwarded + 3 < result.results_delivered ||
         result.acks_forwarded > expected_acks + 3) {
       acks_match = false;
@@ -90,7 +166,8 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   benchutil::claim("<= 1 update_currentLoc per migration/re-activation",
                    update_bounded);
-  benchutil::claim("updates track mobility while a proxy exists", update_tracks);
+  benchutil::claim("updates track mobility while a proxy exists",
+                   update_tracks);
   benchutil::claim("exactly one extra Ack per delivered result (+duplicates)",
                    acks_match);
 
@@ -120,8 +197,8 @@ int main(int argc, char** argv) {
     for (int i = 0; i < config.num_mh; ++i) {
       drivers.push_back(
           std::make_unique<workload::HostDriver<core::MobileHostAgent>>(
-              world.simulator(), world.mh(i), mobility, world.rng().fork(),
-              wl, std::vector<common::NodeAddress>{}));
+              world.simulator(), world.mh(i), mobility, world.rng().fork(), wl,
+              std::vector<common::NodeAddress>{}));
       drivers.back()->start();
     }
     // Pin one subscription per Mh immediately (queued until registration
@@ -130,7 +207,7 @@ int main(int argc, char** argv) {
       world.mh(i).issue_request(world.server_address(0), "watch",
                                 /*stream=*/true);
     }
-    world.run_for(Duration::seconds(400));
+    world.run_for(Duration::seconds(options.smoke ? 150 : 400));
     for (auto& driver : drivers) driver->stop();
     world.run_for(Duration::seconds(30));
 
@@ -146,72 +223,280 @@ int main(int argc, char** argv) {
         "exactly one update_currentLoc per migration + re-activation",
         metrics.update_currentloc + 2 >= mobility_events &&
             metrics.update_currentloc <= mobility_events &&
-            mobility_events > 50);
+            mobility_events > (options.smoke ? 20u : 50u));
   }
 
-  // --- wired traffic vs the baselines under one identical workload ---
-  benchutil::section("wired messages per completed request, by protocol");
-  harness::ExperimentParams params;
-  params.seed = 33;
-  params.num_mh = 24;
-  params.sim_time = Duration::seconds(600);
-  params.mean_dwell = Duration::seconds(20);
-  params.mean_request_interval = Duration::seconds(8);
-  params.service_time = Duration::millis(800);
-  params.service_jitter = Duration::millis(400);
+  // --- three arms, one seeded run: the measured §5 table -------------------
+  benchutil::section("per-purpose-class bytes/energy, three arms, one seed");
+  harness::ExperimentParams base = cost_params(options.smoke);
+  base.energy = energy;
+  base.trace_out = options.trace_path;
+  base.metrics_out = options.metrics_path;
+  if (options.metrics()) base.metrics_period = Duration::seconds(10);
 
-  struct Row {
-    const char* name;
-    harness::ExperimentResult result;
-  };
-  std::vector<Row> rows;
-  rows.push_back({"RDP", harness::run_rdp_experiment(params)});
-  rows.push_back({"MobileIP", harness::run_baseline_experiment(
-                                  params, baseline::BaselineMode::kMobileIp)});
-  rows.push_back({"ReliableMobileIP",
-                  harness::run_baseline_experiment(
-                      params, baseline::BaselineMode::kReliableMobileIp)});
-  rows.push_back({"Direct", harness::run_baseline_experiment(
-                                params, baseline::BaselineMode::kDirect)});
-
-  stats::Table cmp({"protocol", "issued", "completed", "delivery",
-                    "wired msgs", "msgs/request", "wired bytes"});
-  for (const auto& row : rows) {
-    const double per_request =
-        row.result.requests_issued == 0
-            ? 0
-            : static_cast<double>(row.result.wired_messages) /
-                  static_cast<double>(row.result.requests_issued);
-    cmp.add_row({row.name, stats::Table::fmt(row.result.requests_issued),
-                 stats::Table::fmt(row.result.requests_completed),
-                 stats::Table::fmt(row.result.delivery_ratio, 3),
-                 stats::Table::fmt(row.result.wired_messages),
-                 stats::Table::fmt(per_request, 2),
-                 stats::Table::fmt(row.result.wired_bytes)});
-  }
-  cmp.print(std::cout);
-
-  benchutil::section("RDP wired traffic by message type");
+  std::vector<Arm> arms;
+  arms.push_back({"rdp", harness::run_rdp_experiment(base)});
   {
-    stats::Table breakdown({"message", "count", "share"});
-    const auto& by_type = rows[0].result.wired_by_type;
-    const double total =
-        static_cast<double>(rows[0].result.wired_messages);
-    for (const auto& [name, count] : by_type) {
-      breakdown.add_row({name, stats::Table::fmt(count),
-                         stats::Table::fmt(100.0 * count / total, 1) + "%"});
-    }
-    breakdown.print(std::cout);
+    harness::ExperimentParams repl = base;
+    repl.trace_out.clear();
+    repl.metrics_out.clear();
+    repl.replication.mode = (options.replication_set &&
+                             options.replication != replication::Mode::kOff)
+                                ? options.replication
+                                : replication::Mode::kAsync;
+    arms.push_back({"rdp+repl", harness::run_rdp_experiment(repl)});
+  }
+  {
+    harness::ExperimentParams mip = base;
+    mip.trace_out.clear();
+    mip.metrics_out.clear();
+    arms.push_back({"mip", harness::run_baseline_experiment(
+                               mip, baseline::BaselineMode::kMobileIp)});
   }
 
-  benchutil::claim("RDP delivers everything; plain MobileIP/Direct do not",
-                   rows[0].result.delivery_ratio == 1.0 &&
-                       rows[1].result.delivery_ratio < 1.0 &&
-                       rows[3].result.delivery_ratio < 1.0);
-  const double rdp_msgs = static_cast<double>(rows[0].result.wired_messages);
-  const double direct_msgs = static_cast<double>(rows[3].result.wired_messages);
+  for (const Arm& arm : arms) {
+    std::cout << "\n[" << arm.name << "]  delivery "
+              << stats::Table::fmt(arm.result.delivery_ratio, 3)
+              << ", energy total "
+              << stats::Table::fmt(arm.result.cost.energy_total, 0)
+              << ", min budget remaining "
+              << stats::Table::fmt(arm.result.cost.energy_min_remaining, 0)
+              << "\n";
+    stats::Table classes({"class", "wired bytes", "wireless bytes",
+                          "wireless share", "energy"});
+    for (int c = 0; c < obs::kPurposeClassCount; ++c) {
+      const auto purpose = static_cast<obs::PurposeClass>(c);
+      const auto& row = arm.result.cost.row(purpose);
+      if (row.wired_frames == 0 && row.wireless_frames == 0) continue;
+      classes.add_row(
+          {obs::purpose_class_name(purpose), stats::Table::fmt(row.wired_bytes),
+           stats::Table::fmt(row.wireless_bytes),
+           stats::Table::fmt(100.0 * arm.result.cost.wireless_share(purpose),
+                             2) +
+               "%",
+           stats::Table::fmt(row.energy, 0)});
+    }
+    classes.print(std::cout);
+  }
+
+  benchutil::section("delivery latency percentiles (ms)");
+  {
+    stats::Table latency({"arm", "mean", "p50", "p90", "p95", "p99"});
+    for (const Arm& arm : arms) {
+      latency.add_row({arm.name, stats::Table::fmt(arm.result.mean_latency_ms),
+                       stats::Table::fmt(arm.result.p50_latency_ms),
+                       stats::Table::fmt(arm.result.p90_latency_ms),
+                       stats::Table::fmt(arm.result.p95_latency_ms),
+                       stats::Table::fmt(arm.result.p99_latency_ms)});
+    }
+    latency.print(std::cout);
+  }
+
   benchutil::claim(
-      "RDP's reliability costs bounded extra wired traffic (< 4x Direct)",
-      rdp_msgs < 4.0 * direct_msgs);
+      "ledger totals reconcile byte-for-byte with the wire counters (all arms)",
+      ledger_reconciles(arms[0].result) && ledger_reconciles(arms[1].result) &&
+          ledger_reconciles(arms[2].result));
+  benchutil::claim("no unclassified traffic in any arm",
+                   unclassified_empty(arms[0].result) &&
+                       unclassified_empty(arms[1].result) &&
+                       unclassified_empty(arms[2].result));
+  benchutil::claim(
+      "re-issue recovery traffic < 5% of wireless bytes at the default fault "
+      "rate",
+      recovery_share(arms[0].result) < 0.05 &&
+          recovery_share(arms[1].result) < 0.05);
+  benchutil::claim(
+      "MIP tunneling appears only in the baseline arm",
+      arms[2].result.cost.row(obs::PurposeClass::kTunnel).wired_bytes > 0 &&
+          arms[0].result.cost.row(obs::PurposeClass::kTunnel).wired_frames ==
+              0 &&
+          arms[1].result.cost.row(obs::PurposeClass::kTunnel).wired_frames ==
+              0);
+  benchutil::claim("RDP delivers everything under 2% loss; plain MIP does not",
+                   arms[0].result.delivery_ratio >= 0.999 &&
+                       arms[1].result.delivery_ratio >= 0.999 &&
+                       arms[2].result.delivery_ratio < 1.0);
+  benchutil::claim(
+      "RDP's reliability costs bounded wired traffic (< 4x MIP messages)",
+      static_cast<double>(arms[0].result.wired_messages) <
+          4.0 * static_cast<double>(arms[2].result.wired_messages));
+
+  // --- recovery cost under Mss crashes (replication arm) -------------------
+  // Checkpoint/replication recovery is wired-only by design; the only
+  // wireless recovery traffic a crash can cause is the Mh watchdog's
+  // re-issue, which must stay negligible (ROADMAP battery/bandwidth item).
+  benchutil::section("recovery cost under Mss crashes (rdp+repl)");
+  {
+    harness::ExperimentParams params;
+    params.seed = 7;
+    params.grid_width = 2;
+    params.grid_height = 2;
+    params.num_mh = options.smoke ? 6 : 8;
+    params.sim_time = Duration::seconds(options.smoke ? 120 : 240);
+    params.mean_dwell = Duration::seconds(15);
+    params.mean_request_interval = Duration::seconds(6);
+    params.service_time = Duration::millis(500);
+    params.rdp.mh_reissue = true;
+    params.rdp.reissue_timeout = Duration::seconds(2);
+    params.rdp.max_reissue_attempts = 20;
+    params.replication.mode = replication::Mode::kAsync;
+    params.energy = energy;
+
+    fault::FaultPlan plan;
+    plan.seed = 11;
+    const int cycles = options.smoke ? 2 : 3;
+    plan.crash_every(1, Duration::seconds(30), Duration::seconds(60),
+                     Duration::seconds(2), cycles);
+    plan.crash_every(2, Duration::seconds(55), Duration::seconds(60),
+                     Duration::seconds(2), cycles);
+    params.rdp_world_hook =
+        [&plan](harness::World& w) -> std::shared_ptr<void> {
+      auto injector = std::make_shared<fault::FaultInjector>(w, plan);
+      injector->arm();
+      return injector;
+    };
+
+    const auto crash = harness::run_rdp_experiment(params);
+    arms.push_back({"rdp+repl+crashes", crash});
+    std::cout << "  wired recovery bytes: " << wired_recovery_bytes(crash)
+              << " (replication delta shipping + repair)\n"
+              << "  wireless recovery share: "
+              << stats::Table::fmt(100.0 * recovery_share(crash), 3) << "%\n";
+    benchutil::claim("crash recovery shows up as wired recovery bytes",
+                     wired_recovery_bytes(crash) > 0);
+    benchutil::claim(
+        "wireless recovery share stays < 5% under crashes (wired-only "
+        "checkpointing)",
+        recovery_share(crash) < 0.05);
+    benchutil::claim("crashes lose nothing (re-issue + fail-over)",
+                     crash.delivery_ratio >= 0.999);
+  }
+
+  // --- mobility rate x request rate sweep ----------------------------------
+  if (!options.smoke) {
+    benchutil::section("mobility x request-rate sweep (per completed request)");
+    stats::Table sweep({"dwell", "interval", "arm", "wired B/req",
+                        "wless B/req", "energy/req", "handoff share",
+                        "recovery share"});
+    bool sweep_recovery_ok = true, sweep_delivery_ok = true;
+    double energy_slow = 0, energy_fast = 0;
+    for (const int dwell : {40, 10}) {
+      for (const int interval : {16, 4}) {
+        harness::ExperimentParams params = cost_params(false);
+        params.seed = 101;
+        params.num_mh = 16;
+        params.sim_time = Duration::seconds(300);
+        params.mean_dwell = Duration::seconds(dwell);
+        params.mean_request_interval = Duration::seconds(interval);
+        params.energy = energy;
+
+        std::vector<Arm> cell;
+        cell.push_back({"rdp", harness::run_rdp_experiment(params)});
+        {
+          harness::ExperimentParams repl = params;
+          repl.replication.mode = replication::Mode::kAsync;
+          cell.push_back({"rdp+repl", harness::run_rdp_experiment(repl)});
+        }
+        cell.push_back({"mip", harness::run_baseline_experiment(
+                                   params, baseline::BaselineMode::kMobileIp)});
+
+        for (const Arm& arm : cell) {
+          const auto& r = arm.result;
+          const double completed =
+              r.requests_completed == 0
+                  ? 1.0
+                  : static_cast<double>(r.requests_completed);
+          sweep.add_row(
+              {Duration::seconds(dwell).str(),
+               Duration::seconds(interval).str(), arm.name,
+               stats::Table::fmt(static_cast<double>(r.cost.wired_bytes) /
+                                     completed,
+                                 0),
+               stats::Table::fmt(static_cast<double>(r.cost.wireless_bytes) /
+                                     completed,
+                                 0),
+               stats::Table::fmt(energy_per_completed(r), 0),
+               stats::Table::fmt(
+                   100.0 *
+                       r.cost.wireless_share(obs::PurposeClass::kHandoff),
+                   2) +
+                   "%",
+               stats::Table::fmt(100.0 * recovery_share(r), 2) + "%"});
+        }
+        sweep_recovery_ok = sweep_recovery_ok &&
+                            recovery_share(cell[0].result) < 0.05 &&
+                            recovery_share(cell[1].result) < 0.05;
+        sweep_delivery_ok =
+            sweep_delivery_ok && cell[0].result.delivery_ratio >= 0.999;
+        if (interval == 4 && dwell == 40) {
+          energy_slow = energy_per_completed(cell[0].result);
+        }
+        if (interval == 4 && dwell == 10) {
+          energy_fast = energy_per_completed(cell[0].result);
+        }
+      }
+    }
+    sweep.print(std::cout);
+    benchutil::claim("re-issue stays < 5% of wireless bytes across the sweep",
+                     sweep_recovery_ok);
+    benchutil::claim("RDP delivery survives every sweep cell",
+                     sweep_delivery_ok);
+    benchutil::claim(
+        "higher mobility costs measurable energy (hand-off signaling)",
+        energy_fast > energy_slow);
+  } else {
+    std::cout << "\n(mobility x request-rate sweep skipped under --smoke)\n";
+  }
+
+  // --- artifacts -----------------------------------------------------------
+  if (options.ledger()) {
+    std::ofstream csv(options.ledger_path);
+    if (!csv) {
+      std::cerr << "FAILED to open ledger CSV path " << options.ledger_path
+                << "\n";
+      benchutil::g_all_ok = false;
+    } else {
+      obs::CostSummary::csv_header(csv);
+      for (const Arm& arm : arms) arm.result.cost.append_csv(csv, arm.name);
+      std::cout << "\nledger CSV written to " << options.ledger_path << "\n";
+    }
+    const std::string json_path = options.ledger_path + ".json";
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "FAILED to open ledger JSON path " << json_path << "\n";
+      benchutil::g_all_ok = false;
+    } else {
+      json << "{\n  \"arms\": {";
+      bool first_arm = true;
+      for (const Arm& arm : arms) {
+        json << (first_arm ? "\n    " : ",\n    ");
+        first_arm = false;
+        const auto& c = arm.result.cost;
+        json << '"' << arm.name << "\": {\"wired_bytes\": " << c.wired_bytes
+             << ", \"wireless_bytes\": " << c.wireless_bytes
+             << ", \"energy\": " << c.energy_total
+             << ", \"delivery\": " << arm.result.delivery_ratio
+             << ", \"p50_ms\": " << arm.result.p50_latency_ms
+             << ", \"p90_ms\": " << arm.result.p90_latency_ms
+             << ", \"p99_ms\": " << arm.result.p99_latency_ms
+             << ", \"classes\": {";
+        bool first_class = true;
+        for (int cc = 0; cc < obs::kPurposeClassCount; ++cc) {
+          const auto purpose = static_cast<obs::PurposeClass>(cc);
+          const auto& row = c.row(purpose);
+          json << (first_class ? "" : ", ");
+          first_class = false;
+          json << '"' << obs::purpose_class_name(purpose)
+               << "\": {\"wired_bytes\": " << row.wired_bytes
+               << ", \"wireless_bytes\": " << row.wireless_bytes
+               << ", \"energy\": " << row.energy << '}';
+        }
+        json << "}}";
+      }
+      json << "\n  }\n}\n";
+      std::cout << "ledger JSON written to " << json_path << "\n";
+    }
+  }
+
   return benchutil::finish();
 }

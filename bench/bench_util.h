@@ -23,15 +23,26 @@ namespace rdp::benchutil {
 //   --metrics out.csv   write the metrics registry time series as CSV
 //   --replication=MODE  proxy replication mode (off|async|sync) for binaries
 //                       with a replicated variant; others ignore it
+//   --ledger out.csv    write the cost ledger's per-purpose-class table as
+//                       CSV (plus a .json sibling with message-level
+//                       detail) for binaries that run the ledger
+//   --energy-per-byte X wireless transmit cost per byte for the ledger's
+//                       energy model (receive is charged at half this)
+//   --smoke             reduced scenario for CI: keep the claims, shrink
+//                       the sweeps
 struct BenchOptions {
   std::string trace_path;
   std::string metrics_path;
+  std::string ledger_path;
   replication::Mode replication = replication::Mode::kOff;
   bool replication_set = false;  // true when --replication appeared
+  double energy_per_byte = 2.0;
+  bool smoke = false;
 
   [[nodiscard]] bool trace() const { return !trace_path.empty(); }
   [[nodiscard]] bool metrics() const { return !metrics_path.empty(); }
-  [[nodiscard]] bool any() const { return trace() || metrics(); }
+  [[nodiscard]] bool ledger() const { return !ledger_path.empty(); }
+  [[nodiscard]] bool any() const { return trace() || metrics() || ledger(); }
 };
 
 // Maps "off"/"async"/"sync" to a replication::Mode; false on anything else.
@@ -51,8 +62,8 @@ inline bool parse_replication_mode(const std::string& value,
 
 inline void usage(const char* argv0, std::ostream& os) {
   os << "usage: " << argv0
-     << " [--trace out.json] [--metrics out.csv]"
-        " [--replication={off,async,sync}]\n";
+     << " [--trace out.json] [--metrics out.csv] [--ledger out.csv]"
+        " [--energy-per-byte X] [--replication={off,async,sync}] [--smoke]\n";
 }
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -71,6 +82,21 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.trace_path = value("--trace");
     } else if (arg == "--metrics") {
       options.metrics_path = value("--metrics");
+    } else if (arg == "--ledger") {
+      options.ledger_path = value("--ledger");
+    } else if (arg == "--energy-per-byte") {
+      const std::string raw = value("--energy-per-byte");
+      char* end = nullptr;
+      options.energy_per_byte = std::strtod(raw.c_str(), &end);
+      if (end == raw.c_str() || *end != '\0' || options.energy_per_byte < 0) {
+        std::cerr << argv[0]
+                  << ": --energy-per-byte expects a non-negative number, got '"
+                  << raw << "'\n";
+        usage(argv[0], std::cerr);
+        std::exit(2);
+      }
+    } else if (arg == "--smoke") {
+      options.smoke = true;
     } else if (arg == "--replication" || arg.rfind("--replication=", 0) == 0) {
       const std::string mode = arg == "--replication"
                                    ? value("--replication")
@@ -94,18 +120,29 @@ inline BenchOptions parse_options(int argc, char** argv) {
   return options;
 }
 
+inline bool g_all_ok = true;
+
 // Write the requested artifacts from a finished run's telemetry.  `now` is
 // the end-of-run sim time, used to close the metrics time series with one
 // final sample.
 inline void export_artifacts(const BenchOptions& options,
                              obs::Telemetry& telemetry, common::SimTime now) {
-  if (options.trace() && telemetry.write_trace_json(options.trace_path)) {
-    std::cout << "trace-event JSON written to " << options.trace_path << "\n";
+  if (options.trace()) {
+    if (telemetry.write_trace_json(options.trace_path)) {
+      std::cout << "trace-event JSON written to " << options.trace_path << "\n";
+    } else {
+      std::cerr << "FAILED to write trace to " << options.trace_path << "\n";
+      g_all_ok = false;
+    }
   }
   if (options.metrics()) {
     telemetry.registry().sample_now(now);
     if (telemetry.write_metrics_csv(options.metrics_path)) {
       std::cout << "metrics CSV written to " << options.metrics_path << "\n";
+    } else {
+      std::cerr << "FAILED to write metrics to " << options.metrics_path
+                << "\n";
+      g_all_ok = false;
     }
   }
 }
@@ -121,8 +158,6 @@ inline void banner(const std::string& id, const std::string& title,
 inline void section(const std::string& name) {
   std::cout << "\n-- " << name << " --\n";
 }
-
-inline bool g_all_ok = true;
 
 inline void claim(const std::string& description, bool ok) {
   std::cout << (ok ? "[PASS] " : "[FAIL] ") << description << "\n";

@@ -68,6 +68,9 @@ class CausalLayer final : public net::WiredTransport {
     [[nodiscard]] std::string describe() const override {
       return inner->describe();
     }
+    [[nodiscard]] const net::MessageBase& unwrap() const override {
+      return inner->unwrap();
+    }
   };
 
   // Shim endpoint registered with the inner network for each attached node.

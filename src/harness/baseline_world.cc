@@ -9,6 +9,12 @@ BaselineWorld::BaselineWorld(BaselineScenarioConfig config)
              config.base.wired),
       wireless_(simulator_, common::Rng(config.base.seed ^ 0x51c64e6dULL),
                 config.base.wireless) {
+  if (config_.base.cost.enabled) {
+    cost_ledger_ = std::make_unique<obs::CostLedger>(config_.base.cost);
+    cost_ledger_->attach(wired_);
+    cost_ledger_->attach(wireless_);
+  }
+
   // The baselines do not require causal order (Mobile IP runs over plain
   // IP), so the wired network is used directly.
   runtime_ = std::make_unique<core::Runtime>(core::Runtime{

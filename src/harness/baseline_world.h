@@ -33,6 +33,10 @@ class BaselineWorld {
   [[nodiscard]] net::WiredNetwork& wired() { return wired_; }
   [[nodiscard]] net::WirelessChannel& wireless() { return wireless_; }
   [[nodiscard]] common::Rng& rng() { return rng_; }
+  // Null unless the scenario enabled cost accounting (base.cost).  The
+  // baseline stack has no telemetry bundle, so the ledger keeps its own
+  // tallies without a metric series.
+  [[nodiscard]] obs::CostLedger* cost_ledger() { return cost_ledger_.get(); }
 
   [[nodiscard]] int num_mss() const { return static_cast<int>(msses_.size()); }
   [[nodiscard]] baseline::MipMss& mss(int i) { return *msses_.at(i); }
@@ -59,6 +63,7 @@ class BaselineWorld {
   core::Directory directory_;
   stats::CounterRegistry counters_;
   core::ObserverList observers_;
+  std::unique_ptr<obs::CostLedger> cost_ledger_;
   std::unique_ptr<core::Runtime> runtime_;
   std::vector<std::unique_ptr<baseline::MipMss>> msses_;
   std::vector<std::unique_ptr<core::Server>> servers_;

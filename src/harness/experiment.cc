@@ -2,6 +2,7 @@
 
 #include "stats/fairness.h"
 
+#include <iostream>
 #include <memory>
 
 namespace rdp::harness {
@@ -35,15 +36,13 @@ workload::WorkloadParams make_workload(const ExperimentParams& params) {
   return wl;
 }
 
-// Everything shared between the RDP and baseline runs.
+// Everything shared between the RDP and baseline runs.  Wire accounting
+// comes from the world's cost ledger (the single accounting path for all
+// byte numbers), not from a bench-local tally.
 template <typename World, typename Host>
 void drive(World& world, const ExperimentParams& params,
-           MetricsCollector& metrics, ExperimentResult& result,
-           stats::Tally<std::string>& wire_tally) {
+           MetricsCollector& metrics, ExperimentResult& result) {
   world.observers().add(&metrics);
-  world.wired().add_send_observer([&](const net::Envelope& envelope) {
-    wire_tally.add(envelope.payload->name());
-  });
 
   const workload::CellTopology topology =
       workload::CellTopology::grid(params.grid_width, params.grid_height);
@@ -74,7 +73,7 @@ void drive(World& world, const ExperimentParams& params,
 }
 
 void collect_common(const MetricsCollector& metrics,
-                    const stats::Tally<std::string>& wire_tally,
+                    const obs::CostLedger& ledger,
                     const net::WiredNetwork& wired,
                     const stats::CounterRegistry& counters,
                     ExperimentResult& result) {
@@ -87,7 +86,10 @@ void collect_common(const MetricsCollector& metrics,
   result.result_forwards = metrics.result_forwards;
   result.delivery_ratio = metrics.delivery_ratio();
   result.mean_latency_ms = metrics.delivery_latency_ms.mean();
+  result.p50_latency_ms = metrics.delivery_latency_ms.p50();
+  result.p90_latency_ms = metrics.delivery_latency_ms.p90();
   result.p95_latency_ms = metrics.delivery_latency_ms.percentile(0.95);
+  result.p99_latency_ms = metrics.delivery_latency_ms.p99();
   result.handoffs = metrics.handoffs;
   result.update_currentloc = metrics.update_currentloc;
   result.acks_forwarded = metrics.acks_forwarded;
@@ -97,9 +99,10 @@ void collect_common(const MetricsCollector& metrics,
   result.delproxy_with_pending = metrics.delproxy_with_pending;
   result.wired_messages = wired.messages_sent();
   result.wired_bytes = wired.bytes_sent();
-  for (const auto& [name, count] : wire_tally.all()) {
-    result.wired_by_type[name] = count;
-  }
+  RDP_CHECK(ledger.wired_bytes() == result.wired_bytes,
+            "cost ledger disagrees with the wired network's byte counter");
+  result.wired_by_type = ledger.wired_message_counts();
+  result.cost = ledger.summary();
   result.counters = counters.all();
   result.stale_acks = counters.get("mss.stale_ack_dropped");
   result.requests_dropped_preproxy =
@@ -115,6 +118,8 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   config.num_mh = params.num_mh;
   config.num_servers = params.num_servers;
   config.causal_order = params.causal_order;
+  config.replication = params.replication;
+  config.proxy_checkpointing = params.proxy_checkpointing;
   config.wired = params.wired;
   config.wireless = params.wireless;
   config.rdp = params.rdp;
@@ -122,30 +127,40 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   config.server.service_jitter = params.service_jitter;
   config.telemetry.trace = !params.trace_out.empty();
   config.telemetry.metrics_period = params.metrics_period;
+  config.cost.enabled = true;
+  config.cost.energy = params.energy;
 
   World world(config);
   // Mirror the experiment metrics into the world's registry so the CSV
   // export carries the labeled breakdowns alongside the wire counters.
   MetricsCollector metrics(&world.telemetry().registry());
   ExperimentResult result;
-  stats::Tally<std::string> wire_tally;
-  drive<World, core::MobileHostAgent>(world, params, metrics, result,
-                                      wire_tally);
-  collect_common(metrics, wire_tally, world.wired(), world.counters(), result);
+  // Declared after `world` so hook state (fault injectors, probes) is torn
+  // down before the world it references.
+  std::shared_ptr<void> hook_state;
+  if (params.rdp_world_hook) hook_state = params.rdp_world_hook(world);
+  drive<World, core::MobileHostAgent>(world, params, metrics, result);
+  collect_common(metrics, *world.cost_ledger(), world.wired(),
+                 world.counters(), result);
   if (world.causal() != nullptr) {
     result.causal_delayed = world.causal()->delayed_total();
   }
   if (const obs::InvariantAuditor* auditor = world.telemetry().auditor()) {
     result.invariant_violations = auditor->violations().size();
   }
-  if (!params.trace_out.empty()) {
-    world.telemetry().write_trace_json(params.trace_out);
+  if (!params.trace_out.empty() &&
+      !world.telemetry().write_trace_json(params.trace_out)) {
+    std::cerr << "experiment: failed to write trace to " << params.trace_out
+              << "\n";
   }
   if (!params.metrics_out.empty()) {
     // Close the series with one final sample so a zero-period run still
     // exports the end-state values.
     world.telemetry().registry().sample_now(world.simulator().now());
-    world.telemetry().write_metrics_csv(params.metrics_out);
+    if (!world.telemetry().write_metrics_csv(params.metrics_out)) {
+      std::cerr << "experiment: failed to write metrics to "
+                << params.metrics_out << "\n";
+    }
   }
 
   // Proxy placement across Mss's (E5): include zero entries for Mss's that
@@ -172,15 +187,16 @@ ExperimentResult run_baseline_experiment(const ExperimentParams& params,
   config.base.rdp = params.rdp;
   config.base.server.base_service_time = params.service_time;
   config.base.server.service_jitter = params.service_jitter;
+  config.base.cost.enabled = true;
+  config.base.cost.energy = params.energy;
   config.baseline.mode = mode;
 
   BaselineWorld world(config);
   MetricsCollector metrics;
   ExperimentResult result;
-  stats::Tally<std::string> wire_tally;
-  drive<BaselineWorld, baseline::MipHostAgent>(world, params, metrics, result,
-                                               wire_tally);
-  collect_common(metrics, wire_tally, world.wired(), world.counters(), result);
+  drive<BaselineWorld, baseline::MipHostAgent>(world, params, metrics, result);
+  collect_common(metrics, *world.cost_ledger(), world.wired(),
+                 world.counters(), result);
 
   // The baseline's completion metric: MetricsCollector's finals come from
   // on_result_delivered with final=true, which the baseline also emits, so

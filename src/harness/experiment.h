@@ -3,7 +3,9 @@
 // the metrics every row in EXPERIMENTS.md is made of.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "baseline/mip.h"
@@ -55,6 +57,23 @@ struct ExperimentParams {
   // Protocol knobs.
   core::RdpConfig rdp;
   bool causal_order = true;
+  // Primary/backup proxy replication (RDP runs only; kOff disables).
+  replication::ReplicationConfig replication;
+  // Proxy checkpointing to simulated stable storage (RDP runs only).
+  bool proxy_checkpointing = false;
+
+  // Wire-level cost accounting.  The harness always runs with the ledger
+  // enabled — every experiment's byte numbers come from the one accounting
+  // path — so only the energy model here is a knob.
+  obs::EnergyConfig energy;
+
+  // Called on the freshly built RDP world before the workload starts;
+  // lets benches arm fault plans or extra probes without the harness
+  // depending on src/fault.  The returned object is kept alive for the run
+  // and destroyed before the world (a fault::FaultInjector's destructor
+  // still touches it), so return state that must match the world's
+  // lifetime.  Ignored by baseline runs.
+  std::function<std::shared_ptr<void>(World&)> rdp_world_hook;
 
   // Telemetry artifacts (RDP runs only; empty path disables the export).
   std::string trace_out;    // Chrome trace-event JSON (enables span tracer)
@@ -77,7 +96,10 @@ struct ExperimentResult {
   std::uint64_t result_forwards = 0;
   double delivery_ratio = 0;
   double mean_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p90_latency_ms = 0;
   double p95_latency_ms = 0;
+  double p99_latency_ms = 0;
 
   // Mobility / overhead.
   std::uint64_t migrations = 0;
@@ -93,10 +115,13 @@ struct ExperimentResult {
   double placement_jain = 1.0;
   double placement_max_to_mean = 1.0;
 
-  // Wire totals.
+  // Wire totals (from the cost ledger; wired_messages/wired_bytes are
+  // cross-checked against the network's own counters).
   std::uint64_t wired_messages = 0;
   std::uint64_t wired_bytes = 0;
   std::map<std::string, std::uint64_t> wired_by_type;
+  // Per-purpose-class byte/energy breakdown (§5 tables, E12).
+  obs::CostSummary cost;
 
   // Anomaly counters (ablations).
   std::uint64_t delproxy_with_pending = 0;

@@ -60,6 +60,13 @@ World::World(ScenarioConfig config)
         it->second->increment();
       });
 
+  if (config_.cost.enabled) {
+    cost_ledger_ = std::make_unique<obs::CostLedger>(config_.cost,
+                                                     &telemetry_->registry());
+    cost_ledger_->attach(wired_);
+    cost_ledger_->attach(wireless_);
+  }
+
   runtime_ = std::make_unique<core::Runtime>(core::Runtime{
       simulator_, transport_, wireless_, directory_, config_.rdp, observers_,
       counters_});

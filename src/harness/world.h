@@ -19,6 +19,7 @@
 #include "core/server.h"
 #include "net/wired.h"
 #include "net/wireless.h"
+#include "obs/cost_ledger.h"
 #include "obs/telemetry.h"
 #include "replication/replication.h"
 #include "sim/simulator.h"
@@ -47,6 +48,11 @@ struct ScenarioConfig {
   // (e.g. causal_order=false permits result reordering), so scenarios only
   // need to touch this for the opt-in pieces.
   obs::TelemetryConfig telemetry;
+  // Wire-level byte/energy accounting (off by default: it adds a tap on
+  // every frame).  When enabled the World meters both networks through one
+  // obs::CostLedger and mirrors drain into telemetry().registry() as the
+  // rdp.cost.* / rdp.energy.* series.
+  obs::CostConfig cost;
   net::WiredConfig wired;
   net::WirelessConfig wireless;
   core::RdpConfig rdp;
@@ -90,6 +96,8 @@ class World {
   // config().telemetry).  Labeled wire-message counters land in
   // telemetry().registry() under "net.wired.messages"{type=...}.
   [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
+  // Null unless the scenario enabled cost accounting (config().cost).
+  [[nodiscard]] obs::CostLedger* cost_ledger() { return cost_ledger_.get(); }
 
   [[nodiscard]] int num_mss() const { return static_cast<int>(msses_.size()); }
   [[nodiscard]] core::Mss& mss(int i) { return *msses_.at(i); }
@@ -132,6 +140,7 @@ class World {
   stats::CounterRegistry counters_;
   core::ObserverList observers_;
   std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<obs::CostLedger> cost_ledger_;
   std::unique_ptr<core::Runtime> runtime_;
   std::unique_ptr<core::ProxyCheckpointStore> checkpoint_store_;
   std::vector<std::unique_ptr<core::Mss>> msses_;

@@ -72,6 +72,13 @@ std::uint64_t WirelessChannel::drops_for(DropReason reason) const {
   return drops_by_reason_[static_cast<int>(reason)];
 }
 
+void WirelessChannel::notify(MhId mh, const PayloadPtr& payload, bool uplink,
+                             FramePhase phase) const {
+  for (const FrameObserver& observer : observers_) {
+    observer(mh, payload, uplink, phase);
+  }
+}
+
 void WirelessChannel::uplink(MhId from, PayloadPtr payload,
                              sim::EventPriority priority) {
   RDP_CHECK(payload != nullptr, "cannot uplink a null payload");
@@ -80,6 +87,8 @@ void WirelessChannel::uplink(MhId from, PayloadPtr payload,
   RDP_CHECK(state.cell.has_value(), from.str() + " uplinked while in transit");
 
   ++uplink_sent_;
+  uplink_bytes_ += payload->wire_size();
+  notify(from, payload, /*uplink=*/true, FramePhase::kSent);
   if (rng_.bernoulli(config_.uplink_loss) ||
       (drop_filter_ && drop_filter_(from, payload, /*uplink=*/true))) {
     ++uplink_dropped_;
@@ -90,7 +99,8 @@ void WirelessChannel::uplink(MhId from, PayloadPtr payload,
   UplinkReceiver* receiver = cells_.at(cell).receiver;
   simulator_.schedule(
       sample_latency(),
-      [receiver, from, payload = std::move(payload)] {
+      [this, receiver, from, payload = std::move(payload)] {
+        notify(from, payload, /*uplink=*/true, FramePhase::kDelivered);
         receiver->on_uplink(from, payload);
       },
       priority);
@@ -100,6 +110,8 @@ void WirelessChannel::downlink(CellId cell, MhId to, PayloadPtr payload) {
   RDP_CHECK(payload != nullptr, "cannot downlink a null payload");
   RDP_CHECK(cells_.contains(cell), "downlink from unknown cell " + cell.str());
   ++downlink_sent_;
+  downlink_bytes_ += payload->wire_size();
+  notify(to, payload, /*uplink=*/false, FramePhase::kSent);
 
   {
     const MhState& state = mh_state(to);
@@ -136,6 +148,7 @@ void WirelessChannel::downlink(CellId cell, MhId to, PayloadPtr payload) {
       count_drop(DropReason::kInactive);
       return;
     }
+    notify(to, payload, /*uplink=*/false, FramePhase::kDelivered);
     state.receiver->on_downlink(cell, payload);
   });
 }

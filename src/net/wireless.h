@@ -18,7 +18,9 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "net/message.h"
 #include "sim/simulator.h"
@@ -55,6 +57,16 @@ struct WirelessConfig {
   double downlink_loss = 0.0;  // probability a downlink frame is lost
 };
 
+// Phase of a wireless frame reported to FrameObservers.  kSent fires once
+// per transmission attempt, at send time, whether or not the frame will be
+// lost (the radio spends the airtime either way).  kDelivered fires at the
+// moment the frame is handed to its receiver; lost or discarded frames
+// never reach kDelivered.
+enum class FramePhase {
+  kSent = 0,
+  kDelivered = 1,
+};
+
 class WirelessChannel {
  public:
   // Test seam: decides whether a specific frame is dropped (in addition to
@@ -62,12 +74,24 @@ class WirelessChannel {
   using DropFilter =
       std::function<bool(MhId mh, const PayloadPtr& payload, bool uplink)>;
 
+  // Tap seam: observes every frame crossing the channel.  `mh` is the
+  // mobile-host end of the frame (sender for uplink, target for downlink).
+  using FrameObserver = std::function<void(
+      MhId mh, const PayloadPtr& payload, bool uplink, FramePhase phase)>;
+
   WirelessChannel(sim::Simulator& simulator, common::Rng rng,
                   WirelessConfig config);
 
   // Install (or clear, with nullptr) a deterministic drop filter; used by
   // fault-injection tests to lose exactly one chosen frame.
   void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+  // Observers are invoked in registration order and must outlive the
+  // channel's last scheduled delivery.
+  void add_frame_observer(FrameObserver observer) {
+    RDP_CHECK(observer != nullptr, "frame observer must not be null");
+    observers_.push_back(std::move(observer));
+  }
 
   // --- topology / registration -------------------------------------------
   void register_cell(CellId cell, MssId mss, UplinkReceiver* receiver);
@@ -101,6 +125,13 @@ class WirelessChannel {
   }
   [[nodiscard]] std::uint64_t drops_for(DropReason reason) const;
 
+  // Bytes offered to the radio, counted at send time from the payload's
+  // wire_size() (lost frames included — the airtime is spent regardless).
+  [[nodiscard]] std::uint64_t uplink_bytes() const { return uplink_bytes_; }
+  [[nodiscard]] std::uint64_t downlink_bytes() const {
+    return downlink_bytes_;
+  }
+
  private:
   struct MhState {
     DownlinkReceiver* receiver = nullptr;
@@ -114,6 +145,8 @@ class WirelessChannel {
 
   common::Duration sample_latency();
   void count_drop(DropReason reason);
+  void notify(MhId mh, const PayloadPtr& payload, bool uplink,
+              FramePhase phase) const;
 
   const MhState& mh_state(MhId mh) const;
   MhState& mh_state(MhId mh);
@@ -122,12 +155,15 @@ class WirelessChannel {
   common::Rng rng_;
   WirelessConfig config_;
   DropFilter drop_filter_;
+  std::vector<FrameObserver> observers_;
   std::unordered_map<CellId, CellState> cells_;
   std::unordered_map<MhId, MhState> mhs_;
   std::uint64_t uplink_sent_ = 0;
   std::uint64_t uplink_dropped_ = 0;
   std::uint64_t downlink_sent_ = 0;
   std::uint64_t downlink_dropped_ = 0;
+  std::uint64_t uplink_bytes_ = 0;
+  std::uint64_t downlink_bytes_ = 0;
   std::uint64_t drops_by_reason_[3] = {0, 0, 0};
 };
 

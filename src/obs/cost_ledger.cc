@@ -1,0 +1,422 @@
+#include "obs/cost_ledger.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "baseline/messages.h"
+#include "common/log.h"
+#include "core/messages.h"
+#include "obs/metrics_registry.h"
+
+namespace rdp::obs {
+
+namespace {
+
+// Static name -> purpose rules for every message whose class does not
+// depend on run-time state.  Request/result messages with re-issue or
+// retransmission semantics are handled by type in classify() instead.
+PurposeClass classify_by_name(const std::string& name) {
+  static const std::map<std::string, PurposeClass> kRules = {
+      // Application payload.
+      {"serverResult", PurposeClass::kApp},
+      // RDP control: registration and acknowledgement bookkeeping.
+      {"join", PurposeClass::kControl},
+      {"leave", PurposeClass::kControl},
+      {"registrationAck", PurposeClass::kControl},
+      {"ack", PurposeClass::kControl},
+      {"ackForward", PurposeClass::kControl},
+      {"serverAck", PurposeClass::kControl},
+      {"delPref", PurposeClass::kControl},
+      {"unsubscribe", PurposeClass::kControl},
+      {"forwardUnsubscribe", PurposeClass::kControl},
+      {"serverUnsubscribe", PurposeClass::kControl},
+      {"mipAck", PurposeClass::kControl},
+      {"mipAckForward", PurposeClass::kControl},
+      // Hand-off signaling and pref state transfer.  greet covers both
+      // hand-off and re-activation (the ledger cannot see the receiving
+      // Mss); deregAck carries the transferred pref.
+      {"greet", PurposeClass::kHandoff},
+      {"dereg", PurposeClass::kHandoff},
+      {"deregAck", PurposeClass::kHandoff},
+      {"update_currentLoc", PurposeClass::kHandoff},
+      {"mipGreet", PurposeClass::kHandoff},
+      {"mipRegistration", PurposeClass::kHandoff},
+      {"mipRegReply", PurposeClass::kHandoff},
+      // Recovery: replication shipping, crash repair, GC-race repair.
+      {"replicaUpdate", PurposeClass::kRecovery},
+      {"replicaErase", PurposeClass::kRecovery},
+      {"replicaHeartbeat", PurposeClass::kRecovery},
+      {"replicaResync", PurposeClass::kRecovery},
+      {"prefRepair", PurposeClass::kRecovery},
+      {"prefRepairNack", PurposeClass::kRecovery},
+      {"transferResume", PurposeClass::kRecovery},
+      {"proxyGone", PurposeClass::kRecovery},
+      {"prefRestore", PurposeClass::kRecovery},
+  };
+  auto it = kRules.find(name);
+  return it == kRules.end() ? PurposeClass::kOther : it->second;
+}
+
+}  // namespace
+
+const char* link_kind_name(LinkKind link) {
+  switch (link) {
+    case LinkKind::kWired:
+      return "wired";
+    case LinkKind::kWirelessUp:
+      return "wireless_up";
+    case LinkKind::kWirelessDown:
+      return "wireless_down";
+  }
+  return "?";
+}
+
+const char* purpose_class_name(PurposeClass purpose) {
+  switch (purpose) {
+    case PurposeClass::kApp:
+      return "app";
+    case PurposeClass::kControl:
+      return "control";
+    case PurposeClass::kHandoff:
+      return "handoff";
+    case PurposeClass::kRecovery:
+      return "recovery";
+    case PurposeClass::kTunnel:
+      return "tunnel";
+    case PurposeClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+CostLedger::CostLedger(CostConfig config, MetricsRegistry* registry)
+    : config_(config), registry_(registry) {}
+
+void CostLedger::attach(net::WiredNetwork& wired) {
+  wired.add_send_observer(
+      [this](const net::Envelope& envelope) { on_wired_send(envelope); });
+}
+
+void CostLedger::attach(net::WirelessChannel& wireless) {
+  wireless.add_frame_observer(
+      [this](common::MhId mh, const net::PayloadPtr& payload, bool uplink,
+             net::FramePhase phase) {
+        on_wireless_frame(mh, payload, uplink, phase);
+      });
+}
+
+PurposeClass CostLedger::classify_downlink(const net::MessageBase& message) {
+  if (const auto* result =
+          dynamic_cast<const core::MsgDownlinkResult*>(&message)) {
+    return result->attempt > 1 ? PurposeClass::kRecovery : PurposeClass::kApp;
+  }
+  if (const auto* tunnel =
+          dynamic_cast<const baseline::MsgMipTunnel*>(&message)) {
+    return tunnel->attempt > 1 ? PurposeClass::kRecovery
+                               : PurposeClass::kTunnel;
+  }
+  return classify_by_name(message.name());
+}
+
+PurposeClass CostLedger::classify(const net::MessageBase& message) {
+  // Request-bearing messages: the first sighting of the RequestId on this
+  // hop is the request doing application work; a repeat means the Mh
+  // watchdog re-issued it (or a proxy re-drove it), which is recovery.
+  if (const auto* request =
+          dynamic_cast<const core::MsgUplinkRequest*>(&message)) {
+    return seen_uplink_requests_.insert(request->request).second
+               ? PurposeClass::kApp
+               : PurposeClass::kRecovery;
+  }
+  if (const auto* forward =
+          dynamic_cast<const core::MsgForwardRequest*>(&message)) {
+    return seen_forward_requests_.insert(forward->request).second
+               ? PurposeClass::kApp
+               : PurposeClass::kRecovery;
+  }
+  if (const auto* server =
+          dynamic_cast<const core::MsgServerRequest*>(&message)) {
+    return seen_server_requests_.insert(server->request).second
+               ? PurposeClass::kApp
+               : PurposeClass::kRecovery;
+  }
+  if (const auto* mip = dynamic_cast<const baseline::MsgMipRequest*>(&message)) {
+    return seen_mip_requests_.insert(mip->request).second
+               ? PurposeClass::kApp
+               : PurposeClass::kRecovery;
+  }
+  // Results carry an explicit attempt counter; attempt > 1 is the proxy's
+  // (or home agent's) retransmission machinery at work.
+  if (const auto* forward =
+          dynamic_cast<const core::MsgResultForward*>(&message)) {
+    return forward->attempt > 1 ? PurposeClass::kRecovery : PurposeClass::kApp;
+  }
+  return classify_downlink(message);
+}
+
+void CostLedger::account(LinkKind link, PurposeClass purpose,
+                         const net::MessageBase& outer, std::uint64_t size) {
+  Cell& cell = class_cells_[static_cast<int>(link)][static_cast<int>(purpose)];
+  ++cell.frames;
+  cell.bytes += size;
+
+  Cell& row = messages_[MessageKey{static_cast<int>(link),
+                                   static_cast<int>(purpose), outer.name()}];
+  ++row.frames;
+  row.bytes += size;
+
+  if (registry_ != nullptr) {
+    const Labels labels = {{"class", purpose_class_name(purpose)},
+                           {"link", link_kind_name(link)}};
+    registry_->counter("rdp.cost.bytes", labels).increment(size);
+    registry_->counter("rdp.cost.frames", labels).increment();
+  }
+}
+
+void CostLedger::charge(common::MhId mh, PurposeClass purpose, double amount) {
+  if (amount <= 0) return;
+  double& spent = energy_spent_[mh];
+  spent += amount;
+  energy_total_ += amount;
+  class_energy_[static_cast<int>(purpose)] += amount;
+  if (spent > max_spent_) max_spent_ = spent;
+
+  if (registry_ != nullptr) {
+    registry_->gauge("rdp.energy.spent", {{"mh", mh.str()}}).set(spent);
+    registry_->gauge("rdp.energy.spent_total").set(energy_total_);
+    if (config_.energy.budget > 0) {
+      registry_->gauge("rdp.energy.remaining", {{"mh", mh.str()}})
+          .set(config_.energy.budget - spent);
+      registry_->gauge("rdp.energy.remaining_min")
+          .set(config_.energy.budget - max_spent_);
+    }
+  }
+}
+
+void CostLedger::on_wired_send(const net::Envelope& envelope) {
+  const net::MessageBase& inner = envelope.payload->unwrap();
+  // Charge the outer payload's size: the causal wrapper's matrix bytes are
+  // real wire bytes, and this is what WiredNetwork::bytes_sent() counts.
+  account(LinkKind::kWired, classify(inner), *envelope.payload,
+          envelope.payload->wire_size());
+}
+
+void CostLedger::on_wireless_frame(common::MhId mh,
+                                   const net::PayloadPtr& payload, bool uplink,
+                                   net::FramePhase phase) {
+  const net::MessageBase& inner = payload->unwrap();
+  const std::uint64_t size = payload->wire_size();
+  if (uplink) {
+    // Bytes and transmit energy are committed the moment the radio keys up,
+    // lost frames included.  Delivery of an uplink frame costs the Mh
+    // nothing further (the Mss is wall-powered), so the stateful
+    // first-sighting classification runs exactly once per frame.
+    if (phase != net::FramePhase::kSent) return;
+    const PurposeClass purpose = classify(inner);
+    account(LinkKind::kWirelessUp, purpose, *payload, size);
+    charge(mh, purpose,
+           config_.energy.tx_per_frame +
+               config_.energy.tx_per_byte * static_cast<double>(size));
+    return;
+  }
+  // Downlink classification is stateless (attempt counters live in the
+  // message), so it is safe to evaluate at both phases.
+  const PurposeClass purpose = classify_downlink(inner);
+  if (phase == net::FramePhase::kSent) {
+    account(LinkKind::kWirelessDown, purpose, *payload, size);
+    return;
+  }
+  // Reception energy only for frames the Mh radio actually took delivery
+  // of; frames dropped in the air or discarded cost the Mh nothing.
+  charge(mh, purpose,
+         config_.energy.rx_per_frame +
+             config_.energy.rx_per_byte * static_cast<double>(size));
+}
+
+std::uint64_t CostLedger::bytes(LinkKind link) const {
+  std::uint64_t total = 0;
+  for (const Cell& cell : class_cells_[static_cast<int>(link)]) {
+    total += cell.bytes;
+  }
+  return total;
+}
+
+std::uint64_t CostLedger::bytes(LinkKind link, PurposeClass purpose) const {
+  return class_cells_[static_cast<int>(link)][static_cast<int>(purpose)].bytes;
+}
+
+std::map<std::string, std::uint64_t> CostLedger::wired_message_counts() const {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& [key, cell] : messages_) {
+    if (key.link == static_cast<int>(LinkKind::kWired)) {
+      counts[key.message] += cell.frames;
+    }
+  }
+  return counts;
+}
+
+std::uint64_t CostLedger::frames(LinkKind link) const {
+  std::uint64_t total = 0;
+  for (const Cell& cell : class_cells_[static_cast<int>(link)]) {
+    total += cell.frames;
+  }
+  return total;
+}
+
+double CostLedger::energy_spent(common::MhId mh) const {
+  auto it = energy_spent_.find(mh);
+  return it == energy_spent_.end() ? 0.0 : it->second;
+}
+
+double CostLedger::energy_spent_total() const { return energy_total_; }
+
+double CostLedger::energy_min_remaining() const {
+  return config_.energy.budget > 0 ? config_.energy.budget - max_spent_ : 0.0;
+}
+
+CostSummary CostLedger::summary() const {
+  CostSummary summary;
+  for (int c = 0; c < kPurposeClassCount; ++c) {
+    CostSummary::ClassRow& row = summary.by_class[c];
+    row.wired_frames = class_cells_[static_cast<int>(LinkKind::kWired)][c].frames;
+    row.wired_bytes = class_cells_[static_cast<int>(LinkKind::kWired)][c].bytes;
+    for (LinkKind link : {LinkKind::kWirelessUp, LinkKind::kWirelessDown}) {
+      row.wireless_frames += class_cells_[static_cast<int>(link)][c].frames;
+      row.wireless_bytes += class_cells_[static_cast<int>(link)][c].bytes;
+    }
+    row.energy = class_energy_[c];
+    summary.wired_frames += row.wired_frames;
+    summary.wired_bytes += row.wired_bytes;
+    summary.wireless_frames += row.wireless_frames;
+    summary.wireless_bytes += row.wireless_bytes;
+  }
+  summary.energy_total = energy_total_;
+  summary.energy_min_remaining = energy_min_remaining();
+  return summary;
+}
+
+stats::Table CostLedger::purpose_table() const {
+  const CostSummary s = summary();
+  stats::Table table({"class", "wired frames", "wired bytes", "wless frames",
+                      "wless bytes", "wless share", "energy"});
+  for (int c = 0; c < kPurposeClassCount; ++c) {
+    const CostSummary::ClassRow& row = s.by_class[c];
+    if (row.wired_frames == 0 && row.wireless_frames == 0) continue;
+    const auto purpose = static_cast<PurposeClass>(c);
+    table.add_row({purpose_class_name(purpose),
+                   stats::Table::fmt(row.wired_frames),
+                   stats::Table::fmt(row.wired_bytes),
+                   stats::Table::fmt(row.wireless_frames),
+                   stats::Table::fmt(row.wireless_bytes),
+                   stats::Table::fmt(100.0 * s.wireless_share(purpose), 2) + "%",
+                   stats::Table::fmt(row.energy, 1)});
+  }
+  table.add_row({"total", stats::Table::fmt(s.wired_frames),
+                 stats::Table::fmt(s.wired_bytes),
+                 stats::Table::fmt(s.wireless_frames),
+                 stats::Table::fmt(s.wireless_bytes), "100.00%",
+                 stats::Table::fmt(s.energy_total, 1)});
+  return table;
+}
+
+stats::Table CostLedger::message_table() const {
+  stats::Table table({"link", "class", "message", "frames", "bytes"});
+  for (const auto& [key, cell] : messages_) {
+    table.add_row({link_kind_name(static_cast<LinkKind>(key.link)),
+                   purpose_class_name(static_cast<PurposeClass>(key.purpose)),
+                   key.message, stats::Table::fmt(cell.frames),
+                   stats::Table::fmt(cell.bytes)});
+  }
+  return table;
+}
+
+void CostSummary::csv_header(std::ostream& os) {
+  os << "arm,class,wired_frames,wired_bytes,wireless_frames,wireless_bytes,"
+        "wireless_share,energy\n";
+}
+
+void CostSummary::append_csv(std::ostream& os, const std::string& arm) const {
+  for (int c = 0; c < kPurposeClassCount; ++c) {
+    const ClassRow& r = by_class[c];
+    const auto purpose = static_cast<PurposeClass>(c);
+    os << arm << ',' << purpose_class_name(purpose) << ',' << r.wired_frames
+       << ',' << r.wired_bytes << ',' << r.wireless_frames << ','
+       << r.wireless_bytes << ',' << wireless_share(purpose) << ',' << r.energy
+       << '\n';
+  }
+  os << arm << ",total," << wired_frames << ',' << wired_bytes << ','
+     << wireless_frames << ',' << wireless_bytes << ",1," << energy_total
+     << '\n';
+}
+
+bool CostLedger::write_csv(const std::string& path,
+                           const std::string& arm) const {
+  std::ofstream out(path);
+  if (!out) {
+    RDP_LOG(common::LogLevel::kWarn) << "cost ledger: cannot open " << path;
+    return false;
+  }
+  csv_header(out);
+  append_csv(out, arm);
+  return static_cast<bool>(out);
+}
+
+void CostLedger::write_json_stream(std::ostream& os) const {
+  const CostSummary s = summary();
+  os << "{\n  \"energy_config\": {\"tx_per_byte\": " << config_.energy.tx_per_byte
+     << ", \"rx_per_byte\": " << config_.energy.rx_per_byte
+     << ", \"tx_per_frame\": " << config_.energy.tx_per_frame
+     << ", \"rx_per_frame\": " << config_.energy.rx_per_frame
+     << ", \"budget\": " << config_.energy.budget << "},\n";
+  os << "  \"totals\": {\"wired_frames\": " << s.wired_frames
+     << ", \"wired_bytes\": " << s.wired_bytes
+     << ", \"wireless_frames\": " << s.wireless_frames
+     << ", \"wireless_bytes\": " << s.wireless_bytes
+     << ", \"energy\": " << s.energy_total
+     << ", \"energy_min_remaining\": " << s.energy_min_remaining << "},\n";
+  os << "  \"classes\": {";
+  bool first = true;
+  for (int c = 0; c < kPurposeClassCount; ++c) {
+    const CostSummary::ClassRow& row = s.by_class[c];
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    os << '"' << purpose_class_name(static_cast<PurposeClass>(c))
+       << "\": {\"wired_frames\": " << row.wired_frames
+       << ", \"wired_bytes\": " << row.wired_bytes
+       << ", \"wireless_frames\": " << row.wireless_frames
+       << ", \"wireless_bytes\": " << row.wireless_bytes
+       << ", \"energy\": " << row.energy << '}';
+  }
+  os << "\n  },\n  \"messages\": [";
+  first = true;
+  for (const auto& [key, cell] : messages_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    os << "{\"link\": \"" << link_kind_name(static_cast<LinkKind>(key.link))
+       << "\", \"class\": \""
+       << purpose_class_name(static_cast<PurposeClass>(key.purpose))
+       << "\", \"message\": \"" << key.message
+       << "\", \"frames\": " << cell.frames << ", \"bytes\": " << cell.bytes
+       << '}';
+  }
+  os << "\n  ],\n  \"energy_per_mh\": {";
+  first = true;
+  for (const auto& [mh, spent] : energy_spent_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    os << '"' << mh.str() << "\": " << spent;
+  }
+  os << "\n  }\n}\n";
+}
+
+bool CostLedger::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    RDP_LOG(common::LogLevel::kWarn) << "cost ledger: cannot open " << path;
+    return false;
+  }
+  write_json_stream(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rdp::obs

@@ -60,6 +60,31 @@ class Histogram {
     return sorted[std::min(rank, sorted.size() - 1)];
   }
 
+  // Named quantile accessors for the tails every experiment reports.
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p90() const { return percentile(0.90); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
+  // Several quantiles from one sort (percentile() re-sorts per call).
+  [[nodiscard]] std::vector<double> percentiles(
+      const std::vector<double>& ps) const {
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (double p : ps) {
+      RDP_CHECK(p >= 0.0 && p <= 1.0, "percentile out of range");
+      if (sorted.empty()) {
+        out.push_back(0.0);
+        continue;
+      }
+      const auto rank = static_cast<std::size_t>(
+          p * static_cast<double>(sorted.size() - 1) + 0.5);
+      out.push_back(sorted[std::min(rank, sorted.size() - 1)]);
+    }
+    return out;
+  }
+
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
   void reset() { samples_.clear(); }

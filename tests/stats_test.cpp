@@ -77,6 +77,46 @@ TEST(Histogram, DurationOverloadStoresMilliseconds) {
   EXPECT_DOUBLE_EQ(h.mean(), 250.0);
 }
 
+// Named tail accessors against a known uniform grid (0..100 inserted in
+// reverse, so the accessors must sort): nearest-rank puts pXX exactly at
+// the value XX.
+TEST(Histogram, NamedTailAccessors) {
+  Histogram h;
+  for (int i = 100; i >= 0; --i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(h.p90(), 90.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+}
+
+// On a heavily skewed distribution the accessors must separate: 49 fast
+// samples and one huge outlier leave p50/p90 at the body while p99
+// (nearest-rank: index 49 of 50) lands on the tail.
+TEST(Histogram, TailAccessorsOnSkewedDistribution) {
+  Histogram h;
+  for (int i = 0; i < 49; ++i) h.add(1.0);
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 1.0);
+  EXPECT_DOUBLE_EQ(h.p90(), 1.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 1000.0);
+}
+
+// The batch form computes the same quantiles as the per-call accessors
+// (single sort) and is safe on an empty histogram.
+TEST(Histogram, BatchPercentilesMatchAccessors) {
+  Histogram h;
+  for (int i = 100; i >= 0; --i) h.add(static_cast<double>(i));
+  const std::vector<double> qs = h.percentiles({0.5, 0.9, 0.95, 0.99});
+  ASSERT_EQ(qs.size(), 4u);
+  EXPECT_DOUBLE_EQ(qs[0], h.p50());
+  EXPECT_DOUBLE_EQ(qs[1], h.p90());
+  EXPECT_DOUBLE_EQ(qs[2], h.percentile(0.95));
+  EXPECT_DOUBLE_EQ(qs[3], h.p99());
+
+  Histogram empty;
+  const std::vector<double> zero = empty.percentiles({0.5, 0.99});
+  EXPECT_EQ(zero, (std::vector<double>{0.0, 0.0}));
+}
+
 TEST(Fairness, JainPerfectBalance) {
   EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
 }
