@@ -1,20 +1,43 @@
 // M1 — microbenchmarks of the building blocks (google-benchmark): event
-// kernel throughput, wired/causal messaging cost, proxy bookkeeping, and a
-// whole-world simulation rate.  These bound how large a scenario the
-// experiment binaries can afford.
+// kernel throughput (flat and under standing queue depth), wired/causal
+// messaging cost, sharded-kernel scheduling overhead (intra-shard vs
+// cross-shard hand-off), and whole-world simulation rates on both kernels.
+// These bound how large a scenario the experiment binaries can afford.
+//
+// Beyond the interactive table, the binary doubles as the perf-regression
+// gate for CI:
+//
+//   bench_micro --out BENCH_kernel.json     write machine-readable baseline
+//   bench_micro --check BENCH_kernel.json   fail (exit 1) if any benchmark's
+//                                           items/s fell more than
+//                                           RDP_PERF_TOLERANCE (default 0.30)
+//                                           below the baseline
+//   bench_micro --smoke                     quick pass (short min_time)
+//
+// All other flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "causal/causal_layer.h"
 #include "causal/vector_clock.h"
 #include "harness/experiment.h"
 #include "harness/world.h"
 #include "net/wired.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 
 namespace {
 
 using namespace rdp;
 using common::Duration;
+using sim::SimTime;
 
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
@@ -31,6 +54,27 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
 
+// Steady-state schedule+run cost with a standing backlog keeping the event
+// queue at a fixed depth: how the heap scales as worlds get bigger.
+void BM_SimulatorQueueDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  constexpr int kBatch = 1000;
+  sim::Simulator sim;
+  for (int i = 0; i < depth; ++i) {
+    sim.schedule(Duration::seconds(1'000'000) + Duration::micros(i), [] {});
+  }
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sim.schedule(Duration::micros(i % 100), [&sum] { ++sum; });
+    }
+    sim.run_until(sim.now() + Duration::millis(1));
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimulatorQueueDepth)->Arg(256)->Arg(4096)->Arg(65536);
+
 void BM_SimulatorTimerCancel(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -43,6 +87,62 @@ void BM_SimulatorTimerCancel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorTimerCancel);
+
+// Chains of deliveries through the sharded kernel's outbox/barrier path.
+// Intra-shard chains (src == dst) measure the pure mailbox overhead every
+// send pays in shard mode; cross-shard chains add the canonical sort and
+// the per-window fence, i.e. the real hand-off cost the lookahead buys.
+void schedule_hop(sim::ShardedSimulator& sharded, int src, bool cross,
+                  std::uint64_t chain, std::uint64_t seq, SimTime at,
+                  std::uint64_t* hops, std::uint64_t limit);
+
+void schedule_hop(sim::ShardedSimulator& sharded, int src, bool cross,
+                  std::uint64_t chain, std::uint64_t seq, SimTime at,
+                  std::uint64_t* hops, std::uint64_t limit) {
+  const int dst = cross ? 1 - src : src;
+  sim::ShardInjection injection;
+  injection.at = at;
+  injection.stream_key = chain;
+  injection.stream_seq = seq;
+  injection.run = [&sharded, dst, cross, chain, seq, at, hops, limit] {
+    ++*hops;
+    if (*hops >= limit) return;
+    schedule_hop(sharded, dst, cross, chain, seq + 1,
+                 at + Duration::millis(1), hops, limit);
+  };
+  sharded.post(src, dst, std::move(injection));
+}
+
+void run_hop_chain(benchmark::State& state, bool cross) {
+  constexpr int kChains = 64;
+  constexpr std::uint64_t kTotalHops = 16384;
+  for (auto _ : state) {
+    sim::ShardedSimulator::Options options;
+    options.shards = 2;
+    options.threads = 1;
+    options.lookahead = Duration::millis(1);
+    sim::ShardedSimulator sharded(options);
+    std::uint64_t hops = 0;
+    for (int c = 0; c < kChains; ++c) {
+      schedule_hop(sharded, c % 2, cross, static_cast<std::uint64_t>(c), 0,
+                   SimTime::from_micros(1000), &hops, kTotalHops);
+    }
+    sharded.run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTotalHops));
+}
+
+void BM_ShardedIntraShard(benchmark::State& state) {
+  run_hop_chain(state, false);
+}
+BENCHMARK(BM_ShardedIntraShard);
+
+void BM_ShardedCrossShard(benchmark::State& state) {
+  run_hop_chain(state, true);
+}
+BENCHMARK(BM_ShardedCrossShard);
 
 struct NullEndpoint final : net::Endpoint {
   std::uint64_t received = 0;
@@ -132,23 +232,188 @@ void BM_EndToEndRequest(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndRequest);
 
-// Whole-scenario throughput: how many simulated protocol events per second
-// of wall-clock the harness achieves on a mid-size world.
+harness::ExperimentParams throughput_params() {
+  harness::ExperimentParams params;
+  params.seed = 77;
+  params.num_mh = 20;
+  params.sim_time = Duration::seconds(120);
+  params.drain_time = Duration::seconds(30);
+  params.mean_dwell = Duration::seconds(15);
+  params.mean_request_interval = Duration::seconds(5);
+  return params;
+}
+
+// Whole-scenario throughput: kernel events per second of wall-clock the
+// harness achieves on a mid-size world (single kernel).
 void BM_ScenarioThroughput(benchmark::State& state) {
+  std::uint64_t events = 0;
   for (auto _ : state) {
-    harness::ExperimentParams params;
-    params.seed = 77;
-    params.num_mh = 20;
-    params.sim_time = Duration::seconds(120);
-    params.drain_time = Duration::seconds(30);
-    params.mean_dwell = Duration::seconds(15);
-    params.mean_request_interval = Duration::seconds(5);
-    const auto result = harness::run_rdp_experiment(params);
+    const auto result = harness::run_rdp_experiment(throughput_params());
     benchmark::DoNotOptimize(result.requests_completed);
+    events += result.kernel_events;
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_ScenarioThroughput);
 
+// The identical workload over the sharded kernel — the per-shard overhead
+// (mailbox posts, window barriers, observer merge) shows up as the gap to
+// BM_ScenarioThroughput.
+void BM_ShardedScenarioThroughput(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    harness::ExperimentParams params = throughput_params();
+    params.shards = shards;
+    params.shard_threads = 1;
+    const auto result = harness::run_sharded_rdp_experiment(params);
+    benchmark::DoNotOptimize(result.requests_completed);
+    events += result.kernel_events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ShardedScenarioThroughput)->Arg(1)->Arg(4);
+
+// --- baseline emission / regression gate ------------------------------
+
+// Captures items_per_second per benchmark while still printing the normal
+// console table.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        items_per_second[run.benchmark_name()] = it->second.value;
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::map<std::string, double> items_per_second;
+};
+
+bool write_baseline(const std::string& path,
+                    const std::map<std::string, double>& items) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  out << "  \"schema\": \"rdp-kernel-bench-v1\",\n";
+  out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"micro\": {\n";
+  bool first = true;
+  for (const auto& [name, ips] : items) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << name << "\": " << std::scientific << ips;
+  }
+  out << "\n  }\n";
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+// Minimal lookup of "name": <number> in the baseline JSON.  Names are
+// google-benchmark identifiers ([A-Za-z0-9_/]) so a flat scan is unambiguous.
+bool baseline_value(const std::string& text, const std::string& name,
+                    double* value) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = text.c_str() + pos + needle.size();
+  char* end = nullptr;
+  *value = std::strtod(start, &end);
+  return end != start;
+}
+
+int check_against_baseline(const std::string& path,
+                           const std::map<std::string, double>& items) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_micro: cannot read baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  double tolerance = 0.30;
+  if (const char* env = std::getenv("RDP_PERF_TOLERANCE")) {
+    tolerance = std::strtod(env, nullptr);
+  }
+
+  int regressions = 0;
+  for (const auto& [name, ips] : items) {
+    double base = 0;
+    if (!baseline_value(text, name, &base)) {
+      std::printf("PERF  %-44s no baseline entry (new benchmark)\n",
+                  name.c_str());
+      continue;
+    }
+    const double ratio = base > 0 ? ips / base : 1.0;
+    const bool regressed = ratio < 1.0 - tolerance;
+    std::printf("PERF  %-44s %.3g items/s vs baseline %.3g (%+.1f%%)%s\n",
+                name.c_str(), ips, base, (ratio - 1.0) * 100,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_micro: %d benchmark(s) regressed more than %.0f%% "
+                 "below baseline %s\n",
+                 regressions, tolerance * 100, path.c_str());
+    return 1;
+  }
+  std::printf("bench_micro: all benchmarks within %.0f%% of baseline\n",
+              tolerance * 100);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string check_path;
+  bool smoke = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  static char min_time_flag[] = "--benchmark_min_time=0.05";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (smoke) passthrough.push_back(min_time_flag);
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!out_path.empty()) {
+    if (!write_baseline(out_path, reporter.items_per_second)) {
+      std::fprintf(stderr, "bench_micro: failed to write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::printf("bench_micro: wrote %zu benchmark baselines to %s\n",
+                reporter.items_per_second.size(), out_path.c_str());
+  }
+  if (!check_path.empty()) {
+    return check_against_baseline(check_path, reporter.items_per_second);
+  }
+  return 0;
+}

@@ -9,9 +9,24 @@
 // the population grows (the simulated substrate has no contention model;
 // what is being validated is that the *protocol* machinery — proxies,
 // hand-offs, routing — introduces no loss or systematic slowdown at scale).
+//
+// M2 — shard scaling: the same class of workload on the cell-partitioned
+// sharded kernel at 1/2/4/8 shards, reporting aggregate kernel events/s
+// and verifying the results are bit-identical across shard counts.  Two
+// extra flags beyond the shared set:
+//
+//   --mega               also run the 10^6-mobile-host configuration
+//                        (32x32 grid, 8 shards) — minutes of wall clock
+//   --kernel-json PATH   merge "shard_sweep" (and "mega") sections into
+//                        the BENCH_kernel.json baseline at PATH
+#include <chrono>
+#include <thread>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench/bench_util.h"
+#include "harness/experiment.h"
 #include "harness/metrics.h"
 #include "harness/world.h"
 #include "stats/table.h"
@@ -106,11 +121,164 @@ Outcome run(int num_mh, const benchutil::BenchOptions* artifacts = nullptr) {
   return outcome;
 }
 
+// --- M2: shard scaling ------------------------------------------------
+
+struct ShardOutcome {
+  int shards = 1;
+  int threads = 1;
+  harness::ExperimentResult result;
+  double wall_s = 0;
+  [[nodiscard]] double events_per_s() const {
+    return wall_s > 0 ? static_cast<double>(result.kernel_events) / wall_s : 0;
+  }
+};
+
+harness::ExperimentParams sweep_params(bool smoke) {
+  harness::ExperimentParams params;
+  params.seed = 4242;
+  params.grid_width = 4;
+  params.grid_height = 4;
+  params.num_mh = smoke ? 60 : 240;
+  params.num_servers = 4;
+  params.sim_time = Duration::seconds(smoke ? 120 : 400);
+  params.drain_time = Duration::seconds(60);
+  params.mean_dwell = Duration::seconds(25);
+  params.travel_time = Duration::millis(400);
+  params.mean_request_interval = Duration::seconds(8);
+  return params;
+}
+
+ShardOutcome run_sharded(harness::ExperimentParams params, int shards,
+                         int threads) {
+  params.shards = shards;
+  params.shard_threads = threads;
+  ShardOutcome outcome;
+  outcome.shards = shards;
+  outcome.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  outcome.result = harness::run_sharded_rdp_experiment(params);
+  outcome.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outcome;
+}
+
+// The 10^6-mobile-host configuration the ROADMAP targets: 1024 cells, a
+// short simulated horizon, sparse per-host traffic.  Causal order is off —
+// its vector clocks are per-fixed-node but the point here is raw kernel
+// scale, not the ordering ablation.
+harness::ExperimentParams mega_params() {
+  harness::ExperimentParams params;
+  params.seed = 99;
+  params.grid_width = 32;
+  params.grid_height = 32;
+  params.num_mh = 1'000'000;
+  params.num_servers = 8;
+  params.sim_time = Duration::seconds(2);
+  params.drain_time = Duration::seconds(2);
+  params.mean_dwell = Duration::seconds(60);
+  params.mean_request_interval = Duration::seconds(60);
+  params.causal_order = false;
+  return params;
+}
+
+// Insert `fragment` (one or more `"key": {...}` members) before the final
+// closing brace of the JSON object at `path`; starts a fresh file when the
+// baseline does not exist yet.
+bool merge_into_kernel_json(const std::string& path,
+                            const std::string& fragment) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  const std::size_t brace = text.rfind('}');
+  if (brace == std::string::npos) {
+    out << "{\n  \"schema\": \"rdp-kernel-bench-v1\",\n"
+        << fragment << "\n}\n";
+    return static_cast<bool>(out);
+  }
+  std::string head = text.substr(0, brace);
+  while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) {
+    head.pop_back();
+  }
+  out << head << ",\n" << fragment << "\n}\n";
+  return static_cast<bool>(out);
+}
+
+std::string shard_sweep_json(const std::vector<ShardOutcome>& outcomes,
+                             const harness::ExperimentParams& params) {
+  std::ostringstream os;
+  os << "  \"shard_sweep\": {\n"
+     << "    \"num_mh\": " << params.num_mh << ",\n"
+     << "    \"cells\": " << params.num_mss() << ",\n"
+     << "    \"sim_time_s\": " << params.sim_time.count_micros() / 1000000
+     << ",\n"
+     << "    \"results\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ShardOutcome& o = outcomes[i];
+    os << "      {\"shards\": " << o.shards << ", \"threads\": " << o.threads
+       << ", \"kernel_events\": " << o.result.kernel_events
+       << ", \"wall_s\": " << o.wall_s
+       << ", \"events_per_s\": " << o.events_per_s() << "}"
+       << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }";
+  return os.str();
+}
+
+std::string mega_json(const ShardOutcome& o,
+                      const harness::ExperimentParams& params) {
+  std::ostringstream os;
+  os << "  \"mega\": {\n"
+     << "    \"num_mh\": " << params.num_mh << ",\n"
+     << "    \"cells\": " << params.num_mss() << ",\n"
+     << "    \"shards\": " << o.shards << ",\n"
+     << "    \"kernel_events\": " << o.result.kernel_events << ",\n"
+     << "    \"wall_s\": " << o.wall_s << ",\n"
+     << "    \"events_per_s\": " << o.events_per_s() << ",\n"
+     << "    \"requests_issued\": " << o.result.requests_issued << ",\n"
+     << "    \"requests_completed\": " << o.result.requests_completed << ",\n"
+     << "    \"delivery_ratio\": " << o.result.delivery_ratio << "\n  }";
+  return os.str();
+}
+
+bool same_protocol_outcome(const harness::ExperimentResult& a,
+                           const harness::ExperimentResult& b) {
+  return a.requests_issued == b.requests_issued &&
+         a.requests_completed == b.requests_completed &&
+         a.kernel_events == b.kernel_events &&
+         a.wired_messages == b.wired_messages &&
+         a.wired_bytes == b.wired_bytes && a.handoffs == b.handoffs &&
+         a.mean_latency_ms == b.mean_latency_ms &&
+         a.invariant_violations == b.invariant_violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const rdp::benchutil::BenchOptions options =
-      rdp::benchutil::parse_options(argc, argv);
+  bool mega = false;
+  std::string kernel_json;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mega") {
+      mega = true;
+    } else if (arg == "--kernel-json" && i + 1 < argc) {
+      kernel_json = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const rdp::benchutil::BenchOptions options = rdp::benchutil::parse_options(
+      static_cast<int>(passthrough.size()), passthrough.data());
   benchutil::banner("E8", "traffic-information service at scale",
                     "§1 motivating workload (SIDAM) over the full RDP stack");
 
@@ -144,5 +312,75 @@ int main(int argc, char** argv) {
           outcomes.back().mean_ms > outcomes.front().mean_ms * 0.85);
   benchutil::claim("the data-location protocol was exercised (multi-hop ops)",
                    outcomes.back().routed > 500);
+
+  // -- M2: shard scaling over the sharded kernel --
+  benchutil::section("M2: shard scaling (cell-partitioned kernel)");
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::cout << "host cores: " << host_cores
+            << " (wall-clock speedup needs as many cores as shards; the\n"
+               " determinism and throughput numbers below hold regardless)\n";
+
+  const harness::ExperimentParams sweep = sweep_params(options.smoke);
+  stats::Table shard_table({"shards", "threads", "kernel events", "wall (s)",
+                            "events/s", "requests", "delivery"});
+  std::vector<ShardOutcome> sharded;
+  for (const int shards : {1, 2, 4, 8}) {
+    sharded.push_back(run_sharded(sweep, shards, shards));
+    const ShardOutcome& o = sharded.back();
+    shard_table.add_row({stats::Table::fmt(std::uint64_t(o.shards)),
+                         stats::Table::fmt(std::uint64_t(o.threads)),
+                         stats::Table::fmt(o.result.kernel_events),
+                         stats::Table::fmt(o.wall_s, 2),
+                         stats::Table::fmt(o.events_per_s(), 0),
+                         stats::Table::fmt(o.result.requests_issued),
+                         stats::Table::fmt(o.result.delivery_ratio, 4)});
+  }
+  shard_table.print(std::cout);
+
+  bool identical = true;
+  for (const auto& o : sharded) {
+    if (!same_protocol_outcome(o.result, sharded.front().result)) {
+      identical = false;
+    }
+  }
+  benchutil::claim("results are bit-identical across 1/2/4/8 shards",
+                   identical);
+  benchutil::claim("no invariant violations at any shard count",
+                   sharded.front().result.invariant_violations == 0);
+  const double speedup_4 =
+      sharded[2].events_per_s() / sharded[0].events_per_s();
+  std::cout << "4-shard aggregate events/s vs 1 shard: " << speedup_4
+            << "x\n";
+  benchutil::claim(
+      "4 shards reach >=3x aggregate events/s vs 1 shard "
+      "(informational when the host has fewer than 4 cores)",
+      host_cores < 4 || speedup_4 >= 3.0);
+
+  ShardOutcome mega_outcome;
+  harness::ExperimentParams mega_p = mega_params();
+  if (mega) {
+    benchutil::section("M2: 10^6 mobile hosts (--mega)");
+    mega_outcome = run_sharded(mega_p, 8, 0);
+    std::cout << "kernel events: " << mega_outcome.result.kernel_events
+              << "  wall: " << mega_outcome.wall_s
+              << " s  events/s: " << mega_outcome.events_per_s()
+              << "\nrequests issued: " << mega_outcome.result.requests_issued
+              << "  delivery: " << mega_outcome.result.delivery_ratio << "\n";
+    benchutil::claim("the 10^6-Mh scenario completes with requests served",
+                     mega_outcome.result.requests_completed > 10000);
+    benchutil::claim("no invariant violations at 10^6 Mhs",
+                     mega_outcome.result.invariant_violations == 0);
+  }
+
+  if (!kernel_json.empty()) {
+    std::string fragment = shard_sweep_json(sharded, sweep);
+    if (mega) fragment += ",\n" + mega_json(mega_outcome, mega_p);
+    if (merge_into_kernel_json(kernel_json, fragment)) {
+      std::cout << "kernel bench sections merged into " << kernel_json << "\n";
+    } else {
+      std::cerr << "FAILED to write " << kernel_json << "\n";
+      benchutil::g_all_ok = false;
+    }
+  }
   return benchutil::finish();
 }

@@ -18,7 +18,35 @@ void CausalLayer::ensure_matrix(Matrix& m, std::size_t n) const {
   }
 }
 
+CausalLayer::CausalLayer(net::WiredTransport& inner,
+                         const std::vector<NodeAddress>& universe)
+    : inner_(inner), fixed_universe_(true) {
+  nodes_.reserve(universe.size());
+  for (const NodeAddress address : universe) {
+    RDP_CHECK(!index_.contains(address),
+              "duplicate address in causal universe: " + address.str());
+    const std::size_t idx = nodes_.size();
+    index_.emplace(address, idx);
+    NodeState state;
+    state.shim = std::make_unique<Shim>();
+    state.shim->layer = this;
+    state.shim->node_index = idx;
+    nodes_.push_back(std::move(state));
+  }
+}
+
 void CausalLayer::attach(NodeAddress address, net::Endpoint* endpoint) {
+  if (fixed_universe_) {
+    auto it = index_.find(address);
+    RDP_CHECK(it != index_.end(),
+              "address outside the causal universe: " + address.str());
+    Shim& shim = *nodes_[it->second].shim;
+    RDP_CHECK(shim.real == nullptr,
+              "address already attached: " + address.str());
+    shim.real = endpoint;
+    inner_.attach(address, &shim);
+    return;
+  }
   RDP_CHECK(!index_.contains(address),
             "address already attached: " + address.str());
   const std::size_t idx = nodes_.size();

@@ -37,6 +37,16 @@ using common::NodeAddress;
 class CausalLayer final : public net::WiredTransport {
  public:
   explicit CausalLayer(net::WiredTransport& inner) : inner_(inner) {}
+
+  // Fixed-universe mode, for sharded runs: the node set (and the node ->
+  // matrix-index mapping) is pinned to `universe`, in order, at
+  // construction.  attach() then only fills in each node's endpoint.  This
+  // makes matrix indices and snapshot wire sizes a function of the universe
+  // alone — the lazy attach-order indexing of the default mode would make
+  // them depend on how nodes are partitioned across shards.
+  CausalLayer(net::WiredTransport& inner,
+              const std::vector<NodeAddress>& universe);
+
   ~CausalLayer() override = default;
 
   void attach(NodeAddress address, net::Endpoint* endpoint) override;
@@ -98,6 +108,7 @@ class CausalLayer final : public net::WiredTransport {
   void drain_buffer(Shim& shim, NodeState& node);
 
   net::WiredTransport& inner_;
+  bool fixed_universe_ = false;
   std::unordered_map<NodeAddress, std::size_t> index_;
   std::vector<NodeState> nodes_;
   std::uint64_t delayed_total_ = 0;

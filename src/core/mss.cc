@@ -491,8 +491,10 @@ void Mss::arm_result_cache_timer(MhId mh, RequestId request,
           return;
         }
         CachedResult& entry = inner->second;
-        if (runtime_.wireless.mh_active(mh) &&
-            runtime_.wireless.mh_cell(mh) == std::optional(cell_)) {
+        // snapshot_*: barrier-synced view in sharded runs, so the retry
+        // decision does not depend on how cells map to shards.
+        if (runtime_.wireless.snapshot_mh_active(mh) &&
+            runtime_.wireless.snapshot_mh_cell(mh) == std::optional(cell_)) {
           if (++entry.local_retries >
               runtime_.config.result_cache_max_attempts) {
             count("mss.result_cache_gave_up");

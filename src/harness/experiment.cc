@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include "harness/sharded_world.h"
 #include "stats/fairness.h"
 
 #include <iostream>
@@ -74,7 +75,7 @@ void drive(World& world, const ExperimentParams& params,
 
 void collect_common(const MetricsCollector& metrics,
                     const obs::CostLedger& ledger,
-                    const net::WiredNetwork& wired,
+                    std::uint64_t wired_messages, std::uint64_t wired_bytes,
                     const stats::CounterRegistry& counters,
                     ExperimentResult& result) {
   result.requests_issued = metrics.requests_issued;
@@ -97,8 +98,8 @@ void collect_common(const MetricsCollector& metrics,
   result.mean_handoff_bytes = metrics.handoff_state_bytes.mean();
   result.proxies_created = metrics.proxies_created;
   result.delproxy_with_pending = metrics.delproxy_with_pending;
-  result.wired_messages = wired.messages_sent();
-  result.wired_bytes = wired.bytes_sent();
+  result.wired_messages = wired_messages;
+  result.wired_bytes = wired_bytes;
   RDP_CHECK(ledger.wired_bytes() == result.wired_bytes,
             "cost ledger disagrees with the wired network's byte counter");
   result.wired_by_type = ledger.wired_message_counts();
@@ -140,8 +141,9 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   std::shared_ptr<void> hook_state;
   if (params.rdp_world_hook) hook_state = params.rdp_world_hook(world);
   drive<World, core::MobileHostAgent>(world, params, metrics, result);
-  collect_common(metrics, *world.cost_ledger(), world.wired(),
-                 world.counters(), result);
+  collect_common(metrics, *world.cost_ledger(), world.wired().messages_sent(),
+                 world.wired().bytes_sent(), world.counters(), result);
+  result.kernel_events = world.simulator().executed_events();
   if (world.causal() != nullptr) {
     result.causal_delayed = world.causal()->delayed_total();
   }
@@ -175,6 +177,109 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   return result;
 }
 
+ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params) {
+  RDP_CHECK(params.replication.mode == replication::Mode::kOff,
+            "replication is a single-kernel feature");
+  RDP_CHECK(!params.proxy_checkpointing,
+            "proxy checkpointing is a single-kernel feature");
+  RDP_CHECK(!params.rdp_world_hook,
+            "rdp_world_hook targets the single-kernel World");
+
+  ShardedScenarioConfig config;
+  config.base.seed = params.seed;
+  config.base.num_mss = params.num_mss();
+  config.base.num_mh = params.num_mh;
+  config.base.num_servers = params.num_servers;
+  config.base.causal_order = params.causal_order;
+  config.base.wired = params.wired;
+  config.base.wireless = params.wireless;
+  config.base.rdp = params.rdp;
+  config.base.server.base_service_time = params.service_time;
+  config.base.server.service_jitter = params.service_jitter;
+  config.base.telemetry.trace = !params.trace_out.empty();
+  config.base.telemetry.metrics_period = params.metrics_period;
+  config.base.cost.enabled = true;
+  config.base.cost.energy = params.energy;
+  config.shards = params.shards;
+  config.threads = params.shard_threads;
+
+  const workload::CellTopology topology =
+      workload::CellTopology::grid(params.grid_width, params.grid_height);
+  // Per-Mh mobility instances: models can be stateful (PingPongMobility
+  // remembers its home), so each driver owns its own, and the home cells —
+  // which pin each Mh to a shard and must exist before the world — come
+  // from a dedicated RNG stream consumed in Mh order.
+  std::vector<std::unique_ptr<workload::MobilityModel>> mobilities;
+  common::Rng home_rng(params.seed ^ 0xc3a5c85c97cb3127ull);
+  for (int i = 0; i < params.num_mh; ++i) {
+    mobilities.push_back(make_mobility(params, topology));
+    config.mh_home_cells.push_back(mobilities.back()->initial_cell(home_rng));
+  }
+
+  ShardedWorld world(config);
+  MetricsCollector metrics(&world.telemetry().registry());
+  world.observers().add(&metrics);
+  ExperimentResult result;
+
+  const workload::WorkloadParams wl = make_workload(params);
+  std::vector<common::NodeAddress> servers;
+  for (int i = 0; i < params.num_servers; ++i) {
+    servers.push_back(world.server_address(i));
+  }
+
+  // Drivers live on their Mh's home shard; RNG forks are drawn in Mh order
+  // so each driver's stream is independent of the shard layout.
+  std::vector<
+      std::unique_ptr<workload::HostDriver<core::MobileHostAgent>>>
+      drivers;
+  drivers.reserve(params.num_mh);
+  for (int i = 0; i < params.num_mh; ++i) {
+    drivers.push_back(
+        std::make_unique<workload::HostDriver<core::MobileHostAgent>>(
+            world.shard_simulator(world.home_shard(i)), world.mh(i),
+            *mobilities[i], world.rng().fork(), wl, servers));
+    drivers.back()->set_initial_cell(world.home_cell(i));
+    drivers.back()->start();
+  }
+  world.run_for(params.sim_time);
+  for (auto& driver : drivers) driver->stop();
+  world.run_for(params.drain_time);
+
+  for (auto& driver : drivers) {
+    result.migrations += driver->migrations();
+    result.reactivations += driver->reactivations();
+  }
+
+  collect_common(metrics, *world.cost_ledger(), world.wired_messages_total(),
+                 world.wired_bytes_total(), world.merged_counters(), result);
+  result.kernel_events = world.kernel().executed_events();
+  result.causal_delayed = world.causal_delayed_total();
+  if (const obs::InvariantAuditor* auditor = world.telemetry().auditor()) {
+    result.invariant_violations = auditor->violations().size();
+  }
+  if (!params.trace_out.empty() &&
+      !world.telemetry().write_trace_json(params.trace_out)) {
+    std::cerr << "experiment: failed to write trace to " << params.trace_out
+              << "\n";
+  }
+  if (!params.metrics_out.empty()) {
+    world.telemetry().registry().sample_now(world.kernel().now());
+    if (!world.telemetry().write_metrics_csv(params.metrics_out)) {
+      std::cerr << "experiment: failed to write metrics to "
+                << params.metrics_out << "\n";
+    }
+  }
+
+  std::vector<double> placement;
+  for (int i = 0; i < world.num_mss(); ++i) {
+    placement.push_back(static_cast<double>(
+        metrics.proxy_host_tally.get(world.mss(i).address())));
+  }
+  result.placement_jain = stats::jain_fairness(placement);
+  result.placement_max_to_mean = stats::max_to_mean(placement);
+  return result;
+}
+
 ExperimentResult run_baseline_experiment(const ExperimentParams& params,
                                          baseline::BaselineMode mode) {
   BaselineScenarioConfig config;
@@ -195,8 +300,9 @@ ExperimentResult run_baseline_experiment(const ExperimentParams& params,
   MetricsCollector metrics;
   ExperimentResult result;
   drive<BaselineWorld, baseline::MipHostAgent>(world, params, metrics, result);
-  collect_common(metrics, *world.cost_ledger(), world.wired(),
-                 world.counters(), result);
+  collect_common(metrics, *world.cost_ledger(), world.wired().messages_sent(),
+                 world.wired().bytes_sent(), world.counters(), result);
+  result.kernel_events = world.simulator().executed_events();
 
   // The baseline's completion metric: MetricsCollector's finals come from
   // on_result_delivered with final=true, which the baseline also emits, so

@@ -23,6 +23,13 @@ enum class MobilityKind { kStatic, kRandomWalk, kUniformJump, kPingPong };
 struct ExperimentParams {
   std::uint64_t seed = 1;
 
+  // Sharded kernel (run_sharded_rdp_experiment only): number of
+  // cell-partitioned shards and worker threads for window execution.  For a
+  // fixed seed the results are identical across every shards/threads
+  // combination; only wall-clock changes.
+  int shards = 1;
+  int shard_threads = 1;
+
   // Topology / population.
   int grid_width = 3;
   int grid_height = 3;
@@ -135,12 +142,23 @@ struct ExperimentResult {
   // Online invariant audit (RDP runs; 0 on a clean run).
   std::uint64_t invariant_violations = 0;
 
+  // Events executed by the simulation kernel over the whole run; divided by
+  // wall time this is the kernel throughput the scalability bench reports.
+  std::uint64_t kernel_events = 0;
+
   // Raw counter snapshot for ad-hoc queries.
   std::map<std::string, std::uint64_t> counters;
 };
 
 // Runs the workload over the full RDP stack.
 ExperimentResult run_rdp_experiment(const ExperimentParams& params);
+
+// Runs the workload over the RDP stack on the cell-partitioned sharded
+// kernel (params.shards / params.shard_threads).  Replication, proxy
+// checkpointing and rdp_world_hook are single-kernel features and must be
+// unset.  For a fixed seed the result is bit-identical across all
+// shard/thread counts.
+ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params);
 
 // Runs the identical workload over a baseline stack.
 ExperimentResult run_baseline_experiment(const ExperimentParams& params,

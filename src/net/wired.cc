@@ -1,10 +1,21 @@
 #include "net/wired.h"
 
+#include "net/shard_router.h"
+
 namespace rdp::net {
 
 WiredNetwork::WiredNetwork(sim::Simulator& simulator, common::Rng rng,
                            WiredConfig config)
     : simulator_(simulator), rng_(rng), config_(config) {}
+
+void WiredNetwork::enable_shard_mode(ShardRouter* router,
+                                     std::uint64_t draw_seed) {
+  RDP_CHECK(router != nullptr, "shard mode needs a router");
+  RDP_CHECK(fault_hook_ == nullptr,
+            "fault injection is not supported in sharded runs");
+  router_ = router;
+  draw_seed_ = draw_seed;
+}
 
 void WiredNetwork::attach(NodeAddress address, Endpoint* endpoint) {
   RDP_CHECK(address.valid(), "cannot attach an invalid address");
@@ -27,6 +38,37 @@ void WiredNetwork::send(NodeAddress src, NodeAddress dst, PayloadPtr payload,
   RDP_CHECK(dst.valid(), "cannot send to an invalid address");
 
   const common::SimTime now = simulator_.now();
+
+  if (router_ != nullptr) {
+    RDP_CHECK(fault_hook_ == nullptr,
+              "fault injection is not supported in sharded runs");
+    // Sharded path: keyed latency draw, same per-link FIFO clamp (the link's
+    // state lives entirely on the sender's shard), delivery via the router.
+    const LinkKey key{src, dst};
+    const std::uint64_t stream_key = wired_stream_key(src, dst);
+    const std::uint64_t stream_seq = stream_seq_[key]++;
+
+    Envelope envelope{src, dst, std::move(payload), now, now, next_seq_++};
+    ++sent_;
+    bytes_ += envelope.payload->wire_size();
+    for (const auto& observer : observers_) observer(envelope);
+
+    const auto jitter_us = config_.jitter.count_micros();
+    common::SimTime arrival =
+        now + config_.base_latency +
+        (jitter_us > 0 ? common::Duration::micros(shard_draw_int(
+                             draw_seed_, stream_key, stream_seq, jitter_us))
+                       : common::Duration::zero());
+    auto [it, fresh] = last_arrival_.try_emplace(key, arrival);
+    if (!fresh && arrival <= it->second) {
+      arrival = it->second + common::Duration::micros(1);
+    }
+    it->second = arrival;
+    envelope.arrives_at = arrival;
+    router_->route_wired(std::move(envelope), priority, stream_key,
+                         stream_seq);
+    return;
+  }
   const FaultDecision fault =
       fault_hook_ ? fault_hook_(src, dst, payload) : FaultDecision{};
 

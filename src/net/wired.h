@@ -18,6 +18,8 @@
 
 namespace rdp::net {
 
+class ShardRouter;
+
 // Receiving side of a wired endpoint (an Mss or a server).
 class Endpoint {
  public:
@@ -84,6 +86,17 @@ class WiredNetwork final : public WiredTransport {
   // Install (or clear, with nullptr) the fault-injection hook.
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  // Switch this instance into sharded operation: deliveries go through
+  // `router` instead of the local simulator, and latency jitter is drawn
+  // from the counter-keyed hash under `draw_seed` so it is independent of
+  // the shard layout.  Incompatible with the fault hook (fault plans are a
+  // single-kernel feature).
+  void enable_shard_mode(ShardRouter* router, std::uint64_t draw_seed);
+
+  // Injection entry point for the router: hand an envelope routed from
+  // (possibly) another shard to its attached endpoint.
+  void deliver_injected(const Envelope& envelope) { deliver(envelope); }
+
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
   [[nodiscard]] std::uint64_t faults_dropped() const { return faults_dropped_; }
@@ -113,8 +126,13 @@ class WiredNetwork final : public WiredTransport {
   sim::Simulator& simulator_;
   common::Rng rng_;
   WiredConfig config_;
+  ShardRouter* router_ = nullptr;  // non-null iff shard mode
+  std::uint64_t draw_seed_ = 0;
   std::unordered_map<NodeAddress, Endpoint*> endpoints_;
   std::unordered_map<LinkKey, common::SimTime, LinkKeyHash> last_arrival_;
+  // Per-link message counters, shard mode only: the counter doubles as the
+  // latency draw index and the canonical stream sequence.
+  std::unordered_map<LinkKey, std::uint64_t, LinkKeyHash> stream_seq_;
   std::vector<SendObserver> observers_;
   FaultHook fault_hook_;
   std::uint64_t sent_ = 0;

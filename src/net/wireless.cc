@@ -1,10 +1,32 @@
 #include "net/wireless.h"
 
+#include <utility>
+
+#include "net/shard_router.h"
+
 namespace rdp::net {
 
 WirelessChannel::WirelessChannel(sim::Simulator& simulator, common::Rng rng,
                                  WirelessConfig config)
     : simulator_(simulator), rng_(rng), config_(config) {}
+
+void WirelessChannel::enable_shard_mode(ShardRouter* router,
+                                        std::uint64_t draw_seed) {
+  RDP_CHECK(router != nullptr, "shard mode needs a router");
+  router_ = router;
+  draw_seed_ = draw_seed;
+}
+
+void WirelessChannel::register_remote_cell(CellId cell, MssId mss) {
+  const bool inserted =
+      cells_.emplace(cell, CellState{mss, nullptr}).second;
+  RDP_CHECK(inserted, "cell already registered: " + cell.str());
+}
+
+void WirelessChannel::register_remote_mh(MhId mh) {
+  const bool inserted = mirror_.emplace(mh, MirrorState{}).second;
+  RDP_CHECK(inserted, "mh already mirrored: " + mh.str());
+}
 
 void WirelessChannel::register_cell(CellId cell, MssId mss,
                                     UplinkReceiver* receiver) {
@@ -19,6 +41,7 @@ void WirelessChannel::register_mh(MhId mh, DownlinkReceiver* receiver) {
   const bool inserted =
       mhs_.emplace(mh, MhState{receiver, std::nullopt, false}).second;
   RDP_CHECK(inserted, "mh already registered: " + mh.str());
+  mirror_.emplace(mh, MirrorState{});
 }
 
 MssId WirelessChannel::mss_of(CellId cell) const {
@@ -42,18 +65,55 @@ WirelessChannel::MhState& WirelessChannel::mh_state(MhId mh) {
 void WirelessChannel::place_mh(MhId mh, CellId cell) {
   RDP_CHECK(cells_.contains(cell), "placing mh in unknown cell " + cell.str());
   mh_state(mh).cell = cell;
+  record_delta(mh);
 }
 
-void WirelessChannel::detach_mh(MhId mh) { mh_state(mh).cell = std::nullopt; }
+void WirelessChannel::detach_mh(MhId mh) {
+  mh_state(mh).cell = std::nullopt;
+  record_delta(mh);
+}
 
 void WirelessChannel::set_mh_active(MhId mh, bool active) {
   mh_state(mh).active = active;
+  record_delta(mh);
+}
+
+void WirelessChannel::record_delta(MhId mh) {
+  if (router_ == nullptr) return;
+  const MhState& state = mh_state(mh);
+  pending_deltas_.push_back(MhStateDelta{mh, state.cell, state.active});
+}
+
+std::vector<WirelessChannel::MhStateDelta>
+WirelessChannel::take_state_deltas() {
+  return std::exchange(pending_deltas_, {});
+}
+
+void WirelessChannel::apply_state_delta(const MhStateDelta& delta) {
+  auto it = mirror_.find(delta.mh);
+  RDP_CHECK(it != mirror_.end(), "delta for unmirrored mh " + delta.mh.str());
+  it->second.cell = delta.cell;
+  it->second.active = delta.active;
 }
 
 bool WirelessChannel::mh_active(MhId mh) const { return mh_state(mh).active; }
 
 std::optional<CellId> WirelessChannel::mh_cell(MhId mh) const {
   return mh_state(mh).cell;
+}
+
+bool WirelessChannel::snapshot_mh_active(MhId mh) const {
+  if (router_ == nullptr) return mh_state(mh).active;
+  auto it = mirror_.find(mh);
+  RDP_CHECK(it != mirror_.end(), "unknown mh " + mh.str());
+  return it->second.active;
+}
+
+std::optional<CellId> WirelessChannel::snapshot_mh_cell(MhId mh) const {
+  if (router_ == nullptr) return mh_state(mh).cell;
+  auto it = mirror_.find(mh);
+  RDP_CHECK(it != mirror_.end(), "unknown mh " + mh.str());
+  return it->second.cell;
 }
 
 common::Duration WirelessChannel::sample_latency() {
@@ -89,6 +149,35 @@ void WirelessChannel::uplink(MhId from, PayloadPtr payload,
   ++uplink_sent_;
   uplink_bytes_ += payload->wire_size();
   notify(from, payload, /*uplink=*/true, FramePhase::kSent);
+
+  if (router_ != nullptr) {
+    // Sharded path: the Mh's own state is local (this is its home shard);
+    // loss and latency are keyed draws so the frame's fate is independent
+    // of the shard layout; delivery goes through the router to the cell's
+    // shard.
+    const CellId cell = *state.cell;
+    const std::uint64_t key = uplink_stream_key(from, cell);
+    const std::uint64_t n = stream_seq_[key]++;
+    const bool lost =
+        shard_draw_unit(draw_seed_, key, 2 * n) < config_.uplink_loss;
+    if (lost || (drop_filter_ && drop_filter_(from, payload, true))) {
+      ++uplink_dropped_;
+      count_drop(DropReason::kLoss);
+      return;
+    }
+    const auto jitter_us = config_.jitter.count_micros();
+    const common::Duration latency =
+        config_.base_latency +
+        (jitter_us > 0 ? common::Duration::micros(shard_draw_int(
+                             draw_seed_, key, 2 * n + 1, jitter_us))
+                       : common::Duration::zero());
+    router_->route_wireless(
+        WirelessFrame{true, cell, from, std::move(payload), priority,
+                      simulator_.now() + latency},
+        key, n);
+    return;
+  }
+
   if (rng_.bernoulli(config_.uplink_loss) ||
       (drop_filter_ && drop_filter_(from, payload, /*uplink=*/true))) {
     ++uplink_dropped_;
@@ -106,12 +195,63 @@ void WirelessChannel::uplink(MhId from, PayloadPtr payload,
       priority);
 }
 
+void WirelessChannel::deliver_injected_uplink(MhId from, CellId cell,
+                                              const PayloadPtr& payload) {
+  UplinkReceiver* receiver = cells_.at(cell).receiver;
+  RDP_CHECK(receiver != nullptr,
+            "uplink injected into non-owning shard for " + cell.str());
+  notify(from, payload, /*uplink=*/true, FramePhase::kDelivered);
+  receiver->on_uplink(from, payload);
+}
+
 void WirelessChannel::downlink(CellId cell, MhId to, PayloadPtr payload) {
   RDP_CHECK(payload != nullptr, "cannot downlink a null payload");
   RDP_CHECK(cells_.contains(cell), "downlink from unknown cell " + cell.str());
   ++downlink_sent_;
   downlink_bytes_ += payload->wire_size();
   notify(to, payload, /*uplink=*/false, FramePhase::kSent);
+
+  if (router_ != nullptr) {
+    // Sharded path.  Send-time reachability comes from the barrier-synced
+    // mirror (partition-invariant, staleness bounded by one window); the
+    // live re-check happens at arrival on the Mh's home shard.
+    RDP_CHECK(cells_.at(cell).receiver != nullptr,
+              "downlink sent from non-owning shard for " + cell.str());
+    auto mirror_it = mirror_.find(to);
+    RDP_CHECK(mirror_it != mirror_.end(), "unknown mh " + to.str());
+    const MirrorState& seen = mirror_it->second;
+    if (!seen.cell || *seen.cell != cell) {
+      ++downlink_dropped_;
+      count_drop(DropReason::kNotInCell);
+      return;
+    }
+    if (!seen.active) {
+      ++downlink_dropped_;
+      count_drop(DropReason::kInactive);
+      return;
+    }
+    const std::uint64_t key = downlink_stream_key(cell, to);
+    const std::uint64_t n = stream_seq_[key]++;
+    const bool lost =
+        shard_draw_unit(draw_seed_, key, 2 * n) < config_.downlink_loss;
+    if (lost || (drop_filter_ && drop_filter_(to, payload, false))) {
+      ++downlink_dropped_;
+      count_drop(DropReason::kLoss);
+      return;
+    }
+    const auto jitter_us = config_.jitter.count_micros();
+    const common::Duration latency =
+        config_.base_latency +
+        (jitter_us > 0 ? common::Duration::micros(shard_draw_int(
+                             draw_seed_, key, 2 * n + 1, jitter_us))
+                       : common::Duration::zero());
+    router_->route_wireless(
+        WirelessFrame{false, cell, to, std::move(payload),
+                      sim::EventPriority::kNormal,
+                      simulator_.now() + latency},
+        key, n);
+    return;
+  }
 
   {
     const MhState& state = mh_state(to);
@@ -151,6 +291,26 @@ void WirelessChannel::downlink(CellId cell, MhId to, PayloadPtr payload) {
     notify(to, payload, /*uplink=*/false, FramePhase::kDelivered);
     state.receiver->on_downlink(cell, payload);
   });
+}
+
+void WirelessChannel::deliver_injected_downlink(CellId cell, MhId to,
+                                                const PayloadPtr& payload) {
+  // Arrival-time re-check against the live state: this is the Mh's home
+  // shard, so the ground truth is local.  The Mh may have migrated or gone
+  // inactive while the frame was in the air.
+  const MhState& state = mh_state(to);
+  if (!state.cell || *state.cell != cell) {
+    ++downlink_dropped_;
+    count_drop(DropReason::kNotInCell);
+    return;
+  }
+  if (!state.active) {
+    ++downlink_dropped_;
+    count_drop(DropReason::kInactive);
+    return;
+  }
+  notify(to, payload, /*uplink=*/false, FramePhase::kDelivered);
+  state.receiver->on_downlink(cell, payload);
 }
 
 }  // namespace rdp::net

@@ -27,6 +27,8 @@
 
 namespace rdp::net {
 
+class ShardRouter;
+
 using common::CellId;
 using common::MhId;
 using common::MssId;
@@ -97,6 +99,18 @@ class WirelessChannel {
   void register_cell(CellId cell, MssId mss, UplinkReceiver* receiver);
   void register_mh(MhId mh, DownlinkReceiver* receiver);
 
+  // Shard mode: make a cell / Mh hosted on another shard known to this
+  // instance.  Remote cells can be uplink targets and resolve mss_of();
+  // remote Mhs exist only in the state mirror.
+  void register_remote_cell(CellId cell, MssId mss);
+  void register_remote_mh(MhId mh);
+
+  // Switch this instance into sharded operation (see net/shard_router.h):
+  // deliveries go through `router`, loss/latency come from counter-keyed
+  // draws under `draw_seed`, and remote Mh state is read from the
+  // barrier-synced mirror.
+  void enable_shard_mode(ShardRouter* router, std::uint64_t draw_seed);
+
   [[nodiscard]] MssId mss_of(CellId cell) const;
 
   // --- physical ground truth (driven by the mobile-host agents) -----------
@@ -106,6 +120,36 @@ class WirelessChannel {
 
   [[nodiscard]] bool mh_active(MhId mh) const;
   [[nodiscard]] std::optional<CellId> mh_cell(MhId mh) const;
+
+  // Partition-invariant reads of (possibly remote) Mh state.  In shard mode
+  // these come from the mirror, which reflects the ground truth as of the
+  // last window barrier — the same bounded staleness a real distributed
+  // observer has.  In single-kernel mode they are the live state.  Protocol
+  // oracles (e.g. an Mss probing whether an Mh is reachable) must use these
+  // rather than mh_active/mh_cell so results do not depend on the layout.
+  [[nodiscard]] bool snapshot_mh_active(MhId mh) const;
+  [[nodiscard]] std::optional<CellId> snapshot_mh_cell(MhId mh) const;
+
+  // --- shard-mode state mirroring -----------------------------------------
+  // Absolute Mh state after a change, recorded on the Mh's home shard and
+  // broadcast to every instance's mirror at the window barrier.
+  struct MhStateDelta {
+    MhId mh;
+    std::optional<CellId> cell;
+    bool active = false;
+  };
+  // Move out the deltas accumulated since the last barrier (home shard).
+  [[nodiscard]] std::vector<MhStateDelta> take_state_deltas();
+  // Apply one delta to this instance's mirror.
+  void apply_state_delta(const MhStateDelta& delta);
+
+  // Injection entry points for the router (arrival side of a frame routed
+  // from another shard — or this one; all frames take this path in shard
+  // mode).
+  void deliver_injected_uplink(MhId from, CellId cell,
+                               const PayloadPtr& payload);
+  void deliver_injected_downlink(CellId cell, MhId to,
+                                 const PayloadPtr& payload);
 
   // --- transmission --------------------------------------------------------
   // Send from `from` to the Mss of the cell it currently occupies.  The
@@ -143,10 +187,16 @@ class WirelessChannel {
     UplinkReceiver* receiver = nullptr;
   };
 
+  struct MirrorState {
+    std::optional<CellId> cell;
+    bool active = false;
+  };
+
   common::Duration sample_latency();
   void count_drop(DropReason reason);
   void notify(MhId mh, const PayloadPtr& payload, bool uplink,
               FramePhase phase) const;
+  void record_delta(MhId mh);
 
   const MhState& mh_state(MhId mh) const;
   MhState& mh_state(MhId mh);
@@ -154,10 +204,18 @@ class WirelessChannel {
   sim::Simulator& simulator_;
   common::Rng rng_;
   WirelessConfig config_;
+  ShardRouter* router_ = nullptr;  // non-null iff shard mode
+  std::uint64_t draw_seed_ = 0;
   DropFilter drop_filter_;
   std::vector<FrameObserver> observers_;
   std::unordered_map<CellId, CellState> cells_;
   std::unordered_map<MhId, MhState> mhs_;
+  // Shard mode: every Mh's state as of the last barrier, plus the local
+  // changes not yet broadcast.
+  std::unordered_map<MhId, MirrorState> mirror_;
+  std::vector<MhStateDelta> pending_deltas_;
+  // Per-stream draw counters (uplink/downlink loss + latency).
+  std::unordered_map<std::uint64_t, std::uint64_t> stream_seq_;
   std::uint64_t uplink_sent_ = 0;
   std::uint64_t uplink_dropped_ = 0;
   std::uint64_t downlink_sent_ = 0;

@@ -1,0 +1,333 @@
+#include "obs/shard_taps.h"
+
+#include <algorithm>
+
+#include "net/shard_router.h"
+#include "sim/simulator.h"
+
+namespace rdp::obs {
+
+namespace {
+
+// Hook discriminators.  The value doubles as the tie-break rank for hooks
+// sharing one (time, tag), so the ranks are chosen to match causal emission
+// order for every pair a single handler can emit at the same instant: a
+// proxy is created before requests reach it, results arrive before they are
+// forwarded, and acks, completions and losses are recorded before the
+// deletion they trigger (an Mss tearing down a co-located proxy emits all
+// of these at one timestamp).  Hooks from different nodes at the same
+// instant are concurrent — anything causally related is separated by at
+// least one wire latency — so for those any fixed rank works.
+enum HookKind : int {
+  kMhRegistered = 0,
+  kProxyCreated,
+  kProxyRestored,
+  kBackupPromoted,
+  kRequestIssued,
+  kRequestReissued,
+  kRequestReachedProxy,
+  kResultAtProxy,
+  kResultForwarded,
+  kResultDelivered,
+  kAckForwarded,
+  kRequestCompleted,
+  kStaleAckDropped,
+  kHandoffStarted,
+  kHandoffCompleted,
+  kUpdateCurrentloc,
+  kDelproxyWithPending,
+  kRequestLost,
+  kOrphanedProxy,
+  kProxyDeleted,
+  kMssCrashed,
+  kMssRestarted,
+};
+
+}  // namespace
+
+void ShardObserverBuffer::push(
+    common::SimTime at, std::uint64_t tag, int kind, std::uint64_t tag2,
+    sim::SmallFn<void(core::RdpObserver&), 64> replay) {
+  hooks_.push_back(
+      BufferedHook{at, tag, kind, tag2, next_idx_++, std::move(replay)});
+}
+
+void ShardObserverBuffer::on_wired_send(const net::Envelope& envelope) {
+  wired_.push_back(BufferedWiredSend{
+      envelope, net::wired_stream_key(envelope.src, envelope.dst),
+      next_idx_++});
+}
+
+void ShardObserverBuffer::on_wireless_frame(common::MhId mh,
+                                            const net::PayloadPtr& payload,
+                                            bool uplink,
+                                            net::FramePhase phase) {
+  frames_.push_back(BufferedFrame{simulator_.now(), mh, uplink, phase, payload,
+                                  next_idx_++});
+}
+
+void ShardObserverBuffer::on_proxy_created(core::SimTime t, common::MhId mh,
+                                           common::NodeAddress host,
+                                           common::ProxyId p) {
+  push(t, mh.value(), kProxyCreated, host.value(),
+       [=](core::RdpObserver& o) { o.on_proxy_created(t, mh, host, p); });
+}
+
+void ShardObserverBuffer::on_proxy_deleted(core::SimTime t, common::MhId mh,
+                                           common::NodeAddress host,
+                                           common::ProxyId p, bool gc) {
+  push(t, mh.value(), kProxyDeleted, host.value(),
+       [=](core::RdpObserver& o) { o.on_proxy_deleted(t, mh, host, p, gc); });
+}
+
+void ShardObserverBuffer::on_request_issued(core::SimTime t, common::MhId mh,
+                                            common::RequestId r,
+                                            common::NodeAddress server) {
+  push(t, mh.value(), kRequestIssued, r.seq(),
+       [=](core::RdpObserver& o) { o.on_request_issued(t, mh, r, server); });
+}
+
+void ShardObserverBuffer::on_request_reached_proxy(core::SimTime t,
+                                                   common::MhId mh,
+                                                   common::RequestId r,
+                                                   common::NodeAddress host) {
+  push(t, mh.value(), kRequestReachedProxy, r.seq(),
+       [=](core::RdpObserver& o) {
+         o.on_request_reached_proxy(t, mh, r, host);
+       });
+}
+
+void ShardObserverBuffer::on_result_at_proxy(core::SimTime t, common::MhId mh,
+                                             common::RequestId r,
+                                             std::uint32_t seq) {
+  push(t, mh.value(), kResultAtProxy, r.seq(),
+       [=](core::RdpObserver& o) { o.on_result_at_proxy(t, mh, r, seq); });
+}
+
+void ShardObserverBuffer::on_result_forwarded(core::SimTime t, common::MhId mh,
+                                              common::RequestId r,
+                                              std::uint32_t seq,
+                                              common::NodeAddress to,
+                                              std::uint32_t attempt,
+                                              bool del_pref) {
+  push(t, mh.value(), kResultForwarded, to.value(),
+       [=](core::RdpObserver& o) {
+         o.on_result_forwarded(t, mh, r, seq, to, attempt, del_pref);
+       });
+}
+
+void ShardObserverBuffer::on_result_delivered(core::SimTime t, common::MhId mh,
+                                              common::RequestId r,
+                                              std::uint32_t seq, bool final,
+                                              bool dup,
+                                              std::uint32_t attempt) {
+  push(t, mh.value(), kResultDelivered, r.seq(),
+       [=](core::RdpObserver& o) {
+         o.on_result_delivered(t, mh, r, seq, final, dup, attempt);
+       });
+}
+
+void ShardObserverBuffer::on_ack_forwarded(core::SimTime t, common::MhId mh,
+                                           common::RequestId r,
+                                           std::uint32_t seq, bool del_proxy) {
+  push(t, mh.value(), kAckForwarded, r.seq(),
+       [=](core::RdpObserver& o) {
+         o.on_ack_forwarded(t, mh, r, seq, del_proxy);
+       });
+}
+
+void ShardObserverBuffer::on_request_completed(core::SimTime t,
+                                               common::MhId mh,
+                                               common::RequestId r) {
+  push(t, mh.value(), kRequestCompleted, r.seq(),
+       [=](core::RdpObserver& o) { o.on_request_completed(t, mh, r); });
+}
+
+void ShardObserverBuffer::on_request_lost(core::SimTime t, common::MhId mh,
+                                          common::RequestId r,
+                                          core::RequestLossReason reason) {
+  push(t, mh.value(), kRequestLost, r.seq(),
+       [=](core::RdpObserver& o) { o.on_request_lost(t, mh, r, reason); });
+}
+
+void ShardObserverBuffer::on_handoff_started(core::SimTime t, common::MhId mh,
+                                             common::MssId from,
+                                             common::MssId to) {
+  push(t, mh.value(), kHandoffStarted, to.value(),
+       [=](core::RdpObserver& o) { o.on_handoff_started(t, mh, from, to); });
+}
+
+void ShardObserverBuffer::on_handoff_completed(core::SimTime t,
+                                               common::MhId mh,
+                                               common::MssId from,
+                                               common::MssId to,
+                                               common::Duration latency,
+                                               std::size_t bytes) {
+  push(t, mh.value(), kHandoffCompleted, to.value(),
+       [=](core::RdpObserver& o) {
+         o.on_handoff_completed(t, mh, from, to, latency, bytes);
+       });
+}
+
+void ShardObserverBuffer::on_update_currentloc(core::SimTime t,
+                                               common::MhId mh,
+                                               common::NodeAddress host,
+                                               common::NodeAddress loc) {
+  push(t, mh.value(), kUpdateCurrentloc, host.value(),
+       [=](core::RdpObserver& o) {
+         o.on_update_currentloc(t, mh, host, loc);
+       });
+}
+
+void ShardObserverBuffer::on_mh_registered(core::SimTime t, common::MhId mh,
+                                           common::MssId mss,
+                                           common::Duration d) {
+  push(t, mh.value(), kMhRegistered, mss.value(),
+       [=](core::RdpObserver& o) { o.on_mh_registered(t, mh, mss, d); });
+}
+
+void ShardObserverBuffer::on_stale_ack_dropped(core::SimTime t,
+                                               common::MhId mh,
+                                               common::RequestId r) {
+  push(t, mh.value(), kStaleAckDropped, r.seq(),
+       [=](core::RdpObserver& o) { o.on_stale_ack_dropped(t, mh, r); });
+}
+
+void ShardObserverBuffer::on_delproxy_with_pending(core::SimTime t,
+                                                   common::MhId mh,
+                                                   common::ProxyId p) {
+  push(t, mh.value(), kDelproxyWithPending, p.value(),
+       [=](core::RdpObserver& o) { o.on_delproxy_with_pending(t, mh, p); });
+}
+
+void ShardObserverBuffer::on_orphaned_proxy(core::SimTime t, common::MhId mh,
+                                            common::ProxyId p) {
+  push(t, mh.value(), kOrphanedProxy, p.value(),
+       [=](core::RdpObserver& o) { o.on_orphaned_proxy(t, mh, p); });
+}
+
+void ShardObserverBuffer::on_mss_crashed(core::SimTime t, common::MssId mss,
+                                         std::size_t proxies,
+                                         std::size_t mhs) {
+  push(t, kMssTagBase | mss.value(), kMssCrashed, 0,
+       [=](core::RdpObserver& o) { o.on_mss_crashed(t, mss, proxies, mhs); });
+}
+
+void ShardObserverBuffer::on_mss_restarted(core::SimTime t, common::MssId mss,
+                                           std::size_t restored) {
+  push(t, kMssTagBase | mss.value(), kMssRestarted, 0,
+       [=](core::RdpObserver& o) { o.on_mss_restarted(t, mss, restored); });
+}
+
+void ShardObserverBuffer::on_proxy_restored(core::SimTime t, common::MhId mh,
+                                            common::NodeAddress host,
+                                            common::ProxyId p) {
+  push(t, mh.value(), kProxyRestored, host.value(),
+       [=](core::RdpObserver& o) { o.on_proxy_restored(t, mh, host, p); });
+}
+
+void ShardObserverBuffer::on_request_reissued(core::SimTime t, common::MhId mh,
+                                              common::RequestId r,
+                                              int attempt) {
+  push(t, mh.value(), kRequestReissued, r.seq(),
+       [=](core::RdpObserver& o) { o.on_request_reissued(t, mh, r, attempt); });
+}
+
+void ShardObserverBuffer::on_backup_promoted(core::SimTime t,
+                                             common::MssId primary,
+                                             common::MssId backup,
+                                             std::size_t adopted) {
+  push(t, kMssTagBase | primary.value(), kBackupPromoted, backup.value(),
+       [=](core::RdpObserver& o) {
+         o.on_backup_promoted(t, primary, backup, adopted);
+       });
+}
+
+// --- merger ----------------------------------------------------------------
+
+void ShardTapMerger::add_buffer(ShardObserverBuffer* buffer) {
+  RDP_CHECK(buffer != nullptr, "null shard buffer");
+  buffers_.push_back(buffer);
+}
+
+void ShardTapMerger::add_wired_sink(WiredSink sink) {
+  RDP_CHECK(sink != nullptr, "null wired sink");
+  wired_sinks_.push_back(std::move(sink));
+}
+
+void ShardTapMerger::add_frame_sink(FrameSink sink) {
+  RDP_CHECK(sink != nullptr, "null frame sink");
+  frame_sinks_.push_back(std::move(sink));
+}
+
+void ShardTapMerger::flush() {
+  // Wired sends first, then frames, then hooks (see header).
+  wired_scratch_.clear();
+  for (int s = 0; s < static_cast<int>(buffers_.size()); ++s) {
+    for (auto& record : buffers_[s]->wired_) {
+      wired_scratch_.push_back(TaggedWired{s, std::move(record)});
+    }
+    buffers_[s]->wired_.clear();
+  }
+  std::sort(wired_scratch_.begin(), wired_scratch_.end(),
+            [](const TaggedWired& a, const TaggedWired& b) {
+              if (a.record.envelope.sent_at != b.record.envelope.sent_at)
+                return a.record.envelope.sent_at < b.record.envelope.sent_at;
+              if (a.record.link_key != b.record.link_key)
+                return a.record.link_key < b.record.link_key;
+              return a.record.idx < b.record.idx;
+            });
+  for (const auto& tagged : wired_scratch_) {
+    for (const auto& sink : wired_sinks_) sink(tagged.record.envelope);
+  }
+
+  frame_scratch_.clear();
+  for (int s = 0; s < static_cast<int>(buffers_.size()); ++s) {
+    for (auto& record : buffers_[s]->frames_) {
+      frame_scratch_.push_back(TaggedFrame{s, std::move(record)});
+    }
+    buffers_[s]->frames_.clear();
+  }
+  std::sort(frame_scratch_.begin(), frame_scratch_.end(),
+            [](const TaggedFrame& a, const TaggedFrame& b) {
+              if (a.record.at != b.record.at) return a.record.at < b.record.at;
+              if (a.record.mh != b.record.mh) return a.record.mh < b.record.mh;
+              if (a.record.uplink != b.record.uplink)
+                return b.record.uplink;  // downlink before uplink
+              if (a.record.phase != b.record.phase)
+                return a.record.phase < b.record.phase;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.record.idx < b.record.idx;
+            });
+  for (const auto& tagged : frame_scratch_) {
+    for (const auto& sink : frame_sinks_) {
+      sink(tagged.record.mh, tagged.record.payload, tagged.record.uplink,
+           tagged.record.phase);
+    }
+  }
+
+  hook_scratch_.clear();
+  for (int s = 0; s < static_cast<int>(buffers_.size()); ++s) {
+    for (auto& record : buffers_[s]->hooks_) {
+      hook_scratch_.push_back(TaggedHook{s, std::move(record)});
+    }
+    buffers_[s]->hooks_.clear();
+  }
+  std::sort(hook_scratch_.begin(), hook_scratch_.end(),
+            [](const TaggedHook& a, const TaggedHook& b) {
+              if (a.record.at != b.record.at) return a.record.at < b.record.at;
+              if (a.record.tag != b.record.tag)
+                return a.record.tag < b.record.tag;
+              if (a.record.kind != b.record.kind)
+                return a.record.kind < b.record.kind;
+              if (a.record.tag2 != b.record.tag2)
+                return a.record.tag2 < b.record.tag2;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.record.idx < b.record.idx;
+            });
+  if (hook_sink_ != nullptr) {
+    for (auto& tagged : hook_scratch_) tagged.record.replay(*hook_sink_);
+  }
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,181 @@
+// Shard-safe observability: per-shard event buffers merged at barriers.
+//
+// The global consumers of protocol events — the telemetry auditor, the
+// metrics collector, the cost ledger — are all stateful and ordering-
+// sensitive, so they cannot be fed concurrently from several worker
+// threads, and they cannot be sharded (a request's lifecycle crosses
+// shards).  Instead each shard buffers everything it would have reported —
+// RdpObserver hooks, wired send records, wireless frame records — into a
+// thread-private ShardObserverBuffer, and at every window barrier the
+// ShardTapMerger drains all buffers, sorts each record class by a canonical
+// partition-invariant key, and replays the merged stream single-threaded
+// into the real consumers.
+//
+// The sort keys never use the shard index as anything but a last-resort
+// tie-break, and the records that could collide up to that point are ones
+// whose relative order no consumer can distinguish:
+//   * hooks:  (time, entity tag, hook kind, secondary tag, shard, idx) —
+//     a single entity's hooks all originate on one shard (its home), so
+//     same-entity streams are ordered by program order (idx);
+//   * wired:  (send time, link key, idx) — a link's sends all originate on
+//     the source node's shard;
+//   * frames: (time, mh, direction, phase, shard, idx) — records that tie
+//     through `phase` are indistinguishable to the ledger (its wireless
+//     accounting is stateless across frames of different streams and
+//     additive within a purpose class).
+// Replay order within a barrier is wired, then frames, then hooks; metric
+// samples taken during hook replay therefore see byte counters that may run
+// ahead by at most one window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/events.h"
+#include "net/message.h"
+#include "net/wireless.h"
+#include "sim/callback.h"
+
+namespace rdp::obs {
+
+// One shard's buffered observations between two barriers.
+class ShardObserverBuffer final : public core::RdpObserver {
+ public:
+  struct BufferedHook {
+    common::SimTime at;
+    std::uint64_t tag;   // primary entity (mh, or kMssTagBase | mss)
+    int kind;            // hook discriminator, in declaration order
+    std::uint64_t tag2;  // secondary entity / sequence discriminator
+    std::uint64_t idx;   // program order within this buffer
+    sim::SmallFn<void(core::RdpObserver&), 64> replay;
+  };
+  struct BufferedWiredSend {
+    net::Envelope envelope;
+    std::uint64_t link_key;
+    std::uint64_t idx;
+  };
+  struct BufferedFrame {
+    common::SimTime at;
+    common::MhId mh;
+    bool uplink;
+    net::FramePhase phase;
+    net::PayloadPtr payload;
+    std::uint64_t idx;
+  };
+
+  // Mss-keyed hooks share the Mh tag space via this offset (entity ids are
+  // 32-bit, so the spaces cannot collide).
+  static constexpr std::uint64_t kMssTagBase = 1ull << 40;
+
+  explicit ShardObserverBuffer(const sim::Simulator& simulator)
+      : simulator_(simulator) {}
+
+  // --- raw network taps (wired send observer / frame observer) ------------
+  void on_wired_send(const net::Envelope& envelope);
+  void on_wireless_frame(common::MhId mh, const net::PayloadPtr& payload,
+                         bool uplink, net::FramePhase phase);
+
+  // --- RdpObserver hooks ---------------------------------------------------
+  void on_proxy_created(core::SimTime, common::MhId, common::NodeAddress,
+                        common::ProxyId) override;
+  void on_proxy_deleted(core::SimTime, common::MhId, common::NodeAddress,
+                        common::ProxyId, bool) override;
+  void on_request_issued(core::SimTime, common::MhId, common::RequestId,
+                         common::NodeAddress) override;
+  void on_request_reached_proxy(core::SimTime, common::MhId, common::RequestId,
+                                common::NodeAddress) override;
+  void on_result_at_proxy(core::SimTime, common::MhId, common::RequestId,
+                          std::uint32_t) override;
+  void on_result_forwarded(core::SimTime, common::MhId, common::RequestId,
+                           std::uint32_t, common::NodeAddress, std::uint32_t,
+                           bool) override;
+  void on_result_delivered(core::SimTime, common::MhId, common::RequestId,
+                           std::uint32_t, bool, bool, std::uint32_t) override;
+  void on_ack_forwarded(core::SimTime, common::MhId, common::RequestId,
+                        std::uint32_t, bool) override;
+  void on_request_completed(core::SimTime, common::MhId,
+                            common::RequestId) override;
+  void on_request_lost(core::SimTime, common::MhId, common::RequestId,
+                       core::RequestLossReason) override;
+  void on_handoff_started(core::SimTime, common::MhId, common::MssId,
+                          common::MssId) override;
+  void on_handoff_completed(core::SimTime, common::MhId, common::MssId,
+                            common::MssId, common::Duration,
+                            std::size_t) override;
+  void on_update_currentloc(core::SimTime, common::MhId, common::NodeAddress,
+                            common::NodeAddress) override;
+  void on_mh_registered(core::SimTime, common::MhId, common::MssId,
+                        common::Duration) override;
+  void on_stale_ack_dropped(core::SimTime, common::MhId,
+                            common::RequestId) override;
+  void on_delproxy_with_pending(core::SimTime, common::MhId,
+                                common::ProxyId) override;
+  void on_orphaned_proxy(core::SimTime, common::MhId,
+                         common::ProxyId) override;
+  void on_mss_crashed(core::SimTime, common::MssId, std::size_t,
+                      std::size_t) override;
+  void on_mss_restarted(core::SimTime, common::MssId, std::size_t) override;
+  void on_proxy_restored(core::SimTime, common::MhId, common::NodeAddress,
+                         common::ProxyId) override;
+  void on_request_reissued(core::SimTime, common::MhId, common::RequestId,
+                           int) override;
+  void on_backup_promoted(core::SimTime, common::MssId, common::MssId,
+                          std::size_t) override;
+
+ private:
+  friend class ShardTapMerger;
+
+  void push(common::SimTime at, std::uint64_t tag, int kind,
+            std::uint64_t tag2,
+            sim::SmallFn<void(core::RdpObserver&), 64> replay);
+
+  const sim::Simulator& simulator_;
+  std::vector<BufferedHook> hooks_;
+  std::vector<BufferedWiredSend> wired_;
+  std::vector<BufferedFrame> frames_;
+  std::uint64_t next_idx_ = 0;
+};
+
+// Merges all shards' buffers at a barrier and replays them into the global
+// single-threaded consumers.
+class ShardTapMerger {
+ public:
+  using WiredSink = std::function<void(const net::Envelope&)>;
+  using FrameSink = std::function<void(
+      common::MhId, const net::PayloadPtr&, bool, net::FramePhase)>;
+
+  // Buffer order defines the shard index used as the final tie-break; add
+  // them in shard order.  All pointers must outlive the merger.
+  void add_buffer(ShardObserverBuffer* buffer);
+  void set_hook_sink(core::RdpObserver* sink) { hook_sink_ = sink; }
+  void add_wired_sink(WiredSink sink);
+  void add_frame_sink(FrameSink sink);
+
+  // Drain every buffer, merge, replay.  Called at each window barrier.
+  void flush();
+
+ private:
+  struct TaggedHook {
+    int shard;
+    ShardObserverBuffer::BufferedHook record;
+  };
+  struct TaggedWired {
+    int shard;
+    ShardObserverBuffer::BufferedWiredSend record;
+  };
+  struct TaggedFrame {
+    int shard;
+    ShardObserverBuffer::BufferedFrame record;
+  };
+
+  std::vector<ShardObserverBuffer*> buffers_;
+  core::RdpObserver* hook_sink_ = nullptr;
+  std::vector<WiredSink> wired_sinks_;
+  std::vector<FrameSink> frame_sinks_;
+  std::vector<TaggedHook> hook_scratch_;
+  std::vector<TaggedWired> wired_scratch_;
+  std::vector<TaggedFrame> frame_scratch_;
+};
+
+}  // namespace rdp::obs

@@ -1,0 +1,119 @@
+// Small-buffer move-only callables for the event kernel.
+//
+// The simulator schedules tens of millions of events per run; wrapping every
+// callback in std::function costs a heap allocation whenever the capture
+// exceeds the library's tiny inline buffer (16 bytes on libstdc++), and that
+// allocation dominated the M1 schedule/run profile.  SmallFn is the
+// replacement: a move-only callable wrapper with a configurable inline
+// buffer sized for the protocol's common captures (a `this` pointer plus a
+// handful of ids and a shared_ptr payload).  Larger callables still work —
+// they fall back to a single heap cell — but the hot paths stay
+// allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rdp::sim {
+
+template <typename Signature, std::size_t InlineSize = 48>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t InlineSize>
+class SmallFn<R(Args...), InlineSize> {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= InlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*move)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* s, Args&&... args) -> R {
+        return (**static_cast<Fn**>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+        *static_cast<Fn**>(src) = nullptr;
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[InlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rdp::sim

@@ -1,0 +1,243 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rdp::sim {
+
+ShardedSimulator::ShardedSimulator(const Options& options) {
+  RDP_CHECK(options.shards >= 1, "need at least one shard");
+  lookahead_us_ = options.lookahead.count_micros();
+  RDP_CHECK(lookahead_us_ > 0, "lookahead must be positive");
+
+  shards_.reserve(static_cast<std::size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  outboxes_.resize(static_cast<std::size_t>(options.shards) *
+                   static_cast<std::size_t>(options.shards));
+  window_counts_.resize(shards_.size(), 0);
+  window_errors_.resize(shards_.size());
+
+  int threads = options.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = static_cast<int>(hw == 0 ? 1 : hw);
+  }
+  threads_ = std::max(1, std::min(threads, options.shards));
+  if (threads_ > 1) {
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int w = 0; w < threads_; ++w) {
+      workers_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+}
+
+void ShardedSimulator::post(int src, int dst, ShardInjection injection) {
+  RDP_CHECK(src >= 0 && src < shards(), "bad source shard");
+  RDP_CHECK(dst >= 0 && dst < shards(), "bad destination shard");
+  RDP_CHECK(static_cast<bool>(injection.run), "injection needs a callback");
+  outboxes_[static_cast<std::size_t>(src) * shards_.size() +
+            static_cast<std::size_t>(dst)]
+      .push_back(std::move(injection));
+}
+
+void ShardedSimulator::add_barrier_hook(BarrierHook hook) {
+  barrier_hooks_.push_back(std::move(hook));
+}
+
+std::optional<std::int64_t> ShardedSimulator::min_next_event_us() const {
+  std::optional<std::int64_t> min;
+  for (const auto& shard : shards_) {
+    const auto next = shard->next_event_time();
+    if (!next) continue;
+    const std::int64_t us = next->count_micros();
+    if (!min || us < *min) min = us;
+  }
+  return min;
+}
+
+std::size_t ShardedSimulator::run_window(SimTime bound) {
+  ++windows_;
+  if (threads_ <= 1) {
+    std::size_t executed = 0;
+    for (auto& shard : shards_) executed += shard->run_until(bound);
+    return executed;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_bound_ = bound;
+    workers_done_ = 0;
+    ++window_generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return workers_done_ == threads_; });
+  }
+
+  std::size_t executed = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (window_errors_[s]) {
+      // Rethrow the lowest-index shard's failure; later shards' errors (if
+      // any) are dropped with it, same as a sequential run would surface.
+      std::exception_ptr error = std::exchange(window_errors_[s], nullptr);
+      for (auto& other : window_errors_) other = nullptr;
+      std::rethrow_exception(error);
+    }
+    executed += window_counts_[s];
+  }
+  return executed;
+}
+
+void ShardedSimulator::worker_main(int worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    SimTime bound;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || window_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = window_generation_;
+      bound = window_bound_;
+    }
+    for (int s = worker_index; s < shards(); s += threads_) {
+      try {
+        window_counts_[static_cast<std::size_t>(s)] =
+            shards_[static_cast<std::size_t>(s)]->run_until(bound);
+      } catch (...) {
+        window_counts_[static_cast<std::size_t>(s)] = 0;
+        window_errors_[static_cast<std::size_t>(s)] = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardedSimulator::inject_outboxes(std::int64_t fence_us) {
+  const int n = shards();
+  const SimTime fence = SimTime::from_micros(fence_us);
+  for (int dst = 0; dst < n; ++dst) {
+    sort_scratch_.clear();
+    for (int src = 0; src < n; ++src) {
+      auto& box = outboxes_[static_cast<std::size_t>(src) * shards_.size() +
+                            static_cast<std::size_t>(dst)];
+      for (auto& injection : box) {
+        sort_scratch_.push_back(std::move(injection));
+      }
+      box.clear();
+    }
+    if (sort_scratch_.empty()) continue;
+    std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+              [](const ShardInjection& a, const ShardInjection& b) {
+                if (a.at != b.at) return a.at < b.at;
+                if (a.priority != b.priority) return a.priority < b.priority;
+                if (a.stream_key != b.stream_key)
+                  return a.stream_key < b.stream_key;
+                return a.stream_seq < b.stream_seq;
+              });
+    for (auto& injection : sort_scratch_) {
+      RDP_CHECK(injection.at >= fence,
+                "injection arrives inside the closed window: lookahead "
+                "violated");
+      shards_[static_cast<std::size_t>(dst)]->schedule_at(
+          injection.at, std::move(injection.run), injection.priority);
+    }
+  }
+}
+
+void ShardedSimulator::barrier(std::int64_t fence_us) {
+  inject_outboxes(fence_us);
+  for (auto& hook : barrier_hooks_) hook(SimTime::from_micros(fence_us));
+}
+
+void ShardedSimulator::drain_pending_posts() {
+  for (const auto& box : outboxes_) {
+    if (!box.empty()) {
+      // Anything posted since the last barrier was posted at or after the
+      // fence, so injecting against the current fence is safe.
+      inject_outboxes(fence_us_);
+      return;
+    }
+  }
+}
+
+std::size_t ShardedSimulator::run_until(SimTime until) {
+  RDP_CHECK(until >= now_, "cannot run into the past");
+  const std::int64_t end_us = until.count_micros();
+  drain_pending_posts();
+  std::size_t executed = 0;
+  for (;;) {
+    const auto next = min_next_event_us();
+    if (!next || *next > end_us) break;
+    // Skip empty windows: jump the fence to the window holding the earliest
+    // event.  Depends only on event times, so it is partition-invariant.
+    const std::int64_t aligned = (*next / lookahead_us_) * lookahead_us_;
+    if (aligned > fence_us_) fence_us_ = aligned;
+    const std::int64_t window_end =
+        std::min((fence_us_ / lookahead_us_ + 1) * lookahead_us_, end_us + 1);
+    executed += run_window(SimTime::from_micros(window_end - 1));
+    fence_us_ = window_end;
+    barrier(fence_us_);
+  }
+  // Advance every clock to the bound (no events in between by now).
+  for (auto& shard : shards_) shard->run_until(until);
+  if (fence_us_ <= end_us) fence_us_ = end_us + 1;
+  now_ = until;
+  return executed;
+}
+
+std::size_t ShardedSimulator::run() {
+  drain_pending_posts();
+  std::size_t executed = 0;
+  for (;;) {
+    const auto next = min_next_event_us();
+    if (!next) break;
+    const std::int64_t aligned = (*next / lookahead_us_) * lookahead_us_;
+    if (aligned > fence_us_) fence_us_ = aligned;
+    const std::int64_t window_end =
+        (fence_us_ / lookahead_us_ + 1) * lookahead_us_;
+    executed += run_window(SimTime::from_micros(window_end - 1));
+    fence_us_ = window_end;
+    barrier(fence_us_);
+  }
+  SimTime latest = now_;
+  for (const auto& shard : shards_) latest = std::max(latest, shard->now());
+  now_ = latest;
+  return executed;
+}
+
+std::size_t ShardedSimulator::executed_events() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->executed_events();
+  return total;
+}
+
+std::size_t ShardedSimulator::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pending_events();
+  return total;
+}
+
+}  // namespace rdp::sim

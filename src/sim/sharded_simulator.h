@@ -1,0 +1,163 @@
+// Sharded discrete-event kernel: conservative time-windowed parallel DES.
+//
+// A ShardedSimulator owns N single-threaded Simulator shards, each driving a
+// disjoint set of cells/Mss (the harness assigns entities to shards by
+// cell).  Shards advance in lockstep windows of width <= lookahead, where
+// the lookahead is the minimum cross-shard message latency (in this stack,
+// the smaller of the wired and wireless base latencies).  A message sent at
+// time t arrives no earlier than t + lookahead, i.e. strictly after the end
+// of the sender's current window — so within a window the shards share
+// nothing and can run on separate threads.
+//
+// Cross-shard traffic never touches another shard's event queue directly.
+// Senders post ShardInjection records into per-(src,dst) outboxes; at the
+// window barrier the main thread gathers each destination's records from
+// all sources, sorts them by the canonical (arrival time, priority,
+// stream key, stream sequence) key, and only then schedules them into the
+// destination shard.  Because the key is derived from the logical message
+// stream — never from which shard or thread produced the record — the
+// schedule order, and therefore every tie-break downstream, is identical
+// for every shard count and thread count: runs are bit-reproducible.
+//
+// Window boundaries are multiples of the lookahead (clamped at the run
+// bound), and empty stretches are skipped by jumping the fence to the
+// window containing the globally earliest pending event.  Both rules depend
+// only on the event times themselves, so the barrier sequence — where
+// observer buffers are merged and state mirrors synced via barrier hooks —
+// is also partition-invariant.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/callback.h"
+#include "sim/simulator.h"
+
+namespace rdp::sim {
+
+// A cross-shard delivery, buffered until the next window barrier.
+//
+// `stream_key` identifies the logical message stream (e.g. one wired link,
+// or one (mh, cell) wireless direction) and `stream_seq` the message's
+// position in it; together with (at, priority) they form a total order that
+// does not depend on the partitioning.  Posters own their streams' sequence
+// counters, so no two records ever carry the same full key.
+struct ShardInjection {
+  SimTime at;
+  EventPriority priority = EventPriority::kNormal;
+  std::uint64_t stream_key = 0;
+  std::uint64_t stream_seq = 0;
+  Callback run;
+};
+
+class ShardedSimulator {
+ public:
+  struct Options {
+    int shards = 1;
+    // Worker threads for window execution; 0 picks
+    // min(shards, hardware_concurrency), 1 runs windows inline on the
+    // calling thread.  The thread count never affects results.
+    int threads = 1;
+    // Minimum cross-shard latency; every post() must arrive at least this
+    // far after the moment it is posted.  Must be positive.
+    Duration lookahead = Duration::millis(1);
+  };
+
+  explicit ShardedSimulator(const Options& options);
+  ~ShardedSimulator();
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] Duration lookahead() const {
+    return Duration::micros(lookahead_us_);
+  }
+  [[nodiscard]] Simulator& shard(int i) { return *shards_[i]; }
+  [[nodiscard]] const Simulator& shard(int i) const { return *shards_[i]; }
+
+  // The bound reached by the last run_until (all shard clocks sit here
+  // between runs).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Buffer a delivery on shard `dst` at `injection.at`.  Must be called
+  // from `src`'s window execution (or between windows from the driving
+  // thread); the arrival must respect the lookahead, which is enforced at
+  // the barrier.  Intra-shard sends (src == dst) take the same path so that
+  // ordering is identical across partitionings.
+  void post(int src, int dst, ShardInjection injection);
+
+  // Run at every window barrier, single-threaded, after the mailboxes have
+  // been drained into the shards.  The argument is the fence time: every
+  // event strictly before it has executed.  The harness uses these hooks to
+  // sync wireless state mirrors and merge per-shard observer buffers.
+  using BarrierHook = SmallFn<void(SimTime), 64>;
+  void add_barrier_hook(BarrierHook hook);
+
+  // Run all shards through `until` inclusive; afterwards every shard's
+  // clock (and now()) equals `until`.  Returns events executed.
+  std::size_t run_until(SimTime until);
+
+  // Run until every shard quiesces and no injections remain.
+  std::size_t run();
+
+  [[nodiscard]] std::size_t executed_events() const;
+  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  // Earliest pending event across all shards (mailboxes are empty between
+  // windows, so this is the global minimum).
+  [[nodiscard]] std::optional<std::int64_t> min_next_event_us() const;
+
+  // Execute one window: every shard runs run_until(bound), in parallel when
+  // the pool is active.  Returns events executed in the window.
+  std::size_t run_window(SimTime bound);
+  // Sort every outbox by the canonical key and schedule the injections into
+  // their destination shards, checking each against the fence.
+  void inject_outboxes(std::int64_t fence_us);
+  // inject_outboxes + the barrier hooks.
+  void barrier(std::int64_t fence_us);
+  // Deliveries posted from outside a run (e.g. a host powered on before the
+  // first run_until) sit in the outboxes where the window-placement logic
+  // cannot see them; fold them into the shard queues before running.
+  void drain_pending_posts();
+
+  void worker_main(int worker_index);
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::int64_t lookahead_us_;
+  std::int64_t fence_us_ = 0;  // every event < fence has executed
+  SimTime now_ = SimTime::zero();
+  std::uint64_t windows_ = 0;
+
+  // outboxes_[src * shards + dst]; written only by src's worker during a
+  // window, drained only at barriers.
+  std::vector<std::vector<ShardInjection>> outboxes_;
+  std::vector<ShardInjection> sort_scratch_;
+  std::vector<BarrierHook> barrier_hooks_;
+
+  // Worker pool (only when threads_ > 1).  Workers own a static slice of
+  // shards (worker w runs shards w, w+threads, ...).  All coordination goes
+  // through one mutex + generation counter, which also provides the
+  // happens-before edges that make shard state visible across the barrier.
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t window_generation_ = 0;
+  int workers_done_ = 0;
+  bool shutdown_ = false;
+  SimTime window_bound_;
+  std::vector<std::size_t> window_counts_;
+  std::vector<std::exception_ptr> window_errors_;
+};
+
+}  // namespace rdp::sim

@@ -1,13 +1,44 @@
 #include "sim/simulator.h"
 
+#include <utility>
+
 namespace rdp::sim {
 
 bool TimerHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return sim_ != nullptr && sim_->slot_live(slot_, gen_);
 }
 
 void TimerHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
+}
+
+std::uint32_t Simulator::acquire_slot(Callback cb) {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    slots_[slot].cb = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slots_.back().cb = std::move(cb);
+  }
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;
+  s.cb.reset();
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (!slot_live(slot, gen)) return;
+  release_slot(slot);
+  --live_pending_;
 }
 
 TimerHandle Simulator::schedule(Duration delay, Callback cb,
@@ -20,31 +51,36 @@ TimerHandle Simulator::schedule_at(SimTime at, Callback cb,
                                    EventPriority priority) {
   RDP_CHECK(at >= now_, "cannot schedule into the past");
   RDP_CHECK(static_cast<bool>(cb), "callback must not be empty");
-  auto state = std::make_shared<TimerHandle::State>();
-  queue_.push(Event{at, priority, next_seq_++, std::move(cb), state});
+  const std::uint32_t slot = acquire_slot(std::move(cb));
+  const std::uint32_t gen = slots_[slot].gen;
+  queue_.push(Event{at, priority, next_seq_++, slot, gen});
   ++live_pending_;
-  return TimerHandle(std::move(state));
+  return TimerHandle(this, slot, gen);
+}
+
+void Simulator::skip_tombstones() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (slots_[top.slot].gen == top.gen) return;
+    queue_.pop();
+  }
 }
 
 bool Simulator::execute_next() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; we need to move the callback out, so we
-    // copy the small fields and const_cast the callback move.  The element
-    // is popped immediately after.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (event.state->cancelled) {
-      --live_pending_;
-      continue;
-    }
-    now_ = event.at;
-    event.state->fired = true;
-    --live_pending_;
-    ++executed_;
-    event.callback();
-    return true;
-  }
-  return false;
+  skip_tombstones();
+  if (queue_.empty()) return false;
+  const Event event = queue_.top();
+  queue_.pop();
+  now_ = event.at;
+  // Move the callback out and release the slot *before* invoking, so a
+  // callback cancelling its own handle is a harmless no-op and the slot is
+  // immediately reusable by anything the callback schedules.
+  Callback cb = std::move(slots_[event.slot].cb);
+  release_slot(event.slot);
+  --live_pending_;
+  ++executed_;
+  cb();
+  return true;
 }
 
 bool Simulator::step() { return execute_next(); }
@@ -59,18 +95,20 @@ std::size_t Simulator::run_until(SimTime until) {
   RDP_CHECK(until >= now_, "cannot run into the past");
   stopped_ = false;
   std::size_t count = 0;
-  while (!stopped_ && !queue_.empty() && queue_.top().at <= until) {
+  while (!stopped_) {
+    skip_tombstones();
+    if (queue_.empty() || queue_.top().at > until) break;
     if (execute_next()) ++count;
   }
   if (!stopped_ && now_ < until) now_ = until;
   return count;
 }
 
-std::size_t Simulator::pending_events() const { return live_pending_; }
-
 std::optional<SimTime> Simulator::next_event_time() const {
-  // The queue may hold cancelled tombstones; they are rare and only make
-  // the reported time conservative (earlier), which is safe for pacing.
+  // Purging tombstones mutates only bookkeeping, never observable state,
+  // so this stays const to callers.
+  auto* self = const_cast<Simulator*>(this);
+  self->skip_tombstones();
   if (queue_.empty()) return std::nullopt;
   return queue_.top().at;
 }

@@ -11,22 +11,34 @@
 // EventPriority::kAck so that, when an Ack and a dereg become deliverable at
 // the same instant, the Ack is handled first.  Benchmarks ablate this rule
 // by scheduling everything at kNormal.
+//
+// Storage layout: callbacks live in a slab of generation-counted slots and
+// the priority queue holds plain-old-data event records that reference them.
+// Scheduling an event allocates nothing beyond amortized slab/queue growth,
+// and a TimerHandle is a 16-byte value (slot index + generation) instead of
+// a shared_ptr control block.  A slot's generation is bumped every time the
+// slot is released — on cancel and on fire alike — so stale handles and
+// queue tombstones are recognized by a single integer compare.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "common/check.h"
 #include "common/time.h"
+#include "sim/callback.h"
 
 namespace rdp::sim {
 
 using common::Duration;
 using common::SimTime;
+
+// Move-only callable with a 48-byte inline buffer; big enough for the
+// protocol's usual captures (this + a couple of ids + a shared_ptr payload)
+// so the schedule hot path performs no heap allocation.
+using Callback = SmallFn<void(), 48>;
 
 enum class EventPriority : int {
   kAck = 0,     // Ack forwarding outranks everything else (paper §3.1).
@@ -34,8 +46,11 @@ enum class EventPriority : int {
   kLow = 2,     // Background/bookkeeping work.
 };
 
-// Handle for a scheduled event; allows cancellation.  Default-constructed
-// handles are inert.
+class Simulator;
+
+// Handle for a scheduled event; allows cancellation.  A copyable value —
+// (simulator, slot, generation) — whose liveness is checked against the
+// slab, so default-constructed and stale handles are inert.
 class TimerHandle {
  public:
   TimerHandle() = default;
@@ -48,18 +63,17 @@ class TimerHandle {
 
  private:
   friend class Simulator;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit TimerHandle(std::shared_ptr<State> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -90,19 +104,35 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   [[nodiscard]] std::size_t executed_events() const { return executed_; }
-  [[nodiscard]] std::size_t pending_events() const;
+  // Exact count of scheduled-but-not-yet-fired events.  Cancellation is
+  // accounted eagerly (the queue tombstone left behind is not counted), so
+  // this is safe to use for quiesce detection.
+  [[nodiscard]] std::size_t pending_events() const { return live_pending_; }
 
   // Time of the next live event, if any (used by the paced runner to sleep
-  // the wall clock between events).
+  // the wall clock between events, and by the sharded kernel to skip empty
+  // lockstep windows).  Exact: cancelled tombstones are purged, not
+  // reported.
   [[nodiscard]] std::optional<SimTime> next_event_time() const;
 
  private:
+  friend class TimerHandle;
+
+  // Slab slot holding a scheduled callback.  `gen` is bumped on every
+  // release, so (slot, gen) pairs held by queue records and TimerHandles
+  // match the slab iff that incarnation is still armed.
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
   struct Event {
     SimTime at;
     EventPriority priority;
     std::uint64_t seq;
-    Callback callback;
-    std::shared_ptr<TimerHandle::State> state;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -112,9 +142,26 @@ class Simulator {
     }
   };
 
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  [[nodiscard]] bool slot_live(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slots_.size() && slots_[slot].gen == gen;
+  }
+  std::uint32_t acquire_slot(Callback cb);
+  // Bumps the generation and returns the slot to the free list.  The
+  // callback is moved out (fire) or destroyed (cancel) by the caller /
+  // here respectively.
+  void release_slot(std::uint32_t slot);
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
+
+  // Pop queue records whose slot generation no longer matches (cancelled
+  // incarnations).  Afterwards the top, if any, is a live event.
+  void skip_tombstones();
   bool execute_next();
 
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;

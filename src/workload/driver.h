@@ -7,6 +7,7 @@
 // two protocols seeing *identical* mobility and request schedules.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,8 +51,13 @@ class HostDriver {
   HostDriver(const HostDriver&) = delete;
   HostDriver& operator=(const HostDriver&) = delete;
 
+  // Pin the starting cell instead of drawing it at start().  The sharded
+  // harness assigns each Mh to the shard of its home cell, so the home cell
+  // must be known (from a dedicated RNG stream) before the world is built.
+  void set_initial_cell(CellId cell) { preset_cell_ = cell; }
+
   void start() {
-    current_cell_ = mobility_.initial_cell(rng_);
+    current_cell_ = preset_cell_ ? *preset_cell_ : mobility_.initial_cell(rng_);
     host_.power_on(current_cell_);
     schedule_move();
     if (params_.mean_request_interval > Duration::zero() &&
@@ -147,6 +153,7 @@ class HostDriver {
   std::vector<NodeAddress> servers_;
 
   CellId current_cell_;
+  std::optional<CellId> preset_cell_;
   bool stopped_ = false;
   bool reactivate_at_stop_ = true;
   sim::TimerHandle move_timer_, request_timer_, activity_timer_;

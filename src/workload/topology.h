@@ -43,6 +43,23 @@ class CellTopology {
     return rng.pick(options);
   }
 
+  // Cell -> shard assignment for the sharded kernel: contiguous blocks of
+  // cell ids, so a grid splits into horizontal bands and most single-step
+  // migrations stay shard-local.
+  [[nodiscard]] int shard_of(CellId cell, int shards) const {
+    return cell_shard(cell, size(), shards);
+  }
+
+  // Same mapping as a free function, for callers that know only the cell
+  // count (e.g. the world builder before the topology object exists).
+  [[nodiscard]] static int cell_shard(CellId cell, std::size_t num_cells,
+                                      int shards) {
+    RDP_CHECK(shards >= 1, "need at least one shard");
+    RDP_CHECK(cell.value() < num_cells, "unknown cell");
+    return static_cast<int>(static_cast<std::uint64_t>(cell.value()) *
+                            static_cast<std::uint64_t>(shards) / num_cells);
+  }
+
  private:
   explicit CellTopology(std::vector<std::vector<CellId>> adjacency)
       : adjacency_(std::move(adjacency)) {}

@@ -230,11 +230,66 @@ TEST(Simulator, CountsExecutedAndPending) {
   sim.schedule(Duration::millis(2), [] {});
   auto cancelled = sim.schedule(Duration::millis(3), [] {});
   cancelled.cancel();
-  // Cancellation is lazy: the slot is reclaimed when the queue reaches it.
-  EXPECT_EQ(sim.pending_events(), 3u);
+  // Cancellation is accounted eagerly; the queue tombstone is invisible.
+  EXPECT_EQ(sim.pending_events(), 2u);
   sim.run();
   EXPECT_EQ(sim.executed_events(), 2u);
   EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelledEventsDoNotInflatePendingCount) {
+  // Regression: lazy cancellation used to leave cancelled handles counted in
+  // pending_events() until the queue happened to pop their tombstones, which
+  // skewed quiesce detection (a "pending" count that could never fire).
+  Simulator sim;
+  std::vector<TimerHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.schedule(Duration::millis(100 + i), [] {}));
+  }
+  for (auto& h : handles) h.cancel();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.next_event_time(), std::nullopt);
+  // A cancelled-then-fired generation must not resurrect the count either:
+  // reuse the slots and let the replacements run.
+  sim.schedule(Duration::millis(1), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, RunUntilDoesNotExecutePastBoundAcrossTombstones) {
+  // Regression: run_until used to gate on the raw queue top, so a cancelled
+  // tombstone inside the bound let the *next* live event execute even when
+  // it lay beyond the bound.
+  Simulator sim;
+  bool late_ran = false;
+  auto early = sim.schedule(Duration::millis(5), [] {});
+  sim.schedule(Duration::millis(50), [&] { late_ran = true; });
+  early.cancel();
+  const std::size_t executed =
+      sim.run_until(SimTime::zero() + Duration::millis(10));
+  EXPECT_EQ(executed, 0u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now().count_micros(), 10'000);
+  sim.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulator, HandleStaysDistinctAcrossSlotReuse) {
+  // A handle from a released slot must stay inert even after the slot is
+  // reused by a new event (generation check).
+  Simulator sim;
+  bool second_ran = false;
+  auto first = sim.schedule(Duration::millis(1), [] {});
+  first.cancel();
+  auto second = sim.schedule(Duration::millis(2), [&] { second_ran = true; });
+  EXPECT_FALSE(first.pending());
+  EXPECT_TRUE(second.pending());
+  first.cancel();  // stale generation: must not cancel the replacement
+  EXPECT_TRUE(second.pending());
+  sim.run();
+  EXPECT_TRUE(second_ran);
 }
 
 TEST(Simulator, ManyEventsKeepRelativeOrderAcrossTimes) {
