@@ -1,0 +1,57 @@
+// AIMD congestion window for the uplink ARQ (PROTOCOL.md §11.4).
+//
+// Classic TCP-style additive-increase / multiplicative-decrease over a
+// fractional window: every newly acknowledged frame grows cwnd by
+// increment/cwnd (≈ one frame per round trip), every loss event halves it,
+// and the usable window is floor(cwnd) clamped to [1, max_window].  A cell's
+// worth of Mh's therefore backs off collectively under loss instead of
+// flooding the uplink with retransmissions.
+//
+// Pure arithmetic — no simulator, no RNG.  The double stays deterministic
+// across shard counts because every Mh's ack/loss sequence is itself
+// deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rdp::arq {
+
+class AimdWindow {
+ public:
+  AimdWindow(int max_window, double increment, double backoff)
+      : max_window_(max_window), increment_(increment), backoff_(backoff) {
+    RDP_CHECK(max_window_ >= 1, "ARQ max_window must be at least 1");
+    RDP_CHECK(backoff_ > 0.0 && backoff_ < 1.0,
+              "ARQ cwnd_backoff must be in (0, 1)");
+  }
+
+  // One frame newly acknowledged: additive increase.
+  void on_ack() {
+    cwnd_ = std::min(cwnd_ + increment_ / cwnd_,
+                     static_cast<double>(max_window_));
+  }
+
+  // Loss event (RTO or fast retransmit): multiplicative decrease, floor 1.
+  void on_loss() { cwnd_ = std::max(1.0, cwnd_ * backoff_); }
+
+  // New channel epoch (re-registration moved the Mh to a fresh cell): the
+  // old path's window is meaningless, restart conservatively.
+  void reset() { cwnd_ = 1.0; }
+
+  // Usable window: whole frames in flight.
+  [[nodiscard]] int window() const {
+    return std::clamp(static_cast<int>(std::floor(cwnd_)), 1, max_window_);
+  }
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+
+ private:
+  int max_window_;
+  double increment_;
+  double backoff_;
+  double cwnd_ = 1.0;
+};
+
+}  // namespace rdp::arq

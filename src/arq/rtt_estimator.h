@@ -1,0 +1,93 @@
+// Adaptive retransmission timeout for the uplink ARQ (PROTOCOL.md §11.3).
+//
+// Implements the classic Jacobson/Karels estimator: an exponentially
+// weighted SRTT with a mean-deviation term (RTTVAR), RTO = SRTT + 4*RTTVAR,
+// and exponential backoff on timeout.  Karn's rule lives in the *caller*:
+// the sender only feeds samples from frames acked on their first
+// transmission (a retransmitted frame's ack is ambiguous), while the
+// backed-off RTO persists until the next valid sample.
+//
+// Pure arithmetic over common::Duration — no simulator, no RNG — so the
+// estimator is unit-testable on fixed traces and bit-deterministic in the
+// sharded kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace rdp::arq {
+
+class RttEstimator {
+ public:
+  struct Params {
+    common::Duration initial_rto = common::Duration::millis(250);
+    common::Duration min_rto = common::Duration::millis(100);
+    common::Duration max_rto = common::Duration::seconds(5);
+  };
+
+  explicit RttEstimator(Params params) : params_(params) {
+    RDP_CHECK(params_.min_rto <= params_.max_rto,
+              "ARQ min_rto must not exceed max_rto");
+  }
+
+  // Feed one round-trip sample (first-transmission acks only — Karn).
+  // Clears any accumulated backoff: a fresh sample proves the path is live
+  // at the measured rate.
+  void sample(common::Duration rtt) {
+    const std::int64_t r = rtt.count_micros();
+    if (!has_sample_) {
+      // RFC 6298 initialization: SRTT = R, RTTVAR = R/2.
+      srtt_us_ = r;
+      rttvar_us_ = r / 2;
+      has_sample_ = true;
+    } else {
+      // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|; SRTT = 7/8 SRTT + 1/8 R.
+      const std::int64_t err = srtt_us_ > r ? srtt_us_ - r : r - srtt_us_;
+      rttvar_us_ = (3 * rttvar_us_ + err) / 4;
+      srtt_us_ = (7 * srtt_us_ + r) / 8;
+    }
+    backoff_shift_ = 0;
+  }
+
+  // Retransmission timeout fired: double the effective RTO (clamped).
+  void backoff() {
+    if (effective_rto() < params_.max_rto) ++backoff_shift_;
+  }
+
+  // Current timeout to arm: (SRTT + 4*RTTVAR) << backoff, clamped to
+  // [min_rto, max_rto]; before the first sample, initial_rto << backoff.
+  [[nodiscard]] common::Duration rto() const { return effective_rto(); }
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] common::Duration srtt() const {
+    return common::Duration::micros(srtt_us_);
+  }
+  [[nodiscard]] common::Duration rttvar() const {
+    return common::Duration::micros(rttvar_us_);
+  }
+  [[nodiscard]] int backoff_level() const { return backoff_shift_; }
+
+ private:
+  [[nodiscard]] common::Duration effective_rto() const {
+    std::int64_t base_us = has_sample_ ? srtt_us_ + 4 * rttvar_us_
+                                       : params_.initial_rto.count_micros();
+    // Shift with saturation: 2^62us is far beyond any max_rto clamp.
+    for (int i = 0; i < backoff_shift_ && base_us < (INT64_MAX >> 1); ++i) {
+      base_us <<= 1;
+    }
+    common::Duration rto = common::Duration::micros(base_us);
+    if (rto < params_.min_rto) rto = params_.min_rto;
+    if (rto > params_.max_rto) rto = params_.max_rto;
+    return rto;
+  }
+
+  Params params_;
+  bool has_sample_ = false;
+  std::int64_t srtt_us_ = 0;
+  std::int64_t rttvar_us_ = 0;
+  int backoff_shift_ = 0;
+};
+
+}  // namespace rdp::arq

@@ -1,0 +1,214 @@
+#include "arq/sender.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "net/message.h"
+
+namespace rdp::arq {
+
+namespace {
+
+RttEstimator::Params estimator_params(const core::ArqConfig& config) {
+  RttEstimator::Params params;
+  params.initial_rto = config.initial_rto;
+  params.min_rto = config.min_rto;
+  params.max_rto = config.max_rto;
+  return params;
+}
+
+}  // namespace
+
+ArqSender::ArqSender(sim::Simulator& simulator,
+                     net::WirelessChannel& wireless,
+                     const core::ArqConfig& config,
+                     core::RdpObserver& observer,
+                     stats::CounterRegistry& counters, common::MhId mh)
+    : simulator_(simulator),
+      wireless_(wireless),
+      config_(config),
+      observer_(observer),
+      counters_(counters),
+      mh_(mh),
+      estimator_(estimator_params(config)),
+      cwnd_(config.max_window, config.cwnd_increment, config.cwnd_backoff) {
+  RDP_CHECK(config_.enabled(), "ArqSender built with arq.mode == kOff");
+}
+
+std::size_t ArqSender::window_limit() const {
+  if (config_.mode == core::ArqMode::kStopAndWait) return 1;
+  return std::min(static_cast<std::size_t>(config_.max_window),
+                  static_cast<std::size_t>(cwnd_.window()));
+}
+
+void ArqSender::open() {
+  open_ = true;
+  ++epoch_;
+  // Everything unacked migrates back to the head of the send queue in
+  // sequence order, then the whole backlog is renumbered from 0 for the new
+  // receiver.
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    it->sacked = false;
+    it->sack_misses = 0;
+    queue_.push_front(std::move(*it));
+  }
+  window_.clear();
+  next_seq_ = 0;
+  for (Frame& frame : queue_) frame.seq = next_seq_++;
+  // The registration almost certainly moved the Mh to a different cell;
+  // neither the old path's RTT nor its congestion window carry over.
+  estimator_ = RttEstimator(estimator_params(config_));
+  cwnd_.reset();
+  pump();
+}
+
+void ArqSender::pause() {
+  open_ = false;
+  rto_timer_.cancel();
+}
+
+void ArqSender::clear() {
+  pause();
+  window_.clear();
+  queue_.clear();
+}
+
+void ArqSender::enqueue(net::PayloadPtr inner, sim::EventPriority priority) {
+  Frame frame;
+  frame.inner = std::move(inner);
+  frame.priority = priority;
+  if (open_) {
+    frame.seq = next_seq_++;
+    queue_.push_back(std::move(frame));
+    pump();
+  } else {
+    // Sequenced at the next open()'s renumbering pass.
+    queue_.push_back(std::move(frame));
+  }
+}
+
+void ArqSender::pump() {
+  while (open_ && !queue_.empty() && window_.size() < window_limit()) {
+    window_.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    transmit(window_.back());
+  }
+}
+
+void ArqSender::transmit(Frame& frame) {
+  ++frame.attempt;
+  frame.sent_at = simulator_.now();
+  frame.sack_misses = 0;
+  counters_.increment("arq.frames_sent");
+  if (frame.attempt > 1) counters_.increment("arq.retransmits");
+  observer_.on_arq_frame_sent(simulator_.now(), mh_, epoch_, frame.seq,
+                              frame.attempt, window_.size(), window_limit());
+  wireless_.uplink(mh_,
+                   net::make_message<core::MsgArqData>(epoch_, frame.seq,
+                                                       frame.attempt,
+                                                       frame.inner),
+                   frame.priority);
+  arm_rto();
+}
+
+ArqSender::Frame* ArqSender::oldest_unsacked() {
+  for (Frame& frame : window_) {
+    if (!frame.sacked) return &frame;
+  }
+  return nullptr;
+}
+
+void ArqSender::arm_rto() {
+  rto_timer_.cancel();
+  if (!open_) return;
+  const Frame* oldest = oldest_unsacked();
+  if (oldest == nullptr) return;
+  const common::SimTime deadline = oldest->sent_at + estimator_.rto();
+  common::Duration delay = deadline - simulator_.now();
+  if (delay < common::Duration::zero()) delay = common::Duration::zero();
+  rto_timer_ = simulator_.schedule(delay, [this] { on_rto(); });
+}
+
+void ArqSender::on_rto() {
+  if (!open_) return;
+  Frame* oldest = oldest_unsacked();
+  if (oldest == nullptr) return;
+  const common::SimTime deadline = oldest->sent_at + estimator_.rto();
+  if (simulator_.now() < deadline) {
+    // A retransmission moved sent_at forward since this timer was armed.
+    arm_rto();
+    return;
+  }
+  counters_.increment("arq.rto_backoffs");
+  estimator_.backoff();  // Karn: persists until the next clean sample
+  cwnd_.on_loss();
+  if (static_cast<int>(oldest->attempt) >= config_.max_frame_retries) {
+    // Give up on this frame; end-to-end recovery (the re-issue watchdog)
+    // owns it now.  NOTE: the receiver's cumulative counter can never pass
+    // the abandoned seq, so later frames stall until the next epoch — the
+    // watchdog's re-registration resets both ends.
+    counters_.increment("arq.frame_gave_up");
+    for (auto it = window_.begin(); it != window_.end(); ++it) {
+      if (it->seq == oldest->seq) {
+        window_.erase(it);
+        break;
+      }
+    }
+    pump();
+    arm_rto();
+    return;
+  }
+  transmit(*oldest);
+}
+
+void ArqSender::on_ack(const core::MsgArqAck& ack) {
+  if (!open_ || ack.epoch != epoch_) {
+    counters_.increment("arq.stale_acks");
+    return;
+  }
+  bool newly_acked = false;
+  while (!window_.empty() && window_.front().seq < ack.cum_next) {
+    const Frame& frame = window_.front();
+    // Karn's rule: only a first-transmission ack yields an unambiguous RTT.
+    if (frame.attempt == 1) {
+      estimator_.sample(simulator_.now() - frame.sent_at);
+    }
+    cwnd_.on_ack();
+    newly_acked = true;
+    window_.pop_front();
+  }
+  if (config_.mode == core::ArqMode::kSlidingWindow) {
+    // Selective acks: mark survivors, then retransmit the frames the
+    // receiver keeps reporting a gap in front of.
+    std::uint32_t max_sacked = 0;
+    bool any_sack = false;
+    for (Frame& frame : window_) {
+      if (frame.seq <= ack.cum_next) continue;
+      const std::uint32_t bit = frame.seq - ack.cum_next - 1;
+      if (bit < 64 && ((ack.sack >> bit) & 1ull) != 0) {
+        if (!frame.sacked) {
+          frame.sacked = true;
+          cwnd_.on_ack();
+          newly_acked = true;
+        }
+        if (!any_sack || frame.seq > max_sacked) max_sacked = frame.seq;
+        any_sack = true;
+      }
+    }
+    if (any_sack) {
+      for (Frame& frame : window_) {
+        if (frame.sacked || frame.seq >= max_sacked) continue;
+        if (++frame.sack_misses >= config_.fast_retransmit_misses &&
+            static_cast<int>(frame.attempt) < config_.max_frame_retries) {
+          counters_.increment("arq.fast_retransmits");
+          cwnd_.on_loss();
+          transmit(frame);
+        }
+      }
+    }
+  }
+  if (newly_acked) pump();
+  arm_rto();
+}
+
+}  // namespace rdp::arq

@@ -268,6 +268,20 @@ std::vector<std::uint8_t> encode(const net::MessageBase& message) {
     put_mh(writer, resume->mh);
     put_node(writer, resume->old_host);
     put_proxy(writer, resume->old_proxy);
+  } else if (const auto* adata = dynamic_cast<const MsgArqData*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kArqData));
+    writer.u32(adata->epoch);
+    writer.u32(adata->seq);
+    writer.u32(adata->attempt);
+    // The inner message travels as a length-prefixed nested encoding, so the
+    // ARQ layer stays oblivious to the application vocabulary.
+    const std::vector<std::uint8_t> inner = encode(*adata->inner);
+    writer.str(std::string(inner.begin(), inner.end()));
+  } else if (const auto* aack = dynamic_cast<const MsgArqAck*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kArqAck));
+    writer.u32(aack->epoch);
+    writer.u32(aack->cum_next);
+    writer.u64(aack->sack);
   } else {
     RDP_CHECK(false, std::string("cannot encode message type: ") +
                          message.name());
@@ -482,6 +496,24 @@ net::PayloadPtr decode(const std::vector<std::uint8_t>& buffer) {
       const NodeAddress old_host = get_node(reader);
       const ProxyId old_proxy = get_proxy(reader);
       payload = net::make_message<MsgTransferResume>(mh, old_host, old_proxy);
+      break;
+    }
+    case MessageTag::kArqData: {
+      const std::uint32_t epoch = reader.u32();
+      const std::uint32_t seq = reader.u32();
+      const std::uint32_t attempt = reader.u32();
+      const std::string nested = reader.str();
+      net::PayloadPtr inner =
+          decode(std::vector<std::uint8_t>(nested.begin(), nested.end()));
+      payload =
+          net::make_message<MsgArqData>(epoch, seq, attempt, std::move(inner));
+      break;
+    }
+    case MessageTag::kArqAck: {
+      const std::uint32_t epoch = reader.u32();
+      const std::uint32_t cum_next = reader.u32();
+      const std::uint64_t sack = reader.u64();
+      payload = net::make_message<MsgArqAck>(epoch, cum_next, sack);
       break;
     }
     default:

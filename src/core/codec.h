@@ -45,6 +45,9 @@ enum class MessageTag : std::uint8_t {
   kPrefRepair = 27,
   kPrefRepairNack = 28,
   kTransferResume = 29,
+  // Uplink ARQ (src/arq).
+  kArqData = 30,
+  kArqAck = 31,
 };
 
 // Encodes any core message.  Throws common::InvariantViolation for message

@@ -9,6 +9,38 @@
 
 namespace rdp::core {
 
+// Uplink ARQ operating mode (src/arq).  Stop-and-wait is the degenerate
+// window of one; sliding-window adds cumulative+selective acks, fast
+// retransmit and an AIMD congestion window.
+enum class ArqMode {
+  kOff = 0,
+  kStopAndWait = 1,
+  kSlidingWindow = 2,
+};
+
+struct ArqConfig {
+  ArqMode mode = ArqMode::kOff;
+  // Hard cap on frames in flight; the AIMD window moves inside [1, this].
+  int max_window = 8;
+  // Retransmission timer: seeded at initial_rto until the first RTT sample,
+  // then SRTT + 4*RTTVAR (Jacobson), always clamped to [min_rto, max_rto].
+  common::Duration initial_rto = common::Duration::millis(250);
+  common::Duration min_rto = common::Duration::millis(100);
+  common::Duration max_rto = common::Duration::seconds(5);
+  // Per-frame give-up: after this many transmissions the frame is dropped
+  // and end-to-end recovery (the re-issue watchdog) takes over.
+  int max_frame_retries = 12;
+  // AIMD: cwnd += increment/cwnd per newly acked frame; cwnd *= backoff on
+  // a retransmission timeout or fast retransmit (floor 1).
+  double cwnd_increment = 1.0;
+  double cwnd_backoff = 0.5;
+  // Sliding-window only: retransmit a frame once this many later frames
+  // have been selectively acked past it (SACK-based fast retransmit).
+  int fast_retransmit_misses = 3;
+
+  [[nodiscard]] bool enabled() const { return mode != ArqMode::kOff; }
+};
+
 struct RdpConfig {
   // §3.1: "At each Mss, higher priority is given to forwarding Ack messages
   // ... than to engaging in any new Hand-off transactions."  When false,
@@ -68,6 +100,12 @@ struct RdpConfig {
   bool mh_reissue = false;
   common::Duration reissue_timeout = common::Duration::seconds(15);
   int max_reissue_attempts = 10;
+
+  // Uplink ARQ (src/arq, PROTOCOL.md §11): the QRPC-style transport the
+  // paper's §4 defers to.  When enabled it becomes the primary uplink
+  // loss-recovery mechanism and the re-issue watchdog above should be
+  // demoted to a crash-recovery backstop (long timeout).
+  ArqConfig arq;
 };
 
 }  // namespace rdp::core

@@ -40,7 +40,7 @@ class RdpObserver {
   // Number of virtual hooks below.  When adding a hook, bump this AND add
   // the matching fan-out override to ObserverList — the events_fanout test
   // fails if either is forgotten.
-  static constexpr int kHookCount = 22;
+  static constexpr int kHookCount = 25;
 
   // --- proxy life-cycle (§3.3) ---
   virtual void on_proxy_created(SimTime, MhId, NodeAddress /*host*/,
@@ -67,7 +67,28 @@ class RdpObserver {
   virtual void on_ack_forwarded(SimTime, MhId, RequestId,
                                 std::uint32_t /*seq*/, bool /*del_proxy*/) {}
   virtual void on_request_completed(SimTime, MhId, RequestId) {}
+  // The Mh's re-issue watchdog gave up on a request (max attempts reached).
+  // Fires immediately before the matching on_request_lost with
+  // kReissueExhausted, so abandoned requests are attributable even when a
+  // later re-registration would otherwise bury them.
+  virtual void on_reissue_exhausted(SimTime, MhId, RequestId,
+                                    int /*attempts*/) {}
   virtual void on_request_lost(SimTime, MhId, RequestId, RequestLossReason) {}
+
+  // --- uplink ARQ (src/arq; PROTOCOL.md §11) ---
+  // A data frame left the Mh's ARQ sender (first transmission and
+  // retransmissions alike; attempt starts at 1).  in_flight counts the frame
+  // being sent; window_limit is min(cwnd, configured max) at send time.
+  virtual void on_arq_frame_sent(SimTime, MhId, std::uint32_t /*epoch*/,
+                                 std::uint32_t /*seq*/,
+                                 std::uint32_t /*attempt*/,
+                                 std::size_t /*in_flight*/,
+                                 std::size_t /*window_limit*/) {}
+  // The Mss-side receiver processed a data frame.  duplicate=false means the
+  // inner message was handed to the proxy path (in cumulative order);
+  // duplicate=true means the dedupe filter absorbed it.
+  virtual void on_arq_delivered(SimTime, MhId, std::uint32_t /*epoch*/,
+                                std::uint32_t /*seq*/, bool /*duplicate*/) {}
 
   // --- mobility (§3.2) ---
   virtual void on_handoff_started(SimTime, MhId, MssId /*from*/,
@@ -154,6 +175,23 @@ class ObserverList final : public RdpObserver {
   }
   void on_request_completed(SimTime t, MhId mh, RequestId r) override {
     for (auto* o : observers_) o->on_request_completed(t, mh, r);
+  }
+  void on_reissue_exhausted(SimTime t, MhId mh, RequestId r,
+                            int attempts) override {
+    for (auto* o : observers_) o->on_reissue_exhausted(t, mh, r, attempts);
+  }
+  void on_arq_frame_sent(SimTime t, MhId mh, std::uint32_t epoch,
+                         std::uint32_t seq, std::uint32_t attempt,
+                         std::size_t in_flight,
+                         std::size_t window_limit) override {
+    for (auto* o : observers_)
+      o->on_arq_frame_sent(t, mh, epoch, seq, attempt, in_flight,
+                           window_limit);
+  }
+  void on_arq_delivered(SimTime t, MhId mh, std::uint32_t epoch,
+                        std::uint32_t seq, bool duplicate) override {
+    for (auto* o : observers_)
+      o->on_arq_delivered(t, mh, epoch, seq, duplicate);
   }
   void on_request_lost(SimTime t, MhId mh, RequestId r,
                        RequestLossReason reason) override {

@@ -181,6 +181,68 @@ struct MsgDownlinkResult final : net::MessageBase {
 };
 
 // ---------------------------------------------------------------------------
+// Uplink ARQ (src/arq, PROTOCOL.md §11): per-Mh sliding-window reliability
+// for the wireless uplink.  The paper defers request-frame loss to
+// "QRPC-style" transport mechanisms (§4); these two frames are that
+// transport.  Registration traffic (join/greet/leave) does NOT ride the
+// channel — it has its own retry loop and must work before the channel
+// opens.
+// ---------------------------------------------------------------------------
+
+// Mh -> respMss: one application uplink message under ARQ.  `epoch`
+// identifies the channel incarnation (bumped on every re-registration, so a
+// new respMss never confuses old sequence numbers); `seq` numbers frames
+// within the epoch from 0; `attempt` counts transmissions of this frame
+// (1 = first send).  The inner message is carried opaquely and re-encoded
+// through the codec.
+struct MsgArqData final : net::MessageBase {
+  std::uint32_t epoch;
+  std::uint32_t seq;
+  std::uint32_t attempt;
+  net::PayloadPtr inner;
+
+  MsgArqData(std::uint32_t epoch_in, std::uint32_t seq_in,
+             std::uint32_t attempt_in, net::PayloadPtr inner_in)
+      : epoch(epoch_in),
+        seq(seq_in),
+        attempt(attempt_in),
+        inner(std::move(inner_in)) {}
+  [[nodiscard]] const char* name() const override { return "arqData"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + inner->wire_size();
+  }
+  // Cost accounting and frame taps classify by the application message the
+  // frame carries; the ARQ header is transport framing.
+  [[nodiscard]] const MessageBase& unwrap() const override {
+    return inner->unwrap();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "arqData(e" + std::to_string(epoch) + "#" + std::to_string(seq) +
+           ",attempt=" + std::to_string(attempt) + "," + inner->describe() +
+           ")";
+  }
+};
+
+// respMss -> Mh: cumulative + selective acknowledgement.  Everything below
+// `cum_next` has been delivered in order; bit i of `sack` set means frame
+// `cum_next + 1 + i` was received out of order and need not be resent.
+struct MsgArqAck final : net::MessageBase {
+  std::uint32_t epoch;
+  std::uint32_t cum_next;
+  std::uint64_t sack;
+
+  MsgArqAck(std::uint32_t epoch_in, std::uint32_t cum_next_in,
+            std::uint64_t sack_in)
+      : epoch(epoch_in), cum_next(cum_next_in), sack(sack_in) {}
+  [[nodiscard]] const char* name() const override { return "arqAck"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+  [[nodiscard]] std::string describe() const override {
+    return "arqAck(e" + std::to_string(epoch) + ",cum=" +
+           std::to_string(cum_next) + ")";
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Wired: Mss <-> Mss / proxy host / server.
 // ---------------------------------------------------------------------------
 

@@ -1,10 +1,27 @@
 #include "core/mobile_host.h"
 
 namespace rdp::core {
+namespace {
+
+// Application traffic rides the ARQ channel; registration traffic
+// (join/greet/leave) has its own retry loop and must work before the
+// channel opens, so it goes straight to the radio.
+bool rides_arq(const net::MessageBase& message) {
+  return dynamic_cast<const MsgUplinkRequest*>(&message) != nullptr ||
+         dynamic_cast<const MsgUnsubscribe*>(&message) != nullptr ||
+         dynamic_cast<const MsgUplinkAck*>(&message) != nullptr;
+}
+
+}  // namespace
 
 MobileHostAgent::MobileHostAgent(Runtime& runtime, MhId id)
     : runtime_(runtime), id_(id) {
   runtime_.wireless.register_mh(id_, this);
+  if (runtime_.config.arq.enabled()) {
+    arq_ = std::make_unique<arq::ArqSender>(
+        runtime_.simulator, runtime_.wireless, runtime_.config.arq,
+        runtime_.observer, runtime_.counters, id_);
+  }
 }
 
 std::optional<common::CellId> MobileHostAgent::cell() const {
@@ -13,6 +30,10 @@ std::optional<common::CellId> MobileHostAgent::cell() const {
 
 void MobileHostAgent::uplink(net::PayloadPtr payload,
                              sim::EventPriority priority) {
+  if (arq_ != nullptr && rides_arq(*payload)) {
+    arq_->enqueue(std::move(payload), priority);
+    return;
+  }
   runtime_.wireless.uplink(id_, std::move(payload), priority);
 }
 
@@ -38,6 +59,7 @@ void MobileHostAgent::power_off() {
   // Don't keep the event queue alive while the Mh sleeps; the watchdog is
   // re-armed on reactivate().
   reissue_timer_.cancel();
+  if (arq_ != nullptr) arq_->pause();
   runtime_.wireless.set_mh_active(id_, false);
 }
 
@@ -54,6 +76,7 @@ void MobileHostAgent::reactivate() {
 
 void MobileHostAgent::move_while_inactive(common::CellId target) {
   RDP_CHECK(!active_, "use migrate() while active");
+  travel_timer_.cancel();  // an in-flight arrival would undo this placement
   runtime_.wireless.place_mh(id_, target);
 }
 
@@ -62,8 +85,10 @@ void MobileHostAgent::migrate(common::CellId target,
   RDP_CHECK(active_, id_.str() + " migrated while inactive");
   registered_ = false;
   registration_timer_.cancel();
+  if (arq_ != nullptr) arq_->pause();
   runtime_.wireless.detach_mh(id_);
-  runtime_.simulator.schedule(travel_time, [this, target] {
+  travel_timer_.cancel();  // still in transit: the old destination is moot
+  travel_timer_ = runtime_.simulator.schedule(travel_time, [this, target] {
     if (!active_) {
       // Powered off in transit; arrival is a plain placement.
       runtime_.wireless.place_mh(id_, target);
@@ -83,6 +108,8 @@ void MobileHostAgent::leave() {
   pending_requests_.clear();
   pending_info_.clear();
   reissue_timer_.cancel();
+  // Whatever the channel still holds belongs to the lost requests above.
+  if (arq_ != nullptr) arq_->clear();
   uplink(net::make_message<MsgLeave>());
   registration_timer_.cancel();
   active_ = false;
@@ -208,6 +235,8 @@ void MobileHostAgent::run_reissue_check() {
     }
     if (info.reissues >= runtime_.config.max_reissue_attempts) {
       runtime_.counters.increment("mh.reissue_gave_up");
+      runtime_.observer.on_reissue_exhausted(runtime_.simulator.now(), id_,
+                                             it->first, info.reissues);
       runtime_.observer.on_request_lost(runtime_.simulator.now(), id_,
                                         it->first,
                                         RequestLossReason::kReissueExhausted);
@@ -234,6 +263,7 @@ void MobileHostAgent::run_reissue_check() {
     // re-binds on the resulting join/greet; the queued request copies are
     // absorbed as duplicates if it still holds them.
     registered_ = false;
+    if (arq_ != nullptr) arq_->pause();  // reopens (new epoch) on the ack
     send_greet_or_join();
   }
   if (!pending_info_.empty()) arm_reissue_timer();
@@ -254,7 +284,18 @@ void MobileHostAgent::on_downlink(common::CellId /*cell*/,
       runtime_.observer.on_mh_registered(runtime_.simulator.now(), id_,
                                          ack->mss,
                                          runtime_.simulator.now() - greet_sent_);
+      // New registration, new ARQ epoch: the backlog (and anything unacked
+      // from the previous respMss) renumbers and retransmits first.
+      if (arq_ != nullptr) arq_->open();
       flush_outbox();
+    }
+    return;
+  }
+  if (const auto* arq_ack = net::message_cast<MsgArqAck>(payload)) {
+    if (arq_ != nullptr) {
+      arq_->on_ack(*arq_ack);
+    } else {
+      runtime_.counters.increment("mh.unknown_downlink");
     }
     return;
   }

@@ -11,11 +11,13 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <utility>
 
+#include "arq/sender.h"
 #include "core/messages.h"
 #include "core/runtime.h"
 
@@ -85,6 +87,8 @@ class MobileHostAgent final : public net::DownlinkReceiver {
   [[nodiscard]] std::uint64_t duplicate_deliveries() const {
     return duplicates_;
   }
+  // Null unless RdpConfig::arq is enabled.
+  [[nodiscard]] const arq::ArqSender* arq_sender() const { return arq_.get(); }
 
   // net::DownlinkReceiver
   void on_downlink(common::CellId cell, const net::PayloadPtr& payload) override;
@@ -112,6 +116,10 @@ class MobileHostAgent final : public net::DownlinkReceiver {
 
   Runtime& runtime_;
   const MhId id_;
+  // Uplink ARQ channel (PROTOCOL.md §11); null when arq.mode == kOff.
+  // Application uplink traffic (requests, unsubscribes, result Acks) rides
+  // it; registration traffic (join/greet/leave) never does.
+  std::unique_ptr<arq::ArqSender> arq_;
 
   bool joined_ = false;      // ever joined the system
   bool active_ = false;      // §2 active/inactive state
@@ -121,6 +129,10 @@ class MobileHostAgent final : public net::DownlinkReceiver {
 
   common::SimTime greet_sent_;
   sim::TimerHandle registration_timer_;
+  // Pending travel arrival; a newer migrate() supersedes it (otherwise the
+  // Mh "arrives" at both cells and registers twice, and the stale first
+  // registrationAck masks the real one).
+  sim::TimerHandle travel_timer_;
   int registration_attempts_ = 0;
 
   std::uint32_t next_request_seq_ = 0;

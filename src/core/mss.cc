@@ -6,7 +6,14 @@
 namespace rdp::core {
 
 Mss::Mss(Runtime& runtime, MssId id, CellId cell, NodeAddress address)
-    : runtime_(runtime), id_(id), cell_(cell), address_(address) {}
+    : runtime_(runtime), id_(id), cell_(cell), address_(address) {
+  if (runtime_.config.arq.enabled()) {
+    arq_ = std::make_unique<arq::ArqReceiver>(runtime_.simulator,
+                                              runtime_.wireless,
+                                              runtime_.observer,
+                                              runtime_.counters, cell_);
+  }
+}
 
 const Pref* Mss::pref_of(MhId mh) const {
   auto it = prefs_.find(mh);
@@ -26,8 +33,11 @@ void Mss::on_uplink(MhId from, const net::PayloadPtr& payload) {
   if (crashed_) {
     // A crashed Mss is deaf on the wireless network; the Mh's only remedy
     // is the re-issue watchdog (RdpConfig::mh_reissue) or a migration.
+    // unwrap() sees through an arqData wrapper: a request stranded in the
+    // ARQ window dies with the host exactly like a bare one would.
     count("mss.uplink_dropped_crashed");
-    if (const auto* req = net::message_cast<MsgUplinkRequest>(payload);
+    if (const auto* req =
+            dynamic_cast<const MsgUplinkRequest*>(&payload->unwrap());
         req != nullptr && !runtime_.config.mh_reissue) {
       runtime_.observer.on_request_lost(runtime_.simulator.now(), from,
                                         req->request,
@@ -35,6 +45,17 @@ void Mss::on_uplink(MhId from, const net::PayloadPtr& payload) {
     }
     return;
   }
+  if (arq_ != nullptr &&
+      arq_->on_uplink(from, payload,
+                      [this](MhId mh, const net::PayloadPtr& inner) {
+                        dispatch_uplink(mh, inner);
+                      })) {
+    return;
+  }
+  dispatch_uplink(from, payload);
+}
+
+void Mss::dispatch_uplink(MhId from, const net::PayloadPtr& payload) {
   if (const auto* m = net::message_cast<MsgJoin>(payload)) {
     (void)m;
     handle_join(from);
@@ -103,6 +124,10 @@ void Mss::handle_leave(MhId mh) {
     prefs_.erase(it);
   }
   drop_cached_results(mh);
+  // Deliberately NOT forgetting the ARQ channel here: retransmitted frames
+  // of the final epoch can still be in flight when the leave arrives, and
+  // erasing the dedupe state would re-deliver them as fresh (A1).  State is
+  // bounded by the Mh population; a future epoch resets it anyway.
   count("mss.leaves");
 }
 
@@ -912,6 +937,10 @@ void Mss::crash() {
     for (auto& [key, cached] : results) cached.timer.cancel();
   }
   cached_results_.clear();
+  // ARQ receiver state (epochs, cum counters, reassembly buffers) is as
+  // volatile as the pref table; survivors re-sync via a fresh sender epoch
+  // when the Mh re-registers after restart().
+  if (arq_ != nullptr) arq_->clear();
 
   count("mss.crashes");
   runtime_.observer.on_mss_crashed(runtime_.simulator.now(), id_, proxies_lost,

@@ -19,6 +19,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "arq/receiver.h"
 #include "core/checkpoint.h"
 #include "core/messages.h"
 #include "core/proxy.h"
@@ -52,6 +53,10 @@ class Mss final : public net::Endpoint,
   }
   [[nodiscard]] const Pref* pref_of(MhId mh) const;
   [[nodiscard]] const Proxy* proxy(ProxyId id) const;
+  // Null unless RdpConfig::arq is enabled.
+  [[nodiscard]] const arq::ArqReceiver* arq_receiver() const {
+    return arq_.get();
+  }
 
   // --- crash / recovery (fault-injection subsystem) ---
   // Opt-in stable storage: when set, every proxy state change is
@@ -105,6 +110,10 @@ class Mss final : public net::Endpoint,
 
   void count(const char* name) { runtime_.counters.increment(name); }
 
+  // Post-ARQ dispatch: `payload` is a bare protocol message (never an
+  // arqData wrapper) from a live Mss's perspective.
+  void dispatch_uplink(MhId from, const net::PayloadPtr& payload);
+
   // --- uplink handlers ---
   void handle_join(MhId mh);
   void handle_leave(MhId mh);
@@ -152,6 +161,9 @@ class Mss final : public net::Endpoint,
   const MssId id_;
   const CellId cell_;
   const NodeAddress address_;
+  // Uplink ARQ endpoint (PROTOCOL.md §11); null when arq.mode == kOff.
+  // Reassembles / dedupes / acks arqData frames before dispatch_uplink.
+  std::unique_ptr<arq::ArqReceiver> arq_;
 
   std::set<MhId> local_mhs_;                     // the paper's local_Mhs
   std::map<MhId, Pref> prefs_;                   // pref per local Mh

@@ -34,7 +34,21 @@ workload::WorkloadParams make_workload(const ExperimentParams& params) {
   wl.request_body = params.request_body;
   wl.mean_active = params.mean_active;
   wl.mean_inactive = params.mean_inactive;
+  wl.loss = params.loss;
   return wl;
+}
+
+// Installs the correlated-loss shaper on the world's wireless channel.  The
+// shaper draws from a dedicated seed stream (not world.rng()) so enabling a
+// profile does not shift the driver RNG forks — the workload schedule stays
+// identical to a clean run of the same seed.
+template <typename World>
+std::unique_ptr<workload::LossShaper> make_loss_shaper(
+    World& world, const ExperimentParams& params) {
+  if (params.loss.profile == workload::LossProfile::kClean) return nullptr;
+  return std::make_unique<workload::LossShaper>(
+      world.simulator(), world.wireless(),
+      common::Rng(params.seed ^ 0x5bf0a8b1451b54e9ull), params.loss);
 }
 
 // Everything shared between the RDP and baseline runs.  Wire accounting
@@ -132,6 +146,9 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   config.cost.energy = params.energy;
 
   World world(config);
+  // Destroyed before `world`, which clears the channel's drop filter.
+  const std::unique_ptr<workload::LossShaper> loss_shaper =
+      make_loss_shaper(world, params);
   // Mirror the experiment metrics into the world's registry so the CSV
   // export carries the labeled breakdowns alongside the wire counters.
   MetricsCollector metrics(&world.telemetry().registry());
@@ -184,6 +201,8 @@ ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params) {
             "proxy checkpointing is a single-kernel feature");
   RDP_CHECK(!params.rdp_world_hook,
             "rdp_world_hook targets the single-kernel World");
+  RDP_CHECK(params.loss.profile == workload::LossProfile::kClean,
+            "correlated loss profiles are a single-kernel feature");
 
   ShardedScenarioConfig config;
   config.base.seed = params.seed;
@@ -297,6 +316,8 @@ ExperimentResult run_baseline_experiment(const ExperimentParams& params,
   config.baseline.mode = mode;
 
   BaselineWorld world(config);
+  const std::unique_ptr<workload::LossShaper> loss_shaper =
+      make_loss_shaper(world, params);
   MetricsCollector metrics;
   ExperimentResult result;
   drive<BaselineWorld, baseline::MipHostAgent>(world, params, metrics, result);

@@ -60,6 +60,10 @@ struct ExperimentParams {
   // Networks.
   net::WiredConfig wired;
   net::WirelessConfig wireless;
+  // Correlated wireless loss on top of the WirelessConfig i.i.d. loss
+  // (workload/loss.h).  Single-kernel runs only; the sharded runner
+  // requires kClean.
+  workload::LossShaperConfig loss;
 
   // Protocol knobs.
   core::RdpConfig rdp;

@@ -28,6 +28,7 @@ PurposeClass classify_by_name(const std::string& name) {
       {"serverAck", PurposeClass::kControl},
       {"delPref", PurposeClass::kControl},
       {"unsubscribe", PurposeClass::kControl},
+      {"arqAck", PurposeClass::kControl},
       {"forwardUnsubscribe", PurposeClass::kControl},
       {"serverUnsubscribe", PurposeClass::kControl},
       {"mipAck", PurposeClass::kControl},
@@ -212,7 +213,16 @@ void CostLedger::on_wireless_frame(common::MhId mh,
     // nothing further (the Mss is wall-powered), so the stateful
     // first-sighting classification runs exactly once per frame.
     if (phase != net::FramePhase::kSent) return;
-    const PurposeClass purpose = classify(inner);
+    PurposeClass purpose;
+    if (const auto* arq = dynamic_cast<const core::MsgArqData*>(payload.get());
+        arq != nullptr && arq->attempt > 1) {
+      // ARQ retransmission: recovery regardless of what it carries.  The
+      // first-sighting sets stay untouched so the attempt-1 frame (possibly
+      // replayed out of order by the shard merger) still classifies as app.
+      purpose = PurposeClass::kRecovery;
+    } else {
+      purpose = classify(inner);
+    }
     account(LinkKind::kWirelessUp, purpose, *payload, size);
     charge(mh, purpose,
            config_.energy.tx_per_frame +

@@ -184,4 +184,10 @@ void FlightRecorder::on_request_reissued(common::SimTime t, core::MhId mh,
                 " attempt=" + std::to_string(attempt));
 }
 
+void FlightRecorder::on_reissue_exhausted(common::SimTime t, core::MhId mh,
+                                          core::RequestId r, int attempts) {
+  record(t, "REISSUE_EXHAUSTED " + r.str() + " by " + mh.str() + " after " +
+                std::to_string(attempts) + " re-issues");
+}
+
 }  // namespace rdp::obs

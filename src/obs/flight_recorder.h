@@ -85,6 +85,8 @@ class FlightRecorder final : public core::RdpObserver {
                          core::ProxyId) override;
   void on_request_reissued(common::SimTime, core::MhId, core::RequestId,
                            int) override;
+  void on_reissue_exhausted(common::SimTime, core::MhId, core::RequestId,
+                            int) override;
 
  private:
   struct Entry {

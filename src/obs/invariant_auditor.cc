@@ -225,6 +225,44 @@ void InvariantAuditor::on_backup_promoted(common::SimTime, core::MssId primary,
   for (auto& [mh, closing] : closing_proxies_) closing.erase(host);
 }
 
+void InvariantAuditor::on_arq_frame_sent(common::SimTime t, core::MhId mh,
+                                         std::uint32_t epoch, std::uint32_t seq,
+                                         std::uint32_t attempt,
+                                         std::size_t in_flight,
+                                         std::size_t window_limit) {
+  // A2: only first transmissions are admissions; a retransmission after the
+  // window halved legitimately reports in_flight > window_limit.
+  if (attempt == 1 && in_flight > window_limit) {
+    violate(t, "A2 " + mh.str() + " arq epoch " + std::to_string(epoch) +
+                   " seq " + std::to_string(seq) + " admitted with " +
+                   std::to_string(in_flight) + " in flight > window " +
+                   std::to_string(window_limit));
+  }
+}
+
+void InvariantAuditor::on_arq_delivered(common::SimTime t, core::MhId mh,
+                                        std::uint32_t epoch, std::uint32_t seq,
+                                        bool duplicate) {
+  if (duplicate) return;  // dropped before the protocol, by design
+  // A1: per (Mh, epoch) the receiver releases 0, 1, 2, ... exactly once.
+  std::uint32_t& next = arq_next_[{mh, epoch}];
+  if (seq < next) {
+    // A re-release below the frontier: report it but leave the frontier
+    // alone, or every subsequent in-order delivery would cascade.
+    violate(t, "A1 " + mh.str() + " arq epoch " + std::to_string(epoch) +
+                   " re-delivered seq " + std::to_string(seq) +
+                   " below frontier " + std::to_string(next));
+    return;
+  }
+  if (seq > next) {
+    violate(t, "A1 " + mh.str() + " arq epoch " + std::to_string(epoch) +
+                   " delivered seq " + std::to_string(seq) + " but expected " +
+                   std::to_string(next));
+    next = seq;  // resync so one gap reports once
+  }
+  ++next;
+}
+
 bool InvariantAuditor::check_quiesced() {
   bool balanced = true;
   for (const auto& [request, book] : requests_) {

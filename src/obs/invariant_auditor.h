@@ -22,6 +22,19 @@
 //   R6  a request completes at the proxy only after its result was
 //       delivered to the Mh (Ack precedes completion).
 //
+// With the uplink ARQ subsystem (src/arq, PROTOCOL.md §11) enabled, two
+// channel-level invariants are checked as well:
+//
+//   A1  the receiver hands frames to the protocol in order and exactly
+//       once: per (Mh, epoch), non-duplicate deliveries carry consecutive
+//       sequence numbers starting at 0;
+//   A2  the sender's window never exceeds its advertised limit at
+//       admission: a *first* transmission (attempt == 1) reporting
+//       in_flight > window_limit is a congestion-control bug.
+//       Retransmissions are exempt — cwnd may have halved below the number
+//       of frames already in flight, which is legal (the window bounds
+//       admission, not retransmission).
+//
 // Quiesce accounting — delivered + lost == issued once the event queue
 // drains — cannot be checked online; call check_quiesced() after
 // run_to_quiescence().
@@ -130,6 +143,11 @@ class InvariantAuditor final : public core::RdpObserver {
                          core::ProxyId) override;
   void on_backup_promoted(common::SimTime, core::MssId, core::MssId,
                           std::size_t) override;
+  void on_arq_frame_sent(common::SimTime, core::MhId, std::uint32_t,
+                         std::uint32_t, std::uint32_t, std::size_t,
+                         std::size_t) override;
+  void on_arq_delivered(common::SimTime, core::MhId, std::uint32_t,
+                        std::uint32_t, bool) override;
 
  private:
   struct RequestBook {
@@ -161,6 +179,8 @@ class InvariantAuditor final : public core::RdpObserver {
   // longer count against R1: a fast-moving Mh may legitimately create its
   // next proxy inside that window.
   std::map<core::MhId, std::set<core::NodeAddress>> closing_proxies_;
+  // A1 bookkeeping: next expected in-order ARQ delivery per (Mh, epoch).
+  std::map<std::pair<core::MhId, std::uint32_t>, std::uint32_t> arq_next_;
 
   std::uint64_t issued_ = 0;
   std::uint64_t finished_ = 0;  // final delivery seen

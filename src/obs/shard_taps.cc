@@ -18,29 +18,42 @@ namespace {
 // of these at one timestamp).  Hooks from different nodes at the same
 // instant are concurrent — anything causally related is separated by at
 // least one wire latency — so for those any fixed rank works.
+//
+// The entire teardown chain ranks BEFORE the creation chain: one ARQ batch
+// drain can process a final ack (ack -> completed -> proxy deleted) and the
+// Mh's next request (proxy created -> reached) back-to-back at a single
+// instant, and replaying the new incarnation's hooks before the old one's
+// deletion would bind the fresh request to the dead proxy (a spurious R4).
 enum HookKind : int {
   kMhRegistered = 0,
-  kProxyCreated,
-  kProxyRestored,
-  kBackupPromoted,
-  kRequestIssued,
-  kRequestReissued,
-  kRequestReachedProxy,
+  // ARQ delivery precedes everything it can trigger at the same instant
+  // (request dispatch, proxy creation); the frame-send hook ranks last of
+  // all, because a delivery/ack at time t can enqueue and send the next
+  // frame at t (result delivered -> uplinkAck enqueued -> frame sent).
+  kArqDelivered,
   kResultAtProxy,
   kResultForwarded,
   kResultDelivered,
   kAckForwarded,
   kRequestCompleted,
   kStaleAckDropped,
-  kHandoffStarted,
-  kHandoffCompleted,
-  kUpdateCurrentloc,
   kDelproxyWithPending,
+  kReissueExhausted,  // emitted immediately before its on_request_lost
   kRequestLost,
   kOrphanedProxy,
   kProxyDeleted,
+  kProxyCreated,
+  kProxyRestored,
+  kBackupPromoted,
+  kRequestIssued,
+  kRequestReissued,
+  kRequestReachedProxy,
+  kHandoffStarted,
+  kHandoffCompleted,
+  kUpdateCurrentloc,
   kMssCrashed,
   kMssRestarted,
+  kArqFrameSent,  // see kArqDelivered comment
 };
 
 }  // namespace
@@ -240,6 +253,39 @@ void ShardObserverBuffer::on_backup_promoted(core::SimTime t,
   push(t, kMssTagBase | primary.value(), kBackupPromoted, backup.value(),
        [=](core::RdpObserver& o) {
          o.on_backup_promoted(t, primary, backup, adopted);
+       });
+}
+
+void ShardObserverBuffer::on_reissue_exhausted(core::SimTime t, common::MhId mh,
+                                               common::RequestId r,
+                                               int attempts) {
+  push(t, mh.value(), kReissueExhausted, r.seq(),
+       [=](core::RdpObserver& o) {
+         o.on_reissue_exhausted(t, mh, r, attempts);
+       });
+}
+
+void ShardObserverBuffer::on_arq_frame_sent(core::SimTime t, common::MhId mh,
+                                            std::uint32_t epoch,
+                                            std::uint32_t seq,
+                                            std::uint32_t attempt,
+                                            std::size_t in_flight,
+                                            std::size_t window_limit) {
+  push(t, mh.value(), kArqFrameSent,
+       (static_cast<std::uint64_t>(epoch) << 32) | seq,
+       [=](core::RdpObserver& o) {
+         o.on_arq_frame_sent(t, mh, epoch, seq, attempt, in_flight,
+                             window_limit);
+       });
+}
+
+void ShardObserverBuffer::on_arq_delivered(core::SimTime t, common::MhId mh,
+                                           std::uint32_t epoch,
+                                           std::uint32_t seq, bool duplicate) {
+  push(t, mh.value(), kArqDelivered,
+       (static_cast<std::uint64_t>(epoch) << 32) | seq,
+       [=](core::RdpObserver& o) {
+         o.on_arq_delivered(t, mh, epoch, seq, duplicate);
        });
 }
 

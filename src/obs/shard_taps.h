@@ -122,6 +122,13 @@ class ShardObserverBuffer final : public core::RdpObserver {
                            int) override;
   void on_backup_promoted(core::SimTime, common::MssId, common::MssId,
                           std::size_t) override;
+  void on_reissue_exhausted(core::SimTime, common::MhId, common::RequestId,
+                            int) override;
+  void on_arq_frame_sent(core::SimTime, common::MhId, std::uint32_t,
+                         std::uint32_t, std::uint32_t, std::size_t,
+                         std::size_t) override;
+  void on_arq_delivered(core::SimTime, common::MhId, std::uint32_t,
+                        std::uint32_t, bool) override;
 
  private:
   friend class ShardTapMerger;

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "sim/simulator.h"
+#include "workload/loss.h"
 #include "workload/mobility.h"
 
 namespace rdp::workload {
@@ -33,6 +34,11 @@ struct WorkloadParams {
   // Activity: exponential on/off periods (zero mean_inactive disables).
   Duration mean_active = Duration::zero();
   Duration mean_inactive = Duration::zero();
+  // Named wireless loss profile (workload/loss.h).  The drivers share one
+  // channel, so the harness installs a single LossShaper for the whole
+  // scenario rather than one per driver; drivers carry the name so a
+  // workload description is self-contained.
+  LossShaperConfig loss;
 };
 
 template <typename Host>

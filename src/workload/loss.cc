@@ -1,0 +1,83 @@
+#include "workload/loss.h"
+
+namespace rdp::workload {
+
+const char* loss_profile_name(LossProfile profile) {
+  switch (profile) {
+    case LossProfile::kClean:
+      return "clean";
+    case LossProfile::kBursty:
+      return "bursty";
+    case LossProfile::kHandoffCorrelated:
+      return "handoff";
+  }
+  return "?";
+}
+
+std::optional<LossProfile> parse_loss_profile(const std::string& name) {
+  if (name == "clean") return LossProfile::kClean;
+  if (name == "bursty") return LossProfile::kBursty;
+  if (name == "handoff") return LossProfile::kHandoffCorrelated;
+  return std::nullopt;
+}
+
+LossShaper::LossShaper(sim::Simulator& simulator,
+                       net::WirelessChannel& wireless, common::Rng rng,
+                       LossShaperConfig config)
+    : simulator_(simulator),
+      wireless_(wireless),
+      rng_(rng),
+      config_(config) {
+  if (config_.profile == LossProfile::kClean) return;
+  wireless_.set_drop_filter(
+      [this](common::MhId mh, const net::PayloadPtr&, bool /*uplink*/) {
+        return should_drop(mh);
+      });
+  installed_ = true;
+}
+
+LossShaper::~LossShaper() {
+  if (installed_) wireless_.set_drop_filter(nullptr);
+}
+
+bool LossShaper::should_drop(common::MhId mh) {
+  switch (config_.profile) {
+    case LossProfile::kClean:
+      return false;
+    case LossProfile::kBursty: {
+      MhState& st = state_[mh];
+      // One chain step per frame: the sojourn times are geometric in
+      // frames, so loss clusters exactly while the link is busy.
+      if (st.bad) {
+        if (rng_.bernoulli(config_.burst_exit)) st.bad = false;
+      } else {
+        if (rng_.bernoulli(config_.burst_enter)) st.bad = true;
+      }
+      if (st.bad && rng_.bernoulli(config_.burst_loss)) {
+        ++dropped_;
+        return true;
+      }
+      return false;
+    }
+    case LossProfile::kHandoffCorrelated: {
+      MhState& st = state_[mh];
+      const std::optional<common::CellId> cell = wireless_.mh_cell(mh);
+      if (cell.has_value() && st.cell != cell) {
+        // The very first placement (power_on) is not a hand-off.
+        if (st.cell.has_value()) st.changed = simulator_.now();
+        st.cell = cell;
+      }
+      const bool at_cell_edge =
+          st.changed.has_value() &&
+          simulator_.now() - *st.changed < config_.handoff_window;
+      if (at_cell_edge && rng_.bernoulli(config_.handoff_loss)) {
+        ++dropped_;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace rdp::workload

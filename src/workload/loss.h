@@ -1,0 +1,95 @@
+// Named wireless loss profiles for workloads (E13 and loss-sensitivity
+// sweeps).
+//
+// The WirelessConfig loss knobs model memoryless (i.i.d. per-frame) drops.
+// Real radio links fail differently: errors cluster in fades (bursty), and
+// hand-offs produce a short window of elevated loss while the Mh is at the
+// cell edge.  A LossShaper installs itself as the channel's DropFilter and
+// adds one of these correlated-loss behaviours *on top of* the base
+// i.i.d. loss:
+//
+//   kClean              no extra loss (the filter is not installed at all);
+//   kBursty             per-Mh Gilbert-Elliott two-state chain, advanced one
+//                       step per frame: a "bad" state entered with
+//                       `burst_enter`, left with `burst_exit`, dropping each
+//                       frame with `burst_loss` while bad;
+//   kHandoffCorrelated  for `handoff_window` after an observed cell change,
+//                       every frame of that Mh is dropped with
+//                       `handoff_loss` (cell-edge fading).
+//
+// Determinism: the shaper draws from its own seeded Rng in frame order, so
+// a fixed seed reproduces the exact drop pattern — on the single kernel.
+// The sharded kernel executes frames of different cells concurrently, so
+// correlated profiles are single-kernel only (the sharded harness rejects
+// anything but kClean).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/wireless.h"
+#include "sim/simulator.h"
+
+namespace rdp::workload {
+
+enum class LossProfile {
+  kClean = 0,
+  kBursty = 1,
+  kHandoffCorrelated = 2,
+};
+
+[[nodiscard]] const char* loss_profile_name(LossProfile profile);
+// Parses "clean" / "bursty" / "handoff"; nullopt for anything else.
+[[nodiscard]] std::optional<LossProfile> parse_loss_profile(
+    const std::string& name);
+
+struct LossShaperConfig {
+  LossProfile profile = LossProfile::kClean;
+  // kBursty (Gilbert-Elliott).
+  double burst_enter = 0.05;
+  double burst_exit = 0.25;
+  double burst_loss = 0.5;
+  // kHandoffCorrelated.
+  double handoff_loss = 0.5;
+  common::Duration handoff_window = common::Duration::millis(750);
+};
+
+class LossShaper {
+ public:
+  // Installs itself as `wireless`'s drop filter (kClean installs nothing).
+  // Clears the filter again on destruction, so the shaper must be destroyed
+  // while the channel is still alive — declare it after the world.
+  LossShaper(sim::Simulator& simulator, net::WirelessChannel& wireless,
+             common::Rng rng, LossShaperConfig config);
+  ~LossShaper();
+
+  LossShaper(const LossShaper&) = delete;
+  LossShaper& operator=(const LossShaper&) = delete;
+
+  [[nodiscard]] LossProfile profile() const { return config_.profile; }
+  // Frames this shaper dropped (on top of the base i.i.d. loss).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct MhState {
+    bool bad = false;                     // Gilbert-Elliott state
+    std::optional<common::CellId> cell;   // last observed cell
+    std::optional<common::SimTime> changed;  // last observed cell change
+  };
+
+  bool should_drop(common::MhId mh);
+
+  sim::Simulator& simulator_;
+  net::WirelessChannel& wireless_;
+  common::Rng rng_;
+  const LossShaperConfig config_;
+  bool installed_ = false;
+  std::map<common::MhId, MhState> state_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rdp::workload

@@ -203,6 +203,38 @@ TEST(CoreCodec, ControlMessages) {
   EXPECT_FALSE(gone->had_request);
 }
 
+TEST(CoreCodec, ArqDataNestsInnerMessage) {
+  const core::MsgArqData original(
+      5, 9, 2,
+      net::make_message<core::MsgUplinkRequest>(RequestId(MhId(3), 17),
+                                                NodeAddress(4), "query",
+                                                true));
+  const auto* decoded = round_trip(original);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->epoch, 5u);
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_EQ(decoded->attempt, 2u);
+  const auto* inner = net::message_cast<core::MsgUplinkRequest>(decoded->inner);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->request, RequestId(MhId(3), 17));
+  EXPECT_EQ(inner->server, NodeAddress(4));
+  EXPECT_EQ(inner->body, "query");
+  EXPECT_TRUE(inner->stream);
+  // Framing overhead is the 16-byte ARQ header on top of the inner payload,
+  // and unwrap() reaches through to the application message for taps.
+  EXPECT_EQ(decoded->wire_size(), 16 + inner->wire_size());
+  EXPECT_STREQ(decoded->unwrap().name(), "request");
+}
+
+TEST(CoreCodec, ArqAck) {
+  const auto* decoded =
+      round_trip(core::MsgArqAck(3, 41, 0xdeadbeefcafef00dull));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->epoch, 3u);
+  EXPECT_EQ(decoded->cum_next, 41u);
+  EXPECT_EQ(decoded->sack, 0xdeadbeefcafef00dull);
+}
+
 TEST(CoreCodec, ReplicationMessages) {
   core::ProxyCheckpoint record;
   record.proxy = ProxyId(7);

@@ -235,6 +235,67 @@ TEST(CostLedger, RetransmittedResultIsRecovery) {
   EXPECT_TRUE(row_empty(ledger.summary(), PurposeClass::kOther));
 }
 
+// ARQ frames pin to their ledger classes: a first-attempt data frame takes
+// the class of the application message it carries (here kApp, including the
+// 16-byte ARQ header), a retransmission (attempt > 1) is kRecovery without
+// consulting the classifier's first-sighting sets, and every arqAck on the
+// downlink is kControl.  Nothing may leak into kOther.
+TEST(CostLedger, ArqFramesClassifyAsControlAndRecovery) {
+  harness::ScenarioConfig config = scripted_config();
+  config.server.base_service_time = Duration::millis(300);
+  config.rdp.arq.mode = core::ArqMode::kSlidingWindow;
+  harness::World world(config);
+
+  int dropped = 0;
+  std::uint64_t arq_ack_bytes = 0;
+  world.wireless().set_drop_filter(
+      [&](MhId, const net::PayloadPtr& payload, bool uplink) {
+        const auto* frame =
+            dynamic_cast<const core::MsgArqData*>(payload.get());
+        if (uplink && dropped == 0 && frame != nullptr &&
+            frame->attempt == 1 &&
+            std::string(frame->inner->name()) == "request") {
+          ++dropped;
+          return true;
+        }
+        return false;
+      });
+  world.wireless().add_frame_observer(
+      [&](MhId, const net::PayloadPtr& payload, bool uplink,
+          net::FramePhase phase) {
+        if (!uplink && phase == net::FramePhase::kSent &&
+            std::string(payload->name()) == "arqAck") {
+          arq_ack_bytes += payload->wire_size();
+        }
+      });
+
+  auto& mh = world.mh(0);
+  mh.power_on(world.cell(0));
+  world.simulator().schedule(Duration::millis(100), [&] {
+    mh.issue_request(world.server_address(0), "query");
+  });
+  world.run_to_quiescence();
+  ASSERT_EQ(dropped, 1);
+  ASSERT_EQ(world.counters().get("arq.retransmits"), 1u);
+
+  const obs::CostLedger& ledger = *world.cost_ledger();
+  const core::MsgUplinkRequest probe(common::RequestId(MhId(0), 1),
+                                     world.server_address(0), "query", false);
+  const std::uint64_t framed_request = 16 + probe.wire_size();
+  // Offered attempt-1 frame (dropped on the air, still offered bytes) is
+  // app class; the RTO retransmission is exactly one recovery frame.
+  EXPECT_EQ(ledger.bytes(LinkKind::kWirelessUp, PurposeClass::kApp),
+            framed_request);
+  EXPECT_EQ(ledger.bytes(LinkKind::kWirelessUp, PurposeClass::kRecovery),
+            framed_request);
+  // Each arqAck the receiver emitted landed in downlink control, alongside
+  // the (smaller) registration traffic.
+  EXPECT_GT(arq_ack_bytes, 0u);
+  EXPECT_GE(ledger.bytes(LinkKind::kWirelessDown, PurposeClass::kControl),
+            arq_ack_bytes);
+  EXPECT_TRUE(row_empty(ledger.summary(), PurposeClass::kOther));
+}
+
 // Energy drain is monotone in wireless activity, and replication's extra
 // traffic is wired-only: switching it on grows wired recovery bytes but
 // leaves the radio budget essentially untouched.

@@ -98,6 +98,17 @@ class RecordingObserver final : public RdpObserver {
   void on_backup_promoted(SimTime, MssId, MssId, std::size_t) override {
     ++calls["backup_promoted"];
   }
+  void on_reissue_exhausted(SimTime, MhId, RequestId, int) override {
+    ++calls["reissue_exhausted"];
+  }
+  void on_arq_frame_sent(SimTime, MhId, std::uint32_t, std::uint32_t,
+                         std::uint32_t, std::size_t, std::size_t) override {
+    ++calls["arq_frame_sent"];
+  }
+  void on_arq_delivered(SimTime, MhId, std::uint32_t, std::uint32_t,
+                        bool) override {
+    ++calls["arq_delivered"];
+  }
 };
 
 // Invokes every hook on `target` exactly once.  Keep in sync with
@@ -132,6 +143,9 @@ void fire_every_hook(RdpObserver& target) {
   target.on_proxy_restored(t, mh, node_a, proxy);
   target.on_request_reissued(t, mh, request, 2);
   target.on_backup_promoted(t, mss_a, mss_b, 1);
+  target.on_reissue_exhausted(t, mh, request, 3);
+  target.on_arq_frame_sent(t, mh, 1, 0, 1, 1, 4);
+  target.on_arq_delivered(t, mh, 1, 0, false);
 }
 
 // The recorder itself covers the whole interface: the driver above reaches

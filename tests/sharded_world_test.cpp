@@ -130,6 +130,29 @@ TEST(ShardedWorld, CausalOrderAblationRunsSharded) {
   expect_same_result(one, four);
 }
 
+TEST(ShardedWorld, ArqEnabledStaysDeterministic) {
+  // The uplink ARQ channel adds per-Mh timers (RTO) and new wire messages;
+  // none of it may perturb bit-determinism across shard counts.  Wireless
+  // loss forces real retransmissions, so the RTO/backoff paths execute.
+  ExperimentParams params = scenario(0xa49ull);
+  params.rdp.arq.mode = core::ArqMode::kSlidingWindow;
+  params.wireless.uplink_loss = 0.05;
+  params.wireless.downlink_loss = 0.05;
+  params.shards = 1;
+  const ExperimentResult one = run_sharded_rdp_experiment(params);
+  EXPECT_GT(one.counters.at("arq.frames_sent"), 0u);
+  EXPECT_GT(one.counters.at("arq.retransmits"), 0u);
+  EXPECT_EQ(one.invariant_violations, 0u);
+
+  for (int shards : {2, 4, 8}) {
+    params.shards = shards;
+    params.shard_threads = shards > 2 ? 2 : 1;
+    const ExperimentResult many = run_sharded_rdp_experiment(params);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_same_result(one, many);
+  }
+}
+
 TEST(ShardedWorld, PingPongMobilityRunsSharded) {
   // PingPongMobility is stateful per Mh; the sharded runner must give each
   // driver its own instance (a shared one would entangle the Mh streams).
