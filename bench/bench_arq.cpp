@@ -214,6 +214,11 @@ int main(int argc, char** argv) {
 
         const auto run = [&](const char* name,
                              harness::ExperimentParams params) {
+          params.analyzer = options.analyzer;
+          // One JSONL per arm, first sweep cell only (the CI artifact).
+          if (cells.empty()) {
+            params.analyzer_out = options.analyzer_out_for(name);
+          }
           DeadlineTracker tracker;
           ReissueMeter meter;
           params.rdp_world_hook =
@@ -264,6 +269,8 @@ int main(int argc, char** argv) {
   bool backstop_quiet = true;           // demoted watchdog stays silent
   bool nothing_lost = true;             // all arms still deliver eventually
   bool audits_clean = true;
+  bool analyzer_clean = true;           // wire analyzer agrees (with --analyzer)
+  std::uint64_t analyzer_events = 0;
 
   for (const Cell& cell : cells) {
     const ArmResult& wd = cell.arms[0];
@@ -288,6 +295,10 @@ int main(int argc, char** argv) {
     for (const ArmResult& arm : cell.arms) {
       nothing_lost = nothing_lost && arm.result.delivery_ratio >= 0.999;
       audits_clean = audits_clean && arm.result.invariant_violations == 0;
+      analyzer_clean = analyzer_clean &&
+                       arm.result.analyzer_violations == 0 &&
+                       arm.result.analyzer_decode_errors == 0;
+      analyzer_events += arm.result.analyzer_events;
     }
   }
 
@@ -306,6 +317,12 @@ int main(int argc, char** argv) {
   benchutil::claim("every arm still delivers everything eventually",
                    nothing_lost);
   benchutil::claim("zero invariant violations across all runs", audits_clean);
+  if (options.analyzer) {
+    benchutil::claim(
+        "wire analyzer agrees: zero conformance violations and decode errors "
+        "across all arms",
+        analyzer_clean && analyzer_events > 0);
+  }
 
   // --- artifacts ------------------------------------------------------------
   if (options.ledger()) {

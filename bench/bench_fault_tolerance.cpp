@@ -36,6 +36,7 @@
 #include <set>
 #include <vector>
 
+#include "analyzer/analyzer.h"
 #include "bench/bench_util.h"
 #include "fault/fault_injector.h"
 #include "harness/metrics.h"
@@ -49,6 +50,10 @@ using common::Duration;
 
 constexpr int kNumMss = 4;
 constexpr int kNumMh = 8;
+// Set from --analyzer in main(); every world in the sweep (including the
+// mid-hand-off micro) then runs the passive wire analyzer as a second,
+// wire-derived conformance checker.
+bool g_analyzer = false;
 const Duration kWorkloadEnd = Duration::seconds(40);
 // Long enough that waiting out the outage (checkpoint restore happens at
 // restart) costs visibly more than the backup's 300 ms promotion lease —
@@ -131,6 +136,9 @@ struct Outcome {
   std::uint64_t promotions = 0;
   std::uint64_t adopted = 0;
   std::uint64_t ckpt_bytes = 0;
+  std::uint64_t analyzer_violations = 0;
+  std::uint64_t analyzer_events = 0;
+  std::uint64_t analyzer_decode_errors = 0;
   stats::Histogram failover_ms;  // crash of proxy host -> final delivery
 
   void operator+=(const Outcome& other) {
@@ -145,6 +153,9 @@ struct Outcome {
     promotions += other.promotions;
     adopted += other.adopted;
     ckpt_bytes += other.ckpt_bytes;
+    analyzer_violations += other.analyzer_violations;
+    analyzer_events += other.analyzer_events;
+    analyzer_decode_errors += other.analyzer_decode_errors;
     for (const double sample : other.failover_ms.samples()) {
       failover_ms.add(sample);
     }
@@ -202,6 +213,7 @@ Outcome run(std::uint64_t seed, Duration crash_interval, Recovery recovery,
             replication::Mode repl_mode,
             const benchutil::BenchOptions* artifacts = nullptr) {
   harness::ScenarioConfig config = sweep_config(seed, recovery, repl_mode);
+  config.analyzer.enabled = g_analyzer;
   if (artifacts != nullptr) config.telemetry.trace = artifacts->trace();
   harness::World world(config);
   harness::MetricsCollector metrics;
@@ -253,6 +265,19 @@ Outcome run(std::uint64_t seed, Duration crash_interval, Recovery recovery,
     }
   }
   world.run_to_quiescence();
+  std::uint64_t wire_violations = 0, wire_events = 0, wire_decode_errors = 0;
+  if (analyzer::Analyzer* wire = world.wire_analyzer()) {
+    wire->finalize();
+    wire_violations = wire->violations().size();
+    wire_events = wire->events_total();
+    wire_decode_errors = wire->decode_errors();
+    if (artifacts != nullptr && !artifacts->analyzer_path.empty() &&
+        !wire->write_jsonl(artifacts->analyzer_path)) {
+      std::cerr << "FAILED to write analyzer JSONL to "
+                << artifacts->analyzer_path << "\n";
+      benchutil::g_all_ok = false;
+    }
+  }
   if (artifacts != nullptr) {
     // Mirror the fail-over distribution into the registry so the CSV/JSON
     // artifacts carry it (histograms are summarised as gauges: the CSV
@@ -285,6 +310,9 @@ Outcome run(std::uint64_t seed, Duration crash_interval, Recovery recovery,
   if (world.checkpoint_store() != nullptr) {
     outcome.ckpt_bytes = world.checkpoint_store()->bytes_written();
   }
+  outcome.analyzer_violations = wire_violations;
+  outcome.analyzer_events = wire_events;
+  outcome.analyzer_decode_errors = wire_decode_errors;
   outcome.failover_ms = probe.latency_ms;
   return outcome;
 }
@@ -297,6 +325,7 @@ Outcome run(std::uint64_t seed, Duration crash_interval, Recovery recovery,
 // fail-over latency is purely the recovery machinery's reaction time.
 Outcome run_midhandoff(Recovery recovery, replication::Mode repl_mode) {
   harness::ScenarioConfig config = sweep_config(1, recovery, repl_mode);
+  config.analyzer.enabled = g_analyzer;
   config.num_mss = 3;
   config.num_mh = 2;
   config.wired.jitter = Duration::zero();
@@ -338,6 +367,12 @@ Outcome run_midhandoff(Recovery recovery, replication::Mode repl_mode) {
   outcome.promotions = metrics.backup_promotions;
   outcome.adopted = metrics.proxies_adopted;
   outcome.reissued = metrics.requests_reissued;
+  if (analyzer::Analyzer* wire = world.wire_analyzer()) {
+    wire->finalize();
+    outcome.analyzer_violations = wire->violations().size();
+    outcome.analyzer_events = wire->events_total();
+    outcome.analyzer_decode_errors = wire->decode_errors();
+  }
   outcome.failover_ms = probe.latency_ms;
   return outcome;
 }
@@ -356,6 +391,15 @@ int main(int argc, char** argv) {
                                           ? options.replication
                                           : replication::Mode::kSync;
   const bool with_replication = repl_mode != replication::Mode::kOff;
+  g_analyzer = options.analyzer;
+
+  // Analyzer agreement totals across every world in the binary.
+  std::uint64_t wire_violations = 0, wire_events = 0, wire_decode_errors = 0;
+  const auto tally_analyzer = [&](const Outcome& o) {
+    wire_violations += o.analyzer_violations;
+    wire_events += o.analyzer_events;
+    wire_decode_errors += o.analyzer_decode_errors;
+  };
 
   const std::vector<std::uint64_t> seeds{5, 71, 2029};
   const std::vector<Duration> intervals{
@@ -384,6 +428,9 @@ int main(int argc, char** argv) {
                     canonical ? &options : nullptr);
       }
     }
+    tally_analyzer(bare);
+    tally_analyzer(rec);
+    tally_analyzer(repl);
     bare_by_interval.push_back(bare);
     rec_by_interval.push_back(rec);
     if (with_replication) repl_by_interval.push_back(repl);
@@ -420,6 +467,8 @@ int main(int argc, char** argv) {
         run_midhandoff(Recovery::kCheckpoint, repl_mode);
     const Outcome mh_repl =
         run_midhandoff(Recovery::kReplication, repl_mode);
+    tally_analyzer(mh_ckpt);
+    tally_analyzer(mh_repl);
     auto mh_row = [&](const char* mode, const Outcome& o) {
       mh_table.add_row({mode, stats::Table::fmt(o.delivered),
                         stats::Table::fmt(o.lost),
@@ -513,5 +562,11 @@ int main(int argc, char** argv) {
       bare_worst < bare_best);
   benchutil::claim("no-recovery: losses are counted, not silent",
                    bare_counted);
+  if (options.analyzer) {
+    benchutil::claim(
+        "wire analyzer agrees: zero conformance violations and decode "
+        "errors across every crash/recovery world",
+        wire_violations == 0 && wire_decode_errors == 0 && wire_events > 0);
+  }
   return benchutil::finish();
 }

@@ -25,8 +25,11 @@
 #include <thread>
 #include <vector>
 
+#include "analyzer/analyzer.h"
+#include "analyzer/wire_tap.h"
 #include "causal/causal_layer.h"
 #include "causal/vector_clock.h"
+#include "core/messages.h"
 #include "harness/experiment.h"
 #include "harness/world.h"
 #include "net/wired.h"
@@ -273,6 +276,71 @@ void BM_ShardedScenarioThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_ShardedScenarioThroughput)->Arg(1)->Arg(4);
+
+// Per-frame cost of the passive wire analyzer's tap: re-encode for the tap,
+// self-decode, and run the conformance rules.  A registration-complete
+// connection with a rotating request pool keeps the analyzer's state
+// bounded, so this is the steady-state hot-path cost every wireless frame
+// pays when an experiment runs with --analyzer.
+void BM_AnalyzerFrameTap(benchmark::State& state) {
+  analyzer::AnalyzerConfig config;
+  config.enabled = true;
+  config.honor_fatal_env = false;
+  analyzer::Analyzer wire(config);
+  analyzer::WireTap tap(wire);
+  const common::MhId mh(0);
+
+  constexpr int kPool = 64;
+  std::vector<net::PayloadPtr> requests, results, acks;
+  for (int i = 0; i < kPool; ++i) {
+    const common::RequestId request(mh, static_cast<std::uint32_t>(i));
+    requests.push_back(net::make_message<core::MsgUplinkRequest>(
+        request, common::NodeAddress(1), "q", false));
+    results.push_back(net::make_message<core::MsgDownlinkResult>(
+        request, 1, true, "result", 1));
+    acks.push_back(net::make_message<core::MsgUplinkAck>(request, 1));
+  }
+  std::uint64_t t = 0;
+  const auto feed = [&](const net::PayloadPtr& payload, bool uplink,
+                        net::FramePhase phase) {
+    tap.on_wireless_frame(common::SimTime::from_micros(++t), mh, payload,
+                          uplink, phase);
+  };
+  // Register once so the per-frame rules run their normal, satisfied paths.
+  feed(net::make_message<core::MsgJoin>(), true, net::FramePhase::kSent);
+  const auto reg =
+      net::make_message<core::MsgRegistrationAck>(common::MssId(0));
+  feed(reg, false, net::FramePhase::kSent);
+  feed(reg, false, net::FramePhase::kDelivered);
+
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    const std::size_t i = frames / 4 % kPool;
+    feed(requests[i], true, net::FramePhase::kSent);
+    feed(results[i], false, net::FramePhase::kSent);
+    feed(results[i], false, net::FramePhase::kDelivered);
+    feed(acks[i], true, net::FramePhase::kSent);
+    frames += 4;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+}
+BENCHMARK(BM_AnalyzerFrameTap);
+
+// BM_ScenarioThroughput with the analyzer attached: the gap to the plain
+// run is the analyzer's whole-world overhead (perf-smoke logs the same
+// on-vs-off comparison from the experiment binaries).
+void BM_ScenarioThroughputAnalyzer(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    harness::ExperimentParams params = throughput_params();
+    params.analyzer = true;
+    const auto result = harness::run_rdp_experiment(params);
+    benchmark::DoNotOptimize(result.requests_completed);
+    events += result.kernel_events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ScenarioThroughputAnalyzer);
 
 // --- baseline emission / regression gate ------------------------------
 

@@ -233,6 +233,8 @@ int main(int argc, char** argv) {
   base.trace_out = options.trace_path;
   base.metrics_out = options.metrics_path;
   if (options.metrics()) base.metrics_period = Duration::seconds(10);
+  base.analyzer = options.analyzer;
+  base.analyzer_out = options.analyzer_out_for("rdp");
 
   std::vector<Arm> arms;
   arms.push_back({"rdp", harness::run_rdp_experiment(base)});
@@ -240,6 +242,7 @@ int main(int argc, char** argv) {
     harness::ExperimentParams repl = base;
     repl.trace_out.clear();
     repl.metrics_out.clear();
+    repl.analyzer_out = options.analyzer_out_for("repl");
     repl.replication.mode = (options.replication_set &&
                              options.replication != replication::Mode::kOff)
                                 ? options.replication
@@ -250,6 +253,10 @@ int main(int argc, char** argv) {
     harness::ExperimentParams mip = base;
     mip.trace_out.clear();
     mip.metrics_out.clear();
+    // The analyzer's conformance rules describe RDP signaling; the
+    // baseline runner ignores the flag either way.
+    mip.analyzer = false;
+    mip.analyzer_out.clear();
     arms.push_back({"mip", harness::run_baseline_experiment(
                                mip, baseline::BaselineMode::kMobileIp)});
   }
@@ -320,6 +327,16 @@ int main(int argc, char** argv) {
       "RDP's reliability costs bounded wired traffic (< 4x MIP messages)",
       static_cast<double>(arms[0].result.wired_messages) <
           4.0 * static_cast<double>(arms[2].result.wired_messages));
+  if (options.analyzer) {
+    benchutil::claim(
+        "wire analyzer agrees: zero conformance violations, zero decode "
+        "errors on both RDP arms",
+        arms[0].result.analyzer_violations == 0 &&
+            arms[1].result.analyzer_violations == 0 &&
+            arms[0].result.analyzer_decode_errors == 0 &&
+            arms[1].result.analyzer_decode_errors == 0 &&
+            arms[0].result.analyzer_events > 0);
+  }
 
   // --- recovery cost under Mss crashes (replication arm) -------------------
   // Checkpoint/replication recovery is wired-only by design; the only
@@ -341,6 +358,8 @@ int main(int argc, char** argv) {
     params.rdp.max_reissue_attempts = 20;
     params.replication.mode = replication::Mode::kAsync;
     params.energy = energy;
+    params.analyzer = options.analyzer;
+    params.analyzer_out = options.analyzer_out_for("crashes");
 
     fault::FaultPlan plan;
     plan.seed = 11;
@@ -370,6 +389,11 @@ int main(int argc, char** argv) {
         recovery_share(crash) < 0.05);
     benchutil::claim("crashes lose nothing (re-issue + fail-over)",
                      crash.delivery_ratio >= 0.999);
+    if (options.analyzer) {
+      benchutil::claim(
+          "wire analyzer stays clean under Mss crashes + replication",
+          crash.analyzer_violations == 0 && crash.analyzer_events > 0);
+    }
   }
 
   // --- mobility rate x request rate sweep ----------------------------------

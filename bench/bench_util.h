@@ -28,21 +28,40 @@ namespace rdp::benchutil {
 //                       detail) for binaries that run the ledger
 //   --energy-per-byte X wireless transmit cost per byte for the ledger's
 //                       energy model (receive is charged at half this)
+//   --analyzer          run the passive wire analyzer (docs/PROTOCOL.md §12)
+//                       as a second, wire-derived conformance checker on
+//                       the RDP arms; zero violations becomes a claim
+//   --analyzer-out P    write the analyzer's event JSONL; multi-arm benches
+//                       insert the arm name before the extension
 //   --smoke             reduced scenario for CI: keep the claims, shrink
 //                       the sweeps
 struct BenchOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string ledger_path;
+  std::string analyzer_path;
   replication::Mode replication = replication::Mode::kOff;
   bool replication_set = false;  // true when --replication appeared
   double energy_per_byte = 2.0;
+  bool analyzer = false;
   bool smoke = false;
 
   [[nodiscard]] bool trace() const { return !trace_path.empty(); }
   [[nodiscard]] bool metrics() const { return !metrics_path.empty(); }
   [[nodiscard]] bool ledger() const { return !ledger_path.empty(); }
   [[nodiscard]] bool any() const { return trace() || metrics() || ledger(); }
+
+  // Per-arm analyzer JSONL path: "e13.jsonl" + "sliding" ->
+  // "e13.sliding.jsonl" (empty when --analyzer-out was not given).
+  [[nodiscard]] std::string analyzer_out_for(const std::string& arm) const {
+    if (analyzer_path.empty()) return {};
+    const std::size_t dot = analyzer_path.rfind('.');
+    if (dot == std::string::npos || dot == 0) {
+      return analyzer_path + "." + arm;
+    }
+    return analyzer_path.substr(0, dot) + "." + arm +
+           analyzer_path.substr(dot);
+  }
 };
 
 // Maps "off"/"async"/"sync" to a replication::Mode; false on anything else.
@@ -63,7 +82,8 @@ inline bool parse_replication_mode(const std::string& value,
 inline void usage(const char* argv0, std::ostream& os) {
   os << "usage: " << argv0
      << " [--trace out.json] [--metrics out.csv] [--ledger out.csv]"
-        " [--energy-per-byte X] [--replication={off,async,sync}] [--smoke]\n";
+        " [--energy-per-byte X] [--replication={off,async,sync}]"
+        " [--analyzer] [--analyzer-out out.jsonl] [--smoke]\n";
 }
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -97,6 +117,11 @@ inline BenchOptions parse_options(int argc, char** argv) {
       }
     } else if (arg == "--smoke") {
       options.smoke = true;
+    } else if (arg == "--analyzer") {
+      options.analyzer = true;
+    } else if (arg == "--analyzer-out") {
+      options.analyzer_path = value("--analyzer-out");
+      options.analyzer = true;
     } else if (arg == "--replication" || arg.rfind("--replication=", 0) == 0) {
       const std::string mode = arg == "--replication"
                                    ? value("--replication")

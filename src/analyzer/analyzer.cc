@@ -1,0 +1,718 @@
+#include "analyzer/analyzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <tuple>
+
+#include "core/codec.h"
+#include "core/messages.h"
+
+namespace rdp::analyzer {
+namespace {
+
+std::string stamp_ms(common::SimTime at) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", at.to_seconds() * 1e3);
+  return buffer;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// True when a time-sorted sighting list has an entry in (`after`, `upto`].
+// `after` < 0 means "since the beginning".
+bool sighting_in(const std::vector<common::SimTime>& sorted,
+                 std::int64_t after_us, common::SimTime upto) {
+  for (const common::SimTime t : sorted) {
+    if (t.count_micros() <= after_us) continue;
+    return t <= upto;
+  }
+  return false;
+}
+
+}  // namespace
+
+Analyzer::Analyzer(AnalyzerConfig config, obs::MetricsRegistry* registry)
+    : config_(config), registry_(registry) {
+  if (config_.honor_fatal_env) {
+    const char* env = std::getenv("RDP_AUDIT_FATAL");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+      config_.fatal = true;
+    }
+  }
+}
+
+void Analyzer::bump(const char* name, std::uint64_t by) {
+  if (registry_ != nullptr) registry_->counter(name).increment(by);
+}
+
+Analyzer::MhState& Analyzer::mh_state(common::MhId mh) { return mhs_[mh]; }
+
+Analyzer::ProxyState& Analyzer::touch_proxy(common::SimTime at,
+                                            common::NodeAddress host,
+                                            common::ProxyId proxy,
+                                            std::int64_t mh) {
+  auto [it, inserted] = proxies_.try_emplace({host, proxy});
+  ProxyState& state = it->second;
+  if (inserted) {
+    state.first_at = at;
+    state.mh = mh;
+    Event event;
+    event.at = at;
+    event.kind = "lifecycle";
+    event.code = "proxy_observed";
+    event.mh = mh;
+    event.host = host.value();
+    event.proxy = proxy.value();
+    emit(std::move(event));
+  }
+  if (state.mh < 0) state.mh = mh;
+  if (at > state.last_at) state.last_at = at;
+  return state;
+}
+
+void Analyzer::proxy_transition(common::SimTime at, common::NodeAddress host,
+                                common::ProxyId proxy, ProxyState& state,
+                                const std::string& to,
+                                const std::string& detail) {
+  if (state.state == to) return;
+  Event event;
+  event.at = at;
+  event.kind = "lifecycle";
+  event.code = to;
+  event.mh = state.mh;
+  event.host = host.value();
+  event.proxy = proxy.value();
+  event.detail = detail;
+  state.state = to;
+  emit(std::move(event));
+}
+
+void Analyzer::emit(Event event) {
+  if (event.at > last_at_) last_at_ = event.at;
+  events_.push_back(std::move(event));
+  bump("rdp.analyzer.events");
+}
+
+void Analyzer::violate(Event event) {
+  event.kind = "violation";
+  std::string line = "t=" + stamp_ms(event.at) + "ms [" + event.code + "]";
+  if (event.mh >= 0) line += " Mh" + std::to_string(event.mh);
+  if (event.host >= 0) line += " Node" + std::to_string(event.host);
+  if (event.proxy >= 0) line += " Proxy" + std::to_string(event.proxy);
+  if (!event.detail.empty()) line += " " + event.detail;
+  violations_.push_back(line);
+  bump("rdp.analyzer.violations");
+  emit(std::move(event));
+  if (config_.fatal) {
+    std::cerr << "[rdp-analyzer] FATAL conformance violation: "
+              << violations_.back() << "\n";
+    std::abort();
+  }
+}
+
+void Analyzer::require(bool ok_now, std::function<bool()> final_check,
+                       Event event) {
+  if (ok_now) return;
+  bump("rdp.analyzer.parked");
+  parked_.push_back({std::move(event), std::move(final_check)});
+}
+
+void Analyzer::note_opaque(common::SimTime at, bool wired) {
+  (void)wired;
+  if (at > last_at_) last_at_ = at;
+  ++opaque_;
+  bump("rdp.analyzer.opaque");
+}
+
+void Analyzer::on_wired_bytes(common::SimTime at, common::NodeAddress src,
+                              common::NodeAddress dst,
+                              const std::vector<std::uint8_t>& bytes) {
+  ++wired_seen_;
+  bump("rdp.analyzer.wired");
+  if (at > last_at_) last_at_ = at;
+  net::PayloadPtr payload;
+  try {
+    payload = core::decode(bytes);
+  } catch (const net::CodecError& error) {
+    ++decode_errors_;
+    bump("rdp.analyzer.decode_errors");
+    Event event;
+    event.at = at;
+    event.kind = "decode_error";
+    event.code = "decode_error";
+    event.host = src.value();
+    event.detail = std::string("wired ") + std::to_string(bytes.size()) +
+                   "B: " + error.what();
+    emit(std::move(event));
+    return;
+  }
+  handle_wired(at, src, dst, *payload);
+}
+
+void Analyzer::on_wireless_bytes(common::SimTime at, common::MhId mh,
+                                 bool uplink, net::FramePhase phase,
+                                 const std::vector<std::uint8_t>& bytes) {
+  ++frames_seen_;
+  bump("rdp.analyzer.frames");
+  if (at > last_at_) last_at_ = at;
+  net::PayloadPtr payload;
+  try {
+    payload = core::decode(bytes);
+  } catch (const net::CodecError& error) {
+    ++decode_errors_;
+    bump("rdp.analyzer.decode_errors");
+    Event event;
+    event.at = at;
+    event.kind = "decode_error";
+    event.code = "decode_error";
+    event.mh = mh.value();
+    event.detail = std::string(uplink ? "uplink " : "downlink ") +
+                   std::to_string(bytes.size()) + "B: " + error.what();
+    emit(std::move(event));
+    return;
+  }
+  handle_wireless(at, mh, uplink, phase, *payload);
+}
+
+void Analyzer::handle_wireless(common::SimTime at, common::MhId mh,
+                               bool uplink, net::FramePhase phase,
+                               const net::MessageBase& msg) {
+  MhState& st = mh_state(mh);
+  if (phase == net::FramePhase::kSent) {
+    if (uplink) {
+      ++st.frames_up;
+    } else {
+      ++st.frames_down;
+    }
+  }
+
+  if (const auto* arq = dynamic_cast<const core::MsgArqData*>(&msg)) {
+    if (uplink && phase == net::FramePhase::kSent) {
+      ++st.arq_frames;
+      if (arq->attempt > 1) ++st.arq_retransmits;
+      if (arq->epoch < st.max_epoch) {
+        Event event;
+        event.at = at;
+        event.code = "arq_epoch_regression";
+        event.mh = mh.value();
+        event.detail = "epoch " + std::to_string(arq->epoch) +
+                       " after epoch " + std::to_string(st.max_epoch);
+        violate(std::move(event));
+      }
+      auto [eit, fresh] = st.epochs.try_emplace(arq->epoch);
+      EpochState& ep = eit->second;
+      if (fresh) {
+        ep.first_at = at;
+        if (arq->epoch > st.max_epoch) st.max_epoch = arq->epoch;
+        // §11: a new sender epoch opens only when a registrationAck is
+        // actually delivered to an unregistered Mh, so some registrationAck
+        // delivery must separate consecutive epochs (and precede the first).
+        std::int64_t prev_first_us = -1;
+        if (eit != st.epochs.begin()) {
+          prev_first_us = std::prev(eit)->second.first_at.count_micros();
+        }
+        Event event;
+        event.at = at;
+        event.code = "arq_epoch_without_registration";
+        event.mh = mh.value();
+        event.detail = "epoch " + std::to_string(arq->epoch) +
+                       " opened with no registrationAck delivery since the "
+                       "previous epoch";
+        require(sighting_in(st.reg_ack_delivered, prev_first_us, at),
+                [this, mh, prev_first_us, at] {
+                  return sighting_in(mhs_[mh].reg_ack_delivered, prev_first_us,
+                                     at);
+                },
+                std::move(event));
+      }
+      auto ait = ep.attempts.find(arq->seq);
+      if (ait == ep.attempts.end()) {
+        // First transmission of a seq: §11 senders emit 0,1,2,... in order
+        // within an epoch (retransmits may interleave, new seqs may not).
+        if (arq->seq != ep.next_seq) {
+          Event event;
+          event.at = at;
+          event.code = "arq_seq_gap";
+          event.mh = mh.value();
+          event.detail = "epoch " + std::to_string(arq->epoch) +
+                         ": first sighting of seq " +
+                         std::to_string(arq->seq) + ", expected " +
+                         std::to_string(ep.next_seq);
+          violate(std::move(event));
+        }
+        ep.next_seq = std::max(ep.next_seq, arq->seq + 1);
+        ep.attempts[arq->seq] = arq->attempt;
+      } else {
+        // Retransmit: the attempt counter never moves backwards.
+        if (arq->attempt <= ait->second) {
+          Event event;
+          event.at = at;
+          event.code = "arq_attempt_regression";
+          event.mh = mh.value();
+          event.detail = "epoch " + std::to_string(arq->epoch) + " seq " +
+                         std::to_string(arq->seq) + ": attempt " +
+                         std::to_string(arq->attempt) + " after attempt " +
+                         std::to_string(ait->second);
+          violate(std::move(event));
+        }
+        ait->second = std::max(ait->second, arq->attempt);
+      }
+      if (ep.next_seq > ep.cum) {
+        st.max_inflight_estimate =
+            std::max(st.max_inflight_estimate, ep.next_seq - ep.cum);
+      }
+    }
+    if (arq->inner != nullptr) {
+      handle_uplink_content(at, mh, phase, *arq->inner);
+    }
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const core::MsgArqAck*>(&msg)) {
+    if (!uplink && phase == net::FramePhase::kSent) {
+      // §11: the receiver only acknowledges frames it has seen, so the
+      // cumulative ack and every SACK bit must stay within the seq range
+      // this epoch has transmitted.  Checked leniently through the parking
+      // mechanism: with zero-latency links the merged replay can order an
+      // ack before the same-instant data frame it acknowledges.
+      const std::uint32_t epoch = ack->epoch;
+      const std::uint32_t cum = ack->cum_next;
+      const std::uint64_t sack = ack->sack;
+      if (cum == 0 && sack == 0) return;  // acknowledges nothing
+      std::uint32_t highest = cum == 0 ? 0 : cum - 1;
+      for (int bit = 63; bit >= 0; --bit) {
+        if ((sack >> bit) & 1u) {
+          highest = cum + 1 + static_cast<std::uint32_t>(bit);
+          break;
+        }
+      }
+      const auto within = [](const MhState& state, std::uint32_t e,
+                             std::uint32_t top) {
+        const auto it = state.epochs.find(e);
+        return it != state.epochs.end() && it->second.next_seq > 0 &&
+               top <= it->second.next_seq - 1;
+      };
+      Event event;
+      event.at = at;
+      event.code = "arq_ack_beyond_sent";
+      event.mh = mh.value();
+      event.detail = "epoch " + std::to_string(epoch) + ": ack covers seq " +
+                     std::to_string(highest == 0 ? 0 : highest) +
+                     " (cum_next " + std::to_string(cum) + ", sack 0x" +
+                     [sack] {
+                       char buffer[24];
+                       std::snprintf(buffer, sizeof(buffer), "%llx",
+                                     static_cast<unsigned long long>(sack));
+                       return std::string(buffer);
+                     }() +
+                     ") beyond anything transmitted";
+      require(within(st, epoch, highest),
+              [this, mh, epoch, highest, within] {
+                return within(mhs_[mh], epoch, highest);
+              },
+              std::move(event));
+      auto it = st.epochs.find(epoch);
+      if (it != st.epochs.end() && cum > it->second.cum) {
+        it->second.cum = cum;
+      }
+    }
+    return;
+  }
+
+  if (const auto* reg = dynamic_cast<const core::MsgRegistrationAck*>(&msg)) {
+    if (!uplink && phase == net::FramePhase::kSent) {
+      // §3: an Mss only registers an Mh it has heard from, so every
+      // registrationAck must be preceded by a join or greet from that Mh.
+      Event event;
+      event.at = at;
+      event.code = "reg_ack_without_registration";
+      event.mh = mh.value();
+      event.detail = "registrationAck from Mss" + std::to_string(
+                         reg->mss.value()) +
+                     " with no prior join/greet on the air";
+      require(!st.join_greet_sent.empty() && st.join_greet_sent.front() <= at,
+              [this, mh, at] {
+                const MhState& state = mhs_[mh];
+                return !state.join_greet_sent.empty() &&
+                       state.join_greet_sent.front() <= at;
+              },
+              std::move(event));
+    }
+    if (!uplink && phase == net::FramePhase::kDelivered) {
+      st.reg_ack_delivered.push_back(at);
+      ++st.registrations;
+      st.current_mss = reg->mss.value();
+      Event event;
+      event.at = at;
+      event.kind = "lifecycle";
+      event.code = "mh_registered";
+      event.mh = mh.value();
+      event.detail = "Mss" + std::to_string(reg->mss.value());
+      emit(std::move(event));
+    }
+    return;
+  }
+
+  if (const auto* result = dynamic_cast<const core::MsgDownlinkResult*>(&msg)) {
+    if (!uplink && phase == net::FramePhase::kSent) {
+      // §4: results flow only for requests the Mh actually put on the air.
+      const common::RequestId request = result->request;
+      Event event;
+      event.at = at;
+      event.code = "result_without_request";
+      event.mh = mh.value();
+      event.detail = request.str() + " seq " +
+                     std::to_string(result->result_seq) +
+                     " delivered downlink but the request was never seen "
+                     "uplink";
+      const auto sent_before = [](const MhState& state,
+                                  common::RequestId r, common::SimTime upto) {
+        const auto it = state.requests_sent.find(r);
+        return it != state.requests_sent.end() && it->second <= upto;
+      };
+      require(sent_before(st, request, at),
+              [this, mh, request, at, sent_before] {
+                return sent_before(mhs_[mh], request, at);
+              },
+              std::move(event));
+    }
+    if (!uplink && phase == net::FramePhase::kDelivered) {
+      ++st.results_delivered;
+      if (!st.delivered_results.emplace(result->request, result->result_seq)
+               .second) {
+        ++st.duplicate_results;
+      }
+    }
+    return;
+  }
+
+  if (uplink) handle_uplink_content(at, mh, phase, msg);
+}
+
+void Analyzer::handle_uplink_content(common::SimTime at, common::MhId mh,
+                                     net::FramePhase phase,
+                                     const net::MessageBase& msg) {
+  if (phase != net::FramePhase::kSent) return;
+  MhState& st = mh_state(mh);
+  if (dynamic_cast<const core::MsgJoin*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgGreet*>(&msg) != nullptr) {
+    st.join_greet_sent.push_back(at);
+    return;
+  }
+  if (const auto* request = dynamic_cast<const core::MsgUplinkRequest*>(&msg)) {
+    st.requests_sent.try_emplace(request->request, at);
+    return;
+  }
+  if (const auto* ack = dynamic_cast<const core::MsgUplinkAck*>(&msg)) {
+    st.uplink_acks_sent.try_emplace({ack->request, ack->result_seq}, at);
+    return;
+  }
+}
+
+void Analyzer::handle_wired(common::SimTime at, common::NodeAddress src,
+                            common::NodeAddress dst,
+                            const net::MessageBase& msg) {
+  if (const auto* fwd = dynamic_cast<const core::MsgForwardRequest*>(&msg)) {
+    ProxyState& proxy = touch_proxy(at, dst, fwd->proxy, fwd->mh.value());
+    ++proxy.requests;
+    proxy_transition(at, dst, fwd->proxy, proxy, "serving", fwd->request.str());
+    return;
+  }
+  if (const auto* result = dynamic_cast<const core::MsgResultForward*>(&msg)) {
+    ProxyState& proxy =
+        touch_proxy(at, result->proxy_host, result->proxy, result->mh.value());
+    ++proxy.results;
+    if (result->del_pref) {
+      mh_state(result->mh).rkpr_armed.push_back(at);
+      if (!proxy.rkpr_announced) {
+        proxy.rkpr_announced = true;
+        Event event;
+        event.at = at;
+        event.kind = "lifecycle";
+        event.code = "rkpr_armed";
+        event.mh = result->mh.value();
+        event.host = result->proxy_host.value();
+        event.proxy = result->proxy.value();
+        event.detail = result->request.str();
+        emit(std::move(event));
+      }
+    }
+    return;
+  }
+  if (const auto* del = dynamic_cast<const core::MsgDelPref*>(&msg)) {
+    ProxyState& proxy =
+        touch_proxy(at, del->proxy_host, del->proxy, del->mh.value());
+    mh_state(del->mh).rkpr_armed.push_back(at);
+    if (!proxy.rkpr_announced) {
+      proxy.rkpr_announced = true;
+      Event event;
+      event.at = at;
+      event.kind = "lifecycle";
+      event.code = "rkpr_armed";
+      event.mh = del->mh.value();
+      event.host = del->proxy_host.value();
+      event.proxy = del->proxy.value();
+      event.detail = "standalone del-pref";
+      emit(std::move(event));
+    }
+    return;
+  }
+  if (const auto* ack = dynamic_cast<const core::MsgAckForward*>(&msg)) {
+    MhState& st = mh_state(ack->mh);
+    ProxyState& proxy = touch_proxy(at, dst, ack->proxy, ack->mh.value());
+    ++proxy.acks;
+    {
+      // §5: the respMss relays an Ack only after the Mh acknowledged the
+      // result over the air — the rule an internally-suppressed hook
+      // cannot hide from, because both sightings are raw wire bytes.
+      const common::RequestId request = ack->request;
+      const std::uint32_t seq = ack->result_seq;
+      Event event;
+      event.at = at;
+      event.code = "ack_forward_without_uplink_ack";
+      event.mh = ack->mh.value();
+      event.host = dst.value();
+      event.proxy = ack->proxy.value();
+      event.detail = "ackForward for " + request.str() + " seq " +
+                     std::to_string(seq) +
+                     " with no matching uplink Ack on the air";
+      const auto acked = [](const MhState& state, common::RequestId r,
+                            std::uint32_t s, common::SimTime upto) {
+        const auto it = state.uplink_acks_sent.find({r, s});
+        return it != state.uplink_acks_sent.end() && it->second <= upto;
+      };
+      require(acked(st, request, seq, at),
+              [this, mh = ack->mh, request, seq, at, acked] {
+                return acked(mhs_[mh], request, seq, at);
+              },
+              std::move(event));
+    }
+    if (ack->del_proxy) {
+      // §6: del_proxy rides the final Ack only after RKpR was armed, and
+      // every arming path (del-pref result, standalone del-pref, deregAck
+      // carrying pref.rkpr) is wired-visible whenever this Ack is.
+      Event event;
+      event.at = at;
+      event.code = "del_proxy_without_rkpr";
+      event.mh = ack->mh.value();
+      event.host = dst.value();
+      event.proxy = ack->proxy.value();
+      event.detail = "del_proxy granted on " + ack->request.str() +
+                     " with no RKpR arming seen on the wire";
+      require(!st.rkpr_armed.empty() && st.rkpr_armed.front() <= at,
+              [this, mh = ack->mh, at] {
+                const MhState& state = mhs_[mh];
+                return !state.rkpr_armed.empty() &&
+                       state.rkpr_armed.front() <= at;
+              },
+              std::move(event));
+      proxy_transition(at, dst, ack->proxy, proxy, "teardown_authorized",
+                       ack->request.str());
+    }
+    return;
+  }
+  if (const auto* dereg = dynamic_cast<const core::MsgDereg*>(&msg)) {
+    ++mh_state(dereg->mh).handoffs;
+    return;
+  }
+  if (const auto* dereg_ack = dynamic_cast<const core::MsgDeregAck*>(&msg)) {
+    if (dereg_ack->pref.has_proxy()) {
+      ProxyState& proxy =
+          touch_proxy(at, dereg_ack->pref.proxy_host, dereg_ack->pref.proxy,
+                      dereg_ack->mh.value());
+      proxy_transition(at, dereg_ack->pref.proxy_host, dereg_ack->pref.proxy,
+                       proxy, "pref_transferred",
+                       "to Node" + std::to_string(dst.value()));
+      if (dereg_ack->pref.rkpr) {
+        mh_state(dereg_ack->mh).rkpr_armed.push_back(at);
+      }
+    }
+    return;
+  }
+  if (const auto* update =
+          dynamic_cast<const core::MsgUpdateCurrentLoc*>(&msg)) {
+    touch_proxy(at, dst, update->proxy, update->mh.value());
+    ++mh_state(update->mh).update_locs;
+    return;
+  }
+  if (const auto* restore = dynamic_cast<const core::MsgPrefRestore*>(&msg)) {
+    ProxyState& proxy = touch_proxy(at, restore->proxy_host, restore->proxy,
+                                    restore->mh.value());
+    proxy_transition(at, restore->proxy_host, restore->proxy, proxy,
+                     "restore_requested", "");
+    return;
+  }
+  if (const auto* gone = dynamic_cast<const core::MsgProxyGone*>(&msg)) {
+    ProxyState& proxy = touch_proxy(at, src, gone->proxy, gone->mh.value());
+    proxy_transition(at, src, gone->proxy, proxy, "gone",
+                     gone->had_request ? gone->request.str() : "");
+    return;
+  }
+  if (const auto* resume = dynamic_cast<const core::MsgTransferResume*>(&msg)) {
+    ProxyState& proxy =
+        touch_proxy(at, resume->old_host, resume->old_proxy,
+                    resume->mh.value());
+    proxy_transition(at, resume->old_host, resume->old_proxy, proxy,
+                     "transfer_resume", "");
+    return;
+  }
+  if (const auto* repair = dynamic_cast<const core::MsgPrefRepair*>(&msg)) {
+    ProxyState& proxy = touch_proxy(at, repair->new_host, repair->new_proxy,
+                                    repair->mh.value());
+    proxy_transition(at, repair->new_host, repair->new_proxy, proxy,
+                     "repaired", "from Node" +
+                         std::to_string(repair->old_host.value()));
+    return;
+  }
+  if (const auto* server_req = dynamic_cast<const core::MsgServerRequest*>(
+          &msg)) {
+    touch_proxy(at, server_req->reply_to, server_req->proxy, -1);
+    ++server_messages_;
+    return;
+  }
+  if (const auto* server_res =
+          dynamic_cast<const core::MsgServerResult*>(&msg)) {
+    touch_proxy(at, dst, server_res->proxy, -1);
+    ++server_messages_;
+    return;
+  }
+  if (dynamic_cast<const core::MsgServerUnsubscribe*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgServerAck*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgForwardUnsubscribe*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgPrefRepairNack*>(&msg) != nullptr) {
+    ++server_messages_;
+    return;
+  }
+  if (dynamic_cast<const core::MsgReplicaUpdate*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgReplicaErase*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgReplicaHeartbeat*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgReplicaResync*>(&msg) != nullptr) {
+    ++replica_messages_;
+    return;
+  }
+}
+
+void Analyzer::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  for (Parked& parked : parked_) {
+    if (!parked.resolved()) violate(std::move(parked.event));
+  }
+  parked_.clear();
+
+  for (const auto& [mh, st] : mhs_) {
+    Event event;
+    event.at = last_at_;
+    event.kind = "summary";
+    event.code = "mh_connection";
+    event.mh = mh.value();
+    event.host = st.current_mss;
+    event.detail =
+        "requests=" + std::to_string(st.requests_sent.size()) +
+        " results_delivered=" + std::to_string(st.results_delivered) +
+        " duplicates=" + std::to_string(st.duplicate_results) +
+        " registrations=" + std::to_string(st.registrations) +
+        " handoffs=" + std::to_string(st.handoffs) +
+        " update_locs=" + std::to_string(st.update_locs) +
+        " frames_up=" + std::to_string(st.frames_up) +
+        " frames_down=" + std::to_string(st.frames_down) +
+        " arq_epochs=" + std::to_string(st.epochs.size()) +
+        " arq_frames=" + std::to_string(st.arq_frames) +
+        " arq_retransmits=" + std::to_string(st.arq_retransmits) +
+        " arq_max_inflight=" + std::to_string(st.max_inflight_estimate);
+    emit(std::move(event));
+  }
+  for (const auto& [key, proxy] : proxies_) {
+    Event event;
+    event.at = last_at_;
+    event.kind = "summary";
+    event.code = "proxy_connection";
+    event.mh = proxy.mh;
+    event.host = key.first.value();
+    event.proxy = key.second.value();
+    event.detail = "state=" + proxy.state +
+                   " requests=" + std::to_string(proxy.requests) +
+                   " results=" + std::to_string(proxy.results) +
+                   " acks=" + std::to_string(proxy.acks) +
+                   " first_ms=" + stamp_ms(proxy.first_at) +
+                   " last_ms=" + stamp_ms(proxy.last_at);
+    emit(std::move(event));
+  }
+
+  if (registry_ != nullptr) {
+    std::uint32_t max_inflight = 0;
+    for (const auto& [mh, st] : mhs_) {
+      max_inflight = std::max(max_inflight, st.max_inflight_estimate);
+    }
+    registry_->gauge("rdp.analyzer.arq_max_inflight_estimate")
+        .set(static_cast<double>(max_inflight));
+  }
+
+  // Canonical order: the verdict is already replay-order independent (the
+  // sighting sets are), so sorting makes the *artifacts* byte-identical
+  // for every shard count too.
+  const auto key = [](const Event& e) {
+    return std::tie(e.at, e.kind, e.code, e.mh, e.host, e.proxy, e.detail);
+  };
+  std::stable_sort(events_.begin(), events_.end(),
+                   [&key](const Event& a, const Event& b) {
+                     return key(a) < key(b);
+                   });
+  std::stable_sort(violations_.begin(), violations_.end());
+}
+
+void Analyzer::write_jsonl(std::ostream& os) {
+  finalize();
+  for (const Event& event : events_) {
+    os << "{\"t_ms\": " << stamp_ms(event.at) << ", \"kind\": \""
+       << event.kind << "\", \"code\": \"" << event.code << "\"";
+    if (event.mh >= 0) os << ", \"mh\": " << event.mh;
+    if (event.host >= 0) os << ", \"host\": " << event.host;
+    if (event.proxy >= 0) os << ", \"proxy\": " << event.proxy;
+    if (!event.detail.empty()) {
+      os << ", \"detail\": \"";
+      json_escape(os, event.detail);
+      os << "\"";
+    }
+    os << "}\n";
+  }
+}
+
+bool Analyzer::write_jsonl(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_jsonl(os);
+  return static_cast<bool>(os);
+}
+
+void Analyzer::write_report(std::ostream& os) const {
+  os << "[rdp-analyzer] " << frames_seen_ << " frames, " << wired_seen_
+     << " wired sends, " << decode_errors_ << " decode errors, " << opaque_
+     << " opaque payloads, " << violations_.size() << " violations\n";
+  for (const std::string& violation : violations_) {
+    os << "  " << violation << "\n";
+  }
+}
+
+}  // namespace rdp::analyzer

@@ -1,0 +1,197 @@
+// Passive wire-protocol analyzer: per-connection decoding with online
+// conformance checking (Zeek-style, docs/PROTOCOL.md §12).
+//
+// The InvariantAuditor (obs/) watches hook callbacks the implementation
+// itself emits, so a bug that mis-fires a hook can hide from its own
+// auditor.  The analyzer is the independent second checker: it re-derives
+// protocol state purely from the bytes a WireTap observes on the two
+// networks — it never reads internal host or proxy state — and
+// cross-checks what it reconstructs against the state machines of
+// PROTOCOL.md §§2–8 and §11:
+//
+//   * per-proxy lifecycle   — created/serving/hand-off/transfer/teardown,
+//                             reconstructed from the wired Mss<->proxy
+//                             signaling (visible whenever it crosses
+//                             hosts; co-located messages never hit a wire
+//                             and are deliberately out of scope),
+//   * per-Mh registration   — join/greet/registrationAck epochs, current
+//                             cell, hand-off counts,
+//   * per-Mh ARQ windows    — §11 seq/SACK consistency, epoch resets and
+//                             retransmit accounting rebuilt from the
+//                             MsgArqData/MsgArqAck frames alone.
+//
+// Everything it learns becomes structured JSONL events (conformance
+// violations, lifecycle transitions, per-connection summaries) plus
+// `rdp.analyzer.*` metrics, with `RDP_AUDIT_FATAL` escalation exactly
+// like the auditor.  Malformed buffers become `decode_error` events,
+// never a crash.
+//
+// Determinism: sightings are kept as order-insensitive sets and every
+// cross-stream precondition that is not yet satisfied is *parked* and
+// re-checked against the final state in finalize(), so the verdict does
+// not depend on the interleaving of the wired and wireless replay
+// streams (the shard-tap merger replays wired sends before frames within
+// each barrier window).  Events are canonically sorted before export, so
+// sharded runs produce byte-identical JSONL for any shard count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/message.h"
+#include "net/wireless.h"
+#include "obs/metrics_registry.h"
+
+namespace rdp::analyzer {
+
+struct AnalyzerConfig {
+  // Read by the harness configs (World/ShardedWorld build the tap chain
+  // only when enabled).
+  bool enabled = false;
+  // Abort the process on the first confirmed conformance violation.
+  bool fatal = false;
+  // RDP_AUDIT_FATAL=1 in the environment forces `fatal` (same escalation
+  // contract as obs::InvariantAuditor).
+  bool honor_fatal_env = true;
+};
+
+// One structured analyzer event; exported as a JSONL line (§12.2).
+struct Event {
+  common::SimTime at;
+  std::string kind;  // "violation" | "lifecycle" | "decode_error" | "summary"
+  std::string code;  // violation code / transition name / summary type
+  std::int64_t mh = -1;     // mobile-host id when applicable
+  std::int64_t host = -1;   // wired node address when applicable
+  std::int64_t proxy = -1;  // proxy id when applicable
+  std::string detail;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerConfig config = {},
+                    obs::MetricsRegistry* registry = nullptr);
+
+  // Raw bytes as they appear on the wired network (Envelope.sent_at, src,
+  // dst) — the analyzer decodes them itself.
+  void on_wired_bytes(common::SimTime at, common::NodeAddress src,
+                      common::NodeAddress dst,
+                      const std::vector<std::uint8_t>& bytes);
+  // Raw bytes of one wireless frame.  kSent fires for every transmission
+  // attempt (before the loss draw), kDelivered only for survivors — so
+  // kSent sightings are the superset used for causality preconditions and
+  // kDelivered carries the actual-delivery facts.
+  void on_wireless_bytes(common::SimTime at, common::MhId mh, bool uplink,
+                         net::FramePhase phase,
+                         const std::vector<std::uint8_t>& bytes);
+  // A tapped payload the WireTap could not re-encode into core wire bytes
+  // (non-core wrapper): counted, not decoded.
+  void note_opaque(common::SimTime at, bool wired);
+
+  // Resolve parked cross-stream preconditions against the final sighting
+  // sets and emit per-connection summaries.  Idempotent; write_jsonl()
+  // calls it automatically.
+  void finalize();
+
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+  [[nodiscard]] std::uint64_t events_total() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t decode_errors() const { return decode_errors_; }
+  [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+  [[nodiscard]] std::uint64_t wired_seen() const { return wired_seen_; }
+  [[nodiscard]] std::uint64_t opaque_seen() const { return opaque_; }
+
+  // Canonically sorted JSONL export; returns false when the file cannot
+  // be opened.  Finalizes first.
+  bool write_jsonl(const std::string& path);
+  void write_jsonl(std::ostream& os);
+  // Human-readable violation report (mirrors the auditor's).
+  void write_report(std::ostream& os) const;
+
+ private:
+  // Reconstructed §11 sender window for one (Mh, epoch).
+  struct EpochState {
+    common::SimTime first_at;
+    std::uint32_t next_seq = 0;  // next expected first transmission
+    std::uint32_t cum = 0;       // highest cumulative ack seen
+    std::map<std::uint32_t, std::uint32_t> attempts;  // seq -> last attempt
+  };
+  struct MhState {
+    // Time-ordered kSent/kDelivered sighting lists (replay streams are
+    // time-sorted per class, so push_back keeps them sorted).
+    std::vector<common::SimTime> join_greet_sent;
+    std::vector<common::SimTime> reg_ack_delivered;
+    std::vector<common::SimTime> rkpr_armed;  // del-pref announcements seen
+    std::map<common::RequestId, common::SimTime> requests_sent;
+    std::map<std::pair<common::RequestId, std::uint32_t>, common::SimTime>
+        uplink_acks_sent;
+    std::map<std::uint32_t, EpochState> epochs;
+    std::uint32_t max_epoch = 0;
+    // Connection-summary counters.
+    std::uint64_t frames_up = 0, frames_down = 0;
+    std::uint64_t arq_frames = 0, arq_retransmits = 0;
+    std::uint64_t results_delivered = 0, duplicate_results = 0;
+    std::uint64_t registrations = 0, handoffs = 0, update_locs = 0;
+    std::uint32_t max_inflight_estimate = 0;
+    std::int64_t current_mss = -1;
+    std::set<std::pair<common::RequestId, std::uint32_t>> delivered_results;
+  };
+  struct ProxyState {
+    common::SimTime first_at;
+    common::SimTime last_at;
+    std::int64_t mh = -1;
+    std::string state = "observed";
+    std::uint64_t results = 0, acks = 0, requests = 0;
+    bool rkpr_announced = false;
+  };
+  struct Parked {
+    Event event;                      // the violation if never resolved
+    std::function<bool()> resolved;   // re-checked against final state
+  };
+
+  MhState& mh_state(common::MhId mh);
+  ProxyState& touch_proxy(common::SimTime at, common::NodeAddress host,
+                          common::ProxyId proxy, std::int64_t mh);
+  void proxy_transition(common::SimTime at, common::NodeAddress host,
+                        common::ProxyId proxy, ProxyState& state,
+                        const std::string& to, const std::string& detail);
+
+  void handle_wireless(common::SimTime at, common::MhId mh, bool uplink,
+                       net::FramePhase phase, const net::MessageBase& msg);
+  void handle_uplink_content(common::SimTime at, common::MhId mh,
+                             net::FramePhase phase,
+                             const net::MessageBase& msg);
+  void handle_wired(common::SimTime at, common::NodeAddress src,
+                    common::NodeAddress dst, const net::MessageBase& msg);
+
+  // Cross-stream precondition: pass when `ok_now`; otherwise park the
+  // would-be violation and re-run `final_check` in finalize().
+  void require(bool ok_now, std::function<bool()> final_check, Event event);
+  void violate(Event event);
+  void emit(Event event);
+  void bump(const char* name, std::uint64_t by = 1);
+
+  AnalyzerConfig config_;
+  obs::MetricsRegistry* registry_;
+  std::map<common::MhId, MhState> mhs_;
+  std::map<std::pair<common::NodeAddress, common::ProxyId>, ProxyState>
+      proxies_;
+  std::vector<Event> events_;
+  std::vector<std::string> violations_;
+  std::vector<Parked> parked_;
+  common::SimTime last_at_;
+  std::uint64_t frames_seen_ = 0, wired_seen_ = 0, decode_errors_ = 0,
+                opaque_ = 0, replica_messages_ = 0, server_messages_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace rdp::analyzer

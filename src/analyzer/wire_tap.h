@@ -1,0 +1,67 @@
+// WireTap: feeds the passive analyzer the raw bytes of everything that
+// crosses the two networks.
+//
+// Generalizes the cost-ledger taps: `attach()` subscribes to
+// WiredNetwork send observers and WirelessChannel frame observers (live,
+// single-kernel worlds), while the raw `on_wired_send` /
+// `on_wireless_frame` entry points let the shard-tap merger replay the
+// same sightings at barrier boundaries in sharded runs.
+//
+// Independence is the point: the tap *re-encodes* every payload with the
+// production codec and hands the analyzer bytes, never object state.  The
+// analyzer then decodes those bytes itself, so its entire view of the
+// protocol is what a passive observer of the wire format would see.
+// Payloads outside the core codec (e.g. causal-order wrappers) are
+// unwrapped once and retried; if still unencodable they are counted as
+// opaque and skipped.  ARQ frames are never unwrapped — the epoch/seq/
+// attempt header is exactly what the §11 window reconstruction needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/message.h"
+#include "net/wired.h"
+#include "net/wireless.h"
+#include "sim/simulator.h"
+
+namespace rdp::analyzer {
+
+class WireTap {
+ public:
+  explicit WireTap(Analyzer& analyzer) : analyzer_(analyzer) {}
+
+  // Live taps for single-kernel worlds; the simulator supplies frame
+  // timestamps (wired envelopes already carry sent_at).
+  void attach(net::WiredNetwork& wired);
+  void attach(net::WirelessChannel& wireless, const sim::Simulator& sim);
+
+  // Raw entry points — also the sinks for sharded barrier replay.
+  void on_wired_send(const net::Envelope& envelope);
+  void on_wireless_frame(common::SimTime at, common::MhId mh,
+                         const net::PayloadPtr& payload, bool uplink,
+                         net::FramePhase phase);
+
+  // Test seam: return true to hide a frame from the analyzer while the
+  // system still processes it — a deliberate tap blind spot used to prove
+  // the analyzer notices protocol activity whose wireless evidence is
+  // missing (see analyzer_test).
+  using FrameFilter =
+      std::function<bool(common::MhId, const net::PayloadPtr&, bool uplink)>;
+  void set_frame_filter(FrameFilter filter) { filter_ = std::move(filter); }
+
+ private:
+  // Re-encode a payload into core wire bytes; false (with `out` empty)
+  // when the payload is opaque to the core codec even after one unwrap.
+  bool encode_for_tap(const net::PayloadPtr& payload,
+                      std::vector<std::uint8_t>& out) const;
+
+  Analyzer& analyzer_;
+  FrameFilter filter_;
+};
+
+}  // namespace rdp::analyzer

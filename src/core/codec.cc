@@ -1,5 +1,7 @@
 #include "core/codec.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace rdp::core {
@@ -76,7 +78,11 @@ ProxyCheckpoint get_checkpoint(Reader& reader) {
   record.mh = get_mh(reader);
   record.current_loc = get_node(reader);
   const std::uint32_t num_requests = reader.u32();
-  record.requests.reserve(num_requests);
+  // Counts come off the wire: cap the reserve by what the buffer could
+  // possibly hold so a corrupt count raises CodecError underflow below
+  // instead of a multi-GB allocation here.
+  record.requests.reserve(
+      std::min<std::size_t>(num_requests, reader.remaining()));
   for (std::uint32_t i = 0; i < num_requests; ++i) {
     ProxyCheckpoint::Request request;
     request.request = get_request(reader);
@@ -85,7 +91,8 @@ ProxyCheckpoint get_checkpoint(Reader& reader) {
     request.stream = reader.boolean();
     request.del_pref_announced = reader.boolean();
     const std::uint32_t num_results = reader.u32();
-    request.unacked.reserve(num_results);
+    request.unacked.reserve(
+        std::min<std::size_t>(num_results, reader.remaining()));
     for (std::uint32_t j = 0; j < num_results; ++j) {
       ProxyCheckpoint::Result result;
       result.seq = reader.u32();
@@ -289,7 +296,16 @@ std::vector<std::uint8_t> encode(const net::MessageBase& message) {
   return writer.bytes();
 }
 
-net::PayloadPtr decode(const std::vector<std::uint8_t>& buffer) {
+namespace {
+
+// The sender never nests ArqData (the ARQ channel wraps bare uplink
+// messages exactly once), but the decoder must survive hostile bytes: an
+// unbounded recursive decode turns a small crafted buffer into a stack
+// overflow.  Anything deeper than this is corrupt by construction.
+constexpr int kMaxArqNesting = 4;
+
+net::PayloadPtr decode_impl(const std::vector<std::uint8_t>& buffer,
+                            int depth) {
   Reader reader(buffer);
   const auto tag = static_cast<MessageTag>(reader.u8());
   net::PayloadPtr payload;
@@ -499,12 +515,15 @@ net::PayloadPtr decode(const std::vector<std::uint8_t>& buffer) {
       break;
     }
     case MessageTag::kArqData: {
+      if (depth >= kMaxArqNesting) {
+        throw net::CodecError("ARQ nesting too deep");
+      }
       const std::uint32_t epoch = reader.u32();
       const std::uint32_t seq = reader.u32();
       const std::uint32_t attempt = reader.u32();
       const std::string nested = reader.str();
-      net::PayloadPtr inner =
-          decode(std::vector<std::uint8_t>(nested.begin(), nested.end()));
+      net::PayloadPtr inner = decode_impl(
+          std::vector<std::uint8_t>(nested.begin(), nested.end()), depth + 1);
       payload =
           net::make_message<MsgArqData>(epoch, seq, attempt, std::move(inner));
       break;
@@ -521,6 +540,12 @@ net::PayloadPtr decode(const std::vector<std::uint8_t>& buffer) {
   }
   if (!reader.done()) throw net::CodecError("trailing bytes after message");
   return payload;
+}
+
+}  // namespace
+
+net::PayloadPtr decode(const std::vector<std::uint8_t>& buffer) {
+  return decode_impl(buffer, 0);
 }
 
 }  // namespace rdp::core

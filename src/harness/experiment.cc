@@ -144,6 +144,7 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   config.telemetry.metrics_period = params.metrics_period;
   config.cost.enabled = true;
   config.cost.energy = params.energy;
+  config.analyzer.enabled = params.analyzer;
 
   World world(config);
   // Destroyed before `world`, which clears the channel's drop filter.
@@ -166,6 +167,19 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   }
   if (const obs::InvariantAuditor* auditor = world.telemetry().auditor()) {
     result.invariant_violations = auditor->violations().size();
+  }
+  if (analyzer::Analyzer* wire_analyzer = world.wire_analyzer()) {
+    // Finalize before the metrics export below so the rdp.analyzer.*
+    // series carries the resolved (post-parking) totals.
+    wire_analyzer->finalize();
+    result.analyzer_violations = wire_analyzer->violations().size();
+    result.analyzer_events = wire_analyzer->events_total();
+    result.analyzer_decode_errors = wire_analyzer->decode_errors();
+    if (!params.analyzer_out.empty() &&
+        !wire_analyzer->write_jsonl(params.analyzer_out)) {
+      std::cerr << "experiment: failed to write analyzer events to "
+                << params.analyzer_out << "\n";
+    }
   }
   if (!params.trace_out.empty() &&
       !world.telemetry().write_trace_json(params.trace_out)) {
@@ -219,6 +233,7 @@ ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params) {
   config.base.telemetry.metrics_period = params.metrics_period;
   config.base.cost.enabled = true;
   config.base.cost.energy = params.energy;
+  config.base.analyzer.enabled = params.analyzer;
   config.shards = params.shards;
   config.threads = params.shard_threads;
 
@@ -275,6 +290,17 @@ ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params) {
   result.causal_delayed = world.causal_delayed_total();
   if (const obs::InvariantAuditor* auditor = world.telemetry().auditor()) {
     result.invariant_violations = auditor->violations().size();
+  }
+  if (analyzer::Analyzer* wire_analyzer = world.wire_analyzer()) {
+    wire_analyzer->finalize();
+    result.analyzer_violations = wire_analyzer->violations().size();
+    result.analyzer_events = wire_analyzer->events_total();
+    result.analyzer_decode_errors = wire_analyzer->decode_errors();
+    if (!params.analyzer_out.empty() &&
+        !wire_analyzer->write_jsonl(params.analyzer_out)) {
+      std::cerr << "experiment: failed to write analyzer events to "
+                << params.analyzer_out << "\n";
+    }
   }
   if (!params.trace_out.empty() &&
       !world.telemetry().write_trace_json(params.trace_out)) {

@@ -89,6 +89,11 @@ struct ExperimentParams {
   // Telemetry artifacts (RDP runs only; empty path disables the export).
   std::string trace_out;    // Chrome trace-event JSON (enables span tracer)
   std::string metrics_out;  // metrics time-series CSV
+  // Passive wire analyzer (RDP runs only; the conformance rules describe
+  // RDP signaling, so baseline arms ignore it).  `analyzer_out` writes the
+  // canonically sorted event JSONL (docs/PROTOCOL.md §12).
+  bool analyzer = false;
+  std::string analyzer_out;
   // Sampling period for the metrics time series; zero leaves only the
   // final counter values in the export.
   common::Duration metrics_period = common::Duration::zero();
@@ -145,6 +150,13 @@ struct ExperimentResult {
 
   // Online invariant audit (RDP runs; 0 on a clean run).
   std::uint64_t invariant_violations = 0;
+
+  // Passive wire analyzer (RDP runs with params.analyzer; all zero
+  // otherwise).  Violations are 0 on a clean run by the same contract as
+  // the auditor; events counts lifecycle transitions + summaries too.
+  std::uint64_t analyzer_violations = 0;
+  std::uint64_t analyzer_events = 0;
+  std::uint64_t analyzer_decode_errors = 0;
 
   // Events executed by the simulation kernel over the whole run; divided by
   // wall time this is the kernel throughput the scalability bench reports.

@@ -158,10 +158,26 @@ ShardedWorld::ShardedWorld(ShardedScenarioConfig config)
       ledger->on_wired_send(envelope);
     });
     merger_.add_frame_sink(
-        [ledger = cost_ledger_.get()](common::MhId mh,
+        [ledger = cost_ledger_.get()](common::SimTime, common::MhId mh,
                                       const net::PayloadPtr& payload,
                                       bool uplink, net::FramePhase phase) {
           ledger->on_wireless_frame(mh, payload, uplink, phase);
+        });
+  }
+
+  if (base.analyzer.enabled) {
+    analyzer_ = std::make_unique<analyzer::Analyzer>(base.analyzer,
+                                                     &telemetry_->registry());
+    analyzer_tap_ = std::make_unique<analyzer::WireTap>(*analyzer_);
+    merger_.add_wired_sink([tap = analyzer_tap_.get()](
+                               const net::Envelope& envelope) {
+      tap->on_wired_send(envelope);
+    });
+    merger_.add_frame_sink(
+        [tap = analyzer_tap_.get()](common::SimTime at, common::MhId mh,
+                                    const net::PayloadPtr& payload,
+                                    bool uplink, net::FramePhase phase) {
+          tap->on_wireless_frame(at, mh, payload, uplink, phase);
         });
   }
 
@@ -231,6 +247,11 @@ ShardedWorld::~ShardedWorld() {
     std::cerr << "[rdp-audit] WARNING: sharded world tore down with "
                  "invariant violations:\n";
     auditor->write_report(std::cerr);
+  }
+  if (analyzer_ != nullptr && !analyzer_->clean()) {
+    std::cerr << "[rdp-analyzer] WARNING: sharded world tore down with "
+                 "conformance violations:\n";
+    analyzer_->write_report(std::cerr);
   }
 }
 

@@ -21,6 +21,8 @@
 #include <memory>
 #include <vector>
 
+#include "analyzer/analyzer.h"
+#include "analyzer/wire_tap.h"
 #include "causal/causal_layer.h"
 #include "core/directory.h"
 #include "core/mobile_host.h"
@@ -83,6 +85,12 @@ class ShardedWorld {
   [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
   // Null unless base.cost.enabled.
   [[nodiscard]] obs::CostLedger* cost_ledger() { return cost_ledger_.get(); }
+  // Null unless the scenario enabled the passive wire analyzer; fed by
+  // barrier-merged replay, so its output is identical for any shard count.
+  [[nodiscard]] analyzer::Analyzer* wire_analyzer() { return analyzer_.get(); }
+  [[nodiscard]] analyzer::WireTap* analyzer_tap() {
+    return analyzer_tap_.get();
+  }
 
   [[nodiscard]] int num_mss() const { return static_cast<int>(msses_.size()); }
   [[nodiscard]] core::Mss& mss(int i) { return *msses_.at(i); }
@@ -158,6 +166,8 @@ class ShardedWorld {
   core::ObserverList observers_;  // global consumers (merged stream)
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<obs::CostLedger> cost_ledger_;
+  std::unique_ptr<analyzer::Analyzer> analyzer_;
+  std::unique_ptr<analyzer::WireTap> analyzer_tap_;
   obs::ShardTapMerger merger_;
 
   std::vector<std::unique_ptr<core::Mss>> msses_;

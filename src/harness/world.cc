@@ -67,6 +67,14 @@ World::World(ScenarioConfig config)
     cost_ledger_->attach(wireless_);
   }
 
+  if (config_.analyzer.enabled) {
+    analyzer_ = std::make_unique<analyzer::Analyzer>(config_.analyzer,
+                                                     &telemetry_->registry());
+    analyzer_tap_ = std::make_unique<analyzer::WireTap>(*analyzer_);
+    analyzer_tap_->attach(wired_);
+    analyzer_tap_->attach(wireless_, simulator_);
+  }
+
   runtime_ = std::make_unique<core::Runtime>(core::Runtime{
       simulator_, transport_, wireless_, directory_, config_.rdp, observers_,
       counters_});
@@ -130,6 +138,11 @@ World::~World() {
     std::cerr << "[rdp-audit] WARNING: world tore down with invariant "
                  "violations:\n";
     auditor->write_report(std::cerr);
+  }
+  if (analyzer_ != nullptr && !analyzer_->clean()) {
+    std::cerr << "[rdp-analyzer] WARNING: world tore down with conformance "
+                 "violations:\n";
+    analyzer_->write_report(std::cerr);
   }
 }
 

@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "analyzer/analyzer.h"
+#include "analyzer/wire_tap.h"
 #include "causal/causal_layer.h"
 #include "core/checkpoint.h"
 #include "core/directory.h"
@@ -53,6 +55,11 @@ struct ScenarioConfig {
   // obs::CostLedger and mirrors drain into telemetry().registry() as the
   // rdp.cost.* / rdp.energy.* series.
   obs::CostConfig cost;
+  // Passive wire analyzer (off by default: it re-encodes and decodes every
+  // tapped frame).  When enabled the World attaches an analyzer::WireTap to
+  // both networks and the second, wire-derived conformance checker runs
+  // alongside the invariant auditor (docs/PROTOCOL.md §12).
+  analyzer::AnalyzerConfig analyzer;
   net::WiredConfig wired;
   net::WirelessConfig wireless;
   core::RdpConfig rdp;
@@ -98,6 +105,12 @@ class World {
   [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
   // Null unless the scenario enabled cost accounting (config().cost).
   [[nodiscard]] obs::CostLedger* cost_ledger() { return cost_ledger_.get(); }
+  // Null unless the scenario enabled the passive wire analyzer
+  // (config().analyzer).
+  [[nodiscard]] analyzer::Analyzer* wire_analyzer() { return analyzer_.get(); }
+  [[nodiscard]] analyzer::WireTap* analyzer_tap() {
+    return analyzer_tap_.get();
+  }
 
   [[nodiscard]] int num_mss() const { return static_cast<int>(msses_.size()); }
   [[nodiscard]] core::Mss& mss(int i) { return *msses_.at(i); }
@@ -141,6 +154,8 @@ class World {
   core::ObserverList observers_;
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<obs::CostLedger> cost_ledger_;
+  std::unique_ptr<analyzer::Analyzer> analyzer_;
+  std::unique_ptr<analyzer::WireTap> analyzer_tap_;
   std::unique_ptr<core::Runtime> runtime_;
   std::unique_ptr<core::ProxyCheckpointStore> checkpoint_store_;
   std::vector<std::unique_ptr<core::Mss>> msses_;

@@ -2,9 +2,53 @@
 // (flight recorder, span tracer, metric labels) so artifacts agree.
 #pragma once
 
+#include <cstddef>
+#include <iterator>
+
 #include "core/events.h"
 
 namespace rdp::obs {
+
+// One stable name per RdpObserver hook, in declaration order (core/events.h).
+// The static_assert below pins this table to RdpObserver::kHookCount: adding
+// a hook without naming it here (or vice versa) fails the build instead of
+// silently drifting — renderers index this table by hook position.
+inline constexpr const char* kHookNames[] = {
+    "proxy_created",
+    "proxy_deleted",
+    "request_issued",
+    "request_reached_proxy",
+    "result_at_proxy",
+    "result_forwarded",
+    "result_delivered",
+    "ack_forwarded",
+    "request_completed",
+    "reissue_exhausted",
+    "request_lost",
+    "arq_frame_sent",
+    "arq_delivered",
+    "handoff_started",
+    "handoff_completed",
+    "update_currentloc",
+    "mh_registered",
+    "stale_ack_dropped",
+    "delproxy_with_pending",
+    "orphaned_proxy",
+    "mss_crashed",
+    "mss_restarted",
+    "proxy_restored",
+    "request_reissued",
+    "backup_promoted",
+};
+static_assert(std::size(kHookNames) ==
+                  static_cast<std::size_t>(core::RdpObserver::kHookCount),
+              "kHookNames must name exactly every RdpObserver hook — "
+              "update obs/event_names.h when core/events.h changes");
+
+// Name of the i-th hook in core/events.h declaration order.
+[[nodiscard]] constexpr const char* hook_name(std::size_t index) {
+  return index < std::size(kHookNames) ? kHookNames[index] : "?";
+}
 
 [[nodiscard]] constexpr const char* loss_reason_name(
     core::RequestLossReason reason) {

@@ -347,8 +347,8 @@ void ShardTapMerger::flush() {
             });
   for (const auto& tagged : frame_scratch_) {
     for (const auto& sink : frame_sinks_) {
-      sink(tagged.record.mh, tagged.record.payload, tagged.record.uplink,
-           tagged.record.phase);
+      sink(tagged.record.at, tagged.record.mh, tagged.record.payload,
+           tagged.record.uplink, tagged.record.phase);
     }
   }
 

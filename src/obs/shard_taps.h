@@ -149,8 +149,12 @@ class ShardObserverBuffer final : public core::RdpObserver {
 class ShardTapMerger {
  public:
   using WiredSink = std::function<void(const net::Envelope&)>;
-  using FrameSink = std::function<void(
-      common::MhId, const net::PayloadPtr&, bool, net::FramePhase)>;
+  // Replayed with the frame's original emission time (BufferedFrame.at) so
+  // time-aware consumers (the wire analyzer) see the same timestamps as a
+  // live tap; time-blind consumers just ignore the first argument.
+  using FrameSink =
+      std::function<void(common::SimTime, common::MhId, const net::PayloadPtr&,
+                         bool, net::FramePhase)>;
 
   // Buffer order defines the shard index used as the final tie-break; add
   // them in shard order.  All pointers must outlive the merger.

@@ -1,0 +1,290 @@
+// Passive wire analyzer (src/analyzer): agreement with the internal
+// invariant auditor on clean and faulty runs, detection of a bug the
+// internal hooks cannot see (a suppressed uplink Ack), and bit-identical
+// JSONL output across shard counts.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/wire_tap.h"
+#include "core/messages.h"
+#include "fault/fault_injector.h"
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+#include "harness/world.h"
+
+namespace rdp {
+namespace {
+
+using common::Duration;
+
+// --- agreement with the auditor on clean runs -------------------------------
+
+harness::ExperimentParams base_params(std::uint64_t seed) {
+  harness::ExperimentParams params;
+  params.seed = seed;
+  params.grid_width = 3;
+  params.grid_height = 2;
+  params.num_mh = 10;
+  params.num_servers = 2;
+  params.sim_time = Duration::seconds(90);
+  params.drain_time = Duration::seconds(45);
+  params.mean_dwell = Duration::seconds(10);
+  params.mean_request_interval = Duration::seconds(4);
+  params.analyzer = true;
+  return params;
+}
+
+TEST(Analyzer, CleanRunZeroViolations) {
+  const harness::ExperimentResult result =
+      harness::run_rdp_experiment(base_params(11));
+  EXPECT_GT(result.requests_completed, 0u);
+  EXPECT_EQ(result.invariant_violations, 0u);
+  EXPECT_EQ(result.analyzer_violations, 0u);
+  EXPECT_EQ(result.analyzer_decode_errors, 0u);
+  // Lifecycle transitions + per-connection summaries were emitted.
+  EXPECT_GT(result.analyzer_events, 0u);
+}
+
+// E13-style: sliding-window ARQ under 5% wireless loss.  Both checkers
+// watch the same run; both must stay silent.
+TEST(Analyzer, AgreesWithAuditorUnderLossAndArq) {
+  harness::ExperimentParams params = base_params(23);
+  params.wireless.uplink_loss = 0.05;
+  params.wireless.downlink_loss = 0.05;
+  params.rdp.arq.mode = core::ArqMode::kSlidingWindow;
+  params.rdp.mss_result_cache = true;
+  params.rdp.mh_reissue = true;
+  params.rdp.reissue_timeout = Duration::seconds(45);
+  const harness::ExperimentResult result =
+      harness::run_rdp_experiment(params);
+  EXPECT_GT(result.requests_completed, 0u);
+  EXPECT_GT(result.retransmissions + result.counters.count("arq.retransmits"),
+            0u);
+  EXPECT_EQ(result.invariant_violations, 0u);
+  EXPECT_EQ(result.analyzer_violations, 0u);
+  EXPECT_EQ(result.analyzer_decode_errors, 0u);
+  EXPECT_GT(result.analyzer_events, 0u);
+}
+
+// E11-style: Mss crash/fail-over with replication and the re-issue
+// watchdog.  The analyzer's rules must hold across crash-induced
+// retransmissions, proxy adoption, and epoch resets.
+TEST(Analyzer, AgreesWithAuditorUnderCrashFailover) {
+  harness::ExperimentParams params = base_params(31);
+  params.grid_width = 2;
+  params.grid_height = 2;
+  params.num_mh = 6;
+  params.sim_time = Duration::seconds(40);
+  params.drain_time = Duration::seconds(60);
+  params.replication.mode = replication::Mode::kSync;
+  params.rdp.mh_reissue = true;
+  params.rdp.reissue_timeout = Duration::seconds(2);
+  params.rdp.max_reissue_attempts = 20;
+  params.rdp.idle_proxy_gc = true;
+  params.rdp.idle_proxy_timeout = Duration::seconds(30);
+  params.rdp.abandoned_proxy_timeout = Duration::seconds(30);
+  params.rdp.proxy_gc_interval = Duration::seconds(5);
+  params.rdp_world_hook =
+      [](harness::World& world) -> std::shared_ptr<void> {
+    fault::FaultPlan plan;
+    plan.seed = 99;
+    plan.crash_every(0, Duration::seconds(5), Duration::seconds(12),
+                     Duration::millis(2000), 2);
+    plan.crash_every(2, Duration::seconds(9), Duration::seconds(12),
+                     Duration::millis(2000), 2);
+    auto injector = std::make_shared<fault::FaultInjector>(world, plan);
+    injector->arm();
+    return injector;
+  };
+  const harness::ExperimentResult result =
+      harness::run_rdp_experiment(params);
+  EXPECT_GT(result.requests_completed, 0u);
+  EXPECT_EQ(result.invariant_violations, 0u);
+  EXPECT_EQ(result.analyzer_violations, 0u);
+  EXPECT_EQ(result.analyzer_decode_errors, 0u);
+  EXPECT_GT(result.analyzer_events, 0u);
+}
+
+// --- injected bug: the analyzer catches what internal hooks miss ------------
+
+// Suppress every uplink Ack frame from the analyzer's view of the wire
+// (the system still processes them, so the protocol and its internal
+// auditor stay perfectly happy).  From the bytes alone the analyzer then
+// sees an AckForward crossing the wired network with no preceding uplink
+// Ack — exactly the signature of an Mss fabricating acknowledgements.
+TEST(Analyzer, FlagsAckForwardWithoutUplinkAck) {
+  harness::ScenarioConfig config;
+  config.seed = 7;
+  config.num_mss = 2;
+  config.num_mh = 1;
+  config.num_servers = 1;
+  config.wired.base_latency = Duration::millis(5);
+  config.wired.jitter = Duration::zero();
+  config.wireless.base_latency = Duration::millis(20);
+  config.wireless.jitter = Duration::zero();
+  config.server.base_service_time = Duration::millis(500);
+  config.server.service_jitter = Duration::zero();
+  config.analyzer.enabled = true;
+  // The violation is the point of the test: never escalate to abort even
+  // when the suite runs under RDP_AUDIT_FATAL=1.
+  config.analyzer.honor_fatal_env = false;
+  harness::World world(config);
+  ASSERT_NE(world.analyzer_tap(), nullptr);
+  world.analyzer_tap()->set_frame_filter(
+      [](common::MhId, const net::PayloadPtr& payload, bool uplink) {
+        return uplink && dynamic_cast<const core::MsgUplinkAck*>(
+                             &payload->unwrap()) != nullptr;
+      });
+
+  auto& sim = world.simulator();
+  world.mh(0).power_on(world.cell(0));
+  sim.schedule(Duration::millis(100), [&world] {
+    world.mh(0).issue_request(world.server_address(0), "q");
+  });
+  // Migrate while the server is still working: the result and the Ack
+  // forward then cross the wired network where the analyzer can see them.
+  sim.schedule(Duration::millis(300), [&world] {
+    world.mh(0).migrate(world.cell(1), Duration::millis(50));
+  });
+  world.run_to_quiescence();
+
+  obs::InvariantAuditor* auditor = world.telemetry().auditor();
+  ASSERT_NE(auditor, nullptr);
+  EXPECT_TRUE(auditor->clean()) << "internal auditor must not see the bug";
+
+  analyzer::Analyzer* wire = world.wire_analyzer();
+  ASSERT_NE(wire, nullptr);
+  wire->finalize();
+  ASSERT_FALSE(wire->clean()) << "analyzer must catch the suppressed Ack";
+  bool found = false;
+  for (const std::string& violation : wire->violations()) {
+    if (violation.find("ack_forward_without_uplink_ack") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "expected ack_forward_without_uplink_ack, got:\n"
+                     << [&] {
+                          std::ostringstream os;
+                          wire->write_report(os);
+                          return os.str();
+                        }();
+}
+
+// Control for the test above: the identical scenario without the filter is
+// clean, so the violation really is the suppression and not the scenario.
+TEST(Analyzer, UnfilteredControlRunIsClean) {
+  harness::ScenarioConfig config;
+  config.seed = 7;
+  config.num_mss = 2;
+  config.num_mh = 1;
+  config.num_servers = 1;
+  config.wired.base_latency = Duration::millis(5);
+  config.wired.jitter = Duration::zero();
+  config.wireless.base_latency = Duration::millis(20);
+  config.wireless.jitter = Duration::zero();
+  config.server.base_service_time = Duration::millis(500);
+  config.server.service_jitter = Duration::zero();
+  config.analyzer.enabled = true;
+  config.analyzer.honor_fatal_env = false;
+  harness::World world(config);
+
+  auto& sim = world.simulator();
+  world.mh(0).power_on(world.cell(0));
+  sim.schedule(Duration::millis(100), [&world] {
+    world.mh(0).issue_request(world.server_address(0), "q");
+  });
+  sim.schedule(Duration::millis(300), [&world] {
+    world.mh(0).migrate(world.cell(1), Duration::millis(50));
+  });
+  world.run_to_quiescence();
+
+  analyzer::Analyzer* wire = world.wire_analyzer();
+  ASSERT_NE(wire, nullptr);
+  wire->finalize();
+  std::ostringstream report;
+  wire->write_report(report);
+  EXPECT_TRUE(wire->clean()) << report.str();
+  EXPECT_GT(wire->wired_seen(), 0u) << "ack forward must cross the wire";
+}
+
+// --- malformed input --------------------------------------------------------
+
+TEST(Analyzer, TruncatedBytesBecomeDecodeErrorEvents) {
+  analyzer::AnalyzerConfig config;
+  config.enabled = true;
+  config.honor_fatal_env = false;
+  analyzer::Analyzer wire(config);
+  const std::vector<std::uint8_t> garbage{0xEE, 0x01, 0x02};
+  wire.on_wireless_bytes(common::SimTime::from_micros(1000), common::MhId(0),
+                         true, net::FramePhase::kSent, garbage);
+  wire.on_wired_bytes(common::SimTime::from_micros(2000),
+                      common::NodeAddress(0), common::NodeAddress(1), {});
+  wire.finalize();
+  EXPECT_EQ(wire.decode_errors(), 2u);
+  // decode_error is an event, not a conformance violation: corrupt input
+  // must never crash the analyzer or poison the verdict.
+  EXPECT_TRUE(wire.clean());
+}
+
+// --- sharded determinism ----------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Analyzer, ShardedJsonlBitIdenticalAcrossShardCounts) {
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> paths;
+  std::vector<harness::ExperimentResult> results;
+  for (const int shards : {1, 2, 4, 8}) {
+    harness::ExperimentParams params;
+    params.seed = 5;
+    params.shards = shards;
+    params.shard_threads = shards > 1 ? 2 : 1;
+    params.grid_width = 4;
+    params.grid_height = 2;
+    params.num_mh = 12;
+    params.num_servers = 2;
+    params.sim_time = Duration::seconds(60);
+    params.drain_time = Duration::seconds(30);
+    params.mean_dwell = Duration::seconds(5);
+    params.mean_request_interval = Duration::seconds(2);
+    params.wireless.uplink_loss = 0.05;
+    params.wireless.downlink_loss = 0.05;
+    params.rdp.arq.mode = core::ArqMode::kSlidingWindow;
+    params.rdp.mss_result_cache = true;
+    params.analyzer = true;
+    params.analyzer_out =
+        dir + "/analyzer_shard" + std::to_string(shards) + ".jsonl";
+    paths.push_back(params.analyzer_out);
+    results.push_back(harness::run_sharded_rdp_experiment(params));
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_GT(results[i].requests_completed, 0u);
+    EXPECT_EQ(results[i].analyzer_violations, 0u) << paths[i];
+    EXPECT_EQ(results[i].analyzer_decode_errors, 0u) << paths[i];
+    EXPECT_EQ(results[i].analyzer_events, results[0].analyzer_events);
+  }
+  const std::string reference = read_file(paths[0]);
+  ASSERT_FALSE(reference.empty());
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_EQ(read_file(paths[i]), reference)
+        << paths[i] << " differs from " << paths[0];
+  }
+  for (const std::string& path : paths) {
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace rdp

@@ -384,5 +384,149 @@ TEST(CoreCodec, NonCoreMessageRejectedByEncode) {
   EXPECT_THROW((void)core::encode(Alien{}), common::InvariantViolation);
 }
 
+// One exemplar of every wire message (all 31 tags), with non-trivial field
+// values so the robustness sweeps exercise every decoder branch.
+std::vector<std::vector<std::uint8_t>> all_message_exemplars() {
+  const RequestId req(MhId(3), 17);
+  core::Pref pref;
+  pref.proxy_host = NodeAddress(3);
+  pref.proxy = ProxyId(12);
+  pref.rkpr = true;
+  pref.rkpr_request = req;
+  pref.rkpr_seq = 2;
+  core::ProxyCheckpoint record;
+  record.proxy = ProxyId(7);
+  record.mh = MhId(3);
+  record.current_loc = NodeAddress(11);
+  core::ProxyCheckpoint::Request ckpt_req;
+  ckpt_req.request = req;
+  ckpt_req.server = NodeAddress(2);
+  ckpt_req.body = "query";
+  ckpt_req.stream = true;
+  ckpt_req.unacked.push_back({5, false, "partial", 2});
+  record.requests.push_back(std::move(ckpt_req));
+
+  std::vector<std::vector<std::uint8_t>> buffers;
+  const auto add = [&buffers](const net::MessageBase& message) {
+    buffers.push_back(core::encode(message));
+  };
+  add(core::MsgJoin{});
+  add(core::MsgLeave{});
+  add(core::MsgGreet(MssId(9)));
+  add(core::MsgUplinkRequest(req, NodeAddress(4), "body", true));
+  add(core::MsgUnsubscribe(req));
+  add(core::MsgUplinkAck(req, 5));
+  add(core::MsgRegistrationAck(MssId(2)));
+  add(core::MsgDownlinkResult(req, 3, true, "result", 7));
+  add(core::MsgForwardRequest(MhId(2), ProxyId(5), req, NodeAddress(6), "q",
+                              false));
+  add(core::MsgForwardUnsubscribe(MhId(2), ProxyId(5), req));
+  add(core::MsgServerRequest(NodeAddress(1), ProxyId(5), req, "q", true));
+  add(core::MsgServerUnsubscribe(ProxyId(5), req));
+  add(core::MsgServerResult(ProxyId(5), req, 4, false, "partial"));
+  add(core::MsgServerAck(req));
+  add(core::MsgResultForward(MhId(1), NodeAddress(2), ProxyId(3), req, 5,
+                             true, true, "payload", 6));
+  add(core::MsgDelPref(MhId(1), NodeAddress(2), ProxyId(3), req, 5));
+  add(core::MsgAckForward(MhId(1), ProxyId(2), req, 4, true));
+  add(core::MsgDereg(MhId(4), MssId(1)));
+  add(core::MsgDeregAck(MhId(4), pref));
+  add(core::MsgUpdateCurrentLoc(MhId(1), ProxyId(2), NodeAddress(3)));
+  add(core::MsgProxyGone(MhId(1), ProxyId(2), req, NodeAddress(4), "b", true,
+                         false));
+  add(core::MsgPrefRestore(MhId(1), NodeAddress(2), ProxyId(3)));
+  add(core::MsgReplicaUpdate(MssId(1), 42, record));
+  add(core::MsgReplicaErase(MssId(2), 7, ProxyId(9)));
+  add(core::MsgReplicaHeartbeat(MssId(3)));
+  add(core::MsgReplicaResync(MssId(1)));
+  add(core::MsgPrefRepair(MhId(5), NodeAddress(1), ProxyId(2), NodeAddress(3),
+                          ProxyId(4)));
+  add(core::MsgPrefRepairNack(MhId(5), ProxyId(4)));
+  add(core::MsgTransferResume(MhId(6), NodeAddress(2), ProxyId(7)));
+  add(core::MsgArqData(
+      5, 9, 2,
+      net::make_message<core::MsgUplinkRequest>(req, NodeAddress(4), "query",
+                                                true)));
+  add(core::MsgArqAck(3, 41, 0xdeadbeefcafef00dull));
+  EXPECT_EQ(buffers.size(), 31u);  // every MessageTag represented
+  return buffers;
+}
+
+// Chop every encoded message at every byte boundary: each strict prefix
+// must raise CodecError — never crash, never silently decode short.
+TEST(CoreCodec, TruncationSweepAllMessages) {
+  for (const std::vector<std::uint8_t>& full : all_message_exemplars()) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const std::vector<std::uint8_t> prefix(full.begin(),
+                                             full.begin() + cut);
+      EXPECT_THROW((void)core::decode(prefix), net::CodecError)
+          << "tag " << (full.empty() ? 0 : full[0]) << " cut at " << cut;
+    }
+  }
+}
+
+// Flip every byte of every encoded message through a handful of values.
+// A corrupt buffer may still decode (many field mutations are legal) but
+// must either decode or throw CodecError — nothing else, and no UB, which
+// the ASan/UBSan CI job checks for real.
+TEST(CoreCodec, CorruptionSweepAllMessages) {
+  const std::uint8_t patches[] = {0x00, 0x01, 0x7F, 0xFF};
+  for (const std::vector<std::uint8_t>& full : all_message_exemplars()) {
+    for (std::size_t pos = 0; pos < full.size(); ++pos) {
+      for (const std::uint8_t patch : patches) {
+        std::vector<std::uint8_t> corrupt = full;
+        corrupt[pos] ^= patch;
+        if (corrupt[pos] == full[pos]) continue;
+        try {
+          (void)core::decode(corrupt);
+        } catch (const net::CodecError&) {
+          // fine: detected as malformed
+        }
+      }
+    }
+  }
+}
+
+// A corrupt checkpoint count must not become a giant allocation: a buffer
+// claiming 2^32-1 requests has to die in the bounds check, not bad_alloc.
+TEST(CoreCodec, HugeCheckpointCountRejectedCheaply) {
+  net::Writer writer;
+  writer.u8(static_cast<std::uint8_t>(core::MessageTag::kReplicaUpdate));
+  writer.u32(1);                     // primary
+  writer.u64(42);                    // seq
+  writer.u32(7);                     // record.proxy
+  writer.u32(3);                     // record.mh
+  writer.u32(11);                    // record.current_loc
+  writer.u32(0xFFFFFFFFu);           // num_requests: lies
+  EXPECT_THROW((void)core::decode(writer.bytes()), net::CodecError);
+}
+
+// Hand-rolled ArqData-in-ArqData beyond the nesting cap: the sender never
+// produces it, so the decoder must reject it instead of recursing until
+// the stack runs out.
+TEST(CoreCodec, DeeplyNestedArqDataRejected) {
+  std::vector<std::uint8_t> inner = core::encode(core::MsgJoin{});
+  for (int depth = 0; depth < 8; ++depth) {
+    net::Writer writer;
+    writer.u8(static_cast<std::uint8_t>(core::MessageTag::kArqData));
+    writer.u32(1);  // epoch
+    writer.u32(0);  // seq
+    writer.u32(1);  // attempt
+    writer.str(std::string(inner.begin(), inner.end()));
+    inner = writer.bytes();
+  }
+  EXPECT_THROW((void)core::decode(inner), net::CodecError);
+
+  // One legitimate level of wrapping still decodes.
+  net::Writer one;
+  one.u8(static_cast<std::uint8_t>(core::MessageTag::kArqData));
+  one.u32(1);
+  one.u32(0);
+  one.u32(1);
+  const std::vector<std::uint8_t> join = core::encode(core::MsgJoin{});
+  one.str(std::string(join.begin(), join.end()));
+  EXPECT_NE(core::decode(one.bytes()), nullptr);
+}
+
 }  // namespace
 }  // namespace rdp

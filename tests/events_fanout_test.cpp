@@ -5,12 +5,15 @@
 // and (b) the number of distinct hooks equals RdpObserver::kHookCount.
 // Adding a hook without bumping the constant, without the fan-out override,
 // or without extending this driver fails here.
+#include <iterator>
 #include <map>
+#include <set>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "core/events.h"
+#include "obs/event_names.h"
 
 namespace rdp::core {
 namespace {
@@ -179,6 +182,26 @@ TEST(ObserverFanout, ListForwardsEveryHookToAllObservers) {
       EXPECT_EQ(count, 1) << "hook " << hook << " fan-out count " << count;
     }
   }
+}
+
+// The obs::kHookNames table (already pinned to kHookCount by its
+// static_assert) must agree with reality name-for-name: every hook the
+// driver fires appears in the table, all entries distinct.  This catches
+// the rename/reorder drift the count alone cannot.
+TEST(ObserverFanout, HookNameTableMatchesHooks) {
+  RecordingObserver recorder;
+  fire_every_hook(recorder);
+
+  std::set<std::string> named(std::begin(obs::kHookNames),
+                              std::end(obs::kHookNames));
+  ASSERT_EQ(named.size(), std::size(obs::kHookNames)) << "duplicate names";
+  for (const auto& [hook, count] : recorder.calls) {
+    EXPECT_TRUE(named.count(hook) == 1)
+        << "hook '" << hook << "' missing from obs::kHookNames";
+  }
+  EXPECT_EQ(named.size(), recorder.calls.size());
+  EXPECT_STREQ(obs::hook_name(0), "proxy_created");
+  EXPECT_STREQ(obs::hook_name(std::size(obs::kHookNames)), "?");
 }
 
 // An empty list is a valid no-op sink.
