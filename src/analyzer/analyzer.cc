@@ -582,6 +582,24 @@ void Analyzer::handle_wired(common::SimTime at, common::NodeAddress src,
     proxy_transition(at, repair->new_host, repair->new_proxy, proxy,
                      "repaired", "from Node" +
                          std::to_string(repair->old_host.value()));
+    {
+      // §8: every prefRepair is a promotion claiming the old host is gone;
+      // legal only if the membership tier named that host in a suspect or
+      // departed event somewhere on the wire.  A backup promoting a primary
+      // nobody suspected is racing a live owner.
+      const std::int64_t old_host = repair->old_host.value();
+      Event event;
+      event.at = at;
+      event.code = "promotion_without_departure";
+      event.mh = repair->mh.value();
+      event.host = old_host;
+      event.proxy = repair->old_proxy.value();
+      event.detail = "prefRepair for primary Node" + std::to_string(old_host) +
+                     " with no suspect/departed membership event on the wire";
+      require(suspected_hosts_.contains(old_host),
+              [this, old_host] { return suspected_hosts_.contains(old_host); },
+              std::move(event));
+    }
     return;
   }
   if (const auto* server_req = dynamic_cast<const core::MsgServerRequest*>(
@@ -603,10 +621,59 @@ void Analyzer::handle_wired(common::SimTime at, common::NodeAddress src,
     ++server_messages_;
     return;
   }
-  if (dynamic_cast<const core::MsgReplicaUpdate*>(&msg) != nullptr ||
-      dynamic_cast<const core::MsgReplicaErase*>(&msg) != nullptr ||
-      dynamic_cast<const core::MsgReplicaHeartbeat*>(&msg) != nullptr ||
-      dynamic_cast<const core::MsgReplicaResync*>(&msg) != nullptr) {
+  if (const auto* update = dynamic_cast<const core::MsgReplicaUpdate*>(&msg)) {
+    ++replica_messages_;
+    replica_deliveries_.insert(
+        {update->primary.value(), update->seq, dst.value()});
+    return;
+  }
+  if (const auto* erase = dynamic_cast<const core::MsgReplicaErase*>(&msg)) {
+    ++replica_messages_;
+    replica_deliveries_.insert({erase->primary.value(), erase->seq,
+                                dst.value()});
+    return;
+  }
+  if (const auto* ack = dynamic_cast<const core::MsgChainAck*>(&msg)) {
+    ++replica_messages_;
+    // §8: only a chain member the delta actually reached may acknowledge
+    // it.  An ack from an address no replicaUpdate/Erase with that
+    // (primary, seq) was sent to means a member was skipped — the primary
+    // would believe k copies exist when they do not.
+    const auto delivery =
+        std::make_tuple(static_cast<std::int64_t>(ack->primary.value()),
+                        ack->seq, static_cast<std::int64_t>(src.value()));
+    Event event;
+    event.at = at;
+    event.code = "chain_ack_skipping_member";
+    event.host = src.value();
+    event.detail = "chainAck for Mss" + std::to_string(ack->primary.value()) +
+                   " seq " + std::to_string(ack->seq) + " from Node" +
+                   std::to_string(src.value()) +
+                   " which never received that delta";
+    require(replica_deliveries_.contains(delivery),
+            [this, delivery] { return replica_deliveries_.contains(delivery); },
+            std::move(event));
+    return;
+  }
+  if (const auto* member_event =
+          dynamic_cast<const core::MsgMembershipEvent*>(&msg)) {
+    ++membership_messages_;
+    if (member_event->kind == core::MembershipEventKind::kSuspect ||
+        member_event->kind == core::MembershipEventKind::kDeparted) {
+      suspected_hosts_.insert(member_event->subject_address.value());
+    }
+    return;
+  }
+  if (dynamic_cast<const core::MsgMembershipReport*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgMembershipProbe*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgPrimaryFence*>(&msg) != nullptr) {
+    ++membership_messages_;
+    return;
+  }
+  if (dynamic_cast<const core::MsgReplicaHeartbeat*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgReplicaResync*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgReplicaFence*>(&msg) != nullptr ||
+      dynamic_cast<const core::MsgReplicaFenceAck*>(&msg) != nullptr) {
     ++replica_messages_;
     return;
   }

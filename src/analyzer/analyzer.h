@@ -41,6 +41,7 @@
 #include <ostream>
 #include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -190,7 +191,15 @@ class Analyzer {
   std::vector<Parked> parked_;
   common::SimTime last_at_;
   std::uint64_t frames_seen_ = 0, wired_seen_ = 0, decode_errors_ = 0,
-                opaque_ = 0, replica_messages_ = 0, server_messages_ = 0;
+                opaque_ = 0, replica_messages_ = 0, server_messages_ = 0,
+                membership_messages_ = 0;
+  // §8 sightings (order-insensitive sets, same parked/final-check contract
+  // as the Mh-side rules): wired addresses the membership service named in
+  // a suspect/departed event, and every (primary, ship seq, destination)
+  // a replica delta was actually sent to.
+  std::set<std::int64_t> suspected_hosts_;
+  std::set<std::tuple<std::int64_t, std::uint64_t, std::int64_t>>
+      replica_deliveries_;
   bool finalized_ = false;
 };
 

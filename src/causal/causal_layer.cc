@@ -62,6 +62,13 @@ void CausalLayer::attach(NodeAddress address, net::Endpoint* endpoint) {
 
 void CausalLayer::send(NodeAddress src, NodeAddress dst,
                        net::PayloadPtr payload, sim::EventPriority priority) {
+  if (sever_hook_ && sever_hook_(src, dst)) {
+    // Severed link (partition fault): the message never existed as far as
+    // the causal history is concerned, so post-heal traffic stays
+    // deliverable.
+    ++severed_;
+    return;
+  }
   const std::size_t si = index_of(src);
   const std::size_t di = index_of(dst);
   const std::size_t n = nodes_.size();

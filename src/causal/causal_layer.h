@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,17 @@ class CausalLayer final : public net::WiredTransport {
   using net::WiredTransport::send;
   void send(NodeAddress address_src, NodeAddress dst, net::PayloadPtr payload,
             sim::EventPriority priority) override;
+
+  // Link-severing seam for partition faults.  A partition must cut traffic
+  // *above* the causal bookkeeping: a message dropped below this layer
+  // (after SENT was counted) leaves a permanent gap that wedges every
+  // later message from the same sender in the receiver's buffer, so a
+  // healed partition would never actually heal.  A severed send is as if
+  // the protocol never spoke.  Degrade faults (loss/dup/reorder) stay at
+  // the physical layer on purpose — they ablate assumption 1 outright.
+  using SeverHook = std::function<bool(NodeAddress src, NodeAddress dst)>;
+  void set_sever_hook(SeverHook hook) { sever_hook_ = std::move(hook); }
+  [[nodiscard]] std::uint64_t severed() const { return severed_; }
 
   // Number of messages currently buffered waiting for causal predecessors.
   [[nodiscard]] std::size_t buffered() const;
@@ -111,6 +123,8 @@ class CausalLayer final : public net::WiredTransport {
   bool fixed_universe_ = false;
   std::unordered_map<NodeAddress, std::size_t> index_;
   std::vector<NodeState> nodes_;
+  SeverHook sever_hook_;
+  std::uint64_t severed_ = 0;
   std::uint64_t delayed_total_ = 0;
 };
 

@@ -289,6 +289,46 @@ std::vector<std::uint8_t> encode(const net::MessageBase& message) {
     writer.u32(aack->epoch);
     writer.u32(aack->cum_next);
     writer.u64(aack->sack);
+  } else if (const auto* cack = dynamic_cast<const MsgChainAck*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kChainAck));
+    put_mss(writer, cack->primary);
+    writer.u64(cack->seq);
+    put_mss(writer, cack->member);
+  } else if (const auto* fence =
+                 dynamic_cast<const MsgReplicaFence*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kReplicaFence));
+    put_mss(writer, fence->primary);
+    writer.u64(fence->epoch);
+    writer.u64(fence->fence_seq);
+    writer.boolean(fence->commit);
+  } else if (const auto* fack =
+                 dynamic_cast<const MsgReplicaFenceAck*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kReplicaFenceAck));
+    put_mss(writer, fack->primary);
+    writer.u64(fack->epoch);
+    put_mss(writer, fack->member);
+  } else if (const auto* mev =
+                 dynamic_cast<const MsgMembershipEvent*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kMembershipEvent));
+    put_mss(writer, mev->subject);
+    put_node(writer, mev->subject_address);
+    writer.u8(static_cast<std::uint8_t>(mev->kind));
+    writer.u64(mev->epoch);
+  } else if (const auto* mrep =
+                 dynamic_cast<const MsgMembershipReport*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kMembershipReport));
+    put_mss(writer, mrep->reporter);
+    put_mss(writer, mrep->subject);
+    writer.u8(static_cast<std::uint8_t>(mrep->kind));
+  } else if (const auto* probe =
+                 dynamic_cast<const MsgMembershipProbe*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kMembershipProbe));
+    put_mss(writer, probe->subject);
+  } else if (const auto* pfence =
+                 dynamic_cast<const MsgPrimaryFence*>(&message)) {
+    writer.u8(static_cast<std::uint8_t>(MessageTag::kPrimaryFence));
+    put_mss(writer, pfence->primary);
+    writer.u64(pfence->epoch);
   } else {
     RDP_CHECK(false, std::string("cannot encode message type: ") +
                          message.name());
@@ -533,6 +573,64 @@ net::PayloadPtr decode_impl(const std::vector<std::uint8_t>& buffer,
       const std::uint32_t cum_next = reader.u32();
       const std::uint64_t sack = reader.u64();
       payload = net::make_message<MsgArqAck>(epoch, cum_next, sack);
+      break;
+    }
+    case MessageTag::kChainAck: {
+      const MssId primary = get_mss(reader);
+      const std::uint64_t seq = reader.u64();
+      const MssId member = get_mss(reader);
+      payload = net::make_message<MsgChainAck>(primary, seq, member);
+      break;
+    }
+    case MessageTag::kReplicaFence: {
+      const MssId primary = get_mss(reader);
+      const std::uint64_t epoch = reader.u64();
+      const std::uint64_t fence_seq = reader.u64();
+      const bool commit = reader.boolean();
+      payload =
+          net::make_message<MsgReplicaFence>(primary, epoch, fence_seq, commit);
+      break;
+    }
+    case MessageTag::kReplicaFenceAck: {
+      const MssId primary = get_mss(reader);
+      const std::uint64_t epoch = reader.u64();
+      const MssId member = get_mss(reader);
+      payload = net::make_message<MsgReplicaFenceAck>(primary, epoch, member);
+      break;
+    }
+    case MessageTag::kMembershipEvent: {
+      const MssId subject = get_mss(reader);
+      const NodeAddress subject_address = get_node(reader);
+      const std::uint8_t kind = reader.u8();
+      // Kind comes off the wire: reject hostile values instead of carrying
+      // an out-of-range enum into the protocol engines.
+      if (kind > static_cast<std::uint8_t>(MembershipEventKind::kAlive)) {
+        throw net::CodecError("bad membership event kind");
+      }
+      const std::uint64_t epoch = reader.u64();
+      payload = net::make_message<MsgMembershipEvent>(
+          subject, subject_address, static_cast<MembershipEventKind>(kind),
+          epoch);
+      break;
+    }
+    case MessageTag::kMembershipReport: {
+      const MssId reporter = get_mss(reader);
+      const MssId subject = get_mss(reader);
+      const std::uint8_t kind = reader.u8();
+      if (kind > static_cast<std::uint8_t>(MembershipReportKind::kRejoin)) {
+        throw net::CodecError("bad membership report kind");
+      }
+      payload = net::make_message<MsgMembershipReport>(
+          reporter, subject, static_cast<MembershipReportKind>(kind));
+      break;
+    }
+    case MessageTag::kMembershipProbe:
+      payload = net::make_message<MsgMembershipProbe>(get_mss(reader));
+      break;
+    case MessageTag::kPrimaryFence: {
+      const MssId primary = get_mss(reader);
+      const std::uint64_t epoch = reader.u64();
+      payload = net::make_message<MsgPrimaryFence>(primary, epoch);
       break;
     }
     default:

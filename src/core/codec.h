@@ -48,6 +48,14 @@ enum class MessageTag : std::uint8_t {
   // Uplink ARQ (src/arq).
   kArqData = 30,
   kArqAck = 31,
+  // Dynamic membership + k-chain replication (src/replication).
+  kChainAck = 32,
+  kReplicaFence = 33,
+  kReplicaFenceAck = 34,
+  kMembershipEvent = 35,
+  kMembershipReport = 36,
+  kMembershipProbe = 37,
+  kPrimaryFence = 38,
 };
 
 // Encodes any core message.  Throws common::InvariantViolation for message

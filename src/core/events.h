@@ -40,7 +40,7 @@ class RdpObserver {
   // Number of virtual hooks below.  When adding a hook, bump this AND add
   // the matching fan-out override to ObserverList — the events_fanout test
   // fails if either is forgotten.
-  static constexpr int kHookCount = 25;
+  static constexpr int kHookCount = 28;
 
   // --- proxy life-cycle (§3.3) ---
   virtual void on_proxy_created(SimTime, MhId, NodeAddress /*host*/,
@@ -122,6 +122,19 @@ class RdpObserver {
   virtual void on_backup_promoted(SimTime, MssId /*primary*/,
                                   MssId /*backup*/,
                                   std::size_t /*proxies_adopted*/) {}
+
+  // --- dynamic membership (src/replication membership service) ---
+  // The membership service declared the Mss departed: it stayed unreachable
+  // past the departure threshold, its chain roles were re-assigned, and the
+  // ring was repaired at the given membership epoch.
+  virtual void on_mss_departed(SimTime, MssId, std::uint64_t /*epoch*/) {}
+  // A departed Mss is reachable again (restart or partition heal) and was
+  // re-admitted to the ring.
+  virtual void on_mss_rejoined(SimTime, MssId, std::uint64_t /*epoch*/) {}
+  // A departed-but-still-running primary was fenced by a chain member and
+  // dropped its live proxies instead of racing the promoted backup.
+  virtual void on_primary_demoted(SimTime, MssId,
+                                  std::size_t /*proxies_dropped*/) {}
 };
 
 // Fans one event stream out to several observers.
@@ -239,6 +252,15 @@ class ObserverList final : public RdpObserver {
   void on_backup_promoted(SimTime t, MssId primary, MssId backup,
                           std::size_t adopted) override {
     for (auto* o : observers_) o->on_backup_promoted(t, primary, backup, adopted);
+  }
+  void on_mss_departed(SimTime t, MssId mss, std::uint64_t epoch) override {
+    for (auto* o : observers_) o->on_mss_departed(t, mss, epoch);
+  }
+  void on_mss_rejoined(SimTime t, MssId mss, std::uint64_t epoch) override {
+    for (auto* o : observers_) o->on_mss_rejoined(t, mss, epoch);
+  }
+  void on_primary_demoted(SimTime t, MssId mss, std::size_t dropped) override {
+    for (auto* o : observers_) o->on_primary_demoted(t, mss, dropped);
   }
 
  private:

@@ -658,4 +658,154 @@ struct MsgTransferResume final : net::MessageBase {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Dynamic membership + k-chain replication (src/replication).
+//
+// Replication fans out along an ordered chain of k backups: the primary
+// ships every delta to the chain head, each member applies and forwards to
+// its successor, and the tail acknowledges back to the primary.  A
+// membership service watches Mss liveness, marks an Mss that stays
+// unreachable past the departure threshold as *departed*, and repairs the
+// ring: chains are recomputed and the affected primaries re-replicate their
+// checkpoints to the new members under a begin/commit seq-fence so a
+// half-synced shadow is never promoted.
+// ---------------------------------------------------------------------------
+
+// chain tail -> primary: the delta with shipping counter `seq` reached the
+// end of the chain; every member between head and tail has applied it.
+struct MsgChainAck final : net::MessageBase {
+  MssId primary;
+  std::uint64_t seq;
+  MssId member;  // the acking tail
+
+  MsgChainAck(MssId primary_in, std::uint64_t seq_in, MssId member_in)
+      : primary(primary_in), seq(seq_in), member(member_in) {}
+  [[nodiscard]] const char* name() const override { return "chainAck"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+// primary -> chain: brackets a re-replication snapshot after a chain
+// change.  The begin fence (commit = false) travels ahead of the snapshot
+// on every per-link FIFO hop, so a new member marks its shadow *syncing*
+// before the first record arrives; the commit fence closes the bracket and
+// makes the shadow promotable.  `fence_seq` is the primary's shipping
+// counter at the bracket boundary: promotion is never ahead of the fence.
+struct MsgReplicaFence final : net::MessageBase {
+  MssId primary;
+  std::uint64_t epoch;  // membership epoch that triggered the re-replication
+  std::uint64_t fence_seq;
+  bool commit;
+
+  MsgReplicaFence(MssId primary_in, std::uint64_t epoch_in,
+                  std::uint64_t fence_seq_in, bool commit_in)
+      : primary(primary_in),
+        epoch(epoch_in),
+        fence_seq(fence_seq_in),
+        commit(commit_in) {}
+  [[nodiscard]] const char* name() const override { return "replicaFence"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] std::string describe() const override {
+    return std::string("replicaFence(") + primary.str() + "," +
+           (commit ? "commit" : "begin") + ")";
+  }
+};
+
+// chain member -> primary: acknowledges the commit fence; the member's
+// shadow of `primary` is complete up to the fence and promotable.
+struct MsgReplicaFenceAck final : net::MessageBase {
+  MssId primary;
+  std::uint64_t epoch;
+  MssId member;
+
+  MsgReplicaFenceAck(MssId primary_in, std::uint64_t epoch_in, MssId member_in)
+      : primary(primary_in), epoch(epoch_in), member(member_in) {}
+  [[nodiscard]] const char* name() const override { return "replicaFenceAck"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+enum class MembershipEventKind : std::uint8_t {
+  kSuspect = 0,   // the subject stopped answering; departure timer armed
+  kDeparted = 1,  // the subject stayed down past the threshold; ring repaired
+  kRejoined = 2,  // a departed subject is reachable again; ring repaired
+  kAlive = 3,     // a suspected subject answered its probe; drop stale state
+};
+
+// membership service -> Mss's: a membership-view transition.  Broadcast in
+// Mss-id order so the wire view of every transition is deterministic.
+// `subject_address` lets a passive observer correlate the event with proxy
+// traffic that names the subject by wired address (e.g. prefRepair).
+struct MsgMembershipEvent final : net::MessageBase {
+  MssId subject;
+  NodeAddress subject_address;
+  MembershipEventKind kind;
+  std::uint64_t epoch;
+
+  MsgMembershipEvent(MssId subject_in, NodeAddress subject_address_in,
+                     MembershipEventKind kind_in, std::uint64_t epoch_in)
+      : subject(subject_in),
+        subject_address(subject_address_in),
+        kind(kind_in),
+        epoch(epoch_in) {}
+  [[nodiscard]] const char* name() const override { return "membershipEvent"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 28; }
+  [[nodiscard]] std::string describe() const override {
+    static constexpr const char* kKinds[] = {"suspect", "departed", "rejoined",
+                                             "alive"};
+    const auto index = static_cast<std::size_t>(kind);
+    return "membershipEvent(" + subject.str() + "," +
+           (index < 4 ? kKinds[index] : "?") + ")";
+  }
+};
+
+enum class MembershipReportKind : std::uint8_t {
+  kSuspect = 0,  // a backup stopped hearing a directory-up primary
+  kAlive = 1,    // a probed Mss answering that it is reachable
+  kRejoin = 2,   // a demoted (fenced) primary asking to re-enter the ring
+};
+
+// Mss -> membership service: a liveness observation the service cannot make
+// itself.  A suspect report triggers a probe of the subject; an alive reply
+// resolves it; a rejoin request re-admits a fenced primary after a
+// partition heals.
+struct MsgMembershipReport final : net::MessageBase {
+  MssId reporter;
+  MssId subject;
+  MembershipReportKind kind;
+
+  MsgMembershipReport(MssId reporter_in, MssId subject_in,
+                      MembershipReportKind kind_in)
+      : reporter(reporter_in), subject(subject_in), kind(kind_in) {}
+  [[nodiscard]] const char* name() const override { return "membershipReport"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 20; }
+};
+
+// membership service -> suspected Mss: are you reachable?  A live subject
+// answers with MsgMembershipReport(kAlive); a crashed or partitioned one
+// cannot, and departs when the probe times out.
+struct MsgMembershipProbe final : net::MessageBase {
+  MssId subject;
+
+  explicit MsgMembershipProbe(MssId subject_in) : subject(subject_in) {}
+  [[nodiscard]] const char* name() const override { return "membershipProbe"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+// backup -> departed-but-up primary: you were declared departed (epoch on
+// the message); stop serving and demote.  Sent whenever a departed primary's
+// replication traffic reaches a chain member, so a partitioned primary is
+// fenced off the moment the partition heals instead of racing the promoted
+// backup.
+struct MsgPrimaryFence final : net::MessageBase {
+  MssId primary;
+  std::uint64_t epoch;
+
+  MsgPrimaryFence(MssId primary_in, std::uint64_t epoch_in)
+      : primary(primary_in), epoch(epoch_in) {}
+  [[nodiscard]] const char* name() const override { return "primaryFence"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 20; }
+  [[nodiscard]] std::string describe() const override {
+    return "primaryFence(" + primary.str() + ")";
+  }
+};
+
 }  // namespace rdp::core

@@ -823,10 +823,21 @@ void Mss::request_transfer_resume(MhId mh, NodeAddress dead_host,
                                   ProxyId old_proxy) {
   const MssId dead = runtime_.directory.mss_at(dead_host);
   if (!dead.valid()) return;
-  const MssId backup = runtime_.directory.backup_of(dead);
+  // The resume goes to the first live member of the dead host's backup
+  // chain — the same deterministic promoter the lease-expiry path elects,
+  // so a primary+backup double crash still resolves against the surviving
+  // chain member.
+  MssId backup = MssId::invalid();
+  for (const MssId member : runtime_.directory.backups_of(dead)) {
+    if (runtime_.directory.mss_live(member)) {
+      backup = member;
+      break;
+    }
+  }
   if (!backup.valid()) {
-    // No replication for that host; the Mh watchdog (or its restart plus
-    // checkpoint restore) is the only recovery path.
+    // No replication for that host (or the whole chain is gone); the Mh
+    // watchdog (or its restart plus checkpoint restore) is the only
+    // recovery path.
     count("mss.transfer_resume_no_backup");
     return;
   }
@@ -834,6 +845,31 @@ void Mss::request_transfer_resume(MhId mh, NodeAddress dead_host,
   runtime_.wired.send(
       address_, runtime_.directory.mss_address(backup),
       net::make_message<MsgTransferResume>(mh, dead_host, old_proxy));
+}
+
+std::size_t Mss::demote_proxies() {
+  if (proxies_.empty()) return 0;
+  // Replicated proxies live on in the promoted chain members — their
+  // requests are owned there, exactly as after a crash.  A never-shipped
+  // proxy's requests die here (unless the Mh watchdog re-issues them).
+  if (!runtime_.config.mh_reissue) {
+    for (const auto& [id, proxy] : proxies_) {
+      if (replication_ != nullptr && replication_->covers(id)) continue;
+      for (const RequestId request : proxy->pending_requests()) {
+        runtime_.observer.on_request_lost(runtime_.simulator.now(),
+                                          proxy->mh(), request,
+                                          RequestLossReason::kProxyGone);
+      }
+    }
+  }
+  std::vector<ProxyId> ids;
+  ids.reserve(proxies_.size());
+  for (const auto& [id, proxy] : proxies_) ids.push_back(id);
+  for (const ProxyId id : ids) {
+    count("mss.proxies_demoted");
+    delete_proxy(id, /*via_gc=*/false);
+  }
+  return ids.size();
 }
 
 void Mss::delete_proxy(ProxyId id, bool via_gc) {

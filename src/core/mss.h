@@ -89,6 +89,11 @@ class Mss final : public net::Endpoint,
   void drop_adopted_proxy(ProxyId proxy);
   // Snapshot every live proxy (shadow-table resync after a backup restart).
   [[nodiscard]] std::vector<ProxyCheckpoint> checkpoint_all() const;
+  // Drop every live proxy because this (still-running) Mss was fenced off
+  // the replication ring: it stayed departed past the threshold while a
+  // chain member promoted its shadows, so the adopted incarnations own the
+  // requests now.  Returns the number of proxies dropped.
+  std::size_t demote_proxies();
 
   // net::Endpoint — wired traffic.
   void on_message(const net::Envelope& envelope) override;

@@ -7,7 +7,12 @@ namespace rdp::fault {
 FaultInjector::FaultInjector(harness::World& world, FaultPlan plan)
     : world_(world), plan_(std::move(plan)), rng_(plan_.seed) {}
 
-FaultInjector::~FaultInjector() { world_.wired().set_fault_hook(nullptr); }
+FaultInjector::~FaultInjector() {
+  world_.wired().set_fault_hook(nullptr);
+  if (causal::CausalLayer* causal = world_.causal()) {
+    causal->set_sever_hook(nullptr);
+  }
+}
 
 void FaultInjector::arm() {
   RDP_CHECK(!armed_, "FaultInjector armed twice");
@@ -80,7 +85,23 @@ void FaultInjector::arm() {
     partitions_.push_back(std::move(armed));
   }
 
-  if (!plan_.degrades.empty() || !partitions_.empty()) {
+  // Partitions sever links *above* the causal layer when one is present:
+  // a drop below it (after SENT accounting) leaves a permanent gap in the
+  // causal history, so messages sent after the heal would buffer forever
+  // and the partition would effectively never heal.  Without a causal
+  // layer the physical hook realises the cut as before.
+  if (!partitions_.empty()) {
+    if (causal::CausalLayer* causal = world_.causal()) {
+      partitions_at_transport_ = true;
+      causal->set_sever_hook(
+          [this](common::NodeAddress src, common::NodeAddress dst) {
+            return partition_cut(src, dst);
+          });
+    }
+  }
+
+  if (!plan_.degrades.empty() ||
+      (!partitions_.empty() && !partitions_at_transport_)) {
     world_.wired().set_fault_hook(
         [this](common::NodeAddress src, common::NodeAddress dst,
                const net::PayloadPtr& /*payload*/) {
@@ -89,23 +110,33 @@ void FaultInjector::arm() {
   }
 }
 
-net::FaultDecision FaultInjector::decide(common::NodeAddress src,
-                                         common::NodeAddress dst) {
-  net::FaultDecision decision;
+bool FaultInjector::partition_cut(common::NodeAddress src,
+                                  common::NodeAddress dst) {
   const common::SimTime now = world_.simulator().now();
-
   for (const ArmedPartition& partition : partitions_) {
     if (now < partition.from || now >= partition.until) continue;
     // Only traffic *crossing* the island boundary is cut; traffic wholly
     // inside or wholly outside the island still flows.
     if (partition.island.contains(src) != partition.island.contains(dst)) {
-      decision.drop = true;
+      ++partition_drops_;
       if (recorder_ != nullptr) {
         recorder_->record(now, "FAULT partition drops " + src.str() + "->" +
                                    dst.str());
       }
-      return decision;
+      return true;
     }
+  }
+  return false;
+}
+
+net::FaultDecision FaultInjector::decide(common::NodeAddress src,
+                                         common::NodeAddress dst) {
+  net::FaultDecision decision;
+  const common::SimTime now = world_.simulator().now();
+
+  if (!partitions_at_transport_ && partition_cut(src, dst)) {
+    decision.drop = true;
+    return decision;
   }
 
   for (const FaultPlan::Degrade& degrade : plan_.degrades) {

@@ -34,6 +34,12 @@ class FaultInjector {
 
   [[nodiscard]] std::uint64_t crashes_injected() const { return crashes_; }
   [[nodiscard]] std::uint64_t restarts_injected() const { return restarts_; }
+  // Messages cut by a partition window, wherever the cut was realised
+  // (causal-layer sever hook when causal order is on, physical drop
+  // otherwise).
+  [[nodiscard]] std::uint64_t partition_drops() const {
+    return partition_drops_;
+  }
 
  private:
   struct ArmedPartition {
@@ -43,6 +49,7 @@ class FaultInjector {
   };
 
   net::FaultDecision decide(common::NodeAddress src, common::NodeAddress dst);
+  bool partition_cut(common::NodeAddress src, common::NodeAddress dst);
 
   harness::World& world_;
   FaultPlan plan_;
@@ -53,8 +60,10 @@ class FaultInjector {
   obs::FlightRecorder* recorder_ = nullptr;
   std::vector<ArmedPartition> partitions_;
   bool armed_ = false;
+  bool partitions_at_transport_ = false;
   std::uint64_t crashes_ = 0;
   std::uint64_t restarts_ = 0;
+  std::uint64_t partition_drops_ = 0;
 };
 
 }  // namespace rdp::fault

@@ -80,6 +80,33 @@ struct FaultPlan {
     return *this;
   }
 
+  // Correlated double crash (replication §8): the primary fails at `at`
+  // and its first backup `stagger` later — inside the same lease window
+  // when stagger < lease_timeout — so fail-over must walk past the dead
+  // chain head.  Duration::max() downtime (the default) never restarts
+  // either, forcing the restart-free promotion path.
+  FaultPlan& double_crash(int primary, int backup, common::Duration at,
+                          common::Duration stagger,
+                          common::Duration downtime = common::Duration::max()) {
+    crashes.push_back(Crash{primary, at, downtime});
+    crashes.push_back(Crash{backup, at + stagger, downtime});
+    return *this;
+  }
+
+  // Crash storm: Mss's 0..num_mss-1 fail in index order, `stagger` apart,
+  // each down for `downtime` (Duration::max() = never restarts).  Stresses
+  // ring repair under cascading membership churn.
+  FaultPlan& crash_storm(int num_mss, common::Duration at,
+                         common::Duration stagger,
+                         common::Duration downtime = common::Duration::max()) {
+    common::Duration when = at;
+    for (int i = 0; i < num_mss; ++i) {
+      crashes.push_back(Crash{i, when, downtime});
+      when += stagger;
+    }
+    return *this;
+  }
+
   FaultPlan& degrade_links(common::Duration from, common::Duration until,
                            double drop, double duplicate = 0.0,
                            double reorder = 0.0) {

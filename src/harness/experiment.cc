@@ -236,6 +236,13 @@ ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params) {
   config.base.analyzer.enabled = params.analyzer;
   config.shards = params.shards;
   config.threads = params.shard_threads;
+  // Mode is kOff (checked above); the churn machinery reads the timing
+  // knobs (departure_threshold) and chain length from the same config.
+  config.base.replication = params.replication;
+  config.backup_k = params.backup_k;
+  for (const ExperimentParams::ChurnEvent& event : params.membership_churn) {
+    config.membership_churn.push_back({event.at, event.mss, event.up});
+  }
 
   const workload::CellTopology topology =
       workload::CellTopology::grid(params.grid_width, params.grid_height);

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baseline/mip.h"
 #include "harness/baseline_world.h"
@@ -68,6 +69,19 @@ struct ExperimentParams {
   // Protocol knobs.
   core::RdpConfig rdp;
   bool causal_order = true;
+  // Membership churn (sharded runs only): crash/restart the named Mss's at
+  // virtual times.  A host down past replication.departure_threshold is
+  // marked departed and its backup-chain bookkeeping is ring-repaired; a
+  // departed host that restarts rejoins.  Everything is applied at window
+  // barriers, so results stay bit-identical across shard/thread counts.
+  struct ChurnEvent {
+    common::Duration at;
+    int mss = 0;
+    bool up = false;  // false = crash, true = restart
+  };
+  std::vector<ChurnEvent> membership_churn;
+  // Chain length for the sharded churn's ring bookkeeping.
+  int backup_k = 1;
   // Primary/backup proxy replication (RDP runs only; kOff disables).
   replication::ReplicationConfig replication;
   // Proxy checkpointing to simulated stable storage (RDP runs only).

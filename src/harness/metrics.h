@@ -62,6 +62,12 @@ class MetricsCollector final : public core::RdpObserver {
   std::uint64_t backup_promotions = 0;
   std::uint64_t proxies_adopted = 0;
 
+  // --- membership / ring repair (PROTOCOL.md §8) ---
+  std::uint64_t mss_departures = 0;
+  std::uint64_t mss_rejoins = 0;
+  std::uint64_t primary_demotions = 0;
+  std::uint64_t membership_epoch = 0;  // latest epoch seen on either event
+
   // --- latency (request issue -> first non-duplicate delivery of each
   // result; milliseconds) ---
   stats::Histogram delivery_latency_ms;
@@ -187,6 +193,32 @@ class MetricsCollector final : public core::RdpObserver {
     if (registry_ != nullptr && adopted > 0) {
       registry_->counter("rdp.replication.proxies_adopted")
           .increment(adopted);
+    }
+  }
+  void on_mss_departed(core::SimTime, core::MssId mss,
+                       std::uint64_t epoch) override {
+    ++mss_departures;
+    membership_epoch = epoch;
+    bump("rdp.membership.departures", {{"mss", mss.str()}});
+    if (registry_ != nullptr) {
+      registry_->gauge("rdp.rering.epoch").set(static_cast<double>(epoch));
+    }
+  }
+  void on_mss_rejoined(core::SimTime, core::MssId mss,
+                       std::uint64_t epoch) override {
+    ++mss_rejoins;
+    membership_epoch = epoch;
+    bump("rdp.membership.rejoins", {{"mss", mss.str()}});
+    if (registry_ != nullptr) {
+      registry_->gauge("rdp.rering.epoch").set(static_cast<double>(epoch));
+    }
+  }
+  void on_primary_demoted(core::SimTime, core::MssId mss,
+                          std::size_t dropped) override {
+    ++primary_demotions;
+    bump("rdp.membership.demotions", {{"mss", mss.str()}});
+    if (registry_ != nullptr && dropped > 0) {
+      registry_->counter("rdp.membership.proxies_demoted").increment(dropped);
     }
   }
 

@@ -235,7 +235,34 @@ ShardedWorld::ShardedWorld(ShardedScenarioConfig config)
     }
   }
 
-  sim_.add_barrier_hook([this](common::SimTime) {
+  if (!config_.membership_churn.empty()) {
+    churn_ = config_.membership_churn;
+    std::stable_sort(
+        churn_.begin(), churn_.end(),
+        [](const ShardedScenarioConfig::ChurnEvent& a,
+           const ShardedScenarioConfig::ChurnEvent& b) { return a.at < b.at; });
+    // Initial chains, same assignment World uses, so repairs have a ring to
+    // repair and tests can compare the bookkeeping across shard counts.
+    recompute_chains();
+    // Anchor events: a no-op in the owning shard's queue at every churn and
+    // departure-due time, so run_to_quiescence cannot drain past a pending
+    // transition and the barrier sequence is identical for any shard count.
+    for (const ShardedScenarioConfig::ChurnEvent& event : churn_) {
+      RDP_CHECK(event.mss >= 0 && event.mss < base.num_mss,
+                "churn event names an unknown Mss");
+      sim::Simulator& home =
+          sim_.shard(cell_shard_[static_cast<std::size_t>(event.mss)]);
+      home.schedule_at(common::SimTime::zero() + event.at, [] {});
+      if (!event.up) {
+        home.schedule_at(common::SimTime::zero() + event.at +
+                             base.replication.departure_threshold,
+                         [] {});
+      }
+    }
+  }
+
+  sim_.add_barrier_hook([this](common::SimTime at) {
+    apply_churn(at);
     sync_mirrors();
     merger_.flush();
   });
@@ -309,6 +336,72 @@ void ShardedWorld::sync_mirrors() {
         target->wireless.apply_state_delta(delta);
       }
     }
+  }
+}
+
+void ShardedWorld::recompute_chains() {
+  // Same pure function the single-kernel MembershipService uses: every
+  // live primary gets the backup_k next live Mss's in id-ring order;
+  // non-live primaries keep their frozen chains.
+  const std::vector<common::MssId> all = directory_.mss_ids();
+  std::vector<common::MssId> live;
+  live.reserve(all.size());
+  for (common::MssId mss : all) {
+    if (directory_.mss_live(mss)) live.push_back(mss);
+  }
+  for (common::MssId mss : all) {
+    if (!directory_.mss_live(mss)) continue;
+    directory_.set_backups(
+        mss, replication::compute_chain(live, mss, config_.backup_k));
+  }
+}
+
+void ShardedWorld::apply_churn(common::SimTime now) {
+  // Runs at every window barrier: single-threaded, after all shards have
+  // reached `now`.  Transition times are taken from the plan (not the
+  // barrier stamp), so the decision sequence is a pure function of the
+  // plan and the directory — identical for every shard count.
+  while (next_churn_ < churn_.size() &&
+         common::SimTime::zero() + churn_[next_churn_].at <= now) {
+    const ShardedScenarioConfig::ChurnEvent& event = churn_[next_churn_++];
+    core::Mss& target = *msses_.at(static_cast<std::size_t>(event.mss));
+    const common::MssId id = target.id();
+    if (!event.up) {
+      if (!target.crashed()) target.crash();
+      pending_departures_[id] = common::SimTime::zero() + event.at +
+                                config_.base.replication.departure_threshold;
+    } else {
+      if (target.crashed()) target.restart();
+      pending_departures_.erase(id);
+      if (directory_.mss_departed(id)) {
+        directory_.set_mss_departed(id, false);
+        directory_.bump_membership_epoch();
+        recompute_chains();
+        // Counters land in the host's home shard so merged_counters() (a
+        // commutative sum) pins churn activity shard-count-invariantly.
+        shards_.at(static_cast<std::size_t>(
+                       cell_shard_[static_cast<std::size_t>(event.mss)]))
+            ->counters.increment("membership.rejoins");
+        observers_.on_mss_rejoined(now, id, directory_.membership_epoch());
+      }
+    }
+  }
+  for (auto it = pending_departures_.begin();
+       it != pending_departures_.end();) {
+    if (it->second > now) {
+      ++it;
+      continue;
+    }
+    const common::MssId id = it->first;
+    it = pending_departures_.erase(it);
+    if (directory_.mss_up(id) || directory_.mss_departed(id)) continue;
+    directory_.set_mss_departed(id, true);
+    directory_.bump_membership_epoch();
+    recompute_chains();
+    shards_.at(static_cast<std::size_t>(
+                   cell_shard_[static_cast<std::size_t>(id.value())]))
+        ->counters.increment("membership.departures");
+    observers_.on_mss_departed(now, id, directory_.membership_epoch());
   }
 }
 

@@ -18,6 +18,7 @@
 // plans reach across the world synchronously) and are rejected here.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -52,6 +53,24 @@ struct ShardedScenarioConfig {
   // Home cell per Mh (index = Mh id); determines the Mh's shard.  When
   // empty, Mh i starts in cell i % num_mss.
   std::vector<common::CellId> mh_home_cells;
+
+  // Membership churn (PROTOCOL.md §8, sharded flavor): crash/restart an Mss
+  // at a virtual time, mark it departed once it stays down past
+  // base.replication.departure_threshold, and repair the backup-chain
+  // bookkeeping in the directory.  Everything is applied at window
+  // barriers — single-threaded, a pure function of barrier-visible state —
+  // so results stay bit-identical for any shard count.  Replication itself
+  // (the wire-level Replicator/MembershipService pair) stays structurally
+  // off; churn exercises the ring-repair decision function and the
+  // membership observer hooks under partitioned execution.
+  struct ChurnEvent {
+    common::Duration at;
+    int mss = 0;
+    bool up = false;  // false = crash, true = restart
+  };
+  std::vector<ChurnEvent> membership_churn;
+  // Chain length for the ring bookkeeping the churn maintains.
+  int backup_k = 1;
 };
 
 class ShardedWorld {
@@ -151,6 +170,10 @@ class ShardedWorld {
   void route_wireless(int src, net::WirelessFrame frame,
                       std::uint64_t stream_key, std::uint64_t stream_seq);
   void sync_mirrors();
+  // Barrier-time membership churn: apply due crash/restart events, settle
+  // due departures, repair the chain bookkeeping.  Single-threaded.
+  void apply_churn(common::SimTime now);
+  void recompute_chains();
 
   ShardedScenarioConfig config_;
   sim::ShardedSimulator sim_;
@@ -173,6 +196,11 @@ class ShardedWorld {
   std::vector<std::unique_ptr<core::Mss>> msses_;
   std::vector<std::unique_ptr<core::Server>> servers_;
   std::vector<std::unique_ptr<core::MobileHostAgent>> mhs_;
+
+  // Membership churn state (barrier-owned; see apply_churn).
+  std::vector<ShardedScenarioConfig::ChurnEvent> churn_;  // time-sorted
+  std::size_t next_churn_ = 0;
+  std::map<common::MssId, common::SimTime> pending_departures_;
 
   friend class Router;
 };

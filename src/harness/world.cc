@@ -98,14 +98,14 @@ World::World(ScenarioConfig config)
 
   if (config_.replication.mode != replication::Mode::kOff &&
       config_.num_mss >= 2) {
-    // Static backup ring: Mss i replicates to Mss (i+1) % N.  Register the
-    // assignments first (the Replicator constructor resolves its backup
-    // from the directory), then attach the hooks.
-    for (int i = 0; i < config_.num_mss; ++i) {
-      directory_.register_backup(
-          common::MssId(static_cast<std::uint32_t>(i)),
-          common::MssId(
-              static_cast<std::uint32_t>((i + 1) % config_.num_mss)));
+    // Initial backup chains: Mss i replicates to the k next Mss's in
+    // id-ring order (the MembershipService repairs these on departures).
+    // Register the assignments first (the Replicator constructor resolves
+    // its chain from the directory), then attach the hooks.
+    const std::vector<common::MssId> all = directory_.mss_ids();
+    for (common::MssId id : all) {
+      directory_.set_backups(
+          id, replication::compute_chain(all, id, config_.replication.k));
     }
     for (int i = 0; i < config_.num_mss; ++i) {
       replicators_.push_back(std::make_unique<replication::Replicator>(
@@ -127,6 +127,14 @@ World::World(ScenarioConfig config)
   for (int i = 0; i < config_.num_mh; ++i) {
     mhs_.push_back(std::make_unique<core::MobileHostAgent>(
         *runtime_, common::MhId(static_cast<std::uint32_t>(i))));
+  }
+
+  if (!replicators_.empty()) {
+    // Allocated last so the membership extension never shifts the address
+    // layout of Mss's, servers or anything a seeded scenario depends on.
+    membership_ = std::make_unique<replication::MembershipService>(
+        *runtime_, config_.replication, directory_.allocate_address());
+    observers_.add(membership_.get());
   }
 }
 

@@ -23,6 +23,7 @@
 #include "net/wireless.h"
 #include "obs/cost_ledger.h"
 #include "obs/telemetry.h"
+#include "replication/membership.h"
 #include "replication/replication.h"
 #include "sim/simulator.h"
 #include "stats/counters.h"
@@ -40,9 +41,11 @@ struct ScenarioConfig {
   bool proxy_checkpointing = false;
   core::ProxyCheckpointStore::Config checkpoint;
   // Primary/backup replication extension (src/replication): when the mode
-  // is not kOff and the world has >= 2 Mss's, each Mss i replicates its
-  // proxies to Mss (i+1) % num_mss and a crash fails over to the backup
-  // without waiting for restart.
+  // is not kOff and the world has >= 2 Mss's, each Mss replicates its
+  // proxies along a chain of the k next Mss's in id-ring order and a crash
+  // fails over to the first live chain member without waiting for restart.
+  // A MembershipService watches crashes/restarts, declares long-dead Mss's
+  // departed and repairs the ring (PROTOCOL.md §8).
   replication::ReplicationConfig replication;
   // Observability: invariant auditing + flight recorder are on by default;
   // span tracing and periodic metrics sampling are opt-in.  The World
@@ -98,6 +101,10 @@ class World {
   // Null unless the scenario enabled replication (mode != kOff).
   [[nodiscard]] replication::Replicator* replicator(int i) {
     return replicators_.empty() ? nullptr : replicators_.at(i).get();
+  }
+  // Null unless the scenario enabled replication (mode != kOff).
+  [[nodiscard]] replication::MembershipService* membership() {
+    return membership_.get();
   }
   // Observability bundle (always present; individual components follow
   // config().telemetry).  Labeled wire-message counters land in
@@ -160,6 +167,7 @@ class World {
   std::unique_ptr<core::ProxyCheckpointStore> checkpoint_store_;
   std::vector<std::unique_ptr<core::Mss>> msses_;
   std::vector<std::unique_ptr<replication::Replicator>> replicators_;
+  std::unique_ptr<replication::MembershipService> membership_;
   std::vector<std::unique_ptr<core::Server>> servers_;
   std::vector<std::unique_ptr<core::MobileHostAgent>> mhs_;
 };

@@ -53,6 +53,9 @@ struct WiredConfig {
 // The hook sits at the *physical* layer, below causal::CausalLayer, so an
 // injected drop/duplicate/reorder ablates assumption 1 outright (a dropped
 // message is gone; the causal layer will buffer its successors forever).
+// Partition faults are the exception: when causal order is on they sever
+// links above the causal layer (CausalLayer::set_sever_hook) so that a
+// healed partition actually heals.
 struct FaultDecision {
   bool drop = false;  // lose the message entirely
   int duplicates = 0; // deliver this many extra copies, each with fresh latency

@@ -48,6 +48,13 @@ PurposeClass classify_by_name(const std::string& name) {
       {"replicaErase", PurposeClass::kRecovery},
       {"replicaHeartbeat", PurposeClass::kRecovery},
       {"replicaResync", PurposeClass::kRecovery},
+      {"chainAck", PurposeClass::kRecovery},
+      {"replicaFence", PurposeClass::kRecovery},
+      {"replicaFenceAck", PurposeClass::kRecovery},
+      {"membershipEvent", PurposeClass::kRecovery},
+      {"membershipReport", PurposeClass::kRecovery},
+      {"membershipProbe", PurposeClass::kRecovery},
+      {"primaryFence", PurposeClass::kRecovery},
       {"prefRepair", PurposeClass::kRecovery},
       {"prefRepairNack", PurposeClass::kRecovery},
       {"transferResume", PurposeClass::kRecovery},

@@ -39,6 +39,9 @@ inline constexpr const char* kHookNames[] = {
     "proxy_restored",
     "request_reissued",
     "backup_promoted",
+    "mss_departed",
+    "mss_rejoined",
+    "primary_demoted",
 };
 static_assert(std::size(kHookNames) ==
                   static_cast<std::size_t>(core::RdpObserver::kHookCount),

@@ -191,6 +191,16 @@ void InvariantAuditor::on_delproxy_with_pending(common::SimTime, core::MhId,
 
 void InvariantAuditor::on_mss_crashed(common::SimTime, core::MssId mss,
                                       std::size_t, std::size_t) {
+  down_mss_.insert(mss);
+  // R7: a dead promoter no longer owns the primaries it adopted — the next
+  // chain member may legally promote them again.
+  for (auto it = promoter_of_.begin(); it != promoter_of_.end();) {
+    if (it->second == mss) {
+      it = promoter_of_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   // A crash destroys every proxy hosted at that Mss without per-proxy
   // deletion events; drop them from the live set so a post-crash re-create
   // does not look like coexistence.
@@ -198,6 +208,24 @@ void InvariantAuditor::on_mss_crashed(common::SimTime, core::MssId mss,
   const core::NodeAddress host = directory_->mss_address(mss);
   for (auto& [mh, live] : live_proxies_) live.erase(host);
   for (auto& [mh, closing] : closing_proxies_) closing.erase(host);
+}
+
+void InvariantAuditor::on_mss_restarted(common::SimTime, core::MssId mss,
+                                        std::size_t) {
+  down_mss_.erase(mss);
+}
+
+void InvariantAuditor::on_mss_departed(common::SimTime, core::MssId mss,
+                                       std::uint64_t) {
+  departed_mss_.insert(mss);
+}
+
+void InvariantAuditor::on_mss_rejoined(common::SimTime, core::MssId mss,
+                                       std::uint64_t) {
+  departed_mss_.erase(mss);
+  // Ownership settled: the rejoining (fenced, demoted) primary starts
+  // fresh, so a future crash+promotion cycle opens a new R7 book.
+  promoter_of_.erase(mss);
 }
 
 void InvariantAuditor::on_proxy_restored(common::SimTime t, core::MhId mh,
@@ -212,8 +240,23 @@ void InvariantAuditor::on_proxy_restored(common::SimTime t, core::MhId mh,
   }
 }
 
-void InvariantAuditor::on_backup_promoted(common::SimTime, core::MssId primary,
-                                          core::MssId, std::size_t) {
+void InvariantAuditor::on_backup_promoted(common::SimTime t,
+                                          core::MssId primary,
+                                          core::MssId backup, std::size_t) {
+  // R7: promoting a primary that is neither down nor departed would put
+  // two live owners on the wire for the same proxy set.
+  if (!down_mss_.contains(primary) && !departed_mss_.contains(primary)) {
+    violate(t, "R7 " + backup.str() + " promoted live primary " +
+                   primary.str());
+  }
+  auto it = promoter_of_.find(primary);
+  if (it != promoter_of_.end() && it->second != backup) {
+    // The previous promoter is still up (its crash would have cleared the
+    // entry): a second concurrent owner.
+    violate(t, "R7 " + backup.str() + " promoted " + primary.str() +
+                   " while promoter " + it->second.str() + " is still live");
+  }
+  promoter_of_[primary] = backup;
   // Promotion re-homes the dead primary's proxies at the backup; the
   // adopted incarnations arrive as on_proxy_restored events.  The primary's
   // entries were already dropped from the live/closing sets at crash time,

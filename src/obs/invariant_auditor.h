@@ -20,7 +20,13 @@
 //   R5  exactly-once application delivery: a non-duplicate *final* delivery
 //       happens at most once per request (assumption-5 filter);
 //   R6  a request completes at the proxy only after its result was
-//       delivered to the Mh (Ack precedes completion).
+//       delivered to the Mh (Ack precedes completion);
+//   R7  at most one live primary per proxy set (replication extension,
+//       PROTOCOL.md §8): a backup may promote a primary's shadows only
+//       while that primary is down or departed, and a second promotion of
+//       the same primary is legal only after the previous promoter itself
+//       died.  The promoter book is cleared when the primary rejoins (the
+//       fenced primary demoted itself; ownership settled).
 //
 // With the uplink ARQ subsystem (src/arq, PROTOCOL.md §11) enabled, two
 // channel-level invariants are checked as well:
@@ -139,6 +145,9 @@ class InvariantAuditor final : public core::RdpObserver {
                                 core::ProxyId) override;
   void on_mss_crashed(common::SimTime, core::MssId, std::size_t,
                       std::size_t) override;
+  void on_mss_restarted(common::SimTime, core::MssId, std::size_t) override;
+  void on_mss_departed(common::SimTime, core::MssId, std::uint64_t) override;
+  void on_mss_rejoined(common::SimTime, core::MssId, std::uint64_t) override;
   void on_proxy_restored(common::SimTime, core::MhId, core::NodeAddress,
                          core::ProxyId) override;
   void on_backup_promoted(common::SimTime, core::MssId, core::MssId,
@@ -181,6 +190,11 @@ class InvariantAuditor final : public core::RdpObserver {
   std::map<core::MhId, std::set<core::NodeAddress>> closing_proxies_;
   // A1 bookkeeping: next expected in-order ARQ delivery per (Mh, epoch).
   std::map<std::pair<core::MhId, std::uint32_t>, std::uint32_t> arq_next_;
+  // R7 bookkeeping: membership as seen through the observer stream, plus
+  // which backup currently owns each promoted primary's proxy set.
+  std::set<core::MssId> down_mss_;
+  std::set<core::MssId> departed_mss_;
+  std::map<core::MssId, core::MssId> promoter_of_;
 
   std::uint64_t issued_ = 0;
   std::uint64_t finished_ = 0;  // final delivery seen

@@ -4,31 +4,55 @@
 // subsystem (src/fault) drops that assumption; the checkpoint store covers
 // crashes only after the host's own restart.  This subsystem removes the
 // restart from the recovery path: every live proxy at a *primary* Mss is
-// mirrored on a *backup* Mss (assigned statically in core::Directory), and
-// when the backup detects the primary's crash it PROMOTES the mirrored
-// records into live proxies — recreating them under fresh local ids,
-// repairing the prefs that still name the dead primary, and resuming result
-// retransmission — without waiting for Mss::restart.
+// mirrored along an ordered chain of k backup Mss's (assigned in
+// core::Directory and repaired on membership change by the
+// MembershipService), and when a backup detects the primary's crash it
+// PROMOTES the mirrored records into live proxies — recreating them under
+// fresh local ids, repairing the prefs that still name the dead primary,
+// and resuming result retransmission — without waiting for Mss::restart.
 //
 // One Replicator instance is attached per Mss and plays both roles:
 //
 //  Primary side: Mss::checkpoint_proxy feeds every proxy mutation through
 //  core::ReplicationHook.  In sync mode the full ProxyCheckpoint ships to
-//  the backup immediately (one MsgReplicaUpdate per mutation); in async
+//  the chain head immediately (one MsgReplicaUpdate per mutation); in async
 //  mode mutations accumulate in a dirty set flushed every flush_interval
 //  (last-writer-wins per proxy — deltas are full records, so coalescing is
 //  safe).  A monotonic per-primary ship sequence fences reordered or
 //  duplicated deltas.  While replicated proxies exist, the primary renews
 //  its lease with MsgReplicaHeartbeat every heartbeat_interval.
 //
+//  Chain shipping: each chain member applies a delta and forwards it to its
+//  next live successor; the effective tail acknowledges back to the primary
+//  with MsgChainAck.  When the membership service repairs the ring (an Mss
+//  departed or rejoined), an affected primary re-replicates its full
+//  checkpoint to the new chain under a begin/commit MsgReplicaFence bracket:
+//  the begin fence rides ahead of the snapshot on every per-link FIFO hop,
+//  so a new member marks the shadow *syncing* before the first record
+//  arrives and promotion is never ahead of the fence.
+//
 //  Backup side: deltas apply to a volatile shadow table (per primary, in
 //  proxy-id order).  The lease expires when nothing was heard from a
-//  primary for lease_timeout AND the directory marks it down (the directory
-//  check keeps a heartbeat lost to wired fault injection from promoting a
-//  live primary — split-brain is traded for a deterministic single owner).
-//  An explicit MsgTransferResume from a respMss that caught a pref naming
-//  the dead primary mid-hand-off promotes immediately, closing the hand-off
-//  window faster than the lease.
+//  primary for lease_timeout AND the directory marks it down or *departed*
+//  (the membership tier keeps a heartbeat lost to wired fault injection
+//  from promoting a live primary: a silent-but-up primary is reported to
+//  the membership service, which probes it and either declares it departed
+//  — partition — or answers kAlive so the stale shadow is dropped).  The
+//  promoter is the FIRST LIVE member of the primary's chain — a pure
+//  function of directory state, so a primary+backup double crash within one
+//  lease window promotes the next chain member restart-free and never
+//  elects two owners.  Later members hold their shadows for one give-up
+//  window (lease_timeout + resolve_timeout) in case their predecessors die
+//  too, then retire them.  An explicit MsgTransferResume from a respMss
+//  that caught a pref naming the dead primary mid-hand-off promotes
+//  immediately, closing the hand-off window faster than the lease.
+//
+//  Fencing a healed primary: a chain member that receives replication
+//  traffic from a primary the directory marks departed-but-up (a partition
+//  that healed after promotion) answers MsgPrimaryFence instead of
+//  applying; the fenced primary demotes itself — drops its live proxies,
+//  whose requests now belong to the promoted incarnations — and asks the
+//  membership service to rejoin the ring.
 //
 // Every timer is conditional — armed only while the state it serves is
 // non-empty — so an idle world still drains its event queue and
@@ -58,6 +82,9 @@ enum class Mode {
 
 struct ReplicationConfig {
   Mode mode = Mode::kOff;
+  // Number of backups per primary (chain length).  The harness assigns each
+  // primary the k next live Mss's in id-ring order.
+  int k = 1;
   // Primary -> backup lease renewal period while replicated proxies exist.
   common::Duration heartbeat_interval = common::Duration::millis(100);
   // Silence threshold after which a down primary's shadow is promoted.
@@ -71,6 +98,12 @@ struct ReplicationConfig {
   // restarted, so neither a repair target nor a transfer-resume exists)
   // would otherwise keep the backup replicating it forever.
   common::Duration resolve_timeout = common::Duration::millis(1200);
+  // Membership service: how long an Mss may stay unreachable before it is
+  // declared departed and the ring is repaired around it.
+  common::Duration departure_threshold = common::Duration::millis(1000);
+  // Membership service: how long a probed suspect has to answer before a
+  // partition is inferred and the suspect departs.
+  common::Duration probe_timeout = common::Duration::millis(150);
 };
 
 class Replicator final : public core::ReplicationHook {
@@ -93,7 +126,14 @@ class Replicator final : public core::ReplicationHook {
   [[nodiscard]] std::uint64_t deltas_shipped() const { return deltas_shipped_; }
   [[nodiscard]] std::uint64_t bytes_shipped() const { return bytes_shipped_; }
   [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
+  [[nodiscard]] std::uint64_t chain_acks() const { return chain_acks_; }
+  [[nodiscard]] std::uint64_t chain_acked_seq() const {
+    return chain_acked_seq_;
+  }
+  [[nodiscard]] std::uint64_t fence_acks() const { return fence_acks_; }
+  [[nodiscard]] std::uint64_t demotions() const { return demotions_; }
   [[nodiscard]] std::size_t shadow_record_count() const;
+  [[nodiscard]] std::size_t syncing_count() const { return syncing_.size(); }
 
  private:
   // Backup-side mirror of one primary's proxy table.
@@ -111,16 +151,52 @@ class Replicator final : public core::ReplicationHook {
 
   void count(const char* name) { runtime_.counters.increment(name); }
 
+  // --- chain helpers ---
+  [[nodiscard]] const std::vector<common::MssId>& chain_of(
+      common::MssId primary) const;
+  [[nodiscard]] bool has_chain() const;
+  [[nodiscard]] common::NodeAddress head_address() const;
+  // The deterministic promoter for a primary: the first live, non-departed
+  // member of its chain (invalid() when the whole chain is gone).
+  [[nodiscard]] common::MssId first_live_member(
+      const std::vector<common::MssId>& chain) const;
+  // Forwards a chain-shipped payload to this member's next live successor.
+  // Returns false when no live successor exists (this member is the
+  // effective tail).
+  bool forward_down_chain(common::MssId primary,
+                          const net::PayloadPtr& payload);
+
   // --- primary side ---
   void ship_update(const core::ProxyCheckpoint& record);
   void ship_erase(common::ProxyId proxy);
   void flush_dirty();
   void arm_flush();
   void arm_heartbeat();
+  // Re-replicates the full checkpoint to the current chain under a
+  // begin/commit fence bracket after a ring repair (or, with force, after
+  // this primary rejoined the ring and its backups discarded the shadows).
+  void reship_chain(bool force);
+  void handle_chain_ack(const core::MsgChainAck& msg);
+  void handle_fence_ack(const core::MsgReplicaFenceAck& msg);
+  void handle_primary_fence(const core::MsgPrimaryFence& msg);
+  // Departed-but-up primary: drop live proxies (the promoted incarnations
+  // own their requests) and ask the membership service to rejoin.
+  void maybe_demote();
+  void schedule_demote();
 
   // --- backup side ---
-  void apply_update(const core::MsgReplicaUpdate& msg);
-  void apply_erase(const core::MsgReplicaErase& msg);
+  void apply_update(const core::MsgReplicaUpdate& msg,
+                    const net::PayloadPtr& payload);
+  void apply_erase(const core::MsgReplicaErase& msg,
+                   const net::PayloadPtr& payload);
+  void handle_heartbeat(const core::MsgReplicaHeartbeat& msg,
+                        const net::PayloadPtr& payload);
+  void handle_fence(const core::MsgReplicaFence& msg,
+                    const net::PayloadPtr& payload);
+  void handle_membership_event(const core::MsgMembershipEvent& msg);
+  // True when the sender is a departed-but-up primary that must be fenced
+  // (the MsgPrimaryFence reply is sent here).
+  bool fence_departed_primary(common::MssId primary);
   void touch_lease(common::MssId primary);
   void arm_lease_check();
   void run_lease_check();
@@ -128,6 +204,7 @@ class Replicator final : public core::ReplicationHook {
   void handle_transfer_resume(const core::MsgTransferResume& msg,
                               common::NodeAddress from);
   void handle_resync_request(const core::MsgReplicaResync& msg);
+  void handle_probe(const net::Envelope& envelope);
   void arm_resolve_check();
   void run_resolve_check();
   void forget_aliases(common::ProxyId adopted);
@@ -140,8 +217,9 @@ class Replicator final : public core::ReplicationHook {
   const ReplicationConfig config_;
 
   // --- primary-side state ---
-  common::MssId backup_;            // invalid() when this Mss has no backup
-  common::NodeAddress backup_address_;
+  // Chain as of the last ring repair this primary reacted to; compared
+  // against the directory to detect re-assignments.
+  std::vector<common::MssId> last_chain_;
   std::uint64_t ship_seq_ = 0;      // never reset: a restart continues the
                                     // epoch so the backup's fence stays valid
   std::set<common::ProxyId> shipped_live_;  // shipped at least once, not erased
@@ -150,10 +228,21 @@ class Replicator final : public core::ReplicationHook {
   std::map<common::ProxyId, std::optional<core::ProxyCheckpoint>> dirty_;
   sim::TimerHandle flush_timer_;
   sim::TimerHandle heartbeat_timer_;
+  bool demote_scheduled_ = false;
+  // True while maybe_demote tears down the fenced primary's proxies: the
+  // resulting on_proxy_erased callbacks must not ship erases down-chain.
+  bool demoting_ = false;
 
   // --- backup-side state (volatile: dies with the host) ---
   std::map<common::MssId, Shadow> shadows_;
   std::map<common::MssId, Promoted> promoted_;
+  // Primaries whose re-replication bracket is open (begin fence seen,
+  // commit fence pending): the shadow may be a partial snapshot and must
+  // not be promoted.
+  std::set<common::MssId> syncing_;
+  // Primaries reported to the membership service as silent-but-up; cleared
+  // when heard from again or resolved by a kAlive/kDeparted event.
+  std::set<common::MssId> suspected_;
   // Per-(primary, proxy) high-water mark of applied ship sequences; fences
   // reordered/duplicated deltas.  Survives promotion (the primary's epoch
   // is never reset) but not this host's own crash.
@@ -174,6 +263,10 @@ class Replicator final : public core::ReplicationHook {
   std::uint64_t deltas_shipped_ = 0;
   std::uint64_t bytes_shipped_ = 0;
   std::uint64_t promotions_ = 0;
+  std::uint64_t chain_acks_ = 0;
+  std::uint64_t chain_acked_seq_ = 0;
+  std::uint64_t fence_acks_ = 0;
+  std::uint64_t demotions_ = 0;
 };
 
 }  // namespace rdp::replication

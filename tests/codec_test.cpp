@@ -311,6 +311,73 @@ TEST(CoreCodec, ReplicationMessages) {
   EXPECT_FALSE(resume->old_proxy.valid());
 }
 
+TEST(CoreCodec, ChainAndFenceMessages) {
+  const auto* ack = round_trip(core::MsgChainAck(MssId(1), 99, MssId(3)));
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->primary, MssId(1));
+  EXPECT_EQ(ack->seq, 99u);
+  EXPECT_EQ(ack->member, MssId(3));
+
+  const auto* begin =
+      round_trip(core::MsgReplicaFence(MssId(2), 5, 17, false));
+  ASSERT_NE(begin, nullptr);
+  EXPECT_EQ(begin->primary, MssId(2));
+  EXPECT_EQ(begin->epoch, 5u);
+  EXPECT_EQ(begin->fence_seq, 17u);
+  EXPECT_FALSE(begin->commit);
+
+  const auto* commit = round_trip(core::MsgReplicaFence(MssId(2), 5, 17, true));
+  ASSERT_NE(commit, nullptr);
+  EXPECT_TRUE(commit->commit);
+
+  const auto* fence_ack =
+      round_trip(core::MsgReplicaFenceAck(MssId(2), 5, MssId(0)));
+  ASSERT_NE(fence_ack, nullptr);
+  EXPECT_EQ(fence_ack->primary, MssId(2));
+  EXPECT_EQ(fence_ack->epoch, 5u);
+  EXPECT_EQ(fence_ack->member, MssId(0));
+
+  const auto* fence = round_trip(core::MsgPrimaryFence(MssId(4), 6));
+  ASSERT_NE(fence, nullptr);
+  EXPECT_EQ(fence->primary, MssId(4));
+  EXPECT_EQ(fence->epoch, 6u);
+}
+
+TEST(CoreCodec, MembershipMessages) {
+  const auto* event = round_trip(core::MsgMembershipEvent(
+      MssId(2), NodeAddress(7), core::MembershipEventKind::kDeparted, 3));
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->subject, MssId(2));
+  EXPECT_EQ(event->subject_address, NodeAddress(7));
+  EXPECT_EQ(event->kind, core::MembershipEventKind::kDeparted);
+  EXPECT_EQ(event->epoch, 3u);
+
+  const auto* report = round_trip(core::MsgMembershipReport(
+      MssId(1), MssId(2), core::MembershipReportKind::kSuspect));
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->reporter, MssId(1));
+  EXPECT_EQ(report->subject, MssId(2));
+  EXPECT_EQ(report->kind, core::MembershipReportKind::kSuspect);
+
+  const auto* probe = round_trip(core::MsgMembershipProbe(MssId(5)));
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->subject, MssId(5));
+}
+
+// An out-of-range kind byte must be rejected in the decoder, not become an
+// enum value no switch covers.
+TEST(CoreCodec, HostileMembershipKindThrows) {
+  std::vector<std::uint8_t> event = core::encode(core::MsgMembershipEvent(
+      MssId(2), NodeAddress(7), core::MembershipEventKind::kAlive, 3));
+  event[9] = 0x7F;  // tag(1) + subject(4) + address(4) = kind at offset 9
+  EXPECT_THROW((void)core::decode(event), net::CodecError);
+
+  std::vector<std::uint8_t> report = core::encode(core::MsgMembershipReport(
+      MssId(1), MssId(2), core::MembershipReportKind::kAlive));
+  report[9] = 0x7F;  // tag(1) + reporter(4) + subject(4) = offset 9
+  EXPECT_THROW((void)core::decode(report), net::CodecError);
+}
+
 // ProxyCheckpoint::wire_size() is the *real* encoded size, not an
 // estimate: a checkpoint-carrying update's advertised size must equal the
 // encoder's byte count exactly (modulo the update's own fixed header).
@@ -384,7 +451,7 @@ TEST(CoreCodec, NonCoreMessageRejectedByEncode) {
   EXPECT_THROW((void)core::encode(Alien{}), common::InvariantViolation);
 }
 
-// One exemplar of every wire message (all 31 tags), with non-trivial field
+// One exemplar of every wire message (all 38 tags), with non-trivial field
 // values so the robustness sweeps exercise every decoder branch.
 std::vector<std::vector<std::uint8_t>> all_message_exemplars() {
   const RequestId req(MhId(3), 17);
@@ -448,7 +515,16 @@ std::vector<std::vector<std::uint8_t>> all_message_exemplars() {
       net::make_message<core::MsgUplinkRequest>(req, NodeAddress(4), "query",
                                                 true)));
   add(core::MsgArqAck(3, 41, 0xdeadbeefcafef00dull));
-  EXPECT_EQ(buffers.size(), 31u);  // every MessageTag represented
+  add(core::MsgChainAck(MssId(1), 99, MssId(3)));
+  add(core::MsgReplicaFence(MssId(2), 5, 17, false));
+  add(core::MsgReplicaFenceAck(MssId(2), 5, MssId(0)));
+  add(core::MsgMembershipEvent(MssId(2), NodeAddress(7),
+                               core::MembershipEventKind::kDeparted, 3));
+  add(core::MsgMembershipReport(MssId(1), MssId(2),
+                                core::MembershipReportKind::kSuspect));
+  add(core::MsgMembershipProbe(MssId(5)));
+  add(core::MsgPrimaryFence(MssId(4), 6));
+  EXPECT_EQ(buffers.size(), 38u);  // every MessageTag represented
   return buffers;
 }
 

@@ -112,6 +112,15 @@ class RecordingObserver final : public RdpObserver {
                         bool) override {
     ++calls["arq_delivered"];
   }
+  void on_mss_departed(SimTime, MssId, std::uint64_t) override {
+    ++calls["mss_departed"];
+  }
+  void on_mss_rejoined(SimTime, MssId, std::uint64_t) override {
+    ++calls["mss_rejoined"];
+  }
+  void on_primary_demoted(SimTime, MssId, std::size_t) override {
+    ++calls["primary_demoted"];
+  }
 };
 
 // Invokes every hook on `target` exactly once.  Keep in sync with
@@ -149,6 +158,9 @@ void fire_every_hook(RdpObserver& target) {
   target.on_reissue_exhausted(t, mh, request, 3);
   target.on_arq_frame_sent(t, mh, 1, 0, 1, 1, 4);
   target.on_arq_delivered(t, mh, 1, 0, false);
+  target.on_mss_departed(t, mss_a, 1);
+  target.on_mss_rejoined(t, mss_a, 2);
+  target.on_primary_demoted(t, mss_a, 1);
 }
 
 // The recorder itself covers the whole interface: the driver above reaches

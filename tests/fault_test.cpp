@@ -513,5 +513,58 @@ TEST_F(FaultTest, CrashMidHandoffWithReplicationConvergesViaTransferResume) {
   EXPECT_EQ(metrics_.requests_reissued, 0u);  // no watchdog involved
 }
 
+// --- partitioned primary: depart, promote, fence on heal --------------------
+
+// Split-brain regression (PROTOCOL.md §8): the primary is partitioned —
+// up, but unreachable on the wired network.  Its backup sees heartbeat
+// silence with the directory still saying "up", reports a suspect, the
+// membership service's probe times out across the partition and the
+// primary is marked departed; the backup then promotes and delivers.
+// When the partition heals, the old primary's next replication message
+// earns a primaryFence from its chain member: it must demote itself —
+// dropping its stale proxies WITHOUT shipping erases — and rejoin,
+// leaving exactly one owner for every proxy.
+TEST_F(FaultTest, PartitionedPrimaryDepartsThenFencesAndDemotesOnHeal) {
+  auto config = fault_config();
+  config.server.base_service_time = Duration::millis(800);
+  config.replication.mode = replication::Mode::kSync;
+  build(std::move(config));
+
+  fault::FaultPlan plan;
+  plan.partition(Duration::millis(400), Duration::seconds(3), {0});
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  // Step out of the island before it forms; the proxy stays on Mss0.
+  at(Duration::millis(150),
+     [&] { world_->mh(0).migrate(world_->cell(2), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  // Silence -> suspect -> unanswered probe -> departed -> promotion.
+  EXPECT_GE(world_->counters().get("repl.suspects_reported"), 1u);
+  EXPECT_GE(world_->counters().get("membership.probe_timeouts"), 1u);
+  EXPECT_EQ(world_->counters().get("membership.departures"), 1u);
+  EXPECT_EQ(metrics_.backup_promotions, 1u);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  // Heal -> the zombie primary's replication traffic is fenced.
+  EXPECT_GE(world_->counters().get("repl.primary_fences_sent"), 1u);
+  EXPECT_GE(world_->counters().get("repl.primary_fences_received"), 1u);
+  EXPECT_EQ(world_->counters().get("repl.primary_demotions"), 1u);
+  EXPECT_EQ(world_->counters().get("membership.rejoins"), 1u);
+  EXPECT_EQ(metrics_.primary_demotions, 1u);
+  EXPECT_EQ(metrics_.mss_rejoins, 1u);
+  // Single ownership: the fenced primary holds nothing, the adopted
+  // incarnation finished its life-cycle, and the app saw the result once.
+  EXPECT_EQ(world_->mss(0).proxy_count(), 0u);
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
 }  // namespace
 }  // namespace rdp

@@ -367,6 +367,125 @@ TEST_F(ReplicationTest, BackupResyncAfterRestartStillFailsOver) {
   EXPECT_TRUE(world_->telemetry().auditor()->clean());
 }
 
+// --- chain replication: double and triple crashes ---------------------------
+
+// Double crash inside the lease window, chain of k=2 (ring 0 -> [1, 2]):
+// the primary dies at 300 ms and its chain head at 330 ms, before the
+// head's 300 ms lease could ever fire.  The Mh walks out of the dead cell
+// and its greet collapses into a transfer-resume that promotes the chain
+// *tail* — restart-free, and with the armed Mh watchdog never firing.
+TEST_F(ReplicationTest, DoubleCrashChainOfTwoPromotesTailRestartFree) {
+  auto config = repl_config(replication::Mode::kSync);
+  config.replication.k = 2;
+  config.rdp.mh_reissue = true;  // safety net, must stay idle
+  config.rdp.reissue_timeout = Duration::seconds(5);
+  build(std::move(config));
+
+  fault::FaultPlan plan;
+  plan.double_crash(0, 1, Duration::millis(300), Duration::millis(30));
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(400),
+     [&] { world_->mh(0).migrate(world_->cell(2), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  EXPECT_TRUE(world_->mss(0).crashed());
+  EXPECT_TRUE(world_->mss(1).crashed());
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.requests_reissued, 0u);  // chain did it, not the Mh
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+  EXPECT_EQ(world_->replicator(2)->promotions(), 1u);
+  EXPECT_GE(world_->counters().get("repl.chain_forwards"), 1u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// Triple crash with k=2: all k+1 replicas (primary + both chain members)
+// are gone, so the chain cannot help and the Mh watchdog is the only
+// recovery — and it fires exactly once.
+TEST_F(ReplicationTest, TripleCrashChainOfTwoFallsBackToWatchdogExactlyOnce) {
+  auto config = repl_config(replication::Mode::kSync);
+  config.num_mss = 4;  // ring 0 -> [1, 2]; Mss3 survives for the Mh
+  config.replication.k = 2;
+  config.rdp.mh_reissue = true;
+  config.rdp.reissue_timeout = Duration::seconds(1);
+  config.rdp.max_reissue_attempts = 5;
+  build(std::move(config));
+
+  fault::FaultPlan plan;
+  plan.crash_storm(3, Duration::millis(300), Duration::millis(30));
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  at(Duration::millis(100),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(400),
+     [&] { world_->mh(0).migrate(world_->cell(3), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  // The greet-triggered resume found no live chain member to promote.
+  EXPECT_GE(world_->counters().get("mss.transfer_resume_no_backup"), 1u);
+  for (int i = 0; i < world_->num_mss(); ++i) {
+    EXPECT_EQ(world_->replicator(i)->promotions(), 0u) << "mss " << i;
+  }
+  EXPECT_EQ(metrics_.requests_reissued, 1u);  // exactly one watchdog shot
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.app_duplicates, 0u);
+  EXPECT_EQ(metrics_.mss_departures, 3u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
+// --- ring repair: re-replication to a new backup ----------------------------
+
+// The backup (chain head) dies for good.  Once it is marked departed the
+// ring repairs — the primary's chain becomes [2] — and the primary
+// re-replicates its live proxies to the new backup under a seq-fence
+// bracket, while the Mh's migration hand-off races the bracket on the
+// wire.  A later crash of the primary must fail over from the
+// *re-replicated* shadow on Mss2.
+TEST_F(ReplicationTest, ReReplicationAfterDepartureRacesHandoffAndFailsOver) {
+  auto config = repl_config(replication::Mode::kSync);
+  config.num_mss = 4;  // ring with k=1: 0 -> [1], repaired to 0 -> [2]
+  config.server.base_service_time = Duration::millis(1500);
+  build(std::move(config));
+
+  fault::FaultPlan plan;
+  plan.crash_at(1, Duration::millis(300));   // backup; never restarts
+  plan.crash_at(0, Duration::millis(1600));  // primary; never restarts
+  fault::FaultInjector injector(*world_, plan);
+  injector.arm();
+
+  world_->mh(0).power_on(world_->cell(0));
+  // Proxy born just before the departure threshold expires (300 + 1000 ms):
+  // the snapshot that re-replicates it and the hand-off traffic from the
+  // migration interleave on the wire.
+  at(Duration::millis(1200),
+     [&] { world_->mh(0).issue_request(world_->server_address(0), "q"); });
+  at(Duration::millis(1250),
+     [&] { world_->mh(0).migrate(world_->cell(3), Duration::millis(50)); });
+  world_->run_to_quiescence();
+
+  EXPECT_GE(world_->counters().get("membership.departures"), 1u);
+  EXPECT_GE(world_->counters().get("repl.rerings"), 1u);
+  EXPECT_GE(world_->counters().get("repl.fences_begun"), 1u);
+  EXPECT_GE(world_->counters().get("repl.fences_committed"), 1u);
+  // Fail-over came from the re-replicated shadow on the repaired chain.
+  EXPECT_EQ(world_->replicator(2)->promotions(), 1u);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].body, "re:q");
+  EXPECT_EQ(metrics_.requests_lost, 0u);
+  EXPECT_EQ(metrics_.requests_outstanding(), 0u);
+  EXPECT_TRUE(world_->telemetry().auditor()->clean());
+}
+
 // --- split-brain guard ------------------------------------------------------
 
 // A primary that merely goes silent (lease-expiry silence) but is still up

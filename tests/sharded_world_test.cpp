@@ -153,6 +153,41 @@ TEST(ShardedWorld, ArqEnabledStaysDeterministic) {
   }
 }
 
+TEST(ShardedWorld, MembershipChurnStaysBitIdenticalAcrossShardCounts) {
+  // Barrier-applied membership churn (crash -> departed -> ring repair ->
+  // rejoin) must not perturb bit-determinism: transition times come from
+  // the plan, not from barrier stamps, so the decision sequence is
+  // shard-count-invariant.  Mss1 blips (down 500 ms, under the 1 s
+  // departure threshold), Mss5 departs and rejoins, Mss3 departs for good.
+  ExperimentParams params = scenario(0xc41d5ull);
+  params.sim_time = common::Duration::seconds(45);
+  params.backup_k = 2;
+  params.membership_churn = {
+      {common::Duration::seconds(8), 1, false},
+      {common::Duration::millis(8500), 1, true},
+      {common::Duration::seconds(14), 5, false},
+      {common::Duration::seconds(24), 5, true},
+      {common::Duration::seconds(30), 3, false},
+  };
+  params.shards = 1;
+  const ExperimentResult one = run_sharded_rdp_experiment(params);
+
+  // The churn actually happened: two departures (Mss5, Mss3), one rejoin
+  // (Mss5), and the blip stayed below the threshold.
+  EXPECT_EQ(one.counters.at("membership.departures"), 2u);
+  EXPECT_EQ(one.counters.at("membership.rejoins"), 1u);
+  EXPECT_GT(one.requests_issued, 50u);
+  EXPECT_EQ(one.invariant_violations, 0u);
+
+  for (int shards : {2, 4, 8}) {
+    params.shards = shards;
+    params.shard_threads = shards > 2 ? 2 : 1;
+    const ExperimentResult many = run_sharded_rdp_experiment(params);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_same_result(one, many);
+  }
+}
+
 TEST(ShardedWorld, PingPongMobilityRunsSharded) {
   // PingPongMobility is stateful per Mh; the sharded runner must give each
   // driver its own instance (a shared one would entangle the Mh streams).
