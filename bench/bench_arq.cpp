@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
   using namespace rdp;
 
   const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
+  obs::ProfileReport prof_report;
   benchutil::banner(
       "E13", "uplink ARQ: sliding-window + AIMD vs stop-and-wait vs watchdog",
       "§4 QRPC deferral of Endler/Silva/Okuda (ICDCS 2000)");
@@ -218,6 +219,10 @@ int main(int argc, char** argv) {
           // One JSONL per arm, first sweep cell only (the CI artifact).
           if (cells.empty()) {
             params.analyzer_out = options.analyzer_out_for(name);
+            // The sliding-window arm is the canonical profile target.
+            if (std::string(name) == "sliding") {
+              benchutil::arm_profile(options, &params, &prof_report);
+            }
           }
           DeadlineTracker tracker;
           ReissueMeter meter;
@@ -354,5 +359,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  benchutil::report_profile(options, prof_report,
+                            "sliding-window arm, first sweep cell");
   return benchutil::finish();
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   using common::Duration;
 
   const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
+  obs::ProfileReport prof_report;
   benchutil::banner("E10", "Mss result cache (footnote-3 extension)",
                     "§5 footnote 3 trade-off under downlink loss");
 
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
         params.trace_out = options.trace_path;
         params.metrics_out = options.metrics_path;
         params.metrics_period = Duration::seconds(20);
+        benchutil::arm_profile(options, &params, &prof_report);
       }
 
       const auto result = harness::run_rdp_experiment(params);
@@ -86,5 +88,7 @@ int main(int argc, char** argv) {
   benchutil::claim(
       "the cache also cuts tail latency under loss (p95 at 25% loss)",
       cells[{25, true}].p95 < cells[{25, false}].p95);
+  benchutil::report_profile(options, prof_report,
+                            "canonical cell (25% loss, cache on)");
   return benchutil::finish();
 }

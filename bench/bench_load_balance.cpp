@@ -38,6 +38,8 @@ void steady_state(const benchutil::BenchOptions& options) {
   params.trace_out = options.trace_path;
   params.metrics_out = options.metrics_path;
   params.metrics_period = Duration::seconds(30);
+  obs::ProfileReport prof_report;
+  benchutil::arm_profile(options, &params, &prof_report);
 
   const auto rdp = harness::run_rdp_experiment(params);
   const auto mip = harness::run_baseline_experiment(
@@ -56,6 +58,7 @@ void steady_state(const benchutil::BenchOptions& options) {
                    rdp.placement_jain > 0.9);
   benchutil::claim("every Mss hosted proxies (max/mean < 2)",
                    rdp.placement_max_to_mean < 2.0);
+  benchutil::report_profile(options, prof_report, "steady-state RDP arm");
 }
 
 void population_drift() {

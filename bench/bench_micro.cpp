@@ -13,6 +13,15 @@
 //                                           RDP_PERF_TOLERANCE (default 0.30)
 //                                           below the baseline
 //   bench_micro --smoke                     quick pass (short min_time)
+//   bench_micro --profile                   after the table, run the
+//                                           BM_ScenarioThroughput workload
+//                                           once with the instrumentation
+//                                           profiler armed and print the
+//                                           attribution (PROTOCOL.md §13)
+//   bench_micro --profile-folded out.txt    also write the collapsed-stack
+//                                           file (implies --profile)
+//   bench_micro --profile-attr out.json     also write the attribution as
+//                                           JSON (implies --profile)
 //
 // All other flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
@@ -27,6 +36,7 @@
 
 #include "analyzer/analyzer.h"
 #include "analyzer/wire_tap.h"
+#include "bench/bench_util.h"
 #include "causal/causal_layer.h"
 #include "causal/vector_clock.h"
 #include "core/messages.h"
@@ -438,12 +448,56 @@ int check_against_baseline(const std::string& path,
   return 0;
 }
 
+// One profiled run of the BM_ScenarioThroughput workload: console
+// attribution plus the optional folded-stack / attribution-JSON artifacts
+// CI uploads.  Returns false when a requested artifact could not be
+// written.
+bool run_profile_section(const std::string& folded_path,
+                         const std::string& attr_path) {
+  harness::ExperimentParams params = throughput_params();
+  params.profile = true;
+  params.profile_folded_out = folded_path;
+  obs::ProfileReport report;
+  params.profile_report = &report;
+  const auto result = harness::run_rdp_experiment(params);
+
+  std::printf("\n-- profile: BM_ScenarioThroughput workload "
+              "(seed %llu, %llu kernel events) --\n",
+              static_cast<unsigned long long>(params.seed),
+              static_cast<unsigned long long>(result.kernel_events));
+  benchutil::print_profile(report);
+  bool ok = true;
+  if (!folded_path.empty()) {
+    std::printf("folded stacks written to %s\n", folded_path.c_str());
+  }
+  if (!attr_path.empty()) {
+    std::ofstream out(attr_path);
+    if (out) {
+      out << "{\n  \"schema\": \"rdp-prof-attribution-v1\",\n"
+          << "  \"workload\": \"BM_ScenarioThroughput\",\n"
+          << "  \"attribution\": " << benchutil::profile_json(report)
+          << "\n}\n";
+    }
+    if (out) {
+      std::printf("attribution JSON written to %s\n", attr_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_micro: failed to write %s\n",
+                   attr_path.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path;
   std::string check_path;
+  std::string profile_folded_path;
+  std::string profile_attr_path;
   bool smoke = false;
+  bool profile = false;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   static char min_time_flag[] = "--benchmark_min_time=0.05";
@@ -455,6 +509,14 @@ int main(int argc, char** argv) {
       check_path = argv[++i];
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--profile-folded" && i + 1 < argc) {
+      profile_folded_path = argv[++i];
+      profile = true;
+    } else if (arg == "--profile-attr" && i + 1 < argc) {
+      profile_attr_path = argv[++i];
+      profile = true;
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -480,8 +542,14 @@ int main(int argc, char** argv) {
     std::printf("bench_micro: wrote %zu benchmark baselines to %s\n",
                 reporter.items_per_second.size(), out_path.c_str());
   }
-  if (!check_path.empty()) {
-    return check_against_baseline(check_path, reporter.items_per_second);
+  int status = 0;
+  if (profile && !run_profile_section(profile_folded_path, profile_attr_path)) {
+    status = 1;
   }
-  return 0;
+  if (!check_path.empty()) {
+    const int check = check_against_baseline(check_path,
+                                             reporter.items_per_second);
+    if (check != 0) status = check;
+  }
+  return status;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
   bool first_combination = true;
+  obs::ProfileReport prof_report;
   benchutil::banner("E9", "system-model conformance sweep",
                     "Fig 1 / §2 model and §5 guarantees, randomized");
 
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
           params.trace_out = options.trace_path;
           params.metrics_out = options.metrics_path;
           params.metrics_period = Duration::seconds(20);
+          benchutil::arm_profile(options, &params, &prof_report);
         }
 
         const auto result = harness::run_rdp_experiment(params);
@@ -105,5 +107,7 @@ int main(int argc, char** argv) {
                    no_anomalies_without_revisits);
   benchutil::claim("the sweep exercised a substantial workload",
                    total_issued > 10000);
+  benchutil::report_profile(options, prof_report,
+                            "first sweep cell (static / always-on)");
   return benchutil::finish();
 }

@@ -235,6 +235,8 @@ int main(int argc, char** argv) {
   if (options.metrics()) base.metrics_period = Duration::seconds(10);
   base.analyzer = options.analyzer;
   base.analyzer_out = options.analyzer_out_for("rdp");
+  obs::ProfileReport prof_report;
+  benchutil::arm_profile(options, &base, &prof_report);
 
   std::vector<Arm> arms;
   arms.push_back({"rdp", harness::run_rdp_experiment(base)});
@@ -242,6 +244,9 @@ int main(int argc, char** argv) {
     harness::ExperimentParams repl = base;
     repl.trace_out.clear();
     repl.metrics_out.clear();
+    repl.profile = false;
+    repl.profile_report = nullptr;
+    repl.profile_folded_out.clear();
     repl.analyzer_out = options.analyzer_out_for("repl");
     repl.replication.mode = (options.replication_set &&
                              options.replication != replication::Mode::kOff)
@@ -337,6 +342,7 @@ int main(int argc, char** argv) {
             arms[1].result.analyzer_decode_errors == 0 &&
             arms[0].result.analyzer_events > 0);
   }
+  benchutil::report_profile(options, prof_report, "rdp arm (three-arm table)");
 
   // --- recovery cost under Mss crashes (replication arm) -------------------
   // Checkpoint/replication recovery is wired-only by design; the only

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using common::Duration;
 
   const benchutil::BenchOptions options = benchutil::parse_options(argc, argv);
+  obs::ProfileReport prof_report;
   benchutil::banner("E3", "retransmission rate vs cell residence time",
                     "§5 analysis (threshold T_wired + T_wireless)");
 
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
       params.trace_out = options.trace_path;
       params.metrics_out = options.metrics_path;
       params.metrics_period = Duration::seconds(10);
+      benchutil::arm_profile(options, &params, &prof_report);
     }
 
     const harness::ExperimentResult result = harness::run_rdp_experiment(params);
@@ -108,5 +110,7 @@ int main(int argc, char** argv) {
       tail_matches_model);
   benchutil::claim("retransmission negligible (<3%) at dwell = 128x threshold",
                    rates.back() < 0.03);
+  benchutil::report_profile(options, prof_report,
+                            "high-churn cell (dwell = threshold/4)");
   return benchutil::finish();
 }

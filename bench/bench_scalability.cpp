@@ -18,7 +18,10 @@
 //   --mega               also run the 10^6-mobile-host configuration
 //                        (32x32 grid, 8 shards) — minutes of wall clock
 //   --kernel-json PATH   merge "shard_sweep" (and "mega") sections into
-//                        the BENCH_kernel.json baseline at PATH
+//                        the BENCH_kernel.json baseline at PATH; with
+//                        --profile also an "attribution" block with the
+//                        top-10 self-time domains for the 8-shard sweep
+//                        run ("scenario") and the --mega run ("mega")
 #include <chrono>
 #include <thread>
 #include <fstream>
@@ -149,9 +152,14 @@ harness::ExperimentParams sweep_params(bool smoke) {
 }
 
 ShardOutcome run_sharded(harness::ExperimentParams params, int shards,
-                         int threads) {
+                         int threads, bool profile = false,
+                         obs::ProfileReport* report = nullptr,
+                         const std::string& folded = {}) {
   params.shards = shards;
   params.shard_threads = threads;
+  params.profile = profile;
+  params.profile_report = report;
+  params.profile_folded_out = folded;
   ShardOutcome outcome;
   outcome.shards = shards;
   outcome.threads = threads;
@@ -323,9 +331,19 @@ int main(int argc, char** argv) {
   const harness::ExperimentParams sweep = sweep_params(options.smoke);
   stats::Table shard_table({"shards", "threads", "kernel events", "wall (s)",
                             "events/s", "requests", "delivery"});
+  // With --profile every sweep run is profiled (the bit-identity claim below
+  // then doubles as a live neutrality check); the 8-shard run — the one with
+  // real cross-shard traffic — supplies the "scenario" attribution.
+  obs::ProfileReport scenario_report;
+  bool have_scenario_report = false;
   std::vector<ShardOutcome> sharded;
   for (const int shards : {1, 2, 4, 8}) {
-    sharded.push_back(run_sharded(sweep, shards, shards));
+    const bool capture = options.profile && shards == 8;
+    sharded.push_back(run_sharded(
+        sweep, shards, shards, options.profile,
+        capture ? &scenario_report : nullptr,
+        capture ? options.profile_folded_path : std::string()));
+    have_scenario_report = have_scenario_report || capture;
     const ShardOutcome& o = sharded.back();
     shard_table.add_row({stats::Table::fmt(std::uint64_t(o.shards)),
                          stats::Table::fmt(std::uint64_t(o.threads)),
@@ -356,11 +374,21 @@ int main(int argc, char** argv) {
       "(informational when the host has fewer than 4 cores)",
       host_cores < 4 || speedup_4 >= 3.0);
 
+  if (have_scenario_report) {
+    benchutil::section("profile: 8-shard sweep attribution");
+    benchutil::print_profile(scenario_report);
+    benchutil::claim(
+        "top-10 domains cover >=90% of attributed self time",
+        scenario_report.top10_share >= 0.90);
+  }
+
   ShardOutcome mega_outcome;
+  obs::ProfileReport mega_report;
   harness::ExperimentParams mega_p = mega_params();
   if (mega) {
     benchutil::section("M2: 10^6 mobile hosts (--mega)");
-    mega_outcome = run_sharded(mega_p, 8, 0);
+    mega_outcome = run_sharded(mega_p, 8, 0, options.profile,
+                               options.profile ? &mega_report : nullptr);
     std::cout << "kernel events: " << mega_outcome.result.kernel_events
               << "  wall: " << mega_outcome.wall_s
               << " s  events/s: " << mega_outcome.events_per_s()
@@ -370,11 +398,26 @@ int main(int argc, char** argv) {
                      mega_outcome.result.requests_completed > 10000);
     benchutil::claim("no invariant violations at 10^6 Mhs",
                      mega_outcome.result.invariant_violations == 0);
+    if (options.profile) {
+      benchutil::section("profile: --mega attribution");
+      benchutil::print_profile(mega_report);
+      benchutil::claim(
+          "top-10 domains cover >=90% of attributed self time (--mega)",
+          mega_report.top10_share >= 0.90);
+    }
   }
 
   if (!kernel_json.empty()) {
     std::string fragment = shard_sweep_json(sharded, sweep);
     if (mega) fragment += ",\n" + mega_json(mega_outcome, mega_p);
+    if (have_scenario_report) {
+      fragment += ",\n  \"attribution\": {\n    \"scenario\": " +
+                  benchutil::profile_json(scenario_report);
+      if (mega && options.profile) {
+        fragment += ",\n    \"mega\": " + benchutil::profile_json(mega_report);
+      }
+      fragment += "\n  }";
+    }
     if (merge_into_kernel_json(kernel_json, fragment)) {
       std::cout << "kernel bench sections merged into " << kernel_json << "\n";
     } else {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/time.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "replication/replication.h"
 
@@ -35,16 +36,24 @@ namespace rdp::benchutil {
 //                       insert the arm name before the extension
 //   --smoke             reduced scenario for CI: keep the claims, shrink
 //                       the sweeps
+//   --profile           arm the instrumentation profiler (PROTOCOL.md §13)
+//                       on the RDP arms; rdp.prof.* attribution gauges ride
+//                       the --metrics export and a per-domain table is
+//                       printed.  Bit-identical results; wall time only.
+//   --profile-folded P  also write the merged collapsed-stack file (feed to
+//                       flamegraph.pl); implies --profile
 struct BenchOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string ledger_path;
   std::string analyzer_path;
+  std::string profile_folded_path;
   replication::Mode replication = replication::Mode::kOff;
   bool replication_set = false;  // true when --replication appeared
   double energy_per_byte = 2.0;
   bool analyzer = false;
   bool smoke = false;
+  bool profile = false;
 
   [[nodiscard]] bool trace() const { return !trace_path.empty(); }
   [[nodiscard]] bool metrics() const { return !metrics_path.empty(); }
@@ -83,7 +92,8 @@ inline void usage(const char* argv0, std::ostream& os) {
   os << "usage: " << argv0
      << " [--trace out.json] [--metrics out.csv] [--ledger out.csv]"
         " [--energy-per-byte X] [--replication={off,async,sync}]"
-        " [--analyzer] [--analyzer-out out.jsonl] [--smoke]\n";
+        " [--analyzer] [--analyzer-out out.jsonl] [--smoke]"
+        " [--profile] [--profile-folded out.txt]\n";
 }
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -117,6 +127,11 @@ inline BenchOptions parse_options(int argc, char** argv) {
       }
     } else if (arg == "--smoke") {
       options.smoke = true;
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg == "--profile-folded") {
+      options.profile_folded_path = value("--profile-folded");
+      options.profile = true;
     } else if (arg == "--analyzer") {
       options.analyzer = true;
     } else if (arg == "--analyzer-out") {
@@ -192,6 +207,107 @@ inline void claim(const std::string& description, bool ok) {
 inline int finish() {
   std::cout << (g_all_ok ? "\nall claims hold\n" : "\nSOME CLAIMS FAILED\n");
   return g_all_ok ? 0 : 1;
+}
+
+// Console attribution table for a profiled run: top-`top` domains by self
+// time plus, for sharded runs, the busy/stall split per shard.
+inline void print_profile(const obs::ProfileReport& report,
+                          std::size_t top = 10) {
+  if (report.domains.empty()) {
+    std::printf("  (no samples: profiler disarmed or compiled out with "
+                "-DRDP_PROFILE=OFF)\n");
+    return;
+  }
+  std::printf("  %-24s %12s %12s %12s\n", "domain", "self-ms", "incl-ms",
+              "count");
+  for (std::size_t i = 0; i < report.domains.size() && i < top; ++i) {
+    const obs::ProfDomainRow& row = report.domains[i];
+    std::printf("  %-24s %12.3f %12.3f %12llu\n", row.name.c_str(),
+                static_cast<double>(row.self_ns) / 1e6,
+                static_cast<double>(row.incl_ns) / 1e6,
+                static_cast<unsigned long long>(row.count));
+  }
+  std::printf("  total self %.3f ms, top-%zu share %.1f%%",
+              static_cast<double>(report.total_self_ns) / 1e6, top,
+              report.top10_share * 100.0);
+  if (report.total_alloc_count > 0) {
+    std::printf(", %llu allocs / %llu bytes",
+                static_cast<unsigned long long>(report.total_alloc_count),
+                static_cast<unsigned long long>(report.total_alloc_bytes));
+  }
+  std::printf("\n");
+  for (const obs::ProfShardRow& row : report.shards) {
+    const double busy_ms = static_cast<double>(row.busy_ns) / 1e6;
+    const double stall_ms = static_cast<double>(row.stall_ns) / 1e6;
+    const double total = busy_ms + stall_ms;
+    std::printf("  shard %-2d busy %10.3f ms  stall %10.3f ms  (%5.1f%% busy)\n",
+                row.shard, busy_ms, stall_ms,
+                total > 0 ? 100.0 * busy_ms / total : 100.0);
+  }
+  if (report.windows > 0) {
+    std::printf("  windows: %llu\n",
+                static_cast<unsigned long long>(report.windows));
+  }
+}
+
+// JSON object for a BENCH_kernel.json "attribution" entry: totals, top-`top`
+// domain rows by self time, and the per-shard busy/stall split.
+inline std::string profile_json(const obs::ProfileReport& report,
+                                std::size_t top = 10) {
+  std::string json = "{\n";
+  json += "      \"total_self_ns\": " + std::to_string(report.total_self_ns) +
+          ",\n";
+  char share[32];
+  std::snprintf(share, sizeof(share), "%.4f", report.top10_share);
+  json += "      \"top10_share\": " + std::string(share) + ",\n";
+  json += "      \"total_alloc_count\": " +
+          std::to_string(report.total_alloc_count) + ",\n";
+  json += "      \"total_alloc_bytes\": " +
+          std::to_string(report.total_alloc_bytes) + ",\n";
+  json += "      \"domains\": [\n";
+  for (std::size_t i = 0; i < report.domains.size() && i < top; ++i) {
+    const obs::ProfDomainRow& row = report.domains[i];
+    json += "        {\"domain\": \"" + row.name +
+            "\", \"self_ns\": " + std::to_string(row.self_ns) +
+            ", \"incl_ns\": " + std::to_string(row.incl_ns) +
+            ", \"count\": " + std::to_string(row.count) + "}";
+    json += (i + 1 < report.domains.size() && i + 1 < top) ? ",\n" : "\n";
+  }
+  json += "      ],\n";
+  json += "      \"shards\": [\n";
+  for (std::size_t i = 0; i < report.shards.size(); ++i) {
+    const obs::ProfShardRow& row = report.shards[i];
+    json += "        {\"shard\": " + std::to_string(row.shard) +
+            ", \"busy_ns\": " + std::to_string(row.busy_ns) +
+            ", \"stall_ns\": " + std::to_string(row.stall_ns) + "}";
+    json += i + 1 < report.shards.size() ? ",\n" : "\n";
+  }
+  json += "      ],\n";
+  json += "      \"windows\": " + std::to_string(report.windows) + "\n";
+  json += "    }";
+  return json;
+}
+
+// Arm a canonical run's ExperimentParams with the shared --profile flags
+// and point its report at `report` (no-op without --profile).  Template so
+// this header stays independent of harness/experiment.h.
+template <typename Params>
+inline void arm_profile(const BenchOptions& options, Params* params,
+                        obs::ProfileReport* report) {
+  if (!options.profile) return;
+  params->profile = true;
+  params->profile_folded_out = options.profile_folded_path;
+  params->profile_report = report;
+}
+
+// Companion to arm_profile: print the attribution table after the armed run
+// finished (no-op without --profile).
+inline void report_profile(const BenchOptions& options,
+                           const obs::ProfileReport& report,
+                           const std::string& what) {
+  if (!options.profile) return;
+  section("profile: " + what);
+  print_profile(report);
 }
 
 }  // namespace rdp::benchutil

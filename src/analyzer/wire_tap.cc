@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "core/codec.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::analyzer {
 
@@ -40,6 +41,7 @@ bool WireTap::encode_for_tap(const net::PayloadPtr& payload,
 }
 
 void WireTap::on_wired_send(const net::Envelope& envelope) {
+  RDP_PROF_SCOPE(kAnalyzer);
   std::vector<std::uint8_t> bytes;
   if (!encode_for_tap(envelope.payload, bytes)) {
     analyzer_.note_opaque(envelope.sent_at, /*wired=*/true);
@@ -53,6 +55,7 @@ void WireTap::on_wireless_frame(common::SimTime at, common::MhId mh,
                                 const net::PayloadPtr& payload, bool uplink,
                                 net::FramePhase phase) {
   if (filter_ && filter_(mh, payload, uplink)) return;
+  RDP_PROF_SCOPE(kAnalyzer);
   std::vector<std::uint8_t> bytes;
   if (!encode_for_tap(payload, bytes)) {
     analyzer_.note_opaque(at, /*wired=*/false);

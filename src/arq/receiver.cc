@@ -3,11 +3,13 @@
 #include <utility>
 
 #include "net/message.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::arq {
 
 bool ArqReceiver::on_uplink(common::MhId from, const net::PayloadPtr& payload,
                             const Deliver& deliver) {
+  RDP_PROF_SCOPE(kArq);
   const auto* frame = dynamic_cast<const core::MsgArqData*>(payload.get());
   if (frame == nullptr) return false;
 

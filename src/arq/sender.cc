@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "net/message.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::arq {
 
@@ -74,6 +75,7 @@ void ArqSender::clear() {
 }
 
 void ArqSender::enqueue(net::PayloadPtr inner, sim::EventPriority priority) {
+  RDP_PROF_SCOPE(kArq);
   Frame frame;
   frame.inner = std::move(inner);
   frame.priority = priority;
@@ -130,6 +132,7 @@ void ArqSender::arm_rto() {
 }
 
 void ArqSender::on_rto() {
+  RDP_PROF_SCOPE(kArq);
   if (!open_) return;
   Frame* oldest = oldest_unsacked();
   if (oldest == nullptr) return;
@@ -162,6 +165,7 @@ void ArqSender::on_rto() {
 }
 
 void ArqSender::on_ack(const core::MsgArqAck& ack) {
+  RDP_PROF_SCOPE(kArq);
   if (!open_ || ack.epoch != epoch_) {
     counters_.increment("arq.stale_acks");
     return;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/perf_probe.h"
+
 namespace rdp::causal {
 
 std::size_t CausalLayer::index_of(NodeAddress address) {
@@ -62,6 +64,7 @@ void CausalLayer::attach(NodeAddress address, net::Endpoint* endpoint) {
 
 void CausalLayer::send(NodeAddress src, NodeAddress dst,
                        net::PayloadPtr payload, sim::EventPriority priority) {
+  RDP_PROF_SCOPE(kCausal);
   if (sever_hook_ && sever_hook_(src, dst)) {
     // Severed link (partition fault): the message never existed as far as
     // the causal history is concerned, so post-heal traffic stays
@@ -148,6 +151,7 @@ void CausalLayer::drain_buffer(Shim& shim, NodeState& node) {
 }
 
 void CausalLayer::on_wire_message(Shim& shim, const net::Envelope& envelope) {
+  RDP_PROF_SCOPE(kCausal);
   NodeState& node = nodes_[shim.node_index];
   const auto* wrapped = net::message_cast<CausalPayload>(envelope.payload);
   RDP_CHECK(wrapped != nullptr, "causal layer saw a non-causal payload");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::core {
 namespace {
@@ -115,6 +116,7 @@ std::size_t ProxyCheckpoint::wire_size() const {
 }
 
 std::vector<std::uint8_t> encode(const net::MessageBase& message) {
+  RDP_PROF_SCOPE(kCodecEncode);
   Writer writer;
   if (dynamic_cast<const MsgJoin*>(&message) != nullptr) {
     writer.u8(static_cast<std::uint8_t>(MessageTag::kJoin));
@@ -643,6 +645,7 @@ net::PayloadPtr decode_impl(const std::vector<std::uint8_t>& buffer,
 }  // namespace
 
 net::PayloadPtr decode(const std::vector<std::uint8_t>& buffer) {
+  RDP_PROF_SCOPE(kCodecDecode);
   return decode_impl(buffer, 0);
 }
 

@@ -13,6 +13,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::core {
 
@@ -138,6 +139,11 @@ class RdpObserver {
 };
 
 // Fans one event stream out to several observers.
+//
+// Each override carries an RDP_PROF_HOOK_SCOPE probe so the profiler
+// (docs/PROTOCOL.md §13) attributes fan-out time per hook kind; the index
+// literals follow the declaration order above and obs/event_names.h
+// kHookNames — the events_fanout test pins the correspondence.
 class ObserverList final : public RdpObserver {
  public:
   // Lifetime contract: the list stores the raw pointer and does NOT take
@@ -152,114 +158,142 @@ class ObserverList final : public RdpObserver {
 
   void on_proxy_created(SimTime t, MhId mh, NodeAddress host,
                         ProxyId p) override {
+    RDP_PROF_HOOK_SCOPE(0);
     for (auto* o : observers_) o->on_proxy_created(t, mh, host, p);
   }
   void on_proxy_deleted(SimTime t, MhId mh, NodeAddress host, ProxyId p,
                         bool gc) override {
+    RDP_PROF_HOOK_SCOPE(1);
     for (auto* o : observers_) o->on_proxy_deleted(t, mh, host, p, gc);
   }
   void on_request_issued(SimTime t, MhId mh, RequestId r,
                          NodeAddress s) override {
+    RDP_PROF_HOOK_SCOPE(2);
     for (auto* o : observers_) o->on_request_issued(t, mh, r, s);
   }
   void on_request_reached_proxy(SimTime t, MhId mh, RequestId r,
                                 NodeAddress host) override {
+    RDP_PROF_HOOK_SCOPE(3);
     for (auto* o : observers_) o->on_request_reached_proxy(t, mh, r, host);
   }
   void on_result_at_proxy(SimTime t, MhId mh, RequestId r,
                           std::uint32_t seq) override {
+    RDP_PROF_HOOK_SCOPE(4);
     for (auto* o : observers_) o->on_result_at_proxy(t, mh, r, seq);
   }
   void on_result_forwarded(SimTime t, MhId mh, RequestId r, std::uint32_t seq,
                            NodeAddress to, std::uint32_t attempt,
                            bool del_pref) override {
+    RDP_PROF_HOOK_SCOPE(5);
     for (auto* o : observers_)
       o->on_result_forwarded(t, mh, r, seq, to, attempt, del_pref);
   }
   void on_result_delivered(SimTime t, MhId mh, RequestId r, std::uint32_t seq,
                            bool final, bool dup,
                            std::uint32_t attempt) override {
+    RDP_PROF_HOOK_SCOPE(6);
     for (auto* o : observers_)
       o->on_result_delivered(t, mh, r, seq, final, dup, attempt);
   }
   void on_ack_forwarded(SimTime t, MhId mh, RequestId r, std::uint32_t seq,
                         bool del_proxy) override {
+    RDP_PROF_HOOK_SCOPE(7);
     for (auto* o : observers_) o->on_ack_forwarded(t, mh, r, seq, del_proxy);
   }
   void on_request_completed(SimTime t, MhId mh, RequestId r) override {
+    RDP_PROF_HOOK_SCOPE(8);
     for (auto* o : observers_) o->on_request_completed(t, mh, r);
   }
   void on_reissue_exhausted(SimTime t, MhId mh, RequestId r,
                             int attempts) override {
+    RDP_PROF_HOOK_SCOPE(9);
     for (auto* o : observers_) o->on_reissue_exhausted(t, mh, r, attempts);
   }
   void on_arq_frame_sent(SimTime t, MhId mh, std::uint32_t epoch,
                          std::uint32_t seq, std::uint32_t attempt,
                          std::size_t in_flight,
                          std::size_t window_limit) override {
+    RDP_PROF_HOOK_SCOPE(11);
     for (auto* o : observers_)
       o->on_arq_frame_sent(t, mh, epoch, seq, attempt, in_flight,
                            window_limit);
   }
   void on_arq_delivered(SimTime t, MhId mh, std::uint32_t epoch,
                         std::uint32_t seq, bool duplicate) override {
+    RDP_PROF_HOOK_SCOPE(12);
     for (auto* o : observers_)
       o->on_arq_delivered(t, mh, epoch, seq, duplicate);
   }
   void on_request_lost(SimTime t, MhId mh, RequestId r,
                        RequestLossReason reason) override {
+    RDP_PROF_HOOK_SCOPE(10);
     for (auto* o : observers_) o->on_request_lost(t, mh, r, reason);
   }
   void on_handoff_started(SimTime t, MhId mh, MssId from, MssId to) override {
+    RDP_PROF_HOOK_SCOPE(13);
     for (auto* o : observers_) o->on_handoff_started(t, mh, from, to);
   }
   void on_handoff_completed(SimTime t, MhId mh, MssId from, MssId to,
                             Duration latency, std::size_t bytes) override {
+    RDP_PROF_HOOK_SCOPE(14);
     for (auto* o : observers_)
       o->on_handoff_completed(t, mh, from, to, latency, bytes);
   }
   void on_update_currentloc(SimTime t, MhId mh, NodeAddress host,
                             NodeAddress loc) override {
+    RDP_PROF_HOOK_SCOPE(15);
     for (auto* o : observers_) o->on_update_currentloc(t, mh, host, loc);
   }
   void on_mh_registered(SimTime t, MhId mh, MssId mss, Duration d) override {
+    RDP_PROF_HOOK_SCOPE(16);
     for (auto* o : observers_) o->on_mh_registered(t, mh, mss, d);
   }
   void on_stale_ack_dropped(SimTime t, MhId mh, RequestId r) override {
+    RDP_PROF_HOOK_SCOPE(17);
     for (auto* o : observers_) o->on_stale_ack_dropped(t, mh, r);
   }
   void on_delproxy_with_pending(SimTime t, MhId mh, ProxyId p) override {
+    RDP_PROF_HOOK_SCOPE(18);
     for (auto* o : observers_) o->on_delproxy_with_pending(t, mh, p);
   }
   void on_orphaned_proxy(SimTime t, MhId mh, ProxyId p) override {
+    RDP_PROF_HOOK_SCOPE(19);
     for (auto* o : observers_) o->on_orphaned_proxy(t, mh, p);
   }
   void on_mss_crashed(SimTime t, MssId mss, std::size_t proxies,
                       std::size_t mhs) override {
+    RDP_PROF_HOOK_SCOPE(20);
     for (auto* o : observers_) o->on_mss_crashed(t, mss, proxies, mhs);
   }
   void on_mss_restarted(SimTime t, MssId mss, std::size_t restored) override {
+    RDP_PROF_HOOK_SCOPE(21);
     for (auto* o : observers_) o->on_mss_restarted(t, mss, restored);
   }
   void on_proxy_restored(SimTime t, MhId mh, NodeAddress host,
                          ProxyId p) override {
+    RDP_PROF_HOOK_SCOPE(22);
     for (auto* o : observers_) o->on_proxy_restored(t, mh, host, p);
   }
   void on_request_reissued(SimTime t, MhId mh, RequestId r,
                            int attempt) override {
+    RDP_PROF_HOOK_SCOPE(23);
     for (auto* o : observers_) o->on_request_reissued(t, mh, r, attempt);
   }
   void on_backup_promoted(SimTime t, MssId primary, MssId backup,
                           std::size_t adopted) override {
+    RDP_PROF_HOOK_SCOPE(24);
     for (auto* o : observers_) o->on_backup_promoted(t, primary, backup, adopted);
   }
   void on_mss_departed(SimTime t, MssId mss, std::uint64_t epoch) override {
+    RDP_PROF_HOOK_SCOPE(25);
     for (auto* o : observers_) o->on_mss_departed(t, mss, epoch);
   }
   void on_mss_rejoined(SimTime t, MssId mss, std::uint64_t epoch) override {
+    RDP_PROF_HOOK_SCOPE(26);
     for (auto* o : observers_) o->on_mss_rejoined(t, mss, epoch);
   }
   void on_primary_demoted(SimTime t, MssId mss, std::size_t dropped) override {
+    RDP_PROF_HOOK_SCOPE(27);
     for (auto* o : observers_) o->on_primary_demoted(t, mss, dropped);
   }
 

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include "harness/sharded_world.h"
+#include "obs/profiler.h"
 #include "stats/fairness.h"
 
 #include <iostream>
@@ -8,6 +9,44 @@
 
 namespace rdp::harness {
 namespace {
+
+// Installs the profiler's control accumulator on the driving thread for the
+// duration of the workload, so barrier-time work (outbox drains, observer
+// buffer replay) lands in its own tree instead of vanishing.  A no-op when
+// `profiler` is null.
+struct ScopedControlAccumulator {
+  explicit ScopedControlAccumulator(obs::Profiler* profiler)
+      : active(profiler != nullptr) {
+    if (active) prev = obs::prof::exchange_accumulator(profiler->control());
+  }
+  ~ScopedControlAccumulator() {
+    if (active) (void)obs::prof::exchange_accumulator(prev);
+  }
+  ScopedControlAccumulator(const ScopedControlAccumulator&) = delete;
+  ScopedControlAccumulator& operator=(const ScopedControlAccumulator&) =
+      delete;
+  obs::prof::Accumulator* prev = nullptr;
+  bool active = false;
+};
+
+// Shared tail of the profiled runs: rdp.prof.* gauges into the registry
+// (before the CSV sample), spans onto the trace (before the trace write),
+// then the folded-stack file and the caller's report.
+void export_profile(const obs::Profiler& profiler,
+                    const ExperimentParams& params, obs::Telemetry& telemetry) {
+  profiler.export_metrics(telemetry.registry());
+  if (obs::SpanTracer* tracer = telemetry.tracer()) {
+    profiler.emit_trace_spans(*tracer);
+  }
+  if (!params.profile_folded_out.empty() &&
+      !profiler.write_folded(params.profile_folded_out)) {
+    std::cerr << "experiment: failed to write folded stacks to "
+              << params.profile_folded_out << "\n";
+  }
+  if (params.profile_report != nullptr) {
+    *params.profile_report = profiler.report();
+  }
+}
 
 std::unique_ptr<workload::MobilityModel> make_mobility(
     const ExperimentParams& params, const workload::CellTopology& topology) {
@@ -147,6 +186,14 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
   config.analyzer.enabled = params.analyzer;
 
   World world(config);
+  // Destroyed before `world`; nothing runs the kernel after that, so the
+  // accumulator pointer left on the simulator never dangles into a run.
+  std::unique_ptr<obs::Profiler> profiler;
+  if (params.profile) {
+    profiler = std::make_unique<obs::Profiler>();
+    world.simulator().set_prof_accumulator(profiler->accumulator(0));
+    profiler->enable_alloc_tracking();
+  }
   // Destroyed before `world`, which clears the channel's drop filter.
   const std::unique_ptr<workload::LossShaper> loss_shaper =
       make_loss_shaper(world, params);
@@ -181,6 +228,7 @@ ExperimentResult run_rdp_experiment(const ExperimentParams& params) {
                 << params.analyzer_out << "\n";
     }
   }
+  if (profiler) export_profile(*profiler, params, world.telemetry());
   if (!params.trace_out.empty() &&
       !world.telemetry().write_trace_json(params.trace_out)) {
     std::cerr << "experiment: failed to write trace to " << params.trace_out
@@ -258,6 +306,15 @@ ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params) {
   }
 
   ShardedWorld world(config);
+  std::unique_ptr<obs::Profiler> profiler;
+  if (params.profile) {
+    profiler = std::make_unique<obs::Profiler>();
+    for (int s = 0; s < world.kernel().shards(); ++s) {
+      world.shard_simulator(s).set_prof_accumulator(profiler->accumulator(s));
+    }
+    world.kernel().set_profiling(true);
+    profiler->enable_alloc_tracking();
+  }
   MetricsCollector metrics(&world.telemetry().registry());
   world.observers().add(&metrics);
   ExperimentResult result;
@@ -282,9 +339,12 @@ ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params) {
     drivers.back()->set_initial_cell(world.home_cell(i));
     drivers.back()->start();
   }
-  world.run_for(params.sim_time);
-  for (auto& driver : drivers) driver->stop();
-  world.run_for(params.drain_time);
+  {
+    const ScopedControlAccumulator control(profiler.get());
+    world.run_for(params.sim_time);
+    for (auto& driver : drivers) driver->stop();
+    world.run_for(params.drain_time);
+  }
 
   for (auto& driver : drivers) {
     result.migrations += driver->migrations();
@@ -308,6 +368,10 @@ ExperimentResult run_sharded_rdp_experiment(const ExperimentParams& params) {
       std::cerr << "experiment: failed to write analyzer events to "
                 << params.analyzer_out << "\n";
     }
+  }
+  if (profiler) {
+    profiler->ingest_shard_stats(world.kernel());
+    export_profile(*profiler, params, world.telemetry());
   }
   if (!params.trace_out.empty() &&
       !world.telemetry().write_trace_json(params.trace_out)) {

@@ -17,6 +17,10 @@
 #include "workload/mobility.h"
 #include "workload/topology.h"
 
+namespace rdp::obs {
+struct ProfileReport;
+}
+
 namespace rdp::harness {
 
 enum class MobilityKind { kStatic, kRandomWalk, kUniformJump, kPingPong };
@@ -111,6 +115,21 @@ struct ExperimentParams {
   // Sampling period for the metrics time series; zero leaves only the
   // final counter values in the export.
   common::Duration metrics_period = common::Duration::zero();
+
+  // Instrumentation profiler (docs/PROTOCOL.md §13; RDP runs only).  When
+  // set, the run arms the probe layer — per-shard accumulators on the
+  // kernel(s), the allocation hook, and the sharded kernel's busy/stall
+  // accounting — and exports rdp.prof.* gauges through the metrics
+  // registry, per-window spans into the Chrome trace, a collapsed-stack
+  // file when `profile_folded_out` is non-empty, and the merged rollup
+  // into *profile_report when non-null.  Purely observational: the
+  // ExperimentResult and every protocol artifact are bit-identical with
+  // profiling on or off (the neutrality tests pin this).  Requires the
+  // RDP_PROFILE build (default ON); a no-op otherwise beyond the report
+  // coming back empty.
+  bool profile = false;
+  std::string profile_folded_out;
+  obs::ProfileReport* profile_report = nullptr;
 
   [[nodiscard]] int num_mss() const { return grid_width * grid_height; }
 };

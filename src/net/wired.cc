@@ -1,6 +1,7 @@
 #include "net/wired.h"
 
 #include "net/shard_router.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::net {
 
@@ -36,6 +37,7 @@ void WiredNetwork::send(NodeAddress src, NodeAddress dst, PayloadPtr payload,
                         sim::EventPriority priority) {
   RDP_CHECK(payload != nullptr, "cannot send a null payload");
   RDP_CHECK(dst.valid(), "cannot send to an invalid address");
+  RDP_PROF_SCOPE(kNetWired);
 
   const common::SimTime now = simulator_.now();
 
@@ -114,6 +116,7 @@ void WiredNetwork::send(NodeAddress src, NodeAddress dst, PayloadPtr payload,
 }
 
 void WiredNetwork::deliver(const Envelope& envelope) {
+  RDP_PROF_SCOPE(kNetWired);
   auto it = endpoints_.find(envelope.dst);
   RDP_CHECK(it != endpoints_.end(),
             "wired delivery to unattached address " + envelope.dst.str());

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/shard_router.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::net {
 
@@ -142,6 +143,7 @@ void WirelessChannel::notify(MhId mh, const PayloadPtr& payload, bool uplink,
 void WirelessChannel::uplink(MhId from, PayloadPtr payload,
                              sim::EventPriority priority) {
   RDP_CHECK(payload != nullptr, "cannot uplink a null payload");
+  RDP_PROF_SCOPE(kNetWireless);
   const MhState& state = mh_state(from);
   RDP_CHECK(state.active, from.str() + " uplinked while inactive");
   RDP_CHECK(state.cell.has_value(), from.str() + " uplinked while in transit");
@@ -189,6 +191,7 @@ void WirelessChannel::uplink(MhId from, PayloadPtr payload,
   simulator_.schedule(
       sample_latency(),
       [this, receiver, from, payload = std::move(payload)] {
+        RDP_PROF_SCOPE(kNetWireless);
         notify(from, payload, /*uplink=*/true, FramePhase::kDelivered);
         receiver->on_uplink(from, payload);
       },
@@ -197,6 +200,7 @@ void WirelessChannel::uplink(MhId from, PayloadPtr payload,
 
 void WirelessChannel::deliver_injected_uplink(MhId from, CellId cell,
                                               const PayloadPtr& payload) {
+  RDP_PROF_SCOPE(kNetWireless);
   UplinkReceiver* receiver = cells_.at(cell).receiver;
   RDP_CHECK(receiver != nullptr,
             "uplink injected into non-owning shard for " + cell.str());
@@ -207,6 +211,7 @@ void WirelessChannel::deliver_injected_uplink(MhId from, CellId cell,
 void WirelessChannel::downlink(CellId cell, MhId to, PayloadPtr payload) {
   RDP_CHECK(payload != nullptr, "cannot downlink a null payload");
   RDP_CHECK(cells_.contains(cell), "downlink from unknown cell " + cell.str());
+  RDP_PROF_SCOPE(kNetWireless);
   ++downlink_sent_;
   downlink_bytes_ += payload->wire_size();
   notify(to, payload, /*uplink=*/false, FramePhase::kSent);
@@ -275,6 +280,7 @@ void WirelessChannel::downlink(CellId cell, MhId to, PayloadPtr payload) {
 
   simulator_.schedule(sample_latency(), [this, cell, to,
                                          payload = std::move(payload)] {
+    RDP_PROF_SCOPE(kNetWireless);
     // Re-check at arrival: the Mh may have migrated or gone inactive while
     // the frame was in the air.
     const MhState& state = mh_state(to);
@@ -295,6 +301,7 @@ void WirelessChannel::downlink(CellId cell, MhId to, PayloadPtr payload) {
 
 void WirelessChannel::deliver_injected_downlink(CellId cell, MhId to,
                                                 const PayloadPtr& payload) {
+  RDP_PROF_SCOPE(kNetWireless);
   // Arrival-time re-check against the live state: this is the Mh's home
   // shard, so the ground truth is local.  The Mh may have migrated or gone
   // inactive while the frame was in the air.

@@ -6,6 +6,7 @@
 #include <iterator>
 
 #include "core/events.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::obs {
 
@@ -51,6 +52,46 @@ static_assert(std::size(kHookNames) ==
 // Name of the i-th hook in core/events.h declaration order.
 [[nodiscard]] constexpr const char* hook_name(std::size_t index) {
   return index < std::size(kHookNames) ? kHookNames[index] : "?";
+}
+
+// One stable name per static profiler domain, in prof::Domain declaration
+// order (obs/perf_probe.h).  Same contract as kHookNames: a new domain
+// without a name here is a compile error, because the folded-stack export,
+// the rdp.prof.* metric labels and the attribution tables all index this
+// table by domain id.
+inline constexpr const char* kDomainNames[] = {
+    "root",
+    "kernel",
+    "timer_slab",
+    "net.wired",
+    "net.wireless",
+    "causal",
+    "arq",
+    "replication",
+    "membership",
+    "hook_fanout",
+    "analyzer",
+    "codec.encode",
+    "codec.decode",
+    "outbox_drain",
+    "barrier_wait",
+};
+static_assert(std::size(kDomainNames) ==
+                  static_cast<std::size_t>(prof::Domain::kCount),
+              "kDomainNames must name exactly every prof::Domain — "
+              "update obs/event_names.h when obs/perf_probe.h changes");
+// perf_probe.h mirrors the hook count instead of including core/events.h
+// (it must stay dependency-free); this is where the mirror is pinned.
+static_assert(prof::kHookDomainCount ==
+                  static_cast<int>(core::RdpObserver::kHookCount),
+              "prof::kHookDomainCount must equal RdpObserver::kHookCount — "
+              "update obs/perf_probe.h when core/events.h gains a hook");
+
+// Name of a profiler domain id: static domains from kDomainNames, per-hook
+// domains (id >= Domain::kCount) as "hook:<hook name>" rendered by callers
+// via hook_name(id - Domain::kCount).
+[[nodiscard]] constexpr const char* domain_name(std::size_t index) {
+  return index < std::size(kDomainNames) ? kDomainNames[index] : "?";
 }
 
 [[nodiscard]] constexpr const char* loss_reason_name(

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/shard_router.h"
+#include "obs/perf_probe.h"
 #include "sim/simulator.h"
 
 namespace rdp::obs {
@@ -307,6 +308,10 @@ void ShardTapMerger::add_frame_sink(FrameSink sink) {
 }
 
 void ShardTapMerger::flush() {
+  // Barrier-time replay into the global consumers; the per-hook replay
+  // lambdas go through ObserverList, so their cost splits into the
+  // per-hook domains below this one.
+  RDP_PROF_SCOPE(kHookFanout);
   // Wired sends first, then frames, then hooks (see header).
   wired_scratch_.clear();
   for (int s = 0; s < static_cast<int>(buffers_.size()); ++s) {

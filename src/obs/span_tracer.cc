@@ -299,6 +299,40 @@ void SpanTracer::write_chrome_trace(std::ostream& os) const {
     os << "}}";
   }
 
+  // External tracks (profiler windows): negative pids keep them clear of
+  // the per-Mh process ids, one pid per distinct track name.
+  std::map<std::string, std::int64_t> track_pids;
+  for (const ExternalSpan& span : external_spans_) {
+    if (track_pids.count(span.track) == 0) {
+      const std::int64_t pid = -1 - static_cast<std::int64_t>(track_pids.size());
+      track_pids[span.track] = pid;
+      sep();
+      os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << pid
+         << ", \"tid\": 0, \"args\": {\"name\": ";
+      json_string(os, span.track);
+      os << "}}";
+    }
+  }
+  for (const ExternalSpan& span : external_spans_) {
+    sep();
+    os << "{\"ph\": \"X\", \"name\": ";
+    json_string(os, span.name);
+    os << ", \"cat\": \"prof\", \"pid\": " << track_pids[span.track]
+       << ", \"tid\": " << span.tid
+       << ", \"ts\": " << span.begin.count_micros()
+       << ", \"dur\": " << (span.end - span.begin).count_micros()
+       << ", \"args\": {";
+    bool first_arg = true;
+    for (const auto& [key, value] : span.args) {
+      if (!first_arg) os << ", ";
+      first_arg = false;
+      json_string(os, key);
+      os << ": ";
+      json_string(os, value);
+    }
+    os << "}}";
+  }
+
   for (const Instant& instant : instants_) {
     sep();
     os << "{\"ph\": \"i\", \"name\": ";

@@ -44,6 +44,24 @@ class SpanTracer final : public core::RdpObserver {
     core::RequestId request;  // invalid for non-request instants
   };
 
+  // A span produced outside the observer stream (the profiler's per-shard
+  // window spans).  Rendered on its own process track named `track`, with
+  // `tid` as the thread row — e.g. one row per shard.
+  struct ExternalSpan {
+    std::string track;
+    int tid = 0;
+    std::string name;
+    common::SimTime begin;
+    common::SimTime end;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  void add_external_span(ExternalSpan span) {
+    external_spans_.push_back(std::move(span));
+  }
+  [[nodiscard]] const std::vector<ExternalSpan>& external_spans() const {
+    return external_spans_;
+  }
+
   [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
   [[nodiscard]] const std::vector<Instant>& instants() const {
     return instants_;
@@ -113,6 +131,7 @@ class SpanTracer final : public core::RdpObserver {
   void note(common::SimTime at, std::string line);
 
   std::vector<Span> spans_;
+  std::vector<ExternalSpan> external_spans_;
   std::vector<Instant> instants_;
   std::vector<std::pair<common::SimTime, std::string>> timeline_;
   std::map<core::RequestId, RequestState> requests_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/perf_probe.h"
+
 namespace rdp::replication {
 
 std::vector<common::MssId> compute_chain(
@@ -37,6 +39,7 @@ MembershipService::MembershipService(core::Runtime& runtime,
 void MembershipService::assign_chains() { recompute_chains(); }
 
 void MembershipService::recompute_chains() {
+  RDP_PROF_SCOPE(kMembership);
   const std::vector<common::MssId> all = runtime_.directory.mss_ids();
   std::vector<common::MssId> live;
   live.reserve(all.size());
@@ -104,6 +107,7 @@ void MembershipService::rejoin(common::MssId mss) {
 // ---------------------------------------------------------------------------
 
 void MembershipService::on_message(const net::Envelope& envelope) {
+  RDP_PROF_SCOPE(kMembership);
   const auto* report =
       net::message_cast<core::MsgMembershipReport>(envelope.payload);
   if (report == nullptr) return;  // not part of the service's vocabulary

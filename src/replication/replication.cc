@@ -4,6 +4,8 @@
 #include <iterator>
 #include <utility>
 
+#include "obs/perf_probe.h"
+
 namespace rdp::replication {
 
 const char* mode_name(Mode mode) {
@@ -69,6 +71,7 @@ bool Replicator::forward_down_chain(common::MssId primary,
 // ---------------------------------------------------------------------------
 
 void Replicator::on_proxy_mutated(const core::ProxyCheckpoint& record) {
+  RDP_PROF_SCOPE(kReplication);
   if (config_.mode == Mode::kOff) return;
   if (runtime_.directory.mss_departed(mss_.id())) {
     // This primary was declared departed (partition) while still running:
@@ -88,6 +91,7 @@ void Replicator::on_proxy_mutated(const core::ProxyCheckpoint& record) {
 }
 
 void Replicator::on_proxy_erased(common::ProxyId proxy) {
+  RDP_PROF_SCOPE(kReplication);
   if (config_.mode == Mode::kOff || !has_chain()) return;
   if (demoting_) return;  // fenced primary: promoted incarnations own these
   if (!shipped_live_.contains(proxy)) {
@@ -127,6 +131,7 @@ void Replicator::ship_erase(common::ProxyId proxy) {
 }
 
 void Replicator::flush_dirty() {
+  RDP_PROF_SCOPE(kReplication);
   if (mss_.crashed() || !has_chain()) return;
   for (auto& [proxy, entry] : dirty_) {
     if (entry.has_value()) {
@@ -315,6 +320,7 @@ void Replicator::on_host_restarted() {
 
 bool Replicator::on_wired_message(const net::Envelope& envelope) {
   if (config_.mode == Mode::kOff) return false;
+  RDP_PROF_SCOPE(kReplication);
   const net::PayloadPtr& payload = envelope.payload;
   if (const auto* update = net::message_cast<core::MsgReplicaUpdate>(payload)) {
     apply_update(*update, payload);
@@ -540,6 +546,7 @@ void Replicator::arm_lease_check() {
 }
 
 void Replicator::run_lease_check() {
+  RDP_PROF_SCOPE(kReplication);
   if (mss_.crashed()) return;
   std::vector<common::MssId> expired;
   const common::SimTime now = runtime_.simulator.now();

@@ -1,12 +1,33 @@
 #include "sim/sharded_simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/perf_probe.h"
 
 namespace rdp::sim {
+namespace {
+
+[[nodiscard]] std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[nodiscard]] std::size_t log2_bucket(std::uint64_t value) {
+  std::size_t bucket = 0;
+  while (value > 1 && bucket < 31) {
+    value >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
 
 ShardedSimulator::ShardedSimulator(const Options& options) {
   RDP_CHECK(options.shards >= 1, "need at least one shard");
@@ -60,6 +81,15 @@ void ShardedSimulator::add_barrier_hook(BarrierHook hook) {
   barrier_hooks_.push_back(std::move(hook));
 }
 
+void ShardedSimulator::set_profiling(bool enabled) {
+  profiling_ = enabled;
+  if (enabled) {
+    prof_.busy_ns.assign(shards_.size(), 0);
+    prof_.stall_ns.assign(shards_.size(), 0);
+    window_busy_ns_.assign(shards_.size(), 0);
+  }
+}
+
 std::optional<std::int64_t> ShardedSimulator::min_next_event_us() const {
   std::optional<std::int64_t> min;
   for (const auto& shard : shards_) {
@@ -73,34 +103,68 @@ std::optional<std::int64_t> ShardedSimulator::min_next_event_us() const {
 
 std::size_t ShardedSimulator::run_window(SimTime bound) {
   ++windows_;
-  if (threads_ <= 1) {
-    std::size_t executed = 0;
-    for (auto& shard : shards_) executed += shard->run_until(bound);
-    return executed;
-  }
-
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    window_bound_ = bound;
-    workers_done_ = 0;
-    ++window_generation_;
-  }
-  work_cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return workers_done_ == threads_; });
-  }
-
+  const std::uint64_t wall_begin = profiling_ ? wall_now_ns() : 0;
   std::size_t executed = 0;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (window_errors_[s]) {
-      // Rethrow the lowest-index shard's failure; later shards' errors (if
-      // any) are dropped with it, same as a sequential run would surface.
-      std::exception_ptr error = std::exchange(window_errors_[s], nullptr);
-      for (auto& other : window_errors_) other = nullptr;
-      std::rethrow_exception(error);
+  if (threads_ <= 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (profiling_) {
+        const std::uint64_t t0 = wall_now_ns();
+        executed += shards_[s]->run_until(bound);
+        window_busy_ns_[s] = wall_now_ns() - t0;
+      } else {
+        executed += shards_[s]->run_until(bound);
+      }
     }
-    executed += window_counts_[s];
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      window_bound_ = bound;
+      workers_done_ = 0;
+      ++window_generation_;
+    }
+    work_cv_.notify_all();
+    {
+      // Charged to the coordinator's probe tree: the time this thread sat
+      // waiting on the slowest worker.
+      RDP_PROF_SCOPE(kBarrierWait);
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [this] { return workers_done_ == threads_; });
+    }
+
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (window_errors_[s]) {
+        // Rethrow the lowest-index shard's failure; later shards' errors (if
+        // any) are dropped with it, same as a sequential run would surface.
+        std::exception_ptr error = std::exchange(window_errors_[s], nullptr);
+        for (auto& other : window_errors_) other = nullptr;
+        std::rethrow_exception(error);
+      }
+      executed += window_counts_[s];
+    }
+  }
+
+  if (profiling_) {
+    const std::uint64_t wall = wall_now_ns() - wall_begin;
+    const std::int64_t end_us = bound.count_micros() + 1;
+    const std::uint64_t advance_us = static_cast<std::uint64_t>(
+        end_us > last_window_end_us_ ? end_us - last_window_end_us_ : 0);
+    prof_.window_width_us_log2[log2_bucket(advance_us)] += 1;
+    ++prof_.windows;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::uint64_t busy = window_busy_ns_[s];
+      const std::uint64_t stall = wall > busy ? wall - busy : 0;
+      prof_.busy_ns[s] += busy;
+      prof_.stall_ns[s] += stall;
+      if (prof_.windows_sample.size() < kMaxWindowRecords) {
+        // fence_us_ still holds this window's (post-jump) start here; the
+        // caller advances it only after run_window returns.
+        prof_.windows_sample.push_back(ProfStats::Window{
+            static_cast<int>(s), fence_us_, end_us, busy, stall});
+      } else {
+        prof_.windows_truncated = true;
+      }
+    }
+    last_window_end_us_ = end_us;
   }
   return executed;
 }
@@ -119,12 +183,16 @@ void ShardedSimulator::worker_main(int worker_index) {
       bound = window_bound_;
     }
     for (int s = worker_index; s < shards(); s += threads_) {
+      const std::uint64_t t0 = profiling_ ? wall_now_ns() : 0;
       try {
         window_counts_[static_cast<std::size_t>(s)] =
             shards_[static_cast<std::size_t>(s)]->run_until(bound);
       } catch (...) {
         window_counts_[static_cast<std::size_t>(s)] = 0;
         window_errors_[static_cast<std::size_t>(s)] = std::current_exception();
+      }
+      if (profiling_) {
+        window_busy_ns_[static_cast<std::size_t>(s)] = wall_now_ns() - t0;
       }
     }
     {
@@ -136,6 +204,7 @@ void ShardedSimulator::worker_main(int worker_index) {
 }
 
 void ShardedSimulator::inject_outboxes(std::int64_t fence_us) {
+  RDP_PROF_SCOPE(kOutboxDrain);
   const int n = shards();
   const SimTime fence = SimTime::from_micros(fence_us);
   for (int dst = 0; dst < n; ++dst) {
@@ -149,6 +218,9 @@ void ShardedSimulator::inject_outboxes(std::int64_t fence_us) {
       box.clear();
     }
     if (sort_scratch_.empty()) continue;
+    if (profiling_) {
+      prof_.outbox_drain_log2[log2_bucket(sort_scratch_.size())] += 1;
+    }
     std::sort(sort_scratch_.begin(), sort_scratch_.end(),
               [](const ShardInjection& a, const ShardInjection& b) {
                 if (a.at != b.at) return a.at < b.at;

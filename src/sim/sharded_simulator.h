@@ -27,6 +27,7 @@
 // is also partition-invariant.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -111,7 +112,40 @@ class ShardedSimulator {
   [[nodiscard]] std::size_t pending_events() const;
   [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
 
+  // --- profiling (docs/PROTOCOL.md §13) ---------------------------------
+  // Wall-clock accounting collected only while enabled: per-shard busy
+  // time inside windows, barrier stall (window wall-clock minus the
+  // shard's own busy slice — with fewer cores than shards this is the
+  // serialization tax itself), log2 histograms of barrier-to-barrier
+  // sim-time advance and per-destination outbox drain size, and a bounded
+  // sample of per-window records for the Chrome trace.  Reading the wall
+  // clock never influences the schedule: results are bit-identical with
+  // profiling on or off.
+  struct ProfStats {
+    std::vector<std::uint64_t> busy_ns;   // per shard, summed over windows
+    std::vector<std::uint64_t> stall_ns;  // per shard, summed over windows
+    std::uint64_t windows = 0;
+    // Bucket i counts windows whose fence advanced [2^i, 2^(i+1)) sim-µs
+    // since the previous barrier (empty-window skips widen this).
+    std::array<std::uint64_t, 32> window_width_us_log2{};
+    // Bucket i counts barriers where one destination shard received
+    // [2^i, 2^(i+1)) injections.
+    std::array<std::uint64_t, 32> outbox_drain_log2{};
+    struct Window {
+      int shard = 0;
+      std::int64_t begin_us = 0;
+      std::int64_t end_us = 0;
+      std::uint64_t busy_ns = 0;
+      std::uint64_t stall_ns = 0;
+    };
+    std::vector<Window> windows_sample;  // first kMaxWindowRecords windows
+    bool windows_truncated = false;
+  };
+  void set_profiling(bool enabled);
+  [[nodiscard]] const ProfStats& prof_stats() const { return prof_; }
+
  private:
+  static constexpr std::size_t kMaxWindowRecords = 16384;
   // Earliest pending event across all shards (mailboxes are empty between
   // windows, so this is the global minimum).
   [[nodiscard]] std::optional<std::int64_t> min_next_event_us() const;
@@ -158,6 +192,14 @@ class ShardedSimulator {
   SimTime window_bound_;
   std::vector<std::size_t> window_counts_;
   std::vector<std::exception_ptr> window_errors_;
+
+  // Profiling state.  window_busy_ns_ is written per shard index by the
+  // worker running that shard and read by the coordinator after the
+  // done_cv_ handshake, which provides the happens-before edge.
+  bool profiling_ = false;
+  ProfStats prof_;
+  std::vector<std::uint64_t> window_busy_ns_;
+  std::int64_t last_window_end_us_ = 0;
 };
 
 }  // namespace rdp::sim

@@ -2,7 +2,32 @@
 
 #include <utility>
 
+#include "obs/perf_probe.h"
+
 namespace rdp::sim {
+namespace {
+
+// Installs `acc` as the thread's probe accumulator for the enclosing scope
+// (no-op when null, and compiled to nothing without RDP_PROFILE).
+struct ScopedProfInstall {
+#if defined(RDP_PROFILE)
+  explicit ScopedProfInstall(obs::prof::Accumulator* acc)
+      : swapped(acc != nullptr) {
+    if (swapped) prev = obs::prof::exchange_accumulator(acc);
+  }
+  ~ScopedProfInstall() {
+    if (swapped) (void)obs::prof::exchange_accumulator(prev);
+  }
+  obs::prof::Accumulator* prev = nullptr;
+  bool swapped = false;
+#else
+  explicit ScopedProfInstall(obs::prof::Accumulator*) {}
+#endif
+  ScopedProfInstall(const ScopedProfInstall&) = delete;
+  ScopedProfInstall& operator=(const ScopedProfInstall&) = delete;
+};
+
+}  // namespace
 
 bool TimerHandle::pending() const {
   return sim_ != nullptr && sim_->slot_live(slot_, gen_);
@@ -51,6 +76,7 @@ TimerHandle Simulator::schedule_at(SimTime at, Callback cb,
                                    EventPriority priority) {
   RDP_CHECK(at >= now_, "cannot schedule into the past");
   RDP_CHECK(static_cast<bool>(cb), "callback must not be empty");
+  RDP_PROF_SCOPE(kTimerSlab);
   const std::uint32_t slot = acquire_slot(std::move(cb));
   const std::uint32_t gen = slots_[slot].gen;
   queue_.push(Event{at, priority, next_seq_++, slot, gen});
@@ -67,6 +93,10 @@ void Simulator::skip_tombstones() {
 }
 
 bool Simulator::execute_next() {
+  // Covers the whole dispatch — queue maintenance and the callback — so
+  // kernel self time is the machinery and the protocol work shows up as
+  // children.
+  RDP_PROF_SCOPE(kKernel);
   skip_tombstones();
   if (queue_.empty()) return false;
   const Event event = queue_.top();
@@ -83,9 +113,13 @@ bool Simulator::execute_next() {
   return true;
 }
 
-bool Simulator::step() { return execute_next(); }
+bool Simulator::step() {
+  const ScopedProfInstall prof(prof_acc_);
+  return execute_next();
+}
 
 void Simulator::run() {
+  const ScopedProfInstall prof(prof_acc_);
   stopped_ = false;
   while (!stopped_ && execute_next()) {
   }
@@ -93,6 +127,7 @@ void Simulator::run() {
 
 std::size_t Simulator::run_until(SimTime until) {
   RDP_CHECK(until >= now_, "cannot run into the past");
+  const ScopedProfInstall prof(prof_acc_);
   stopped_ = false;
   std::size_t count = 0;
   while (!stopped_) {

@@ -30,6 +30,10 @@
 #include "common/time.h"
 #include "sim/callback.h"
 
+namespace rdp::obs::prof {
+class Accumulator;
+}
+
 namespace rdp::sim {
 
 using common::Duration;
@@ -115,6 +119,13 @@ class Simulator {
   // reported.
   [[nodiscard]] std::optional<SimTime> next_event_time() const;
 
+  // Profiling (docs/PROTOCOL.md §13): while non-null, run()/run_until()/
+  // step() install `acc` as the calling thread's probe accumulator for the
+  // duration of the call, so dispatch and everything under it is charged to
+  // this kernel's tree — per shard, even when one worker thread runs
+  // several shards.  Purely observational; never affects the schedule.
+  void set_prof_accumulator(obs::prof::Accumulator* acc) { prof_acc_ = acc; }
+
  private:
   friend class TimerHandle;
 
@@ -167,6 +178,7 @@ class Simulator {
   std::size_t executed_ = 0;
   std::size_t live_pending_ = 0;
   bool stopped_ = false;
+  obs::prof::Accumulator* prof_acc_ = nullptr;
 };
 
 }  // namespace rdp::sim

@@ -4,6 +4,8 @@
 // (strict trip + allowance), and end-to-end runs where a strict auditor is
 // attached to a deliberately ablated world and must fire.
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -15,6 +17,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/invariant_auditor.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/span_tracer.h"
 #include "obs/telemetry.h"
 #include "tests/trace_util.h"
@@ -589,6 +592,164 @@ TEST(Telemetry, TraceConfigEnablesTracerInWorld) {
   EXPECT_NE(timeline.str().find("result delivered"), std::string::npos);
   // The event tap drove periodic registry samples on the sim clock.
   EXPECT_FALSE(world.telemetry().registry().samples().empty());
+}
+
+// --- instrumentation profiler (PROTOCOL.md §13) ----------------------------
+
+// Deterministic tick source: every read returns the value a test last
+// stored, so probe arithmetic is exact (ns_per_tick() is 1.0 under a fake).
+std::uint64_t g_fake_tick = 0;
+std::uint64_t fake_tick() { return g_fake_tick; }
+
+struct ScopedFakeTicks {
+  ScopedFakeTicks() {
+    g_fake_tick = 0;
+    prof::set_tick_source(&fake_tick);
+  }
+  ~ScopedFakeTicks() { prof::set_tick_source(nullptr); }
+};
+
+TEST(ProfilerTest, SelfVsInclusiveRollupArithmetic) {
+  ScopedFakeTicks ticks;
+  Profiler profiler;
+  prof::Accumulator* prev = prof::exchange_accumulator(profiler.accumulator(0));
+  {
+    prof::ScopedProbe kernel(prof::domain_id(prof::Domain::kKernel));  // t=0
+    g_fake_tick = 10;
+    {
+      prof::ScopedProbe wired(prof::domain_id(prof::Domain::kNetWired));
+      g_fake_tick = 30;  // wired inclusive: 30 - 10 = 20
+    }
+    g_fake_tick = 100;  // kernel inclusive: 100 - 0 = 100
+  }
+  (void)prof::exchange_accumulator(prev);
+
+  const ProfileReport report = profiler.report();
+  ASSERT_EQ(report.domains.size(), 2u);
+  // Sorted by self time descending: kernel self = 100 - 20 = 80.
+  EXPECT_EQ(report.domains[0].name, "kernel");
+  EXPECT_EQ(report.domains[0].self_ns, 80u);
+  EXPECT_EQ(report.domains[0].incl_ns, 100u);
+  EXPECT_EQ(report.domains[0].count, 1u);
+  EXPECT_EQ(report.domains[1].name, "net.wired");
+  EXPECT_EQ(report.domains[1].self_ns, 20u);
+  EXPECT_EQ(report.domains[1].incl_ns, 20u);
+  EXPECT_EQ(report.total_self_ns, 100u);
+  EXPECT_EQ(report.top10_share, 1.0);
+}
+
+TEST(ProfilerTest, MergeAggregatesAcrossShardTreesAndPaths) {
+  ScopedFakeTicks ticks;
+  Profiler profiler;
+
+  // Shard 0: kernel -> net.wired (10 inside a 30 scope), twice.
+  prof::Accumulator* prev = prof::exchange_accumulator(profiler.accumulator(0));
+  for (int i = 0; i < 2; ++i) {
+    const std::uint64_t base = g_fake_tick;
+    prof::ScopedProbe kernel(prof::domain_id(prof::Domain::kKernel));
+    g_fake_tick = base + 5;
+    {
+      prof::ScopedProbe wired(prof::domain_id(prof::Domain::kNetWired));
+      g_fake_tick = base + 15;
+    }
+    g_fake_tick = base + 30;
+  }
+  // Shard 1: net.wired at a *different path* (top level, no kernel parent);
+  // the per-domain rollup must still fold it into the same row.
+  (void)prof::exchange_accumulator(profiler.accumulator(1));
+  {
+    const std::uint64_t base = g_fake_tick;
+    prof::ScopedProbe wired(prof::domain_id(prof::Domain::kNetWired));
+    g_fake_tick = base + 7;
+  }
+  (void)prof::exchange_accumulator(prev);
+
+  const ProfileReport report = profiler.report();
+  ASSERT_EQ(report.domains.size(), 2u);
+  // kernel: 2 scopes of 30 with 10 of child time each -> self 40, incl 60.
+  EXPECT_EQ(report.domains[0].name, "kernel");
+  EXPECT_EQ(report.domains[0].self_ns, 40u);
+  EXPECT_EQ(report.domains[0].incl_ns, 60u);
+  EXPECT_EQ(report.domains[0].count, 2u);
+  // net.wired: 2x10 under kernel + 7 top-level = 27 self, 3 visits.
+  EXPECT_EQ(report.domains[1].name, "net.wired");
+  EXPECT_EQ(report.domains[1].self_ns, 27u);
+  EXPECT_EQ(report.domains[1].incl_ns, 27u);
+  EXPECT_EQ(report.domains[1].count, 3u);
+  EXPECT_EQ(report.total_self_ns, 67u);  // 40 kernel + 27 net.wired
+}
+
+TEST(ProfilerTest, HookDomainsAreNamedAfterTheirHook) {
+  EXPECT_EQ(Profiler::domain_label(prof::hook_domain(6)),
+            "hook:result_delivered");
+  EXPECT_EQ(Profiler::domain_label(prof::domain_id(prof::Domain::kKernel)),
+            "kernel");
+  EXPECT_EQ(
+      Profiler::domain_label(prof::domain_id(prof::Domain::kBarrierWait)),
+      "barrier_wait");
+}
+
+TEST(ProfilerTest, FoldedExportWritesPathsAndFailsOnUnwritablePath) {
+  ScopedFakeTicks ticks;
+  Profiler profiler;
+  prof::Accumulator* prev = prof::exchange_accumulator(profiler.accumulator(0));
+  {
+    prof::ScopedProbe kernel(prof::domain_id(prof::Domain::kKernel));
+    g_fake_tick = 10;
+    {
+      prof::ScopedProbe causal(prof::domain_id(prof::Domain::kCausal));
+      g_fake_tick = 16;
+    }
+    g_fake_tick = 25;
+  }
+  (void)prof::exchange_accumulator(prev);
+
+  EXPECT_FALSE(profiler.write_folded("/nonexistent_rdp_dir/prof.folded"));
+
+  const std::string path = ::testing::TempDir() + "/prof.folded";
+  ASSERT_TRUE(profiler.write_folded(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string folded = buffer.str();
+  EXPECT_NE(folded.find("rdp;kernel 19\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("rdp;kernel;causal 6\n"), std::string::npos) << folded;
+  std::remove(path.c_str());
+}
+
+TEST(ProfilerTest, MetricsExportCarriesProfTablesAndErrorPath) {
+  ScopedFakeTicks ticks;
+  Profiler profiler;
+  prof::Accumulator* prev = prof::exchange_accumulator(profiler.accumulator(0));
+  {
+    prof::ScopedProbe kernel(prof::domain_id(prof::Domain::kKernel));
+    g_fake_tick = 42;
+  }
+  (void)prof::exchange_accumulator(prev);
+
+  Telemetry telemetry{TelemetryConfig{}};
+  profiler.export_metrics(telemetry.registry());
+  EXPECT_EQ(
+      telemetry.registry().gauge("rdp.prof.self_ns", {{"domain", "kernel"}})
+          .value(),
+      42.0);
+
+  // The rdp.prof.* tables ride the existing export paths — including the
+  // error-path contract: an unwritable path returns false, a writable one
+  // contains the attribution rows.  The CSV carries sampled values, so
+  // close the series first, exactly like the harness export does.
+  telemetry.registry().sample_now(SimTime::zero());
+  EXPECT_FALSE(
+      telemetry.write_metrics_csv("/nonexistent_rdp_dir/metrics.csv"));
+  EXPECT_FALSE(
+      telemetry.write_metrics_json("/nonexistent_rdp_dir/metrics.json"));
+  const std::string path = ::testing::TempDir() + "/prof_metrics.csv";
+  ASSERT_TRUE(telemetry.write_metrics_csv(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("rdp.prof.self_ns"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,8 +3,13 @@
 // results for every shard count and every thread count.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "harness/experiment.h"
 #include "obs/cost_ledger.h"
+#include "obs/profiler.h"
 
 namespace rdp::harness {
 namespace {
@@ -186,6 +191,58 @@ TEST(ShardedWorld, MembershipChurnStaysBitIdenticalAcrossShardCounts) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     expect_same_result(one, many);
   }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ShardedWorld, ProfilingIsBitNeutralAcrossShardCounts) {
+  // The profiler is purely observational (docs/PROTOCOL.md §13): arming it
+  // must not change one bit of the ExperimentResult or of the analyzer's
+  // canonical JSONL, at any shard count.  The reference run is unprofiled;
+  // every profiled run — including the same shard count — must match it.
+  const std::string dir = ::testing::TempDir();
+  ExperimentParams plain = scenario(0x0b5eull);
+  plain.analyzer = true;
+  plain.shards = 1;
+  plain.analyzer_out = dir + "/prof_neutral_ref.jsonl";
+  const ExperimentResult reference = run_sharded_rdp_experiment(plain);
+  EXPECT_GT(reference.requests_completed, 0u);
+  EXPECT_GT(reference.analyzer_events, 0u);
+  const std::string reference_jsonl = read_file(plain.analyzer_out);
+  ASSERT_FALSE(reference_jsonl.empty());
+
+  for (int shards : {1, 2, 4, 8}) {
+    ExperimentParams profiled = scenario(0x0b5eull);
+    profiled.analyzer = true;
+    profiled.shards = shards;
+    profiled.shard_threads = shards > 2 ? 2 : 1;
+    profiled.analyzer_out =
+        dir + "/prof_neutral_" + std::to_string(shards) + ".jsonl";
+    profiled.profile = true;
+    obs::ProfileReport report;
+    profiled.profile_report = &report;
+    const ExperimentResult result = run_sharded_rdp_experiment(profiled);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_same_result(reference, result);
+    EXPECT_EQ(result.analyzer_violations, reference.analyzer_violations);
+    EXPECT_EQ(result.analyzer_events, reference.analyzer_events);
+    EXPECT_EQ(read_file(profiled.analyzer_out), reference_jsonl)
+        << profiled.analyzer_out << " differs from " << plain.analyzer_out;
+#if defined(RDP_PROFILE)
+    // The profiled run really profiled: attribution rows and window stats
+    // came back even though the protocol outcome is untouched.
+    EXPECT_FALSE(report.domains.empty());
+    EXPECT_GT(report.windows, 0u);
+    EXPECT_EQ(report.shards.size(), static_cast<std::size_t>(shards));
+#endif
+    std::remove(profiled.analyzer_out.c_str());
+  }
+  std::remove(plain.analyzer_out.c_str());
 }
 
 TEST(ShardedWorld, PingPongMobilityRunsSharded) {
